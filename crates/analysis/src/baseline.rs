@@ -1,0 +1,235 @@
+//! Identification baselines for the ablation experiments.
+//!
+//! The paper's core claim is that fuzzy hashing recognizes application
+//! *variants* that the two traditional identifiers miss:
+//!
+//! * **name-based** — match executables by file name (XALT-era practice;
+//!   trivially defeated by `a.out` and trivially fooled by collisions);
+//! * **exact-hash** — match by cryptographic digest (XALT's `sha1`);
+//!   recognizes only byte-identical files.
+//!
+//! [`RecognitionAblation`] measures, over a labeled record population,
+//! how many *variant pairs* (distinct binaries of the same software) each
+//! method links. [`byte_similarity`] is the raw byte-level comparison the
+//! paper contrasts with fuzzy-hash comparison for *scalability* (§2.1) —
+//! it is used by the `fuzzy_vs_bytes` bench.
+
+use crate::labels::{Labeler, UNKNOWN_LABEL};
+use crate::{category_of, RecordCategory};
+use siren_consolidate::ProcessRecord;
+use siren_fuzzy::compare;
+use std::collections::HashMap;
+
+/// Byte-level similarity 0–100: fraction of positions with equal bytes,
+/// over the longer length (a deliberately simple stand-in for
+/// byte-by-byte comparison; O(n) in file size, which is exactly why the
+/// paper prefers comparing ≤100-character fuzzy hashes).
+pub fn byte_similarity(a: &[u8], b: &[u8]) -> u32 {
+    if a.is_empty() && b.is_empty() {
+        return 100;
+    }
+    let common = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
+    (100 * common / a.len().max(b.len())) as u32
+}
+
+/// Result of the recognition ablation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecognitionAblation {
+    /// Distinct-binary pairs belonging to the same software (ground truth
+    /// from path labels), i.e. the variant pairs a method should link.
+    pub variant_pairs: u64,
+    /// Pairs linked by file-name equality.
+    pub name_hits: u64,
+    /// Pairs linked by exact content-hash equality (always 0 for
+    /// *distinct* binaries — included to make the point).
+    pub exact_hits: u64,
+    /// Pairs linked by fuzzy similarity ≥ the threshold.
+    pub fuzzy_hits: u64,
+    /// The fuzzy threshold used.
+    pub fuzzy_threshold: u32,
+    /// Cross-software pairs incorrectly linked by file-name equality
+    /// (e.g. two different `a.out`s).
+    pub name_false_links: u64,
+    /// Cross-software pairs incorrectly linked by fuzzy similarity.
+    pub fuzzy_false_links: u64,
+}
+
+impl RecognitionAblation {
+    /// Recall of a method: hits / variant_pairs.
+    pub fn recall(hits: u64, pairs: u64) -> f64 {
+        if pairs == 0 {
+            0.0
+        } else {
+            hits as f64 / pairs as f64
+        }
+    }
+
+    /// Render a small report table.
+    pub fn render(&self) -> String {
+        let r = |h| format!("{:.1}%", 100.0 * Self::recall(h, self.variant_pairs));
+        crate::render::render_table(
+            &format!(
+                "Ablation: variant recognition over {} distinct-binary same-software pairs (fuzzy threshold {})",
+                self.variant_pairs, self.fuzzy_threshold
+            ),
+            &["Method", "Pairs linked", "Recall", "False links"],
+            &[
+                vec!["name-based".into(), self.name_hits.to_string(), r(self.name_hits), self.name_false_links.to_string()],
+                vec!["exact-hash".into(), self.exact_hits.to_string(), r(self.exact_hits), "0".into()],
+                vec!["fuzzy-hash".into(), self.fuzzy_hits.to_string(), r(self.fuzzy_hits), self.fuzzy_false_links.to_string()],
+            ],
+        )
+    }
+}
+
+/// One representative per distinct binary (`FILE_H`), with its ground
+/// truth label, for pairing.
+struct Binary {
+    label: String,
+    name: String,
+    file_hash: String,
+}
+
+/// Run the recognition ablation over user-directory records. Ground truth
+/// labels come from the path labeler (UNKNOWN records are excluded — they
+/// have no ground truth); the methods themselves never see paths except
+/// the name-based one, which is the method under test.
+pub fn recognition_ablation(
+    records: &[ProcessRecord],
+    labeler: &Labeler,
+    fuzzy_threshold: u32,
+) -> RecognitionAblation {
+    // One representative per distinct binary.
+    let mut by_hash: HashMap<String, Binary> = HashMap::new();
+    for rec in records {
+        if category_of(rec) != RecordCategory::User {
+            continue;
+        }
+        let (Some(path), Some(fh)) = (rec.exe_path(), rec.file_hash.clone()) else {
+            continue;
+        };
+        let label = labeler.label(path);
+        if label == UNKNOWN_LABEL {
+            continue;
+        }
+        by_hash.entry(fh.clone()).or_insert_with(|| Binary {
+            label: label.to_string(),
+            name: path.rsplit('/').next().unwrap_or(path).to_string(),
+            file_hash: fh,
+        });
+    }
+    let binaries: Vec<Binary> = by_hash.into_values().collect();
+
+    let mut out = RecognitionAblation { fuzzy_threshold, ..Default::default() };
+    for i in 0..binaries.len() {
+        for j in (i + 1)..binaries.len() {
+            let (a, b) = (&binaries[i], &binaries[j]);
+            let same_software = a.label == b.label;
+            let name_link = a.name == b.name;
+            let exact_link = a.file_hash == b.file_hash; // never true here: keys were distinct
+            let fuzzy_link = compare(&a.file_hash, &b.file_hash)
+                .map(|s| s >= fuzzy_threshold)
+                .unwrap_or(false);
+
+            if same_software {
+                out.variant_pairs += 1;
+                out.name_hits += u64::from(name_link);
+                out.exact_hits += u64::from(exact_link);
+                out.fuzzy_hits += u64::from(fuzzy_link);
+            } else {
+                out.name_false_links += u64::from(name_link);
+                out.fuzzy_false_links += u64::from(fuzzy_link);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+    use siren_fuzzy::fuzzy_hash;
+
+    #[test]
+    fn byte_similarity_basics() {
+        assert_eq!(byte_similarity(b"", b""), 100);
+        assert_eq!(byte_similarity(b"abcd", b"abcd"), 100);
+        assert_eq!(byte_similarity(b"abcd", b"abxx"), 50);
+        assert_eq!(byte_similarity(b"abcd", b""), 0);
+        assert_eq!(byte_similarity(b"ab", b"abcd"), 50);
+    }
+
+    fn variant_bytes(seed: u64, flips: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        let mut v: Vec<u8> = (0..20_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 24) as u8
+            })
+            .collect();
+        let len = v.len();
+        for i in 0..flips {
+            v[i * 37 % len] ^= 0xFF;
+        }
+        v
+    }
+
+    #[test]
+    fn fuzzy_links_variants_exact_and_name_do_not() {
+        let labeler = Labeler::default();
+        // Two near-identical icon binaries under different names, plus an
+        // unrelated lammps binary.
+        let icon_a = fuzzy_hash(&variant_bytes(1, 0)).to_string_repr();
+        let icon_b = fuzzy_hash(&variant_bytes(1, 30)).to_string_repr();
+        let lmp = fuzzy_hash(&variant_bytes(999_999, 0)).to_string_repr();
+
+        let records = vec![
+            record(1, 1, "u4", "/users/u4/icon-model/build_0/bin/icon", Some(&icon_a), None, None, 1),
+            record(2, 2, "u4", "/users/u4/icon-model/build_1/bin/icon_atm", Some(&icon_b), None, None, 2),
+            record(3, 3, "u2", "/users/u2/lammps/build/lmp", Some(&lmp), None, None, 3),
+        ];
+        let abl = recognition_ablation(&records, &labeler, 60);
+        assert_eq!(abl.variant_pairs, 1); // the two icon binaries
+        assert_eq!(abl.exact_hits, 0, "distinct binaries never match exactly");
+        assert_eq!(abl.name_hits, 0, "different file names");
+        assert_eq!(abl.fuzzy_hits, 1, "fuzzy must link the variants");
+        assert_eq!(abl.fuzzy_false_links, 0);
+    }
+
+    #[test]
+    fn name_collisions_counted_as_false_links() {
+        let labeler = Labeler::default();
+        let a = fuzzy_hash(&variant_bytes(1, 0)).to_string_repr();
+        let b = fuzzy_hash(&variant_bytes(2_000_000, 0)).to_string_repr();
+        // Same file name "lmp" vs a gromacs binary also named... use equal
+        // names across different softwares:
+        let records = vec![
+            record(1, 1, "u", "/users/u/lammps/run/app", Some(&a), None, None, 1),
+            record(2, 2, "u", "/users/u/gromacs/run/app", Some(&b), None, None, 2),
+        ];
+        let abl = recognition_ablation(&records, &labeler, 60);
+        assert_eq!(abl.variant_pairs, 0);
+        assert_eq!(abl.name_false_links, 1);
+    }
+
+    #[test]
+    fn unknown_records_excluded_from_ground_truth() {
+        let labeler = Labeler::default();
+        let a = fuzzy_hash(&variant_bytes(1, 0)).to_string_repr();
+        let records =
+            vec![record(1, 1, "u", "/scratch/x/a.out", Some(&a), None, None, 1)];
+        let abl = recognition_ablation(&records, &labeler, 60);
+        assert_eq!(abl.variant_pairs, 0);
+    }
+
+    #[test]
+    fn render_mentions_all_methods() {
+        let out = RecognitionAblation { variant_pairs: 10, fuzzy_hits: 9, fuzzy_threshold: 60, ..Default::default() }.render();
+        for m in ["name-based", "exact-hash", "fuzzy-hash"] {
+            assert!(out.contains(m));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Figure 2 — derived and filtered shared objects of user applications.
+
+use crate::render::{group_digits, render_table};
+use crate::{category_of, RecordCategory};
+use siren_consolidate::ProcessRecord;
+use siren_text::SubstringDeriver;
+use std::collections::{HashMap, HashSet};
+
+/// One Figure-2 bar: a derived library label with its four series values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedLibRow {
+    /// Derived combination label (e.g. `hdf5-fortran-parallel-cray`).
+    pub library: String,
+    /// Distinct users whose applications loaded it.
+    pub unique_users: u64,
+    /// Jobs.
+    pub job_count: u64,
+    /// Processes.
+    pub process_count: u64,
+    /// Distinct executables (by `FILE_H`, falling back to the path hash
+    /// when the file hash is unavailable).
+    pub unique_executables: u64,
+}
+
+/// Compute Figure 2 over user-directory records.
+pub fn derived_library_stats(
+    records: &[ProcessRecord],
+    deriver: &SubstringDeriver,
+) -> Vec<DerivedLibRow> {
+    struct Acc {
+        users: HashSet<String>,
+        jobs: HashSet<u64>,
+        procs: u64,
+        exes: HashSet<String>,
+    }
+    let mut by_lib: HashMap<String, Acc> = HashMap::new();
+    let mut first_seen: Vec<String> = Vec::new();
+
+    for rec in records {
+        if category_of(rec) != RecordCategory::User {
+            continue;
+        }
+        let Some(objects) = &rec.objects else { continue };
+        let labels = deriver.derive_all(objects);
+        let exe_id = rec
+            .file_hash
+            .clone()
+            .unwrap_or_else(|| rec.key.exe_hash.clone());
+        for label in labels {
+            if !by_lib.contains_key(&label) {
+                first_seen.push(label.clone());
+            }
+            let acc = by_lib.entry(label).or_insert_with(|| Acc {
+                users: HashSet::new(),
+                jobs: HashSet::new(),
+                procs: 0,
+                exes: HashSet::new(),
+            });
+            if let Some(u) = rec.user() {
+                acc.users.insert(u.to_string());
+            }
+            acc.jobs.insert(rec.key.job_id);
+            acc.procs += 1;
+            acc.exes.insert(exe_id.clone());
+        }
+    }
+
+    // Order: descending unique users, then process count (the figure's
+    // visual ordering is roughly by prevalence).
+    let mut rows: Vec<DerivedLibRow> = by_lib
+        .into_iter()
+        .map(|(library, acc)| DerivedLibRow {
+            library,
+            unique_users: acc.users.len() as u64,
+            job_count: acc.jobs.len() as u64,
+            process_count: acc.procs,
+            unique_executables: acc.exes.len() as u64,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        (b.unique_users, b.process_count, &a.library).cmp(&(
+            a.unique_users,
+            a.process_count,
+            &b.library,
+        ))
+    });
+    rows
+}
+
+/// Render Figure 2 as a data table.
+pub fn render_derived_libs(rows: &[DerivedLibRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.library.clone(),
+                r.unique_users.to_string(),
+                group_digits(r.job_count),
+                group_digits(r.process_count),
+                r.unique_executables.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Figure 2: Derived and filtered shared objects (data series)",
+        &["Library", "Users", "Jobs", "Processes", "Unique Executables"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+
+    fn user_rec(job: u64, pid: u32, user: &str, fh: &str, objs: Vec<&str>) -> ProcessRecord {
+        record(job, pid, user, "/users/x/app/bin/tool", Some(fh), Some(objs), None, job)
+    }
+
+    #[test]
+    fn derives_and_aggregates() {
+        let d = SubstringDeriver::paper();
+        let records = vec![
+            user_rec(
+                1,
+                1,
+                "a",
+                "3:f1:x",
+                vec!["/opt/siren/lib/siren.so", "/lib64/libpthread.so.0", "/lib64/libc.so.6"],
+            ),
+            user_rec(
+                2,
+                2,
+                "b",
+                "3:f2:x",
+                vec!["/opt/siren/lib/siren.so", "/opt/cray/pe/hdf5/1.12/lib/libhdf5.so.200"],
+            ),
+        ];
+        let rows = derived_library_stats(&records, &d);
+        let siren = rows.iter().find(|r| r.library == "siren").unwrap();
+        assert_eq!(siren.unique_users, 2);
+        assert_eq!(siren.process_count, 2);
+        assert_eq!(siren.unique_executables, 2);
+        let pthread = rows.iter().find(|r| r.library == "pthread").unwrap();
+        assert_eq!(pthread.unique_users, 1);
+        let hdf5 = rows.iter().find(|r| r.library == "hdf5-cray").unwrap();
+        assert_eq!(hdf5.unique_users, 1);
+        // libc derives to nothing and must not appear.
+        assert!(rows.iter().all(|r| !r.library.contains("libc")));
+    }
+
+    #[test]
+    fn siren_loaded_by_everything_ranks_first() {
+        let d = SubstringDeriver::paper();
+        let records: Vec<ProcessRecord> = (0..5)
+            .map(|i| {
+                user_rec(
+                    i,
+                    i as u32,
+                    &format!("u{i}"),
+                    "3:f:x",
+                    vec!["/opt/siren/lib/siren.so", "/lib64/libpthread.so.0"],
+                )
+            })
+            .collect();
+        let rows = derived_library_stats(&records, &d);
+        // siren and pthread tie on every count here; both must lead.
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.unique_users == 5));
+        assert!(rows.iter().any(|r| r.library == "siren"));
+    }
+
+    #[test]
+    fn system_records_excluded() {
+        let d = SubstringDeriver::paper();
+        let rec = record(
+            1,
+            1,
+            "a",
+            "/usr/bin/bash",
+            None,
+            Some(vec!["/opt/siren/lib/siren.so"]),
+            None,
+            1,
+        );
+        assert!(derived_library_stats(&[rec], &d).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! # siren-analysis — the paper's §4 analysis layer
+//!
+//! Every table and figure of the evaluation, as a typed computation over
+//! consolidated [`ProcessRecord`]s:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`usage`] | Table 2 — users, jobs, processes by category |
+//! | [`system_usage`] | Table 3 — top system executables; Table 4 — library-set variants |
+//! | [`labels`] | Table 5 — derived software labels for user executables |
+//! | [`compilers`] | Table 6 — compiler combinations |
+//! | [`similarity`] | Table 7 — similarity search identifying UNKNOWN |
+//! | [`python_stats`] | Table 8 — Python interpreters; Figure 3 — imported packages |
+//! | [`derived_libs`] | Figure 2 — derived/filtered shared objects |
+//! | [`matrix`] | Figures 4 & 5 — compiler × label and library × label matrices |
+//! | [`baseline`] | §5 ablations — name-based / exact-hash / byte-level baselines |
+//!
+//! Each computation returns a plain struct of rows; `render()` methods
+//! produce the paper-style text tables the experiment harness prints.
+
+pub mod baseline;
+pub mod clusterize;
+pub mod compilers;
+pub mod derived_libs;
+pub mod labels;
+pub mod matrix;
+pub mod python_stats;
+pub mod recurrence;
+pub mod render;
+pub mod security;
+pub mod similarity;
+pub mod system_usage;
+pub mod usage;
+
+pub use baseline::{byte_similarity, RecognitionAblation};
+pub use clusterize::{cluster_binaries, clustering_quality, ClusterQuality, Clustering, UnionFind};
+pub use compilers::{compiler_table, normalize_compiler, CompilerRow};
+pub use derived_libs::{derived_library_stats, DerivedLibRow};
+pub use labels::{default_label_rules, label_table, LabelRow, Labeler};
+pub use matrix::{compiler_matrix, library_matrix, BinaryMatrix};
+pub use python_stats::{interpreter_table, package_stats, InterpreterRow, PackageRow};
+pub use recurrence::{recurrence_summary, recurrence_table, RecurrenceRow, RecurrenceSummary};
+pub use security::{audit_python_imports, Advisory, SecurityReport, ADVISORY_DB};
+pub use similarity::{similarity_search_table, SimilarityRow};
+pub use system_usage::{library_variant_table, system_table, LibraryVariantRow, SystemRow};
+pub use usage::{usage_table, UsageRow};
+
+use siren_consolidate::ProcessRecord;
+
+/// Process category, re-derived from the consolidated record (the
+/// analysis layer cannot see collector internals — only the data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordCategory {
+    /// Executable in a system directory.
+    System,
+    /// Executable elsewhere.
+    User,
+    /// Python interpreter in a system directory.
+    Python,
+    /// Metadata lost; category unknown.
+    Unknown,
+}
+
+/// Categorize one record.
+pub fn category_of(rec: &ProcessRecord) -> RecordCategory {
+    let Some(path) = rec.exe_path() else {
+        return RecordCategory::Unknown;
+    };
+    const SYSTEM_DIRS: &[&str] = &[
+        "/etc/", "/dev/", "/usr/", "/bin/", "/boot/", "/lib/", "/opt/", "/sbin/", "/sys/",
+        "/proc/", "/var/",
+    ];
+    let in_system = SYSTEM_DIRS.iter().any(|d| path.starts_with(d));
+    if !in_system {
+        RecordCategory::User
+    } else if rec.is_python_interpreter() {
+        RecordCategory::Python
+    } else {
+        RecordCategory::System
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use siren_consolidate::{parse_kv, ProcessRecord};
+    use siren_db::Record;
+    use siren_wire::{Layer, MessageType};
+
+    /// Build a minimal consolidated record for analysis tests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        job: u64,
+        pid: u32,
+        user: &str,
+        path: &str,
+        file_hash: Option<&str>,
+        objects: Option<Vec<&str>>,
+        compilers: Option<Vec<&str>>,
+        time: u64,
+    ) -> ProcessRecord {
+        let row = Record {
+            job_id: job,
+            step_id: 0,
+            pid,
+            exe_hash: format!("{path}-{pid}"),
+            host: "nid1".into(),
+            time,
+            layer: Layer::SelfExe,
+            mtype: MessageType::Meta,
+            content: String::new(),
+        };
+        let mut rec = ProcessRecord::new(&row);
+        rec.meta = parse_kv(&format!("path={path};uid=1000;user={user}"));
+        rec.file_hash = file_hash.map(|s| s.to_string());
+        rec.objects = objects.map(|v| v.into_iter().map(|s| s.to_string()).collect());
+        rec.compilers = compilers.map(|v| v.into_iter().map(|s| s.to_string()).collect());
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::record;
+
+    #[test]
+    fn category_derivation() {
+        let sys = record(1, 1, "u", "/usr/bin/bash", None, None, None, 0);
+        let user = record(1, 2, "u", "/users/u/app", None, None, None, 0);
+        let py = record(1, 3, "u", "/usr/bin/python3.10", None, None, None, 0);
+        assert_eq!(category_of(&sys), RecordCategory::System);
+        assert_eq!(category_of(&user), RecordCategory::User);
+        assert_eq!(category_of(&py), RecordCategory::Python);
+
+        let mut lost = record(1, 4, "u", "/x", None, None, None, 0);
+        lost.meta.clear();
+        assert_eq!(category_of(&lost), RecordCategory::Unknown);
+    }
+}

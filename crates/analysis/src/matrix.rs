@@ -1,0 +1,212 @@
+//! Figures 4 & 5 — boolean usage matrices: software label × compiler, and
+//! software label × derived library.
+
+use crate::compilers::compiler_combo;
+use crate::labels::{Labeler, UNKNOWN_LABEL};
+use crate::{category_of, RecordCategory};
+use siren_consolidate::ProcessRecord;
+use siren_text::SubstringDeriver;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A boolean matrix with labeled axes (rows = software labels, columns =
+/// compilers or libraries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryMatrix {
+    /// Row labels, sorted.
+    pub rows: Vec<String>,
+    /// Column labels, in presentation order.
+    pub cols: Vec<String>,
+    /// `cells[r][c] == true` ⇔ software `rows[r]` uses `cols[c]`.
+    pub cells: Vec<Vec<bool>>,
+}
+
+impl BinaryMatrix {
+    fn from_pairs(pairs: BTreeMap<String, BTreeSet<String>>, col_order: &[String]) -> Self {
+        let rows: Vec<String> = pairs.keys().cloned().collect();
+        let cols: Vec<String> = col_order.to_vec();
+        let cells = rows
+            .iter()
+            .map(|r| cols.iter().map(|c| pairs[r].contains(c)).collect())
+            .collect();
+        Self { rows, cols, cells }
+    }
+
+    /// Value at (row label, column label), if both exist.
+    pub fn get(&self, row: &str, col: &str) -> Option<bool> {
+        let r = self.rows.iter().position(|x| x == row)?;
+        let c = self.cols.iter().position(|x| x == col)?;
+        Some(self.cells[r][c])
+    }
+
+    /// Render in the paper's 1/0 grid style.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        let row_w = self.rows.iter().map(|r| r.len()).max().unwrap_or(8).max(8);
+        // Column header block (one line per column, indented) keeps wide
+        // matrices readable in a terminal.
+        for (i, c) in self.cols.iter().enumerate() {
+            out.push_str(&format!("{:>row_w$}  col {i:>2}: {c}\n", ""));
+        }
+        for (r, row_label) in self.rows.iter().enumerate() {
+            out.push_str(&format!("{row_label:>row_w$}  "));
+            for c in 0..self.cols.len() {
+                out.push(if self.cells[r][c] { '1' } else { '0' });
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Figure 4: software label × normalized compiler identification.
+pub fn compiler_matrix(records: &[ProcessRecord], labeler: &Labeler) -> BinaryMatrix {
+    let mut pairs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut col_order: Vec<String> = Vec::new();
+
+    for rec in records {
+        if category_of(rec) != RecordCategory::User {
+            continue;
+        }
+        let Some(path) = rec.exe_path() else { continue };
+        let label = labeler.label(path);
+        if label == UNKNOWN_LABEL {
+            continue; // the paper's Fig. 4 rows are the nine known labels
+        }
+        let Some(combo) = compiler_combo(rec) else { continue };
+        for compiler in combo {
+            if !col_order.contains(&compiler) {
+                col_order.push(compiler.clone());
+            }
+            pairs.entry(label.to_string()).or_default().insert(compiler);
+        }
+    }
+
+    BinaryMatrix::from_pairs(pairs, &col_order)
+}
+
+/// Figure 5: software label × derived library label.
+pub fn library_matrix(
+    records: &[ProcessRecord],
+    labeler: &Labeler,
+    deriver: &SubstringDeriver,
+) -> BinaryMatrix {
+    let mut pairs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut col_order: Vec<String> = Vec::new();
+
+    for rec in records {
+        if category_of(rec) != RecordCategory::User {
+            continue;
+        }
+        let Some(path) = rec.exe_path() else { continue };
+        let label = labeler.label(path);
+        if label == UNKNOWN_LABEL {
+            continue;
+        }
+        let Some(objects) = &rec.objects else { continue };
+        for lib in deriver.derive_all(objects) {
+            if !col_order.contains(&lib) {
+                col_order.push(lib.clone());
+            }
+            pairs.entry(label.to_string()).or_default().insert(lib);
+        }
+    }
+
+    BinaryMatrix::from_pairs(pairs, &col_order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+
+    #[test]
+    fn compiler_matrix_cells() {
+        let labeler = Labeler::default();
+        let records = vec![
+            record(
+                1,
+                1,
+                "a",
+                "/users/a/lammps/lmp",
+                None,
+                None,
+                Some(vec!["GCC: (SUSE Linux) 13", "LLD 17 [AMD ROCm]"]),
+                1,
+            ),
+            record(
+                2,
+                2,
+                "b",
+                "/users/b/gromacs/gmx",
+                None,
+                None,
+                Some(vec!["LLD 17 [AMD ROCm]"]),
+                2,
+            ),
+        ];
+        let m = compiler_matrix(&records, &labeler);
+        assert_eq!(m.get("LAMMPS", "GCC [SUSE]"), Some(true));
+        assert_eq!(m.get("LAMMPS", "LLD [AMD]"), Some(true));
+        assert_eq!(m.get("GROMACS", "GCC [SUSE]"), Some(false));
+        assert_eq!(m.get("GROMACS", "LLD [AMD]"), Some(true));
+    }
+
+    #[test]
+    fn library_matrix_cells() {
+        let labeler = Labeler::default();
+        let deriver = SubstringDeriver::paper();
+        let records = vec![record(
+            1,
+            1,
+            "a",
+            "/users/a/amber22/bin/pmemd.hip",
+            None,
+            Some(vec!["/opt/siren/lib/siren.so", "/opt/cray/pe/hdf5/1/libhdf5.so"]),
+            None,
+            1,
+        )];
+        let m = library_matrix(&records, &labeler, &deriver);
+        assert_eq!(m.get("amber", "siren"), Some(true));
+        assert_eq!(m.get("amber", "hdf5-cray"), Some(true));
+        assert_eq!(m.get("amber", "nonexistent"), None);
+    }
+
+    #[test]
+    fn unknown_label_excluded() {
+        let labeler = Labeler::default();
+        let records = vec![record(
+            1,
+            1,
+            "a",
+            "/scratch/x/a.out",
+            None,
+            None,
+            Some(vec!["GCC: (SUSE Linux) 13"]),
+            1,
+        )];
+        let m = compiler_matrix(&records, &labeler);
+        assert!(m.rows.is_empty());
+    }
+
+    #[test]
+    fn render_grid() {
+        let labeler = Labeler::default();
+        let records = vec![record(
+            1,
+            1,
+            "a",
+            "/users/a/janko/bin/janko",
+            None,
+            None,
+            Some(vec!["GCC: (HPE) 12.2.0"]),
+            1,
+        )];
+        let out = compiler_matrix(&records, &labeler).render("Figure 4");
+        assert!(out.contains("janko"));
+        assert!(out.contains("GCC [HPE]"));
+        assert!(out.contains('1'));
+    }
+}

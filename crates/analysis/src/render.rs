@@ -1,0 +1,100 @@
+//! Plain-text table rendering for experiment output.
+
+/// Render a table: header row + data rows, columns left-aligned except
+/// numeric-looking cells which are right-aligned.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let numeric = |s: &str| {
+        !s.is_empty()
+            && s.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '%' || c == '-')
+    };
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("{:<w$}  ", h, w = widths[i]));
+    }
+    out.push('\n');
+    for w in &widths {
+        out.push_str(&"-".repeat(*w));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            if numeric(cell) {
+                out.push_str(&format!("{:>w$}  ", cell, w = widths[i]));
+            } else {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Thousands separator for readability (the paper prints `13,448`).
+pub fn group_digits(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Render `-` for zero counts, digits otherwise (Table 2 style).
+pub fn dash_zero(n: u64) -> String {
+    if n == 0 {
+        "-".to_string()
+    } else {
+        group_digits(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_grouped() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+        assert_eq!(group_digits(2_317_859), "2,317,859");
+    }
+
+    #[test]
+    fn dash_for_zero() {
+        assert_eq!(dash_zero(0), "-");
+        assert_eq!(dash_zero(5), "5");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let out = render_table(
+            "T",
+            &["name", "count"],
+            &[
+                vec!["alpha".into(), "12".into()],
+                vec!["b".into(), "3,456".into()],
+            ],
+        );
+        assert!(out.contains("alpha"));
+        assert!(out.lines().count() >= 5);
+        // numeric right-aligned under its header width
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[3].contains("   12") || lines[3].contains("12"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Python package security audit — the paper's stated future work (§6):
+//!
+//! > We also plan to cross-reference Python imports against known
+//! > non-secure packages to detect known and potential vulnerabilities.
+//!
+//! Two checks over the imported-package extraction (§4.4):
+//!
+//! * **known-insecure lookup** — imports matched against an advisory
+//!   database (the shape of PyUp's safety-db: package → affected-version
+//!   advisories);
+//! * **slopsquatting watch** — imports that are *not* in the site's known
+//!   package catalog at all. The paper highlights LLM-hallucinated
+//!   dependency names registered by attackers ("slopsquatting"); a
+//!   package nobody vetted appearing in interpreter memory maps is the
+//!   on-system symptom.
+
+use crate::render::render_table;
+use crate::{category_of, RecordCategory};
+use siren_consolidate::ProcessRecord;
+use std::collections::{BTreeMap, HashSet};
+
+/// One advisory in the (simulated) insecure-package database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Advisory {
+    /// Package name.
+    pub package: &'static str,
+    /// Advisory identifier.
+    pub id: &'static str,
+    /// Human-readable summary.
+    pub summary: &'static str,
+}
+
+/// A small advisory database in the shape of safety-db. The entries are
+/// synthetic (the real database is not redistributable), but the lookup
+/// path is the real one.
+pub const ADVISORY_DB: &[Advisory] = &[
+    Advisory {
+        package: "numpy",
+        id: "SIM-2024-0001",
+        summary: "buffer over-read in legacy pickle loading (fixed in 1.26.5)",
+    },
+    Advisory {
+        package: "lzma",
+        id: "SIM-2024-0002",
+        summary: "decompression bomb resource exhaustion in streamed archives",
+    },
+    Advisory {
+        package: "pickle",
+        id: "SIM-2024-0003",
+        summary: "arbitrary code execution on untrusted input (by design; flag usage)",
+    },
+];
+
+/// Audit findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SecurityReport {
+    /// Packages with advisories: package → (advisory id, users, processes).
+    pub insecure: BTreeMap<String, (String, u64, u64)>,
+    /// Mapped extension modules whose package is not in the site catalog:
+    /// potential slopsquats. package-ish token → (users, processes).
+    pub unknown_packages: BTreeMap<String, (u64, u64)>,
+    /// Python interpreter processes examined.
+    pub processes_examined: u64,
+}
+
+impl SecurityReport {
+    /// Render as a report table pair.
+    pub fn render(&self) -> String {
+        let mut insecure_rows: Vec<Vec<String>> = self
+            .insecure
+            .iter()
+            .map(|(pkg, (id, users, procs))| {
+                vec![pkg.clone(), id.clone(), users.to_string(), procs.to_string()]
+            })
+            .collect();
+        if insecure_rows.is_empty() {
+            insecure_rows.push(vec!["(none)".into(), String::new(), String::new(), String::new()]);
+        }
+        let mut unknown_rows: Vec<Vec<String>> = self
+            .unknown_packages
+            .iter()
+            .map(|(pkg, (users, procs))| vec![pkg.clone(), users.to_string(), procs.to_string()])
+            .collect();
+        if unknown_rows.is_empty() {
+            unknown_rows.push(vec!["(none)".into(), String::new(), String::new()]);
+        }
+        format!(
+            "{}\n{}",
+            render_table(
+                &format!(
+                    "Security audit: advisory matches over {} interpreter processes",
+                    self.processes_examined
+                ),
+                &["Package", "Advisory", "Users", "Processes"],
+                &insecure_rows,
+            ),
+            render_table(
+                "Security audit: packages outside the site catalog (slopsquatting watch)",
+                &["Package token", "Users", "Processes"],
+                &unknown_rows,
+            ),
+        )
+    }
+}
+
+/// Extract package-ish tokens from interpreter memory maps, *including*
+/// ones not in the catalog (the slopsquatting check needs exactly the
+/// unknown ones).
+fn map_package_tokens(maps: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for m in maps {
+        // site-packages/<pkg>/...
+        if let Some(idx) = m.find("site-packages/") {
+            let rest = &m[idx + "site-packages/".len()..];
+            if let Some(end) = rest.find('/') {
+                out.push(rest[..end].to_string());
+                continue;
+            }
+        }
+        // lib-dynload/_<pkg>.cpython...
+        if let Some(idx) = m.find("lib-dynload/_") {
+            let rest = &m[idx + "lib-dynload/_".len()..];
+            if let Some(end) = rest.find('.') {
+                out.push(rest[..end].to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Run the audit over Python-interpreter records.
+pub fn audit_python_imports(records: &[ProcessRecord], site_catalog: &[&str]) -> SecurityReport {
+    let catalog: HashSet<&str> = site_catalog.iter().copied().collect();
+    let mut report = SecurityReport::default();
+    let mut insecure_users: BTreeMap<String, HashSet<String>> = BTreeMap::new();
+    let mut unknown_users: BTreeMap<String, HashSet<String>> = BTreeMap::new();
+
+    for rec in records {
+        if category_of(rec) != RecordCategory::Python {
+            continue;
+        }
+        let Some(maps) = &rec.maps else { continue };
+        report.processes_examined += 1;
+        let user = rec.user().unwrap_or("?").to_string();
+
+        for token in map_package_tokens(maps) {
+            if let Some(adv) = ADVISORY_DB.iter().find(|a| a.package == token) {
+                let entry = report
+                    .insecure
+                    .entry(token.clone())
+                    .or_insert_with(|| (adv.id.to_string(), 0, 0));
+                entry.2 += 1;
+                insecure_users.entry(token.clone()).or_default().insert(user.clone());
+            } else if !catalog.contains(token.as_str()) {
+                let entry = report.unknown_packages.entry(token.clone()).or_insert((0, 0));
+                entry.1 += 1;
+                unknown_users.entry(token.clone()).or_default().insert(user.clone());
+            }
+        }
+    }
+
+    for (pkg, users) in insecure_users {
+        if let Some(e) = report.insecure.get_mut(&pkg) {
+            e.1 = users.len() as u64;
+        }
+    }
+    for (pkg, users) in unknown_users {
+        if let Some(e) = report.unknown_packages.get_mut(&pkg) {
+            e.0 = users.len() as u64;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+
+    fn py_rec(job: u64, pid: u32, user: &str, maps: Vec<&str>) -> ProcessRecord {
+        let mut r = record(job, pid, user, "/usr/bin/python3.10", None, None, None, job);
+        r.maps = Some(maps.into_iter().map(|s| s.to_string()).collect());
+        r
+    }
+
+    const CATALOG: &[&str] = &["heapq", "numpy", "pandas"];
+
+    #[test]
+    fn advisory_match_found() {
+        let records = vec![py_rec(
+            1,
+            1,
+            "a",
+            vec!["/usr/lib64/python3.10/site-packages/numpy/core/_impl.so"],
+        )];
+        let report = audit_python_imports(&records, CATALOG);
+        assert!(report.insecure.contains_key("numpy"));
+        let (id, users, procs) = &report.insecure["numpy"];
+        assert_eq!(id, "SIM-2024-0001");
+        assert_eq!((*users, *procs), (1, 1));
+        assert!(report.unknown_packages.is_empty());
+    }
+
+    #[test]
+    fn unknown_package_flagged_as_slopsquat_candidate() {
+        let records = vec![
+            py_rec(1, 1, "a", vec!["/usr/lib64/python3.10/site-packages/pandsa/x.so"]),
+            py_rec(2, 2, "b", vec!["/usr/lib64/python3.10/site-packages/pandsa/x.so"]),
+        ];
+        let report = audit_python_imports(&records, CATALOG);
+        assert_eq!(report.unknown_packages["pandsa"], (2, 2));
+        assert!(report.insecure.is_empty());
+    }
+
+    #[test]
+    fn catalog_packages_without_advisories_are_clean() {
+        let records = vec![py_rec(
+            1,
+            1,
+            "a",
+            vec!["/usr/lib64/python3.10/lib-dynload/_heapq.cpython-310.so"],
+        )];
+        let report = audit_python_imports(&records, CATALOG);
+        assert!(report.insecure.is_empty());
+        assert!(report.unknown_packages.is_empty());
+        assert_eq!(report.processes_examined, 1);
+    }
+
+    #[test]
+    fn non_python_records_ignored() {
+        let mut r = record(1, 1, "a", "/usr/bin/bash", None, None, None, 1);
+        r.maps = Some(vec!["/usr/lib64/python3.10/site-packages/numpy/x.so".into()]);
+        let report = audit_python_imports(&[r], CATALOG);
+        assert_eq!(report.processes_examined, 0);
+        assert!(report.insecure.is_empty());
+    }
+
+    #[test]
+    fn render_includes_both_sections() {
+        let out = SecurityReport::default().render();
+        assert!(out.contains("advisory matches"));
+        assert!(out.contains("slopsquatting watch"));
+        assert!(out.contains("(none)"));
+    }
+}

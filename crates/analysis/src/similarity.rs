@@ -1,0 +1,270 @@
+//! Table 7 — similarity search: identifying an UNKNOWN executable.
+//!
+//! Given a baseline record (the UNKNOWN instance), every other record is
+//! scored on six fuzzy-hash dimensions — `MO_H` (modules), `CO_H`
+//! (compilers), `OB_H` (objects), `FI_H` (raw file), `ST_H` (strings),
+//! `SY_H` (symbols) — and ranked by the average. A missing hash on either
+//! side scores 0 for that column, exactly like the zero cells in the
+//! paper's table (lost or absent data weakens but does not preclude a
+//! match; that is the stated reason the list-valued categories are hashed
+//! at all).
+
+use crate::labels::Labeler;
+use crate::render::render_table;
+use crate::{category_of, RecordCategory};
+use siren_consolidate::ProcessRecord;
+use siren_fuzzy::compare;
+
+/// One Table-7 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityRow {
+    /// Index of the compared record in the input slice.
+    pub record_index: usize,
+    /// Derived label of the compared record (`icon`, `UNKNOWN`, …).
+    pub label: String,
+    /// Average over the six columns.
+    pub avg: f64,
+    /// Modules-hash similarity.
+    pub mo: u32,
+    /// Compilers-hash similarity.
+    pub co: u32,
+    /// Objects-hash similarity.
+    pub ob: u32,
+    /// Raw-file-hash similarity.
+    pub fi: u32,
+    /// Strings-hash similarity.
+    pub st: u32,
+    /// Symbols-hash similarity.
+    pub sy: u32,
+}
+
+fn score(a: &Option<String>, b: &Option<String>) -> u32 {
+    match (a, b) {
+        (Some(x), Some(y)) => compare(x, y).unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// Rank all *user-directory* records against `baseline` by six-way fuzzy
+/// similarity. The baseline itself is excluded, as are other records
+/// sharing the baseline's (unknown) label — §4.3 searches for "the most
+/// similar **known** case". Only records with at least one scoring
+/// column > 0 appear. Sorted by average descending (ties by record index
+/// for determinism); at most `limit` rows.
+pub fn similarity_search_table(
+    records: &[ProcessRecord],
+    baseline: &ProcessRecord,
+    labeler: &Labeler,
+    limit: usize,
+) -> Vec<SimilarityRow> {
+    let baseline_label = baseline
+        .exe_path()
+        .map(|p| labeler.label(p).to_string())
+        .unwrap_or_else(|| crate::labels::UNKNOWN_LABEL.to_string());
+    let mut rows: Vec<SimilarityRow> = Vec::new();
+
+    for (idx, rec) in records.iter().enumerate() {
+        if std::ptr::eq(rec, baseline) {
+            continue;
+        }
+        if category_of(rec) != RecordCategory::User {
+            continue;
+        }
+        // Skip other observations of the *same executable instance* (same
+        // path hash): Table 7 compares against other binaries, and
+        // repeated executions of the baseline itself are uninformative.
+        if rec.key.exe_hash == baseline.key.exe_hash {
+            continue;
+        }
+
+        let mo = score(&rec.modules_hash, &baseline.modules_hash);
+        let co = score(&rec.compilers_hash, &baseline.compilers_hash);
+        let ob = score(&rec.objects_hash, &baseline.objects_hash);
+        let fi = score(&rec.file_hash, &baseline.file_hash);
+        let st = score(&rec.strings_hash, &baseline.strings_hash);
+        let sy = score(&rec.symbols_hash, &baseline.symbols_hash);
+        let sum = mo + co + ob + fi + st + sy;
+        if sum == 0 {
+            continue;
+        }
+
+        let label = rec.exe_path().map(|p| labeler.label(p).to_string()).unwrap_or_default();
+        if label == baseline_label {
+            continue; // only *known* candidates identify the unknown
+        }
+        rows.push(SimilarityRow {
+            record_index: idx,
+            label,
+            avg: f64::from(sum) / 6.0,
+            mo,
+            co,
+            ob,
+            fi,
+            st,
+            sy,
+        });
+    }
+
+    rows.sort_by(|a, b| {
+        b.avg
+            .partial_cmp(&a.avg)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.record_index.cmp(&b.record_index))
+    });
+    // Deduplicate identical executables (same scores arise from repeated
+    // runs of one binary); keep one row per distinct score vector + label
+    // would hide real duplicates the paper shows, so instead dedup by the
+    // compared record's executable identity.
+    let mut seen_exes = std::collections::HashSet::new();
+    rows.retain(|r| {
+        let exe = records[r.record_index].key.exe_hash.clone();
+        seen_exes.insert(exe)
+    });
+    rows.truncate(limit);
+    rows
+}
+
+/// Render Table 7.
+pub fn render_similarity(rows: &[SimilarityRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.1}", r.avg),
+                r.mo.to_string(),
+                r.co.to_string(),
+                r.ob.to_string(),
+                r.fi.to_string(),
+                r.st.to_string(),
+                r.sy.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table 7: Similarity search result for <unknown> case",
+        &["Label", "Avg. Sim.", "MO_H", "CO_H", "OB_H", "FI_H", "ST_H", "SY_H"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+    use siren_fuzzy::fuzzy_hash;
+
+    fn hashed(data_seed: u64, len: usize) -> String {
+        let mut x = data_seed | 1;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 24) as u8
+            })
+            .collect();
+        fuzzy_hash(&bytes).to_string_repr()
+    }
+
+    fn rec_with_hashes(
+        job: u64,
+        pid: u32,
+        path: &str,
+        fi: &str,
+        sy: &str,
+    ) -> ProcessRecord {
+        let mut r = record(job, pid, "user_4", path, Some(fi), None, None, job);
+        r.symbols_hash = Some(sy.to_string());
+        r
+    }
+
+    #[test]
+    fn identical_hashes_rank_first_with_100s() {
+        let labeler = Labeler::default();
+        let fi = hashed(7, 20_000);
+        let sy = hashed(9, 2_000);
+        let baseline = rec_with_hashes(1, 1, "/scratch/p/a.out", &fi, &sy);
+        let records = vec![
+            rec_with_hashes(2, 2, "/users/u4/icon-model/build_0/bin/icon", &fi, &sy),
+            rec_with_hashes(3, 3, "/users/u4/icon-model/build_9/bin/icon", &hashed(1234, 20_000), &sy),
+            rec_with_hashes(4, 4, "/users/u2/lammps/build/lmp", &hashed(999, 20_000), &hashed(5, 2_000)),
+        ];
+        let rows = similarity_search_table(&records, &baseline, &labeler, 10);
+        assert!(!rows.is_empty());
+        assert_eq!(rows[0].label, "icon");
+        assert_eq!(rows[0].fi, 100);
+        assert_eq!(rows[0].sy, 100);
+        // The partial match ranks below the perfect one.
+        if rows.len() > 1 {
+            assert!(rows[0].avg >= rows[1].avg);
+        }
+    }
+
+    #[test]
+    fn missing_hashes_score_zero_not_error() {
+        let labeler = Labeler::default();
+        let baseline = rec_with_hashes(1, 1, "/scratch/p/a.out", &hashed(7, 20_000), &hashed(9, 2_000));
+        let mut partial = rec_with_hashes(
+            2,
+            2,
+            "/users/u4/icon-model/build_0/bin/icon",
+            &hashed(7, 20_000),
+            &hashed(9, 2_000),
+        );
+        partial.symbols_hash = None; // SY column lost
+        let rows = similarity_search_table(&[partial], &baseline, &labeler, 10);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].sy, 0);
+        assert_eq!(rows[0].fi, 100);
+    }
+
+    #[test]
+    fn same_executable_instances_deduplicated() {
+        let labeler = Labeler::default();
+        let fi = hashed(7, 20_000);
+        let sy = hashed(9, 2_000);
+        let baseline = rec_with_hashes(1, 1, "/scratch/p/a.out", &fi, &sy);
+        // Two runs of the same icon binary (same exe path => same exe_hash
+        // in testutil), plus one distinct one.
+        let r1 = rec_with_hashes(2, 2, "/users/u4/icon-model/build_0/bin/icon", &fi, &sy);
+        let mut r2 = rec_with_hashes(3, 3, "/users/u4/icon-model/build_0/bin/icon", &fi, &sy);
+        r2.key.exe_hash = r1.key.exe_hash.clone();
+        let rows = similarity_search_table(&[r1, r2], &baseline, &labeler, 10);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_records_absent() {
+        let labeler = Labeler::default();
+        let baseline = rec_with_hashes(1, 1, "/scratch/p/a.out", &hashed(7, 20_000), &hashed(9, 2_000));
+        let stranger = rec_with_hashes(
+            2,
+            2,
+            "/users/u9/alexandria/bin/alexandria",
+            &hashed(100_001, 20_000),
+            &hashed(100_002, 2_000),
+        );
+        let rows = similarity_search_table(&[stranger], &baseline, &labeler, 10);
+        assert!(rows.is_empty(), "all-zero rows must be filtered: {rows:?}");
+    }
+
+    #[test]
+    fn render_has_all_columns() {
+        let rows = vec![SimilarityRow {
+            record_index: 0,
+            label: "icon".into(),
+            avg: 100.0,
+            mo: 100,
+            co: 100,
+            ob: 100,
+            fi: 100,
+            st: 100,
+            sy: 100,
+        }];
+        let out = render_similarity(&rows);
+        for col in ["MO_H", "CO_H", "OB_H", "FI_H", "ST_H", "SY_H"] {
+            assert!(out.contains(col));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Tables 3 & 4 — system-directory executables and their library-set
+//! variants.
+
+use crate::render::{group_digits, render_table};
+use crate::{category_of, RecordCategory};
+use siren_consolidate::ProcessRecord;
+use std::collections::{HashMap, HashSet};
+
+/// One Table-3 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemRow {
+    /// Executable path.
+    pub path: String,
+    /// Distinct users who ran it.
+    pub unique_users: u64,
+    /// Jobs containing at least one process of it.
+    pub job_count: u64,
+    /// Process count.
+    pub process_count: u64,
+    /// Distinct `OBJECTS_H` values (library-set variants).
+    pub unique_objects_h: u64,
+}
+
+/// Compute Table 3 over all system-directory records. Sorted as in the
+/// paper: descending by unique users, then jobs, processes, OBJECTS_H.
+pub fn system_table(records: &[ProcessRecord]) -> Vec<SystemRow> {
+    struct Acc {
+        users: HashSet<String>,
+        jobs: HashSet<u64>,
+        procs: u64,
+        objects_h: HashSet<String>,
+    }
+    let mut by_exe: HashMap<String, Acc> = HashMap::new();
+
+    for rec in records {
+        if category_of(rec) != RecordCategory::System {
+            continue;
+        }
+        let Some(path) = rec.exe_path() else { continue };
+        let acc = by_exe.entry(path.to_string()).or_insert_with(|| Acc {
+            users: HashSet::new(),
+            jobs: HashSet::new(),
+            procs: 0,
+            objects_h: HashSet::new(),
+        });
+        if let Some(u) = rec.user() {
+            acc.users.insert(u.to_string());
+        }
+        acc.jobs.insert(rec.key.job_id);
+        acc.procs += 1;
+        if let Some(h) = &rec.objects_hash {
+            acc.objects_h.insert(h.clone());
+        }
+    }
+
+    let mut rows: Vec<SystemRow> = by_exe
+        .into_iter()
+        .map(|(path, acc)| SystemRow {
+            path,
+            unique_users: acc.users.len() as u64,
+            job_count: acc.jobs.len() as u64,
+            process_count: acc.procs,
+            unique_objects_h: acc.objects_h.len() as u64,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        (b.unique_users, b.job_count, b.process_count, b.unique_objects_h, &a.path).cmp(&(
+            a.unique_users,
+            a.job_count,
+            a.process_count,
+            a.unique_objects_h,
+            &b.path,
+        ))
+    });
+    rows
+}
+
+/// One Table-4 row: a distinct loaded-object set of one executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryVariantRow {
+    /// Executable path.
+    pub path: String,
+    /// Processes that loaded exactly this set.
+    pub processes: u64,
+    /// The deviating libraries (those not common to all variants of this
+    /// executable).
+    pub deviating: Vec<String>,
+}
+
+/// Compute Table 4 for one executable: its distinct loaded-object sets
+/// with process counts, highlighting the libraries that deviate between
+/// variants. Sorted by process count descending.
+pub fn library_variant_table(records: &[ProcessRecord], exe_path: &str) -> Vec<LibraryVariantRow> {
+    let mut by_set: HashMap<Vec<String>, u64> = HashMap::new();
+    for rec in records {
+        if rec.exe_path() != Some(exe_path) {
+            continue;
+        }
+        let Some(objs) = &rec.objects else { continue };
+        *by_set.entry(objs.clone()).or_insert(0) += 1;
+    }
+    if by_set.is_empty() {
+        return Vec::new();
+    }
+
+    // Libraries present in every variant are "common"; the rest deviate.
+    let sets: Vec<&Vec<String>> = by_set.keys().collect();
+    let common: HashSet<&String> = sets
+        .iter()
+        .skip(1)
+        .fold(sets[0].iter().collect::<HashSet<_>>(), |acc, s| {
+            acc.intersection(&s.iter().collect()).copied().collect()
+        });
+
+    let mut rows: Vec<LibraryVariantRow> = by_set
+        .iter()
+        .map(|(set, &count)| LibraryVariantRow {
+            path: exe_path.to_string(),
+            processes: count,
+            deviating: set.iter().filter(|l| !common.contains(l)).cloned().collect(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.processes.cmp(&a.processes).then(a.deviating.cmp(&b.deviating)));
+    rows
+}
+
+/// Render Table 3 (top `n` rows).
+pub fn render_system(rows: &[SystemRow], n: usize) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .take(n)
+        .map(|r| {
+            vec![
+                r.path.clone(),
+                r.unique_users.to_string(),
+                group_digits(r.job_count),
+                group_digits(r.process_count),
+                r.unique_objects_h.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &format!("Table 3: Top {n} system-directory executables ({} total)", rows.len()),
+        &["Executable", "Users", "Jobs", "Processes", "Unique OBJECTS_H"],
+        &body,
+    )
+}
+
+/// Render Table 4.
+pub fn render_library_variants(rows: &[LibraryVariantRow]) -> String {
+    let total: u64 = rows.iter().map(|r| r.processes).sum();
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.path.clone(),
+                group_digits(r.processes),
+                if r.deviating.is_empty() { "(common set only)".into() } else { r.deviating.join(" ") },
+            ]
+        })
+        .collect();
+    body.push(vec!["Total".into(), group_digits(total), String::new()]);
+    render_table(
+        "Table 4: Distinct sets of shared objects",
+        &["Executable", "Processes", "Deviating libraries"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+
+    fn sys_rec(job: u64, pid: u32, user: &str, path: &str, objs: Vec<&str>, oh: &str) -> ProcessRecord {
+        let mut r = record(job, pid, user, path, None, Some(objs), None, job);
+        r.objects_hash = Some(oh.to_string());
+        r
+    }
+
+    #[test]
+    fn table3_counts_and_sorting() {
+        let records = vec![
+            sys_rec(1, 1, "a", "/usr/bin/bash", vec!["/l/t.so"], "h1"),
+            sys_rec(1, 2, "b", "/usr/bin/bash", vec!["/l/t.so"], "h1"),
+            sys_rec(2, 3, "a", "/usr/bin/bash", vec!["/l/t2.so"], "h2"),
+            sys_rec(2, 4, "a", "/usr/bin/rm", vec![], "h3"),
+            // user-dir process must not appear
+            record(3, 5, "a", "/users/a/app", None, None, None, 3),
+        ];
+        let rows = system_table(&records);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].path, "/usr/bin/bash");
+        assert_eq!(rows[0].unique_users, 2);
+        assert_eq!(rows[0].job_count, 2);
+        assert_eq!(rows[0].process_count, 3);
+        assert_eq!(rows[0].unique_objects_h, 2);
+        assert_eq!(rows[1].path, "/usr/bin/rm");
+    }
+
+    #[test]
+    fn python_interpreters_excluded_from_table3() {
+        let records = vec![sys_rec(1, 1, "a", "/usr/bin/python3.10", vec![], "h")];
+        assert!(system_table(&records).is_empty());
+    }
+
+    #[test]
+    fn table4_identifies_deviating_libraries() {
+        let records = vec![
+            sys_rec(1, 1, "a", "/usr/bin/bash", vec!["/lib64/libtinfo.so.6", "/lib64/libc.so.6"], "h1"),
+            sys_rec(1, 2, "a", "/usr/bin/bash", vec!["/lib64/libtinfo.so.6", "/lib64/libc.so.6"], "h1"),
+            sys_rec(
+                2,
+                3,
+                "b",
+                "/usr/bin/bash",
+                vec!["/appl/SW/ncurses/libtinfo.so.6", "/lib64/libm.so.6", "/lib64/libc.so.6"],
+                "h2",
+            ),
+        ];
+        let rows = library_variant_table(&records, "/usr/bin/bash");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].processes, 2);
+        assert_eq!(rows[0].deviating, vec!["/lib64/libtinfo.so.6"]);
+        assert!(rows[1].deviating.contains(&"/lib64/libm.so.6".to_string()));
+        // libc is common to both variants and must not be listed.
+        assert!(!rows[1].deviating.contains(&"/lib64/libc.so.6".to_string()));
+    }
+
+    #[test]
+    fn table4_empty_for_unknown_exe() {
+        assert!(library_variant_table(&[], "/usr/bin/none").is_empty());
+    }
+
+    #[test]
+    fn renders() {
+        let records = vec![sys_rec(1, 1, "a", "/usr/bin/bash", vec!["/l.so"], "h1")];
+        let t3 = render_system(&system_table(&records), 10);
+        assert!(t3.contains("/usr/bin/bash"));
+        let t4 = render_library_variants(&library_variant_table(&records, "/usr/bin/bash"));
+        assert!(t4.contains("Total"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Table 2 — "Data about users' jobs and processes".
+
+use crate::render::{dash_zero, group_digits, render_table};
+use crate::{category_of, RecordCategory};
+use siren_consolidate::ProcessRecord;
+use std::collections::{HashMap, HashSet};
+
+/// One Table-2 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageRow {
+    /// Anonymized user name.
+    pub user: String,
+    /// Jobs submitted by this user.
+    pub jobs: u64,
+    /// System-directory processes.
+    pub system_procs: u64,
+    /// User-directory processes.
+    pub user_procs: u64,
+    /// Python processes.
+    pub python_procs: u64,
+}
+
+/// Compute Table 2. Rows sorted as in the paper: descending by job count,
+/// then system / user / Python process counts.
+pub fn usage_table(records: &[ProcessRecord]) -> Vec<UsageRow> {
+    struct Acc {
+        jobs: HashSet<u64>,
+        system: u64,
+        user: u64,
+        python: u64,
+    }
+    let mut by_user: HashMap<String, Acc> = HashMap::new();
+
+    for rec in records {
+        let Some(user) = rec.user() else { continue };
+        let acc = by_user.entry(user.to_string()).or_insert_with(|| Acc {
+            jobs: HashSet::new(),
+            system: 0,
+            user: 0,
+            python: 0,
+        });
+        acc.jobs.insert(rec.key.job_id);
+        match category_of(rec) {
+            RecordCategory::System => acc.system += 1,
+            RecordCategory::User => acc.user += 1,
+            RecordCategory::Python => acc.python += 1,
+            RecordCategory::Unknown => {}
+        }
+    }
+
+    let mut rows: Vec<UsageRow> = by_user
+        .into_iter()
+        .map(|(user, acc)| UsageRow {
+            user,
+            jobs: acc.jobs.len() as u64,
+            system_procs: acc.system,
+            user_procs: acc.user,
+            python_procs: acc.python,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        (b.jobs, b.system_procs, b.user_procs, b.python_procs).cmp(&(
+            a.jobs,
+            a.system_procs,
+            a.user_procs,
+            a.python_procs,
+        ))
+    });
+    rows
+}
+
+/// Paper-style rendering, including the totals row.
+pub fn render_usage(rows: &[UsageRow]) -> String {
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.user.clone(),
+                group_digits(r.jobs),
+                dash_zero(r.system_procs),
+                dash_zero(r.user_procs),
+                dash_zero(r.python_procs),
+            ]
+        })
+        .collect();
+    let total = UsageRow {
+        user: "Total".into(),
+        jobs: rows.iter().map(|r| r.jobs).sum(),
+        system_procs: rows.iter().map(|r| r.system_procs).sum(),
+        user_procs: rows.iter().map(|r| r.user_procs).sum(),
+        python_procs: rows.iter().map(|r| r.python_procs).sum(),
+    };
+    body.push(vec![
+        total.user,
+        group_digits(total.jobs),
+        group_digits(total.system_procs),
+        group_digits(total.user_procs),
+        group_digits(total.python_procs),
+    ]);
+    render_table(
+        "Table 2: Users' jobs and processes",
+        &["User", "Jobs", "SystemDir Procs", "UserDir Procs", "Python Procs"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+
+    #[test]
+    fn counts_by_category_and_user() {
+        let records = vec![
+            record(1, 1, "user_1", "/usr/bin/rm", None, None, None, 0),
+            record(1, 2, "user_1", "/usr/bin/rm", None, None, None, 1),
+            record(2, 3, "user_1", "/usr/bin/mkdir", None, None, None, 2),
+            record(3, 4, "user_2", "/users/user_2/app", None, None, None, 3),
+            record(3, 5, "user_2", "/usr/bin/python3.10", None, None, None, 4),
+        ];
+        let rows = usage_table(&records);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].user, "user_1");
+        assert_eq!(rows[0].jobs, 2);
+        assert_eq!(rows[0].system_procs, 3);
+        assert_eq!(rows[0].user_procs, 0);
+        assert_eq!(rows[1].user, "user_2");
+        assert_eq!(rows[1].jobs, 1);
+        assert_eq!(rows[1].user_procs, 1);
+        assert_eq!(rows[1].python_procs, 1);
+    }
+
+    #[test]
+    fn sorted_by_job_count_desc() {
+        let mut records = Vec::new();
+        for j in 0..5 {
+            records.push(record(j, 1, "busy", "/usr/bin/ls", None, None, None, j));
+        }
+        records.push(record(100, 1, "quiet", "/usr/bin/ls", None, None, None, 100));
+        let rows = usage_table(&records);
+        assert_eq!(rows[0].user, "busy");
+        assert_eq!(rows[1].user, "quiet");
+    }
+
+    #[test]
+    fn render_includes_total_and_dashes() {
+        let records = vec![record(1, 1, "user_1", "/usr/bin/rm", None, None, None, 0)];
+        let out = render_usage(&usage_table(&records));
+        assert!(out.contains("Total"));
+        assert!(out.contains('-')); // zero python procs rendered as dash
+    }
+
+    #[test]
+    fn records_without_user_metadata_ignored() {
+        let mut broken = record(1, 1, "user_1", "/usr/bin/rm", None, None, None, 0);
+        broken.meta.clear();
+        assert!(usage_table(&[broken]).is_empty());
+    }
+}

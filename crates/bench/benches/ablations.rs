@@ -1,0 +1,97 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. recognition method — fuzzy vs exact-hash vs name-based (recall is
+//!    asserted in tests; here we measure cost);
+//! 2. chunked datagrams vs oversized single datagrams;
+//! 3. streaming context-retirement optimization on/off;
+//! 4. selective (Table 1) vs collect-everything policies, end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siren_analysis::{baseline::recognition_ablation, Labeler};
+use siren_bench::{campaign_records, pseudo_bytes};
+use siren_collector::PolicyMode;
+use siren_core::{Deployment, DeploymentConfig};
+use siren_fuzzy::FuzzyHasher;
+use siren_wire::{chunk_message, Layer, MessageHeader, MessageType};
+use std::hint::black_box;
+
+fn bench_recognition(c: &mut Criterion) {
+    let records = campaign_records(0.005, 0x51_4E);
+    let labeler = Labeler::default();
+    let mut g = c.benchmark_group("ablation_recognition");
+    g.sample_size(10);
+    g.bench_function("all_methods_pairwise", |b| {
+        b.iter(|| black_box(recognition_ablation(black_box(&records), &labeler, 60)))
+    });
+    g.finish();
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let header = MessageHeader {
+        job_id: 1,
+        step_id: 0,
+        pid: 1,
+        exe_hash: "ab".into(),
+        host: "nid1".into(),
+        time: 1,
+        layer: Layer::SelfExe,
+        mtype: MessageType::Objects,
+    };
+    let content = "/opt/long/library/path/libname.so.1;".repeat(400); // ~14 KiB
+    let mut g = c.benchmark_group("ablation_chunking");
+    for limit in [1200usize, 65_000] {
+        g.bench_with_input(BenchmarkId::new("datagram_limit", limit), &(), |b, _| {
+            b.iter(|| {
+                let msgs = chunk_message(&header, black_box(&content), limit);
+                black_box(msgs.iter().map(|m| m.encode().len()).sum::<usize>())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_context_reduction(c: &mut Criterion) {
+    let data = pseudo_bytes(3, 512 * 1024);
+    let mut g = c.benchmark_group("ablation_context_reduction");
+    g.sample_size(20);
+    g.bench_function("with_retirement", |b| {
+        b.iter(|| {
+            let mut h = FuzzyHasher::new();
+            h.update(black_box(&data));
+            black_box(h.digest())
+        })
+    });
+    g.bench_function("without_retirement", |b| {
+        b.iter(|| {
+            let mut h = FuzzyHasher::new_without_reduction();
+            h.update(black_box(&data));
+            black_box(h.digest())
+        })
+    });
+    g.finish();
+}
+
+fn bench_policy_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_selective_policy");
+    g.sample_size(10);
+    for mode in [PolicyMode::Selective, PolicyMode::CollectEverything] {
+        g.bench_with_input(BenchmarkId::new("deployment", format!("{mode:?}")), &(), |b, _| {
+            b.iter(|| {
+                let mut cfg = DeploymentConfig::default();
+                cfg.campaign.scale = 0.001;
+                cfg.policy = mode;
+                black_box(Deployment::new(cfg).run().db_rows)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_recognition,
+    bench_chunking,
+    bench_context_reduction,
+    bench_policy_end_to_end
+);
+criterion_main!(benches);

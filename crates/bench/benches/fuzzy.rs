@@ -1,0 +1,73 @@
+//! Fuzzy-hashing benchmarks: generation throughput, comparison latency,
+//! and the §2.1 scalability claim (fuzzy-hash comparison vs byte-by-byte
+//! file comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use siren_analysis::byte_similarity;
+use siren_bench::{hash_corpus, pseudo_bytes, variant_family};
+use siren_fuzzy::{
+    compare_parsed, fuzzy_hash, fuzzy_hash_reference, similarity_search, FuzzyHasher,
+};
+use std::hint::black_box;
+
+/// Hashing throughput across input sizes (streaming engine).
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuzzy_generate");
+    for size in [4 * 1024, 64 * 1024, 1024 * 1024] {
+        let data = pseudo_bytes(42, size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("streaming", size), &data, |b, d| {
+            b.iter(|| {
+                let mut h = FuzzyHasher::new();
+                h.update(black_box(d));
+                black_box(h.digest())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reference_two_pass", size), &data, |b, d| {
+            b.iter(|| black_box(fuzzy_hash_reference(black_box(d))))
+        });
+    }
+    g.finish();
+}
+
+/// Single-pair comparison cost: fuzzy hashes vs raw bytes (§2.1).
+fn bench_compare_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuzzy_vs_bytes_pair");
+    for size in [64 * 1024, 1024 * 1024] {
+        let fam = variant_family(7, size, 2);
+        let (a, b) = (&fam[0], &fam[1]);
+        let (ha, hb) = (fuzzy_hash(a), fuzzy_hash(b));
+
+        g.bench_with_input(BenchmarkId::new("fuzzy_compare", size), &(), |bench, _| {
+            bench.iter(|| black_box(compare_parsed(black_box(&ha), black_box(&hb))))
+        });
+        g.bench_with_input(BenchmarkId::new("byte_compare", size), &(), |bench, _| {
+            bench.iter(|| black_box(byte_similarity(black_box(a), black_box(b))))
+        });
+    }
+    g.finish();
+}
+
+/// One-vs-many similarity search scaling with corpus size, with and
+/// without block-size pruning.
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity_search");
+    g.sample_size(20);
+    for n in [100usize, 1_000, 5_000] {
+        let corpus = hash_corpus(n / 10, 10, 16 * 1024);
+        let baseline = corpus[0].clone();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("pruned", n), &(), |b, _| {
+            b.iter(|| black_box(similarity_search(black_box(&baseline), black_box(&corpus), 1)))
+        });
+        g.bench_with_input(BenchmarkId::new("unpruned_full", n), &(), |b, _| {
+            b.iter(|| {
+                black_box(siren_fuzzy::compare_many(black_box(&baseline), black_box(&corpus)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_compare_pair, bench_search);
+criterion_main!(benches);

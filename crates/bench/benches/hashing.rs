@@ -1,0 +1,47 @@
+//! Hash-substrate benchmarks: XXH64, XXH3-128, SHA-1, FNV — the
+//! collector's fast-path primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use siren_bench::pseudo_bytes;
+use siren_hash::{fnv1a64, sha1, xxh3_128, xxh64};
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_throughput");
+    for size in [64usize, 4 * 1024, 256 * 1024] {
+        let data = pseudo_bytes(7, size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("xxh64", size), &data, |b, d| {
+            b.iter(|| black_box(xxh64(black_box(d), 0)))
+        });
+        g.bench_with_input(BenchmarkId::new("xxh3_128", size), &data, |b, d| {
+            b.iter(|| black_box(xxh3_128(black_box(d))))
+        });
+        g.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| black_box(sha1(black_box(d))))
+        });
+        g.bench_with_input(BenchmarkId::new("fnv1a64", size), &data, |b, d| {
+            b.iter(|| black_box(fnv1a64(black_box(d))))
+        });
+    }
+    g.finish();
+}
+
+/// The actual collector use-case: hashing short executable paths.
+fn bench_path_hash(c: &mut Criterion) {
+    let paths = [
+        "/usr/bin/bash",
+        "/users/user_4/icon-model/build_17/bin/icon",
+        "/opt/cray/pe/python/3.10.10/bin/python3.10",
+    ];
+    c.bench_function("xxh3_128_exe_paths", |b| {
+        b.iter(|| {
+            for p in &paths {
+                black_box(xxh3_128(black_box(p.as_bytes())));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_hashes, bench_path_hash);
+criterion_main!(benches);

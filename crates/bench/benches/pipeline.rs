@@ -1,0 +1,124 @@
+//! Pipeline benchmarks: per-process collection cost, wire codec,
+//! end-to-end message throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use siren_cluster::{Campaign, CampaignConfig};
+use siren_collector::{collect_messages, CollectorStats, PolicyMode};
+use siren_net::{SimChannel, SimConfig};
+use siren_wire::{chunk_message, Layer, Message, MessageHeader, MessageType, Reassembler};
+use std::hint::black_box;
+
+/// Gather a small pool of representative process contexts once.
+fn sample_contexts() -> Vec<siren_cluster::ProcessContext> {
+    let campaign = Campaign::new(CampaignConfig { scale: 0.001, ..CampaignConfig::default() });
+    let mut out = Vec::new();
+    campaign.run(|ctx| {
+        if ctx.slurm_procid == 0 && out.len() < 512 {
+            out.push(ctx);
+        }
+    });
+    out
+}
+
+/// Per-process collection cost under the Table-1 policy vs collect-all.
+fn bench_collection(c: &mut Criterion) {
+    let contexts = sample_contexts();
+    let system: Vec<_> =
+        contexts.iter().filter(|x| x.exe_path.starts_with("/usr/bin/") && x.python.is_none()).take(32).collect();
+    let user: Vec<_> =
+        contexts.iter().filter(|x| x.exe_path.starts_with("/users/") || x.exe_path.starts_with("/scratch/")).take(32).collect();
+    assert!(!system.is_empty() && !user.is_empty());
+
+    let mut g = c.benchmark_group("collector_per_process");
+    for (name, pool) in [("system_exe", &system), ("user_exe", &user)] {
+        for mode in [PolicyMode::Selective, PolicyMode::CollectEverything] {
+            let label = format!("{name}/{mode:?}");
+            g.bench_with_input(BenchmarkId::from_parameter(&label), &(), |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let ctx = pool[i % pool.len()];
+                    i += 1;
+                    let mut stats = CollectorStats::default();
+                    black_box(collect_messages(black_box(ctx), mode, &mut stats))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn header() -> MessageHeader {
+    MessageHeader {
+        job_id: 8_000_001,
+        step_id: 0,
+        pid: 4242,
+        exe_hash: "0123456789abcdef0123456789abcdef".into(),
+        host: "nid001234".into(),
+        time: 1_733_900_000,
+        layer: Layer::SelfExe,
+        mtype: MessageType::Objects,
+    }
+}
+
+/// Wire codec cost: encode, decode, chunk+reassemble.
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let msg = Message {
+        header: header(),
+        chunk_index: 0,
+        chunk_total: 1,
+        content: "/lib64/libc.so.6;/lib64/libm.so.6;/opt/cray/pe/lib64/libsci.so".into(),
+    };
+    let encoded = msg.encode();
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| black_box(black_box(&msg).encode())));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(Message::decode(black_box(&encoded)).unwrap()))
+    });
+
+    let long_content = "/opt/some/library/path/libexample.so.1;".repeat(200);
+    g.bench_function("chunk_and_reassemble_8k_content", |b| {
+        b.iter(|| {
+            let chunks = chunk_message(&header(), black_box(&long_content), 1200);
+            let mut reasm = Reassembler::new();
+            let mut done = None;
+            for ch in chunks {
+                if let Some(d) = reasm.push(ch) {
+                    done = Some(d);
+                }
+            }
+            black_box(done.unwrap())
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end datagram throughput through the simulated channel.
+fn bench_channel_throughput(c: &mut Criterion) {
+    let contexts = sample_contexts();
+    let mut g = c.benchmark_group("pipeline_throughput");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(contexts.len() as u64));
+    g.bench_function("collect_send_receive_per_512_procs", |b| {
+        b.iter(|| {
+            let (tx, rx) = SimChannel::create(SimConfig::perfect());
+            let mut collector = siren_collector::Collector::new(&tx, PolicyMode::Selective);
+            for ctx in &contexts {
+                collector.observe(ctx);
+            }
+            let (msgs, _) = rx.drain_messages();
+            let mut reasm = Reassembler::new();
+            let mut n = 0u64;
+            for m in msgs {
+                if reasm.push(m).is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collection, bench_wire, bench_channel_throughput);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Table/figure regeneration benchmarks: one bench per paper artifact,
+//! all over the same consolidated campaign records. These double as the
+//! canonical invocation of each analysis; the experiment harness prints
+//! the same outputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use siren_analysis::{self as analysis, Labeler};
+use siren_bench::campaign_records;
+use siren_cluster::python::PACKAGE_CATALOG;
+use siren_core::find_unknown_baseline;
+use siren_text::SubstringDeriver;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let records = campaign_records(0.005, 0x51_4E);
+    let labeler = Labeler::default();
+    let deriver = SubstringDeriver::paper();
+
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.sample_size(20);
+
+    g.bench_function("table2_usage", |b| {
+        b.iter(|| black_box(analysis::usage_table(black_box(&records))))
+    });
+    g.bench_function("table3_system_executables", |b| {
+        b.iter(|| black_box(analysis::system_table(black_box(&records))))
+    });
+    g.bench_function("table4_bash_variants", |b| {
+        b.iter(|| black_box(analysis::library_variant_table(black_box(&records), "/usr/bin/bash")))
+    });
+    g.bench_function("table5_labels", |b| {
+        b.iter(|| black_box(analysis::label_table(black_box(&records), &labeler)))
+    });
+    g.bench_function("table6_compilers", |b| {
+        b.iter(|| black_box(analysis::compiler_table(black_box(&records))))
+    });
+    g.bench_function("table7_similarity_search", |b| {
+        let baseline = find_unknown_baseline(&records).expect("unknown baseline");
+        b.iter(|| {
+            black_box(analysis::similarity_search_table(
+                black_box(&records),
+                baseline,
+                &labeler,
+                10,
+            ))
+        })
+    });
+    g.bench_function("table8_interpreters", |b| {
+        b.iter(|| black_box(analysis::interpreter_table(black_box(&records))))
+    });
+    g.bench_function("fig2_derived_libraries", |b| {
+        b.iter(|| black_box(analysis::derived_library_stats(black_box(&records), &deriver)))
+    });
+    g.bench_function("fig3_python_packages", |b| {
+        b.iter(|| black_box(analysis::package_stats(black_box(&records), PACKAGE_CATALOG)))
+    });
+    g.bench_function("fig4_compiler_matrix", |b| {
+        b.iter(|| black_box(analysis::compiler_matrix(black_box(&records), &labeler)))
+    });
+    g.bench_function("fig5_library_matrix", |b| {
+        b.iter(|| black_box(analysis::library_matrix(black_box(&records), &labeler, &deriver)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

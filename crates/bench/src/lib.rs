@@ -1,0 +1,96 @@
+//! # siren-bench — shared workload builders for the benchmark suite
+//!
+//! The Criterion benches under `benches/` regenerate the paper's tables
+//! and figures and measure the performance claims (§2.1: fuzzy-hash
+//! comparison scales better than byte-level comparison; §3.1: selective
+//! collection and UDP fire-and-forget keep overhead low). This library
+//! holds the workload constructors they share, so every bench measures
+//! the same populations.
+
+use siren_consolidate::ProcessRecord;
+use siren_core::{Deployment, DeploymentConfig};
+use siren_fuzzy::{fuzzy_hash, FuzzyHash};
+
+/// Deterministic pseudo-random bytes (xorshift64), the standard corpus
+/// material across the benches.
+pub fn pseudo_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 24) as u8
+        })
+        .collect()
+}
+
+/// A family of `n` binaries around a common base: member `i` has `i`
+/// small regions rewritten, so fuzzy similarity to member 0 decays.
+pub fn variant_family(seed: u64, len: usize, n: usize) -> Vec<Vec<u8>> {
+    let base = pseudo_bytes(seed, len);
+    (0..n)
+        .map(|i| {
+            let mut v = base.clone();
+            // Rewrite one contiguous region whose size grows with `i`:
+            // clustered edits leave most content-defined chunks intact,
+            // which is what makes real binary variants fuzzy-comparable.
+            let vlen = v.len();
+            let region = (i * vlen / (2 * n.max(1))).min(vlen);
+            let start = (i * 7919) % vlen.saturating_sub(region).max(1);
+            for b in v.iter_mut().skip(start).take(region) {
+                *b ^= 0x5A;
+            }
+            v
+        })
+        .collect()
+}
+
+/// A corpus of fuzzy hashes: `families` distinct base contents with
+/// `members` variants each.
+pub fn hash_corpus(families: usize, members: usize, len: usize) -> Vec<FuzzyHash> {
+    let mut out = Vec::with_capacity(families * members);
+    for f in 0..families {
+        for v in variant_family(0x9000 + f as u64 * 131, len, members) {
+            out.push(fuzzy_hash(&v));
+        }
+    }
+    out
+}
+
+/// Run one deployment and return its consolidated records (the input to
+/// every table/figure bench).
+pub fn campaign_records(scale: f64, seed: u64) -> Vec<ProcessRecord> {
+    let mut cfg = DeploymentConfig::default();
+    cfg.campaign.scale = scale;
+    cfg.campaign.seed = seed;
+    Deployment::new(cfg).run().records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_family_decays() {
+        let fam = variant_family(1, 16_384, 4);
+        let h0 = fuzzy_hash(&fam[0]);
+        let h1 = fuzzy_hash(&fam[1]);
+        let h3 = fuzzy_hash(&fam[3]);
+        let near = siren_fuzzy::compare_parsed(&h0, &h1);
+        let far = siren_fuzzy::compare_parsed(&h0, &h3);
+        assert!(near >= far, "similarity must not increase with distance: {near} vs {far}");
+        assert!(near > 0);
+    }
+
+    #[test]
+    fn corpus_sizes() {
+        let c = hash_corpus(3, 4, 8_192);
+        assert_eq!(c.len(), 12);
+    }
+
+    #[test]
+    fn campaign_records_nonempty() {
+        assert!(!campaign_records(0.001, 1).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Low-level scheduling machinery: PID allocation, rate sampling, variant
+//! selection.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::HashMap;
+
+/// Per-host PID allocator with kernel-style wrap-around (PID reuse).
+#[derive(Debug, Default)]
+pub struct PidAllocator {
+    counters: HashMap<String, u32>,
+}
+
+/// Linux default `pid_max` on large systems.
+const PID_MAX: u32 = 4_194_304;
+
+impl PidAllocator {
+    /// Fresh allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next PID on `host`.
+    pub fn next(&mut self, host: &str) -> u32 {
+        let c = self.counters.entry(host.to_string()).or_insert(999);
+        *c += 1;
+        if *c >= PID_MAX {
+            *c = 1000; // wrap: PIDs get reused, as on a real node
+        }
+        *c
+    }
+}
+
+/// Sample an integer count from a fractional per-job rate: the integer
+/// part is guaranteed, the fractional part is a Bernoulli draw. Expected
+/// value equals `rate` exactly.
+pub fn sample_count(rate: f64, rng: &mut StdRng) -> u64 {
+    if rate <= 0.0 {
+        return 0;
+    }
+    let base = rate.floor() as u64;
+    let frac = rate - rate.floor();
+    base + u64::from(frac > 0.0 && rng.random::<f64>() < frac)
+}
+
+/// Scale an unscaled campaign count, keeping presence: any positive count
+/// stays at least 1.
+pub fn scale_count(count: u64, scale: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    ((count as f64 * scale).round() as u64).max(1)
+}
+
+/// Pick an index from cumulative weights (e.g. bash's three library-set
+/// variants with Table 4's observed proportions).
+pub fn pick_weighted(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Library-set variant weights for the multi-variant system executables,
+/// matching Table 3/4's observed process proportions.
+pub fn system_variant_weights(path: &str, n_variants: usize) -> Vec<f64> {
+    match (path, n_variants) {
+        // Table 4: 160,904 / 460 / 54.
+        ("/usr/bin/bash", 3) => vec![0.9968, 0.00285, 0.00035],
+        ("/usr/bin/srun", 3) => vec![0.85, 0.10, 0.05],
+        ("/usr/bin/lua5.3", 2) => vec![0.92, 0.08],
+        _ => vec![1.0; n_variants],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pids_monotonic_per_host() {
+        let mut alloc = PidAllocator::new();
+        let a = alloc.next("nid1");
+        let b = alloc.next("nid1");
+        let c = alloc.next("nid2");
+        assert_eq!(b, a + 1);
+        assert_eq!(c, a); // independent counter per host
+    }
+
+    #[test]
+    fn pids_wrap_for_reuse() {
+        let mut alloc = PidAllocator::new();
+        alloc.counters.insert("n".into(), PID_MAX - 1);
+        assert_eq!(alloc.next("n"), 1000);
+    }
+
+    #[test]
+    fn sample_count_expectation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n: u64 = (0..20_000).map(|_| sample_count(2.25, &mut rng)).sum();
+        let avg = n as f64 / 20_000.0;
+        assert!((avg - 2.25).abs() < 0.02, "avg {avg}");
+    }
+
+    #[test]
+    fn sample_count_zero_and_integer() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample_count(0.0, &mut rng), 0);
+        assert_eq!(sample_count(-1.0, &mut rng), 0);
+        assert_eq!(sample_count(3.0, &mut rng), 3);
+    }
+
+    #[test]
+    fn scale_keeps_presence() {
+        assert_eq!(scale_count(0, 0.01), 0);
+        assert_eq!(scale_count(2, 0.01), 1);
+        assert_eq!(scale_count(1000, 0.01), 10);
+        assert_eq!(scale_count(11_782, 0.02), 236);
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[pick_weighted(&[0.8, 0.15, 0.05], &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > 0);
+    }
+
+    #[test]
+    fn bash_weights_cover_three_variants() {
+        let w = system_variant_weights("/usr/bin/bash", 3);
+        assert_eq!(w.len(), 3);
+        let single = system_variant_weights("/usr/bin/rm", 1);
+        assert_eq!(single, vec![1.0]);
+    }
+}

@@ -1,0 +1,586 @@
+//! User profiles: the Table-2 population and its workload templates.
+//!
+//! The paper's Tables 2, 3, 5, 6 and 8 are mutually consistent enough
+//! that the per-user allocation can be reconstructed almost uniquely:
+//!
+//! * `user_2`'s 5,259 user-directory processes = miniconda 5,018 +
+//!   LAMMPS 222 + gzip 19;
+//! * GROMACS's 2,104 processes over 2 users = `user_8` 2,103 + `user_7` 1;
+//! * `user_4`'s 642 user-directory processes = icon 625 + UNKNOWN 17, and
+//!   its 23,286 Python processes = 14,884 (python3.6) + 8,402 (python3.11);
+//! * `python3.10`'s 30 processes over 2 users = `user_5` 29 + `user_12` 1;
+//! * `user_10` = amber 889, `user_11` = janko 138, `user_9` = alexandria 4,
+//!   `user_6` = RadRad 2, `user_3` = LAMMPS 4 (the second LAMMPS user).
+//!
+//! System-directory processes are allocated per (user, executable) so that
+//! every Table-3 column sums exactly and every Table-2 row sums exactly;
+//! `user_1` absorbs each column's remainder (it is the dominant
+//! file-management user in the paper too).
+
+/// Table 2 verbatim: `(user, jobs, system procs, user procs, python procs)`.
+pub const USER_PROFILES: &[(&str, u64, u64, u64, u64)] = &[
+    ("user_1", 11_782, 1_731_077, 0, 0),
+    ("user_2", 930, 48_095, 5_259, 0),
+    ("user_11", 230, 3_980, 138, 0),
+    ("user_8", 216, 3_039, 2_103, 0),
+    ("user_4", 205, 528_205, 642, 23_286),
+    ("user_5", 47, 94, 0, 29),
+    ("user_10", 28, 3_336, 889, 0),
+    ("user_9", 4, 8, 4, 0),
+    ("user_3", 2, 6, 4, 0),
+    ("user_6", 2, 0, 2, 0),
+    ("user_7", 1, 17, 1, 0),
+    ("user_12", 1, 2, 0, 1),
+];
+
+/// A Python workload attached to a job kind.
+#[derive(Debug, Clone)]
+pub struct PyWorkload {
+    /// Interpreter name (Table 8).
+    pub interpreter: &'static str,
+    /// Script family id.
+    pub family: &'static str,
+    /// Interpreter processes per job (fractional rates are sampled).
+    pub procs_per_job: f64,
+}
+
+/// One kind of job a user runs.
+#[derive(Debug, Clone)]
+pub struct JobKind {
+    /// Diagnostic name.
+    pub name: &'static str,
+    /// Unscaled number of jobs of this kind in the campaign.
+    pub count: u64,
+    /// Application processes: `(group_id, procs per job)`.
+    pub apps: Vec<(&'static str, f64)>,
+    /// Optional Python workload.
+    pub python: Option<PyWorkload>,
+}
+
+/// Everything the scheduler needs about one user.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// Anonymized name.
+    pub name: &'static str,
+    /// Numeric uid.
+    pub uid: u32,
+    /// Unscaled total jobs (sum of kind counts).
+    pub total_jobs: u64,
+    /// System-executable usage: `(path, unscaled total processes)`.
+    /// Converted to per-job rates by dividing by `total_jobs`.
+    pub system_procs: Vec<(&'static str, f64)>,
+    /// Job kinds.
+    pub kinds: Vec<JobKind>,
+}
+
+fn spread(total: f64, exes: &[&'static str]) -> Vec<(&'static str, f64)> {
+    let share = total / exes.len() as f64;
+    exes.iter().map(|e| (*e, share)).collect()
+}
+
+fn tools(range: std::ops::Range<u64>) -> Vec<&'static str> {
+    // Long-tail tool paths are interned so they can live in 'static data.
+    range
+        .map(|i| {
+            let s = format!("/usr/bin/tool_{i:03}");
+            Box::leak(s.into_boxed_str()) as &'static str
+        })
+        .collect()
+}
+
+/// Build all twelve user profiles.
+pub fn build_profiles() -> Vec<UserProfile> {
+    let mut out = Vec::with_capacity(12);
+
+    // ---------------------------------------------------------- user_1 --
+    {
+        let mut sys = vec![
+            ("/usr/bin/srun", 1_365.0),
+            ("/usr/bin/bash", 130_827.0),
+            ("/usr/bin/lua5.3", 14_961.0),
+            ("/usr/bin/rm", 433_825.0),
+            ("/usr/bin/cat", 20_203.0),
+            ("/usr/bin/uname", 20_203.0),
+            ("/usr/bin/ls", 5_207.0),
+            ("/usr/bin/mkdir", 437_689.0),
+            ("/usr/bin/grep", 5_588.0),
+            ("/usr/bin/cp", 7_829.0),
+        ];
+        sys.extend(spread(653_380.0, &tools(0..40)));
+        out.push(UserProfile {
+            name: "user_1",
+            uid: 1001,
+            total_jobs: 11_782,
+            system_procs: sys,
+            kinds: vec![JobKind { name: "filemgmt", count: 11_782, apps: vec![], python: None }],
+        });
+    }
+
+    // ---------------------------------------------------------- user_2 --
+    {
+        let mut sys = vec![
+            ("/usr/bin/srun", 1_800.0),
+            ("/usr/bin/bash", 9_300.0),
+            ("/usr/bin/lua5.3", 930.0),
+            ("/usr/bin/rm", 9_000.0),
+            ("/usr/bin/cat", 3_000.0),
+            ("/usr/bin/uname", 2_500.0),
+            ("/usr/bin/ls", 1_500.0),
+            ("/usr/bin/mkdir", 9_000.0),
+            ("/usr/bin/grep", 1_500.0),
+            ("/usr/bin/cp", 1_200.0),
+        ];
+        sys.extend(spread(8_365.0, &tools(70..80)));
+        out.push(UserProfile {
+            name: "user_2",
+            uid: 1002,
+            total_jobs: 930,
+            system_procs: sys,
+            kinds: vec![
+                JobKind {
+                    name: "conda",
+                    count: 638,
+                    apps: vec![("miniconda", 4_983.0 / 638.0)],
+                    python: None,
+                },
+                JobKind {
+                    name: "conda-rust",
+                    count: 35,
+                    apps: vec![("miniconda-rustc", 1.0)],
+                    python: None,
+                },
+                JobKind {
+                    name: "lammps",
+                    count: 202,
+                    apps: vec![("lammps-gcc", 1.0)],
+                    python: None,
+                },
+                JobKind {
+                    name: "lammps-gpu",
+                    count: 20,
+                    apps: vec![("lammps-lld", 1.0)],
+                    python: None,
+                },
+                JobKind {
+                    name: "gzip",
+                    count: 18,
+                    apps: vec![("gzip", 19.0 / 18.0)],
+                    python: None,
+                },
+                JobKind { name: "misc", count: 17, apps: vec![], python: None },
+            ],
+        });
+    }
+
+    // --------------------------------------------------------- user_11 --
+    {
+        let mut sys = vec![
+            ("/usr/bin/srun", 460.0),
+            ("/usr/bin/bash", 690.0),
+            ("/usr/bin/lua5.3", 230.0),
+            ("/usr/bin/rm", 400.0),
+            ("/usr/bin/cat", 300.0),
+            ("/usr/bin/ls", 150.0),
+            ("/usr/bin/mkdir", 400.0),
+        ];
+        sys.extend(spread(
+            1_350.0,
+            &[
+                "/usr/bin/env",
+                "/usr/bin/id",
+                "/usr/bin/dirname",
+                "/usr/bin/basename",
+                "/usr/bin/tee",
+                "/usr/bin/touch",
+                "/usr/bin/tool_080",
+                "/usr/bin/tool_081",
+            ],
+        ));
+        out.push(UserProfile {
+            name: "user_11",
+            uid: 1011,
+            total_jobs: 230,
+            system_procs: sys,
+            kinds: vec![
+                JobKind {
+                    name: "janko",
+                    count: 138,
+                    apps: vec![("janko", 1.0)],
+                    python: None,
+                },
+                JobKind { name: "sys", count: 92, apps: vec![], python: None },
+            ],
+        });
+    }
+
+    // ---------------------------------------------------------- user_8 --
+    {
+        let mut sys = vec![
+            ("/usr/bin/srun", 430.0),
+            ("/usr/bin/bash", 432.0),
+            ("/usr/bin/lua5.3", 216.0),
+            ("/usr/bin/rm", 300.0),
+            ("/usr/bin/cat", 200.0),
+            ("/usr/bin/uname", 150.0),
+            ("/usr/bin/ls", 200.0),
+            ("/usr/bin/grep", 180.0),
+        ];
+        sys.extend(spread(
+            931.0,
+            &["/usr/bin/date", "/usr/bin/hostname", "/usr/bin/chmod", "/usr/bin/tail"],
+        ));
+        out.push(UserProfile {
+            name: "user_8",
+            uid: 1008,
+            total_jobs: 216,
+            system_procs: sys,
+            kinds: vec![
+                JobKind {
+                    name: "gromacs",
+                    count: 214,
+                    apps: vec![("gromacs", 2_103.0 / 214.0)],
+                    python: None,
+                },
+                JobKind { name: "sys", count: 2, apps: vec![], python: None },
+            ],
+        });
+    }
+
+    // ---------------------------------------------------------- user_4 --
+    {
+        let mut sys = vec![
+            ("/usr/bin/srun", 420.0),
+            ("/usr/bin/bash", 20_000.0),
+            ("/usr/bin/lua5.3", 2_050.0),
+            ("/usr/bin/rm", 100_000.0),
+            ("/usr/bin/cat", 5_000.0),
+            ("/usr/bin/uname", 5_000.0),
+            ("/usr/bin/ls", 2_000.0),
+            ("/usr/bin/mkdir", 100_000.0),
+            ("/usr/bin/grep", 2_000.0),
+            ("/usr/bin/cp", 2_500.0),
+        ];
+        sys.extend(spread(289_235.0, &tools(40..70)));
+        out.push(UserProfile {
+            name: "user_4",
+            uid: 1004,
+            total_jobs: 205,
+            system_procs: sys,
+            kinds: vec![
+                JobKind {
+                    name: "icon",
+                    count: 8,
+                    apps: vec![("icon-gcc", 563.0 / 8.0)],
+                    python: None,
+                },
+                JobKind {
+                    name: "icon-cray",
+                    count: 38,
+                    apps: vec![("icon-cray", 44.0 / 38.0)],
+                    python: None,
+                },
+                JobKind {
+                    name: "icon-triple",
+                    count: 18,
+                    apps: vec![("icon-triple", 1.0)],
+                    python: None,
+                },
+                JobKind {
+                    name: "unknown",
+                    count: 3,
+                    apps: vec![("unknown", 17.0 / 3.0)],
+                    python: None,
+                },
+                JobKind {
+                    name: "py36",
+                    count: 28,
+                    apps: vec![],
+                    python: Some(PyWorkload {
+                        interpreter: "python3.6",
+                        family: "u4-py36",
+                        procs_per_job: 14_884.0 / 28.0,
+                    }),
+                },
+                JobKind {
+                    name: "py311",
+                    count: 8,
+                    apps: vec![],
+                    python: Some(PyWorkload {
+                        interpreter: "python3.11",
+                        family: "u4-py311",
+                        procs_per_job: 8_402.0 / 8.0,
+                    }),
+                },
+                JobKind { name: "sys", count: 102, apps: vec![], python: None },
+            ],
+        });
+    }
+
+    // ---------------------------------------------------------- user_5 --
+    out.push(UserProfile {
+        name: "user_5",
+        uid: 1005,
+        total_jobs: 47,
+        system_procs: vec![("/usr/bin/srun", 29.0), ("/usr/bin/bash", 65.0)],
+        kinds: vec![
+            JobKind {
+                name: "py",
+                count: 29,
+                apps: vec![],
+                python: Some(PyWorkload {
+                    interpreter: "python3.10",
+                    family: "u5-py310",
+                    procs_per_job: 1.0,
+                }),
+            },
+            JobKind { name: "sys", count: 18, apps: vec![], python: None },
+        ],
+    });
+
+    // --------------------------------------------------------- user_10 --
+    {
+        let mut sys = vec![
+            ("/usr/bin/srun", 54.0),
+            ("/usr/bin/bash", 100.0),
+            ("/usr/bin/lua5.3", 56.0),
+            ("/usr/bin/rm", 500.0),
+            ("/usr/bin/cat", 300.0),
+            ("/usr/bin/uname", 200.0),
+            ("/usr/bin/cp", 126.0),
+        ];
+        sys.extend(spread(
+            2_000.0,
+            &[
+                "/usr/bin/ln",
+                "/usr/bin/du",
+                "/usr/bin/df",
+                "/usr/bin/tar",
+                "/usr/bin/sed",
+                "/usr/bin/awk",
+            ],
+        ));
+        out.push(UserProfile {
+            name: "user_10",
+            uid: 1010,
+            total_jobs: 28,
+            system_procs: sys,
+            kinds: vec![
+                JobKind {
+                    name: "amber",
+                    count: 27,
+                    apps: vec![("amber", 889.0 / 27.0)],
+                    python: None,
+                },
+                JobKind { name: "sys", count: 1, apps: vec![], python: None },
+            ],
+        });
+    }
+
+    // ---------------------------------------------------------- user_9 --
+    out.push(UserProfile {
+        name: "user_9",
+        uid: 1009,
+        total_jobs: 4,
+        system_procs: vec![("/usr/bin/srun", 4.0), ("/usr/bin/lua5.3", 4.0)],
+        kinds: vec![
+            JobKind {
+                name: "alexandria",
+                count: 2,
+                apps: vec![("alexandria", 2.0)],
+                python: None,
+            },
+            JobKind { name: "sys", count: 2, apps: vec![], python: None },
+        ],
+    });
+
+    // ---------------------------------------------------------- user_3 --
+    out.push(UserProfile {
+        name: "user_3",
+        uid: 1003,
+        total_jobs: 2,
+        system_procs: vec![("/usr/bin/head", 3.0), ("/usr/bin/sort", 3.0)],
+        kinds: vec![JobKind {
+            name: "lammps-mixed",
+            count: 2,
+            apps: vec![("lammps-gcc", 1.0), ("lammps-lld", 1.0)],
+            python: None,
+        }],
+    });
+
+    // ---------------------------------------------------------- user_6 --
+    out.push(UserProfile {
+        name: "user_6",
+        uid: 1006,
+        total_jobs: 2,
+        system_procs: vec![],
+        kinds: vec![JobKind {
+            name: "radrad",
+            count: 2,
+            apps: vec![("radrad", 1.0)],
+            python: None,
+        }],
+    });
+
+    // ---------------------------------------------------------- user_7 --
+    out.push(UserProfile {
+        name: "user_7",
+        uid: 1007,
+        total_jobs: 1,
+        system_procs: vec![
+            ("/usr/bin/srun", 1.0),
+            ("/usr/bin/bash", 4.0),
+            ("/usr/bin/wc", 6.0),
+            ("/usr/bin/sleep", 6.0),
+        ],
+        kinds: vec![JobKind {
+            name: "gromacs-test",
+            count: 1,
+            apps: vec![("gromacs", 1.0)],
+            python: None,
+        }],
+    });
+
+    // --------------------------------------------------------- user_12 --
+    out.push(UserProfile {
+        name: "user_12",
+        uid: 1012,
+        total_jobs: 1,
+        system_procs: vec![("/usr/bin/srun", 1.0), ("/usr/bin/lua5.3", 1.0)],
+        kinds: vec![JobKind {
+            name: "py",
+            count: 1,
+            apps: vec![],
+            python: Some(PyWorkload {
+                interpreter: "python3.10",
+                family: "u12-py310",
+                procs_per_job: 1.0,
+            }),
+        }],
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_profiles() {
+        assert_eq!(build_profiles().len(), 12);
+        assert_eq!(USER_PROFILES.len(), 12);
+    }
+
+    #[test]
+    fn kind_counts_sum_to_total_jobs() {
+        for p in build_profiles() {
+            let sum: u64 = p.kinds.iter().map(|k| k.count).sum();
+            assert_eq!(sum, p.total_jobs, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn job_totals_match_table_2() {
+        let profiles = build_profiles();
+        for (name, jobs, _, _, _) in USER_PROFILES {
+            let p = profiles.iter().find(|p| p.name == *name).unwrap();
+            assert_eq!(p.total_jobs, *jobs, "{name}");
+        }
+        let total: u64 = profiles.iter().map(|p| p.total_jobs).sum();
+        assert_eq!(total, 13_448); // paper total
+    }
+
+    #[test]
+    fn system_proc_totals_match_table_2() {
+        let profiles = build_profiles();
+        for (name, _, sys, _, _) in USER_PROFILES {
+            let p = profiles.iter().find(|p| p.name == *name).unwrap();
+            let total: f64 = p.system_procs.iter().map(|(_, n)| n).sum();
+            assert!(
+                (total - *sys as f64).abs() < 0.5,
+                "{name}: {total} vs {sys}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_3_column_sums_reproduce() {
+        let profiles = build_profiles();
+        let col = |exe: &str| -> f64 {
+            profiles
+                .iter()
+                .flat_map(|p| p.system_procs.iter())
+                .filter(|(e, _)| *e == exe)
+                .map(|(_, n)| n)
+                .sum()
+        };
+        assert_eq!(col("/usr/bin/srun") as u64, 4_564);
+        assert_eq!(col("/usr/bin/bash") as u64, 161_418);
+        assert_eq!(col("/usr/bin/lua5.3") as u64, 18_448);
+        assert_eq!(col("/usr/bin/rm") as u64, 544_025);
+        assert_eq!(col("/usr/bin/cat") as u64, 29_003);
+        assert_eq!(col("/usr/bin/uname") as u64, 28_053);
+        assert_eq!(col("/usr/bin/ls") as u64, 9_057);
+        assert_eq!(col("/usr/bin/mkdir") as u64, 547_089);
+        assert_eq!(col("/usr/bin/grep") as u64, 9_268);
+        assert_eq!(col("/usr/bin/cp") as u64, 11_655);
+    }
+
+    #[test]
+    fn table_3_user_counts_reproduce() {
+        let profiles = build_profiles();
+        let users = |exe: &str| -> usize {
+            profiles
+                .iter()
+                .filter(|p| p.system_procs.iter().any(|(e, n)| *e == exe && *n > 0.0))
+                .count()
+        };
+        assert_eq!(users("/usr/bin/srun"), 10);
+        assert_eq!(users("/usr/bin/bash"), 8);
+        assert_eq!(users("/usr/bin/lua5.3"), 8);
+        assert_eq!(users("/usr/bin/rm"), 6);
+        assert_eq!(users("/usr/bin/cat"), 6);
+        assert_eq!(users("/usr/bin/uname"), 5);
+        assert_eq!(users("/usr/bin/ls"), 5);
+        assert_eq!(users("/usr/bin/mkdir"), 4);
+        assert_eq!(users("/usr/bin/grep"), 4);
+        assert_eq!(users("/usr/bin/cp"), 4);
+    }
+
+    #[test]
+    fn user_process_totals_match_table_5_allocation() {
+        // Per-user user-directory process totals (apps only).
+        let profiles = build_profiles();
+        let user_procs = |name: &str| -> f64 {
+            let p = profiles.iter().find(|p| p.name == name).unwrap();
+            p.kinds
+                .iter()
+                .map(|k| k.count as f64 * k.apps.iter().map(|(_, r)| r).sum::<f64>())
+                .sum()
+        };
+        assert!((user_procs("user_2") - 5_259.0).abs() < 1.0);
+        assert!((user_procs("user_8") - 2_103.0).abs() < 1.0);
+        assert!((user_procs("user_4") - 642.0).abs() < 1.0);
+        assert!((user_procs("user_10") - 889.0).abs() < 1.0);
+        assert!((user_procs("user_11") - 138.0).abs() < 1.0);
+        assert!((user_procs("user_3") - 4.0).abs() < 1.0);
+        assert!((user_procs("user_6") - 2.0).abs() < 1.0);
+        assert!((user_procs("user_7") - 1.0).abs() < 1.0);
+        assert!((user_procs("user_9") - 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn python_totals_match_table_8() {
+        let profiles = build_profiles();
+        let py = |name: &str| -> f64 {
+            let p = profiles.iter().find(|p| p.name == name).unwrap();
+            p.kinds
+                .iter()
+                .filter_map(|k| k.python.as_ref().map(|py| k.count as f64 * py.procs_per_job))
+                .sum()
+        };
+        assert!((py("user_4") - 23_286.0).abs() < 1.0);
+        assert!((py("user_5") - 29.0).abs() < 0.5);
+        assert!((py("user_12") - 1.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! The Table 1 collection-policy matrix.
+//!
+//! | Collected info | System exe | User exe | Python interp | Python script |
+//! |---|---|---|---|---|
+//! | File metadata | ✓ | ✓ | ✓ | ✓ |
+//! | Libraries     | ✓ | ✓ | ✓ | ✗ |
+//! | Modules       | ✗ | ✓ | ✗ | ✗ |
+//! | Compilers     | ✗ | ✓ | ✗ | ✗ |
+//! | Memory map    | ✗ | ✓ | ✓ | ✗ |
+//! | File_H        | ✗ | ✓ | ✗ | ✓ |
+//! | Strings_H     | ✗ | ✓ | ✗ | ✗ |
+//! | Symbols_H     | ✗ | ✓ | ✗ | ✗ |
+//!
+//! The rationale is overhead: "it is unnecessary to repeatedly hash an
+//! executable like bash from the /usr/bin/ system directory". The
+//! `CollectEverything` mode disables the policy for the ablation bench
+//! that quantifies exactly how much the selectivity saves.
+
+use crate::categorize::Category;
+
+/// Which data categories to collect for one process observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectionPolicy {
+    /// Executable file metadata (always on).
+    pub file_metadata: bool,
+    /// Loaded shared objects + their list hash.
+    pub libraries: bool,
+    /// Loaded modules + their list hash.
+    pub modules: bool,
+    /// Compiler identification strings + their list hash.
+    pub compilers: bool,
+    /// Memory-mapped regions + their list hash.
+    pub memory_map: bool,
+    /// SSDeep hash of the raw executable.
+    pub file_hash: bool,
+    /// SSDeep hash of the printable strings.
+    pub strings_hash: bool,
+    /// SSDeep hash of the global symbols.
+    pub symbols_hash: bool,
+}
+
+/// Policy selection mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// Table 1 selectivity (production behaviour).
+    Selective,
+    /// Collect every category for every process (ablation baseline).
+    CollectEverything,
+}
+
+impl CollectionPolicy {
+    /// Policy row for a process category under the given mode.
+    pub fn for_category(cat: Category, mode: PolicyMode) -> Self {
+        if mode == PolicyMode::CollectEverything {
+            return Self {
+                file_metadata: true,
+                libraries: true,
+                modules: true,
+                compilers: true,
+                memory_map: true,
+                file_hash: true,
+                strings_hash: true,
+                symbols_hash: true,
+            };
+        }
+        match cat {
+            Category::System => Self {
+                file_metadata: true,
+                libraries: true,
+                modules: false,
+                compilers: false,
+                memory_map: false,
+                file_hash: false,
+                strings_hash: false,
+                symbols_hash: false,
+            },
+            Category::User => Self {
+                file_metadata: true,
+                libraries: true,
+                modules: true,
+                compilers: true,
+                memory_map: true,
+                file_hash: true,
+                strings_hash: true,
+                symbols_hash: true,
+            },
+            Category::Python => Self {
+                file_metadata: true,
+                libraries: true,
+                modules: false,
+                compilers: false,
+                memory_map: true,
+                file_hash: false,
+                strings_hash: false,
+                symbols_hash: false,
+            },
+        }
+    }
+
+    /// The Python-script (LAYER=SCRIPT) policy row: metadata plus the
+    /// script's own fuzzy hash. Scripts are not compiled binaries, so
+    /// libraries/compilers/symbols do not apply.
+    pub fn for_python_script() -> Self {
+        Self {
+            file_metadata: true,
+            libraries: false,
+            modules: false,
+            compilers: false,
+            memory_map: false,
+            file_hash: true,
+            strings_hash: false,
+            symbols_hash: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_system_row() {
+        let p = CollectionPolicy::for_category(Category::System, PolicyMode::Selective);
+        assert!(p.file_metadata && p.libraries);
+        assert!(!p.modules && !p.compilers && !p.memory_map);
+        assert!(!p.file_hash && !p.strings_hash && !p.symbols_hash);
+    }
+
+    #[test]
+    fn table_1_user_row_collects_everything() {
+        let p = CollectionPolicy::for_category(Category::User, PolicyMode::Selective);
+        assert!(
+            p.file_metadata
+                && p.libraries
+                && p.modules
+                && p.compilers
+                && p.memory_map
+                && p.file_hash
+                && p.strings_hash
+                && p.symbols_hash
+        );
+    }
+
+    #[test]
+    fn table_1_python_interpreter_row() {
+        let p = CollectionPolicy::for_category(Category::Python, PolicyMode::Selective);
+        assert!(p.file_metadata && p.libraries && p.memory_map);
+        assert!(!p.modules && !p.compilers);
+        assert!(!p.file_hash && !p.strings_hash && !p.symbols_hash);
+    }
+
+    #[test]
+    fn table_1_python_script_row() {
+        let p = CollectionPolicy::for_python_script();
+        assert!(p.file_metadata && p.file_hash);
+        assert!(!p.libraries && !p.modules && !p.compilers && !p.memory_map);
+        assert!(!p.strings_hash && !p.symbols_hash);
+    }
+
+    #[test]
+    fn collect_everything_overrides() {
+        for cat in [Category::System, Category::User, Category::Python] {
+            let p = CollectionPolicy::for_category(cat, PolicyMode::CollectEverything);
+            assert!(p.file_hash && p.strings_hash && p.symbols_hash && p.modules);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Missing-field accounting: the data behind "approximately 0.02 % of the
+//! jobs have missing fields that can be attributed to the loss of UDP
+//! messages" (§3.1).
+//!
+//! Expected fields are derived from the process category (reconstructed
+//! from the executable path, as the analysis layer does): system
+//! executables should carry metadata + objects (+ objects hash), user
+//! executables everything, Python interpreters metadata + objects + maps.
+//! A record missing its metadata entirely is counted as missing one field
+//! per expected category, since its path — and thus its category — is
+//! unknowable; the conservative assumption is the largest expectation.
+
+use crate::record::ProcessRecord;
+use std::collections::BTreeMap;
+
+/// Integrity summary over a consolidated record set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Distinct jobs observed.
+    pub jobs_total: u64,
+    /// Jobs with at least one missing field in some process record.
+    pub jobs_with_missing: u64,
+    /// Process records with at least one missing field.
+    pub processes_with_missing: u64,
+    /// Total records examined.
+    pub processes_total: u64,
+    /// Missing-field counts by field name (deterministic order).
+    pub missing_by_field: BTreeMap<&'static str, u64>,
+}
+
+impl IntegrityReport {
+    /// Fraction of jobs affected by loss (the paper's headline ~0.0002).
+    pub fn job_loss_fraction(&self) -> f64 {
+        if self.jobs_total == 0 {
+            0.0
+        } else {
+            self.jobs_with_missing as f64 / self.jobs_total as f64
+        }
+    }
+}
+
+fn expected_fields(rec: &ProcessRecord) -> Vec<&'static str> {
+    let Some(path) = rec.exe_path() else {
+        // Metadata lost: category unknown; expect the superset.
+        return vec!["meta", "objects", "objects_hash"];
+    };
+    let system_dirs = [
+        "/etc/", "/dev/", "/usr/", "/bin/", "/boot/", "/lib/", "/opt/", "/sbin/", "/sys/",
+        "/proc/", "/var/",
+    ];
+    let in_system = system_dirs.iter().any(|d| path.starts_with(d));
+    if !in_system {
+        vec![
+            "meta",
+            "objects",
+            "objects_hash",
+            "modules",
+            "modules_hash",
+            "compilers",
+            "compilers_hash",
+            "maps",
+            "maps_hash",
+            "file_hash",
+            "strings_hash",
+            "symbols_hash",
+        ]
+    } else if rec.is_python_interpreter() {
+        vec!["meta", "objects", "objects_hash", "maps", "maps_hash"]
+    } else {
+        vec!["meta", "objects", "objects_hash"]
+    }
+}
+
+fn has_field(rec: &ProcessRecord, field: &str) -> bool {
+    match field {
+        "meta" => !rec.meta.is_empty(),
+        "objects" => rec.objects.is_some(),
+        "objects_hash" => rec.objects_hash.is_some(),
+        "modules" => rec.modules.is_some(),
+        "modules_hash" => rec.modules_hash.is_some(),
+        "compilers" => rec.compilers.is_some(),
+        "compilers_hash" => rec.compilers_hash.is_some(),
+        "maps" => rec.maps.is_some(),
+        "maps_hash" => rec.maps_hash.is_some(),
+        "file_hash" => rec.file_hash.is_some(),
+        "strings_hash" => rec.strings_hash.is_some(),
+        "symbols_hash" => rec.symbols_hash.is_some(),
+        _ => unreachable!("unknown field {field}"),
+    }
+}
+
+/// Compute the integrity report for a consolidated record set.
+pub fn integrity_report(records: &[ProcessRecord]) -> IntegrityReport {
+    let mut report = IntegrityReport { processes_total: records.len() as u64, ..Default::default() };
+    let mut jobs = std::collections::HashSet::new();
+    let mut jobs_missing = std::collections::HashSet::new();
+
+    for rec in records {
+        jobs.insert(rec.key.job_id);
+        let mut missing_here = false;
+        for field in expected_fields(rec) {
+            if !has_field(rec, field) {
+                *report.missing_by_field.entry(field).or_insert(0) += 1;
+                missing_here = true;
+            }
+        }
+        if missing_here {
+            report.processes_with_missing += 1;
+            jobs_missing.insert(rec.key.job_id);
+        }
+    }
+
+    report.jobs_total = jobs.len() as u64;
+    report.jobs_with_missing = jobs_missing.len() as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::parse_kv;
+    use siren_db::Record;
+    use siren_wire::{Layer, MessageType};
+
+    fn rec(job: u64, path: Option<&str>) -> ProcessRecord {
+        let row = Record {
+            job_id: job,
+            step_id: 0,
+            pid: 1,
+            exe_hash: "h".into(),
+            host: "n".into(),
+            time: 1,
+            layer: Layer::SelfExe,
+            mtype: MessageType::Meta,
+            content: String::new(),
+        };
+        let mut r = ProcessRecord::new(&row);
+        if let Some(p) = path {
+            r.meta = parse_kv(&format!("path={p};uid=1001;user=user_1"));
+        }
+        r
+    }
+
+    fn complete_system(job: u64) -> ProcessRecord {
+        let mut r = rec(job, Some("/usr/bin/bash"));
+        r.objects = Some(vec!["/l.so".into()]);
+        r.objects_hash = Some("3:a:b".into());
+        r
+    }
+
+    #[test]
+    fn complete_records_report_clean() {
+        let records = vec![complete_system(1), complete_system(2)];
+        let report = integrity_report(&records);
+        assert_eq!(report.jobs_total, 2);
+        assert_eq!(report.jobs_with_missing, 0);
+        assert_eq!(report.processes_with_missing, 0);
+        assert_eq!(report.job_loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn missing_objects_detected() {
+        let mut broken = complete_system(1);
+        broken.objects = None;
+        let report = integrity_report(&[broken, complete_system(2)]);
+        assert_eq!(report.jobs_with_missing, 1);
+        assert_eq!(report.processes_with_missing, 1);
+        assert_eq!(report.missing_by_field["objects"], 1);
+        assert!((report.job_loss_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn user_records_expect_all_fields() {
+        let mut r = rec(1, Some("/users/u/app"));
+        r.objects = Some(vec![]);
+        r.objects_hash = Some("3:a:b".into());
+        // modules/compilers/maps/hashes all missing:
+        let report = integrity_report(&[r]);
+        assert!(report.missing_by_field.len() >= 8);
+        assert_eq!(report.processes_with_missing, 1);
+    }
+
+    #[test]
+    fn lost_metadata_counts_as_missing() {
+        let r = rec(1, None);
+        let report = integrity_report(&[r]);
+        assert_eq!(report.processes_with_missing, 1);
+        assert!(report.missing_by_field.contains_key("meta"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let report = integrity_report(&[]);
+        assert_eq!(report.jobs_total, 0);
+        assert_eq!(report.job_loss_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The consolidated per-process record.
+
+use siren_db::Record;
+use siren_wire::{MessageType, ProcessKey};
+use std::collections::HashMap;
+
+/// A merged SCRIPT-layer observation.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptRecord {
+    /// Script path.
+    pub path: Option<String>,
+    /// Parsed script file metadata.
+    pub meta: HashMap<String, String>,
+    /// `SCRIPT_H` — SSDeep hash of the script content.
+    pub script_hash: Option<String>,
+}
+
+/// One process observation, fully consolidated.
+#[derive(Debug, Clone)]
+pub struct ProcessRecord {
+    /// Identity (job, step, pid, exe-path hash, host, time, layer).
+    pub key: ProcessKey,
+    /// Parsed file metadata (`path`, `inode`, `size`, `uid`, `user`, …).
+    pub meta: HashMap<String, String>,
+    /// Loaded shared objects.
+    pub objects: Option<Vec<String>>,
+    /// Loaded modules.
+    pub modules: Option<Vec<String>>,
+    /// Compiler identification strings.
+    pub compilers: Option<Vec<String>>,
+    /// Memory-mapped file paths.
+    pub maps: Option<Vec<String>>,
+    /// `OBJECTS_H` (`OB_H`).
+    pub objects_hash: Option<String>,
+    /// `MODULES_H` (`MO_H`).
+    pub modules_hash: Option<String>,
+    /// `COMPILERS_H` (`CO_H`).
+    pub compilers_hash: Option<String>,
+    /// `MAPS_H`.
+    pub maps_hash: Option<String>,
+    /// `FILE_H` (`FI_H`).
+    pub file_hash: Option<String>,
+    /// `STRINGS_H` (`ST_H`).
+    pub strings_hash: Option<String>,
+    /// `SYMBOLS_H` (`SY_H`).
+    pub symbols_hash: Option<String>,
+    /// Merged Python script, when this is an interpreter process.
+    pub script: Option<ScriptRecord>,
+}
+
+/// Parse a `k=v;k=v` content string.
+pub fn parse_kv(content: &str) -> HashMap<String, String> {
+    content
+        .split(';')
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Parse a `;`-joined list, dropping empties.
+pub fn parse_list(content: &str) -> Vec<String> {
+    content.split(';').filter(|s| !s.is_empty()).map(|s| s.to_string()).collect()
+}
+
+impl ProcessRecord {
+    /// Empty record keyed like `row`.
+    pub fn new(row: &Record) -> Self {
+        Self {
+            key: ProcessKey {
+                job_id: row.job_id,
+                step_id: row.step_id,
+                pid: row.pid,
+                exe_hash: row.exe_hash.clone(),
+                host: row.host.clone(),
+                time: row.time,
+                layer: row.layer,
+            },
+            meta: HashMap::new(),
+            objects: None,
+            modules: None,
+            compilers: None,
+            maps: None,
+            objects_hash: None,
+            modules_hash: None,
+            compilers_hash: None,
+            maps_hash: None,
+            file_hash: None,
+            strings_hash: None,
+            symbols_hash: None,
+            script: None,
+        }
+    }
+
+    /// Fold one database row into this record.
+    pub fn absorb(&mut self, row: &Record) {
+        match row.mtype {
+            MessageType::Meta => self.meta = parse_kv(&row.content),
+            MessageType::Objects => self.objects = Some(parse_list(&row.content)),
+            MessageType::Modules => self.modules = Some(parse_list(&row.content)),
+            MessageType::Compilers => self.compilers = Some(parse_list(&row.content)),
+            MessageType::Maps => self.maps = Some(parse_list(&row.content)),
+            MessageType::ObjectsHash => self.objects_hash = Some(row.content.clone()),
+            MessageType::ModulesHash => self.modules_hash = Some(row.content.clone()),
+            MessageType::CompilersHash => self.compilers_hash = Some(row.content.clone()),
+            MessageType::MapsHash => self.maps_hash = Some(row.content.clone()),
+            MessageType::FileHash => self.file_hash = Some(row.content.clone()),
+            MessageType::StringsHash => self.strings_hash = Some(row.content.clone()),
+            MessageType::SymbolsHash => self.symbols_hash = Some(row.content.clone()),
+            // SCRIPT_H arrives on the SCRIPT layer and is handled by the
+            // merging pass; ENV is reserved.
+            MessageType::ScriptHash | MessageType::Env => {}
+        }
+    }
+
+    /// Executable path (from metadata).
+    pub fn exe_path(&self) -> Option<&str> {
+        self.meta.get("path").map(|s| s.as_str())
+    }
+
+    /// Anonymized user name (from metadata).
+    pub fn user(&self) -> Option<&str> {
+        self.meta.get("user").map(|s| s.as_str())
+    }
+
+    /// Numeric uid (from metadata).
+    pub fn uid(&self) -> Option<u32> {
+        self.meta.get("uid").and_then(|s| s.parse().ok())
+    }
+
+    /// Executable file name (final path component).
+    pub fn exe_name(&self) -> Option<&str> {
+        self.exe_path().map(|p| p.rsplit('/').next().unwrap_or(p))
+    }
+
+    /// Is this record a Python interpreter process (by executable name)?
+    pub fn is_python_interpreter(&self) -> bool {
+        self.exe_name()
+            .map(|n| {
+                n.strip_prefix("python")
+                    .map(|rest| rest.is_empty() || rest.chars().all(|c| c.is_ascii_digit() || c == '.'))
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siren_wire::Layer;
+
+    fn base_row() -> Record {
+        Record {
+            job_id: 1,
+            step_id: 0,
+            pid: 2,
+            exe_hash: "h".into(),
+            host: "n".into(),
+            time: 3,
+            layer: Layer::SelfExe,
+            mtype: MessageType::Meta,
+            content: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_kv_basics() {
+        let kv = parse_kv("a=1;b=two;c=;broken;d=4");
+        assert_eq!(kv.get("a").unwrap(), "1");
+        assert_eq!(kv.get("b").unwrap(), "two");
+        assert_eq!(kv.get("c").unwrap(), "");
+        assert!(!kv.contains_key("broken"));
+        assert_eq!(kv.len(), 4);
+    }
+
+    #[test]
+    fn parse_list_drops_empties() {
+        assert_eq!(parse_list("a;b;;c"), vec!["a", "b", "c"]);
+        assert!(parse_list("").is_empty());
+    }
+
+    #[test]
+    fn absorb_each_type() {
+        let mut rec = ProcessRecord::new(&base_row());
+        let mut row = base_row();
+
+        row.mtype = MessageType::Meta;
+        row.content = "path=/usr/bin/x;uid=1001;user=user_1".into();
+        rec.absorb(&row);
+        assert_eq!(rec.exe_path(), Some("/usr/bin/x"));
+        assert_eq!(rec.exe_name(), Some("x"));
+        assert_eq!(rec.uid(), Some(1001));
+        assert_eq!(rec.user(), Some("user_1"));
+
+        row.mtype = MessageType::Objects;
+        row.content = "/a.so;/b.so".into();
+        rec.absorb(&row);
+        assert_eq!(rec.objects.as_ref().unwrap().len(), 2);
+
+        row.mtype = MessageType::FileHash;
+        row.content = "3:abc:de".into();
+        rec.absorb(&row);
+        assert_eq!(rec.file_hash.as_deref(), Some("3:abc:de"));
+
+        row.mtype = MessageType::Compilers;
+        row.content = "GCC: (SUSE Linux) 13.2.1".into();
+        rec.absorb(&row);
+        assert_eq!(rec.compilers.as_ref().unwrap()[0], "GCC: (SUSE Linux) 13.2.1");
+    }
+
+    #[test]
+    fn python_interpreter_detection() {
+        let mut rec = ProcessRecord::new(&base_row());
+        let mut row = base_row();
+        row.content = "path=/usr/bin/python3.10".into();
+        rec.absorb(&row);
+        assert!(rec.is_python_interpreter());
+
+        row.content = "path=/usr/bin/bash".into();
+        rec.absorb(&row);
+        assert!(!rec.is_python_interpreter());
+
+        // No metadata at all (META message lost): not an interpreter.
+        let empty = ProcessRecord::new(&base_row());
+        assert!(!empty.is_python_interpreter());
+    }
+}

@@ -1,0 +1,278 @@
+//! The end-to-end deployment runner.
+
+use siren_cluster::{Campaign, CampaignConfig, CampaignStats};
+use siren_collector::{Collector, CollectorStats, PolicyMode};
+use siren_consolidate::{consolidate, integrity_report, ConsolidateStats, IntegrityReport, ProcessRecord};
+use siren_db::Database;
+use siren_net::{SimChannel, SimConfig, UdpReceiver, UdpSender};
+use siren_wire::{Message, Reassembler, DEFAULT_MAX_DATAGRAM};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+
+/// Which transport carries the datagrams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-memory simulated channel (deterministic; supports loss
+    /// injection). The default for experiments.
+    Simulated,
+    /// Real UDP sockets over 127.0.0.1 (exercises the actual network
+    /// stack; loss is whatever the loopback does under load).
+    UdpLoopback,
+}
+
+/// Full deployment configuration.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Workload parameters.
+    pub campaign: CampaignConfig,
+    /// Simulated-channel perturbations (ignored for UDP loopback).
+    pub channel: SimConfig,
+    /// Collection policy mode.
+    pub policy: PolicyMode,
+    /// Transport selection.
+    pub transport: TransportKind,
+    /// Datagram size limit.
+    pub max_datagram: usize,
+    /// Optional WAL path for a persistent database.
+    pub db_path: Option<PathBuf>,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        Self {
+            campaign: CampaignConfig::default(),
+            channel: SimConfig::perfect(),
+            policy: PolicyMode::Selective,
+            transport: TransportKind::Simulated,
+            max_datagram: DEFAULT_MAX_DATAGRAM,
+            db_path: None,
+        }
+    }
+}
+
+/// Everything a deployment run produces.
+#[derive(Debug)]
+pub struct DeploymentResult {
+    /// Workload-generation statistics.
+    pub campaign_stats: CampaignStats,
+    /// Collector statistics.
+    pub collector_stats: CollectorStats,
+    /// Datagrams handed to the transport.
+    pub datagrams_sent: u64,
+    /// Datagrams dropped by injected loss (simulated transport only).
+    pub datagrams_dropped: u64,
+    /// Datagrams delivered to the receiver.
+    pub datagrams_delivered: u64,
+    /// Logical messages fully reassembled.
+    pub reassembly_complete: u64,
+    /// Logical messages with lost chunks.
+    pub reassembly_incomplete: u64,
+    /// Duplicate chunks observed.
+    pub reassembly_duplicates: u64,
+    /// Rows stored in the database.
+    pub db_rows: u64,
+    /// Consolidation statistics.
+    pub consolidate_stats: ConsolidateStats,
+    /// Consolidated per-process records — the analysis input.
+    pub records: Vec<ProcessRecord>,
+    /// Missing-field integrity report.
+    pub integrity: IntegrityReport,
+}
+
+/// A configured deployment, ready to run.
+pub struct Deployment {
+    cfg: DeploymentConfig,
+}
+
+impl Deployment {
+    /// Create a deployment.
+    pub fn new(cfg: DeploymentConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Run the full pipeline and consolidate the results.
+    pub fn run(self) -> DeploymentResult {
+        match self.cfg.transport {
+            TransportKind::Simulated => self.run_simulated(),
+            TransportKind::UdpLoopback => self.run_udp(),
+        }
+    }
+
+    fn finish(
+        cfg: &DeploymentConfig,
+        campaign_stats: CampaignStats,
+        collector_stats: CollectorStats,
+        messages: Vec<Message>,
+        datagrams_dropped: u64,
+    ) -> DeploymentResult {
+        let datagrams_delivered = messages.len() as u64;
+
+        let mut reasm = Reassembler::new();
+        let db = match &cfg.db_path {
+            Some(path) => Database::open(path).expect("open database WAL").0,
+            None => Database::in_memory(),
+        };
+
+        let mut complete = 0u64;
+        for msg in messages {
+            if let Some(done) = reasm.push(msg) {
+                complete += 1;
+                db.insert_message(done).expect("database insert");
+            }
+        }
+        let incomplete = reasm.drain_incomplete();
+        let duplicates = reasm.duplicates;
+        db.flush().expect("database flush");
+
+        let consolidated = consolidate(&db);
+        let integrity = integrity_report(&consolidated.records);
+
+        DeploymentResult {
+            campaign_stats,
+            datagrams_sent: collector_stats.datagrams_sent,
+            collector_stats,
+            datagrams_dropped,
+            datagrams_delivered,
+            reassembly_complete: complete,
+            reassembly_incomplete: incomplete.len() as u64,
+            reassembly_duplicates: duplicates,
+            db_rows: db.len() as u64,
+            consolidate_stats: consolidated.stats,
+            records: consolidated.records,
+            integrity,
+        }
+    }
+
+    fn run_simulated(self) -> DeploymentResult {
+        let campaign = Campaign::new(self.cfg.campaign.clone());
+        let (tx, rx) = SimChannel::create(self.cfg.channel);
+        let mut collector =
+            Collector::new(&tx, self.cfg.policy).with_max_datagram(self.cfg.max_datagram);
+
+        let campaign_stats = campaign.run(|ctx| collector.observe(&ctx));
+        let collector_stats = collector.stats().clone();
+
+        let (messages, decode_errors) = rx.drain_messages();
+        assert_eq!(decode_errors, 0, "sim channel never corrupts datagrams");
+        let dropped = rx.stats().dropped.load(Ordering::Relaxed);
+
+        Self::finish(&self.cfg, campaign_stats, collector_stats, messages, dropped)
+    }
+
+    fn run_udp(self) -> DeploymentResult {
+        let receiver = UdpReceiver::spawn(65_536).expect("bind loopback receiver");
+        let sender = UdpSender::connect(receiver.local_addr()).expect("sender socket");
+
+        let campaign = Campaign::new(self.cfg.campaign.clone());
+        let mut collector =
+            Collector::new(&sender, self.cfg.policy).with_max_datagram(self.cfg.max_datagram);
+        let campaign_stats = campaign.run(|ctx| collector.observe(&ctx));
+        let collector_stats = collector.stats().clone();
+
+        // Drain until the socket has been quiet for a grace period.
+        let mut messages = Vec::new();
+        let mut quiet = 0;
+        while quiet < 10 {
+            match receiver.recv_timeout(std::time::Duration::from_millis(50)) {
+                Some(m) => {
+                    messages.push(m);
+                    quiet = 0;
+                }
+                None => quiet += 1,
+            }
+        }
+        let stats = receiver.stop();
+        let dropped = collector_stats.datagrams_sent.saturating_sub(stats.received);
+
+        Self::finish(&self.cfg, campaign_stats, collector_stats, messages, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(transport: TransportKind) -> DeploymentConfig {
+        let mut cfg = DeploymentConfig::default();
+        cfg.campaign.scale = 0.001;
+        cfg.transport = transport;
+        cfg
+    }
+
+    #[test]
+    fn simulated_pipeline_is_lossless_by_default() {
+        let r = Deployment::new(tiny(TransportKind::Simulated)).run();
+        assert_eq!(r.datagrams_dropped, 0);
+        assert_eq!(r.datagrams_sent, r.datagrams_delivered);
+        assert_eq!(r.reassembly_incomplete, 0);
+        assert_eq!(r.db_rows, r.reassembly_complete);
+        assert_eq!(r.integrity.jobs_with_missing, 0);
+        assert_eq!(
+            r.records.len() as u64,
+            r.consolidate_stats.processes
+        );
+        // Every rank-0, non-containerized observation must become exactly
+        // one record; containers are the collector's documented blind spot.
+        assert_eq!(
+            r.records.len() as u64,
+            r.campaign_stats.processes - r.campaign_stats.container_processes
+        );
+        assert_eq!(
+            r.collector_stats.invisible_container,
+            r.campaign_stats.container_processes
+        );
+    }
+
+    #[test]
+    fn loss_injection_produces_missing_fields() {
+        let mut cfg = tiny(TransportKind::Simulated);
+        cfg.channel = SimConfig::with_loss(0.05, 99);
+        let r = Deployment::new(cfg).run();
+        assert!(r.datagrams_dropped > 0);
+        assert!(r.reassembly_incomplete > 0 || r.integrity.processes_with_missing > 0);
+        assert!(r.integrity.job_loss_fraction() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = || {
+            let r = Deployment::new(tiny(TransportKind::Simulated)).run();
+            (
+                r.db_rows,
+                r.records.len(),
+                r.records.first().map(|x| x.key.clone()),
+                r.records.last().map(|x| x.key.clone()),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn udp_loopback_pipeline_works() {
+        let r = Deployment::new(tiny(TransportKind::UdpLoopback)).run();
+        // Loopback may drop under burst, but the pipeline must deliver the
+        // overwhelming majority and consolidate cleanly.
+        assert!(r.datagrams_delivered > 0);
+        let delivered_frac = r.datagrams_delivered as f64 / r.datagrams_sent as f64;
+        assert!(delivered_frac > 0.5, "loopback delivered only {delivered_frac}");
+        assert!(!r.records.is_empty());
+    }
+
+    #[test]
+    fn persistent_database_round_trips() {
+        let dir = std::env::temp_dir().join(format!("siren-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.sirendb");
+        let _ = std::fs::remove_file(&path);
+
+        let mut cfg = tiny(TransportKind::Simulated);
+        cfg.db_path = Some(path.clone());
+        let r = Deployment::new(cfg).run();
+        assert!(r.db_rows > 0);
+
+        let (db, stats) = Database::open(&path).unwrap();
+        assert_eq!(stats.records, r.db_rows);
+        assert_eq!(db.len() as u64, r.db_rows);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

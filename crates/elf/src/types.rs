@@ -1,0 +1,192 @@
+//! ELF64 constants and shared enums (the subset SIREN needs).
+
+/// `e_type` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElfType {
+    /// Relocatable object (`ET_REL`).
+    Rel,
+    /// Static executable (`ET_EXEC`).
+    Exec,
+    /// Position-independent executable / shared object (`ET_DYN`).
+    Dyn,
+}
+
+impl ElfType {
+    /// Encode to the on-disk `e_type` value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ElfType::Rel => 1,
+            ElfType::Exec => 2,
+            ElfType::Dyn => 3,
+        }
+    }
+
+    /// Decode from the on-disk value.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(ElfType::Rel),
+            2 => Some(ElfType::Exec),
+            3 => Some(ElfType::Dyn),
+            _ => None,
+        }
+    }
+}
+
+/// `e_machine` values (only what the simulator emits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Machine {
+    /// AMD x86-64 (`EM_X86_64`) — LUMI's CPU partition.
+    X86_64,
+    /// AArch64 (`EM_AARCH64`).
+    Aarch64,
+}
+
+impl Machine {
+    /// Encode to the on-disk `e_machine` value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            Machine::X86_64 => 0x3E,
+            Machine::Aarch64 => 0xB7,
+        }
+    }
+
+    /// Decode from the on-disk value.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            0x3E => Some(Machine::X86_64),
+            0xB7 => Some(Machine::Aarch64),
+            _ => None,
+        }
+    }
+}
+
+/// Symbol binding (upper nibble of `st_info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// `STB_LOCAL` — not visible outside the object (C `static`).
+    Local,
+    /// `STB_GLOBAL` — externally visible; these form the "global scope ELF
+    /// symbols" that SIREN fuzzy-hashes for `Symbols_H`.
+    Global,
+    /// `STB_WEAK`.
+    Weak,
+}
+
+impl Binding {
+    /// Encode to the `st_info` upper nibble.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Binding::Local => 0,
+            Binding::Global => 1,
+            Binding::Weak => 2,
+        }
+    }
+
+    /// Decode from the `st_info` upper nibble.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Binding::Local),
+            1 => Some(Binding::Global),
+            2 => Some(Binding::Weak),
+            _ => None,
+        }
+    }
+}
+
+/// Symbol type (lower nibble of `st_info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymType {
+    /// `STT_NOTYPE`.
+    NoType,
+    /// `STT_OBJECT` — data (variables).
+    Object,
+    /// `STT_FUNC` — functions.
+    Func,
+}
+
+impl SymType {
+    /// Encode to the `st_info` lower nibble.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            SymType::NoType => 0,
+            SymType::Object => 1,
+            SymType::Func => 2,
+        }
+    }
+
+    /// Decode from the `st_info` lower nibble.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(SymType::NoType),
+            1 => Some(SymType::Object),
+            2 => Some(SymType::Func),
+            _ => None,
+        }
+    }
+}
+
+/// Section header types (`sh_type`).
+pub mod sht {
+    /// Inactive header.
+    pub const NULL: u32 = 0;
+    /// Program-defined contents.
+    pub const PROGBITS: u32 = 1;
+    /// Full symbol table.
+    pub const SYMTAB: u32 = 2;
+    /// String table.
+    pub const STRTAB: u32 = 3;
+    /// Dynamic linking information.
+    pub const DYNAMIC: u32 = 6;
+    /// Zero-initialized space (not stored).
+    pub const NOBITS: u32 = 8;
+    /// Dynamic-linking symbol table.
+    pub const DYNSYM: u32 = 11;
+}
+
+/// Dynamic-section tags (`d_tag`).
+pub mod dt {
+    /// End of dynamic array.
+    pub const NULL: i64 = 0;
+    /// Offset (into `.dynstr`) of a needed library name.
+    pub const NEEDED: i64 = 1;
+    /// Address of the dynamic string table.
+    pub const STRTAB: i64 = 5;
+}
+
+/// Size of the ELF64 file header.
+pub const EHDR_SIZE: usize = 64;
+/// Size of one ELF64 section header.
+pub const SHDR_SIZE: usize = 64;
+/// Size of one ELF64 symbol-table entry.
+pub const SYM_SIZE: usize = 24;
+/// Size of one ELF64 dynamic entry.
+pub const DYN_SIZE: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_round_trips() {
+        for t in [ElfType::Rel, ElfType::Exec, ElfType::Dyn] {
+            assert_eq!(ElfType::from_u16(t.to_u16()), Some(t));
+        }
+        for m in [Machine::X86_64, Machine::Aarch64] {
+            assert_eq!(Machine::from_u16(m.to_u16()), Some(m));
+        }
+        for b in [Binding::Local, Binding::Global, Binding::Weak] {
+            assert_eq!(Binding::from_u8(b.to_u8()), Some(b));
+        }
+        for s in [SymType::NoType, SymType::Object, SymType::Func] {
+            assert_eq!(SymType::from_u8(s.to_u8()), Some(s));
+        }
+    }
+
+    #[test]
+    fn unknown_values_rejected() {
+        assert_eq!(ElfType::from_u16(99), None);
+        assert_eq!(Machine::from_u16(1), None);
+        assert_eq!(Binding::from_u8(9), None);
+        assert_eq!(SymType::from_u8(9), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! Parallel batch comparison.
+//!
+//! The paper's motivation for fuzzy hashing over byte-level comparison is
+//! scalability: a fuzzy hash is ≤ ~100 characters, so one-vs-many and
+//! all-pairs similarity over millions of process records stays cheap. This
+//! module provides those batch operations, parallelized over OS threads
+//! with `crossbeam::scope` (no global thread-pool dependency).
+//!
+//! The block-size compatibility rule also enables *pruning*: hashes whose
+//! block size is not equal/half/double the baseline's can never score
+//! above 0, so they are skipped without string work. The pruning knob is
+//! exposed for the ablation bench.
+
+use crate::compare::compare_parsed;
+use crate::FuzzyHash;
+
+/// A scored corpus entry returned by [`similarity_search`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchHit {
+    /// Index into the corpus slice passed to the search.
+    pub index: usize,
+    /// Similarity score 0–100.
+    pub score: u32,
+}
+
+fn worker_count(n_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Below ~4k comparisons the spawn cost dominates any speedup.
+    if n_items < 4096 {
+        1
+    } else {
+        hw.min(n_items.div_ceil(2048)).max(1)
+    }
+}
+
+/// Compare `baseline` against every element of `corpus`, in parallel.
+/// Returns one score per corpus element, in order.
+pub fn compare_many(baseline: &FuzzyHash, corpus: &[FuzzyHash]) -> Vec<u32> {
+    compare_many_impl(baseline, corpus, false)
+}
+
+/// As [`compare_many`] but skipping block-size-incompatible entries
+/// without any string work (they score 0 by definition).
+pub fn compare_many_pruned(baseline: &FuzzyHash, corpus: &[FuzzyHash]) -> Vec<u32> {
+    compare_many_impl(baseline, corpus, true)
+}
+
+fn compare_many_impl(baseline: &FuzzyHash, corpus: &[FuzzyHash], prune: bool) -> Vec<u32> {
+    let workers = worker_count(corpus.len());
+    let mut scores = vec![0u32; corpus.len()];
+
+    let score_one = |h: &FuzzyHash| -> u32 {
+        if prune {
+            let (a, b) = (baseline.block_size, h.block_size);
+            if a != b && a != b.wrapping_mul(2) && b != a.wrapping_mul(2) {
+                return 0;
+            }
+        }
+        compare_parsed(baseline, h)
+    };
+
+    if workers <= 1 {
+        for (s, h) in scores.iter_mut().zip(corpus) {
+            *s = score_one(h);
+        }
+        return scores;
+    }
+
+    let chunk = corpus.len().div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for (out, inp) in scores.chunks_mut(chunk).zip(corpus.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (s, h) in out.iter_mut().zip(inp) {
+                    *s = score_one(h);
+                }
+            });
+        }
+    })
+    .expect("comparison worker panicked");
+
+    scores
+}
+
+/// Rank the corpus by similarity to `baseline`, keeping entries scoring at
+/// least `min_score`. Results are sorted by descending score, ties by
+/// ascending index (stable, deterministic output for reports).
+pub fn similarity_search(
+    baseline: &FuzzyHash,
+    corpus: &[FuzzyHash],
+    min_score: u32,
+) -> Vec<SearchHit> {
+    let scores = compare_many_pruned(baseline, corpus);
+    let mut hits: Vec<SearchHit> = scores
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, s)| s >= min_score && s > 0)
+        .map(|(index, score)| SearchHit { index, score })
+        .collect();
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.index.cmp(&b.index)));
+    hits
+}
+
+/// Full pairwise similarity matrix (symmetric; diagonal is 100 for
+/// non-empty hashes). Row-major `n × n`. Only the upper triangle is
+/// computed; the lower is mirrored.
+pub fn compare_matrix(corpus: &[FuzzyHash]) -> Vec<Vec<u32>> {
+    let n = corpus.len();
+    let mut matrix = vec![vec![0u32; n]; n];
+
+    // Parallelize over rows; row i computes columns i..n.
+    let workers = worker_count(n * n / 2);
+    let rows: Vec<(usize, Vec<u32>)> = if workers <= 1 {
+        (0..n).map(|i| (i, row_scores(corpus, i))).collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results = parking_lot_free_collect(n, workers, &next, corpus);
+        results
+    };
+
+    for (i, row) in rows {
+        for (j, &s) in row.iter().enumerate() {
+            let col = i + j;
+            matrix[i][col] = s;
+            matrix[col][i] = s;
+        }
+    }
+    matrix
+}
+
+fn row_scores(corpus: &[FuzzyHash], i: usize) -> Vec<u32> {
+    let base = &corpus[i];
+    corpus[i..].iter().map(|h| compare_parsed(base, h)).collect()
+}
+
+/// Work-stealing row distribution without any lock: an atomic row cursor.
+fn parking_lot_free_collect(
+    n: usize,
+    workers: usize,
+    next: &std::sync::atomic::AtomicUsize,
+    corpus: &[FuzzyHash],
+) -> Vec<(usize, Vec<u32>)> {
+    use std::sync::atomic::Ordering;
+    let mut all: Vec<(usize, Vec<u32>)> = Vec::with_capacity(n);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, row_scores(corpus, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("matrix worker panicked"));
+        }
+    })
+    .expect("matrix scope failed");
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzzy_hash;
+
+    fn corpus() -> Vec<FuzzyHash> {
+        // A family of similar byte strings plus unrelated ones.
+        let base: Vec<u8> = (0..10_000u32).map(|i| (i * 17 % 251) as u8).collect();
+        let mut out = Vec::new();
+        out.push(fuzzy_hash(&base));
+        for k in 1..4u8 {
+            let mut v = base.clone();
+            for b in v.iter_mut().skip(1000 * k as usize).take(40) {
+                *b ^= k;
+            }
+            out.push(fuzzy_hash(&v));
+        }
+        for seed in [7u32, 8, 9] {
+            let unrelated: Vec<u8> =
+                (0..10_000u32).map(|i| ((i * 31 + seed * 1013) % 247) as u8).collect();
+            out.push(fuzzy_hash(&unrelated));
+        }
+        out
+    }
+
+    #[test]
+    fn compare_many_matches_sequential() {
+        let c = corpus();
+        let scores = compare_many(&c[0], &c);
+        let expect: Vec<u32> = c.iter().map(|h| compare_parsed(&c[0], h)).collect();
+        assert_eq!(scores, expect);
+        assert_eq!(scores[0], 100);
+    }
+
+    #[test]
+    fn pruned_equals_unpruned() {
+        let c = corpus();
+        assert_eq!(compare_many(&c[0], &c), compare_many_pruned(&c[0], &c));
+    }
+
+    #[test]
+    fn search_is_sorted_and_filtered() {
+        let c = corpus();
+        let hits = similarity_search(&c[0], &c, 1);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(hits[0].score, 100);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for h in &hits {
+            assert!(h.score >= 1);
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_perfect_diagonal() {
+        let c = corpus();
+        let m = compare_matrix(&c);
+        for i in 0..c.len() {
+            assert_eq!(m[i][i], 100);
+            for j in 0..c.len() {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn family_members_outscore_strangers() {
+        let c = corpus();
+        let scores = compare_many(&c[0], &c);
+        let family_min = scores[1..4].iter().min().unwrap();
+        let stranger_max = scores[4..].iter().max().unwrap();
+        assert!(family_min > stranger_max, "family {family_min} vs stranger {stranger_max}");
+    }
+
+    #[test]
+    fn large_corpus_parallel_path() {
+        // Force the multi-worker code path (>4096 items).
+        let base: Vec<u8> = (0..2_000u32).map(|i| (i % 199) as u8).collect();
+        let h = fuzzy_hash(&base);
+        let corpus: Vec<FuzzyHash> = (0..5000).map(|_| h.clone()).collect();
+        let scores = compare_many(&h, &corpus);
+        assert!(scores.iter().all(|&s| s == 100));
+    }
+}

@@ -1,0 +1,115 @@
+//! Text encodings: lowercase hex and the base64 alphabet used by SSDeep.
+//!
+//! SSDeep emits each chunk hash as a single character of the *standard*
+//! base64 alphabet (`A-Za-z0-9+/`); the fuzzy crate indexes into
+//! [`BASE64_ALPHABET`] with `hash % 64`. Hex is used for record keys
+//! (executable hashes, `FILE_H` columns) throughout the pipeline.
+
+/// The standard base64 alphabet, in SSDeep's indexing order.
+pub const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+/// Render bytes as lowercase hex.
+pub fn to_hex(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0F) as usize] as char);
+    }
+    out
+}
+
+/// Parse lowercase/uppercase hex back into bytes. Returns `None` on odd
+/// length or non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0])?;
+        let lo = hex_val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Standard base64 encoding (no padding variants needed by SIREN, so
+/// padding with `=` is always applied).
+pub fn to_base64(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(BASE64_ALPHABET[(triple >> 18) as usize & 63] as char);
+        out.push(BASE64_ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            BASE64_ALPHABET[(triple >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            BASE64_ALPHABET[triple as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let data = [0u8, 1, 15, 16, 127, 128, 255];
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_known() {
+        assert_eq!(to_hex(&[0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+        assert_eq!(from_hex("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(from_hex("abc").is_none()); // odd length
+        assert!(from_hex("zz").is_none()); // non-hex
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        assert_eq!(to_base64(b""), "");
+        assert_eq!(to_base64(b"f"), "Zg==");
+        assert_eq!(to_base64(b"fo"), "Zm8=");
+        assert_eq!(to_base64(b"foo"), "Zm9v");
+        assert_eq!(to_base64(b"foob"), "Zm9vYg==");
+        assert_eq!(to_base64(b"fooba"), "Zm9vYmE=");
+        assert_eq!(to_base64(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn alphabet_is_64_unique_chars() {
+        let mut seen = std::collections::HashSet::new();
+        for &c in BASE64_ALPHABET.iter() {
+            assert!(seen.insert(c));
+        }
+        assert_eq!(seen.len(), 64);
+    }
+}

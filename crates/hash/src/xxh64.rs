@@ -1,0 +1,233 @@
+//! XXH64 — the 64-bit variant of xxHash.
+//!
+//! Implemented directly from the published algorithm specification
+//! (<https://github.com/Cyan4973/xxHash/blob/dev/doc/xxhash_spec.md>).
+//! Both a one-shot function ([`xxh64`]) and a streaming hasher ([`Xxh64`])
+//! are provided; the streaming form is what the collector uses when hashing
+//! large executables without loading them whole.
+
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+#[inline]
+fn round(acc: u64, lane: u64) -> u64 {
+    acc.wrapping_add(lane.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn merge_round(hash: u64, acc: u64) -> u64 {
+    (hash ^ round(0, acc)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+#[inline]
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+/// Hash `data` with seed `seed` in one shot.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let mut h = Xxh64::with_seed(seed);
+    h.update(data);
+    h.digest()
+}
+
+/// Streaming XXH64 hasher.
+///
+/// ```
+/// use siren_hash::Xxh64;
+/// let mut h = Xxh64::with_seed(0);
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.digest(), siren_hash::xxh64(b"hello world", 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Xxh64 {
+    acc: [u64; 4],
+    buf: [u8; 32],
+    buf_len: usize,
+    total_len: u64,
+    seed: u64,
+}
+
+impl Xxh64 {
+    /// Create a hasher with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            acc: [
+                seed.wrapping_add(P1).wrapping_add(P2),
+                seed.wrapping_add(P2),
+                seed,
+                seed.wrapping_sub(P1),
+            ],
+            buf: [0; 32],
+            buf_len: 0,
+            total_len: 0,
+            seed,
+        }
+    }
+
+    /// Feed more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+
+        if self.buf_len > 0 {
+            let need = 32 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 32 {
+                let stripe = self.buf;
+                self.consume_stripe(&stripe);
+                self.buf_len = 0;
+            }
+        }
+
+        while data.len() >= 32 {
+            let (stripe, rest) = data.split_at(32);
+            let mut tmp = [0u8; 32];
+            tmp.copy_from_slice(stripe);
+            self.consume_stripe(&tmp);
+            data = rest;
+        }
+
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    #[inline]
+    fn consume_stripe(&mut self, stripe: &[u8; 32]) {
+        self.acc[0] = round(self.acc[0], read_u64(&stripe[0..]));
+        self.acc[1] = round(self.acc[1], read_u64(&stripe[8..]));
+        self.acc[2] = round(self.acc[2], read_u64(&stripe[16..]));
+        self.acc[3] = round(self.acc[3], read_u64(&stripe[24..]));
+    }
+
+    /// Finish and return the 64-bit digest. The hasher may keep being
+    /// updated afterwards; `digest` is non-destructive.
+    pub fn digest(&self) -> u64 {
+        let mut h = if self.total_len >= 32 {
+            let [a1, a2, a3, a4] = self.acc;
+            let mut h = a1
+                .rotate_left(1)
+                .wrapping_add(a2.rotate_left(7))
+                .wrapping_add(a3.rotate_left(12))
+                .wrapping_add(a4.rotate_left(18));
+            h = merge_round(h, a1);
+            h = merge_round(h, a2);
+            h = merge_round(h, a3);
+            h = merge_round(h, a4);
+            h
+        } else {
+            self.seed.wrapping_add(P5)
+        };
+
+        h = h.wrapping_add(self.total_len);
+
+        let mut tail = &self.buf[..self.buf_len];
+        while tail.len() >= 8 {
+            h ^= round(0, read_u64(tail));
+            h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+            tail = &tail[8..];
+        }
+        if tail.len() >= 4 {
+            h ^= u64::from(read_u32(tail)).wrapping_mul(P1);
+            h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+            tail = &tail[4..];
+        }
+        for &b in tail {
+            h ^= u64::from(b).wrapping_mul(P5);
+            h = h.rotate_left(11).wrapping_mul(P1);
+        }
+
+        avalanche(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_seed_dependent() {
+        assert_ne!(xxh64(b"", 0), xxh64(b"", 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = b"the quick brown fox jumps over the lazy dog";
+        assert_eq!(xxh64(d, 42), xxh64(d, 42));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_hash() {
+        let a = vec![0u8; 1024];
+        let mut b = a.clone();
+        b[512] ^= 1;
+        assert_ne!(xxh64(&a, 0), xxh64(&b, 0));
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_across_split_points() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let expect = xxh64(&data, 7);
+        for split in [0, 1, 3, 31, 32, 33, 64, 500, 999, 1000] {
+            let mut h = Xxh64::with_seed(7);
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.digest(), expect, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_byte_at_a_time() {
+        let data = b"SIREN collects process metadata and fuzzy hashes";
+        let mut h = Xxh64::with_seed(0);
+        for &b in data.iter() {
+            h.update(&[b]);
+        }
+        assert_eq!(h.digest(), xxh64(data, 0));
+    }
+
+    #[test]
+    fn short_inputs_all_lengths() {
+        // Exercise every tail-length code path (0..32 plus one long case).
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=64 {
+            assert!(seen.insert(xxh64(&data[..len], 0)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_disperse() {
+        let d = b"collision probe";
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..100u64 {
+            seen.insert(xxh64(d, seed));
+        }
+        assert_eq!(seen.len(), 100);
+    }
+}

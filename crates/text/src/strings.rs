@@ -1,0 +1,115 @@
+//! Printable-string extraction, equivalent to the Unix `strings` command.
+//!
+//! `siren.so` computes `Strings_H`, "an SSDeep fuzzy hash of the printable
+//! strings found in the file (similar to the output of the `strings`
+//! command)". Extracting strings first and hashing those makes the fuzzy
+//! hash robust to code-section churn: recompiling with different flags
+//! rewrites machine code but leaves most literals, option names, and
+//! format strings intact.
+
+/// Configuration for the scanner.
+#[derive(Debug, Clone, Copy)]
+pub struct StringsConfig {
+    /// Minimum run length to report (the `strings` default is 4).
+    pub min_len: usize,
+    /// Whether tab (0x09) counts as printable, as GNU strings does.
+    pub include_tab: bool,
+}
+
+impl Default for StringsConfig {
+    fn default() -> Self {
+        Self { min_len: 4, include_tab: true }
+    }
+}
+
+#[inline]
+fn is_printable(b: u8, cfg: &StringsConfig) -> bool {
+    (0x20..=0x7E).contains(&b) || (cfg.include_tab && b == b'\t')
+}
+
+/// Extract printable strings of at least `cfg.min_len` bytes.
+pub fn printable_strings(data: &[u8], cfg: &StringsConfig) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for (i, &b) in data.iter().enumerate() {
+        if is_printable(b, cfg) {
+            if run_start.is_none() {
+                run_start = Some(i);
+            }
+        } else if let Some(start) = run_start.take() {
+            if i - start >= cfg.min_len {
+                out.push(String::from_utf8_lossy(&data[start..i]).into_owned());
+            }
+        }
+    }
+    if let Some(start) = run_start {
+        if data.len() - start >= cfg.min_len {
+            out.push(String::from_utf8_lossy(&data[start..]).into_owned());
+        }
+    }
+    out
+}
+
+/// Extract strings and join them with `\n` — the exact byte stream that is
+/// fed to the fuzzy hasher for `Strings_H` (mirrors piping `strings` into
+/// `ssdeep`).
+pub fn printable_strings_joined(data: &[u8], cfg: &StringsConfig) -> String {
+    printable_strings(data, cfg).join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_runs_of_min_length() {
+        let data = b"\x00\x01hello\x00ab\x02world!\x03";
+        let got = printable_strings(data, &StringsConfig::default());
+        assert_eq!(got, vec!["hello", "world!"]);
+    }
+
+    #[test]
+    fn run_at_end_of_buffer() {
+        let data = b"\x00trailing";
+        let got = printable_strings(data, &StringsConfig::default());
+        assert_eq!(got, vec!["trailing"]);
+    }
+
+    #[test]
+    fn empty_and_all_binary() {
+        assert!(printable_strings(b"", &StringsConfig::default()).is_empty());
+        assert!(printable_strings(&[0u8; 64], &StringsConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn min_len_respected() {
+        let data = b"ab\x00abcd\x00abcdef";
+        let cfg = StringsConfig { min_len: 4, include_tab: true };
+        assert_eq!(printable_strings(data, &cfg), vec!["abcd", "abcdef"]);
+        let cfg2 = StringsConfig { min_len: 2, include_tab: true };
+        assert_eq!(printable_strings(data, &cfg2), vec!["ab", "abcd", "abcdef"]);
+    }
+
+    #[test]
+    fn tab_handling() {
+        let data = b"\x00with\ttab\x00";
+        let with = StringsConfig { min_len: 4, include_tab: true };
+        let without = StringsConfig { min_len: 4, include_tab: false };
+        assert_eq!(printable_strings(data, &with), vec!["with\ttab"]);
+        assert_eq!(printable_strings(data, &without), vec!["with"]);
+    }
+
+    #[test]
+    fn joined_form() {
+        let data = b"\x00one\x00\x00two2\x00";
+        let cfg = StringsConfig { min_len: 3, include_tab: true };
+        assert_eq!(printable_strings_joined(data, &cfg), "one\ntwo2");
+    }
+
+    #[test]
+    fn whole_printable_buffer_is_one_string() {
+        let data = b"GCC: (SUSE Linux) 13.2.1";
+        let got = printable_strings(data, &StringsConfig::default());
+        assert_eq!(got, vec!["GCC: (SUSE Linux) 13.2.1"]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Message header fields: process identity + information category.
+
+/// LAYER field: distinguishes the Python interpreter process itself from
+/// the Python script it runs (§3.1: "LAYER (SELF or SCRIPT to distinguish
+/// Python interpreters from Python scripts)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// Data about the process's own executable.
+    SelfExe,
+    /// Data about the Python input script run by this interpreter process.
+    Script,
+}
+
+impl Layer {
+    /// Wire encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::SelfExe => "SELF",
+            Layer::Script => "SCRIPT",
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "SELF" => Some(Layer::SelfExe),
+            "SCRIPT" => Some(Layer::Script),
+            _ => None,
+        }
+    }
+}
+
+/// TYPE field: which information category the content carries.
+///
+/// The list mirrors §3.1's data categories: file metadata, loaded shared
+/// objects, loaded modules, compiler identification strings, memory map,
+/// and the SSDeep hashes of the raw file / printable strings / global
+/// symbols, plus the fuzzy hashes of the list-valued categories that the
+/// paper computes "to provide a means of analysis and similarity even in
+/// the case of partially missing information".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MessageType {
+    /// Executable file metadata (inode, size, permissions, owner, times).
+    Meta,
+    /// Loaded modules (`LOADEDMODULES`).
+    Modules,
+    /// Loaded shared objects (`dl_iterate_phdr`).
+    Objects,
+    /// Compiler identification strings (`.comment`).
+    Compilers,
+    /// Memory-mapped regions (`/proc/self/maps`).
+    Maps,
+    /// SSDeep hash of the raw executable bytes (`FILE_H` / `FI_H`).
+    FileHash,
+    /// SSDeep hash of the printable strings (`Strings_H` / `ST_H`).
+    StringsHash,
+    /// SSDeep hash of the global symbol names (`Symbols_H` / `SY_H`).
+    SymbolsHash,
+    /// SSDeep hash of the module list (`MO_H`).
+    ModulesHash,
+    /// SSDeep hash of the shared-object list (`OBJECTS_H` / `OB_H`).
+    ObjectsHash,
+    /// SSDeep hash of the compiler list (`CO_H`).
+    CompilersHash,
+    /// SSDeep hash of the memory map (`MA_H`).
+    MapsHash,
+    /// SSDeep hash of the Python input script (`SCRIPT_H`).
+    ScriptHash,
+    /// Environment snapshot (Slurm variables etc.).
+    Env,
+}
+
+impl MessageType {
+    /// All variants, for iteration in tests and reports.
+    pub const ALL: [MessageType; 14] = [
+        MessageType::Meta,
+        MessageType::Modules,
+        MessageType::Objects,
+        MessageType::Compilers,
+        MessageType::Maps,
+        MessageType::FileHash,
+        MessageType::StringsHash,
+        MessageType::SymbolsHash,
+        MessageType::ModulesHash,
+        MessageType::ObjectsHash,
+        MessageType::CompilersHash,
+        MessageType::MapsHash,
+        MessageType::ScriptHash,
+        MessageType::Env,
+    ];
+
+    /// Wire encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MessageType::Meta => "META",
+            MessageType::Modules => "MODULES",
+            MessageType::Objects => "OBJECTS",
+            MessageType::Compilers => "COMPILERS",
+            MessageType::Maps => "MAPS",
+            MessageType::FileHash => "FILE_H",
+            MessageType::StringsHash => "STRINGS_H",
+            MessageType::SymbolsHash => "SYMBOLS_H",
+            MessageType::ModulesHash => "MODULES_H",
+            MessageType::ObjectsHash => "OBJECTS_H",
+            MessageType::CompilersHash => "COMPILERS_H",
+            MessageType::MapsHash => "MAPS_H",
+            MessageType::ScriptHash => "SCRIPT_H",
+            MessageType::Env => "ENV",
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_str(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|t| t.as_str() == s)
+    }
+}
+
+/// Header shared by every chunk of one logical message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MessageHeader {
+    /// `SLURM_JOB_ID`.
+    pub job_id: u64,
+    /// `SLURM_STEP_ID`.
+    pub step_id: u32,
+    /// Process id.
+    pub pid: u32,
+    /// Hash of the executable path (XXH3-128 hex) — disambiguates `exec()`
+    /// image replacement and PID reuse within the same 1-second timestamp.
+    pub exe_hash: String,
+    /// Node hostname.
+    pub host: String,
+    /// UNIX timestamp of collection (1-second granularity).
+    pub time: u64,
+    /// SELF or SCRIPT.
+    pub layer: Layer,
+    /// Information category.
+    pub mtype: MessageType,
+}
+
+impl MessageHeader {
+    /// The process identity part of the header (everything except the
+    /// message type): all messages with the same [`ProcessKey`] describe
+    /// the same process observation and are merged by consolidation.
+    pub fn process_key(&self) -> ProcessKey {
+        ProcessKey {
+            job_id: self.job_id,
+            step_id: self.step_id,
+            pid: self.pid,
+            exe_hash: self.exe_hash.clone(),
+            host: self.host.clone(),
+            time: self.time,
+            layer: self.layer,
+        }
+    }
+}
+
+/// Identity of one process observation in the database.
+///
+/// §3.1 discusses why PID alone is insufficient: `exec()` replaces the
+/// process image under the same PID within the same 1-second timestamp,
+/// so the executable-path hash participates in the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessKey {
+    /// `SLURM_JOB_ID`.
+    pub job_id: u64,
+    /// `SLURM_STEP_ID`.
+    pub step_id: u32,
+    /// Process id.
+    pub pid: u32,
+    /// Executable path hash.
+    pub exe_hash: String,
+    /// Node hostname.
+    pub host: String,
+    /// Collection timestamp.
+    pub time: u64,
+    /// SELF or SCRIPT.
+    pub layer: Layer,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_round_trip() {
+        for l in [Layer::SelfExe, Layer::Script] {
+            assert_eq!(Layer::from_str(l.as_str()), Some(l));
+        }
+        assert_eq!(Layer::from_str("OTHER"), None);
+    }
+
+    #[test]
+    fn message_type_round_trip_all() {
+        for t in MessageType::ALL {
+            assert_eq!(MessageType::from_str(t.as_str()), Some(t));
+        }
+        assert_eq!(MessageType::from_str("NOPE"), None);
+    }
+
+    #[test]
+    fn type_strings_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for t in MessageType::ALL {
+            assert!(seen.insert(t.as_str()));
+        }
+    }
+
+    #[test]
+    fn process_key_distinguishes_exec_replacement() {
+        let mk = |hash: &str| MessageHeader {
+            job_id: 1,
+            step_id: 0,
+            pid: 100,
+            exe_hash: hash.into(),
+            host: "nid1".into(),
+            time: 42,
+            layer: Layer::SelfExe,
+            mtype: MessageType::Meta,
+        };
+        // Same PID + timestamp, different executable (bash exec'ing srun):
+        // keys must differ.
+        assert_ne!(mk("aaaa").process_key(), mk("bbbb").process_key());
+        assert_eq!(mk("aaaa").process_key(), mk("aaaa").process_key());
+    }
+}

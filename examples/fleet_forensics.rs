@@ -1,0 +1,60 @@
+//! Fleet forensics: support-team workflows on collected data.
+//!
+//! Three §4 scenarios a user-support team runs against the SIREN
+//! database:
+//!
+//! 1. **Deviating system tools** (Table 4): a user reports that `bash`
+//!    "behaves strangely" — find the library-set variants and the odd one
+//!    out.
+//! 2. **Toolchain census** (Table 6 / Fig. 4): which compiler toolchains
+//!    are actually in use, including novel ones (Rust, conda GCC)?
+//! 3. **Python supply-chain watch** (Fig. 3): which Python packages are
+//!    imported on the system, by how many users — the input to a
+//!    slopsquatting / CVE cross-reference.
+//!
+//! ```text
+//! cargo run --release --example fleet_forensics
+//! ```
+
+use siren_repro::analysis;
+use siren_repro::cluster::python::PACKAGE_CATALOG;
+use siren_repro::{Deployment, DeploymentConfig};
+
+fn main() {
+    let mut cfg = DeploymentConfig::default();
+    cfg.campaign.scale = 0.01;
+    let result = Deployment::new(cfg).run();
+    let records = &result.records;
+
+    // --- 1. deviating bash variants --------------------------------
+    let variants = analysis::library_variant_table(records, "/usr/bin/bash");
+    println!("{}", analysis::system_usage::render_library_variants(&variants));
+    if let Some(rare) = variants.last() {
+        println!(
+            "→ rarest bash environment ({} processes) deviates via: {}\n",
+            rare.processes,
+            rare.deviating.join(", ")
+        );
+    }
+
+    // --- 2. toolchain census ----------------------------------------
+    let compilers = analysis::compiler_table(records);
+    println!("{}", analysis::compilers::render_compilers(&compilers));
+    let novel: Vec<&str> = compilers
+        .iter()
+        .flat_map(|r| r.combo.iter())
+        .filter(|c| c.contains("rustc") || c.contains("conda"))
+        .map(|s| s.as_str())
+        .collect();
+    println!("→ novel toolchains detected: {:?}\n", novel);
+
+    // --- 3. python package census ------------------------------------
+    let pkgs = analysis::package_stats(records, PACKAGE_CATALOG);
+    println!("{}", analysis::python_stats::render_packages(&pkgs));
+    let widely_used: Vec<&str> = pkgs
+        .iter()
+        .filter(|p| p.unique_users >= 2)
+        .map(|p| p.package.as_str())
+        .collect();
+    println!("→ packages imported by ≥2 users (audit first): {:?}", widely_used);
+}

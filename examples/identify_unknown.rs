@@ -1,0 +1,61 @@
+//! Identify an unknown application — the paper's headline use case
+//! (Table 7).
+//!
+//! A user runs a binary with the nondescript name `a.out` from a scratch
+//! directory. Name-based labeling fails; this example shows how SIREN's
+//! six fuzzy-hash dimensions (modules, compilers, objects, raw file,
+//! strings, symbols) identify it as an `icon` climate-model build, and
+//! then verifies the identification independently from the shared
+//! libraries it loads (§4.3, "Verifying Functionality of Scientific
+//! Software").
+//!
+//! ```text
+//! cargo run --release --example identify_unknown
+//! ```
+
+use siren_repro::analysis::{self, Labeler};
+use siren_repro::text::SubstringDeriver;
+use siren_repro::{find_unknown_baseline, report, Deployment, DeploymentConfig};
+
+fn main() {
+    let mut cfg = DeploymentConfig::default();
+    cfg.campaign.scale = 0.01;
+    let result = Deployment::new(cfg).run();
+    let records = &result.records;
+
+    // 1. Name-based labeling leaves an UNKNOWN residue (Table 5).
+    let labels = analysis::label_table(records, &Labeler::default());
+    println!("{}", analysis::labels::render_labels(&labels));
+    let unknown = labels.iter().find(|r| r.label == "UNKNOWN").expect("UNKNOWN present");
+    println!(
+        "→ {} processes across {} binaries could not be labeled by name.\n",
+        unknown.process_count, unknown.unique_file_h
+    );
+
+    // 2. Similarity search against all known instances (Table 7).
+    let baseline = find_unknown_baseline(records).expect("an a.out record exists");
+    println!(
+        "baseline: {} (job {}, host {})\n",
+        baseline.exe_path().unwrap_or("?"),
+        baseline.key.job_id,
+        baseline.key.host
+    );
+    println!("{}", report::similarity_report(records));
+
+    let rows = analysis::similarity_search_table(records, baseline, &Labeler::default(), 10);
+    let best = rows.first().expect("similarity search found candidates");
+    println!("→ best match: {} with average similarity {:.1}\n", best.label, best.avg);
+
+    // 3. Verify the identification from the loaded libraries: climate
+    // indicators (climatedt, hdf5, netcdf, fortran) should be present.
+    let matched = &records[best.record_index];
+    if let Some(objects) = &matched.objects {
+        let derived = SubstringDeriver::paper().derive_all(objects);
+        println!("derived libraries of the matched instance: {}", derived.join(", "));
+        let climate = derived.iter().any(|d| d.contains("climatedt"));
+        println!(
+            "→ climate-domain libraries {}: the unknown binary is a climate/weather code.",
+            if climate { "CONFIRMED" } else { "not found" }
+        );
+    }
+}

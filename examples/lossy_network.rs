@@ -1,0 +1,49 @@
+//! Fire-and-forget under fire: UDP loss injection and graceful failure.
+//!
+//! SIREN chose UDP precisely so the collector can lose data instead of
+//! disturbing user processes. This example injects increasing datagram
+//! loss into the simulated channel and shows (a) the pipeline never
+//! fails, (b) missing fields stay proportionate, and (c) the category-
+//! level fuzzy hashes keep the similarity search usable even with lost
+//! columns — the paper's stated reason for hashing the list-valued
+//! categories at all.
+//!
+//! ```text
+//! cargo run --release --example lossy_network
+//! ```
+
+use siren_repro::analysis::{self, Labeler};
+use siren_repro::net::SimConfig;
+use siren_repro::{find_unknown_baseline, Deployment, DeploymentConfig};
+
+fn main() {
+    println!("loss_rate  delivered  incomplete  jobs_missing  unknown_still_identified");
+    for loss in [0.0, 0.001, 0.01, 0.05, 0.15] {
+        let mut cfg = DeploymentConfig::default();
+        cfg.campaign.scale = 0.005;
+        cfg.channel = SimConfig::with_loss(loss, 0xFEED);
+        let r = Deployment::new(cfg).run();
+
+        // Does the Table-7 search still identify the unknown as icon?
+        let identified = find_unknown_baseline(&r.records)
+            .map(|baseline| {
+                analysis::similarity_search_table(&r.records, baseline, &Labeler::default(), 1)
+                    .first()
+                    .map(|row| row.label == "icon")
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false);
+
+        println!(
+            "{:>9.3}  {:>9}  {:>10}  {:>12}  {:>24}",
+            loss,
+            r.datagrams_delivered,
+            r.reassembly_incomplete,
+            r.integrity.jobs_with_missing,
+            if identified { "yes" } else { "NO" },
+        );
+    }
+    println!("\nEven at heavy injected loss the pipeline completes and the");
+    println!("similarity identification survives, because each hash column is");
+    println!("an independent line of evidence.");
+}

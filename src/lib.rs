@@ -1,0 +1,11 @@
+//! # siren-repro — reproduction of "SIREN: Software Identification and
+//! Recognition in HPC Systems" (SC 2025)
+//!
+//! This is the umbrella crate: it re-exports the full [`siren_core`] API
+//! and hosts the runnable examples (`examples/`), the cross-crate
+//! integration tests (`tests/`), and the `experiments` binary that
+//! regenerates every table and figure of the paper.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use siren_core::*;

@@ -1,0 +1,133 @@
+//! Cross-crate consistency: the simulator's library catalog, software
+//! lineages, and label rules must agree with the analysis layer's
+//! derivation and labeling logic — otherwise the tables would silently
+//! drift from the corpus that generates them.
+
+use siren_repro::analysis::labels::{default_label_rules, Labeler};
+use siren_repro::cluster::corpus::{ApplicationCorpus, GROUPS};
+use siren_repro::cluster::libcatalog::LIBRARY_CATALOG;
+use siren_repro::cluster::python::{PythonEcosystem, PACKAGE_CATALOG, SCRIPT_FAMILIES};
+use siren_repro::consolidate::extract_python_imports;
+use siren_repro::text::SubstringDeriver;
+
+#[test]
+fn every_catalog_path_derives_to_its_label() {
+    let deriver = SubstringDeriver::paper();
+    for (label, path) in LIBRARY_CATALOG {
+        assert_eq!(
+            deriver.derive(path).as_deref(),
+            Some(*label),
+            "catalog path {path} must derive to {label}"
+        );
+    }
+}
+
+#[test]
+fn base_libraries_derive_to_nothing() {
+    let deriver = SubstringDeriver::paper();
+    for path in siren_repro::cluster::libcatalog::BASE_LIBRARIES {
+        assert_eq!(deriver.derive(path), None, "{path} must be uninformative");
+    }
+}
+
+#[test]
+fn every_group_exe_path_gets_its_software_label() {
+    let corpus = ApplicationCorpus::build();
+    let labeler = Labeler::new(default_label_rules());
+    for group in corpus.groups() {
+        let expected = if group.spec.software == "UNKNOWN" {
+            "UNKNOWN"
+        } else {
+            group.spec.software
+        };
+        // Check a few variants across the range.
+        for v in [0, group.spec.variants / 2, group.spec.variants - 1] {
+            let path = group.exe_path("user_4", v);
+            assert_eq!(
+                labeler.label(&path),
+                expected,
+                "group {} path {path}",
+                group.spec.group_id
+            );
+        }
+    }
+}
+
+#[test]
+fn group_variant_binaries_have_expected_compiler_comments() {
+    let corpus = ApplicationCorpus::build();
+    for group in corpus.groups() {
+        let parsed = siren_repro::elf::ElfFile::parse(&group.variants[0].content).unwrap();
+        let comments = parsed.comment_strings();
+        assert_eq!(
+            comments.len(),
+            group.spec.compilers.len(),
+            "group {}",
+            group.spec.group_id
+        );
+        for (got, want) in comments.iter().zip(group.spec.compilers) {
+            assert_eq!(got, want, "group {}", group.spec.group_id);
+        }
+    }
+}
+
+#[test]
+fn group_objects_resolve_within_catalog() {
+    let corpus = ApplicationCorpus::build();
+    let deriver = SubstringDeriver::paper();
+    let catalog_labels: std::collections::HashSet<&str> =
+        LIBRARY_CATALOG.iter().map(|(l, _)| *l).collect();
+    for group in corpus.groups() {
+        for variant in &group.variants {
+            for derived in deriver.derive_all(&variant.objects) {
+                assert!(
+                    catalog_labels.contains(derived.as_str()),
+                    "group {} derives unknown label {derived}",
+                    group.spec.group_id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unknown_group_is_copy_of_icon_gcc() {
+    let spec = GROUPS.iter().find(|g| g.group_id == "unknown").unwrap();
+    assert_eq!(spec.copy_of, Some("icon-gcc"));
+    assert_eq!(spec.software, "UNKNOWN");
+    assert_eq!(spec.variants, 7); // Table 5's UNKNOWN unique FILE_H
+}
+
+#[test]
+fn script_family_imports_extractable_from_maps() {
+    let eco = PythonEcosystem::build();
+    for fam in SCRIPT_FAMILIES {
+        let interp = eco.interpreter(fam.interpreter);
+        for script in eco.scripts(fam.id) {
+            let maps = eco.interpreter_maps(interp, script);
+            let extracted = extract_python_imports(&maps, PACKAGE_CATALOG);
+            let mut expected: Vec<&str> = script.imports.clone();
+            expected.sort_unstable();
+            let mut got = extracted.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "family {} script {}", fam.id, script.path);
+        }
+    }
+}
+
+#[test]
+fn label_rules_cover_every_software_in_the_corpus() {
+    let labeler = Labeler::default();
+    let softwares: std::collections::HashSet<&str> =
+        GROUPS.iter().map(|g| g.software).filter(|s| *s != "UNKNOWN").collect();
+    // Each software must be *producible* by the rules (its own exe paths
+    // match), and no rule may be dead (matched by no group).
+    let corpus = ApplicationCorpus::build();
+    let mut produced: std::collections::HashSet<String> = Default::default();
+    for group in corpus.groups() {
+        produced.insert(labeler.label(&group.exe_path("user_1", 0)).to_string());
+    }
+    for sw in softwares {
+        assert!(produced.contains(sw), "software {sw} unreachable by label rules");
+    }
+}

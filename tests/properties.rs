@@ -1,0 +1,314 @@
+//! Cross-crate property-based tests (proptest): the invariants that hold
+//! for *arbitrary* inputs, not just the simulated campaign.
+
+use proptest::prelude::*;
+use siren_repro::db::Record;
+use siren_repro::elf::{Binding, ElfBuilder, ElfFile, ElfType, SymType};
+use siren_repro::fuzzy::{
+    compare_parsed, fuzzy_hash, fuzzy_hash_reference, FuzzyHash, FuzzyHasher,
+};
+use siren_repro::text::Regex;
+use siren_repro::wire::{chunk_message, Layer, Message, MessageHeader, MessageType, Reassembler};
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![Just(Layer::SelfExe), Just(Layer::Script)]
+}
+
+fn arb_mtype() -> impl Strategy<Value = MessageType> {
+    (0usize..MessageType::ALL.len()).prop_map(|i| MessageType::ALL[i])
+}
+
+fn arb_header() -> impl Strategy<Value = MessageHeader> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        "[0-9a-f]{0,32}",
+        "[a-zA-Z0-9._-]{1,24}",
+        any::<u64>(),
+        arb_layer(),
+        arb_mtype(),
+    )
+        .prop_map(|(job_id, step_id, pid, exe_hash, host, time, layer, mtype)| MessageHeader {
+            job_id,
+            step_id,
+            pid,
+            exe_hash,
+            host,
+            time,
+            layer,
+            mtype,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------------------------------------------------- fuzzy --
+
+    /// The streaming engine agrees byte-for-byte with the published
+    /// two-pass reference algorithm on arbitrary inputs.
+    #[test]
+    fn fuzzy_streaming_equals_reference(data in proptest::collection::vec(any::<u8>(), 0..6000)) {
+        prop_assert_eq!(fuzzy_hash(&data), fuzzy_hash_reference(&data));
+    }
+
+    /// Streaming digests are split-point independent.
+    #[test]
+    fn fuzzy_streaming_split_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..4000),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = (data.len() as f64 * split_frac) as usize;
+        let mut h = FuzzyHasher::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.digest(), fuzzy_hash(&data));
+    }
+
+    /// Self-similarity is 100 for any non-empty input; comparison is
+    /// symmetric for arbitrary pairs.
+    #[test]
+    fn fuzzy_compare_self_and_symmetry(
+        a in proptest::collection::vec(any::<u8>(), 1..4000),
+        b in proptest::collection::vec(any::<u8>(), 1..4000),
+    ) {
+        let ha = fuzzy_hash(&a);
+        let hb = fuzzy_hash(&b);
+        prop_assert_eq!(compare_parsed(&ha, &ha), 100);
+        prop_assert_eq!(compare_parsed(&ha, &hb), compare_parsed(&hb, &ha));
+    }
+
+    /// Generated hashes always re-parse to themselves.
+    #[test]
+    fn fuzzy_hash_text_round_trip(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        let h = fuzzy_hash(&data);
+        let reparsed = FuzzyHash::parse(&h.to_string_repr()).unwrap();
+        prop_assert_eq!(h, reparsed);
+    }
+
+    // ----------------------------------------------------------- wire --
+
+    /// Datagram encode/decode round-trips arbitrary headers and content.
+    #[test]
+    fn wire_round_trip(header in arb_header(), content in "[ -~]{0,500}") {
+        let msg = Message { header, chunk_index: 0, chunk_total: 1, content };
+        prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    /// Chunking + reassembly reconstructs content under arbitrary chunk
+    /// permutations and duplications.
+    #[test]
+    fn wire_reassembly_under_permutation(
+        header in arb_header(),
+        content in "[ -~]{0,4000}",
+        limit in 100usize..1500,
+        seed in any::<u64>(),
+    ) {
+        let chunks = chunk_message(&header, &content, limit);
+        // Deterministic shuffle + duplicate every third chunk.
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        let mut x = seed | 1;
+        for i in (1..order.len()).rev() {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            order.swap(i, (x as usize) % (i + 1));
+        }
+        let mut reasm = Reassembler::new();
+        let mut done = None;
+        for &i in &order {
+            if let Some(d) = reasm.push(chunks[i].clone()) {
+                done = Some(d);
+            }
+            if i % 3 == 0 {
+                let _ = reasm.push(chunks[i].clone()); // duplicate
+            }
+        }
+        let done = done.expect("all chunks delivered");
+        prop_assert_eq!(done.content, content);
+    }
+
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn wire_decode_total(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Message::decode(&data);
+    }
+
+    // ------------------------------------------------------------- db --
+
+    /// Database records survive binary encode/decode for arbitrary field
+    /// values.
+    #[test]
+    fn db_record_round_trip(
+        header in arb_header(),
+        content in "\\PC{0,300}",
+    ) {
+        let rec = Record {
+            job_id: header.job_id,
+            step_id: header.step_id,
+            pid: header.pid,
+            exe_hash: header.exe_hash.clone(),
+            host: header.host.clone(),
+            time: header.time,
+            layer: header.layer,
+            mtype: header.mtype,
+            content,
+        };
+        prop_assert_eq!(Record::decode(&rec.encode()), Some(rec));
+    }
+
+    /// Record decoding never panics on arbitrary bytes.
+    #[test]
+    fn db_record_decode_total(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Record::decode(&data);
+    }
+
+    // ------------------------------------------------------------ elf --
+
+    /// Builder output always parses, and comments/symbols round-trip for
+    /// arbitrary (printable, NUL-free) names.
+    #[test]
+    fn elf_round_trip(
+        comments in proptest::collection::vec("[ -~]{1,60}", 0..4),
+        symbols in proptest::collection::vec("[a-zA-Z_][a-zA-Z0-9_]{0,30}", 0..16),
+        text in proptest::collection::vec(any::<u8>(), 0..2000),
+    ) {
+        let mut builder = ElfBuilder::new(ElfType::Dyn).text(&text);
+        for c in &comments {
+            builder = builder.comment(c);
+        }
+        for (i, s) in symbols.iter().enumerate() {
+            builder = builder.symbol(s, i as u64, 8, Binding::Global, SymType::Func);
+        }
+        let bin = builder.build();
+        let parsed = ElfFile::parse(&bin).unwrap();
+        prop_assert_eq!(parsed.comment_strings(), comments);
+        let mut names: Vec<String> =
+            parsed.global_symbols().into_iter().map(|s| s.name).collect();
+        let mut expected = symbols.clone();
+        names.sort();
+        expected.sort();
+        prop_assert_eq!(names, expected);
+    }
+
+    // ---------------------------------------------------------- regex --
+
+    /// For escaped literal patterns, the engine agrees with `str::contains`.
+    #[test]
+    fn regex_literal_equals_contains(needle in "[a-z]{1,8}", hay in "[a-z]{0,40}") {
+        let re = Regex::new(&needle).unwrap();
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    /// Anchored exact patterns match only the exact string.
+    #[test]
+    fn regex_anchored_exact(s in "[a-z]{1,10}", t in "[a-z]{1,10}") {
+        let re = Regex::new(&format!("^{s}$")).unwrap();
+        prop_assert_eq!(re.is_match(&t), s == t);
+    }
+}
+
+// Appended invariants: WAL crash tolerance and edit-distance oracle.
+
+/// Naive weighted-DL reference (exponential, memoized via table) used as
+/// an oracle for the production edit distance on short strings.
+fn oracle_edit_distance(a: &[u8], b: &[u8]) -> u32 {
+    const INS: u32 = 1;
+    const DEL: u32 = 1;
+    const SUB: u32 = 3;
+    const SWP: u32 = 5;
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in 0..=n {
+        dp[i][0] = i as u32 * DEL;
+    }
+    for j in 0..=m {
+        dp[0][j] = j as u32 * INS;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let mut best = dp[i - 1][j] + DEL;
+            best = best.min(dp[i][j - 1] + INS);
+            best = best.min(dp[i - 1][j - 1] + if a[i - 1] == b[j - 1] { 0 } else { SUB });
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(dp[i - 2][j - 2] + SWP);
+            }
+            dp[i][j] = best;
+        }
+    }
+    dp[n][m]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production edit distance equals the textbook DP oracle.
+    #[test]
+    fn edit_distance_matches_oracle(a in "[A-Za-z0-9+/]{0,24}", b in "[A-Za-z0-9+/]{0,24}") {
+        prop_assert_eq!(
+            siren_repro::fuzzy::compare::edit_distance(&a, &b),
+            oracle_edit_distance(a.as_bytes(), b.as_bytes())
+        );
+    }
+
+    /// WAL crash tolerance: truncating the log at ANY byte position
+    /// yields a replayable prefix of intact records — never a panic,
+    /// never a corrupted record.
+    #[test]
+    fn wal_any_truncation_point_replays_prefix(
+        n_records in 1usize..12,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use siren_repro::db::{Record as DbRecord, WalReader, WalWriter};
+        use siren_repro::wire::{Layer as WLayer, MessageType as WType};
+
+        let dir = std::env::temp_dir().join(format!("siren-prop-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t{n_records}-{}.wal", (cut_frac * 1e9) as u64));
+        let _ = std::fs::remove_file(&path);
+
+        let recs: Vec<DbRecord> = (0..n_records)
+            .map(|i| DbRecord {
+                job_id: i as u64,
+                step_id: 0,
+                pid: i as u32,
+                exe_hash: format!("{i:x}"),
+                host: "n".into(),
+                time: i as u64,
+                layer: WLayer::SelfExe,
+                mtype: WType::Meta,
+                content: format!("record-{i}"),
+            })
+            .collect();
+        {
+            let mut w = WalWriter::append_to(&path).unwrap();
+            for r in &recs {
+                w.append(r).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let cut = (full.len() as f64 * cut_frac) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let (replayed, _stats) = WalReader::open(&path).unwrap().replay().unwrap();
+        prop_assert!(replayed.len() <= recs.len());
+        for (got, want) in replayed.iter().zip(&recs) {
+            prop_assert_eq!(got, want);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Sequence elimination is idempotent and never lengthens a string.
+    #[test]
+    fn eliminate_sequences_idempotent(s in "[A-Za-z]{0,64}") {
+        use siren_repro::fuzzy::compare::eliminate_sequences;
+        let once = eliminate_sequences(&s);
+        prop_assert!(once.len() <= s.len());
+        prop_assert_eq!(eliminate_sequences(&once), once.clone());
+        // No run longer than 3 survives.
+        let bytes = once.as_bytes();
+        for w in bytes.windows(4) {
+            prop_assert!(!(w[0] == w[1] && w[1] == w[2] && w[2] == w[3]));
+        }
+    }
+}
