@@ -120,7 +120,10 @@ pub fn recognition_ablation(
     }
     let binaries: Vec<Binary> = by_hash.into_values().collect();
 
-    let mut out = RecognitionAblation { fuzzy_threshold, ..Default::default() };
+    let mut out = RecognitionAblation {
+        fuzzy_threshold,
+        ..Default::default()
+    };
     for i in 0..binaries.len() {
         for j in (i + 1)..binaries.len() {
             let (a, b) = (&binaries[i], &binaries[j]);
@@ -187,9 +190,36 @@ mod tests {
         let lmp = fuzzy_hash(&variant_bytes(999_999, 0)).to_string_repr();
 
         let records = vec![
-            record(1, 1, "u4", "/users/u4/icon-model/build_0/bin/icon", Some(&icon_a), None, None, 1),
-            record(2, 2, "u4", "/users/u4/icon-model/build_1/bin/icon_atm", Some(&icon_b), None, None, 2),
-            record(3, 3, "u2", "/users/u2/lammps/build/lmp", Some(&lmp), None, None, 3),
+            record(
+                1,
+                1,
+                "u4",
+                "/users/u4/icon-model/build_0/bin/icon",
+                Some(&icon_a),
+                None,
+                None,
+                1,
+            ),
+            record(
+                2,
+                2,
+                "u4",
+                "/users/u4/icon-model/build_1/bin/icon_atm",
+                Some(&icon_b),
+                None,
+                None,
+                2,
+            ),
+            record(
+                3,
+                3,
+                "u2",
+                "/users/u2/lammps/build/lmp",
+                Some(&lmp),
+                None,
+                None,
+                3,
+            ),
         ];
         let abl = recognition_ablation(&records, &labeler, 60);
         assert_eq!(abl.variant_pairs, 1); // the two icon binaries
@@ -207,8 +237,26 @@ mod tests {
         // Same file name "lmp" vs a gromacs binary also named... use equal
         // names across different softwares:
         let records = vec![
-            record(1, 1, "u", "/users/u/lammps/run/app", Some(&a), None, None, 1),
-            record(2, 2, "u", "/users/u/gromacs/run/app", Some(&b), None, None, 2),
+            record(
+                1,
+                1,
+                "u",
+                "/users/u/lammps/run/app",
+                Some(&a),
+                None,
+                None,
+                1,
+            ),
+            record(
+                2,
+                2,
+                "u",
+                "/users/u/gromacs/run/app",
+                Some(&b),
+                None,
+                None,
+                2,
+            ),
         ];
         let abl = recognition_ablation(&records, &labeler, 60);
         assert_eq!(abl.variant_pairs, 0);
@@ -219,15 +267,29 @@ mod tests {
     fn unknown_records_excluded_from_ground_truth() {
         let labeler = Labeler::default();
         let a = fuzzy_hash(&variant_bytes(1, 0)).to_string_repr();
-        let records =
-            vec![record(1, 1, "u", "/scratch/x/a.out", Some(&a), None, None, 1)];
+        let records = vec![record(
+            1,
+            1,
+            "u",
+            "/scratch/x/a.out",
+            Some(&a),
+            None,
+            None,
+            1,
+        )];
         let abl = recognition_ablation(&records, &labeler, 60);
         assert_eq!(abl.variant_pairs, 0);
     }
 
     #[test]
     fn render_mentions_all_methods() {
-        let out = RecognitionAblation { variant_pairs: 10, fuzzy_hits: 9, fuzzy_threshold: 60, ..Default::default() }.render();
+        let out = RecognitionAblation {
+            variant_pairs: 10,
+            fuzzy_hits: 9,
+            fuzzy_threshold: 60,
+            ..Default::default()
+        }
+        .render();
         for m in ["name-based", "exact-hash", "fuzzy-hash"] {
             assert!(out.contains(m));
         }

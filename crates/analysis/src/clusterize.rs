@@ -31,7 +31,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect(), size: vec![1; n] }
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Representative of `x`'s set.
@@ -100,11 +103,15 @@ pub fn cluster_binaries(
         if category_of(rec) != RecordCategory::User {
             continue;
         }
-        let (Some(path), Some(fh)) = (rec.exe_path(), rec.file_hash.as_ref()) else { continue };
+        let (Some(path), Some(fh)) = (rec.exe_path(), rec.file_hash.as_ref()) else {
+            continue;
+        };
         if seen.insert(fh.clone(), ()).is_some() {
             continue;
         }
-        let Ok(parsed) = FuzzyHash::parse(fh) else { continue };
+        let Ok(parsed) = FuzzyHash::parse(fh) else {
+            continue;
+        };
         nodes.push(BinaryNode {
             file_hash: fh.clone(),
             parsed,
@@ -137,7 +144,12 @@ pub fn cluster_binaries(
         assignment.push(id);
     }
 
-    Clustering { nodes, assignment, n_clusters: dense.len(), threshold }
+    Clustering {
+        nodes,
+        assignment,
+        n_clusters: dense.len(),
+        threshold,
+    }
 }
 
 /// Quality of a clustering against ground truth.
@@ -174,7 +186,11 @@ pub fn clustering_quality(clustering: &Clustering) -> ClusterQuality {
     let majority: HashMap<usize, &str> = label_counts
         .iter()
         .map(|(c, counts)| {
-            let label = counts.iter().max_by_key(|(_, n)| **n).map(|(l, _)| *l).unwrap_or("");
+            let label = counts
+                .iter()
+                .max_by_key(|(_, n)| **n)
+                .map(|(l, _)| *l)
+                .unwrap_or("");
             (*c, label)
         })
         .collect();
@@ -212,7 +228,11 @@ pub fn clustering_quality(clustering: &Clustering) -> ClusterQuality {
         binaries: n,
         clusters: clustering.n_clusters,
         purity: if n == 0 { 0.0 } else { pure as f64 / n as f64 },
-        pair_recall: if same_pairs == 0 { 0.0 } else { same_recovered as f64 / same_pairs as f64 },
+        pair_recall: if same_pairs == 0 {
+            0.0
+        } else {
+            same_recovered as f64 / same_pairs as f64
+        },
         pair_false_merges: false_merges,
     }
 }
@@ -226,7 +246,10 @@ pub fn render_clusters(q: &ClusterQuality, threshold: u32) -> String {
             vec!["distinct binaries".into(), q.binaries.to_string()],
             vec!["clusters".into(), q.clusters.to_string()],
             vec!["purity".into(), format!("{:.1}%", 100.0 * q.purity)],
-            vec!["same-family pair recall".into(), format!("{:.1}%", 100.0 * q.pair_recall)],
+            vec![
+                "same-family pair recall".into(),
+                format!("{:.1}%", 100.0 * q.pair_recall),
+            ],
             vec!["false merges".into(), q.pair_false_merges.to_string()],
         ],
     )

@@ -91,7 +91,9 @@ pub fn compiler_table(records: &[ProcessRecord]) -> Vec<CompilerRow> {
         if category_of(rec) != RecordCategory::User {
             continue;
         }
-        let Some(combo) = compiler_combo(rec) else { continue };
+        let Some(combo) = compiler_combo(rec) else {
+            continue;
+        };
         if combo.is_empty() {
             continue;
         }
@@ -122,12 +124,18 @@ pub fn compiler_table(records: &[ProcessRecord]) -> Vec<CompilerRow> {
         })
         .collect();
     rows.sort_by(|a, b| {
-        (b.unique_users, b.job_count, b.process_count, b.unique_file_h).cmp(&(
-            a.unique_users,
-            a.job_count,
-            a.process_count,
-            a.unique_file_h,
-        ))
+        (
+            b.unique_users,
+            b.job_count,
+            b.process_count,
+            b.unique_file_h,
+        )
+            .cmp(&(
+                a.unique_users,
+                a.job_count,
+                a.process_count,
+                a.unique_file_h,
+            ))
     });
     rows
 }
@@ -148,7 +156,13 @@ pub fn render_compilers(rows: &[CompilerRow]) -> String {
         .collect();
     render_table(
         "Table 6: Compiler information of applications in user directories",
-        &["Compiler Name [Provenance]", "Users", "Jobs", "Processes", "Unique FILE_H"],
+        &[
+            "Compiler Name [Provenance]",
+            "Users",
+            "Jobs",
+            "Processes",
+            "Unique FILE_H",
+        ],
         &body,
     )
 }
@@ -160,13 +174,34 @@ mod tests {
 
     #[test]
     fn normalization_covers_paper_provenances() {
-        assert_eq!(normalize_compiler("GCC: (SUSE Linux) 13.2.1 20240206"), "GCC [SUSE]");
-        assert_eq!(normalize_compiler("GCC: (GNU) 8.5.0 (Red Hat 8.5.0-18)"), "GCC [Red Hat]");
-        assert_eq!(normalize_compiler("GCC: (conda-forge gcc 12.3.0-3) 12.3.0"), "GCC [conda]");
-        assert_eq!(normalize_compiler("GCC: (HPE) 12.2.0 20230601"), "GCC [HPE]");
-        assert_eq!(normalize_compiler("LLD 17.0.0 [AMD ROCm 5.6.1]"), "LLD [AMD]");
-        assert_eq!(normalize_compiler("clang version 16.0.1 (Cray Inc.)"), "clang [Cray]");
-        assert_eq!(normalize_compiler("AMD clang version 16.0.0 (roc-5.6.1)"), "clang [AMD]");
+        assert_eq!(
+            normalize_compiler("GCC: (SUSE Linux) 13.2.1 20240206"),
+            "GCC [SUSE]"
+        );
+        assert_eq!(
+            normalize_compiler("GCC: (GNU) 8.5.0 (Red Hat 8.5.0-18)"),
+            "GCC [Red Hat]"
+        );
+        assert_eq!(
+            normalize_compiler("GCC: (conda-forge gcc 12.3.0-3) 12.3.0"),
+            "GCC [conda]"
+        );
+        assert_eq!(
+            normalize_compiler("GCC: (HPE) 12.2.0 20230601"),
+            "GCC [HPE]"
+        );
+        assert_eq!(
+            normalize_compiler("LLD 17.0.0 [AMD ROCm 5.6.1]"),
+            "LLD [AMD]"
+        );
+        assert_eq!(
+            normalize_compiler("clang version 16.0.1 (Cray Inc.)"),
+            "clang [Cray]"
+        );
+        assert_eq!(
+            normalize_compiler("AMD clang version 16.0.0 (roc-5.6.1)"),
+            "clang [AMD]"
+        );
         assert_eq!(normalize_compiler("rustc version 1.74.0"), "rustc");
         assert_eq!(normalize_compiler("GCC: (Gentoo) 14"), "GCC [unknown]");
         assert_eq!(normalize_compiler("tcc 0.9.27"), "tcc 0.9.27"); // pass-through
@@ -181,7 +216,10 @@ mod tests {
             "/users/u/a",
             Some("3:a:b"),
             None,
-            Some(vec!["GCC: (SUSE Linux) 13.2.1", "clang version 16.0.1 (Cray Inc.)"]),
+            Some(vec![
+                "GCC: (SUSE Linux) 13.2.1",
+                "clang version 16.0.1 (Cray Inc.)",
+            ]),
             1,
         );
         let combo = compiler_combo(&rec1).unwrap();
@@ -204,7 +242,16 @@ mod tests {
     #[test]
     fn table6_aggregates() {
         let mk = |job, pid, user: &str, fh: &str, comps: Vec<&'static str>| {
-            record(job, pid, user, "/users/u/app", Some(fh), None, Some(comps), job)
+            record(
+                job,
+                pid,
+                user,
+                "/users/u/app",
+                Some(fh),
+                None,
+                Some(comps),
+                job,
+            )
         };
         let records = vec![
             mk(1, 1, "a", "3:x:1", vec!["GCC: (SUSE Linux) 13"]),
@@ -220,7 +267,16 @@ mod tests {
 
     #[test]
     fn system_records_excluded() {
-        let rec = record(1, 1, "u", "/usr/bin/rm", None, None, Some(vec!["GCC: (SUSE) 1"]), 1);
+        let rec = record(
+            1,
+            1,
+            "u",
+            "/usr/bin/rm",
+            None,
+            None,
+            Some(vec!["GCC: (SUSE) 1"]),
+            1,
+        );
         assert!(compiler_table(&[rec]).is_empty());
     }
 }

@@ -40,7 +40,9 @@ pub fn derived_library_stats(
         if category_of(rec) != RecordCategory::User {
             continue;
         }
-        let Some(objects) = &rec.objects else { continue };
+        let Some(objects) = &rec.objects else {
+            continue;
+        };
         let labels = deriver.derive_all(objects);
         let exe_id = rec
             .file_hash
@@ -103,7 +105,13 @@ pub fn render_derived_libs(rows: &[DerivedLibRow]) -> String {
         .collect();
     render_table(
         "Figure 2: Derived and filtered shared objects (data series)",
-        &["Library", "Users", "Jobs", "Processes", "Unique Executables"],
+        &[
+            "Library",
+            "Users",
+            "Jobs",
+            "Processes",
+            "Unique Executables",
+        ],
         &body,
     )
 }
@@ -114,7 +122,16 @@ mod tests {
     use crate::testutil::record;
 
     fn user_rec(job: u64, pid: u32, user: &str, fh: &str, objs: Vec<&str>) -> ProcessRecord {
-        record(job, pid, user, "/users/x/app/bin/tool", Some(fh), Some(objs), None, job)
+        record(
+            job,
+            pid,
+            user,
+            "/users/x/app/bin/tool",
+            Some(fh),
+            Some(objs),
+            None,
+            job,
+        )
     }
 
     #[test]
@@ -126,14 +143,21 @@ mod tests {
                 1,
                 "a",
                 "3:f1:x",
-                vec!["/opt/siren/lib/siren.so", "/lib64/libpthread.so.0", "/lib64/libc.so.6"],
+                vec![
+                    "/opt/siren/lib/siren.so",
+                    "/lib64/libpthread.so.0",
+                    "/lib64/libc.so.6",
+                ],
             ),
             user_rec(
                 2,
                 2,
                 "b",
                 "3:f2:x",
-                vec!["/opt/siren/lib/siren.so", "/opt/cray/pe/hdf5/1.12/lib/libhdf5.so.200"],
+                vec![
+                    "/opt/siren/lib/siren.so",
+                    "/opt/cray/pe/hdf5/1.12/lib/libhdf5.so.200",
+                ],
             ),
         ];
         let rows = derived_library_stats(&records, &d);

@@ -39,7 +39,9 @@ pub struct Labeler {
 
 impl Default for Labeler {
     fn default() -> Self {
-        Self { rules: default_label_rules() }
+        Self {
+            rules: default_label_rules(),
+        }
     }
 }
 
@@ -114,12 +116,18 @@ pub fn label_table(records: &[ProcessRecord], labeler: &Labeler) -> Vec<LabelRow
         })
         .collect();
     rows.sort_by(|a, b| {
-        (b.unique_users, b.job_count, b.process_count, b.unique_file_h).cmp(&(
-            a.unique_users,
-            a.job_count,
-            a.process_count,
-            a.unique_file_h,
-        ))
+        (
+            b.unique_users,
+            b.job_count,
+            b.process_count,
+            b.unique_file_h,
+        )
+            .cmp(&(
+                a.unique_users,
+                a.job_count,
+                a.process_count,
+                a.unique_file_h,
+            ))
     });
     rows
 }
@@ -159,17 +167,56 @@ mod tests {
         assert_eq!(l.label("/users/u4/icon-model/build_3/bin/icon"), "icon");
         assert_eq!(l.label("/users/u10/amber22/bin/pmemd.hip"), "amber");
         assert_eq!(l.label("/users/u2/tools/gzip-1.13/bin/gzip"), "gzip");
-        assert_eq!(l.label("/scratch/project_462000123/run_0/a.out"), UNKNOWN_LABEL);
+        assert_eq!(
+            l.label("/scratch/project_462000123/run_0/a.out"),
+            UNKNOWN_LABEL
+        );
     }
 
     #[test]
     fn table5_aggregates_per_label() {
         let l = Labeler::default();
         let records = vec![
-            record(1, 1, "user_2", "/users/user_2/lammps/build/lmp", Some("3:a:b"), None, None, 1),
-            record(2, 2, "user_2", "/users/user_2/lammps/build/lmp", Some("3:a:b"), None, None, 2),
-            record(3, 3, "user_3", "/users/user_3/lammps/build/lmp", Some("3:c:d"), None, None, 3),
-            record(4, 4, "user_4", "/scratch/p/a.out", Some("3:e:f"), None, None, 4),
+            record(
+                1,
+                1,
+                "user_2",
+                "/users/user_2/lammps/build/lmp",
+                Some("3:a:b"),
+                None,
+                None,
+                1,
+            ),
+            record(
+                2,
+                2,
+                "user_2",
+                "/users/user_2/lammps/build/lmp",
+                Some("3:a:b"),
+                None,
+                None,
+                2,
+            ),
+            record(
+                3,
+                3,
+                "user_3",
+                "/users/user_3/lammps/build/lmp",
+                Some("3:c:d"),
+                None,
+                None,
+                3,
+            ),
+            record(
+                4,
+                4,
+                "user_4",
+                "/scratch/p/a.out",
+                Some("3:e:f"),
+                None,
+                None,
+                4,
+            ),
             // System record must be ignored.
             record(5, 5, "user_1", "/usr/bin/rm", None, None, None, 5),
         ];
@@ -194,8 +241,16 @@ mod tests {
     #[test]
     fn render_contains_labels() {
         let l = Labeler::default();
-        let records =
-            vec![record(1, 1, "u", "/users/u/janko/bin/janko", Some("3:a:b"), None, None, 1)];
+        let records = vec![record(
+            1,
+            1,
+            "u",
+            "/users/u/janko/bin/janko",
+            Some("3:a:b"),
+            None,
+            None,
+            1,
+        )];
         let out = render_labels(&label_table(&records, &l));
         assert!(out.contains("janko"));
     }

@@ -75,7 +75,9 @@ pub fn compiler_matrix(records: &[ProcessRecord], labeler: &Labeler) -> BinaryMa
         if label == UNKNOWN_LABEL {
             continue; // the paper's Fig. 4 rows are the nine known labels
         }
-        let Some(combo) = compiler_combo(rec) else { continue };
+        let Some(combo) = compiler_combo(rec) else {
+            continue;
+        };
         for compiler in combo {
             if !col_order.contains(&compiler) {
                 col_order.push(compiler.clone());
@@ -105,7 +107,9 @@ pub fn library_matrix(
         if label == UNKNOWN_LABEL {
             continue;
         }
-        let Some(objects) = &rec.objects else { continue };
+        let Some(objects) = &rec.objects else {
+            continue;
+        };
         for lib in deriver.derive_all(objects) {
             if !col_order.contains(&lib) {
                 col_order.push(lib.clone());
@@ -164,7 +168,10 @@ mod tests {
             "a",
             "/users/a/amber22/bin/pmemd.hip",
             None,
-            Some(vec!["/opt/siren/lib/siren.so", "/opt/cray/pe/hdf5/1/libhdf5.so"]),
+            Some(vec![
+                "/opt/siren/lib/siren.so",
+                "/opt/cray/pe/hdf5/1/libhdf5.so",
+            ]),
             None,
             1,
         )];

@@ -64,12 +64,18 @@ pub fn interpreter_table(records: &[ProcessRecord]) -> Vec<InterpreterRow> {
         })
         .collect();
     rows.sort_by(|a, b| {
-        (b.unique_users, b.job_count, b.process_count, b.unique_script_h).cmp(&(
-            a.unique_users,
-            a.job_count,
-            a.process_count,
-            a.unique_script_h,
-        ))
+        (
+            b.unique_users,
+            b.job_count,
+            b.process_count,
+            b.unique_script_h,
+        )
+            .cmp(&(
+                a.unique_users,
+                a.job_count,
+                a.process_count,
+                a.unique_script_h,
+            ))
     });
     rows
 }
@@ -159,7 +165,13 @@ pub fn render_interpreters(rows: &[InterpreterRow]) -> String {
         .collect();
     render_table(
         "Table 8: Python interpreters",
-        &["Interpreter", "Users", "Jobs", "Processes", "Unique SCRIPT_H"],
+        &[
+            "Interpreter",
+            "Users",
+            "Jobs",
+            "Processes",
+            "Unique SCRIPT_H",
+        ],
         &body,
     )
 }
@@ -191,7 +203,14 @@ mod tests {
     use crate::testutil::record;
     use siren_consolidate::ScriptRecord;
 
-    fn py_rec(job: u64, pid: u32, user: &str, interp: &str, script_h: &str, maps: Vec<&str>) -> ProcessRecord {
+    fn py_rec(
+        job: u64,
+        pid: u32,
+        user: &str,
+        interp: &str,
+        script_h: &str,
+        maps: Vec<&str>,
+    ) -> ProcessRecord {
         let mut r = record(job, pid, user, interp, None, None, None, job);
         r.maps = Some(maps.into_iter().map(|s| s.to_string()).collect());
         r.script = Some(ScriptRecord {
@@ -208,7 +227,14 @@ mod tests {
             py_rec(1, 1, "a", "/usr/bin/python3.6", "3:s1:x", vec![]),
             py_rec(1, 2, "a", "/usr/bin/python3.6", "3:s1:x", vec![]),
             py_rec(2, 3, "a", "/usr/bin/python3.6", "3:s2:x", vec![]),
-            py_rec(3, 4, "b", "/opt/python/3.11.4/bin/python3.11", "3:s3:x", vec![]),
+            py_rec(
+                3,
+                4,
+                "b",
+                "/opt/python/3.11.4/bin/python3.11",
+                "3:s3:x",
+                vec![],
+            ),
         ];
         let rows = interpreter_table(&records);
         assert_eq!(rows.len(), 2);

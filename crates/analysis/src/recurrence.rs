@@ -124,7 +124,11 @@ pub fn recurrence_summary(rows: &[RecurrenceRow]) -> RecurrenceSummary {
         distinct_binaries: rows.len() as u64,
         recurrent_binaries: rows.iter().filter(|r| r.is_recurrent()).count() as u64,
         multi_path_binaries: rows.iter().filter(|r| r.paths > 1).count() as u64,
-        recurrent_executions: rows.iter().filter(|r| r.is_recurrent()).map(|r| r.executions).sum(),
+        recurrent_executions: rows
+            .iter()
+            .filter(|r| r.is_recurrent())
+            .map(|r| r.executions)
+            .sum(),
     }
 }
 
@@ -167,10 +171,37 @@ mod tests {
     #[test]
     fn repeated_executions_recognized_by_file_hash() {
         let records = vec![
-            record(1, 1, "a", "/users/a/app/bin/x", Some("3:f:1"), None, None, 100),
-            record(2, 2, "a", "/users/a/app/bin/x", Some("3:f:1"), None, None, 200),
+            record(
+                1,
+                1,
+                "a",
+                "/users/a/app/bin/x",
+                Some("3:f:1"),
+                None,
+                None,
+                100,
+            ),
+            record(
+                2,
+                2,
+                "a",
+                "/users/a/app/bin/x",
+                Some("3:f:1"),
+                None,
+                None,
+                200,
+            ),
             record(3, 3, "b", "/users/b/copy/x", Some("3:f:1"), None, None, 300),
-            record(4, 4, "a", "/users/a/app/bin/y", Some("3:f:2"), None, None, 150),
+            record(
+                4,
+                4,
+                "a",
+                "/users/a/app/bin/y",
+                Some("3:f:2"),
+                None,
+                None,
+                150,
+            ),
         ];
         let rows = recurrence_table(&records);
         assert_eq!(rows.len(), 2);
@@ -201,7 +232,16 @@ mod tests {
 
     #[test]
     fn system_records_excluded() {
-        let records = vec![record(1, 1, "a", "/usr/bin/rm", Some("3:f:1"), None, None, 1)];
+        let records = vec![record(
+            1,
+            1,
+            "a",
+            "/usr/bin/rm",
+            Some("3:f:1"),
+            None,
+            None,
+            1,
+        )];
         assert!(recurrence_table(&records).is_empty());
     }
 

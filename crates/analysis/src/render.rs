@@ -13,7 +13,8 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 
     let numeric = |s: &str| {
         !s.is_empty()
-            && s.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '%' || c == '-')
+            && s.chars()
+                .all(|c| c.is_ascii_digit() || c == '.' || c == ',' || c == '%' || c == '-')
     };
 
     let mut out = String::new();
@@ -46,7 +47,7 @@ pub fn group_digits(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

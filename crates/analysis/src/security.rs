@@ -70,11 +70,21 @@ impl SecurityReport {
             .insecure
             .iter()
             .map(|(pkg, (id, users, procs))| {
-                vec![pkg.clone(), id.clone(), users.to_string(), procs.to_string()]
+                vec![
+                    pkg.clone(),
+                    id.clone(),
+                    users.to_string(),
+                    procs.to_string(),
+                ]
             })
             .collect();
         if insecure_rows.is_empty() {
-            insecure_rows.push(vec!["(none)".into(), String::new(), String::new(), String::new()]);
+            insecure_rows.push(vec![
+                "(none)".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
         }
         let mut unknown_rows: Vec<Vec<String>> = self
             .unknown_packages
@@ -150,11 +160,20 @@ pub fn audit_python_imports(records: &[ProcessRecord], site_catalog: &[&str]) ->
                     .entry(token.clone())
                     .or_insert_with(|| (adv.id.to_string(), 0, 0));
                 entry.2 += 1;
-                insecure_users.entry(token.clone()).or_default().insert(user.clone());
+                insecure_users
+                    .entry(token.clone())
+                    .or_default()
+                    .insert(user.clone());
             } else if !catalog.contains(token.as_str()) {
-                let entry = report.unknown_packages.entry(token.clone()).or_insert((0, 0));
+                let entry = report
+                    .unknown_packages
+                    .entry(token.clone())
+                    .or_insert((0, 0));
                 entry.1 += 1;
-                unknown_users.entry(token.clone()).or_default().insert(user.clone());
+                unknown_users
+                    .entry(token.clone())
+                    .or_default()
+                    .insert(user.clone());
             }
         }
     }
@@ -204,8 +223,18 @@ mod tests {
     #[test]
     fn unknown_package_flagged_as_slopsquat_candidate() {
         let records = vec![
-            py_rec(1, 1, "a", vec!["/usr/lib64/python3.10/site-packages/pandsa/x.so"]),
-            py_rec(2, 2, "b", vec!["/usr/lib64/python3.10/site-packages/pandsa/x.so"]),
+            py_rec(
+                1,
+                1,
+                "a",
+                vec!["/usr/lib64/python3.10/site-packages/pandsa/x.so"],
+            ),
+            py_rec(
+                2,
+                2,
+                "b",
+                vec!["/usr/lib64/python3.10/site-packages/pandsa/x.so"],
+            ),
         ];
         let report = audit_python_imports(&records, CATALOG);
         assert_eq!(report.unknown_packages["pandsa"], (2, 2));

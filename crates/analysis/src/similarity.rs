@@ -88,7 +88,10 @@ pub fn similarity_search_table(
             continue;
         }
 
-        let label = rec.exe_path().map(|p| labeler.label(p).to_string()).unwrap_or_default();
+        let label = rec
+            .exe_path()
+            .map(|p| labeler.label(p).to_string())
+            .unwrap_or_default();
         if label == baseline_label {
             continue; // only *known* candidates identify the unknown
         }
@@ -143,7 +146,16 @@ pub fn render_similarity(rows: &[SimilarityRow]) -> String {
         .collect();
     render_table(
         "Table 7: Similarity search result for <unknown> case",
-        &["Label", "Avg. Sim.", "MO_H", "CO_H", "OB_H", "FI_H", "ST_H", "SY_H"],
+        &[
+            "Label",
+            "Avg. Sim.",
+            "MO_H",
+            "CO_H",
+            "OB_H",
+            "FI_H",
+            "ST_H",
+            "SY_H",
+        ],
         &body,
     )
 }
@@ -167,13 +179,7 @@ mod tests {
         fuzzy_hash(&bytes).to_string_repr()
     }
 
-    fn rec_with_hashes(
-        job: u64,
-        pid: u32,
-        path: &str,
-        fi: &str,
-        sy: &str,
-    ) -> ProcessRecord {
+    fn rec_with_hashes(job: u64, pid: u32, path: &str, fi: &str, sy: &str) -> ProcessRecord {
         let mut r = record(job, pid, "user_4", path, Some(fi), None, None, job);
         r.symbols_hash = Some(sy.to_string());
         r
@@ -187,8 +193,20 @@ mod tests {
         let baseline = rec_with_hashes(1, 1, "/scratch/p/a.out", &fi, &sy);
         let records = vec![
             rec_with_hashes(2, 2, "/users/u4/icon-model/build_0/bin/icon", &fi, &sy),
-            rec_with_hashes(3, 3, "/users/u4/icon-model/build_9/bin/icon", &hashed(1234, 20_000), &sy),
-            rec_with_hashes(4, 4, "/users/u2/lammps/build/lmp", &hashed(999, 20_000), &hashed(5, 2_000)),
+            rec_with_hashes(
+                3,
+                3,
+                "/users/u4/icon-model/build_9/bin/icon",
+                &hashed(1234, 20_000),
+                &sy,
+            ),
+            rec_with_hashes(
+                4,
+                4,
+                "/users/u2/lammps/build/lmp",
+                &hashed(999, 20_000),
+                &hashed(5, 2_000),
+            ),
         ];
         let rows = similarity_search_table(&records, &baseline, &labeler, 10);
         assert!(!rows.is_empty());
@@ -204,7 +222,13 @@ mod tests {
     #[test]
     fn missing_hashes_score_zero_not_error() {
         let labeler = Labeler::default();
-        let baseline = rec_with_hashes(1, 1, "/scratch/p/a.out", &hashed(7, 20_000), &hashed(9, 2_000));
+        let baseline = rec_with_hashes(
+            1,
+            1,
+            "/scratch/p/a.out",
+            &hashed(7, 20_000),
+            &hashed(9, 2_000),
+        );
         let mut partial = rec_with_hashes(
             2,
             2,
@@ -237,7 +261,13 @@ mod tests {
     #[test]
     fn unrelated_records_absent() {
         let labeler = Labeler::default();
-        let baseline = rec_with_hashes(1, 1, "/scratch/p/a.out", &hashed(7, 20_000), &hashed(9, 2_000));
+        let baseline = rec_with_hashes(
+            1,
+            1,
+            "/scratch/p/a.out",
+            &hashed(7, 20_000),
+            &hashed(9, 2_000),
+        );
         let stranger = rec_with_hashes(
             2,
             2,

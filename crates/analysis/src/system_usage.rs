@@ -64,13 +64,20 @@ pub fn system_table(records: &[ProcessRecord]) -> Vec<SystemRow> {
         })
         .collect();
     rows.sort_by(|a, b| {
-        (b.unique_users, b.job_count, b.process_count, b.unique_objects_h, &a.path).cmp(&(
-            a.unique_users,
-            a.job_count,
-            a.process_count,
-            a.unique_objects_h,
-            &b.path,
-        ))
+        (
+            b.unique_users,
+            b.job_count,
+            b.process_count,
+            b.unique_objects_h,
+            &a.path,
+        )
+            .cmp(&(
+                a.unique_users,
+                a.job_count,
+                a.process_count,
+                a.unique_objects_h,
+                &b.path,
+            ))
     });
     rows
 }
@@ -117,10 +124,18 @@ pub fn library_variant_table(records: &[ProcessRecord], exe_path: &str) -> Vec<L
         .map(|(set, &count)| LibraryVariantRow {
             path: exe_path.to_string(),
             processes: count,
-            deviating: set.iter().filter(|l| !common.contains(l)).cloned().collect(),
+            deviating: set
+                .iter()
+                .filter(|l| !common.contains(l))
+                .cloned()
+                .collect(),
         })
         .collect();
-    rows.sort_by(|a, b| b.processes.cmp(&a.processes).then(a.deviating.cmp(&b.deviating)));
+    rows.sort_by(|a, b| {
+        b.processes
+            .cmp(&a.processes)
+            .then(a.deviating.cmp(&b.deviating))
+    });
     rows
 }
 
@@ -140,8 +155,17 @@ pub fn render_system(rows: &[SystemRow], n: usize) -> String {
         })
         .collect();
     render_table(
-        &format!("Table 3: Top {n} system-directory executables ({} total)", rows.len()),
-        &["Executable", "Users", "Jobs", "Processes", "Unique OBJECTS_H"],
+        &format!(
+            "Table 3: Top {n} system-directory executables ({} total)",
+            rows.len()
+        ),
+        &[
+            "Executable",
+            "Users",
+            "Jobs",
+            "Processes",
+            "Unique OBJECTS_H",
+        ],
         &body,
     )
 }
@@ -155,7 +179,11 @@ pub fn render_library_variants(rows: &[LibraryVariantRow]) -> String {
             vec![
                 r.path.clone(),
                 group_digits(r.processes),
-                if r.deviating.is_empty() { "(common set only)".into() } else { r.deviating.join(" ") },
+                if r.deviating.is_empty() {
+                    "(common set only)".into()
+                } else {
+                    r.deviating.join(" ")
+                },
             ]
         })
         .collect();
@@ -172,7 +200,14 @@ mod tests {
     use super::*;
     use crate::testutil::record;
 
-    fn sys_rec(job: u64, pid: u32, user: &str, path: &str, objs: Vec<&str>, oh: &str) -> ProcessRecord {
+    fn sys_rec(
+        job: u64,
+        pid: u32,
+        user: &str,
+        path: &str,
+        objs: Vec<&str>,
+        oh: &str,
+    ) -> ProcessRecord {
         let mut r = record(job, pid, user, path, None, Some(objs), None, job);
         r.objects_hash = Some(oh.to_string());
         r
@@ -207,14 +242,32 @@ mod tests {
     #[test]
     fn table4_identifies_deviating_libraries() {
         let records = vec![
-            sys_rec(1, 1, "a", "/usr/bin/bash", vec!["/lib64/libtinfo.so.6", "/lib64/libc.so.6"], "h1"),
-            sys_rec(1, 2, "a", "/usr/bin/bash", vec!["/lib64/libtinfo.so.6", "/lib64/libc.so.6"], "h1"),
+            sys_rec(
+                1,
+                1,
+                "a",
+                "/usr/bin/bash",
+                vec!["/lib64/libtinfo.so.6", "/lib64/libc.so.6"],
+                "h1",
+            ),
+            sys_rec(
+                1,
+                2,
+                "a",
+                "/usr/bin/bash",
+                vec!["/lib64/libtinfo.so.6", "/lib64/libc.so.6"],
+                "h1",
+            ),
             sys_rec(
                 2,
                 3,
                 "b",
                 "/usr/bin/bash",
-                vec!["/appl/SW/ncurses/libtinfo.so.6", "/lib64/libm.so.6", "/lib64/libc.so.6"],
+                vec![
+                    "/appl/SW/ncurses/libtinfo.so.6",
+                    "/lib64/libm.so.6",
+                    "/lib64/libc.so.6",
+                ],
                 "h2",
             ),
         ];

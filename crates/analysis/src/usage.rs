@@ -99,7 +99,13 @@ pub fn render_usage(rows: &[UsageRow]) -> String {
     ]);
     render_table(
         "Table 2: Users' jobs and processes",
-        &["User", "Jobs", "SystemDir Procs", "UserDir Procs", "Python Procs"],
+        &[
+            "User",
+            "Jobs",
+            "SystemDir Procs",
+            "UserDir Procs",
+            "Python Procs",
+        ],
         &body,
     )
 }
@@ -136,7 +142,16 @@ mod tests {
         for j in 0..5 {
             records.push(record(j, 1, "busy", "/usr/bin/ls", None, None, None, j));
         }
-        records.push(record(100, 1, "quiet", "/usr/bin/ls", None, None, None, 100));
+        records.push(record(
+            100,
+            1,
+            "quiet",
+            "/usr/bin/ls",
+            None,
+            None,
+            None,
+            100,
+        ));
         let rows = usage_table(&records);
         assert_eq!(rows[0].user, "busy");
         assert_eq!(rows[1].user, "quiet");

@@ -75,14 +75,18 @@ fn bench_policy_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_selective_policy");
     g.sample_size(10);
     for mode in [PolicyMode::Selective, PolicyMode::CollectEverything] {
-        g.bench_with_input(BenchmarkId::new("deployment", format!("{mode:?}")), &(), |b, _| {
-            b.iter(|| {
-                let mut cfg = DeploymentConfig::default();
-                cfg.campaign.scale = 0.001;
-                cfg.policy = mode;
-                black_box(Deployment::new(cfg).run().db_rows)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("deployment", format!("{mode:?}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut cfg = DeploymentConfig::default();
+                    cfg.campaign.scale = 0.001;
+                    cfg.policy = mode;
+                    black_box(Deployment::new(cfg).run().db_rows)
+                })
+            },
+        );
     }
     g.finish();
 }

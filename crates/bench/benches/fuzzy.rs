@@ -23,9 +23,11 @@ fn bench_generate(c: &mut Criterion) {
                 black_box(h.digest())
             })
         });
-        g.bench_with_input(BenchmarkId::new("reference_two_pass", size), &data, |b, d| {
-            b.iter(|| black_box(fuzzy_hash_reference(black_box(d))))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("reference_two_pass", size),
+            &data,
+            |b, d| b.iter(|| black_box(fuzzy_hash_reference(black_box(d)))),
+        );
     }
     g.finish();
 }
@@ -58,11 +60,20 @@ fn bench_search(c: &mut Criterion) {
         let baseline = corpus[0].clone();
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("pruned", n), &(), |b, _| {
-            b.iter(|| black_box(similarity_search(black_box(&baseline), black_box(&corpus), 1)))
+            b.iter(|| {
+                black_box(similarity_search(
+                    black_box(&baseline),
+                    black_box(&corpus),
+                    1,
+                ))
+            })
         });
         g.bench_with_input(BenchmarkId::new("unpruned_full", n), &(), |b, _| {
             b.iter(|| {
-                black_box(siren_fuzzy::compare_many(black_box(&baseline), black_box(&corpus)))
+                black_box(siren_fuzzy::compare_many(
+                    black_box(&baseline),
+                    black_box(&corpus),
+                ))
             })
         });
     }

@@ -1,0 +1,131 @@
+//! Ingest-tier benchmark: serial receiver vs the sharded ingest service
+//! at 2/4/8 shards, over one fixed pre-collected campaign.
+//!
+//! Only the ingest stage is timed — reassembly, storage, consolidation,
+//! merge — not workload generation or collection, which are identical
+//! for every mode. Besides the usual criterion output, the run emits
+//! `BENCH_ingest.json` at the workspace root so the performance
+//! trajectory of the ingest tier is tracked in-repo.
+//!
+//! Honest-measurement note: shard workers are OS threads, so the sharded
+//! speedup is bounded by the machine's available parallelism. The JSON
+//! records `available_parallelism` alongside the numbers.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use siren_cluster::{Campaign, CampaignConfig};
+use siren_collector::{Collector, PolicyMode};
+use siren_consolidate::consolidate;
+use siren_db::Database;
+use siren_ingest::{IngestConfig, IngestService};
+use siren_net::{SimChannel, SimConfig};
+use siren_wire::{Message, Reassembler};
+use std::hint::black_box;
+
+/// The fixed campaign every mode ingests (collected once, up front).
+fn campaign_messages(scale: f64) -> Vec<Message> {
+    let campaign = Campaign::new(CampaignConfig {
+        scale,
+        ..CampaignConfig::default()
+    });
+    let (tx, rx) = SimChannel::create(SimConfig::perfect());
+    let mut collector = Collector::new(&tx, PolicyMode::Selective);
+    campaign.run(|ctx| collector.observe(&ctx));
+    let (messages, decode_errors) = rx.drain_messages();
+    assert_eq!(decode_errors, 0);
+    messages
+}
+
+/// The serial receiver: one reassembler, one database, one consolidate.
+fn ingest_serial(messages: Vec<Message>) -> usize {
+    let mut reasm = Reassembler::new();
+    let db = Database::in_memory();
+    let mut batch = Vec::with_capacity(256);
+    for msg in messages {
+        if let Some(done) = reasm.push(msg) {
+            batch.push(done);
+            if batch.len() >= 256 {
+                db.insert_message_batch(std::mem::take(&mut batch)).unwrap();
+            }
+        }
+    }
+    db.insert_message_batch(batch).unwrap();
+    consolidate(&db).records.len()
+}
+
+/// The sharded service end to end (spawn, push, finish).
+fn ingest_sharded(messages: Vec<Message>, shards: usize) -> usize {
+    let mut svc = IngestService::spawn(IngestConfig::with_shards(shards)).unwrap();
+    for msg in messages {
+        svc.push(msg);
+    }
+    svc.finish().unwrap().records.len()
+}
+
+fn bench_ingest(c: &mut Criterion, messages: &[Message]) {
+    let n = messages.len();
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(ingest_serial(black_box(messages.to_vec()))))
+    });
+    for shards in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| b.iter(|| black_box(ingest_sharded(black_box(messages.to_vec()), shards))),
+        );
+    }
+    g.finish();
+}
+
+fn write_json(c: &Criterion, n_messages: usize) {
+    let mut serial_ns = None;
+    let mut sharded: Vec<(usize, f64)> = Vec::new();
+    for m in c.measurements() {
+        if m.id == "ingest/serial" {
+            serial_ns = Some(m.median_ns);
+        } else if let Some(shards) = m.id.strip_prefix("ingest/sharded/") {
+            if let Ok(shards) = shards.parse::<usize>() {
+                sharded.push((shards, m.median_ns));
+            }
+        }
+    }
+    let Some(serial_ns) = serial_ns else { return };
+
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let per_sec = |ns: f64| n_messages as f64 * 1e9 / ns;
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"ingest\",\n  \"messages\": {n_messages},\n"
+    ));
+    out.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"serial\": {{\"median_ns\": {serial_ns:.0}, \"messages_per_sec\": {:.0}}},\n",
+        per_sec(serial_ns)
+    ));
+    out.push_str("  \"sharded\": [\n");
+    for (i, (shards, ns)) in sharded.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {shards}, \"median_ns\": {ns:.0}, \"messages_per_sec\": {:.0}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            per_sec(*ns),
+            serial_ns / ns,
+            if i + 1 < sharded.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(path, out).expect("write BENCH_ingest.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    let messages = campaign_messages(0.005);
+    let n = messages.len();
+    bench_ingest(&mut criterion, &messages);
+    write_json(&criterion, n);
+}

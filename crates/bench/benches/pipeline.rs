@@ -10,7 +10,10 @@ use std::hint::black_box;
 
 /// Gather a small pool of representative process contexts once.
 fn sample_contexts() -> Vec<siren_cluster::ProcessContext> {
-    let campaign = Campaign::new(CampaignConfig { scale: 0.001, ..CampaignConfig::default() });
+    let campaign = Campaign::new(CampaignConfig {
+        scale: 0.001,
+        ..CampaignConfig::default()
+    });
     let mut out = Vec::new();
     campaign.run(|ctx| {
         if ctx.slurm_procid == 0 && out.len() < 512 {
@@ -23,10 +26,16 @@ fn sample_contexts() -> Vec<siren_cluster::ProcessContext> {
 /// Per-process collection cost under the Table-1 policy vs collect-all.
 fn bench_collection(c: &mut Criterion) {
     let contexts = sample_contexts();
-    let system: Vec<_> =
-        contexts.iter().filter(|x| x.exe_path.starts_with("/usr/bin/") && x.python.is_none()).take(32).collect();
-    let user: Vec<_> =
-        contexts.iter().filter(|x| x.exe_path.starts_with("/users/") || x.exe_path.starts_with("/scratch/")).take(32).collect();
+    let system: Vec<_> = contexts
+        .iter()
+        .filter(|x| x.exe_path.starts_with("/usr/bin/") && x.python.is_none())
+        .take(32)
+        .collect();
+    let user: Vec<_> = contexts
+        .iter()
+        .filter(|x| x.exe_path.starts_with("/users/") || x.exe_path.starts_with("/scratch/"))
+        .take(32)
+        .collect();
     assert!(!system.is_empty() && !user.is_empty());
 
     let mut g = c.benchmark_group("collector_per_process");
@@ -120,5 +129,10 @@ fn bench_channel_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_collection, bench_wire, bench_channel_throughput);
+criterion_group!(
+    benches,
+    bench_collection,
+    bench_wire,
+    bench_channel_throughput
+);
 criterion_main!(benches);

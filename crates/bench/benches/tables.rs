@@ -26,7 +26,12 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| black_box(analysis::system_table(black_box(&records))))
     });
     g.bench_function("table4_bash_variants", |b| {
-        b.iter(|| black_box(analysis::library_variant_table(black_box(&records), "/usr/bin/bash")))
+        b.iter(|| {
+            black_box(analysis::library_variant_table(
+                black_box(&records),
+                "/usr/bin/bash",
+            ))
+        })
     });
     g.bench_function("table5_labels", |b| {
         b.iter(|| black_box(analysis::label_table(black_box(&records), &labeler)))
@@ -49,16 +54,32 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| black_box(analysis::interpreter_table(black_box(&records))))
     });
     g.bench_function("fig2_derived_libraries", |b| {
-        b.iter(|| black_box(analysis::derived_library_stats(black_box(&records), &deriver)))
+        b.iter(|| {
+            black_box(analysis::derived_library_stats(
+                black_box(&records),
+                &deriver,
+            ))
+        })
     });
     g.bench_function("fig3_python_packages", |b| {
-        b.iter(|| black_box(analysis::package_stats(black_box(&records), PACKAGE_CATALOG)))
+        b.iter(|| {
+            black_box(analysis::package_stats(
+                black_box(&records),
+                PACKAGE_CATALOG,
+            ))
+        })
     });
     g.bench_function("fig4_compiler_matrix", |b| {
         b.iter(|| black_box(analysis::compiler_matrix(black_box(&records), &labeler)))
     });
     g.bench_function("fig5_library_matrix", |b| {
-        b.iter(|| black_box(analysis::library_matrix(black_box(&records), &labeler, &deriver)))
+        b.iter(|| {
+            black_box(analysis::library_matrix(
+                black_box(&records),
+                &labeler,
+                &deriver,
+            ))
+        })
     });
     g.finish();
 }

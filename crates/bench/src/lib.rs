@@ -79,7 +79,10 @@ mod tests {
         let h3 = fuzzy_hash(&fam[3]);
         let near = siren_fuzzy::compare_parsed(&h0, &h1);
         let far = siren_fuzzy::compare_parsed(&h0, &h3);
-        assert!(near >= far, "similarity must not increase with distance: {near} vs {far}");
+        assert!(
+            near >= far,
+            "similarity must not increase with distance: {near} vs {far}"
+        );
         assert!(near > 0);
     }
 

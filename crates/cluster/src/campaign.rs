@@ -32,6 +32,9 @@ pub struct CampaignConfig {
     pub nonzero_rank_ratio: f64,
     /// First Slurm job id minus one.
     pub job_id_base: u64,
+    /// Lowest node number; jobs land on hosts `nid{host_base+0..512}`.
+    /// Multi-cluster fleets give each cluster a disjoint host range.
+    pub host_base: u32,
     /// Fraction of application processes that run inside containers
     /// (Singularity/Apptainer). `siren.so` is not mounted there, so the
     /// collector cannot observe them — §3.1's stated limitation.
@@ -53,6 +56,7 @@ impl Default for CampaignConfig {
             nonzero_rank_ratio: 0.05,
             container_ratio: 0.02,
             job_id_base: 8_000_000,
+            host_base: 1000,
             variant_floor_cap: 8,
         }
     }
@@ -139,6 +143,11 @@ impl Campaign {
         let mut next_inode = 5_000_000u64;
         // Processes emitted per group, for the presence floor.
         let mut group_emitted: HashMap<&'static str, u64> = HashMap::new();
+        // Variants emitted per system executable: the first draws cycle
+        // through the library-set variants so every set of Tables 3–4 is
+        // present at any scale (same presence doctrine as the app-family
+        // floor); afterwards draws follow the observed weights.
+        let mut sys_variant_seen: HashMap<&'static str, usize> = HashMap::new();
         // Users whose first job has already guaranteed system-executable
         // presence (keeps Table 3's unique-user column exact at any scale).
         let mut sys_guaranteed: std::collections::HashSet<&'static str> =
@@ -147,7 +156,7 @@ impl Campaign {
         for profile in &self.profiles {
             // Per-job system rates. bash is moved to the front so the
             // bash→srun exec() pairing sees the bash before the srun.
-            let mut sys_rates: Vec<(&str, f64)> = profile
+            let mut sys_rates: Vec<(&'static str, f64)> = profile
                 .system_procs
                 .iter()
                 .map(|(exe, total)| (*exe, total / profile.total_jobs as f64))
@@ -165,7 +174,7 @@ impl Campaign {
                 for job_idx in 0..n_jobs {
                     job_id += 1;
                     stats.jobs += 1;
-                    let host = format!("nid{:06}", 1000 + rng.random_range(0..512u32));
+                    let host = format!("nid{:06}", cfg.host_base + rng.random_range(0..512u32));
                     let span = cfg.duration.saturating_sub(7200).max(1);
                     let job_start = cfg.start_time + rng.random_range(0..span);
 
@@ -184,6 +193,7 @@ impl Campaign {
                         &mut variant_cursor,
                         &mut script_cursor,
                         &mut group_emitted,
+                        &mut sys_variant_seen,
                         &mut file_cache,
                         &mut next_inode,
                         &mut stats,
@@ -203,7 +213,7 @@ impl Campaign {
         job_id: u64,
         host: &str,
         job_start: u64,
-        sys_rates: &[(&str, f64)],
+        sys_rates: &[(&'static str, f64)],
         kind_factor: f64,
         first_job_of_kind: bool,
         first_job_of_user: bool,
@@ -212,6 +222,7 @@ impl Campaign {
         variant_cursor: &mut HashMap<&'static str, usize>,
         script_cursor: &mut HashMap<&'static str, usize>,
         group_emitted: &mut HashMap<&'static str, u64>,
+        sys_variant_seen: &mut HashMap<&'static str, usize>,
         file_cache: &mut HashMap<String, Arc<SimFile>>,
         next_inode: &mut u64,
         stats: &mut CampaignStats,
@@ -241,7 +252,14 @@ impl Campaign {
                 .unwrap_or_else(|| panic!("system image missing {exe_path}"));
             let weights = system_variant_weights(exe_path, exe.object_variants.len());
             for _ in 0..n {
-                let variant = pick_weighted(&weights, rng);
+                let seen = sys_variant_seen.entry(exe_path).or_insert(0);
+                let variant = if *seen < exe.object_variants.len() {
+                    let v = *seen;
+                    *seen += 1;
+                    v
+                } else {
+                    pick_weighted(&weights, rng)
+                };
                 let objects = Arc::clone(&exe.object_variants[variant]);
                 let ts = job_start + rng.random_range(0..3600u64);
 
@@ -298,10 +316,7 @@ impl Campaign {
             if first_job_of_kind {
                 // Presence guarantees: every kind shows its applications at
                 // any scale, and every variant family reaches its floor.
-                let floor = group
-                    .spec
-                    .variants
-                    .min(self.cfg.variant_floor_cap) as u64;
+                let floor = group.spec.variants.min(self.cfg.variant_floor_cap) as u64;
                 let already = *group_emitted.get(group.spec.group_id).unwrap_or(&0);
                 n = n.max(1).max(floor.saturating_sub(already));
             }
@@ -340,8 +355,7 @@ impl Campaign {
 
                 stats.processes += 1;
                 stats.user_processes += 1;
-                let in_container =
-                    rng.random::<f64>() < self.cfg.container_ratio;
+                let in_container = rng.random::<f64>() < self.cfg.container_ratio;
                 if in_container {
                     stats.container_processes += 1;
                 }
@@ -433,7 +447,10 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> CampaignConfig {
-        CampaignConfig { scale: 0.002, ..CampaignConfig::default() }
+        CampaignConfig {
+            scale: 0.002,
+            ..CampaignConfig::default()
+        }
     }
 
     #[test]
@@ -455,7 +472,10 @@ mod tests {
 
     #[test]
     fn population_shape_matches_table_2_proportions() {
-        let campaign = Campaign::new(CampaignConfig { scale: 0.01, ..CampaignConfig::default() });
+        let campaign = Campaign::new(CampaignConfig {
+            scale: 0.01,
+            ..CampaignConfig::default()
+        });
         let stats = campaign.run(|_| {});
         // At scale s the totals should approximate s × paper totals.
         let expect_procs = 2_350_217.0 * 0.01; // 2,317,859 + 9,042 + 23,316
@@ -498,7 +518,10 @@ mod tests {
                 unknown_paths.push(ctx.exe_path.clone());
             }
         });
-        assert!(!unknown_paths.is_empty(), "UNKNOWN must appear even at small scale");
+        assert!(
+            !unknown_paths.is_empty(),
+            "UNKNOWN must appear even at small scale"
+        );
     }
 
     #[test]

@@ -80,47 +80,152 @@ pub struct GroupSpec {
 }
 
 const LAMMPS_LIBS: &[&str] = &[
-    "siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "rocm", "numa",
-    "drm", "amdgpu-drm", "libsci-cray", "rocm-blas", "rocsolver-rocm", "rocsparse-rocm",
-    "fft-cray", "rocm-fft", "rocfft-rocm-fft", "MIOpen-rocm", "rocm-torch", "numa-rocm-torch",
-    "torch-tykky", "numa-torch-tykky",
+    "siren",
+    "pthread",
+    "cray",
+    "quadmath-cray",
+    "fabric-cray",
+    "pmi-cray",
+    "rocm",
+    "numa",
+    "drm",
+    "amdgpu-drm",
+    "libsci-cray",
+    "rocm-blas",
+    "rocsolver-rocm",
+    "rocsparse-rocm",
+    "fft-cray",
+    "rocm-fft",
+    "rocfft-rocm-fft",
+    "MIOpen-rocm",
+    "rocm-torch",
+    "numa-rocm-torch",
+    "torch-tykky",
+    "numa-torch-tykky",
 ];
 const GROMACS_LIBS: &[&str] = &[
-    "siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "rocm", "numa",
-    "drm", "amdgpu-drm", "fortran", "gromacs", "boost",
+    "siren",
+    "pthread",
+    "cray",
+    "quadmath-cray",
+    "fabric-cray",
+    "pmi-cray",
+    "rocm",
+    "numa",
+    "drm",
+    "amdgpu-drm",
+    "fortran",
+    "gromacs",
+    "boost",
 ];
 const MINICONDA_LIBS: &[&str] = &["siren", "pthread"];
 const JANKO_LIBS: &[&str] = &[
-    "siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "fortran",
-    "libsci-cray", "numa-spack", "spack", "blas-spack", "rocsolver-spack", "rocsparse-spack",
-    "drm-spack", "amdgpu-drm-spack",
+    "siren",
+    "pthread",
+    "cray",
+    "quadmath-cray",
+    "fabric-cray",
+    "pmi-cray",
+    "fortran",
+    "libsci-cray",
+    "numa-spack",
+    "spack",
+    "blas-spack",
+    "rocsolver-spack",
+    "rocsparse-spack",
+    "drm-spack",
+    "amdgpu-drm-spack",
 ];
 const ICON_LIBS: &[&str] = &[
-    "siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "rocm", "numa",
-    "drm", "amdgpu-drm", "fortran", "libsci-cray", "craymath-cray", "netcdf-cray",
-    "amdgpu-cray", "openacc-cray", "climatedt", "climatedt-yaml", "hdf5-cray",
+    "siren",
+    "pthread",
+    "cray",
+    "quadmath-cray",
+    "fabric-cray",
+    "pmi-cray",
+    "rocm",
+    "numa",
+    "drm",
+    "amdgpu-drm",
+    "fortran",
+    "libsci-cray",
+    "craymath-cray",
+    "netcdf-cray",
+    "amdgpu-cray",
+    "openacc-cray",
+    "climatedt",
+    "climatedt-yaml",
+    "hdf5-cray",
 ];
 /// Reduced icon set (variants that skip GPU + climatedt libraries) —
 /// produces the second OBJECTS_H and the 57-similarity OB column value.
 const ICON_LIBS_REDUCED: &[&str] = &[
-    "siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "fortran",
-    "libsci-cray", "craymath-cray", "netcdf-cray", "hdf5-cray",
+    "siren",
+    "pthread",
+    "cray",
+    "quadmath-cray",
+    "fabric-cray",
+    "pmi-cray",
+    "fortran",
+    "libsci-cray",
+    "craymath-cray",
+    "netcdf-cray",
+    "hdf5-cray",
 ];
 const AMBER_LIBS: &[&str] = &[
-    "siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "rocm", "numa",
-    "drm", "amdgpu-drm", "fortran", "libsci-cray", "rocm-blas", "rocsolver-rocm",
-    "rocsparse-rocm", "fft-cray", "rocm-fft", "rocfft-rocm-fft", "netcdf-cray", "cuda-amber",
-    "amber", "netcdf-parallel-cray", "hdf5-parallel-cray", "hdf5-fortran-parallel-cray",
+    "siren",
+    "pthread",
+    "cray",
+    "quadmath-cray",
+    "fabric-cray",
+    "pmi-cray",
+    "rocm",
+    "numa",
+    "drm",
+    "amdgpu-drm",
+    "fortran",
+    "libsci-cray",
+    "rocm-blas",
+    "rocsolver-rocm",
+    "rocsparse-rocm",
+    "fft-cray",
+    "rocm-fft",
+    "rocfft-rocm-fft",
+    "netcdf-cray",
+    "cuda-amber",
+    "amber",
+    "netcdf-parallel-cray",
+    "hdf5-parallel-cray",
+    "hdf5-fortran-parallel-cray",
 ];
 const GZIP_LIBS: &[&str] = &["siren"];
 const ALEXANDRIA_LIBS: &[&str] = &[
-    "siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "fortran",
+    "siren",
+    "pthread",
+    "cray",
+    "quadmath-cray",
+    "fabric-cray",
+    "pmi-cray",
+    "fortran",
     "craymath-cray",
 ];
 const RADRAD_LIBS: &[&str] = &[
-    "siren", "pthread", "cray", "quadmath-cray", "rocm", "numa", "drm", "amdgpu-drm",
-    "fortran", "libsci-cray", "rocm-blas", "rocsolver-rocm", "rocsparse-rocm",
-    "craymath-cray", "amdgpu-cray", "openacc-cray",
+    "siren",
+    "pthread",
+    "cray",
+    "quadmath-cray",
+    "rocm",
+    "numa",
+    "drm",
+    "amdgpu-drm",
+    "fortran",
+    "libsci-cray",
+    "rocm-blas",
+    "rocsolver-rocm",
+    "rocsparse-rocm",
+    "craymath-cray",
+    "amdgpu-cray",
+    "openacc-cray",
 ];
 
 /// All build lineages in the simulated deployment. Allocation of
@@ -464,7 +569,10 @@ fn variant_rodata(spec: &GroupSpec, variant: usize) -> Vec<u8> {
     ));
     s.push_str("usage: %s [options] input\0--help display this help\0");
     for i in 0..24 {
-        s.push_str(&format!("{}::{}_kernel_{i} elapsed %f s\0", spec.symbol_theme, spec.software));
+        s.push_str(&format!(
+            "{}::{}_kernel_{i} elapsed %f s\0",
+            spec.symbol_theme, spec.software
+        ));
     }
     s.push_str("error: allocation failed at %s:%d\0MPI_Init\0MPI_Finalize\0");
     s.into_bytes()
@@ -498,12 +606,20 @@ fn modules_for_variant(spec: &GroupSpec, variant: usize) -> Vec<String> {
         // Software without a module environment (conda, user gzip).
         return Vec::new();
     }
-    let all: Vec<&str> = BASE_MODULES.iter().chain(spec.modules.iter()).copied().collect();
+    let all: Vec<&str> = BASE_MODULES
+        .iter()
+        .chain(spec.modules.iter())
+        .copied()
+        .collect();
     let n = all.len();
     all.iter()
         .enumerate()
         .map(|(i, m)| {
-            let bumps = if generation == 0 { 0 } else { (generation + n - 1 - i) / n };
+            let bumps = if generation == 0 {
+                0
+            } else {
+                (generation + n - 1 - i) / n
+            };
             if bumps == 0 {
                 m.to_string()
             } else {
@@ -515,7 +631,11 @@ fn modules_for_variant(spec: &GroupSpec, variant: usize) -> Vec<String> {
 
 fn objects_for_variant(spec: &GroupSpec, variant: usize) -> Vec<String> {
     let use_alt = spec.alt_lib_labels.is_some() && (variant / 16) % 2 == 1;
-    let labels = if use_alt { spec.alt_lib_labels.unwrap() } else { spec.lib_labels };
+    let labels = if use_alt {
+        spec.alt_lib_labels.unwrap()
+    } else {
+        spec.lib_labels
+    };
     LibraryCatalog::resolve_with_base(labels)
 }
 
@@ -577,7 +697,11 @@ impl ApplicationCorpus {
                 .take(spec.variants)
                 .cloned()
                 .collect();
-            assert_eq!(variants.len(), spec.variants, "copy source has too few variants");
+            assert_eq!(
+                variants.len(),
+                spec.variants,
+                "copy source has too few variants"
+            );
             groups.insert(spec.group_id, GroupRuntime { spec, variants });
         }
 
@@ -727,6 +851,9 @@ mod tests {
             "/users/user_4/icon-model/build_17/bin/icon"
         );
         let gmx = corpus.group("gromacs");
-        assert_eq!(gmx.exe_path("user_8", 0), "/users/user_8/gromacs-2024/bin/gmx_mpi");
+        assert_eq!(
+            gmx.exe_path("user_8", 0),
+            "/users/user_8/gromacs-2024/bin/gmx_mpi"
+        );
     }
 }

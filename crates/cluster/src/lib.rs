@@ -32,6 +32,7 @@
 
 pub mod campaign;
 pub mod corpus;
+pub mod fleet;
 pub mod libcatalog;
 pub mod process;
 pub mod python;
@@ -41,6 +42,7 @@ pub mod users;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignStats};
 pub use corpus::{ApplicationCorpus, SoftwareGroup, VariantBinary};
+pub use fleet::FleetConfig;
 pub use libcatalog::{library_path, LibraryCatalog};
 pub use process::{FileMeta, ProcessContext, PythonContext, SimFile};
 pub use python::PythonEcosystem;
@@ -60,7 +62,11 @@ mod tests {
 
     #[test]
     fn tiny_campaign_is_deterministic() {
-        let cfg = CampaignConfig { seed: 7, scale: 0.001, ..CampaignConfig::default() };
+        let cfg = CampaignConfig {
+            seed: 7,
+            scale: 0.001,
+            ..CampaignConfig::default()
+        };
         let collect = |cfg: &CampaignConfig| {
             let mut sig = Vec::new();
             Campaign::new(cfg.clone()).run(|ctx| {
@@ -74,7 +80,11 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let run = |seed| {
-            let cfg = CampaignConfig { seed, scale: 0.001, ..CampaignConfig::default() };
+            let cfg = CampaignConfig {
+                seed,
+                scale: 0.001,
+                ..CampaignConfig::default()
+            };
             let mut n_hashes = std::collections::hash_map::DefaultHasher::new();
             use std::hash::{Hash, Hasher};
             Campaign::new(cfg).run(|ctx| {

@@ -13,14 +13,20 @@ pub const LIBRARY_CATALOG: &[(&str, &str)] = &[
     ("pthread", "/lib64/libpthread.so.0"),
     ("cray", "/opt/cray/pe/lib64/libcxi.so.1"),
     ("quadmath-cray", "/opt/cray/pe/gcc-libs/libquadmath.so.0"),
-    ("fabric-cray", "/opt/cray/libfabric/1.15.2.0/lib64/libfabric.so.1"),
+    (
+        "fabric-cray",
+        "/opt/cray/libfabric/1.15.2.0/lib64/libfabric.so.1",
+    ),
     ("pmi-cray", "/opt/cray/pe/pmi/6.1.12/lib/libpmi2.so.0"),
     ("rocm", "/opt/rocm/lib/libhsa-runtime64.so.1"),
     ("numa", "/usr/lib64/libnuma.so.1"),
     ("drm", "/usr/lib64/libdrm.so.2"),
     ("amdgpu-drm", "/usr/lib64/libdrm_amdgpu.so.1"),
     ("fortran", "/usr/lib64/libgfortran.so.5"),
-    ("libsci-cray", "/opt/cray/pe/libsci/23.09/lib/libsci_cray.so.6"),
+    (
+        "libsci-cray",
+        "/opt/cray/pe/libsci/23.09/lib/libsci_cray.so.6",
+    ),
     ("rocm-blas", "/opt/rocm/lib/librocblas.so.3"),
     ("rocsolver-rocm", "/opt/rocm/lib/librocsolver.so.0"),
     ("rocsparse-rocm", "/opt/rocm/lib/librocsparse.so.0"),
@@ -29,33 +35,72 @@ pub const LIBRARY_CATALOG: &[(&str, &str)] = &[
     ("rocfft-rocm-fft", "/opt/rocm/lib/librocfft.so.0"),
     ("craymath-cray", "/opt/cray/pe/lib64/libcraymath.so.1"),
     ("MIOpen-rocm", "/opt/rocm/lib/libMIOpen.so.1"),
-    ("gromacs", "/users/user_8/gromacs-2024/lib/libgromacs_mpi.so.9"),
+    (
+        "gromacs",
+        "/users/user_8/gromacs-2024/lib/libgromacs_mpi.so.9",
+    ),
     ("boost", "/appl/lumi/lib/libboost_program_options.so.1.82.0"),
-    ("netcdf-cray", "/opt/cray/pe/netcdf/4.9.0/lib/libnetcdf.so.19"),
-    ("amdgpu-cray", "/opt/cray/pe/mpich/8.1.27/gtl/lib/libmpi_gtl_amdgpu.so"),
+    (
+        "netcdf-cray",
+        "/opt/cray/pe/netcdf/4.9.0/lib/libnetcdf.so.19",
+    ),
+    (
+        "amdgpu-cray",
+        "/opt/cray/pe/mpich/8.1.27/gtl/lib/libmpi_gtl_amdgpu.so",
+    ),
     ("openacc-cray", "/opt/cray/pe/lib64/libopenacc_cray.so.2"),
     ("rocm-torch", "/appl/pytorch/rocm/lib/libtorch_hip.so"),
-    ("numa-rocm-torch", "/appl/pytorch/rocm/lib/libtorch_cpu_numa.so"),
+    (
+        "numa-rocm-torch",
+        "/appl/pytorch/rocm/lib/libtorch_cpu_numa.so",
+    ),
     ("numa-spack", "/appl/spack/23.09/lib/libnuma_shim.so.1"),
     ("spack", "/appl/spack/23.09/lib/libzstd.so.1"),
     ("blas-spack", "/appl/spack/23.09/lib/libopenblas.so.0"),
-    ("rocsolver-spack", "/appl/spack/23.09/lib/librocsolver_wrap.so"),
-    ("rocsparse-spack", "/appl/spack/23.09/lib/librocsparse_wrap.so"),
+    (
+        "rocsolver-spack",
+        "/appl/spack/23.09/lib/librocsolver_wrap.so",
+    ),
+    (
+        "rocsparse-spack",
+        "/appl/spack/23.09/lib/librocsparse_wrap.so",
+    ),
     ("drm-spack", "/appl/spack/23.09/lib/libdrm_shim.so.2"),
-    ("amdgpu-drm-spack", "/appl/spack/23.09/lib/libdrm_amdgpu_shim.so.1"),
-    ("climatedt", "/appl/climatedt/1.4/lib/libclimatedt_core.so.1"),
-    ("climatedt-yaml", "/appl/climatedt/1.4/lib/libclimatedt_yaml.so.1"),
+    (
+        "amdgpu-drm-spack",
+        "/appl/spack/23.09/lib/libdrm_amdgpu_shim.so.1",
+    ),
+    (
+        "climatedt",
+        "/appl/climatedt/1.4/lib/libclimatedt_core.so.1",
+    ),
+    (
+        "climatedt-yaml",
+        "/appl/climatedt/1.4/lib/libclimatedt_yaml.so.1",
+    ),
     ("hdf5-cray", "/opt/cray/pe/hdf5/1.12.2/lib/libhdf5.so.200"),
-    ("cuda-amber", "/users/user_10/amber22/lib/libcuda_amber_shim.so"),
+    (
+        "cuda-amber",
+        "/users/user_10/amber22/lib/libcuda_amber_shim.so",
+    ),
     ("amber", "/users/user_10/amber22/lib/libamber_tools.so"),
-    ("netcdf-parallel-cray", "/opt/cray/pe/parallel-netcdf/1.12.3/lib/libpnetcdf.so.4"),
-    ("hdf5-parallel-cray", "/opt/cray/pe/hdf5-parallel/1.12.2/lib/libhdf5_parallel.so.200"),
+    (
+        "netcdf-parallel-cray",
+        "/opt/cray/pe/parallel-netcdf/1.12.3/lib/libpnetcdf.so.4",
+    ),
+    (
+        "hdf5-parallel-cray",
+        "/opt/cray/pe/hdf5-parallel/1.12.2/lib/libhdf5_parallel.so.200",
+    ),
     (
         "hdf5-fortran-parallel-cray",
         "/opt/cray/pe/hdf5-parallel/1.12.2/lib/libhdf5_fortran_parallel.so.200",
     ),
     ("torch-tykky", "/appl/tykky/torch-env/lib/libtorch.so.2"),
-    ("numa-torch-tykky", "/appl/tykky/torch-env/lib/libtorch_numa.so.2"),
+    (
+        "numa-torch-tykky",
+        "/appl/tykky/torch-env/lib/libtorch_numa.so.2",
+    ),
 ];
 
 /// Uninformative base libraries every dynamically linked process loads

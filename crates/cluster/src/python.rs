@@ -14,10 +14,42 @@ use std::sync::Arc;
 
 /// The 36 packages of Figure 3, in the figure's x-axis order.
 pub const PACKAGE_CATALOG: &[&str] = &[
-    "heapq", "struct", "math", "posixsubprocess", "select", "blake2", "hashlib", "bz2", "lzma",
-    "zlib", "fcntl", "array", "binascii", "bisect", "cmath", "csv", "ctypes", "datetime",
-    "decimal", "grp", "json", "mmap", "mpi4py", "multiprocessing", "numpy", "opcode", "pandas",
-    "pickle", "queue", "random", "scipy", "sha512", "socket", "unicodedata", "zoneinfo", "sha3",
+    "heapq",
+    "struct",
+    "math",
+    "posixsubprocess",
+    "select",
+    "blake2",
+    "hashlib",
+    "bz2",
+    "lzma",
+    "zlib",
+    "fcntl",
+    "array",
+    "binascii",
+    "bisect",
+    "cmath",
+    "csv",
+    "ctypes",
+    "datetime",
+    "decimal",
+    "grp",
+    "json",
+    "mmap",
+    "mpi4py",
+    "multiprocessing",
+    "numpy",
+    "opcode",
+    "pandas",
+    "pickle",
+    "queue",
+    "random",
+    "scipy",
+    "sha512",
+    "socket",
+    "unicodedata",
+    "zoneinfo",
+    "sha3",
 ];
 
 /// One interpreter installation.
@@ -62,9 +94,26 @@ pub const SCRIPT_FAMILIES: &[ScriptFamily0] = &[
         user: "user_4",
         n_scripts: 6,
         imports: &[
-            "heapq", "struct", "math", "mpi4py", "numpy", "scipy", "pickle", "socket", "select",
-            "posixsubprocess", "hashlib", "blake2", "sha512", "sha3", "zlib", "bz2", "lzma",
-            "fcntl", "array", "binascii",
+            "heapq",
+            "struct",
+            "math",
+            "mpi4py",
+            "numpy",
+            "scipy",
+            "pickle",
+            "socket",
+            "select",
+            "posixsubprocess",
+            "hashlib",
+            "blake2",
+            "sha512",
+            "sha3",
+            "zlib",
+            "bz2",
+            "lzma",
+            "fcntl",
+            "array",
+            "binascii",
         ],
     },
     ScriptFamily0 {
@@ -73,8 +122,22 @@ pub const SCRIPT_FAMILIES: &[ScriptFamily0] = &[
         user: "user_4",
         n_scripts: 5,
         imports: &[
-            "heapq", "struct", "math", "numpy", "pandas", "json", "datetime", "decimal", "csv",
-            "ctypes", "multiprocessing", "mmap", "queue", "random", "opcode", "unicodedata",
+            "heapq",
+            "struct",
+            "math",
+            "numpy",
+            "pandas",
+            "json",
+            "datetime",
+            "decimal",
+            "csv",
+            "ctypes",
+            "multiprocessing",
+            "mmap",
+            "queue",
+            "random",
+            "opcode",
+            "unicodedata",
             "zoneinfo",
         ],
     },
@@ -177,9 +240,7 @@ pub fn script_imports(family: &ScriptFamily0, script_idx: usize) -> Vec<&'static
         .iter()
         .enumerate()
         .filter(|(j, _)| {
-            *j < 3
-                || *j % family.n_scripts == script_idx
-                || (script_idx * 7 + *j) % 4 == 0
+            *j < 3 || *j % family.n_scripts == script_idx || (script_idx * 7 + *j).is_multiple_of(4)
         })
         .map(|(_, p)| *p)
         .collect()
@@ -219,7 +280,13 @@ impl PythonEcosystem {
 
         let mut interpreters = HashMap::new();
         let defs: [(&'static str, &'static str, &'static str, u64, u64); 3] = [
-            ("python3.6", "/usr/bin/python3.6", "cpython-36m-x86_64-linux-gnu", 0xBEEF_0001, 900_001),
+            (
+                "python3.6",
+                "/usr/bin/python3.6",
+                "cpython-36m-x86_64-linux-gnu",
+                0xBEEF_0001,
+                900_001,
+            ),
             (
                 "python3.10",
                 "/opt/cray/pe/python/3.10.10/bin/python3.10",
@@ -242,7 +309,12 @@ impl PythonEcosystem {
                     name,
                     path,
                     abi,
-                    file: Arc::new(SimFile::new(interpreter_binary(name, seed), inode, 0, install)),
+                    file: Arc::new(SimFile::new(
+                        interpreter_binary(name, seed),
+                        inode,
+                        0,
+                        install,
+                    )),
                     objects: base_objects(&format!("/usr/lib64/libpython-{name}.so.1.0")),
                 },
             );
@@ -265,7 +337,10 @@ impl PythonEcosystem {
             scripts.insert(fam.id, list);
         }
 
-        Self { interpreters, scripts }
+        Self {
+            interpreters,
+            scripts,
+        }
     }
 
     /// Interpreter by name.
@@ -335,7 +410,10 @@ mod tests {
         assert_eq!(eco.scripts("u5-py310").len(), 26);
         assert_eq!(eco.scripts("u12-py310").len(), 1);
         // python3.10 total unique scripts = 27 (Table 8).
-        assert_eq!(eco.scripts("u5-py310").len() + eco.scripts("u12-py310").len(), 27);
+        assert_eq!(
+            eco.scripts("u5-py310").len() + eco.scripts("u12-py310").len(),
+            27
+        );
     }
 
     #[test]

@@ -112,7 +112,12 @@ pub fn build_profiles() -> Vec<UserProfile> {
             uid: 1001,
             total_jobs: 11_782,
             system_procs: sys,
-            kinds: vec![JobKind { name: "filemgmt", count: 11_782, apps: vec![], python: None }],
+            kinds: vec![JobKind {
+                name: "filemgmt",
+                count: 11_782,
+                apps: vec![],
+                python: None,
+            }],
         });
     }
 
@@ -167,7 +172,12 @@ pub fn build_profiles() -> Vec<UserProfile> {
                     apps: vec![("gzip", 19.0 / 18.0)],
                     python: None,
                 },
-                JobKind { name: "misc", count: 17, apps: vec![], python: None },
+                JobKind {
+                    name: "misc",
+                    count: 17,
+                    apps: vec![],
+                    python: None,
+                },
             ],
         });
     }
@@ -208,7 +218,12 @@ pub fn build_profiles() -> Vec<UserProfile> {
                     apps: vec![("janko", 1.0)],
                     python: None,
                 },
-                JobKind { name: "sys", count: 92, apps: vec![], python: None },
+                JobKind {
+                    name: "sys",
+                    count: 92,
+                    apps: vec![],
+                    python: None,
+                },
             ],
         });
     }
@@ -227,7 +242,12 @@ pub fn build_profiles() -> Vec<UserProfile> {
         ];
         sys.extend(spread(
             931.0,
-            &["/usr/bin/date", "/usr/bin/hostname", "/usr/bin/chmod", "/usr/bin/tail"],
+            &[
+                "/usr/bin/date",
+                "/usr/bin/hostname",
+                "/usr/bin/chmod",
+                "/usr/bin/tail",
+            ],
         ));
         out.push(UserProfile {
             name: "user_8",
@@ -241,7 +261,12 @@ pub fn build_profiles() -> Vec<UserProfile> {
                     apps: vec![("gromacs", 2_103.0 / 214.0)],
                     python: None,
                 },
-                JobKind { name: "sys", count: 2, apps: vec![], python: None },
+                JobKind {
+                    name: "sys",
+                    count: 2,
+                    apps: vec![],
+                    python: None,
+                },
             ],
         });
     }
@@ -311,7 +336,12 @@ pub fn build_profiles() -> Vec<UserProfile> {
                         procs_per_job: 8_402.0 / 8.0,
                     }),
                 },
-                JobKind { name: "sys", count: 102, apps: vec![], python: None },
+                JobKind {
+                    name: "sys",
+                    count: 102,
+                    apps: vec![],
+                    python: None,
+                },
             ],
         });
     }
@@ -333,7 +363,12 @@ pub fn build_profiles() -> Vec<UserProfile> {
                     procs_per_job: 1.0,
                 }),
             },
-            JobKind { name: "sys", count: 18, apps: vec![], python: None },
+            JobKind {
+                name: "sys",
+                count: 18,
+                apps: vec![],
+                python: None,
+            },
         ],
     });
 
@@ -371,7 +406,12 @@ pub fn build_profiles() -> Vec<UserProfile> {
                     apps: vec![("amber", 889.0 / 27.0)],
                     python: None,
                 },
-                JobKind { name: "sys", count: 1, apps: vec![], python: None },
+                JobKind {
+                    name: "sys",
+                    count: 1,
+                    apps: vec![],
+                    python: None,
+                },
             ],
         });
     }
@@ -389,7 +429,12 @@ pub fn build_profiles() -> Vec<UserProfile> {
                 apps: vec![("alexandria", 2.0)],
                 python: None,
             },
-            JobKind { name: "sys", count: 2, apps: vec![], python: None },
+            JobKind {
+                name: "sys",
+                count: 2,
+                apps: vec![],
+                python: None,
+            },
         ],
     });
 
@@ -576,7 +621,11 @@ mod tests {
             let p = profiles.iter().find(|p| p.name == name).unwrap();
             p.kinds
                 .iter()
-                .filter_map(|k| k.python.as_ref().map(|py| k.count as f64 * py.procs_per_job))
+                .filter_map(|k| {
+                    k.python
+                        .as_ref()
+                        .map(|py| k.count as f64 * py.procs_per_job)
+                })
                 .sum()
         };
         assert!((py("user_4") - 23_286.0).abs() < 1.0);

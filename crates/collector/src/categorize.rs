@@ -5,8 +5,8 @@
 
 /// System directories, verbatim from the paper.
 pub const SYSTEM_DIRS: &[&str] = &[
-    "/etc/", "/dev/", "/usr/", "/bin/", "/boot/", "/lib/", "/opt/", "/sbin/", "/sys/",
-    "/proc/", "/var/",
+    "/etc/", "/dev/", "/usr/", "/bin/", "/boot/", "/lib/", "/opt/", "/sbin/", "/sys/", "/proc/",
+    "/var/",
 ];
 
 /// Process category.
@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn python_requires_system_directory() {
         assert_eq!(Category::of("/usr/bin/python3.6"), Category::Python);
-        assert_eq!(Category::of("/opt/python/3.11.4/bin/python3.11"), Category::Python);
+        assert_eq!(
+            Category::of("/opt/python/3.11.4/bin/python3.11"),
+            Category::Python
+        );
         // The paper's explicit rule: user-dir interpreters are user procs.
         assert_eq!(
             Category::of("/users/user_2/miniconda3/envs/env0/bin/python3.11"),

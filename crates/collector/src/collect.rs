@@ -7,7 +7,10 @@ use siren_fuzzy::FuzzyHasher;
 use siren_hash::xxh3_128_hex;
 use siren_net::Sender;
 use siren_text::{printable_strings_joined, StringsConfig};
-use siren_wire::{chunk_message, Layer, Message, MessageHeader, MessageType, DEFAULT_MAX_DATAGRAM};
+use siren_wire::{
+    chunk_message, sentinel_message, Layer, Message, MessageHeader, MessageType,
+    DEFAULT_MAX_DATAGRAM,
+};
 
 /// Collection statistics (the collector's only side channel — it never
 /// reports errors to the hooked process).
@@ -35,24 +38,57 @@ pub struct CollectorStats {
     pub bytes_hashed: u64,
 }
 
+/// How many copies of the end-of-campaign sentinel each sender emits.
+/// Transport is fire-and-forget UDP, so a single sentinel could be lost;
+/// a small burst makes loss of *all* copies vanishingly unlikely while
+/// the receiver's quiet-period fallback still covers that case.
+pub const SENTINEL_BURST: usize = 3;
+
 /// The collector: stateless per observation, accumulates statistics.
 pub struct Collector<'s, S: Sender> {
     sender: &'s S,
     mode: PolicyMode,
     max_datagram: usize,
+    sender_id: u32,
     stats: CollectorStats,
 }
 
 impl<'s, S: Sender> Collector<'s, S> {
     /// Collector emitting through `sender` under the given policy mode.
     pub fn new(sender: &'s S, mode: PolicyMode) -> Self {
-        Self { sender, mode, max_datagram: DEFAULT_MAX_DATAGRAM, stats: CollectorStats::default() }
+        Self {
+            sender,
+            mode,
+            max_datagram: DEFAULT_MAX_DATAGRAM,
+            sender_id: 0,
+            stats: CollectorStats::default(),
+        }
     }
 
     /// Override the datagram size limit (for chunking experiments).
     pub fn with_max_datagram(mut self, max: usize) -> Self {
         self.max_datagram = max;
         self
+    }
+
+    /// Tag this collector's sentinel with a sender id (multi-sender
+    /// deployments give each collector thread a distinct id so the
+    /// receiver can account for every stream).
+    pub fn with_sender_id(mut self, id: u32) -> Self {
+        self.sender_id = id;
+        self
+    }
+
+    /// Announce end of campaign: emit [`SENTINEL_BURST`] copies of the
+    /// END sentinel through the transport. Datagram counts in the
+    /// sentinel reflect payload datagrams only, so receivers can
+    /// reconcile loss without counting sentinels.
+    pub fn end_campaign(&self) {
+        let sentinel = sentinel_message(self.sender_id, self.stats.datagrams_sent);
+        let encoded = sentinel.encode();
+        for _ in 0..SENTINEL_BURST {
+            self.sender.send(&encoded);
+        }
     }
 
     /// Statistics so far.
@@ -63,14 +99,18 @@ impl<'s, S: Sender> Collector<'s, S> {
     /// Observe one process (the constructor hook). Sends all resulting
     /// datagrams through the transport; never fails.
     pub fn observe(&mut self, ctx: &ProcessContext) {
+        if ctx.slurm_procid != 0 {
+            // Non-zero ranks are skipped whether or not the constructor
+            // would have run; counting them first keeps the container
+            // blind-spot counter aligned with the campaign's rank-0
+            // container accounting.
+            self.stats.skipped_nonzero_rank += 1;
+            return;
+        }
         if ctx.in_container {
             // The dynamic linker inside the container cannot find
             // siren.so: the constructor never runs, nothing is collected.
             self.stats.invisible_container += 1;
-            return;
-        }
-        if ctx.slurm_procid != 0 {
-            self.stats.skipped_nonzero_rank += 1;
             return;
         }
         self.stats.observed += 1;
@@ -202,13 +242,15 @@ pub fn collect_messages(
     if policy.strings_hash {
         let strings = printable_strings_joined(&ctx.exe.data, &StringsConfig::default());
         stats.bytes_hashed += strings.len() as u64;
-        out.push((header(MessageType::StringsHash), fuzzy_of_bytes(strings.as_bytes())));
+        out.push((
+            header(MessageType::StringsHash),
+            fuzzy_of_bytes(strings.as_bytes()),
+        ));
     }
     if policy.symbols_hash {
         match siren_elf::ElfFile::parse(&ctx.exe.data) {
             Ok(elf) => {
-                let names: Vec<String> =
-                    elf.global_symbols().into_iter().map(|s| s.name).collect();
+                let names: Vec<String> = elf.global_symbols().into_iter().map(|s| s.name).collect();
                 stats.bytes_hashed += names.iter().map(|n| n.len() as u64 + 1).sum::<u64>();
                 out.push((header(MessageType::SymbolsHash), fuzzy_of_list(&names)));
             }
@@ -233,7 +275,10 @@ pub fn collect_messages(
             }
             if script_policy.file_hash {
                 stats.bytes_hashed += py.script.data.len() as u64;
-                out.push((sheader(MessageType::ScriptHash), fuzzy_of_bytes(&py.script.data)));
+                out.push((
+                    sheader(MessageType::ScriptHash),
+                    fuzzy_of_bytes(&py.script.data),
+                ));
             }
         }
     }
@@ -331,7 +376,11 @@ mod tests {
         let types = types_of(&msgs);
         assert_eq!(
             types,
-            vec![MessageType::Meta, MessageType::Objects, MessageType::ObjectsHash]
+            vec![
+                MessageType::Meta,
+                MessageType::Objects,
+                MessageType::ObjectsHash
+            ]
         );
         assert_eq!(stats.bytes_hashed, 0, "system binaries are never hashed");
     }
@@ -360,7 +409,10 @@ mod tests {
 
     #[test]
     fn malformed_binary_fails_gracefully() {
-        let c = ctx("/users/user_9/app/bin/solver", b"not an elf at all".to_vec());
+        let c = ctx(
+            "/users/user_9/app/bin/solver",
+            b"not an elf at all".to_vec(),
+        );
         let mut stats = CollectorStats::default();
         let msgs = collect_messages(&c, PolicyMode::Selective, &mut stats);
         // Compilers + symbols extraction fail silently; the rest proceeds.
@@ -393,10 +445,14 @@ mod tests {
         });
         let mut stats = CollectorStats::default();
         let msgs = collect_messages(&c, PolicyMode::Selective, &mut stats);
-        let script_msgs: Vec<_> =
-            msgs.iter().filter(|(h, _)| h.layer == Layer::Script).collect();
+        let script_msgs: Vec<_> = msgs
+            .iter()
+            .filter(|(h, _)| h.layer == Layer::Script)
+            .collect();
         assert_eq!(script_msgs.len(), 2); // META + SCRIPT_H
-        assert!(script_msgs.iter().any(|(h, _)| h.mtype == MessageType::ScriptHash));
+        assert!(script_msgs
+            .iter()
+            .any(|(h, _)| h.mtype == MessageType::ScriptHash));
         // Interpreter itself: no FILE_H (Table 1), but maps present.
         let self_types: Vec<MessageType> = msgs
             .iter()
@@ -413,8 +469,14 @@ mod tests {
         let a = ctx("/usr/bin/bash", data.clone());
         let b = ctx("/usr/bin/srun", data);
         let mut stats = CollectorStats::default();
-        let ha = collect_messages(&a, PolicyMode::Selective, &mut stats)[0].0.exe_hash.clone();
-        let hb = collect_messages(&b, PolicyMode::Selective, &mut stats)[0].0.exe_hash.clone();
+        let ha = collect_messages(&a, PolicyMode::Selective, &mut stats)[0]
+            .0
+            .exe_hash
+            .clone();
+        let hb = collect_messages(&b, PolicyMode::Selective, &mut stats)[0]
+            .0
+            .exe_hash
+            .clone();
         assert_ne!(ha, hb);
         assert_eq!(ha.len(), 32);
     }
@@ -446,8 +508,9 @@ mod tests {
     #[test]
     fn long_object_lists_chunk_into_multiple_datagrams() {
         let mut c = ctx("/usr/bin/bash", elf_exe());
-        let many: Vec<String> =
-            (0..200).map(|i| format!("/opt/very/long/library/path/lib_{i:04}.so.1")).collect();
+        let many: Vec<String> = (0..200)
+            .map(|i| format!("/opt/very/long/library/path/lib_{i:04}.so.1"))
+            .collect();
         c.loaded_objects = Arc::new(many);
         let datagrams = collect_datagrams(&c, PolicyMode::Selective);
         let obj_chunks = datagrams

@@ -25,7 +25,7 @@ pub mod collect;
 pub mod policy;
 
 pub use categorize::{Category, SYSTEM_DIRS};
-pub use collect::{collect_messages, Collector, CollectorStats};
+pub use collect::{collect_messages, Collector, CollectorStats, SENTINEL_BURST};
 pub use policy::{CollectionPolicy, PolicyMode};
 
 #[cfg(test)]

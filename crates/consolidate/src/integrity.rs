@@ -91,7 +91,10 @@ fn has_field(rec: &ProcessRecord, field: &str) -> bool {
 
 /// Compute the integrity report for a consolidated record set.
 pub fn integrity_report(records: &[ProcessRecord]) -> IntegrityReport {
-    let mut report = IntegrityReport { processes_total: records.len() as u64, ..Default::default() };
+    let mut report = IntegrityReport {
+        processes_total: records.len() as u64,
+        ..Default::default()
+    };
     let mut jobs = std::collections::HashSet::new();
     let mut jobs_missing = std::collections::HashSet::new();
 

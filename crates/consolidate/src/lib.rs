@@ -64,7 +64,10 @@ pub fn consolidate(db: &Database) -> Consolidated {
                 Layer::SelfExe => {
                     stats.self_rows += 1;
                     let key = key_of(row);
-                    by_key.entry(key).or_insert_with(|| ProcessRecord::new(row)).absorb(row);
+                    by_key
+                        .entry(key)
+                        .or_insert_with(|| ProcessRecord::new(row))
+                        .absorb(row);
                 }
                 Layer::Script => {
                     stats.script_rows += 1;
@@ -93,7 +96,13 @@ pub fn consolidate(db: &Database) -> Consolidated {
     }
 
     for (skey, rows) in script_groups {
-        let parent_key = (skey.job_id, skey.step_id, skey.pid, skey.host.clone(), skey.time);
+        let parent_key = (
+            skey.job_id,
+            skey.step_id,
+            skey.pid,
+            skey.host.clone(),
+            skey.time,
+        );
         let matched = parent_index.get(&parent_key).and_then(|candidates| {
             candidates.iter().find(|k| {
                 by_key
@@ -126,13 +135,20 @@ pub fn consolidate(db: &Database) -> Consolidated {
 
     let mut records: Vec<ProcessRecord> = by_key.into_values().collect();
     records.sort_by(|a, b| {
-        (a.key.job_id, &a.key.host, a.key.time, a.key.pid, &a.key.exe_hash).cmp(&(
-            b.key.job_id,
-            &b.key.host,
-            b.key.time,
-            b.key.pid,
-            &b.key.exe_hash,
-        ))
+        (
+            a.key.job_id,
+            &a.key.host,
+            a.key.time,
+            a.key.pid,
+            &a.key.exe_hash,
+        )
+            .cmp(&(
+                b.key.job_id,
+                &b.key.host,
+                b.key.time,
+                b.key.pid,
+                &b.key.exe_hash,
+            ))
     });
     stats.processes = records.len() as u64;
 
@@ -151,6 +167,28 @@ fn key_of(row: &Record) -> ProcessKey {
     }
 }
 
+/// The canonical total order of consolidated records: `(job id, host,
+/// time, pid, exe hash)`. [`consolidate`] sorts by it, and any
+/// partitioned consolidation (the sharded ingest tier, fleet merges)
+/// must merge by the *same* order to reproduce the serial output — use
+/// this function rather than restating the key.
+pub fn record_order(a: &ProcessRecord, b: &ProcessRecord) -> std::cmp::Ordering {
+    (
+        a.key.job_id,
+        &a.key.host,
+        a.key.time,
+        a.key.pid,
+        &a.key.exe_hash,
+    )
+        .cmp(&(
+            b.key.job_id,
+            &b.key.host,
+            b.key.time,
+            b.key.pid,
+            &b.key.exe_hash,
+        ))
+}
+
 /// Extract imported Python packages from an interpreter's memory-mapped
 /// file list, given a known-package catalog (§4.4: "we overcome this
 /// challenge by extracting the imported Python packages from the
@@ -161,7 +199,8 @@ pub fn extract_python_imports<'a>(maps: &[String], catalog: &[&'a str]) -> Vec<&
         .filter(|pkg| {
             let dynload = format!("/_{pkg}.");
             let site = format!("site-packages/{pkg}/");
-            maps.iter().any(|m| m.contains(&dynload) || m.contains(&site))
+            maps.iter()
+                .any(|m| m.contains(&dynload) || m.contains(&site))
         })
         .copied()
         .collect()
@@ -201,20 +240,56 @@ mod tests {
     #[test]
     fn groups_rows_into_one_record_per_process() {
         let db = Database::in_memory();
-        db.insert(row(1, 10, "aa", 5, Layer::SelfExe, MessageType::Meta, &meta("/usr/bin/bash")))
-            .unwrap();
-        db.insert(row(1, 10, "aa", 5, Layer::SelfExe, MessageType::Objects, "/l/a.so;/l/b.so"))
-            .unwrap();
-        db.insert(row(1, 10, "aa", 5, Layer::SelfExe, MessageType::ObjectsHash, "3:x:y"))
-            .unwrap();
+        db.insert(row(
+            1,
+            10,
+            "aa",
+            5,
+            Layer::SelfExe,
+            MessageType::Meta,
+            &meta("/usr/bin/bash"),
+        ))
+        .unwrap();
+        db.insert(row(
+            1,
+            10,
+            "aa",
+            5,
+            Layer::SelfExe,
+            MessageType::Objects,
+            "/l/a.so;/l/b.so",
+        ))
+        .unwrap();
+        db.insert(row(
+            1,
+            10,
+            "aa",
+            5,
+            Layer::SelfExe,
+            MessageType::ObjectsHash,
+            "3:x:y",
+        ))
+        .unwrap();
         // A different process, same pid+time but different exe hash
         // (exec() replacement) must remain a separate record.
-        db.insert(row(1, 10, "bb", 5, Layer::SelfExe, MessageType::Meta, &meta("/usr/bin/srun")))
-            .unwrap();
+        db.insert(row(
+            1,
+            10,
+            "bb",
+            5,
+            Layer::SelfExe,
+            MessageType::Meta,
+            &meta("/usr/bin/srun"),
+        ))
+        .unwrap();
 
         let c = consolidate(&db);
         assert_eq!(c.records.len(), 2);
-        let bash = c.records.iter().find(|r| r.exe_path() == Some("/usr/bin/bash")).unwrap();
+        let bash = c
+            .records
+            .iter()
+            .find(|r| r.exe_path() == Some("/usr/bin/bash"))
+            .unwrap();
         assert_eq!(bash.objects.as_ref().unwrap().len(), 2);
         assert_eq!(bash.objects_hash.as_deref(), Some("3:x:y"));
         assert_eq!(bash.user(), Some("user_4"));
@@ -233,10 +308,26 @@ mod tests {
             &meta("/usr/bin/python3.6"),
         ))
         .unwrap();
-        db.insert(row(2, 20, "script", 9, Layer::Script, MessageType::Meta, &meta("/u/run.py")))
-            .unwrap();
-        db.insert(row(2, 20, "script", 9, Layer::Script, MessageType::ScriptHash, "3:s:h"))
-            .unwrap();
+        db.insert(row(
+            2,
+            20,
+            "script",
+            9,
+            Layer::Script,
+            MessageType::Meta,
+            &meta("/u/run.py"),
+        ))
+        .unwrap();
+        db.insert(row(
+            2,
+            20,
+            "script",
+            9,
+            Layer::Script,
+            MessageType::ScriptHash,
+            "3:s:h",
+        ))
+        .unwrap();
 
         let c = consolidate(&db);
         assert_eq!(c.records.len(), 1);
@@ -250,8 +341,16 @@ mod tests {
     #[test]
     fn orphan_scripts_counted() {
         let db = Database::in_memory();
-        db.insert(row(3, 30, "script", 9, Layer::Script, MessageType::ScriptHash, "3:s:h"))
-            .unwrap();
+        db.insert(row(
+            3,
+            30,
+            "script",
+            9,
+            Layer::Script,
+            MessageType::ScriptHash,
+            "3:s:h",
+        ))
+        .unwrap();
         let c = consolidate(&db);
         assert_eq!(c.stats.orphan_scripts, 1);
         assert_eq!(c.records.len(), 0);
@@ -260,10 +359,26 @@ mod tests {
     #[test]
     fn scripts_do_not_merge_into_non_python_processes() {
         let db = Database::in_memory();
-        db.insert(row(4, 40, "bash", 9, Layer::SelfExe, MessageType::Meta, &meta("/usr/bin/bash")))
-            .unwrap();
-        db.insert(row(4, 40, "script", 9, Layer::Script, MessageType::ScriptHash, "3:s:h"))
-            .unwrap();
+        db.insert(row(
+            4,
+            40,
+            "bash",
+            9,
+            Layer::SelfExe,
+            MessageType::Meta,
+            &meta("/usr/bin/bash"),
+        ))
+        .unwrap();
+        db.insert(row(
+            4,
+            40,
+            "script",
+            9,
+            Layer::Script,
+            MessageType::ScriptHash,
+            "3:s:h",
+        ))
+        .unwrap();
         let c = consolidate(&db);
         assert_eq!(c.stats.orphan_scripts, 1);
         assert!(c.records[0].script.is_none());
@@ -277,7 +392,10 @@ mod tests {
             "/lib64/libc.so.6".to_string(),
         ];
         let catalog = ["heapq", "numpy", "pandas"];
-        assert_eq!(extract_python_imports(&maps, &catalog), vec!["heapq", "numpy"]);
+        assert_eq!(
+            extract_python_imports(&maps, &catalog),
+            vec!["heapq", "numpy"]
+        );
         assert!(extract_python_imports(&[], &catalog).is_empty());
     }
 
@@ -296,8 +414,16 @@ mod tests {
     fn deterministic_record_order() {
         let db = Database::in_memory();
         for j in [5u64, 1, 3] {
-            db.insert(row(j, 1, "h", 1, Layer::SelfExe, MessageType::Meta, &meta("/usr/bin/x")))
-                .unwrap();
+            db.insert(row(
+                j,
+                1,
+                "h",
+                1,
+                Layer::SelfExe,
+                MessageType::Meta,
+                &meta("/usr/bin/x"),
+            ))
+            .unwrap();
         }
         let c = consolidate(&db);
         let jobs: Vec<u64> = c.records.iter().map(|r| r.key.job_id).collect();

@@ -5,7 +5,7 @@ use siren_wire::{MessageType, ProcessKey};
 use std::collections::HashMap;
 
 /// A merged SCRIPT-layer observation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScriptRecord {
     /// Script path.
     pub path: Option<String>,
@@ -16,7 +16,7 @@ pub struct ScriptRecord {
 }
 
 /// One process observation, fully consolidated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessRecord {
     /// Identity (job, step, pid, exe-path hash, host, time, layer).
     pub key: ProcessKey,
@@ -59,7 +59,11 @@ pub fn parse_kv(content: &str) -> HashMap<String, String> {
 
 /// Parse a `;`-joined list, dropping empties.
 pub fn parse_list(content: &str) -> Vec<String> {
-    content.split(';').filter(|s| !s.is_empty()).map(|s| s.to_string()).collect()
+    content
+        .split(';')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.to_string())
+        .collect()
 }
 
 impl ProcessRecord {
@@ -107,8 +111,9 @@ impl ProcessRecord {
             MessageType::StringsHash => self.strings_hash = Some(row.content.clone()),
             MessageType::SymbolsHash => self.symbols_hash = Some(row.content.clone()),
             // SCRIPT_H arrives on the SCRIPT layer and is handled by the
-            // merging pass; ENV is reserved.
-            MessageType::ScriptHash | MessageType::Env => {}
+            // merging pass; ENV is reserved; END is transport control
+            // that should never reach the database at all.
+            MessageType::ScriptHash | MessageType::Env | MessageType::End => {}
         }
     }
 
@@ -137,7 +142,9 @@ impl ProcessRecord {
         self.exe_name()
             .map(|n| {
                 n.strip_prefix("python")
-                    .map(|rest| rest.is_empty() || rest.chars().all(|c| c.is_ascii_digit() || c == '.'))
+                    .map(|rest| {
+                        rest.is_empty() || rest.chars().all(|c| c.is_ascii_digit() || c == '.')
+                    })
                     .unwrap_or(false)
             })
             .unwrap_or(false)
@@ -205,7 +212,10 @@ mod tests {
         row.mtype = MessageType::Compilers;
         row.content = "GCC: (SUSE Linux) 13.2.1".into();
         rec.absorb(&row);
-        assert_eq!(rec.compilers.as_ref().unwrap()[0], "GCC: (SUSE Linux) 13.2.1");
+        assert_eq!(
+            rec.compilers.as_ref().unwrap()[0],
+            "GCC: (SUSE Linux) 13.2.1"
+        );
     }
 
     #[test]

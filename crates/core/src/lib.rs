@@ -26,10 +26,12 @@
 //! println!("{}", siren_core::report::usage_report(&result.records));
 //! ```
 
+pub mod fleet;
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{Deployment, DeploymentConfig, DeploymentResult, TransportKind};
+pub use fleet::{FleetDeployment, FleetDeploymentConfig, FleetResult};
+pub use pipeline::{Deployment, DeploymentConfig, DeploymentResult, IngestMode, TransportKind};
 
 // Re-export the component crates under one roof so downstream users need
 // a single dependency.
@@ -41,6 +43,7 @@ pub use siren_db as db;
 pub use siren_elf as elf;
 pub use siren_fuzzy as fuzzy;
 pub use siren_hash as hash;
+pub use siren_ingest as ingest;
 pub use siren_net as net;
 pub use siren_text as text;
 pub use siren_wire as wire;
@@ -80,7 +83,10 @@ mod tests {
         let result = Deployment::new(cfg).run();
         assert!(result.records.len() > 100);
         assert_eq!(result.collector_stats.errors, 0);
-        assert_eq!(result.reassembly_incomplete, 0, "perfect channel loses nothing");
+        assert_eq!(
+            result.reassembly_incomplete, 0,
+            "perfect channel loses nothing"
+        );
         assert!(find_unknown_baseline(&result.records).is_some());
     }
 }

@@ -2,12 +2,18 @@
 
 use siren_cluster::{Campaign, CampaignConfig, CampaignStats};
 use siren_collector::{Collector, CollectorStats, PolicyMode};
-use siren_consolidate::{consolidate, integrity_report, ConsolidateStats, IntegrityReport, ProcessRecord};
+use siren_consolidate::{
+    consolidate, integrity_report, ConsolidateStats, IntegrityReport, ProcessRecord,
+};
 use siren_db::Database;
-use siren_net::{SimChannel, SimConfig, UdpReceiver, UdpSender};
-use siren_wire::{Message, Reassembler, DEFAULT_MAX_DATAGRAM};
+use siren_ingest::{IngestConfig, IngestService, ShardStats};
+use siren_net::{ShardedUdpSender, SimChannel, SimConfig, UdpReceiver, UdpReceiverPool, UdpSender};
+use siren_wire::{
+    parse_sentinel, CompleteMessage, Message, MessageType, Reassembler, DEFAULT_MAX_DATAGRAM,
+};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
+use std::time::Duration;
 
 /// Which transport carries the datagrams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +26,23 @@ pub enum TransportKind {
     UdpLoopback,
 }
 
+/// How the receiver tier turns messages into consolidated records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// One reassembler + one database on the caller's thread (the
+    /// paper's single receiver process).
+    Serial,
+    /// The sharded ingest service: `n` worker threads, each owning a
+    /// reassembler and a database partition, with parallel consolidation
+    /// and a deterministic cross-shard merge. Output is identical to
+    /// [`IngestMode::Serial`], record for record.
+    Sharded(usize),
+}
+
+/// Batch size for the serial path's batched inserts (the sharded path
+/// takes its own from [`IngestConfig`]).
+const SERIAL_BATCH: usize = 256;
+
 /// Full deployment configuration.
 #[derive(Debug, Clone)]
 pub struct DeploymentConfig {
@@ -31,9 +54,12 @@ pub struct DeploymentConfig {
     pub policy: PolicyMode,
     /// Transport selection.
     pub transport: TransportKind,
+    /// Receiver-tier selection.
+    pub ingest: IngestMode,
     /// Datagram size limit.
     pub max_datagram: usize,
-    /// Optional WAL path for a persistent database.
+    /// Optional WAL path for a persistent database. The sharded ingest
+    /// tier appends `.shard<i>` per partition.
     pub db_path: Option<PathBuf>,
 }
 
@@ -44,6 +70,7 @@ impl Default for DeploymentConfig {
             channel: SimConfig::perfect(),
             policy: PolicyMode::Selective,
             transport: TransportKind::Simulated,
+            ingest: IngestMode::Serial,
             max_datagram: DEFAULT_MAX_DATAGRAM,
             db_path: None,
         }
@@ -59,7 +86,8 @@ pub struct DeploymentResult {
     pub collector_stats: CollectorStats,
     /// Datagrams handed to the transport.
     pub datagrams_sent: u64,
-    /// Datagrams dropped by injected loss (simulated transport only).
+    /// Datagrams dropped by injected loss (simulated transport) or lost
+    /// in flight / shed under overload (UDP loopback).
     pub datagrams_dropped: u64,
     /// Datagrams delivered to the receiver.
     pub datagrams_delivered: u64,
@@ -69,7 +97,7 @@ pub struct DeploymentResult {
     pub reassembly_incomplete: u64,
     /// Duplicate chunks observed.
     pub reassembly_duplicates: u64,
-    /// Rows stored in the database.
+    /// Rows stored in the database (all partitions).
     pub db_rows: u64,
     /// Consolidation statistics.
     pub consolidate_stats: ConsolidateStats,
@@ -77,6 +105,8 @@ pub struct DeploymentResult {
     pub records: Vec<ProcessRecord>,
     /// Missing-field integrity report.
     pub integrity: IntegrityReport,
+    /// Per-shard ingest telemetry (empty under [`IngestMode::Serial`]).
+    pub shard_stats: Vec<ShardStats>,
 }
 
 /// A configured deployment, ready to run.
@@ -92,12 +122,17 @@ impl Deployment {
 
     /// Run the full pipeline and consolidate the results.
     pub fn run(self) -> DeploymentResult {
-        match self.cfg.transport {
-            TransportKind::Simulated => self.run_simulated(),
-            TransportKind::UdpLoopback => self.run_udp(),
+        match (self.cfg.transport, self.cfg.ingest) {
+            (TransportKind::Simulated, _) => self.run_simulated(),
+            (TransportKind::UdpLoopback, IngestMode::Serial) => self.run_udp_serial(),
+            (TransportKind::UdpLoopback, IngestMode::Sharded(shards)) => {
+                self.run_udp_sharded(shards)
+            }
         }
     }
 
+    /// Offline ingest of an already-collected message vector, through
+    /// whichever ingest mode the config selects.
     fn finish(
         cfg: &DeploymentConfig,
         campaign_stats: CampaignStats,
@@ -105,23 +140,59 @@ impl Deployment {
         messages: Vec<Message>,
         datagrams_dropped: u64,
     ) -> DeploymentResult {
-        let datagrams_delivered = messages.len() as u64;
+        match cfg.ingest {
+            IngestMode::Serial => Self::finish_serial(
+                cfg,
+                campaign_stats,
+                collector_stats,
+                messages,
+                datagrams_dropped,
+            ),
+            IngestMode::Sharded(shards) => Self::finish_sharded(
+                cfg,
+                campaign_stats,
+                collector_stats,
+                messages,
+                datagrams_dropped,
+                shards,
+            ),
+        }
+    }
 
+    fn finish_serial(
+        cfg: &DeploymentConfig,
+        campaign_stats: CampaignStats,
+        collector_stats: CollectorStats,
+        messages: Vec<Message>,
+        datagrams_dropped: u64,
+    ) -> DeploymentResult {
         let mut reasm = Reassembler::new();
         let db = match &cfg.db_path {
             Some(path) => Database::open(path).expect("open database WAL").0,
             None => Database::in_memory(),
         };
 
+        let mut delivered = 0u64;
         let mut complete = 0u64;
+        let mut batch: Vec<CompleteMessage> = Vec::with_capacity(SERIAL_BATCH);
         for msg in messages {
+            if msg.header.mtype == MessageType::End {
+                continue; // transport control, not data
+            }
+            delivered += 1;
             if let Some(done) = reasm.push(msg) {
                 complete += 1;
-                db.insert_message(done).expect("database insert");
+                batch.push(done);
+                if batch.len() >= SERIAL_BATCH {
+                    db.insert_message_batch(std::mem::take(&mut batch))
+                        .expect("database batch insert");
+                }
             }
         }
         let incomplete = reasm.drain_incomplete();
         let duplicates = reasm.duplicates;
+        db.insert_message_batch(batch)
+            .expect("database batch insert");
         db.flush().expect("database flush");
 
         let consolidated = consolidate(&db);
@@ -132,7 +203,7 @@ impl Deployment {
             datagrams_sent: collector_stats.datagrams_sent,
             collector_stats,
             datagrams_dropped,
-            datagrams_delivered,
+            datagrams_delivered: delivered,
             reassembly_complete: complete,
             reassembly_incomplete: incomplete.len() as u64,
             reassembly_duplicates: duplicates,
@@ -140,6 +211,48 @@ impl Deployment {
             consolidate_stats: consolidated.stats,
             records: consolidated.records,
             integrity,
+            shard_stats: Vec::new(),
+        }
+    }
+
+    fn finish_sharded(
+        cfg: &DeploymentConfig,
+        campaign_stats: CampaignStats,
+        collector_stats: CollectorStats,
+        messages: Vec<Message>,
+        datagrams_dropped: u64,
+        shards: usize,
+    ) -> DeploymentResult {
+        let mut service = IngestService::spawn(IngestConfig {
+            shards,
+            wal_base: cfg.db_path.clone(),
+            ..IngestConfig::default()
+        })
+        .expect("spawn ingest service");
+        let mut delivered = 0u64;
+        for msg in messages {
+            if msg.header.mtype != MessageType::End {
+                delivered += 1;
+            }
+            service.push(msg);
+        }
+        let ingested = service.finish().expect("ingest finish");
+        let integrity = integrity_report(&ingested.records);
+
+        DeploymentResult {
+            campaign_stats,
+            datagrams_sent: collector_stats.datagrams_sent,
+            collector_stats,
+            datagrams_dropped,
+            datagrams_delivered: delivered,
+            reassembly_complete: ingested.reassembly_complete(),
+            reassembly_incomplete: ingested.reassembly_incomplete(),
+            reassembly_duplicates: ingested.duplicates(),
+            db_rows: ingested.db_rows(),
+            consolidate_stats: ingested.stats,
+            records: ingested.records,
+            integrity,
+            shard_stats: ingested.shard_stats,
         }
     }
 
@@ -156,36 +269,169 @@ impl Deployment {
         assert_eq!(decode_errors, 0, "sim channel never corrupts datagrams");
         let dropped = rx.stats().dropped.load(Ordering::Relaxed);
 
-        Self::finish(&self.cfg, campaign_stats, collector_stats, messages, dropped)
+        Self::finish(
+            &self.cfg,
+            campaign_stats,
+            collector_stats,
+            messages,
+            dropped,
+        )
     }
 
-    fn run_udp(self) -> DeploymentResult {
+    fn run_udp_serial(self) -> DeploymentResult {
         let receiver = UdpReceiver::spawn(65_536).expect("bind loopback receiver");
         let sender = UdpSender::connect(receiver.local_addr()).expect("sender socket");
+
+        // Drain concurrently with the campaign: the receiver's bounded
+        // channel holds 65k messages, and a campaign can emit more than
+        // that — draining only afterwards would shed the tail of the
+        // stream, including the END sentinel sent last.
+        let drain = std::thread::Builder::new()
+            .name("siren-drain".into())
+            .spawn(move || {
+                let mut messages = Vec::new();
+                let sentinel = drain_each_until_sentinel(&receiver, |m| messages.push(m));
+                receiver.stop();
+                (messages, sentinel)
+            })
+            .expect("spawn drain thread");
 
         let campaign = Campaign::new(self.cfg.campaign.clone());
         let mut collector =
             Collector::new(&sender, self.cfg.policy).with_max_datagram(self.cfg.max_datagram);
         let campaign_stats = campaign.run(|ctx| collector.observe(&ctx));
+        // Announce end of campaign so the drain stops deterministically
+        // on the sentinel instead of by timeout.
+        collector.end_campaign();
         let collector_stats = collector.stats().clone();
 
-        // Drain until the socket has been quiet for a grace period.
-        let mut messages = Vec::new();
-        let mut quiet = 0;
-        while quiet < 10 {
-            match receiver.recv_timeout(std::time::Duration::from_millis(50)) {
-                Some(m) => {
-                    messages.push(m);
-                    quiet = 0;
-                }
-                None => quiet += 1,
-            }
-        }
-        let stats = receiver.stop();
-        let dropped = collector_stats.datagrams_sent.saturating_sub(stats.received);
+        let (messages, sentinel) = drain.join().expect("drain thread");
+        // The sentinel carries the sender's own datagram count — the
+        // protocol-level way for a receiver to measure loss without
+        // sharing memory with the sender. Fall back to the in-process
+        // collector stats only if every sentinel copy was lost.
+        let sent_claimed = sentinel
+            .map(|(_, sent)| sent)
+            .unwrap_or(collector_stats.datagrams_sent);
+        let dropped = sent_claimed.saturating_sub(messages.len() as u64);
 
-        Self::finish(&self.cfg, campaign_stats, collector_stats, messages, dropped)
+        Self::finish(
+            &self.cfg,
+            campaign_stats,
+            collector_stats,
+            messages,
+            dropped,
+        )
     }
+
+    fn run_udp_sharded(self, shards: usize) -> DeploymentResult {
+        let pool = UdpReceiverPool::spawn(shards, 65_536).expect("bind loopback receiver pool");
+        let sender = ShardedUdpSender::connect(&pool.addrs()).expect("sharded sender");
+        let service = IngestService::spawn(IngestConfig {
+            shards,
+            wal_base: self.cfg.db_path.clone(),
+            ..IngestConfig::default()
+        })
+        .expect("spawn ingest service");
+
+        // One drain thread per receiver socket, feeding its shard's
+        // worker directly — the live (streaming) ingest topology.
+        type DrainOutcome = (u64, Option<(u32, u64)>);
+        let drains: Vec<std::thread::JoinHandle<DrainOutcome>> = pool
+            .into_receivers()
+            .into_iter()
+            .enumerate()
+            .map(|(shard, receiver)| {
+                let handle = service.handle(shard);
+                std::thread::Builder::new()
+                    .name(format!("siren-drain-{shard}"))
+                    .spawn(move || {
+                        let mut delivered = 0u64;
+                        let sentinel = drain_each_until_sentinel(&receiver, |msg| {
+                            delivered += 1;
+                            handle.push(msg);
+                        });
+                        receiver.stop();
+                        (delivered, sentinel)
+                    })
+                    .expect("spawn drain thread")
+            })
+            .collect();
+
+        let campaign = Campaign::new(self.cfg.campaign.clone());
+        let mut collector =
+            Collector::new(&sender, self.cfg.policy).with_max_datagram(self.cfg.max_datagram);
+        let campaign_stats = campaign.run(|ctx| collector.observe(&ctx));
+        // The sentinel broadcast stops every drain thread.
+        collector.end_campaign();
+        let collector_stats = collector.stats().clone();
+
+        let outcomes: Vec<DrainOutcome> = drains
+            .into_iter()
+            .map(|d| d.join().expect("drain thread"))
+            .collect();
+        let delivered: u64 = outcomes.iter().map(|(n, _)| n).sum();
+        // Every sentinel copy carries the same sender-side total; any one
+        // of them is the authoritative wire-level count (see run_udp_serial).
+        let sent_claimed = outcomes
+            .iter()
+            .find_map(|(_, sentinel)| sentinel.map(|(_, sent)| sent))
+            .unwrap_or(collector_stats.datagrams_sent);
+        let ingested = service.finish().expect("ingest finish");
+        let integrity = integrity_report(&ingested.records);
+        let dropped = sent_claimed.saturating_sub(delivered);
+
+        DeploymentResult {
+            campaign_stats,
+            datagrams_sent: collector_stats.datagrams_sent,
+            collector_stats,
+            datagrams_dropped: dropped,
+            datagrams_delivered: delivered,
+            reassembly_complete: ingested.reassembly_complete(),
+            reassembly_incomplete: ingested.reassembly_incomplete(),
+            reassembly_duplicates: ingested.duplicates(),
+            db_rows: ingested.db_rows(),
+            consolidate_stats: ingested.stats,
+            records: ingested.records,
+            integrity,
+            shard_stats: ingested.shard_stats,
+        }
+    }
+}
+
+/// Drain one UDP receiver until its sender's end-of-campaign sentinel
+/// arrives (deterministic stop), falling back to a generous quiet period
+/// only if every sentinel copy was lost. Yields payload messages to
+/// `on_msg` and returns the parsed `(sender_id, datagrams_sent)` claim
+/// of the first sentinel seen, if any.
+fn drain_each_until_sentinel(
+    receiver: &UdpReceiver,
+    mut on_msg: impl FnMut(Message),
+) -> Option<(u32, u64)> {
+    // 200 × 50 ms = 10 s of silence before giving up on the sentinel;
+    // the quiet counter resets on every received datagram, so an active
+    // campaign never trips it.
+    const QUIET_LIMIT: u32 = 200;
+    let mut quiet = 0u32;
+    let mut sentinel = None;
+    while sentinel.is_none() && quiet < QUIET_LIMIT {
+        match receiver.recv_timeout(Duration::from_millis(50)) {
+            Some(m) if m.header.mtype == MessageType::End => sentinel = parse_sentinel(&m),
+            Some(m) => {
+                on_msg(m);
+                quiet = 0;
+            }
+            None => quiet += 1,
+        }
+    }
+    // Scoop any stragglers the reader thread had already queued (extra
+    // sentinel copies are dropped here).
+    while let Some(m) = receiver.try_recv() {
+        if m.header.mtype != MessageType::End {
+            on_msg(m);
+        }
+    }
+    sentinel
 }
 
 #[cfg(test)]
@@ -207,10 +453,7 @@ mod tests {
         assert_eq!(r.reassembly_incomplete, 0);
         assert_eq!(r.db_rows, r.reassembly_complete);
         assert_eq!(r.integrity.jobs_with_missing, 0);
-        assert_eq!(
-            r.records.len() as u64,
-            r.consolidate_stats.processes
-        );
+        assert_eq!(r.records.len() as u64, r.consolidate_stats.processes);
         // Every rank-0, non-containerized observation must become exactly
         // one record; containers are the collector's documented blind spot.
         assert_eq!(
@@ -221,6 +464,20 @@ mod tests {
             r.collector_stats.invisible_container,
             r.campaign_stats.container_processes
         );
+    }
+
+    #[test]
+    fn sharded_ingest_equals_serial_on_lossless_channel() {
+        let serial = Deployment::new(tiny(TransportKind::Simulated)).run();
+        for shards in [1usize, 2, 8] {
+            let mut cfg = tiny(TransportKind::Simulated);
+            cfg.ingest = IngestMode::Sharded(shards);
+            let sharded = Deployment::new(cfg).run();
+            assert_eq!(sharded.records, serial.records, "shards={shards}");
+            assert_eq!(sharded.db_rows, serial.db_rows);
+            assert_eq!(sharded.consolidate_stats, serial.consolidate_stats);
+            assert_eq!(sharded.shard_stats.len(), shards);
+        }
     }
 
     #[test]
@@ -254,8 +511,30 @@ mod tests {
         // overwhelming majority and consolidate cleanly.
         assert!(r.datagrams_delivered > 0);
         let delivered_frac = r.datagrams_delivered as f64 / r.datagrams_sent as f64;
-        assert!(delivered_frac > 0.5, "loopback delivered only {delivered_frac}");
+        assert!(
+            delivered_frac > 0.5,
+            "loopback delivered only {delivered_frac}"
+        );
         assert!(!r.records.is_empty());
+    }
+
+    #[test]
+    fn udp_loopback_sharded_pipeline_works() {
+        let mut cfg = tiny(TransportKind::UdpLoopback);
+        cfg.ingest = IngestMode::Sharded(2);
+        let r = Deployment::new(cfg).run();
+        assert!(r.datagrams_delivered > 0);
+        let delivered_frac = r.datagrams_delivered as f64 / r.datagrams_sent as f64;
+        assert!(
+            delivered_frac > 0.5,
+            "loopback delivered only {delivered_frac}"
+        );
+        assert!(!r.records.is_empty());
+        assert_eq!(r.shard_stats.len(), 2);
+        // Job-keyed routing: sharded output matches a serial re-ingest of
+        // the same campaign when nothing is lost; under loopback loss we
+        // can only assert structural sanity.
+        assert_eq!(r.records.len() as u64, r.consolidate_stats.processes);
     }
 
     #[test]
@@ -274,5 +553,31 @@ mod tests {
         assert_eq!(stats.records, r.db_rows);
         assert_eq!(db.len() as u64, r.db_rows);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sharded_persistent_partitions_round_trip() {
+        let dir = std::env::temp_dir().join(format!("siren-core-sh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("sharded.sirendb");
+        for i in 0..3 {
+            let _ = std::fs::remove_file(dir.join(format!("sharded.sirendb.shard{i}")));
+        }
+
+        let mut cfg = tiny(TransportKind::Simulated);
+        cfg.ingest = IngestMode::Sharded(3);
+        cfg.db_path = Some(base.clone());
+        let r = Deployment::new(cfg).run();
+        assert!(r.db_rows > 0);
+
+        let mut replayed = 0u64;
+        for i in 0..3 {
+            let path = dir.join(format!("sharded.sirendb.shard{i}"));
+            let (db, stats) = Database::open(&path).unwrap();
+            assert_eq!(stats.corrupt_tail_bytes, 0);
+            replayed += db.len() as u64;
+            std::fs::remove_file(&path).unwrap();
+        }
+        assert_eq!(replayed, r.db_rows);
     }
 }

@@ -42,8 +42,7 @@ pub fn similarity_report(records: &[ProcessRecord]) -> String {
     let Some(baseline) = crate::find_unknown_baseline(records) else {
         return "Table 7: no UNKNOWN baseline present in this campaign\n".to_string();
     };
-    let rows =
-        analysis::similarity_search_table(records, baseline, &Labeler::default(), 10);
+    let rows = analysis::similarity_search_table(records, baseline, &Labeler::default(), 10);
     analysis::similarity::render_similarity(&rows)
 }
 
@@ -109,17 +108,8 @@ mod tests {
         let result = Deployment::new(cfg).run();
         let report = super::full_report(&result.records);
         for artifact in [
-            "Table 2",
-            "Table 3",
-            "Table 4",
-            "Table 5",
-            "Table 6",
-            "Table 7",
-            "Table 8",
-            "Figure 2",
-            "Figure 3",
-            "Figure 4",
-            "Figure 5",
+            "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Table 8",
+            "Figure 2", "Figure 3", "Figure 4", "Figure 5",
         ] {
             assert!(report.contains(artifact), "missing {artifact}");
         }

@@ -51,7 +51,9 @@ impl Default for Database {
 impl Database {
     /// Volatile store (no persistence).
     pub fn in_memory() -> Self {
-        Self { inner: RwLock::new(Inner::default()) }
+        Self {
+            inner: RwLock::new(Inner::default()),
+        }
     }
 
     /// Open (or create) a persistent store backed by a write-ahead log at
@@ -79,7 +81,11 @@ impl Database {
     fn index_and_push(inner: &mut Inner, rec: Record) {
         let idx = inner.rows.len();
         inner.by_job.entry(rec.job_id).or_default().push(idx);
-        inner.by_type.entry(rec.mtype.as_str()).or_default().push(idx);
+        inner
+            .by_type
+            .entry(rec.mtype.as_str())
+            .or_default()
+            .push(idx);
         inner.rows.push(rec);
     }
 
@@ -96,6 +102,33 @@ impl Database {
     /// Insert a reassembled wire message.
     pub fn insert_message(&self, msg: CompleteMessage) -> std::io::Result<()> {
         self.insert(Record::from(msg))
+    }
+
+    /// Insert many records under one lock acquisition and one WAL pass.
+    ///
+    /// The hot ingest path produces records far faster than per-record
+    /// `insert` can take the write lock; batching amortizes the lock and
+    /// lets the WAL writer buffer all frames before a single flush.
+    pub fn insert_batch(&self, recs: Vec<Record>) -> std::io::Result<()> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.write();
+        if let Some(wal) = inner.wal.as_mut() {
+            for rec in &recs {
+                wal.append(rec)?;
+            }
+            wal.flush()?;
+        }
+        for rec in recs {
+            Self::index_and_push(&mut inner, rec);
+        }
+        Ok(())
+    }
+
+    /// Insert many reassembled wire messages as one batch.
+    pub fn insert_message_batch(&self, msgs: Vec<CompleteMessage>) -> std::io::Result<()> {
+        self.insert_batch(msgs.into_iter().map(Record::from).collect())
     }
 
     /// Number of rows.
@@ -264,7 +297,12 @@ impl Query<'_> {
                 })
                 .unwrap_or_default();
         }
-        inner.rows.iter().filter(|r| self.matches(r)).cloned().collect()
+        inner
+            .rows
+            .iter()
+            .filter(|r| self.matches(r))
+            .cloned()
+            .collect()
     }
 
     /// Count matching rows without cloning.
@@ -303,6 +341,45 @@ mod tests {
     }
 
     #[test]
+    fn insert_batch_matches_serial_inserts_and_persists() {
+        let serial = Database::in_memory();
+        let batched = Database::in_memory();
+        let recs: Vec<Record> = (0..100)
+            .map(|i| rec(i % 7, i as u32, MessageType::Objects, &format!("c{i}")))
+            .collect();
+        for r in recs.clone() {
+            serial.insert(r).unwrap();
+        }
+        batched.insert_batch(recs).unwrap();
+        assert_eq!(serial.len(), batched.len());
+        serial.with_rows(|a| batched.with_rows(|b| assert_eq!(a, b)));
+        assert_eq!(serial.job_ids(), batched.job_ids());
+        assert_eq!(
+            serial.query().mtype(MessageType::Objects).count(),
+            batched.query().mtype(MessageType::Objects).count()
+        );
+
+        // Batches hit the WAL exactly like serial inserts.
+        let dir = std::env::temp_dir().join(format!("siren-db-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batch.sirendb");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (db, _) = Database::open(&path).unwrap();
+            db.insert_batch(
+                (0..50)
+                    .map(|i| rec(i, i as u32, MessageType::Meta, "m"))
+                    .collect(),
+            )
+            .unwrap();
+        }
+        let (db, stats) = Database::open(&path).unwrap();
+        assert_eq!(stats.records, 50);
+        assert_eq!(db.len(), 50);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn query_by_job_and_type() {
         let db = Database::in_memory();
         for j in 0..10 {
@@ -311,7 +388,14 @@ mod tests {
         }
         assert_eq!(db.query().job(3).collect().len(), 2);
         assert_eq!(db.query().mtype(MessageType::Meta).collect().len(), 10);
-        assert_eq!(db.query().job(3).mtype(MessageType::Objects).collect().len(), 1);
+        assert_eq!(
+            db.query()
+                .job(3)
+                .mtype(MessageType::Objects)
+                .collect()
+                .len(),
+            1
+        );
         assert_eq!(db.query().job(99).collect().len(), 0);
         assert_eq!(db.query().count(), 20);
     }
@@ -322,7 +406,10 @@ mod tests {
         for j in 0..10 {
             db.insert(rec(j, 1, MessageType::Meta, "x")).unwrap();
         }
-        let hits = db.query().time_between(1_700_000_002, 1_700_000_004).collect();
+        let hits = db
+            .query()
+            .time_between(1_700_000_002, 1_700_000_004)
+            .collect();
         assert_eq!(hits.len(), 3);
         let host_hits = db.query().host("nid000007").collect();
         assert_eq!(host_hits.len(), 1);
@@ -340,7 +427,8 @@ mod tests {
     #[test]
     fn rows_of_type_uses_index() {
         let db = Database::in_memory();
-        db.insert(rec(1, 1, MessageType::FileHash, "3:abc:de")).unwrap();
+        db.insert(rec(1, 1, MessageType::FileHash, "3:abc:de"))
+            .unwrap();
         db.insert(rec(1, 1, MessageType::Meta, "")).unwrap();
         let rows = db.rows_of_type(MessageType::FileHash);
         assert_eq!(rows.len(), 1);
@@ -358,7 +446,8 @@ mod tests {
             let (db, stats) = Database::open(&path).unwrap();
             assert_eq!(stats.records, 0);
             for j in 0..50 {
-                db.insert(rec(j, j as u32, MessageType::Objects, &format!("lib{j}"))).unwrap();
+                db.insert(rec(j, j as u32, MessageType::Objects, &format!("lib{j}")))
+                    .unwrap();
             }
             db.flush().unwrap();
         }
@@ -369,7 +458,8 @@ mod tests {
             assert_eq!(db.len(), 50);
             assert_eq!(db.query().job(7).collect()[0].content, "lib7");
             // And appending after replay still works.
-            db.insert(rec(100, 1, MessageType::Meta, "post-replay")).unwrap();
+            db.insert(rec(100, 1, MessageType::Meta, "post-replay"))
+                .unwrap();
             db.flush().unwrap();
         }
         {
@@ -396,7 +486,10 @@ mod tests {
         // Simulate a torn write: append garbage.
         {
             use std::io::Write;
-            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
         }
         let (db, stats) = Database::open(&path).unwrap();
@@ -413,7 +506,8 @@ mod tests {
             let db = std::sync::Arc::clone(&db);
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u64 {
-                    db.insert(rec(t * 1000 + i, 1, MessageType::Meta, "c")).unwrap();
+                    db.insert(rec(t * 1000 + i, 1, MessageType::Meta, "c"))
+                        .unwrap();
                 }
             }));
         }

@@ -41,7 +41,9 @@ impl WalWriter {
     /// Open `path` for appending (creating it if needed).
     pub fn append_to(path: &Path) -> std::io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Self { out: BufWriter::new(file) })
+        Ok(Self {
+            out: BufWriter::new(file),
+        })
     }
 
     /// Append one record frame.
@@ -90,40 +92,54 @@ impl WalReader {
             let frame_start_remaining = buf.remaining();
             if buf.remaining() < 1 + 4 {
                 let n = records_len(&records);
-                return Ok((records, ReplayStats {
-                    records: n,
-                    corrupt_tail_bytes: frame_start_remaining as u64,
-                }));
+                return Ok((
+                    records,
+                    ReplayStats {
+                        records: n,
+                        corrupt_tail_bytes: frame_start_remaining as u64,
+                    },
+                ));
             }
             let magic = buf.get_u8();
             let len = buf.get_u32_le();
             if magic != FRAME_MAGIC || len > MAX_PAYLOAD || buf.remaining() < len as usize + 8 {
                 let n = records_len(&records);
-                return Ok((records, ReplayStats {
-                    records: n,
-                    corrupt_tail_bytes: frame_start_remaining as u64,
-                }));
+                return Ok((
+                    records,
+                    ReplayStats {
+                        records: n,
+                        corrupt_tail_bytes: frame_start_remaining as u64,
+                    },
+                ));
             }
             let payload = &buf.chunk()[..len as usize];
             let stored_sum_pos = len as usize;
             let stored_sum = u64::from_le_bytes(
-                buf.chunk()[stored_sum_pos..stored_sum_pos + 8].try_into().unwrap(),
+                buf.chunk()[stored_sum_pos..stored_sum_pos + 8]
+                    .try_into()
+                    .unwrap(),
             );
             if fnv1a64(payload) != stored_sum {
                 let n = records_len(&records);
-                return Ok((records, ReplayStats {
-                    records: n,
-                    corrupt_tail_bytes: frame_start_remaining as u64,
-                }));
+                return Ok((
+                    records,
+                    ReplayStats {
+                        records: n,
+                        corrupt_tail_bytes: frame_start_remaining as u64,
+                    },
+                ));
             }
             match Record::decode(payload) {
                 Some(rec) => records.push(rec),
                 None => {
                     let n = records_len(&records);
-                    return Ok((records, ReplayStats {
-                        records: n,
-                        corrupt_tail_bytes: frame_start_remaining as u64,
-                    }));
+                    return Ok((
+                        records,
+                        ReplayStats {
+                            records: n,
+                            corrupt_tail_bytes: frame_start_remaining as u64,
+                        },
+                    ));
                 }
             }
             buf.advance(len as usize + 8);
@@ -131,7 +147,13 @@ impl WalReader {
 
         let _ = total;
         let n = records_len(&records);
-        Ok((records, ReplayStats { records: n, corrupt_tail_bytes: 0 }))
+        Ok((
+            records,
+            ReplayStats {
+                records: n,
+                corrupt_tail_bytes: 0,
+            },
+        ))
     }
 }
 

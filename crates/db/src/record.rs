@@ -47,7 +47,16 @@ impl Record {
     /// little-endian integers).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(
-            8 + 4 + 4 + 8 + 1 + 1 + 2 + self.exe_hash.len() + 2 + self.host.len() + 4
+            8 + 4
+                + 4
+                + 8
+                + 1
+                + 1
+                + 2
+                + self.exe_hash.len()
+                + 2
+                + self.host.len()
+                + 4
                 + self.content.len(),
         );
         out.extend_from_slice(&self.job_id.to_le_bytes());
@@ -98,7 +107,17 @@ impl Record {
             return None; // trailing junk means a framing bug upstream
         }
 
-        Some(Self { job_id, step_id, pid, exe_hash, host, time, layer, mtype, content })
+        Some(Self {
+            job_id,
+            step_id,
+            pid,
+            exe_hash,
+            host,
+            time,
+            layer,
+            mtype,
+            content,
+        })
     }
 }
 

@@ -99,15 +99,18 @@ pub struct ElfFile<'a> {
 }
 
 fn read_u16(d: &[u8], off: usize) -> Option<u16> {
-    d.get(off..off + 2).map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+    d.get(off..off + 2)
+        .map(|b| u16::from_le_bytes(b.try_into().unwrap()))
 }
 
 fn read_u32(d: &[u8], off: usize) -> Option<u32> {
-    d.get(off..off + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    d.get(off..off + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
 }
 
 fn read_u64(d: &[u8], off: usize) -> Option<u64> {
-    d.get(off..off + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    d.get(off..off + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
 }
 
 /// Extract the NUL-terminated string at `off` in a string table.
@@ -145,13 +148,23 @@ impl<'a> ElfFile<'a> {
         let shstrndx = read_u16(data, 62).ok_or(ElfError::Truncated)? as usize;
 
         if shnum == 0 {
-            return Ok(Self { data, elf_type, machine, entry, sections: Vec::new() });
+            return Ok(Self {
+                data,
+                elf_type,
+                machine,
+                entry,
+                sections: Vec::new(),
+            });
         }
         if shentsize < SHDR_SIZE {
             return Err(ElfError::SectionTableOutOfBounds);
         }
         let table_end = shoff
-            .checked_add(shnum.checked_mul(shentsize).ok_or(ElfError::SectionTableOutOfBounds)?)
+            .checked_add(
+                shnum
+                    .checked_mul(shentsize)
+                    .ok_or(ElfError::SectionTableOutOfBounds)?,
+            )
             .ok_or(ElfError::SectionTableOutOfBounds)?;
         if table_end > data.len() {
             return Err(ElfError::SectionTableOutOfBounds);
@@ -182,7 +195,10 @@ impl<'a> ElfFile<'a> {
         // Bounds-check payloads (NOBITS sections occupy no file space).
         for (i, r) in raw.iter().enumerate() {
             if r.sh_type != sht::NULL && r.sh_type != sht::NOBITS {
-                let end = r.offset.checked_add(r.size).ok_or(ElfError::SectionDataOutOfBounds(i))?;
+                let end = r
+                    .offset
+                    .checked_add(r.size)
+                    .ok_or(ElfError::SectionDataOutOfBounds(i))?;
                 if end > data.len() {
                     return Err(ElfError::SectionDataOutOfBounds(i));
                 }
@@ -208,7 +224,13 @@ impl<'a> ElfFile<'a> {
             })
             .collect();
 
-        Ok(Self { data, elf_type, machine, entry, sections })
+        Ok(Self {
+            data,
+            elf_type,
+            machine,
+            entry,
+            sections,
+        })
     }
 
     /// File type.
@@ -242,7 +264,10 @@ impl<'a> ElfFile<'a> {
 
     /// Payload of the first section with this name.
     pub fn section_data(&self, name: &str) -> Option<&'a [u8]> {
-        let s = self.sections.iter().find(|s| s.name == name && s.sh_type != sht::NULL)?;
+        let s = self
+            .sections
+            .iter()
+            .find(|s| s.name == name && s.sh_type != sht::NULL)?;
         if s.sh_type == sht::NOBITS {
             return Some(&[]);
         }
@@ -294,8 +319,10 @@ impl<'a> ElfFile<'a> {
         if info.entsize as usize != SYM_SIZE || data.len() % SYM_SIZE != 0 {
             return Err(ElfError::BadSymtab);
         }
-        let strtab_info =
-            self.sections.get(info.link as usize).ok_or(ElfError::BadSymtab)?;
+        let strtab_info = self
+            .sections
+            .get(info.link as usize)
+            .ok_or(ElfError::BadSymtab)?;
         let strtab = self
             .data
             .get(strtab_info.offset..strtab_info.offset + strtab_info.size)
@@ -310,7 +337,13 @@ impl<'a> ElfFile<'a> {
             let binding = Binding::from_u8(st_info >> 4).ok_or(ElfError::BadSymtab)?;
             let sym_type = SymType::from_u8(st_info & 0x0F).unwrap_or(SymType::NoType);
             let name = strtab_get(strtab, name_off).ok_or(ElfError::BadSymtab)?;
-            out.push(SymbolInfo { name, value, size, binding, sym_type });
+            out.push(SymbolInfo {
+                name,
+                value,
+                size,
+                binding,
+                sym_type,
+            });
         }
         Ok(out)
     }
@@ -321,19 +354,17 @@ impl<'a> ElfFile<'a> {
     }
 
     fn needed_libraries_checked(&self) -> Result<Vec<String>, ElfError> {
-        let Some(dyn_info) = self
-            .sections
-            .iter()
-            .find(|s| s.sh_type == sht::DYNAMIC)
-        else {
+        let Some(dyn_info) = self.sections.iter().find(|s| s.sh_type == sht::DYNAMIC) else {
             return Ok(Vec::new());
         };
         let dyn_data = self
             .data
             .get(dyn_info.offset..dyn_info.offset + dyn_info.size)
             .ok_or(ElfError::BadDynamic)?;
-        let strtab_info =
-            self.sections.get(dyn_info.link as usize).ok_or(ElfError::BadDynamic)?;
+        let strtab_info = self
+            .sections
+            .get(dyn_info.link as usize)
+            .ok_or(ElfError::BadDynamic)?;
         let strtab = self
             .data
             .get(strtab_info.offset..strtab_info.offset + strtab_info.size)
@@ -363,10 +394,7 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert_eq!(ElfFile::parse(b"").unwrap_err(), ElfError::Truncated);
-        assert_eq!(
-            ElfFile::parse(&[0u8; 100]).unwrap_err(),
-            ElfError::BadMagic
-        );
+        assert_eq!(ElfFile::parse(&[0u8; 100]).unwrap_err(), ElfError::BadMagic);
         let mut bad = vec![0x7F, b'E', b'L', b'F'];
         bad.resize(EHDR_SIZE, 0);
         bad[4] = 1; // 32-bit
@@ -392,15 +420,10 @@ mod tests {
         let f = ElfFile::parse(&bin).unwrap();
         // Find .text header and corrupt its size to exceed the file.
         let shoff = u64::from_le_bytes(bin[40..48].try_into().unwrap()) as usize;
-        let text_idx = f
-            .sections()
-            .iter()
-            .position(|s| s.name == ".text")
-            .unwrap();
+        let text_idx = f.sections().iter().position(|s| s.name == ".text").unwrap();
         let mut corrupt = bin.clone();
         let size_field = shoff + text_idx * SHDR_SIZE + 32;
-        corrupt[size_field..size_field + 8]
-            .copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        corrupt[size_field..size_field + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
         assert!(matches!(
             ElfFile::parse(&corrupt),
             Err(ElfError::SectionDataOutOfBounds(_))

@@ -11,7 +11,9 @@
 //! No program headers are emitted — SIREN only ever *reads* executables,
 //! it never loads them.
 
-use crate::types::{dt, sht, Binding, ElfType, Machine, SymType, DYN_SIZE, EHDR_SIZE, SHDR_SIZE, SYM_SIZE};
+use crate::types::{
+    dt, sht, Binding, ElfType, Machine, SymType, DYN_SIZE, EHDR_SIZE, SHDR_SIZE, SYM_SIZE,
+};
 
 /// A symbol queued for the `.symtab`.
 #[derive(Debug, Clone)]
@@ -324,7 +326,7 @@ impl ElfBuilder {
         // e_flags = 0
         out[52..54].copy_from_slice(&(EHDR_SIZE as u16).to_le_bytes());
         out[54..56].copy_from_slice(&56u16.to_le_bytes()); // e_phentsize
-        // e_phnum = 0
+                                                           // e_phnum = 0
         out[58..60].copy_from_slice(&(SHDR_SIZE as u16).to_le_bytes());
         out[60..62].copy_from_slice(&shnum.to_le_bytes());
         out[62..64].copy_from_slice(&shstrndx.to_le_bytes());
@@ -485,7 +487,10 @@ mod tests {
         let f = ElfFile::parse(&bin).unwrap();
         assert_eq!(f.machine(), Machine::X86_64);
         assert_eq!(f.entry(), 0x1040);
-        assert_eq!(f.section_data(".rodata").unwrap(), b"version 2.1\0help text\0");
+        assert_eq!(
+            f.section_data(".rodata").unwrap(),
+            b"version 2.1\0help text\0"
+        );
         assert_eq!(f.global_symbols().len(), 1);
         assert_eq!(f.needed_libraries(), vec!["libc.so.6"]);
     }

@@ -24,7 +24,9 @@ pub struct SearchHit {
 }
 
 fn worker_count(n_items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     // Below ~4k comparisons the spawn cost dominates any speedup.
     if n_items < 4096 {
         1
@@ -113,8 +115,8 @@ pub fn compare_matrix(corpus: &[FuzzyHash]) -> Vec<Vec<u32>> {
         (0..n).map(|i| (i, row_scores(corpus, i))).collect()
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = parking_lot_free_collect(n, workers, &next, corpus);
-        results
+
+        parking_lot_free_collect(n, workers, &next, corpus)
     };
 
     for (i, row) in rows {
@@ -129,7 +131,10 @@ pub fn compare_matrix(corpus: &[FuzzyHash]) -> Vec<Vec<u32>> {
 
 fn row_scores(corpus: &[FuzzyHash], i: usize) -> Vec<u32> {
     let base = &corpus[i];
-    corpus[i..].iter().map(|h| compare_parsed(base, h)).collect()
+    corpus[i..]
+        .iter()
+        .map(|h| compare_parsed(base, h))
+        .collect()
 }
 
 /// Work-stealing row distribution without any lock: an atomic row cursor.
@@ -183,8 +188,9 @@ mod tests {
             out.push(fuzzy_hash(&v));
         }
         for seed in [7u32, 8, 9] {
-            let unrelated: Vec<u8> =
-                (0..10_000u32).map(|i| ((i * 31 + seed * 1013) % 247) as u8).collect();
+            let unrelated: Vec<u8> = (0..10_000u32)
+                .map(|i| ((i * 31 + seed * 1013) % 247) as u8)
+                .collect();
             out.push(fuzzy_hash(&unrelated));
         }
         out
@@ -224,10 +230,10 @@ mod tests {
     fn matrix_is_symmetric_with_perfect_diagonal() {
         let c = corpus();
         let m = compare_matrix(&c);
-        for i in 0..c.len() {
-            assert_eq!(m[i][i], 100);
-            for j in 0..c.len() {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 100);
+            for (j, &score) in row.iter().enumerate() {
+                assert_eq!(score, m[j][i]);
             }
         }
     }
@@ -238,7 +244,10 @@ mod tests {
         let scores = compare_many(&c[0], &c);
         let family_min = scores[1..4].iter().min().unwrap();
         let stranger_max = scores[4..].iter().max().unwrap();
-        assert!(family_min > stranger_max, "family {family_min} vs stranger {stranger_max}");
+        assert!(
+            family_min > stranger_max,
+            "family {family_min} vs stranger {stranger_max}"
+        );
     }
 
     #[test]

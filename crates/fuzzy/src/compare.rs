@@ -94,9 +94,12 @@ pub fn has_common_substring(s1: &str, s2: &str) -> bool {
     let b1 = s1.as_bytes();
     let b2 = s2.as_bytes();
     // Hash the 7-grams of the shorter string into a set, probe the other.
-    let (small, big) = if b1.len() <= b2.len() { (b1, b2) } else { (b2, b1) };
-    let grams: std::collections::HashSet<&[u8]> =
-        small.windows(ROLLING_WINDOW).collect();
+    let (small, big) = if b1.len() <= b2.len() {
+        (b1, b2)
+    } else {
+        (b2, b1)
+    };
+    let grams: std::collections::HashSet<&[u8]> = small.windows(ROLLING_WINDOW).collect();
     big.windows(ROLLING_WINDOW).any(|w| grams.contains(w))
 }
 
@@ -133,7 +136,11 @@ pub fn edit_distance(s1: &str, s2: &str) -> u32 {
         for j in 1..=m {
             let mut best = prev[j] + COST_DELETE;
             best = best.min(cur[j - 1] + COST_INSERT);
-            let sub = if a[i - 1] == b[j - 1] { 0 } else { COST_SUBSTITUTE };
+            let sub = if a[i - 1] == b[j - 1] {
+                0
+            } else {
+                COST_SUBSTITUTE
+            };
             best = best.min(prev[j - 1] + sub);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
                 best = best.min(prev2[j - 2] + COST_TRANSPOSE);
@@ -170,8 +177,7 @@ pub fn score_strings(s1: &str, s2: &str, block_size: u32) -> u32 {
 
     // Small block sizes make weaker claims: cap by how much data the
     // matched chunks can actually represent.
-    let cap = (block_size / MIN_BLOCKSIZE)
-        .saturating_mul(s1.len().min(s2.len()) as u32);
+    let cap = (block_size / MIN_BLOCKSIZE).saturating_mul(s1.len().min(s2.len()) as u32);
     if score > cap {
         score = cap;
     }
@@ -236,8 +242,16 @@ mod tests {
 
     #[test]
     fn incompatible_block_sizes_score_zero() {
-        let a = FuzzyHash { block_size: 3, sig1: "ABCDEFGH".into(), sig2: "ABCD".into() };
-        let b = FuzzyHash { block_size: 48, sig1: "ABCDEFGH".into(), sig2: "ABCD".into() };
+        let a = FuzzyHash {
+            block_size: 3,
+            sig1: "ABCDEFGH".into(),
+            sig2: "ABCD".into(),
+        };
+        let b = FuzzyHash {
+            block_size: 48,
+            sig1: "ABCDEFGH".into(),
+            sig2: "ABCD".into(),
+        };
         assert_eq!(compare_parsed(&a, &b), 0);
     }
 
@@ -246,8 +260,16 @@ mod tests {
         // a at block size 6 vs b at block size 3: a.sig1 should be compared
         // with b.sig2 (both representing chunking at size 6).
         let sig = "KJHGFDSAqwertyuiop".to_string();
-        let a = FuzzyHash { block_size: 6, sig1: sig.clone(), sig2: "zz".into() };
-        let b = FuzzyHash { block_size: 3, sig1: "yy".into(), sig2: sig.clone() };
+        let a = FuzzyHash {
+            block_size: 6,
+            sig1: sig.clone(),
+            sig2: "zz".into(),
+        };
+        let b = FuzzyHash {
+            block_size: 3,
+            sig1: "yy".into(),
+            sig2: sig.clone(),
+        };
         assert!(compare_parsed(&a, &b) > 0);
         assert_eq!(compare_parsed(&a, &b), compare_parsed(&b, &a));
     }
@@ -294,8 +316,14 @@ mod tests {
         let hf = fuzzy_hash(&far);
         let near_score = compare_parsed(&hb, &hn);
         let far_score = compare_parsed(&hb, &hf);
-        assert!(near_score > far_score, "near {near_score} vs far {far_score}");
-        assert!(near_score >= 80, "near edit should score high: {near_score}");
+        assert!(
+            near_score > far_score,
+            "near {near_score} vs far {far_score}"
+        );
+        assert!(
+            near_score >= 80,
+            "near edit should score high: {near_score}"
+        );
     }
 
     #[test]

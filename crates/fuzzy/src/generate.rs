@@ -71,7 +71,10 @@ fn reference_pass(data: &[u8], bs: u32) -> (String, String) {
         sig2.push(b64_char(h2));
     }
 
-    (String::from_utf8(sig1).unwrap(), String::from_utf8(sig2).unwrap())
+    (
+        String::from_utf8(sig1).unwrap(),
+        String::from_utf8(sig2).unwrap(),
+    )
 }
 
 /// The published two-pass spamsum algorithm (test oracle).
@@ -85,7 +88,11 @@ pub fn fuzzy_hash_reference(data: &[u8]) -> FuzzyHash {
         if bs > MIN_BLOCKSIZE && sig1.len() < SPAMSUM_LENGTH / 2 {
             bs /= 2;
         } else {
-            return FuzzyHash { block_size: bs, sig1, sig2 };
+            return FuzzyHash {
+                block_size: bs,
+                sig1,
+                sig2,
+            };
         }
     }
 }
@@ -343,11 +350,7 @@ mod tests {
     fn reference_and_streaming_agree_small() {
         for len in [1usize, 2, 6, 7, 8, 63, 64, 100, 192, 500] {
             let data = pattern(len, 42);
-            assert_eq!(
-                fuzzy_hash_reference(&data),
-                fuzzy_hash(&data),
-                "len {len}"
-            );
+            assert_eq!(fuzzy_hash_reference(&data), fuzzy_hash(&data), "len {len}");
         }
     }
 
@@ -355,11 +358,7 @@ mod tests {
     fn reference_and_streaming_agree_large() {
         for (len, seed) in [(10_000usize, 1u32), (50_000, 2), (200_000, 3)] {
             let data = pattern(len, seed);
-            assert_eq!(
-                fuzzy_hash_reference(&data),
-                fuzzy_hash(&data),
-                "len {len}"
-            );
+            assert_eq!(fuzzy_hash_reference(&data), fuzzy_hash(&data), "len {len}");
         }
     }
 
@@ -418,8 +417,8 @@ mod tests {
         // the signature intact.
         let a = pattern(20_000, 77);
         let mut b = a.clone();
-        for i in 10_000..10_016 {
-            b[i] ^= 0xFF;
+        for byte in &mut b[10_000..10_016] {
+            *byte ^= 0xFF;
         }
         let ha = fuzzy_hash(&a);
         let hb = fuzzy_hash(&b);

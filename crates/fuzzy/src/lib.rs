@@ -134,7 +134,11 @@ impl FuzzyHash {
         if !ok(sig1) || !ok(sig2) {
             return Err(ParseError::Alphabet);
         }
-        Ok(Self { block_size, sig1: sig1.to_string(), sig2: sig2.to_string() })
+        Ok(Self {
+            block_size,
+            sig1: sig1.to_string(),
+            sig2: sig2.to_string(),
+        })
     }
 
     /// Render back to `block_size:sig1:sig2`.

@@ -36,7 +36,9 @@ impl RollingHash {
         self.h2 = self.h2.wrapping_add(ROLLING_WINDOW as u32 * c32);
 
         self.h1 = self.h1.wrapping_add(c32);
-        self.h1 = self.h1.wrapping_sub(u32::from(self.window[self.n % ROLLING_WINDOW]));
+        self.h1 = self
+            .h1
+            .wrapping_sub(u32::from(self.window[self.n % ROLLING_WINDOW]));
 
         self.window[self.n % ROLLING_WINDOW] = c;
         self.n += 1;

@@ -42,7 +42,9 @@ impl Default for Fnv32 {
 impl Fnv32 {
     /// Start from the standard offset basis.
     pub const fn new() -> Self {
-        Self { state: FNV32_OFFSET }
+        Self {
+            state: FNV32_OFFSET,
+        }
     }
 
     /// Start from an arbitrary state (SSDeep seeds its piecewise hash with
@@ -89,7 +91,9 @@ impl Default for Fnv64 {
 impl Fnv64 {
     /// Start from the standard offset basis.
     pub const fn new() -> Self {
-        Self { state: FNV64_OFFSET }
+        Self {
+            state: FNV64_OFFSET,
+        }
     }
 
     /// Absorb bytes.

@@ -9,7 +9,13 @@
 //! SHA-1 is cryptographically broken for collision resistance; it is used
 //! here only as a file-identity fingerprint, mirroring XALT.
 
-const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xEFCD_AB89,
+    0x98BA_DCFE,
+    0x1032_5476,
+    0xC3D2_E1F0,
+];
 
 /// One-shot SHA-1, returning the 20-byte digest.
 pub fn sha1(data: &[u8]) -> [u8; 20] {
@@ -41,7 +47,12 @@ impl Default for Sha1 {
 impl Sha1 {
     /// Fresh hasher.
     pub fn new() -> Self {
-        Self { state: H0, buf: [0; 64], buf_len: 0, total_len: 0 }
+        Self {
+            state: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorb input.
@@ -134,7 +145,11 @@ impl Sha1 {
     fn update_padding(&mut self) {
         let mut pad = [0u8; 64];
         pad[0] = 0x80;
-        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
         // Feed padding through `update` but without counting it in total_len.
         let saved = self.total_len;
         self.update(&pad[..pad_len]);

@@ -75,9 +75,7 @@ fn accumulate_stripe(acc: &mut [u64; ACC_NB], stripe: &[u8], secret: &[u8], secr
         // Swap-accumulate into the neighbour lane as XXH3 does, to spread
         // entropy across the accumulator array.
         acc[lane ^ 1] = acc[lane ^ 1].wrapping_add(data_val);
-        acc[lane] = acc[lane].wrapping_add(
-            u64::from(data_key as u32).wrapping_mul(data_key >> 32),
-        );
+        acc[lane] = acc[lane].wrapping_add(u64::from(data_key as u32).wrapping_mul(data_key >> 32));
     }
 }
 
@@ -117,23 +115,18 @@ fn hash_long_128(data: &[u8], secret: &[u8; SECRET_LEN]) -> Hash128 {
         let stripe = &data[stripe_idx * STRIPE_LEN..stripe_idx * STRIPE_LEN + STRIPE_LEN];
         accumulate_stripe(&mut acc, stripe, secret, in_block * SECRET_CONSUME_RATE);
         stripe_idx += 1;
-        if stripe_idx % stripes_per_block == 0 {
+        if stripe_idx.is_multiple_of(stripes_per_block) {
             scramble_acc(&mut acc, secret);
         }
     }
 
     // Final (possibly partial) stripe: XXH3 hashes the *last* 64 bytes.
-    if data.len() % STRIPE_LEN != 0 && data.len() >= STRIPE_LEN {
+    if !data.len().is_multiple_of(STRIPE_LEN) && data.len() >= STRIPE_LEN {
         let stripe = &data[data.len() - STRIPE_LEN..];
         accumulate_stripe(&mut acc, stripe, secret, SECRET_LEN - STRIPE_LEN - 9);
     }
 
-    let low = merge_accs(
-        &acc,
-        secret,
-        11,
-        (data.len() as u64).wrapping_mul(P64_1),
-    );
+    let low = merge_accs(&acc, secret, 11, (data.len() as u64).wrapping_mul(P64_1));
     let high = merge_accs(
         &acc,
         secret,
@@ -184,7 +177,8 @@ fn hash_short_128(data: &[u8], secret: &[u8; SECRET_LEN], seed: u64) -> Hash128 
             }
         }
         9..=16 => {
-            let lo = read_u64(data, 0) ^ (read_u64(secret, 32) ^ read_u64(secret, 40)).wrapping_add(seed);
+            let lo = read_u64(data, 0)
+                ^ (read_u64(secret, 32) ^ read_u64(secret, 40)).wrapping_add(seed);
             let hi = read_u64(data, data.len() - 8)
                 ^ (read_u64(secret, 48) ^ read_u64(secret, 56)).wrapping_sub(seed);
             let low = xxh3_avalanche(
@@ -192,9 +186,7 @@ fn hash_short_128(data: &[u8], secret: &[u8; SECRET_LEN], seed: u64) -> Hash128 
                     .wrapping_add(hi)
                     .wrapping_add(len.wrapping_mul(P64_2)),
             );
-            let high = xxh3_avalanche(
-                mul128_fold64(hi, P64_2).wrapping_add(lo).wrapping_sub(len),
-            );
+            let high = xxh3_avalanche(mul128_fold64(hi, P64_2).wrapping_add(lo).wrapping_sub(len));
             Hash128 { high, low }
         }
         // 17..=240: overlapping 16-byte windows mixed against successive
@@ -254,14 +246,19 @@ impl Default for Xxh3_128 {
 
 impl std::fmt::Debug for Xxh3_128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Xxh3_128").field("seed", &self.seed).finish()
+        f.debug_struct("Xxh3_128")
+            .field("seed", &self.seed)
+            .finish()
     }
 }
 
 impl Xxh3_128 {
     /// Hasher with seed 0 and the default secret.
     pub fn new() -> Self {
-        Self { secret: default_secret(), seed: 0 }
+        Self {
+            secret: default_secret(),
+            seed: 0,
+        }
     }
 
     /// Hasher with a custom seed (mixed into the short-input paths and the
@@ -311,7 +308,10 @@ mod tests {
         let data: Vec<u8> = (0..=255u8).cycle().take(300).collect();
         let mut seen = HashSet::new();
         for len in 0..=300 {
-            assert!(seen.insert(xxh3_128(&data[..len])), "collision at len {len}");
+            assert!(
+                seen.insert(xxh3_128(&data[..len])),
+                "collision at len {len}"
+            );
         }
     }
 

@@ -217,7 +217,10 @@ mod tests {
         let data: Vec<u8> = (0..64u8).collect();
         let mut seen = std::collections::HashSet::new();
         for len in 0..=64 {
-            assert!(seen.insert(xxh64(&data[..len], 0)), "collision at len {len}");
+            assert!(
+                seen.insert(xxh64(&data[..len], 0)),
+                "collision at len {len}"
+            );
         }
     }
 

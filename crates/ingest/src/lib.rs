@@ -1,0 +1,44 @@
+//! # siren-ingest — sharded, multi-threaded ingest service
+//!
+//! The paper's collection side is fleet-scale: thousands of nodes emit
+//! UDP datagrams concurrently, and the receiver tier must keep up with
+//! whatever the network delivers. The seed reproduction drained every
+//! message through one `Reassembler` into one `Database` on the caller's
+//! thread; this crate turns ingestion into a real subsystem that scales
+//! with cores:
+//!
+//! ```text
+//!                      ┌──────────────────────────────────────────────┐
+//!  messages ──▶ router │ shard 0: channel ▶ reassembler ▶ db ▶ consol │──┐
+//!   (job-keyed  hash)  │ shard 1: channel ▶ reassembler ▶ db ▶ consol │──┼─▶ ordered merge
+//!                      │   ⋮            (worker thread per shard)     │──┘
+//!                      └──────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`ShardRouter`] hashes the job id so every datagram of one job —
+//!   including the SCRIPT-layer rows consolidation must pair with their
+//!   interpreter — lands on the same shard.
+//! * Each shard worker owns a `Reassembler` and a `Database` partition
+//!   behind a bounded channel; completed messages are stored with
+//!   `Database::insert_batch`, amortizing locks and WAL flushes.
+//! * Producers never lose data to a slow shard: when a channel fills,
+//!   the push degrades to a blocking send and the stall is counted in
+//!   [`ShardStats::backpressure_waits`] — observability instead of the
+//!   receiver-side load shedding the UDP tier does.
+//! * [`IngestService::finish`] consolidates every shard in parallel and
+//!   merges the per-shard outputs into one order-stable record vector
+//!   that is **identical, record for record, to the serial path** (the
+//!   cross-shard merge uses the same total order consolidation sorts by,
+//!   and job-keyed routing makes shard outputs disjoint in that order).
+//!
+//! The property tests in the umbrella crate assert serial/sharded
+//! equality for shard counts 1, 2, and 8, with and without injected
+//! datagram loss.
+
+pub mod service;
+
+pub use service::{IngestConfig, IngestProducer, IngestResult, IngestService, ShardStats};
+// The router is a protocol-level concept shared with the transport tier;
+// it lives in siren-wire so the sender-side socket choice and the
+// worker-side partition can never disagree.
+pub use siren_wire::ShardRouter;

@@ -24,7 +24,7 @@ pub mod sim;
 pub mod udp;
 
 pub use sim::{SimChannel, SimConfig, SimReceiver, SimSender};
-pub use udp::{UdpReceiver, UdpSender};
+pub use udp::{ShardedUdpSender, UdpReceiver, UdpReceiverPool, UdpSender};
 
 /// A fire-and-forget datagram sender.
 ///
@@ -91,13 +91,15 @@ mod tests {
         let receiver = UdpReceiver::spawn(16).expect("bind loopback");
         let sender = UdpSender::connect(receiver.local_addr()).expect("sender socket");
         sender.send(b"not a siren datagram");
-        sender.send(&Message {
-            header: header(),
-            chunk_index: 0,
-            chunk_total: 1,
-            content: "ok".into(),
-        }
-        .encode());
+        sender.send(
+            &Message {
+                header: header(),
+                chunk_index: 0,
+                chunk_total: 1,
+                content: "ok".into(),
+            }
+            .encode(),
+        );
 
         let msg = receiver
             .recv_timeout(std::time::Duration::from_secs(5))

@@ -30,7 +30,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { loss_rate: 0.0, duplicate_rate: 0.0, reorder_rate: 0.0, seed: 0 }
+        Self {
+            loss_rate: 0.0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -42,7 +47,11 @@ impl SimConfig {
 
     /// Channel with only loss.
     pub fn with_loss(loss_rate: f64, seed: u64) -> Self {
-        Self { loss_rate, seed, ..Self::default() }
+        Self {
+            loss_rate,
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -78,7 +87,10 @@ impl SimChannel {
         }));
         let stats = Arc::new(SimStats::default());
         (
-            SimSender { state: Arc::clone(&state), stats: Arc::clone(&stats) },
+            SimSender {
+                state: Arc::clone(&state),
+                stats: Arc::clone(&stats),
+            },
             SimReceiver { state, stats },
         )
     }

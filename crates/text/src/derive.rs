@@ -14,10 +14,40 @@
 
 /// The paper's exact extraction list (§4.3), in its published order.
 pub const PAPER_LIBRARY_SUBSTRINGS: &[&str] = &[
-    "libsci", "pthread", "pmi", "netcdf", "hdf5", "fortran", "parallel", "python", "fabric",
-    "numa", "boost", "openacc", "amdgpu", "cuda", "drm", "rocsolver", "rocsparse", "rocfft",
-    "MIOpen", "rocm", "gromacs", "blas", "fft", "torch", "quadmath", "craymath", "cray", "tykky",
-    "climatedt", "amber", "spack", "yaml", "java", "siren",
+    "libsci",
+    "pthread",
+    "pmi",
+    "netcdf",
+    "hdf5",
+    "fortran",
+    "parallel",
+    "python",
+    "fabric",
+    "numa",
+    "boost",
+    "openacc",
+    "amdgpu",
+    "cuda",
+    "drm",
+    "rocsolver",
+    "rocsparse",
+    "rocfft",
+    "MIOpen",
+    "rocm",
+    "gromacs",
+    "blas",
+    "fft",
+    "torch",
+    "quadmath",
+    "craymath",
+    "cray",
+    "tykky",
+    "climatedt",
+    "amber",
+    "spack",
+    "yaml",
+    "java",
+    "siren",
 ];
 
 /// Matches an ordered substring list against library paths and produces
@@ -41,7 +71,9 @@ impl SubstringDeriver {
 
     /// Deriver with a custom ordered substring list.
     pub fn new(substrings: &[&str]) -> Self {
-        Self { substrings: substrings.iter().map(|s| s.to_string()).collect() }
+        Self {
+            substrings: substrings.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// Derive the combination label for one library path. `None` when no
@@ -102,7 +134,10 @@ mod tests {
             d.derive("/appl/climatedt/lib/libclimatedt_yaml.so"),
             Some("climatedt-yaml".into())
         );
-        assert_eq!(d.derive("/usr/lib64/libpthread.so.0"), Some("pthread".into()));
+        assert_eq!(
+            d.derive("/usr/lib64/libpthread.so.0"),
+            Some("pthread".into())
+        );
         assert_eq!(d.derive("/opt/siren/lib/siren.so"), Some("siren".into()));
     }
 
@@ -149,7 +184,10 @@ mod tests {
     #[test]
     fn miopen_case_sensitive_as_in_paper() {
         let d = SubstringDeriver::paper();
-        assert_eq!(d.derive("/opt/rocm/lib/libMIOpen.so"), Some("MIOpen-rocm".into()));
+        assert_eq!(
+            d.derive("/opt/rocm/lib/libMIOpen.so"),
+            Some("MIOpen-rocm".into())
+        );
         // lowercase "miopen" does not match the paper's "MIOpen" entry.
         assert_eq!(d.derive("/x/libmiopen_other.so"), None);
     }

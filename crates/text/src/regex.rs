@@ -107,7 +107,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Self { input: input.as_bytes(), pos: 0 }
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -349,11 +352,18 @@ impl Regex {
 
     fn compile(pattern: &str, fold: bool) -> Result<Self, RegexError> {
         let ast = Parser::new(pattern).parse()?;
-        let mut builder = Builder { states: Vec::new(), fold };
+        let mut builder = Builder {
+            states: Vec::new(),
+            fold,
+        };
         let frag_start = builder.build(&ast);
         let match_state = builder.push(State::Match);
         builder.patch(frag_start.out, match_state);
-        Ok(Self { states: builder.states, start: frag_start.start, pattern: pattern.to_string() })
+        Ok(Self {
+            states: builder.states,
+            start: frag_start.start,
+            pattern: pattern.to_string(),
+        })
     }
 
     /// The original pattern text.
@@ -368,10 +378,14 @@ impl Regex {
         let mut current: Vec<usize> = Vec::with_capacity(self.states.len());
         let mut on: Vec<bool> = vec![false; self.states.len()];
 
+        #[allow(clippy::needless_range_loop)] // pos is a cursor, not just an index
         for pos in 0..=n {
             // Unanchored: a fresh attempt may start at every position.
             self.add_state(self.start, pos, n, &mut current, &mut on);
-            if current.iter().any(|&s| matches!(self.states[s], State::Match)) {
+            if current
+                .iter()
+                .any(|&s| matches!(self.states[s], State::Match))
+            {
                 return true;
             }
             if pos == n {
@@ -460,7 +474,10 @@ impl Builder {
                     *a = s; // placeholder self-loop avoided below
                 }
                 // Simpler: model empty as an epsilon via Split(next,next).
-                Frag { start: s, out: vec![s] }
+                Frag {
+                    start: s,
+                    out: vec![s],
+                }
             }
             Ast::Class(set) => {
                 let mut set = *set;
@@ -468,13 +485,19 @@ impl Builder {
                     set.fold_case();
                 }
                 let s = self.push(State::Class(set, usize::MAX));
-                Frag { start: s, out: vec![s] }
+                Frag {
+                    start: s,
+                    out: vec![s],
+                }
             }
             Ast::Concat(a, b) => {
                 let fa = self.build(a);
                 let fb = self.build(b);
                 self.patch(fa.out, fb.start);
-                Frag { start: fa.start, out: fb.out }
+                Frag {
+                    start: fa.start,
+                    out: fb.out,
+                }
             }
             Ast::Alt(a, b) => {
                 let fa = self.build(a);
@@ -488,13 +511,19 @@ impl Builder {
                 let fi = self.build(inner);
                 let s = self.push(State::Split(fi.start, usize::MAX));
                 self.patch(fi.out, s);
-                Frag { start: s, out: vec![s] }
+                Frag {
+                    start: s,
+                    out: vec![s],
+                }
             }
             Ast::Plus(inner) => {
                 let fi = self.build(inner);
                 let s = self.push(State::Split(fi.start, usize::MAX));
                 self.patch(fi.out, s);
-                Frag { start: fi.start, out: vec![s] }
+                Frag {
+                    start: fi.start,
+                    out: vec![s],
+                }
             }
             Ast::Opt(inner) => {
                 let fi = self.build(inner);
@@ -505,11 +534,17 @@ impl Builder {
             }
             Ast::AnchorStart => {
                 let s = self.push(State::AnchorStart(usize::MAX));
-                Frag { start: s, out: vec![s] }
+                Frag {
+                    start: s,
+                    out: vec![s],
+                }
             }
             Ast::AnchorEnd => {
                 let s = self.push(State::AnchorEnd(usize::MAX));
-                Frag { start: s, out: vec![s] }
+                Frag {
+                    start: s,
+                    out: vec![s],
+                }
             }
         }
     }
@@ -695,10 +730,22 @@ mod tests {
             ("icon", r"icon"),
         ])
         .unwrap();
-        assert_eq!(rules.first_match("/users/u9/lammps/build/lmp"), Some("LAMMPS"));
-        assert_eq!(rules.first_match("/users/u3/miniconda3/bin/python3"), Some("miniconda"));
-        assert_eq!(rules.first_match("/projappl/amber22/bin/pmemd.cuda"), Some("amber"));
-        assert_eq!(rules.first_match("/users/u1/tools/gzip-1.12/gzip"), Some("gzip"));
+        assert_eq!(
+            rules.first_match("/users/u9/lammps/build/lmp"),
+            Some("LAMMPS")
+        );
+        assert_eq!(
+            rules.first_match("/users/u3/miniconda3/bin/python3"),
+            Some("miniconda")
+        );
+        assert_eq!(
+            rules.first_match("/projappl/amber22/bin/pmemd.cuda"),
+            Some("amber")
+        );
+        assert_eq!(
+            rules.first_match("/users/u1/tools/gzip-1.12/gzip"),
+            Some("gzip")
+        );
         assert_eq!(rules.first_match("/scratch/a.out"), None);
     }
 }

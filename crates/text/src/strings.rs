@@ -18,7 +18,10 @@ pub struct StringsConfig {
 
 impl Default for StringsConfig {
     fn default() -> Self {
-        Self { min_len: 4, include_tab: true }
+        Self {
+            min_len: 4,
+            include_tab: true,
+        }
     }
 }
 
@@ -84,17 +87,29 @@ mod tests {
     #[test]
     fn min_len_respected() {
         let data = b"ab\x00abcd\x00abcdef";
-        let cfg = StringsConfig { min_len: 4, include_tab: true };
+        let cfg = StringsConfig {
+            min_len: 4,
+            include_tab: true,
+        };
         assert_eq!(printable_strings(data, &cfg), vec!["abcd", "abcdef"]);
-        let cfg2 = StringsConfig { min_len: 2, include_tab: true };
+        let cfg2 = StringsConfig {
+            min_len: 2,
+            include_tab: true,
+        };
         assert_eq!(printable_strings(data, &cfg2), vec!["ab", "abcd", "abcdef"]);
     }
 
     #[test]
     fn tab_handling() {
         let data = b"\x00with\ttab\x00";
-        let with = StringsConfig { min_len: 4, include_tab: true };
-        let without = StringsConfig { min_len: 4, include_tab: false };
+        let with = StringsConfig {
+            min_len: 4,
+            include_tab: true,
+        };
+        let without = StringsConfig {
+            min_len: 4,
+            include_tab: false,
+        };
         assert_eq!(printable_strings(data, &with), vec!["with\ttab"]);
         assert_eq!(printable_strings(data, &without), vec!["with"]);
     }
@@ -102,7 +117,10 @@ mod tests {
     #[test]
     fn joined_form() {
         let data = b"\x00one\x00\x00two2\x00";
-        let cfg = StringsConfig { min_len: 3, include_tab: true };
+        let cfg = StringsConfig {
+            min_len: 3,
+            include_tab: true,
+        };
         assert_eq!(printable_strings_joined(data, &cfg), "one\ntwo2");
     }
 

@@ -21,6 +21,7 @@ impl Layer {
     }
 
     /// Wire decoding.
+    #[allow(clippy::should_implement_trait)] // fallible, Option-returning
     pub fn from_str(s: &str) -> Option<Self> {
         match s {
             "SELF" => Some(Layer::SelfExe),
@@ -68,11 +69,16 @@ pub enum MessageType {
     ScriptHash,
     /// Environment snapshot (Slurm variables etc.).
     Env,
+    /// End-of-campaign sentinel: a sender's last datagram, letting the
+    /// receiver drain deterministically instead of waiting out a quiet
+    /// period. Carries `sender=<id>;sent=<n>` in its content; never
+    /// stored in the database.
+    End,
 }
 
 impl MessageType {
     /// All variants, for iteration in tests and reports.
-    pub const ALL: [MessageType; 14] = [
+    pub const ALL: [MessageType; 15] = [
         MessageType::Meta,
         MessageType::Modules,
         MessageType::Objects,
@@ -87,6 +93,7 @@ impl MessageType {
         MessageType::MapsHash,
         MessageType::ScriptHash,
         MessageType::Env,
+        MessageType::End,
     ];
 
     /// Wire encoding.
@@ -106,10 +113,12 @@ impl MessageType {
             MessageType::MapsHash => "MAPS_H",
             MessageType::ScriptHash => "SCRIPT_H",
             MessageType::Env => "ENV",
+            MessageType::End => "END",
         }
     }
 
     /// Wire decoding.
+    #[allow(clippy::should_implement_trait)] // fallible, Option-returning
     pub fn from_str(s: &str) -> Option<Self> {
         Self::ALL.iter().copied().find(|t| t.as_str() == s)
     }

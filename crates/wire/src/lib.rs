@@ -28,9 +28,11 @@
 
 pub mod header;
 pub mod reassemble;
+pub mod shard;
 
 pub use header::{Layer, MessageHeader, MessageType, ProcessKey};
 pub use reassemble::{CompleteMessage, Reassembler};
+pub use shard::ShardRouter;
 
 /// Protocol magic for v1 datagrams.
 pub const MAGIC: &str = "SIREN1";
@@ -112,7 +114,9 @@ impl Message {
 
         // CONTENT= terminates the header region; everything after is payload.
         let content_marker = "CONTENT=";
-        let content_pos = rest.find(content_marker).ok_or(WireError::MissingField("CONTENT"))?;
+        let content_pos = rest
+            .find(content_marker)
+            .ok_or(WireError::MissingField("CONTENT"))?;
         let (head, payload) = rest.split_at(content_pos);
         let content = &payload[content_marker.len()..];
 
@@ -141,8 +145,7 @@ impl Message {
                     layer = Some(Layer::from_str(value).ok_or(WireError::BadField("LAYER"))?)
                 }
                 "TYPE" => {
-                    mtype =
-                        Some(MessageType::from_str(value).ok_or(WireError::BadField("TYPE"))?)
+                    mtype = Some(MessageType::from_str(value).ok_or(WireError::BadField("TYPE"))?)
                 }
                 "CHUNK" => {
                     let (i, n) = value.split_once('/').ok_or(WireError::BadField("CHUNK"))?;
@@ -175,6 +178,45 @@ impl Message {
             content: content.to_string(),
         })
     }
+}
+
+/// Build the end-of-campaign sentinel a sender emits as its final
+/// datagram. The receiver uses it to stop draining deterministically;
+/// it is never stored in the database.
+pub fn sentinel_message(sender_id: u32, datagrams_sent: u64) -> Message {
+    Message {
+        header: MessageHeader {
+            job_id: 0,
+            step_id: 0,
+            pid: sender_id,
+            exe_hash: String::new(),
+            host: "sentinel".to_string(),
+            time: 0,
+            layer: Layer::SelfExe,
+            mtype: MessageType::End,
+        },
+        chunk_index: 0,
+        chunk_total: 1,
+        content: format!("sender={sender_id};sent={datagrams_sent}"),
+    }
+}
+
+/// Parse a sentinel produced by [`sentinel_message`], returning
+/// `(sender_id, datagrams_sent)`. `None` for non-sentinel messages.
+pub fn parse_sentinel(msg: &Message) -> Option<(u32, u64)> {
+    if msg.header.mtype != MessageType::End {
+        return None;
+    }
+    let mut sender = None;
+    let mut sent = None;
+    for field in msg.content.split(';') {
+        match field.split_once('=') {
+            Some(("sender", v)) => sender = v.parse().ok(),
+            Some(("sent", v)) => sent = v.parse().ok(),
+            _ => {}
+        }
+    }
+    Some((sender?, sent?))
 }
 
 /// Split `content` into as many [`Message`]s as needed so each encoded
@@ -261,8 +303,14 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(Message::decode(b"nonsense").unwrap_err(), WireError::BadMagic);
-        assert_eq!(Message::decode(&[0xFF, 0xFE]).unwrap_err(), WireError::NotUtf8);
+        assert_eq!(
+            Message::decode(b"nonsense").unwrap_err(),
+            WireError::BadMagic
+        );
+        assert_eq!(
+            Message::decode(&[0xFF, 0xFE]).unwrap_err(),
+            WireError::NotUtf8
+        );
         assert_eq!(
             Message::decode(b"SIREN1|JOBID=1|CONTENT=x").unwrap_err(),
             WireError::MissingField("CHUNK")
@@ -272,7 +320,10 @@ mod tests {
             WireError::BadField("JOBID")
         );
         let full = "SIREN1|JOBID=1|STEPID=0|PID=1|HASH=h|HOST=n|TIME=1|LAYER=SELF|TYPE=OBJECTS|CHUNK=3/2|CONTENT=";
-        assert_eq!(Message::decode(full.as_bytes()).unwrap_err(), WireError::BadChunking);
+        assert_eq!(
+            Message::decode(full.as_bytes()).unwrap_err(),
+            WireError::BadChunking
+        );
     }
 
     #[test]
@@ -289,7 +340,11 @@ mod tests {
         let msgs = chunk_message(&header(), &content, 512);
         assert!(msgs.len() > 1);
         for m in &msgs {
-            assert!(m.encode().len() <= 512, "datagram too large: {}", m.encode().len());
+            assert!(
+                m.encode().len() <= 512,
+                "datagram too large: {}",
+                m.encode().len()
+            );
         }
         // Reassembly by concatenation reproduces the content.
         let glued: String = msgs.iter().map(|m| m.content.as_str()).collect();
@@ -299,6 +354,25 @@ mod tests {
             assert_eq!(m.chunk_index as usize, i);
             assert_eq!(m.chunk_total as usize, msgs.len());
         }
+    }
+
+    #[test]
+    fn sentinel_round_trip() {
+        let s = sentinel_message(3, 12_345);
+        let decoded = Message::decode(&s.encode()).unwrap();
+        assert_eq!(parse_sentinel(&decoded), Some((3, 12_345)));
+        // Ordinary messages are not sentinels.
+        let msg = Message {
+            header: header(),
+            chunk_index: 0,
+            chunk_total: 1,
+            content: "".into(),
+        };
+        assert_eq!(parse_sentinel(&msg), None);
+        // A malformed END payload parses to None rather than panicking.
+        let mut evil = s;
+        evil.content = "sender=;sent=zz".into();
+        assert_eq!(parse_sentinel(&evil), None);
     }
 
     #[test]

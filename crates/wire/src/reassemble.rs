@@ -92,9 +92,15 @@ impl Reassembler {
 
         if entry.filled == entry.total {
             let done = self.partial.remove(&key).expect("entry just inserted");
-            let content: String =
-                done.received.into_iter().map(|c| c.expect("all chunks filled")).collect();
-            Some(CompleteMessage { header: done.header, content })
+            let content: String = done
+                .received
+                .into_iter()
+                .map(|c| c.expect("all chunks filled"))
+                .collect();
+            Some(CompleteMessage {
+                header: done.header,
+                content,
+            })
         } else {
             None
         }
@@ -138,8 +144,8 @@ impl Reassembler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::header::Layer;
     use crate::chunk_message;
+    use crate::header::Layer;
 
     fn header(mtype: MessageType) -> MessageHeader {
         MessageHeader {

@@ -28,7 +28,10 @@ fn main() {
 
     // --- 1. deviating bash variants --------------------------------
     let variants = analysis::library_variant_table(records, "/usr/bin/bash");
-    println!("{}", analysis::system_usage::render_library_variants(&variants));
+    println!(
+        "{}",
+        analysis::system_usage::render_library_variants(&variants)
+    );
     if let Some(rare) = variants.last() {
         println!(
             "→ rarest bash environment ({} processes) deviates via: {}\n",
@@ -56,5 +59,8 @@ fn main() {
         .filter(|p| p.unique_users >= 2)
         .map(|p| p.package.as_str())
         .collect();
-    println!("→ packages imported by ≥2 users (audit first): {:?}", widely_used);
+    println!(
+        "→ packages imported by ≥2 users (audit first): {:?}",
+        widely_used
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
     // 1. Name-based labeling leaves an UNKNOWN residue (Table 5).
     let labels = analysis::label_table(records, &Labeler::default());
     println!("{}", analysis::labels::render_labels(&labels));
-    let unknown = labels.iter().find(|r| r.label == "UNKNOWN").expect("UNKNOWN present");
+    let unknown = labels
+        .iter()
+        .find(|r| r.label == "UNKNOWN")
+        .expect("UNKNOWN present");
     println!(
         "→ {} processes across {} binaries could not be labeled by name.\n",
         unknown.process_count, unknown.unique_file_h
@@ -44,14 +47,20 @@ fn main() {
 
     let rows = analysis::similarity_search_table(records, baseline, &Labeler::default(), 10);
     let best = rows.first().expect("similarity search found candidates");
-    println!("→ best match: {} with average similarity {:.1}\n", best.label, best.avg);
+    println!(
+        "→ best match: {} with average similarity {:.1}\n",
+        best.label, best.avg
+    );
 
     // 3. Verify the identification from the loaded libraries: climate
     // indicators (climatedt, hdf5, netcdf, fortran) should be present.
     let matched = &records[best.record_index];
     if let Some(objects) = &matched.objects {
         let derived = SubstringDeriver::paper().derive_all(objects);
-        println!("derived libraries of the matched instance: {}", derived.join(", "));
+        println!(
+            "derived libraries of the matched instance: {}",
+            derived.join(", ")
+        );
         let climate = derived.iter().any(|d| d.contains("climatedt"));
         println!(
             "→ climate-domain libraries {}: the unknown binary is a climate/weather code.",

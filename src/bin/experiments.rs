@@ -25,7 +25,10 @@ fn parse_args() -> (Vec<String>, f64, u64) {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(scale);
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(scale);
                 i += 1;
             }
             "--seed" => {
@@ -52,8 +55,22 @@ fn main() {
     }
 
     let needs_run = [
-        "table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig2", "fig3",
-        "fig4", "fig5", "ablation", "summary", "security", "clusters", "recurrence",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "ablation",
+        "summary",
+        "security",
+        "clusters",
+        "recurrence",
     ]
     .iter()
     .any(|t| want(t));
@@ -78,11 +95,26 @@ fn main() {
             println!("Deployment summary");
             println!("  jobs:               {}", result.campaign_stats.jobs);
             println!("  processes:          {}", result.campaign_stats.processes);
-            println!("    system:           {}", result.campaign_stats.system_processes);
-            println!("    user:             {}", result.campaign_stats.user_processes);
-            println!("    python:           {}", result.campaign_stats.python_processes);
-            println!("  skipped MPI ranks:  {}", result.collector_stats.skipped_nonzero_rank);
-            println!("  exec() collisions:  {}", result.campaign_stats.exec_replacements);
+            println!(
+                "    system:           {}",
+                result.campaign_stats.system_processes
+            );
+            println!(
+                "    user:             {}",
+                result.campaign_stats.user_processes
+            );
+            println!(
+                "    python:           {}",
+                result.campaign_stats.python_processes
+            );
+            println!(
+                "  skipped MPI ranks:  {}",
+                result.collector_stats.skipped_nonzero_rank
+            );
+            println!(
+                "  exec() collisions:  {}",
+                result.campaign_stats.exec_replacements
+            );
             println!("  datagrams sent:     {}", result.datagrams_sent);
             println!("  consolidated:       {}", result.records.len());
             println!();
@@ -155,12 +187,22 @@ fn main() {
 fn table1() -> String {
     use siren_core::collector::{Category, CollectionPolicy};
     let columns = [
-        ("System Executable", CollectionPolicy::for_category(Category::System, PolicyMode::Selective)),
-        ("User Executable", CollectionPolicy::for_category(Category::User, PolicyMode::Selective)),
-        ("Python Interpreter", CollectionPolicy::for_category(Category::Python, PolicyMode::Selective)),
+        (
+            "System Executable",
+            CollectionPolicy::for_category(Category::System, PolicyMode::Selective),
+        ),
+        (
+            "User Executable",
+            CollectionPolicy::for_category(Category::User, PolicyMode::Selective),
+        ),
+        (
+            "Python Interpreter",
+            CollectionPolicy::for_category(Category::Python, PolicyMode::Selective),
+        ),
         ("Python Script", CollectionPolicy::for_python_script()),
     ];
-    let rows: [(&str, fn(&CollectionPolicy) -> bool); 8] = [
+    type PolicyColumn = (&'static str, fn(&CollectionPolicy) -> bool);
+    let rows: [PolicyColumn; 8] = [
         ("File Metadata", |p| p.file_metadata),
         ("Libraries", |p| p.libraries),
         ("Modules", |p| p.modules),
@@ -179,7 +221,10 @@ fn table1() -> String {
     for (label, getter) in rows {
         out.push_str(&format!("{label:<14}"));
         for (_, policy) in &columns {
-            out.push_str(&format!("  {:<18}", if getter(policy) { "yes" } else { "-" }));
+            out.push_str(&format!(
+                "  {:<18}",
+                if getter(policy) { "yes" } else { "-" }
+            ));
         }
         out.push('\n');
     }
@@ -222,7 +267,11 @@ fn overhead_comparison(scale: f64, seed: u64) -> String {
         cfg.policy = mode;
         let start = std::time::Instant::now();
         let r = Deployment::new(cfg).run();
-        (r.collector_stats.bytes_hashed, r.datagrams_sent, start.elapsed())
+        (
+            r.collector_stats.bytes_hashed,
+            r.datagrams_sent,
+            start.elapsed(),
+        )
     };
     let (sel_bytes, sel_dgrams, sel_t) = run(PolicyMode::Selective);
     let (all_bytes, all_dgrams, all_t) = run(PolicyMode::CollectEverything);

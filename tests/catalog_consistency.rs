@@ -118,8 +118,11 @@ fn script_family_imports_extractable_from_maps() {
 #[test]
 fn label_rules_cover_every_software_in_the_corpus() {
     let labeler = Labeler::default();
-    let softwares: std::collections::HashSet<&str> =
-        GROUPS.iter().map(|g| g.software).filter(|s| *s != "UNKNOWN").collect();
+    let softwares: std::collections::HashSet<&str> = GROUPS
+        .iter()
+        .map(|g| g.software)
+        .filter(|s| *s != "UNKNOWN")
+        .collect();
     // Each software must be *producible* by the rules (its own exe paths
     // match), and no rule may be dead (matched by no group).
     let corpus = ApplicationCorpus::build();
@@ -128,6 +131,9 @@ fn label_rules_cover_every_software_in_the_corpus() {
         produced.insert(labeler.label(&group.exe_path("user_1", 0)).to_string());
     }
     for sw in softwares {
-        assert!(produced.contains(sw), "software {sw} unreachable by label rules");
+        assert!(
+            produced.contains(sw),
+            "software {sw} unreachable by label rules"
+        );
     }
 }

@@ -25,8 +25,10 @@ fn table2_shape_twelve_users_user1_dominates() {
     let rows = analysis::usage_table(records());
     assert_eq!(rows.len(), 12, "all twelve users appear");
     assert_eq!(rows[0].user, "user_1", "user_1 has the most jobs");
-    assert!(rows[0].user_procs == 0 && rows[0].python_procs == 0,
-        "user_1 runs system executables exclusively (paper finding)");
+    assert!(
+        rows[0].user_procs == 0 && rows[0].python_procs == 0,
+        "user_1 runs system executables exclusively (paper finding)"
+    );
     // user_6 runs no system executables at all (paper's curious case).
     let u6 = rows.iter().find(|r| r.user == "user_6").unwrap();
     assert_eq!(u6.system_procs, 0);
@@ -40,9 +42,17 @@ fn table2_shape_twelve_users_user1_dominates() {
 #[test]
 fn table3_shape_top_executables_and_variants() {
     let rows = analysis::system_table(records());
-    assert!(rows.len() > 50, "long tail of system executables: {}", rows.len());
+    assert!(
+        rows.len() > 50,
+        "long tail of system executables: {}",
+        rows.len()
+    );
 
-    let find = |p: &str| rows.iter().find(|r| r.path == p).unwrap_or_else(|| panic!("{p} missing"));
+    let find = |p: &str| {
+        rows.iter()
+            .find(|r| r.path == p)
+            .unwrap_or_else(|| panic!("{p} missing"))
+    };
     let srun = find("/usr/bin/srun");
     let bash = find("/usr/bin/bash");
     let lua = find("/usr/bin/lua5.3");
@@ -71,8 +81,10 @@ fn table4_shape_bash_variants_with_libm_deviation() {
     assert_eq!(rows.len(), 3, "three bash library sets (Table 4)");
     // Dominant variant first; the rare SW variant brings libm.
     assert!(rows[0].processes > rows[1].processes);
-    let with_libm: Vec<_> =
-        rows.iter().filter(|r| r.deviating.iter().any(|l| l.contains("libm"))).collect();
+    let with_libm: Vec<_> = rows
+        .iter()
+        .filter(|r| r.deviating.iter().any(|l| l.contains("libm")))
+        .collect();
     assert_eq!(with_libm.len(), 1);
     assert!(with_libm[0].deviating.iter().any(|l| l.contains("SW")));
 }
@@ -80,11 +92,25 @@ fn table4_shape_bash_variants_with_libm_deviation() {
 #[test]
 fn table5_shape_labels_and_variant_counts() {
     let rows = analysis::label_table(records(), &Labeler::default());
-    let find = |l: &str| rows.iter().find(|r| r.label == l).unwrap_or_else(|| panic!("{l} missing"));
+    let find = |l: &str| {
+        rows.iter()
+            .find(|r| r.label == l)
+            .unwrap_or_else(|| panic!("{l} missing"))
+    };
 
     // All ten labels of Table 5 appear.
-    for l in ["LAMMPS", "GROMACS", "miniconda", "janko", "icon", "amber", "gzip", "UNKNOWN",
-              "alexandria", "RadRad"] {
+    for l in [
+        "LAMMPS",
+        "GROMACS",
+        "miniconda",
+        "janko",
+        "icon",
+        "amber",
+        "gzip",
+        "UNKNOWN",
+        "alexandria",
+        "RadRad",
+    ] {
         find(l);
     }
     // LAMMPS and GROMACS are multi-user; the rest single-user.
@@ -96,13 +122,21 @@ fn table5_shape_labels_and_variant_counts() {
     assert_eq!(find("GROMACS").unique_file_h, 1);
     for r in &rows {
         if r.label != "icon" {
-            assert!(icon.unique_file_h >= r.unique_file_h, "{} >= {}", icon.label, r.label);
+            assert!(
+                icon.unique_file_h >= r.unique_file_h,
+                "{} >= {}",
+                icon.label,
+                r.label
+            );
         }
     }
     // UNKNOWN exists with multiple distinct binaries.
     assert!(find("UNKNOWN").unique_file_h >= 2);
     // miniconda has the most user-dir processes (paper: 5,018).
-    assert_eq!(rows.iter().max_by_key(|r| r.process_count).unwrap().label, "miniconda");
+    assert_eq!(
+        rows.iter().max_by_key(|r| r.process_count).unwrap().label,
+        "miniconda"
+    );
 }
 
 #[test]
@@ -120,7 +154,10 @@ fn table6_shape_compiler_combinations() {
         "GCC [SUSE], clang [AMD]",
         "GCC [SUSE], clang [Cray], clang [AMD]",
     ] {
-        assert!(combos.iter().any(|c| c == expected), "missing combo {expected}: {combos:?}");
+        assert!(
+            combos.iter().any(|c| c == expected),
+            "missing combo {expected}: {combos:?}"
+        );
     }
     // Multi-compiler rows dominate the table (the §4.3 observation).
     assert!(rows.iter().filter(|r| r.combo.len() > 1).count() >= 5);
@@ -139,8 +176,10 @@ fn table7_shape_unknown_identified_as_icon_with_decay() {
     }
     // A perfect 100-everywhere row leads (the byte-identical variant).
     assert_eq!(rows[0].avg, 100.0);
-    assert_eq!((rows[0].mo, rows[0].co, rows[0].ob, rows[0].fi, rows[0].st, rows[0].sy),
-               (100, 100, 100, 100, 100, 100));
+    assert_eq!(
+        (rows[0].mo, rows[0].co, rows[0].ob, rows[0].fi, rows[0].st, rows[0].sy),
+        (100, 100, 100, 100, 100, 100)
+    );
     // Similarity decays monotonically down the table and spans a range.
     for w in rows.windows(2) {
         assert!(w[0].avg >= w[1].avg);
@@ -172,7 +211,10 @@ fn table8_shape_three_interpreters() {
     // not the absolute count, is the invariant).
     let ratio = |r: &analysis::InterpreterRow| r.unique_script_h as f64 / r.process_count as f64;
     for other in rows.iter().filter(|r| r.interpreter != "python3.10") {
-        assert!(ratio(p310) >= ratio(other), "3.10 script/proc ratio must lead");
+        assert!(
+            ratio(p310) >= ratio(other),
+            "3.10 script/proc ratio must lead"
+        );
     }
 }
 
@@ -188,21 +230,36 @@ fn fig2_shape_derived_libraries() {
 
     // Climate libraries appear (icon), ROCm stack appears (GPU codes),
     // HDF5 variants appear (amber).
-    for l in ["climatedt", "climatedt-yaml", "rocfft-rocm-fft", "hdf5-parallel-cray",
-              "hdf5-fortran-parallel-cray", "gromacs", "cuda-amber"] {
+    for l in [
+        "climatedt",
+        "climatedt-yaml",
+        "rocfft-rocm-fft",
+        "hdf5-parallel-cray",
+        "hdf5-fortran-parallel-cray",
+        "gromacs",
+        "cuda-amber",
+    ] {
         assert!(find(l).is_some(), "{l} missing");
     }
     // climatedt: many unique executables relative to jobs (the paper's
     // highlighted disparity — icon's many variants share these libs).
     let cdt = find("climatedt").unwrap();
-    assert!(cdt.unique_executables >= cdt.job_count,
-        "climatedt exe diversity {} vs jobs {}", cdt.unique_executables, cdt.job_count);
+    assert!(
+        cdt.unique_executables >= cdt.job_count,
+        "climatedt exe diversity {} vs jobs {}",
+        cdt.unique_executables,
+        cdt.job_count
+    );
 }
 
 #[test]
 fn fig3_shape_python_packages() {
     let rows = analysis::package_stats(records(), PACKAGE_CATALOG);
-    let find = |p: &str| rows.iter().find(|r| r.package == p).unwrap_or_else(|| panic!("{p} missing"));
+    let find = |p: &str| {
+        rows.iter()
+            .find(|r| r.package == p)
+            .unwrap_or_else(|| panic!("{p} missing"))
+    };
     // heapq and struct imported by all three Python users.
     assert_eq!(find("heapq").unique_users, 3);
     assert_eq!(find("struct").unique_users, 3);
@@ -274,8 +331,15 @@ fn fig5_shape_library_matrix() {
 #[test]
 fn ablation_fuzzy_beats_exact_and_name() {
     let abl = analysis::baseline::recognition_ablation(records(), &Labeler::default(), 60);
-    assert!(abl.variant_pairs > 10, "enough variant pairs: {}", abl.variant_pairs);
-    assert_eq!(abl.exact_hits, 0, "exact hashing never links distinct binaries");
+    assert!(
+        abl.variant_pairs > 10,
+        "enough variant pairs: {}",
+        abl.variant_pairs
+    );
+    assert_eq!(
+        abl.exact_hits, 0,
+        "exact hashing never links distinct binaries"
+    );
     assert!(
         abl.fuzzy_hits > abl.name_hits.max(abl.exact_hits),
         "fuzzy ({}) must beat name ({}) and exact ({})",

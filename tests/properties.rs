@@ -29,16 +29,18 @@ fn arb_header() -> impl Strategy<Value = MessageHeader> {
         arb_layer(),
         arb_mtype(),
     )
-        .prop_map(|(job_id, step_id, pid, exe_hash, host, time, layer, mtype)| MessageHeader {
-            job_id,
-            step_id,
-            pid,
-            exe_hash,
-            host,
-            time,
-            layer,
-            mtype,
-        })
+        .prop_map(
+            |(job_id, step_id, pid, exe_hash, host, time, layer, mtype)| MessageHeader {
+                job_id,
+                step_id,
+                pid,
+                exe_hash,
+                host,
+                time,
+                layer,
+                mtype,
+            },
+        )
 }
 
 proptest! {
@@ -218,11 +220,11 @@ fn oracle_edit_distance(a: &[u8], b: &[u8]) -> u32 {
     const SWP: u32 = 5;
     let (n, m) = (a.len(), b.len());
     let mut dp = vec![vec![0u32; m + 1]; n + 1];
-    for i in 0..=n {
-        dp[i][0] = i as u32 * DEL;
+    for (i, row) in dp.iter_mut().enumerate() {
+        row[0] = i as u32 * DEL;
     }
-    for j in 0..=m {
-        dp[0][j] = j as u32 * INS;
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = j as u32 * INS;
     }
     for i in 1..=n {
         for j in 1..=m {
@@ -309,6 +311,57 @@ proptest! {
         let bytes = once.as_bytes();
         for w in bytes.windows(4) {
             prop_assert!(!(w[0] == w[1] && w[1] == w[2] && w[2] == w[3]));
+        }
+    }
+}
+
+// Shard-merge determinism: the sharded ingest service is a pure
+// refactoring of the serial receiver — for any campaign seed, any loss
+// pattern, and any shard count, the consolidated output must be equal
+// record for record.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// `Sharded(n)` equals `Serial` for n ∈ {1, 2, 8}, with and without
+    /// injected datagram loss.
+    #[test]
+    fn sharded_ingest_equals_serial(
+        campaign_seed in any::<u64>(),
+        channel_seed in any::<u64>(),
+    ) {
+        use siren_repro::{Deployment, DeploymentConfig, IngestMode};
+        use siren_repro::net::SimConfig;
+
+        for loss in [0.0f64, 0.05] {
+            let base = || {
+                let mut cfg = DeploymentConfig::default();
+                cfg.campaign.scale = 0.001;
+                cfg.campaign.seed = campaign_seed;
+                cfg.channel = if loss > 0.0 {
+                    SimConfig::with_loss(loss, channel_seed)
+                } else {
+                    SimConfig::perfect()
+                };
+                cfg
+            };
+            let serial = Deployment::new(base()).run();
+            if loss > 0.0 {
+                // The loss pattern must actually bite, or this case
+                // degenerates into the lossless one.
+                prop_assert!(serial.datagrams_dropped > 0);
+            }
+            for shards in [1usize, 2, 8] {
+                let mut cfg = base();
+                cfg.ingest = IngestMode::Sharded(shards);
+                let sharded = Deployment::new(cfg).run();
+                prop_assert_eq!(&sharded.records, &serial.records,
+                    "shards={} loss={}", shards, loss);
+                prop_assert_eq!(sharded.db_rows, serial.db_rows);
+                prop_assert_eq!(sharded.reassembly_complete, serial.reassembly_complete);
+                prop_assert_eq!(sharded.reassembly_incomplete, serial.reassembly_incomplete);
+                prop_assert_eq!(sharded.consolidate_stats, serial.consolidate_stats);
+            }
         }
     }
 }

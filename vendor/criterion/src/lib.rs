@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate: a compact wall-clock
+//! benchmarking harness exposing the API subset the bench suite uses
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`). Statistics are simpler than real criterion — median
+//! over timed samples, no outlier analysis — but results are honest
+//! wall-clock measurements and are printed in a criterion-like format.
+//!
+//! A `--save-json <path>` CLI argument (also honored via the
+//! `CRITERION_SAVE_JSON` environment variable) appends every measurement
+//! to a JSON file so benches can export machine-readable results.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration work driver handed to bench closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `f`, called in batches, collecting one duration per batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that makes one sample take
+        // at least ~2ms, bounded to keep total time sane.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || n >= 1 << 20 {
+                self.iters_per_sample = n;
+                break;
+            }
+            n *= 4;
+        }
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Hierarchical benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only identifier (group name supplies the function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Throughput annotation active when measured, if any.
+    pub throughput: Option<(String, u64)>,
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    save_json: Option<String>,
+    results: Vec<Measurement>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            save_json: std::env::var("CRITERION_SAVE_JSON").ok(),
+            results: Vec::new(),
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse the CLI arguments cargo-bench passes through. Unknown flags
+    /// are ignored; a bare argument becomes the name filter.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" => {}
+                "--save-json" => self.save_json = args.next(),
+                s if s.starts_with("--") => {
+                    // Flag with a value? Consume it when present.
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with('-') {
+                            args.next();
+                        }
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Measure a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let samples = self.default_samples;
+        self.run_one(name.to_string(), None, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        samples: usize,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            target_samples: samples.max(3),
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            return;
+        }
+        let mut per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN durations"));
+        let median_ns = per_iter[per_iter.len() / 2];
+
+        let tp = throughput.map(|t| match t {
+            Throughput::Bytes(n) => ("bytes".to_string(), n),
+            Throughput::Elements(n) => ("elements".to_string(), n),
+        });
+        let rate = tp.as_ref().map(|(unit, n)| {
+            let per_sec = *n as f64 * 1e9 / median_ns;
+            match unit.as_str() {
+                "bytes" => format!("  {:>10.1} MiB/s", per_sec / (1024.0 * 1024.0)),
+                _ => format!("  {per_sec:>12.0} elem/s"),
+            }
+        });
+        println!(
+            "{id:<56} time: {:>12}{}",
+            format_ns(median_ns),
+            rate.unwrap_or_default()
+        );
+        self.results.push(Measurement {
+            id,
+            median_ns,
+            throughput: tp,
+        });
+        self.flush_json();
+    }
+
+    fn flush_json(&self) {
+        let Some(path) = &self.save_json else { return };
+        let mut out = String::from("[\n");
+        for (i, m) in self.results.iter().enumerate() {
+            let tp = match &m.throughput {
+                Some((unit, n)) => format!(r#", "throughput_unit": "{unit}", "throughput": {n}"#),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                r#"  {{"id": "{}", "median_ns": {:.1}{}}}"#,
+                m.id, m.median_ns, tp
+            ));
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]\n");
+        let _ = std::fs::write(path, out);
+    }
+
+    /// All measurements taken so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure a named function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(full, self.throughput, samples, f);
+        self
+    }
+
+    /// Measure a function with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
+        self.criterion
+            .run_one(full, self.throughput, samples, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a group-runner function invoking each bench function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_formats() {
+        let mut c = Criterion {
+            default_samples: 3,
+            ..Criterion::default()
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].median_ns > 0.0);
+
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("f", 1), &5u64, |b, &x| {
+            b.iter(|| (0..x * 100).sum::<u64>())
+        });
+        g.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.measurements()[1].id.contains("grp/f/1"));
+    }
+}

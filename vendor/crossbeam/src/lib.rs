@@ -1,0 +1,387 @@
+//! Offline stand-in for `crossbeam`: a bounded multi-producer
+//! multi-consumer channel built on `Mutex` + `Condvar`, exposing the
+//! `crossbeam::channel` API subset the receiver server and the ingest
+//! service use: [`channel::bounded`], blocking [`channel::Sender::send`],
+//! non-blocking [`channel::Sender::try_send`], and receivers with
+//! [`channel::Receiver::recv`] / `recv_timeout` / `try_recv`.
+//!
+//! Disconnection follows crossbeam semantics: a channel is disconnected
+//! when all senders or all receivers have dropped; receivers still drain
+//! queued messages after sender disconnect.
+
+/// Scoped threads with the `crossbeam::scope` API, over
+/// `std::thread::scope`. The closure handed to [`Scope::spawn`] receives
+/// the scope again (crossbeam's nested-spawn affordance).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        std::thread::scope(|s| f(Scope { inner: s }))
+    }))
+}
+
+/// Handle for spawning threads tied to an enclosing [`scope`].
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; the closure receives this scope.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(scope)),
+        }
+    }
+}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread, propagating its panic payload as `Err`.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    /// Error from [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full; the message is handed back.
+        Full(T),
+        /// All receivers dropped; the message is handed back.
+        Disconnected(T),
+    }
+
+    /// Error from [`Sender::send`]: all receivers dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty.
+        Empty,
+        /// Channel is empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Channel is empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error from [`Receiver::recv`]: channel empty and all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        cap: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Create a bounded channel of capacity `cap` (clamped to at least 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cap: cap.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake receivers so they observe EOF.
+                let _guard = self.shared.lock();
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _guard = self.shared.lock();
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Non-blocking send.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            let mut q = self.shared.lock();
+            if q.len() >= self.shared.cap {
+                return Err(TrySendError::Full(msg));
+            }
+            q.push_back(msg);
+            drop(q);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Blocking send; waits for capacity.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.lock();
+            loop {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(msg));
+                }
+                if q.len() < self.shared.cap {
+                    q.push_back(msg);
+                    drop(q);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                // Bounded wait so receiver-disconnect is always observed.
+                let (guard, _timeout) = self
+                    .shared
+                    .not_full
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        }
+
+        /// Queue length snapshot (diagnostic).
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.lock();
+            match q.pop_front() {
+                Some(v) => {
+                    drop(q);
+                    self.shared.not_full.notify_one();
+                    Ok(v)
+                }
+                None if self.shared.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive; `Err` only after all senders dropped and the
+        /// queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.lock();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                let (guard, _timeout) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        }
+
+        /// Blocking receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.shared.lock();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timeout) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        }
+
+        /// Queue length snapshot (diagnostic).
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_fifo_and_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = bounded(4);
+        tx.try_send(7).unwrap();
+        drop(tx);
+        // Queued messages drain before Disconnected.
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(matches!(rx.recv(), Err(RecvError)));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+
+        let (tx2, rx2) = bounded(1);
+        drop(rx2);
+        assert!(matches!(
+            tx2.try_send(1),
+            Err(TrySendError::Disconnected(1))
+        ));
+        assert!(tx2.send(2).is_err());
+    }
+
+    #[test]
+    fn blocking_send_waits_for_capacity() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).map(|_| ()));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(500)).unwrap(), 2);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn mpmc_across_threads() {
+        let (tx, rx) = bounded(8);
+        let mut producers = Vec::new();
+        for t in 0..4 {
+            let tx = tx.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(got.len(), 400);
+    }
+}

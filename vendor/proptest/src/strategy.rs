@@ -1,0 +1,390 @@
+//! Strategies: how test inputs are generated.
+
+use crate::test_runner::TestRng;
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One option of a [`Union`]: a boxed generator closure.
+pub type UnionOption<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice among boxed generators (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<UnionOption<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the individual option generators.
+    pub fn new(options: Vec<UnionOption<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        (self.options[i])(rng)
+    }
+}
+
+// ------------------------------------------------------------ any --
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draw a value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Full-range strategy for `T` (see [`any`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+// --------------------------------------------------------- ranges --
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end - self.start) as u64;
+                self.start + rng.below(width) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// --------------------------------------------------------- tuples --
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// -------------------------------------------------------- strings --
+
+/// One atom of the supported pattern subset.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `[...]` — explicit set of candidate chars.
+    Class(Vec<char>),
+    /// `\PC` — any non-control char (ASCII printable plus a few
+    /// multibyte samples to exercise UTF-8 paths).
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Chars a `\PC` atom can produce. Mostly ASCII printable; the tail
+/// entries force multibyte UTF-8 through codecs.
+const PRINTABLE_EXTRA: [char; 6] = ['é', 'ü', 'ß', 'λ', '中', '🦀'];
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated [class] in pattern");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    out.push(p);
+                }
+                return out;
+            }
+            '-' => {
+                // Range when we have a pending start and a non-']' next.
+                match (pending.take(), chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        chars.next();
+                        for v in lo as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                out.push(ch);
+                            }
+                        }
+                    }
+                    (p, _) => {
+                        if let Some(p) = p {
+                            out.push(p);
+                        }
+                        out.push('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(chars.next().expect("escape")) {
+                    out.push(p);
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("bad {m,n} min"),
+            n.trim().parse().expect("bad {m,n} max"),
+        ),
+        None => {
+            let k = spec.trim().parse().expect("bad {n} count");
+            (k, k)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let class = chars.next().expect("\\P needs a class letter");
+                    assert_eq!(class, 'C', "only \\PC is supported by the shim");
+                    Atom::Printable
+                }
+                Some(esc) => Atom::Class(vec![esc]),
+                None => panic!("dangling escape in pattern"),
+            },
+            lit => Atom::Class(vec![lit]),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Class(set) => {
+                        assert!(!set.is_empty(), "empty char class");
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Printable => {
+                        // ~6% multibyte, rest ASCII printable.
+                        if rng.below(16) == 0 {
+                            out.push(PRINTABLE_EXTRA[rng.below(6) as usize]);
+                        } else {
+                            out.push((b' ' + rng.below(95) as u8) as char);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn pattern_shapes() {
+        let mut rng = rng_for("pattern_shapes");
+        for _ in 0..200 {
+            let hex = "[0-9a-f]{0,32}".generate(&mut rng);
+            assert!(hex.len() <= 32);
+            assert!(hex
+                .chars()
+                .all(|c| c.is_ascii_hexdigit() && !c.is_uppercase()));
+
+            let host = "[a-zA-Z0-9._-]{1,24}".generate(&mut rng);
+            assert!((1..=24).contains(&host.len()));
+            assert!(host
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')));
+
+            let ident = "[a-zA-Z_][a-zA-Z0-9_]{0,30}".generate(&mut rng);
+            assert!(!ident.is_empty());
+            let first = ident.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+
+            let printable = "[ -~]{1,60}".generate(&mut rng);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+
+            let free = "\\PC{0,300}".generate(&mut rng);
+            assert!(free.chars().count() <= 300);
+            assert!(free.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_and_vec() {
+        let mut rng = rng_for("ranges_and_tuples_and_vec");
+        for _ in 0..100 {
+            let v = (0usize..14).generate(&mut rng);
+            assert!(v < 14);
+            let f = (0.0f64..1.0).generate(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+            let (a, b) = (any::<u32>(), "[a-z]{1,3}").generate(&mut rng);
+            let _ = a;
+            assert!((1..=3).contains(&b.len()));
+            let xs = crate::collection::vec(any::<u8>(), 0..10).generate(&mut rng);
+            assert!(xs.len() < 10);
+        }
+    }
+
+    #[test]
+    fn union_and_map_and_just() {
+        let mut rng = rng_for("union_and_map_and_just");
+        let u = crate::prop_oneof![Just(1u8), Just(2u8)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(u.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+        let m = (0usize..3).prop_map(|i| ["a", "b", "c"][i]);
+        for _ in 0..10 {
+            assert!(["a", "b", "c"].contains(&m.generate(&mut rng)));
+        }
+    }
+
+    crate::proptest! {
+        #![proptest_config(crate::test_runner::ProptestConfig::with_cases(8))]
+
+        /// The macro itself: generated args are in range, bodies run.
+        #[test]
+        fn macro_smoke(x in 0u32..10, s in "[a-f]{2,4}",) {
+            crate::prop_assert!(x < 10);
+            crate::prop_assert_eq!(s.len() >= 2, true);
+        }
+    }
+}

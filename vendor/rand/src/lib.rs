@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rand` crate. The workload simulator only
+//! needs a *deterministic, seedable, well-dispersed* generator — it never
+//! requires compatibility with the real `rand`'s stream. The core is
+//! xoshiro256++ seeded through SplitMix64 (the reference seeding scheme),
+//! exposed through the small trait surface the workspace uses:
+//! [`SeedableRng::seed_from_u64`], [`RngExt::random`], and
+//! [`RngExt::random_range`].
+
+pub mod rngs {
+    /// The workspace's standard deterministic RNG (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state; the
+        // all-zero state is unreachable because SplitMix64 is a bijection
+        // and its outputs for distinct counters never collapse to zero
+        // simultaneously.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draw one value from the generator.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        // 53 uniform bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable as [`RngExt::random_range`] bounds.
+pub trait RangeInt: Copy + PartialOrd {
+    /// Map `self` into u64 for width arithmetic.
+    fn to_u64(self) -> u64;
+    /// Map back from u64.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize);
+
+/// The user-facing sampling interface (the `Rng` extension trait of
+/// modern `rand`, under its post-0.9 name).
+pub trait RngExt {
+    /// Uniform draw of a [`Standard`] type.
+    fn random<T: Standard>(&mut self) -> T;
+
+    /// Uniform draw from a half-open integer range. Panics when the range
+    /// is empty, matching `rand`.
+    fn random_range<T: RangeInt>(&mut self, range: std::ops::Range<T>) -> T;
+}
+
+impl RngExt for StdRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<T: RangeInt>(&mut self, range: std::ops::Range<T>) -> T {
+        let (lo, hi) = (range.start.to_u64(), range.end.to_u64());
+        assert!(lo < hi, "random_range called with empty range");
+        let width = hi - lo;
+        // Debiased multiply-shift rejection sampling (Lemire).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (width as u128);
+            let low = m as u64;
+            if low >= width.wrapping_neg() % width.max(1) || width.is_power_of_two() {
+                return T::from_u64(lo + (m >> 64) as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.random()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.random()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_dispersed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.random_range(0..8u32);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.random_range(100..512u64);
+            assert!((100..512).contains(&v));
+        }
+    }
+}
