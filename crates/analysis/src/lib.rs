@@ -42,7 +42,10 @@ pub use python_stats::{interpreter_table, package_stats, InterpreterRow, Package
 pub use recurrence::{recurrence_summary, recurrence_table, RecurrenceRow, RecurrenceSummary};
 pub use security::{audit_python_imports, Advisory, SecurityReport, ADVISORY_DB};
 pub use similarity::{similarity_search_table, SimilarityRow};
-pub use system_usage::{library_variant_table, system_table, LibraryVariantRow, SystemRow};
+pub use system_usage::{
+    library_usage, library_variant_table, system_table, LibraryUsageRow, LibraryVariantRow,
+    SystemRow,
+};
 pub use usage::{usage_table, UsageRow};
 
 use siren_consolidate::ProcessRecord;

@@ -139,6 +139,57 @@ pub fn library_variant_table(records: &[ProcessRecord], exe_path: &str) -> Vec<L
     rows
 }
 
+/// One library-usage row: a shared object and how widely it is loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibraryUsageRow {
+    /// Shared-object path as reported in `OBJECTS`.
+    pub library: String,
+    /// Processes that loaded it.
+    pub processes: u64,
+    /// Distinct hosts it was loaded on.
+    pub hosts: u64,
+}
+
+/// Aggregate shared-object usage over any record selection — the
+/// workhorse behind cross-epoch "library usage by host / time range"
+/// service queries (the caller filters, this counts). Sorted by process
+/// count descending, then library path.
+pub fn library_usage<'a, I>(records: I) -> Vec<LibraryUsageRow>
+where
+    I: IntoIterator<Item = &'a ProcessRecord>,
+{
+    struct Acc<'a> {
+        processes: u64,
+        hosts: HashSet<&'a str>,
+    }
+    let mut by_lib: HashMap<&str, Acc<'_>> = HashMap::new();
+    for rec in records {
+        let Some(objs) = &rec.objects else { continue };
+        for lib in objs {
+            let acc = by_lib.entry(lib.as_str()).or_insert_with(|| Acc {
+                processes: 0,
+                hosts: HashSet::new(),
+            });
+            acc.processes += 1;
+            acc.hosts.insert(rec.key.host.as_str());
+        }
+    }
+    let mut rows: Vec<LibraryUsageRow> = by_lib
+        .into_iter()
+        .map(|(library, acc)| LibraryUsageRow {
+            library: library.to_string(),
+            processes: acc.processes,
+            hosts: acc.hosts.len() as u64,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.processes
+            .cmp(&a.processes)
+            .then(a.library.cmp(&b.library))
+    });
+    rows
+}
+
 /// Render Table 3 (top `n` rows).
 pub fn render_system(rows: &[SystemRow], n: usize) -> String {
     let body: Vec<Vec<String>> = rows
@@ -231,6 +282,27 @@ mod tests {
         assert_eq!(rows[0].process_count, 3);
         assert_eq!(rows[0].unique_objects_h, 2);
         assert_eq!(rows[1].path, "/usr/bin/rm");
+    }
+
+    #[test]
+    fn library_usage_counts_processes_and_hosts() {
+        let mut a = sys_rec(1, 1, "a", "/usr/bin/bash", vec!["/l/c.so", "/l/t.so"], "h1");
+        a.key.host = "nid1".into();
+        let mut b = sys_rec(2, 2, "b", "/usr/bin/rm", vec!["/l/c.so"], "h2");
+        b.key.host = "nid2".into();
+        let mut c = sys_rec(3, 3, "c", "/users/c/app", vec!["/l/c.so"], "h3");
+        c.key.host = "nid1".into();
+        let no_objs = record(4, 4, "d", "/usr/bin/true", None, None, None, 4);
+
+        let rows = library_usage([&a, &b, &c, &no_objs]);
+        assert_eq!(rows[0].library, "/l/c.so");
+        assert_eq!(rows[0].processes, 3);
+        assert_eq!(rows[0].hosts, 2);
+        assert_eq!(rows[1].library, "/l/t.so");
+        assert_eq!(rows[1].processes, 1);
+        // Filtering before aggregation is the caller's job.
+        let only_a = library_usage([&a]);
+        assert_eq!(only_a.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Segmented-store benchmark: segment write throughput, recovery time,
+//! and indexed query latency over a recovered store.
+//!
+//! Emits `BENCH_store.json` at the workspace root alongside the usual
+//! criterion output, so the storage tier's performance trajectory is
+//! tracked in-repo next to `BENCH_ingest.json`. Set `SIREN_BENCH_QUICK=1`
+//! (the CI smoke step does) to shrink the workload an order of magnitude.
+
+use criterion::Criterion;
+use siren_db::{Database, Record, SegmentedOptions};
+use siren_store::{SegmentedBackend, StorageBackend};
+use siren_wire::{Layer, MessageType};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn quick() -> bool {
+    std::env::var("SIREN_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn record(i: u64) -> Record {
+    Record {
+        job_id: i % 997,
+        step_id: 0,
+        pid: i as u32,
+        exe_hash: format!("{i:032x}"),
+        host: format!("nid{:06}", i % 128),
+        time: 1_700_000_000 + i,
+        layer: Layer::SelfExe,
+        mtype: MessageType::Objects,
+        content: format!("/lib64/libc.so.6;/lib64/libm.so.6;/opt/app/lib{i}.so"),
+    }
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("siren-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts() -> SegmentedOptions {
+    SegmentedOptions {
+        rotate_bytes: 256 * 1024,
+        compact_min_files: 4,
+        background_compaction: false,
+    }
+}
+
+fn write_all(dir: &std::path::Path, records: &[Record], compact: bool) -> (usize, usize) {
+    let (mut backend, _, _) = SegmentedBackend::<Record>::open(dir, opts()).unwrap();
+    for chunk in records.chunks(256) {
+        backend.append_batch(chunk).unwrap();
+    }
+    backend.sync().unwrap();
+    if compact {
+        backend.compact_now().unwrap();
+    }
+    backend.file_census()
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    let n: usize = if quick() { 4_000 } else { 40_000 };
+    let records: Vec<Record> = (0..n as u64).map(record).collect();
+    let bytes: usize = records.iter().map(|r| r.encode().len()).sum();
+
+    // 1. Segment write throughput: append + rotate + seal, fsynced.
+    {
+        let mut g = criterion.benchmark_group("store");
+        g.sample_size(5);
+        g.throughput(criterion::Throughput::Elements(n as u64));
+        g.bench_function("segment_write", |b| {
+            b.iter(|| {
+                let dir = bench_dir("write");
+                let census = write_all(&dir, black_box(&records), false);
+                std::fs::remove_dir_all(&dir).unwrap();
+                black_box(census)
+            })
+        });
+        g.finish();
+    }
+
+    // 2. Recovery: reopen a compacted store (runs + segments + WAL).
+    let recovery_dir = bench_dir("recover");
+    write_all(&recovery_dir, &records, true);
+    {
+        let mut g = criterion.benchmark_group("store");
+        g.sample_size(5);
+        g.throughput(criterion::Throughput::Elements(n as u64));
+        g.bench_function("recovery", |b| {
+            b.iter(|| {
+                let (_backend, recovered, stats) =
+                    SegmentedBackend::<Record>::open(black_box(&recovery_dir), opts()).unwrap();
+                assert_eq!(recovered.len(), n);
+                black_box(stats)
+            })
+        });
+        g.finish();
+    }
+
+    // 3. Query latency: indexed job lookups over the recovered cache.
+    let (db, _) = Database::open_segmented(&recovery_dir, opts()).unwrap();
+    let queries: usize = if quick() { 200 } else { 2_000 };
+    {
+        let mut g = criterion.benchmark_group("store");
+        g.sample_size(10);
+        g.throughput(criterion::Throughput::Elements(queries as u64));
+        g.bench_function("query_by_job", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in 0..queries as u64 {
+                    hits += db.query().job(q % 997).collect().len();
+                }
+                black_box(hits)
+            })
+        });
+        g.finish();
+    }
+    drop(db);
+    std::fs::remove_dir_all(&recovery_dir).unwrap();
+
+    write_json(&criterion, n, bytes, queries);
+}
+
+fn write_json(c: &Criterion, n: usize, bytes: usize, queries: usize) {
+    let median = |id: &str| {
+        c.measurements()
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.median_ns)
+    };
+    let (Some(write_ns), Some(recovery_ns), Some(query_ns)) = (
+        median("store/segment_write"),
+        median("store/recovery"),
+        median("store/query_by_job"),
+    ) else {
+        return;
+    };
+
+    let out = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"store\",\n",
+            "  \"records\": {records},\n",
+            "  \"payload_bytes\": {bytes},\n",
+            "  \"write\": {{\"median_ns\": {write_ns:.0}, \"records_per_sec\": {wps:.0}, \"mb_per_sec\": {mbps:.1}}},\n",
+            "  \"recovery\": {{\"median_ns\": {recovery_ns:.0}, \"records_per_sec\": {rps:.0}}},\n",
+            "  \"query\": {{\"median_ns\": {query_ns:.0}, \"queries\": {queries}, \"ns_per_query\": {npq:.0}}}\n",
+            "}}\n"
+        ),
+        records = n,
+        bytes = bytes,
+        write_ns = write_ns,
+        wps = n as f64 * 1e9 / write_ns,
+        mbps = bytes as f64 * 1e9 / write_ns / (1024.0 * 1024.0),
+        recovery_ns = recovery_ns,
+        rps = n as f64 * 1e9 / recovery_ns,
+        query_ns = query_ns,
+        queries = queries,
+        npq = query_ns / queries as f64,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    std::fs::write(path, out).expect("write BENCH_store.json");
+    println!("wrote {path}");
+}

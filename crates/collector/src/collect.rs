@@ -8,7 +8,7 @@ use siren_hash::xxh3_128_hex;
 use siren_net::Sender;
 use siren_text::{printable_strings_joined, StringsConfig};
 use siren_wire::{
-    chunk_message, sentinel_message, Layer, Message, MessageHeader, MessageType,
+    chunk_message, sentinel_message_with_epoch, Layer, Message, MessageHeader, MessageType,
     DEFAULT_MAX_DATAGRAM,
 };
 
@@ -50,6 +50,7 @@ pub struct Collector<'s, S: Sender> {
     mode: PolicyMode,
     max_datagram: usize,
     sender_id: u32,
+    epoch: Option<u64>,
     stats: CollectorStats,
 }
 
@@ -61,6 +62,7 @@ impl<'s, S: Sender> Collector<'s, S> {
             mode,
             max_datagram: DEFAULT_MAX_DATAGRAM,
             sender_id: 0,
+            epoch: None,
             stats: CollectorStats::default(),
         }
     }
@@ -79,12 +81,21 @@ impl<'s, S: Sender> Collector<'s, S> {
         self
     }
 
+    /// Tag this collector's end-of-campaign sentinel with a service
+    /// **epoch** (long-running daemons ingest campaigns as consecutive
+    /// epochs; the tag lets the receiver detect close mismatches).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+
     /// Announce end of campaign: emit [`SENTINEL_BURST`] copies of the
     /// END sentinel through the transport. Datagram counts in the
     /// sentinel reflect payload datagrams only, so receivers can
     /// reconcile loss without counting sentinels.
     pub fn end_campaign(&self) {
-        let sentinel = sentinel_message(self.sender_id, self.stats.datagrams_sent);
+        let sentinel =
+            sentinel_message_with_epoch(self.sender_id, self.stats.datagrams_sent, self.epoch);
         let encoded = sentinel.encode();
         for _ in 0..SENTINEL_BURST {
             self.sender.send(&encoded);

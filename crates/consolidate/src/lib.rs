@@ -52,107 +52,134 @@ pub struct Consolidated {
     pub stats: ConsolidateStats,
 }
 
-/// Consolidate a message database into per-process records.
-pub fn consolidate(db: &Database) -> Consolidated {
-    let mut stats = ConsolidateStats::default();
-    let mut by_key: HashMap<ProcessKey, ProcessRecord> = HashMap::new();
-    let mut scripts: Vec<Record> = Vec::new();
+/// Incremental consolidation state: feed rows with [`Consolidator::push_row`]
+/// as they arrive (a streaming epoch, a WAL replay, a database scan) and
+/// call [`Consolidator::finish`] once the input is complete. Feeding the
+/// same row twice is idempotent — grouping is by process key and field
+/// absorption overwrites in place — which is what lets a restarted
+/// service re-ingest a partially-persisted epoch without duplicating
+/// records.
+#[derive(Debug, Default)]
+pub struct Consolidator {
+    stats: ConsolidateStats,
+    by_key: HashMap<ProcessKey, ProcessRecord>,
+    scripts: Vec<Record>,
+}
 
+impl Consolidator {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one database row into the state.
+    pub fn push_row(&mut self, row: &Record) {
+        match row.layer {
+            Layer::SelfExe => {
+                self.stats.self_rows += 1;
+                let key = key_of(row);
+                self.by_key
+                    .entry(key)
+                    .or_insert_with(|| ProcessRecord::new(row))
+                    .absorb(row);
+            }
+            Layer::Script => {
+                self.stats.script_rows += 1;
+                self.scripts.push(row.clone());
+            }
+        }
+    }
+
+    /// Process records consolidated so far (before script merging).
+    pub fn processes_seen(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Merge SCRIPT rows into their interpreter parents, sort, and emit.
+    pub fn finish(self) -> Consolidated {
+        let Self {
+            mut stats,
+            mut by_key,
+            scripts,
+        } = self;
+
+        // Merge SCRIPT rows into their parent interpreter record. The
+        // parent shares (job, step, pid, host, time) but has a different
+        // exe_hash (the script's path hash), so matching ignores exe_hash.
+        let mut parent_index: HashMap<(u64, u32, u32, String, u64), Vec<ProcessKey>> =
+            HashMap::new();
+        for key in by_key.keys() {
+            parent_index
+                .entry((key.job_id, key.step_id, key.pid, key.host.clone(), key.time))
+                .or_default()
+                .push(key.clone());
+        }
+
+        // Group script rows by their own key first (META + SCRIPT_H of
+        // one script observation belong together).
+        let mut script_groups: HashMap<ProcessKey, Vec<Record>> = HashMap::new();
+        for row in scripts {
+            script_groups.entry(key_of(&row)).or_default().push(row);
+        }
+
+        for (skey, rows) in script_groups {
+            let parent_key = (
+                skey.job_id,
+                skey.step_id,
+                skey.pid,
+                skey.host.clone(),
+                skey.time,
+            );
+            let matched = parent_index.get(&parent_key).and_then(|candidates| {
+                candidates.iter().find(|k| {
+                    by_key
+                        .get(k)
+                        .map(|r| r.is_python_interpreter())
+                        .unwrap_or(false)
+                })
+            });
+            match matched {
+                Some(pk) => {
+                    let parent = by_key.get_mut(pk).expect("key from index");
+                    let mut script = ScriptRecord::default();
+                    for row in &rows {
+                        match row.mtype {
+                            MessageType::Meta => {
+                                let kv = parse_kv(&row.content);
+                                script.path = kv.get("path").cloned();
+                                script.meta = kv;
+                            }
+                            MessageType::ScriptHash => {
+                                script.script_hash = Some(row.content.clone())
+                            }
+                            _ => {}
+                        }
+                    }
+                    parent.script = Some(script);
+                    stats.merged_scripts += 1;
+                }
+                None => stats.orphan_scripts += 1,
+            }
+        }
+
+        let mut records: Vec<ProcessRecord> = by_key.into_values().collect();
+        records.sort_by(record_order);
+        stats.processes = records.len() as u64;
+
+        Consolidated { records, stats }
+    }
+}
+
+/// Consolidate a message database into per-process records (one-shot
+/// wrapper over [`Consolidator`]).
+pub fn consolidate(db: &Database) -> Consolidated {
+    let mut consolidator = Consolidator::new();
     db.with_rows(|rows| {
         for row in rows {
-            match row.layer {
-                Layer::SelfExe => {
-                    stats.self_rows += 1;
-                    let key = key_of(row);
-                    by_key
-                        .entry(key)
-                        .or_insert_with(|| ProcessRecord::new(row))
-                        .absorb(row);
-                }
-                Layer::Script => {
-                    stats.script_rows += 1;
-                    scripts.push(row.clone());
-                }
-            }
+            consolidator.push_row(row);
         }
     });
-
-    // Merge SCRIPT rows into their parent interpreter record. The parent
-    // shares (job, step, pid, host, time) but has a different exe_hash
-    // (the script's path hash), so matching ignores exe_hash.
-    let mut parent_index: HashMap<(u64, u32, u32, String, u64), Vec<ProcessKey>> = HashMap::new();
-    for key in by_key.keys() {
-        parent_index
-            .entry((key.job_id, key.step_id, key.pid, key.host.clone(), key.time))
-            .or_default()
-            .push(key.clone());
-    }
-
-    // Group script rows by their own key first (META + SCRIPT_H of one
-    // script observation belong together).
-    let mut script_groups: HashMap<ProcessKey, Vec<Record>> = HashMap::new();
-    for row in scripts {
-        script_groups.entry(key_of(&row)).or_default().push(row);
-    }
-
-    for (skey, rows) in script_groups {
-        let parent_key = (
-            skey.job_id,
-            skey.step_id,
-            skey.pid,
-            skey.host.clone(),
-            skey.time,
-        );
-        let matched = parent_index.get(&parent_key).and_then(|candidates| {
-            candidates.iter().find(|k| {
-                by_key
-                    .get(k)
-                    .map(|r| r.is_python_interpreter())
-                    .unwrap_or(false)
-            })
-        });
-        match matched {
-            Some(pk) => {
-                let parent = by_key.get_mut(pk).expect("key from index");
-                let mut script = ScriptRecord::default();
-                for row in &rows {
-                    match row.mtype {
-                        MessageType::Meta => {
-                            let kv = parse_kv(&row.content);
-                            script.path = kv.get("path").cloned();
-                            script.meta = kv;
-                        }
-                        MessageType::ScriptHash => script.script_hash = Some(row.content.clone()),
-                        _ => {}
-                    }
-                }
-                parent.script = Some(script);
-                stats.merged_scripts += 1;
-            }
-            None => stats.orphan_scripts += 1,
-        }
-    }
-
-    let mut records: Vec<ProcessRecord> = by_key.into_values().collect();
-    records.sort_by(|a, b| {
-        (
-            a.key.job_id,
-            &a.key.host,
-            a.key.time,
-            a.key.pid,
-            &a.key.exe_hash,
-        )
-            .cmp(&(
-                b.key.job_id,
-                &b.key.host,
-                b.key.time,
-                b.key.pid,
-                &b.key.exe_hash,
-            ))
-    });
-    stats.processes = records.len() as u64;
-
-    Consolidated { records, stats }
+    consolidator.finish()
 }
 
 fn key_of(row: &Record) -> ProcessKey {
@@ -408,6 +435,82 @@ mod tests {
         ];
         let catalog = ["heapq", "pandas"];
         assert!(extract_python_imports(&maps, &catalog).is_empty());
+    }
+
+    #[test]
+    fn incremental_consolidator_equals_one_shot_and_is_idempotent() {
+        let db = Database::in_memory();
+        let rows = [
+            row(
+                2,
+                20,
+                "interp",
+                9,
+                Layer::SelfExe,
+                MessageType::Meta,
+                &meta("/usr/bin/python3.6"),
+            ),
+            row(
+                2,
+                20,
+                "interp",
+                9,
+                Layer::SelfExe,
+                MessageType::Objects,
+                "/l/a.so;/l/b.so",
+            ),
+            row(
+                2,
+                20,
+                "script",
+                9,
+                Layer::Script,
+                MessageType::Meta,
+                &meta("/u/run.py"),
+            ),
+            row(
+                2,
+                20,
+                "script",
+                9,
+                Layer::Script,
+                MessageType::ScriptHash,
+                "3:s:h",
+            ),
+            row(
+                1,
+                10,
+                "bash",
+                5,
+                Layer::SelfExe,
+                MessageType::Meta,
+                &meta("/usr/bin/bash"),
+            ),
+        ];
+        for r in &rows {
+            db.insert(r.clone()).unwrap();
+        }
+        let one_shot = consolidate(&db);
+
+        // Incremental feed, rows pushed one at a time…
+        let mut inc = Consolidator::new();
+        for r in &rows {
+            inc.push_row(r);
+        }
+        assert_eq!(inc.processes_seen(), 2);
+        let incremental = inc.finish();
+        assert_eq!(incremental.records, one_shot.records);
+        assert_eq!(incremental.stats, one_shot.stats);
+
+        // …and a double feed (a crash-recovery replay followed by a full
+        // re-send) must land on the same records.
+        let mut twice = Consolidator::new();
+        for r in rows.iter().chain(rows.iter()) {
+            twice.push_row(r);
+        }
+        let twice = twice.finish();
+        assert_eq!(twice.records, one_shot.records);
+        assert_eq!(twice.stats.processes, one_shot.stats.processes);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The consolidated per-process record.
 
 use siren_db::Record;
-use siren_wire::{MessageType, ProcessKey};
+use siren_store::codec::{
+    get_map, get_opt_list, get_opt_str, get_str, put_map, put_opt_list, put_opt_str, put_str, take,
+};
+use siren_wire::{Layer, MessageType, ProcessKey};
 use std::collections::HashMap;
 
 /// A merged SCRIPT-layer observation.
@@ -117,6 +120,114 @@ impl ProcessRecord {
         }
     }
 
+    /// Encode to a self-contained binary payload (length-prefixed
+    /// strings, little-endian integers) for the consolidated-record
+    /// store. Maps are written in sorted key order so equal records
+    /// encode to equal bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&self.key.job_id.to_le_bytes());
+        out.extend_from_slice(&self.key.step_id.to_le_bytes());
+        out.extend_from_slice(&self.key.pid.to_le_bytes());
+        out.extend_from_slice(&self.key.time.to_le_bytes());
+        out.push(match self.key.layer {
+            Layer::SelfExe => 0,
+            Layer::Script => 1,
+        });
+        put_str(&mut out, &self.key.exe_hash);
+        put_str(&mut out, &self.key.host);
+        put_map(&mut out, &self.meta);
+        for list in [&self.objects, &self.modules, &self.compilers, &self.maps] {
+            put_opt_list(&mut out, list);
+        }
+        for hash in [
+            &self.objects_hash,
+            &self.modules_hash,
+            &self.compilers_hash,
+            &self.maps_hash,
+            &self.file_hash,
+            &self.strings_hash,
+            &self.symbols_hash,
+        ] {
+            put_opt_str(&mut out, hash);
+        }
+        match &self.script {
+            None => out.push(0),
+            Some(script) => {
+                out.push(1);
+                put_opt_str(&mut out, &script.path);
+                put_map(&mut out, &script.meta);
+                put_opt_str(&mut out, &script.script_hash);
+            }
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`ProcessRecord::encode`]. `None` on
+    /// any structural inconsistency (never panics).
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let job_id = u64::from_le_bytes(take(data, &mut pos, 8)?.try_into().ok()?);
+        let step_id = u32::from_le_bytes(take(data, &mut pos, 4)?.try_into().ok()?);
+        let pid = u32::from_le_bytes(take(data, &mut pos, 4)?.try_into().ok()?);
+        let time = u64::from_le_bytes(take(data, &mut pos, 8)?.try_into().ok()?);
+        let layer = match take(data, &mut pos, 1)?[0] {
+            0 => Layer::SelfExe,
+            1 => Layer::Script,
+            _ => return None,
+        };
+        let exe_hash = get_str(data, &mut pos)?;
+        let host = get_str(data, &mut pos)?;
+        let meta = get_map(data, &mut pos)?;
+        let mut lists = [const { None }; 4];
+        for slot in &mut lists {
+            *slot = get_opt_list(data, &mut pos)?;
+        }
+        let [objects, modules, compilers, maps] = lists;
+        let mut hashes = [const { None }; 7];
+        for slot in &mut hashes {
+            *slot = get_opt_str(data, &mut pos)?;
+        }
+        let [objects_hash, modules_hash, compilers_hash, maps_hash, file_hash, strings_hash, symbols_hash] =
+            hashes;
+        let script = match take(data, &mut pos, 1)?[0] {
+            0 => None,
+            1 => Some(ScriptRecord {
+                path: get_opt_str(data, &mut pos)?,
+                meta: get_map(data, &mut pos)?,
+                script_hash: get_opt_str(data, &mut pos)?,
+            }),
+            _ => return None,
+        };
+        if pos != data.len() {
+            return None; // trailing junk means a framing bug upstream
+        }
+        Some(Self {
+            key: ProcessKey {
+                job_id,
+                step_id,
+                pid,
+                exe_hash,
+                host,
+                time,
+                layer,
+            },
+            meta,
+            objects,
+            modules,
+            compilers,
+            maps,
+            objects_hash,
+            modules_hash,
+            compilers_hash,
+            maps_hash,
+            file_hash,
+            strings_hash,
+            symbols_hash,
+            script,
+        })
+    }
+
     /// Executable path (from metadata).
     pub fn exe_path(&self) -> Option<&str> {
         self.meta.get("path").map(|s| s.as_str())
@@ -216,6 +327,58 @@ mod tests {
             rec.compilers.as_ref().unwrap()[0],
             "GCC: (SUSE Linux) 13.2.1"
         );
+    }
+
+    #[test]
+    fn codec_round_trips_minimal_and_full_records() {
+        // Minimal: fresh record, everything None/empty.
+        let minimal = ProcessRecord::new(&base_row());
+        assert_eq!(ProcessRecord::decode(&minimal.encode()), Some(minimal));
+
+        // Full: every field populated, including a merged script.
+        let mut rec = ProcessRecord::new(&base_row());
+        rec.meta = [("path", "/usr/bin/python3.10"), ("user", "user_7")]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        rec.objects = Some(vec!["/lib64/libc.so.6".into(), "/lib64/libm.so.6".into()]);
+        rec.modules = Some(vec!["gcc/12.2".into()]);
+        rec.compilers = Some(vec!["GCC: (SUSE) 13.2.1".into()]);
+        rec.maps = Some(Vec::new());
+        rec.objects_hash = Some("3:ab:cd".into());
+        rec.modules_hash = Some("3:ef:gh".into());
+        rec.compilers_hash = Some("3:ij:kl".into());
+        rec.maps_hash = Some("3:mn:op".into());
+        rec.file_hash = Some("6:qr:st".into());
+        rec.strings_hash = Some("6:uv:wx".into());
+        rec.symbols_hash = Some("6:yz:ab".into());
+        rec.script = Some(ScriptRecord {
+            path: Some("/u/run.py".into()),
+            meta: [("inode".to_string(), "9".to_string())]
+                .into_iter()
+                .collect(),
+            script_hash: Some("3:s:h".into()),
+        });
+        assert_eq!(ProcessRecord::decode(&rec.encode()), Some(rec.clone()));
+
+        // Equal records encode identically (map order is canonicalized).
+        let mut clone = rec.clone();
+        clone.meta = rec.meta.clone().into_iter().collect();
+        assert_eq!(clone.encode(), rec.encode());
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_trailing_junk() {
+        let mut rec = ProcessRecord::new(&base_row());
+        rec.objects = Some(vec!["/a.so".into()]);
+        rec.file_hash = Some("3:x:y".into());
+        let enc = rec.encode();
+        for cut in 0..enc.len() {
+            assert_eq!(ProcessRecord::decode(&enc[..cut]), None, "cut {cut}");
+        }
+        let mut extra = enc.clone();
+        extra.push(0);
+        assert_eq!(ProcessRecord::decode(&extra), None);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod fleet;
 pub mod pipeline;
 pub mod report;
 
-pub use fleet::{FleetDeployment, FleetDeploymentConfig, FleetResult};
+pub use fleet::{EpochFleetResult, FleetDeployment, FleetDeploymentConfig, FleetResult};
 pub use pipeline::{Deployment, DeploymentConfig, DeploymentResult, IngestMode, TransportKind};
 
 // Re-export the component crates under one roof so downstream users need
@@ -45,6 +45,8 @@ pub use siren_fuzzy as fuzzy;
 pub use siren_hash as hash;
 pub use siren_ingest as ingest;
 pub use siren_net as net;
+pub use siren_service as service;
+pub use siren_store as store;
 pub use siren_text as text;
 pub use siren_wire as wire;
 

@@ -5,7 +5,7 @@ use siren_collector::{Collector, CollectorStats, PolicyMode};
 use siren_consolidate::{
     consolidate, integrity_report, ConsolidateStats, IntegrityReport, ProcessRecord,
 };
-use siren_db::Database;
+use siren_db::{Database, ReplayStats};
 use siren_ingest::{IngestConfig, IngestService, ShardStats};
 use siren_net::{ShardedUdpSender, SimChannel, SimConfig, UdpReceiver, UdpReceiverPool, UdpSender};
 use siren_wire::{
@@ -56,11 +56,21 @@ pub struct DeploymentConfig {
     pub transport: TransportKind,
     /// Receiver-tier selection.
     pub ingest: IngestMode,
+    /// Clamp [`IngestMode::Sharded`] worker counts to the machine's
+    /// `available_parallelism` (see [`IngestConfig::clamp_shards`]).
+    /// Disable only for experiments that need an exact shard count.
+    pub ingest_clamp: bool,
     /// Datagram size limit.
     pub max_datagram: usize,
     /// Optional WAL path for a persistent database. The sharded ingest
     /// tier appends `.shard<i>` per partition.
     pub db_path: Option<PathBuf>,
+    /// How long a UDP drain waits in silence before concluding that
+    /// every copy of the end-of-campaign sentinel was lost and giving
+    /// up. The quiet counter resets on every received datagram, so an
+    /// active campaign never trips it; this only bounds the
+    /// all-sentinels-lost worst case.
+    pub quiet_period: Duration,
 }
 
 impl Default for DeploymentConfig {
@@ -71,8 +81,10 @@ impl Default for DeploymentConfig {
             policy: PolicyMode::Selective,
             transport: TransportKind::Simulated,
             ingest: IngestMode::Serial,
+            ingest_clamp: true,
             max_datagram: DEFAULT_MAX_DATAGRAM,
             db_path: None,
+            quiet_period: Duration::from_secs(10),
         }
     }
 }
@@ -107,6 +119,10 @@ pub struct DeploymentResult {
     pub integrity: IntegrityReport,
     /// Per-shard ingest telemetry (empty under [`IngestMode::Serial`]).
     pub shard_stats: Vec<ShardStats>,
+    /// WAL replay on database open (all partitions): what a persistent
+    /// deployment recovered from a previous run, including torn-tail
+    /// bytes discarded. Zero for in-memory and fresh databases.
+    pub replay: ReplayStats,
 }
 
 /// A configured deployment, ready to run.
@@ -167,9 +183,9 @@ impl Deployment {
         datagrams_dropped: u64,
     ) -> DeploymentResult {
         let mut reasm = Reassembler::new();
-        let db = match &cfg.db_path {
-            Some(path) => Database::open(path).expect("open database WAL").0,
-            None => Database::in_memory(),
+        let (db, replay) = match &cfg.db_path {
+            Some(path) => Database::open(path).expect("open database WAL"),
+            None => (Database::in_memory(), ReplayStats::default()),
         };
 
         let mut delivered = 0u64;
@@ -212,6 +228,7 @@ impl Deployment {
             records: consolidated.records,
             integrity,
             shard_stats: Vec::new(),
+            replay,
         }
     }
 
@@ -225,6 +242,7 @@ impl Deployment {
     ) -> DeploymentResult {
         let mut service = IngestService::spawn(IngestConfig {
             shards,
+            clamp_shards: cfg.ingest_clamp,
             wal_base: cfg.db_path.clone(),
             ..IngestConfig::default()
         })
@@ -250,6 +268,7 @@ impl Deployment {
             reassembly_duplicates: ingested.duplicates(),
             db_rows: ingested.db_rows(),
             consolidate_stats: ingested.stats,
+            replay: ingested.replay_stats(),
             records: ingested.records,
             integrity,
             shard_stats: ingested.shard_stats,
@@ -281,6 +300,7 @@ impl Deployment {
     fn run_udp_serial(self) -> DeploymentResult {
         let receiver = UdpReceiver::spawn(65_536).expect("bind loopback receiver");
         let sender = UdpSender::connect(receiver.local_addr()).expect("sender socket");
+        let quiet_period = self.cfg.quiet_period;
 
         // Drain concurrently with the campaign: the receiver's bounded
         // channel holds 65k messages, and a campaign can emit more than
@@ -290,7 +310,8 @@ impl Deployment {
             .name("siren-drain".into())
             .spawn(move || {
                 let mut messages = Vec::new();
-                let sentinel = drain_each_until_sentinel(&receiver, |m| messages.push(m));
+                let sentinel =
+                    drain_each_until_sentinel(&receiver, quiet_period, |m| messages.push(m));
                 receiver.stop();
                 (messages, sentinel)
             })
@@ -325,14 +346,20 @@ impl Deployment {
     }
 
     fn run_udp_sharded(self, shards: usize) -> DeploymentResult {
-        let pool = UdpReceiverPool::spawn(shards, 65_536).expect("bind loopback receiver pool");
-        let sender = ShardedUdpSender::connect(&pool.addrs()).expect("sharded sender");
-        let service = IngestService::spawn(IngestConfig {
+        // The receiver pool is one socket per worker, so the sender,
+        // the pool, and the ingest service must all agree on the
+        // *effective* (possibly hardware-clamped) shard count.
+        let ingest_cfg = IngestConfig {
             shards,
+            clamp_shards: self.cfg.ingest_clamp,
             wal_base: self.cfg.db_path.clone(),
             ..IngestConfig::default()
-        })
-        .expect("spawn ingest service");
+        };
+        let shards = ingest_cfg.effective_shards();
+        let quiet_period = self.cfg.quiet_period;
+        let pool = UdpReceiverPool::spawn(shards, 65_536).expect("bind loopback receiver pool");
+        let sender = ShardedUdpSender::connect(&pool.addrs()).expect("sharded sender");
+        let service = IngestService::spawn(ingest_cfg).expect("spawn ingest service");
 
         // One drain thread per receiver socket, feeding its shard's
         // worker directly — the live (streaming) ingest topology.
@@ -347,7 +374,7 @@ impl Deployment {
                     .name(format!("siren-drain-{shard}"))
                     .spawn(move || {
                         let mut delivered = 0u64;
-                        let sentinel = drain_each_until_sentinel(&receiver, |msg| {
+                        let sentinel = drain_each_until_sentinel(&receiver, quiet_period, |msg| {
                             delivered += 1;
                             handle.push(msg);
                         });
@@ -392,6 +419,7 @@ impl Deployment {
             reassembly_duplicates: ingested.duplicates(),
             db_rows: ingested.db_rows(),
             consolidate_stats: ingested.stats,
+            replay: ingested.replay_stats(),
             records: ingested.records,
             integrity,
             shard_stats: ingested.shard_stats,
@@ -399,23 +427,27 @@ impl Deployment {
     }
 }
 
+/// One poll tick of a UDP drain loop.
+const DRAIN_TICK: Duration = Duration::from_millis(50);
+
 /// Drain one UDP receiver until its sender's end-of-campaign sentinel
-/// arrives (deterministic stop), falling back to a generous quiet period
-/// only if every sentinel copy was lost. Yields payload messages to
-/// `on_msg` and returns the parsed `(sender_id, datagrams_sent)` claim
-/// of the first sentinel seen, if any.
+/// arrives (deterministic stop), falling back to the configured quiet
+/// period only if every sentinel copy was lost. Yields payload messages
+/// to `on_msg` and returns the parsed `(sender_id, datagrams_sent)`
+/// claim of the first sentinel seen, if any.
 fn drain_each_until_sentinel(
     receiver: &UdpReceiver,
+    quiet_period: Duration,
     mut on_msg: impl FnMut(Message),
 ) -> Option<(u32, u64)> {
-    // 200 × 50 ms = 10 s of silence before giving up on the sentinel;
-    // the quiet counter resets on every received datagram, so an active
-    // campaign never trips it.
-    const QUIET_LIMIT: u32 = 200;
+    // `quiet_period` of silence (counted in 50 ms ticks) before giving
+    // up on the sentinel; the quiet counter resets on every received
+    // datagram, so an active campaign never trips it.
+    let quiet_limit = (quiet_period.as_millis() / DRAIN_TICK.as_millis()).max(1) as u32;
     let mut quiet = 0u32;
     let mut sentinel = None;
-    while sentinel.is_none() && quiet < QUIET_LIMIT {
-        match receiver.recv_timeout(Duration::from_millis(50)) {
+    while sentinel.is_none() && quiet < quiet_limit {
+        match receiver.recv_timeout(DRAIN_TICK) {
             Some(m) if m.header.mtype == MessageType::End => sentinel = parse_sentinel(&m),
             Some(m) => {
                 on_msg(m);
@@ -470,14 +502,33 @@ mod tests {
     fn sharded_ingest_equals_serial_on_lossless_channel() {
         let serial = Deployment::new(tiny(TransportKind::Simulated)).run();
         for shards in [1usize, 2, 8] {
+            // Unclamped: the multi-shard merge is exercised even on a
+            // single-core machine.
             let mut cfg = tiny(TransportKind::Simulated);
             cfg.ingest = IngestMode::Sharded(shards);
+            cfg.ingest_clamp = false;
             let sharded = Deployment::new(cfg).run();
             assert_eq!(sharded.records, serial.records, "shards={shards}");
             assert_eq!(sharded.db_rows, serial.db_rows);
             assert_eq!(sharded.consolidate_stats, serial.consolidate_stats);
             assert_eq!(sharded.shard_stats.len(), shards);
         }
+    }
+
+    #[test]
+    fn default_sharded_deployment_clamps_to_hardware() {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let requested = cores + 5;
+        let mut cfg = tiny(TransportKind::Simulated);
+        cfg.ingest = IngestMode::Sharded(requested);
+        let r = Deployment::new(cfg).run();
+        assert_eq!(r.shard_stats.len(), cores, "oversharding must clamp");
+        assert!(r
+            .shard_stats
+            .iter()
+            .all(|s| s.shards_requested == requested));
     }
 
     #[test]
@@ -522,6 +573,7 @@ mod tests {
     fn udp_loopback_sharded_pipeline_works() {
         let mut cfg = tiny(TransportKind::UdpLoopback);
         cfg.ingest = IngestMode::Sharded(2);
+        cfg.ingest_clamp = false;
         let r = Deployment::new(cfg).run();
         assert!(r.datagrams_delivered > 0);
         let delivered_frac = r.datagrams_delivered as f64 / r.datagrams_sent as f64;
@@ -538,6 +590,51 @@ mod tests {
     }
 
     #[test]
+    fn all_sentinels_lost_falls_back_to_quiet_period() {
+        // A sender that never announces end-of-campaign: the drain must
+        // deliver every payload message and give up after the configured
+        // quiet period with no sentinel claim.
+        let receiver = UdpReceiver::spawn(1024).expect("bind receiver");
+        let sender = UdpSender::connect(receiver.local_addr()).expect("sender");
+        use siren_net::Sender as _;
+        for i in 0..20u64 {
+            let msg = siren_wire::chunk_message(
+                &siren_wire::MessageHeader {
+                    job_id: i,
+                    step_id: 0,
+                    pid: i as u32,
+                    exe_hash: format!("{i:08x}"),
+                    host: "nid1".into(),
+                    time: 1_700_000_000,
+                    layer: siren_wire::Layer::SelfExe,
+                    mtype: MessageType::Meta,
+                },
+                "path=/usr/bin/x",
+                1200,
+            );
+            for m in msg {
+                sender.send(&m.encode());
+            }
+        }
+        let start = std::time::Instant::now();
+        let quiet = Duration::from_millis(300);
+        let mut delivered = 0u64;
+        let sentinel = drain_each_until_sentinel(&receiver, quiet, |_m| delivered += 1);
+        receiver.stop();
+        assert_eq!(sentinel, None, "no sentinel was ever sent");
+        assert_eq!(delivered, 20, "payloads must survive sentinel loss");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= quiet,
+            "gave up before the quiet period: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(8),
+            "quiet fallback must honor the configured period, took {elapsed:?}"
+        );
+    }
+
+    #[test]
     fn persistent_database_round_trips() {
         let dir = std::env::temp_dir().join(format!("siren-core-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -546,12 +643,24 @@ mod tests {
 
         let mut cfg = tiny(TransportKind::Simulated);
         cfg.db_path = Some(path.clone());
-        let r = Deployment::new(cfg).run();
+        let r = Deployment::new(cfg.clone()).run();
         assert!(r.db_rows > 0);
+        assert_eq!(
+            r.replay,
+            ReplayStats::default(),
+            "fresh WAL replays nothing"
+        );
 
         let (db, stats) = Database::open(&path).unwrap();
         assert_eq!(stats.records, r.db_rows);
         assert_eq!(db.len() as u64, r.db_rows);
+        drop(db);
+
+        // A second deployment over the same WAL surfaces the replay.
+        let first_rows = r.db_rows;
+        let r2 = Deployment::new(cfg).run();
+        assert_eq!(r2.replay.records, first_rows);
+        assert_eq!(r2.replay.corrupt_tail_bytes, 0);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -79,6 +79,51 @@ pub fn library_matrix_report(records: &[ProcessRecord]) -> String {
         .render("Figure 5: Loaded shared object usage by software label")
 }
 
+/// Ingest-tier telemetry for one deployment: transport loss, WAL replay
+/// (what a persistent receiver recovered on startup, including torn-tail
+/// bytes), and per-shard backpressure — the operational counters that
+/// were previously measured but silently dropped from the report.
+pub fn telemetry_report(result: &crate::DeploymentResult) -> String {
+    let mut out = String::from("Deployment telemetry\n");
+    out.push_str(&format!(
+        "  datagrams: sent {}, delivered {}, dropped {}\n",
+        result.datagrams_sent, result.datagrams_delivered, result.datagrams_dropped
+    ));
+    out.push_str(&format!(
+        "  reassembly: complete {}, incomplete {}, duplicates {}\n",
+        result.reassembly_complete, result.reassembly_incomplete, result.reassembly_duplicates
+    ));
+    out.push_str(&format!(
+        "  wal replay: {} records recovered, {} torn-tail bytes discarded\n",
+        result.replay.records, result.replay.corrupt_tail_bytes
+    ));
+    if result.shard_stats.is_empty() {
+        out.push_str("  ingest: serial (single receiver thread)\n");
+    } else {
+        let requested = result
+            .shard_stats
+            .first()
+            .map(|s| s.shards_requested)
+            .unwrap_or(0);
+        let effective = result.shard_stats.len();
+        if requested != effective {
+            out.push_str(&format!(
+                "  ingest: {effective} shards (requested {requested}, clamped to available parallelism)\n"
+            ));
+        } else {
+            out.push_str(&format!("  ingest: {effective} shards\n"));
+        }
+        for s in &result.shard_stats {
+            out.push_str(&format!(
+                "    shard {}: {} rows, {} batches, {} backpressure waits, {} replayed ({} torn bytes)\n",
+                s.shard, s.db_rows, s.batches, s.backpressure_waits, s.replayed_records,
+                s.replay_tail_bytes
+            ));
+        }
+    }
+    out
+}
+
 /// All tables and figures, separated by blank lines.
 pub fn full_report(records: &[ProcessRecord]) -> String {
     [
@@ -99,7 +144,27 @@ pub fn full_report(records: &[ProcessRecord]) -> String {
 
 #[cfg(test)]
 mod tests {
-    use crate::{Deployment, DeploymentConfig};
+    use crate::{Deployment, DeploymentConfig, IngestMode};
+
+    #[test]
+    fn telemetry_report_surfaces_replay_and_backpressure() {
+        let mut cfg = DeploymentConfig::default();
+        cfg.campaign.scale = 0.001;
+        cfg.ingest = IngestMode::Sharded(2);
+        cfg.ingest_clamp = false;
+        let result = Deployment::new(cfg).run();
+        let report = super::telemetry_report(&result);
+        assert!(report.contains("wal replay: 0 records recovered"));
+        assert!(report.contains("backpressure waits"));
+        assert!(report.contains("ingest: 2 shards"));
+        assert!(report.contains("shard 0:"));
+        assert!(report.contains("shard 1:"));
+
+        let mut serial_cfg = DeploymentConfig::default();
+        serial_cfg.campaign.scale = 0.001;
+        let serial = Deployment::new(serial_cfg).run();
+        assert!(super::telemetry_report(&serial).contains("ingest: serial"));
+    }
 
     #[test]
     fn full_report_renders_every_artifact() {

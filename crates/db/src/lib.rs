@@ -7,12 +7,14 @@
 //!
 //! * [`Record`] — one row: `JOBID, STEPID, PID, HASH, HOST, TIME, LAYER,
 //!   TYPE, CONTENT`.
-//! * [`Database`] — an append-oriented store with secondary indexes on
-//!   job id and message type, a fluent [`Query`] filter API, and optional
-//!   write-ahead-log persistence with checksummed records and
-//!   corruption-tolerant replay (a torn tail write must not take down the
-//!   receiver on restart — same graceful-failure doctrine as the rest of
-//!   the pipeline).
+//! * [`Database`] — a thin indexed cache over a pluggable
+//!   [`StorageBackend`]: rows and secondary indexes (job id, message
+//!   type) live in memory with a fluent [`Query`] filter API, while
+//!   durability is delegated to the backend — volatile
+//!   ([`Database::in_memory`]), one flat WAL ([`Database::open`], the
+//!   seed's format, with checksummed records and corruption-tolerant
+//!   replay), or a rotating/compacting segmented store
+//!   ([`Database::open_segmented`]) for long-running service deployments.
 //!
 //! Concurrency model: many receiver threads may `insert` while analysis
 //! threads run read snapshots; a `parking_lot::RwLock` arbitrates (writes
@@ -23,18 +25,20 @@ pub mod record;
 
 pub use log::{ReplayStats, WalReader, WalWriter};
 pub use record::Record;
+pub use siren_store::{
+    NullBackend, RecoveryStats, SegmentedBackend, SegmentedOptions, StorageBackend, WalBackend,
+};
 
 use parking_lot::RwLock;
 use siren_wire::{CompleteMessage, Layer, MessageType};
 use std::collections::HashMap;
 use std::path::Path;
 
-#[derive(Default)]
 struct Inner {
     rows: Vec<Record>,
     by_job: HashMap<u64, Vec<usize>>,
     by_type: HashMap<&'static str, Vec<usize>>,
-    wal: Option<WalWriter>,
+    backend: Box<dyn StorageBackend<Record>>,
 }
 
 /// The message database.
@@ -51,31 +55,50 @@ impl Default for Database {
 impl Database {
     /// Volatile store (no persistence).
     pub fn in_memory() -> Self {
+        Self::from_backend(Box::new(NullBackend), Vec::new())
+    }
+
+    /// Cache over an arbitrary backend, pre-seeded with the records the
+    /// backend recovered. The seam every other constructor goes through.
+    pub fn from_backend(backend: Box<dyn StorageBackend<Record>>, initial: Vec<Record>) -> Self {
+        let mut inner = Inner {
+            rows: Vec::with_capacity(initial.len()),
+            by_job: HashMap::new(),
+            by_type: HashMap::new(),
+            backend,
+        };
+        for rec in initial {
+            Self::index_and_push(&mut inner, rec);
+        }
         Self {
-            inner: RwLock::new(Inner::default()),
+            inner: RwLock::new(inner),
         }
     }
 
-    /// Open (or create) a persistent store backed by a write-ahead log at
-    /// `path`. Existing records are replayed; a corrupt tail is truncated
-    /// away and reported in [`ReplayStats`].
+    /// Open (or create) a persistent store backed by a single flat
+    /// write-ahead log at `path`. Existing records are replayed; a
+    /// corrupt tail is truncated away and reported in [`ReplayStats`].
     pub fn open(path: &Path) -> std::io::Result<(Self, ReplayStats)> {
-        let (records, stats) = if path.exists() {
-            let reader = WalReader::open(path)?;
-            reader.replay()?
-        } else {
-            (Vec::new(), ReplayStats::default())
-        };
+        let (backend, records, stats) = WalBackend::open(path)?;
+        Ok((Self::from_backend(Box::new(backend), records), stats))
+    }
 
-        let db = Self::in_memory();
-        {
-            let mut inner = db.inner.write();
-            for rec in records {
-                Self::index_and_push(&mut inner, rec);
-            }
-            inner.wal = Some(WalWriter::append_to(path)?);
-        }
-        Ok((db, stats))
+    /// Open (or create) a persistent store backed by a segmented,
+    /// compacting directory store at `dir` — the long-running-service
+    /// shape: the WAL rotates into immutable checksummed segments and
+    /// compaction folds segments into sorted runs in the background.
+    pub fn open_segmented(
+        dir: &Path,
+        opts: SegmentedOptions,
+    ) -> std::io::Result<(Self, RecoveryStats)> {
+        let (backend, records, stats) = SegmentedBackend::open(dir, opts)?;
+        Ok((Self::from_backend(Box::new(backend), records), stats))
+    }
+
+    /// The persistence backend's kind (`"null"`, `"wal"`, `"segmented"`,
+    /// …) — for telemetry reports.
+    pub fn backend_kind(&self) -> &'static str {
+        self.inner.read().backend.kind()
     }
 
     fn index_and_push(inner: &mut Inner, rec: Record) {
@@ -89,12 +112,10 @@ impl Database {
         inner.rows.push(rec);
     }
 
-    /// Insert one record (appending to the WAL when persistent).
+    /// Insert one record (appending through the backend when persistent).
     pub fn insert(&self, rec: Record) -> std::io::Result<()> {
         let mut inner = self.inner.write();
-        if let Some(wal) = inner.wal.as_mut() {
-            wal.append(&rec)?;
-        }
+        inner.backend.append_batch(std::slice::from_ref(&rec))?;
         Self::index_and_push(&mut inner, rec);
         Ok(())
     }
@@ -114,12 +135,8 @@ impl Database {
             return Ok(());
         }
         let mut inner = self.inner.write();
-        if let Some(wal) = inner.wal.as_mut() {
-            for rec in &recs {
-                wal.append(rec)?;
-            }
-            wal.flush()?;
-        }
+        inner.backend.append_batch(&recs)?;
+        inner.backend.flush()?;
         for rec in recs {
             Self::index_and_push(&mut inner, rec);
         }
@@ -141,13 +158,14 @@ impl Database {
         self.len() == 0
     }
 
-    /// Flush the WAL to disk.
+    /// Flush buffered writes to the OS.
     pub fn flush(&self) -> std::io::Result<()> {
-        let mut inner = self.inner.write();
-        if let Some(wal) = inner.wal.as_mut() {
-            wal.flush()?;
-        }
-        Ok(())
+        self.inner.write().backend.flush()
+    }
+
+    /// Flush and fsync to stable storage.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.inner.write().backend.sync()
     }
 
     /// Run `f` over a shared snapshot of all rows (no cloning).
@@ -496,6 +514,39 @@ mod tests {
         assert_eq!(db.len(), 10);
         assert!(stats.corrupt_tail_bytes > 0);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn segmented_backend_round_trips_and_compacts() {
+        let dir = std::env::temp_dir().join(format!("siren-db-seg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let opts = SegmentedOptions {
+            rotate_bytes: 2048,
+            compact_min_files: 2,
+            background_compaction: true,
+        };
+        {
+            let (db, stats) = Database::open_segmented(&dir, opts).unwrap();
+            assert_eq!(stats.records_loaded, 0);
+            assert_eq!(db.backend_kind(), "segmented");
+            db.insert_batch(
+                (0..500)
+                    .map(|i| rec(i % 13, i as u32, MessageType::Objects, &format!("c{i}")))
+                    .collect(),
+            )
+            .unwrap();
+            db.sync().unwrap();
+        }
+        let (db, stats) = Database::open_segmented(&dir, opts).unwrap();
+        assert_eq!(stats.records_loaded, 500);
+        assert_eq!(stats.wal_tail_bytes_discarded, 0);
+        assert_eq!(db.len(), 500);
+        // Indexes are rebuilt over the recovered rows regardless of the
+        // physical order compaction produced.
+        assert_eq!(db.job_ids(), (0..13).collect::<Vec<u64>>());
+        assert_eq!(db.query().job(7).count(), db.rows_for_job(7).len());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! Write-ahead log: checksummed, corruption-tolerant record framing.
+//! Write-ahead log for [`Record`]s — a typed view of `siren-store`'s
+//! generic checksummed framing (the implementation lived here before the
+//! storage subsystem was extracted; the on-disk format is unchanged).
 //!
 //! Frame format, repeated to end of file:
 //!
@@ -12,154 +14,14 @@
 //! cost at most the final record.
 
 use crate::record::Record;
-use bytes::{Buf, BufMut, BytesMut};
-use siren_hash::fnv1a64;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
-use std::path::Path;
 
-const FRAME_MAGIC: u8 = 0xD8;
-/// Upper bound on a sane payload; anything larger is treated as corruption.
-const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+pub use siren_store::{ReplayStats, FRAME_MAGIC};
 
-/// Statistics from a WAL replay.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ReplayStats {
-    /// Records successfully replayed.
-    pub records: u64,
-    /// Bytes discarded from a corrupt or torn tail.
-    pub corrupt_tail_bytes: u64,
-}
+/// Appending writer for record frames.
+pub type WalWriter = siren_store::WalWriter<Record>;
 
-/// Appending writer.
-#[derive(Debug)]
-pub struct WalWriter {
-    out: BufWriter<File>,
-}
-
-impl WalWriter {
-    /// Open `path` for appending (creating it if needed).
-    pub fn append_to(path: &Path) -> std::io::Result<Self> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Self {
-            out: BufWriter::new(file),
-        })
-    }
-
-    /// Append one record frame.
-    pub fn append(&mut self, rec: &Record) -> std::io::Result<()> {
-        let payload = rec.encode();
-        let mut frame = BytesMut::with_capacity(payload.len() + 13);
-        frame.put_u8(FRAME_MAGIC);
-        frame.put_u32_le(payload.len() as u32);
-        frame.put_slice(&payload);
-        frame.put_u64_le(fnv1a64(&payload));
-        self.out.write_all(&frame)
-    }
-
-    /// Flush buffered frames to the OS.
-    pub fn flush(&mut self) -> std::io::Result<()> {
-        self.out.flush()
-    }
-}
-
-/// Replaying reader.
-#[derive(Debug)]
-pub struct WalReader {
-    data: Vec<u8>,
-}
-
-impl WalReader {
-    /// Read the whole log into memory (logs are bounded by campaign size;
-    /// the paper's full deployment produced a few GB of messages, scaled
-    /// down by our simulation factor).
-    pub fn open(path: &Path) -> std::io::Result<Self> {
-        let mut data = Vec::new();
-        File::open(path)?.read_to_end(&mut data)?;
-        Ok(Self { data })
-    }
-
-    /// Replay all intact frames; stop at the first corruption.
-    pub fn replay(&self) -> std::io::Result<(Vec<Record>, ReplayStats)> {
-        let mut records = Vec::new();
-        let mut buf = &self.data[..];
-        let total = buf.len() as u64;
-
-        loop {
-            if buf.remaining() == 0 {
-                break;
-            }
-            let frame_start_remaining = buf.remaining();
-            if buf.remaining() < 1 + 4 {
-                let n = records_len(&records);
-                return Ok((
-                    records,
-                    ReplayStats {
-                        records: n,
-                        corrupt_tail_bytes: frame_start_remaining as u64,
-                    },
-                ));
-            }
-            let magic = buf.get_u8();
-            let len = buf.get_u32_le();
-            if magic != FRAME_MAGIC || len > MAX_PAYLOAD || buf.remaining() < len as usize + 8 {
-                let n = records_len(&records);
-                return Ok((
-                    records,
-                    ReplayStats {
-                        records: n,
-                        corrupt_tail_bytes: frame_start_remaining as u64,
-                    },
-                ));
-            }
-            let payload = &buf.chunk()[..len as usize];
-            let stored_sum_pos = len as usize;
-            let stored_sum = u64::from_le_bytes(
-                buf.chunk()[stored_sum_pos..stored_sum_pos + 8]
-                    .try_into()
-                    .unwrap(),
-            );
-            if fnv1a64(payload) != stored_sum {
-                let n = records_len(&records);
-                return Ok((
-                    records,
-                    ReplayStats {
-                        records: n,
-                        corrupt_tail_bytes: frame_start_remaining as u64,
-                    },
-                ));
-            }
-            match Record::decode(payload) {
-                Some(rec) => records.push(rec),
-                None => {
-                    let n = records_len(&records);
-                    return Ok((
-                        records,
-                        ReplayStats {
-                            records: n,
-                            corrupt_tail_bytes: frame_start_remaining as u64,
-                        },
-                    ));
-                }
-            }
-            buf.advance(len as usize + 8);
-        }
-
-        let _ = total;
-        let n = records_len(&records);
-        Ok((
-            records,
-            ReplayStats {
-                records: n,
-                corrupt_tail_bytes: 0,
-            },
-        ))
-    }
-}
-
-fn records_len(records: &[Record]) -> u64 {
-    records.len() as u64
-}
+/// Replaying reader for record frames.
+pub type WalReader = siren_store::WalReader<Record>;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,467 @@
+//! The daemon: epoch lifecycle over a segmented consolidated-record
+//! store.
+
+use crate::query::QueryEngine;
+use siren_consolidate::{ConsolidateStats, ProcessRecord};
+use siren_ingest::{IngestConfig, IngestService, ShardStats};
+use siren_store::{Persist, RecoveryStats, SegmentedBackend, SegmentedOptions};
+use siren_wire::{parse_sentinel, parse_sentinel_epoch, Message, MessageType};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One consolidated process record, tagged with the epoch (campaign)
+/// that produced it — the unit of the daemon's persistent store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// Epoch the record was committed under.
+    pub epoch: u64,
+    /// The consolidated record.
+    pub record: ProcessRecord,
+}
+
+/// What the consolidated store physically holds: the epoch's rows plus
+/// one **seal** marker written in the same atomic segment. The seal is
+/// what makes "epoch N committed" durable even when the epoch produced
+/// zero records (every datagram lost) — without it, a restarted daemon
+/// would re-derive committed epochs from row tags alone, forget the
+/// empty epoch, and hand its id out again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum StoredItem {
+    /// One consolidated row of an epoch (boxed: rows are two orders
+    /// of magnitude larger than seals).
+    Row(Box<EpochRecord>),
+    /// Commit marker: every row of this epoch precedes it.
+    Seal(u64),
+}
+
+impl StoredItem {
+    fn epoch(&self) -> u64 {
+        match self {
+            StoredItem::Row(row) => row.epoch,
+            StoredItem::Seal(epoch) => *epoch,
+        }
+    }
+
+    /// Rows sort before the seal within an epoch.
+    fn kind_tag(&self) -> u8 {
+        match self {
+            StoredItem::Row(_) => 0,
+            StoredItem::Seal(_) => 1,
+        }
+    }
+}
+
+impl Persist for StoredItem {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            StoredItem::Row(row) => {
+                let mut out = vec![0u8];
+                out.extend_from_slice(&row.epoch.to_le_bytes());
+                out.extend_from_slice(&row.record.encode());
+                out
+            }
+            StoredItem::Seal(epoch) => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    fn decode(data: &[u8]) -> Option<Self> {
+        let epoch = u64::from_le_bytes(data.get(1..9)?.try_into().ok()?);
+        match data.first()? {
+            0 => Some(StoredItem::Row(Box::new(EpochRecord {
+                epoch,
+                record: ProcessRecord::decode(data.get(9..)?)?,
+            }))),
+            1 if data.len() == 9 => Some(StoredItem::Seal(epoch)),
+            _ => None,
+        }
+    }
+
+    fn order(a: &Self, b: &Self) -> std::cmp::Ordering {
+        // Epoch, then rows-before-seal, then the consolidation order —
+        // within one epoch row keys are unique (consolidation groups by
+        // them), so this is effectively total; the stable compaction
+        // sort breaks any remaining tie by arrival.
+        a.epoch()
+            .cmp(&b.epoch())
+            .then_with(|| a.kind_tag().cmp(&b.kind_tag()))
+            .then_with(|| match (a, b) {
+                (StoredItem::Row(x), StoredItem::Row(y)) => {
+                    siren_consolidate::record_order(&x.record, &y.record)
+                }
+                _ => std::cmp::Ordering::Equal,
+            })
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Directory holding everything the daemon persists: the
+    /// consolidated-record store under `consolidated/` and per-epoch
+    /// shard WALs beside it.
+    pub data_dir: PathBuf,
+    /// Ingest shards per epoch (clamped to the hardware by default, as
+    /// in [`IngestConfig`]).
+    pub shards: usize,
+    /// Distinct sender ids whose `TYPE=END` sentinels close an epoch
+    /// (one per collector stream feeding the campaign).
+    pub expected_senders: usize,
+    /// Consolidated-store tuning.
+    pub store: SegmentedOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            data_dir: PathBuf::from("siren-service-data"),
+            shards: 1,
+            expected_senders: 1,
+            store: SegmentedOptions::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config rooted at `data_dir`, defaults elsewhere.
+    pub fn at(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            ..Self::default()
+        }
+    }
+
+    fn consolidated_dir(&self) -> PathBuf {
+        self.data_dir.join("consolidated")
+    }
+
+    /// Base path of epoch `epoch`'s message WALs; the ingest tier
+    /// appends `.shard<i>`. The shard count is baked into the name so a
+    /// restart resumes with the partitioning the files were written
+    /// under, even if the configured count changed in between.
+    fn epoch_msgs_base(&self, epoch: u64, shards: usize) -> PathBuf {
+        self.data_dir
+            .join(format!("epoch-{epoch:010}.s{shards}.msgs"))
+    }
+}
+
+/// Parse `epoch-<K>.s<N>.msgs.shard<i>` → `(K, N)`.
+fn parse_epoch_msgs_name(name: &str) -> Option<(u64, usize)> {
+    let rest = name.strip_prefix("epoch-")?;
+    let (epoch, rest) = rest.split_once(".s")?;
+    let (shards, rest) = rest.split_once(".msgs.shard")?;
+    rest.parse::<usize>().ok()?;
+    Some((epoch.parse().ok()?, shards.parse().ok()?))
+}
+
+/// What a daemon found on startup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DaemonRecovery {
+    /// Epochs whose records were recovered from the consolidated store.
+    pub committed_epochs: Vec<u64>,
+    /// Consolidated records loaded.
+    pub consolidated_records: u64,
+    /// Consolidated-store recovery detail (torn tails, segments, runs).
+    pub store: RecoveryStats,
+    /// The uncommitted epoch resumed from its message WALs, if any.
+    /// Its already-received rows are replayed into the epoch's ingest
+    /// partitions; re-sending the campaign (duplicates included) then
+    /// converges on the crash-free result.
+    pub resumed_epoch: Option<u64>,
+    /// Message WALs deleted because their epoch was already committed
+    /// (the crash hit between commit and cleanup).
+    pub stale_epoch_wals_removed: usize,
+}
+
+/// Everything the daemon reports about one committed epoch.
+#[derive(Debug)]
+pub struct EpochSummary {
+    /// The epoch id.
+    pub epoch: u64,
+    /// Consolidated records committed under this epoch.
+    pub records: u64,
+    /// Consolidation statistics.
+    pub consolidate_stats: ConsolidateStats,
+    /// Per-shard ingest telemetry (replay, backpressure, reassembly).
+    pub shard_stats: Vec<ShardStats>,
+    /// `TYPE=END` sentinel datagrams observed (all copies).
+    pub sentinels_seen: u64,
+    /// Distinct sender ids that announced end-of-campaign.
+    pub senders_closed: usize,
+    /// Sentinels whose epoch tag disagreed with the open epoch.
+    pub epoch_tag_mismatches: u64,
+}
+
+struct OpenEpoch {
+    epoch: u64,
+    /// The exact ingest configuration the epoch runs under — kept so
+    /// commit-time cleanup can ask it (and only it) where the shard
+    /// partitions live.
+    ingest_cfg: IngestConfig,
+    service: IngestService,
+    senders_seen: BTreeSet<u32>,
+    sentinels_seen: u64,
+    epoch_tag_mismatches: u64,
+}
+
+/// The long-running ingest daemon. See the crate docs for the lifecycle.
+pub struct SirenDaemon {
+    cfg: ServiceConfig,
+    store: SegmentedBackend<StoredItem>,
+    records: Vec<EpochRecord>,
+    committed: BTreeSet<u64>,
+    open: Option<OpenEpoch>,
+}
+
+impl SirenDaemon {
+    /// Open (or create) the daemon at `cfg.data_dir`, running recovery:
+    /// committed epochs come back from the consolidated store (their
+    /// seal markers survive even for zero-record epochs), and an epoch
+    /// that was mid-stream at the crash is resumed from its shard WALs.
+    pub fn open(cfg: ServiceConfig) -> std::io::Result<(Self, DaemonRecovery)> {
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        let (store, items, store_stats) =
+            SegmentedBackend::<StoredItem>::open(&cfg.consolidated_dir(), cfg.store)?;
+        let mut records: Vec<EpochRecord> = Vec::with_capacity(items.len());
+        let mut committed: BTreeSet<u64> = BTreeSet::new();
+        for item in items {
+            // Defensive union: rows imply the commit too (a seal can
+            // only be missing if the store predates it or was damaged).
+            committed.insert(item.epoch());
+            if let StoredItem::Row(row) = item {
+                records.push(*row);
+            }
+        }
+
+        let mut recovery = DaemonRecovery {
+            committed_epochs: committed.iter().copied().collect(),
+            consolidated_records: records.len() as u64,
+            store: store_stats,
+            ..DaemonRecovery::default()
+        };
+
+        // Leftover epoch message WALs: stale for committed epochs,
+        // resumable for the (single) uncommitted one.
+        let mut leftovers: BTreeSet<(u64, usize)> = BTreeSet::new();
+        for entry in std::fs::read_dir(&cfg.data_dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some((epoch, shards)) = parse_epoch_msgs_name(name) {
+                if committed.contains(&epoch) {
+                    std::fs::remove_file(entry.path())?;
+                    recovery.stale_epoch_wals_removed += 1;
+                } else {
+                    leftovers.insert((epoch, shards));
+                }
+            }
+        }
+
+        let mut daemon = Self {
+            cfg,
+            store,
+            records,
+            committed,
+            open: None,
+        };
+
+        // Resume the newest uncommitted epoch; commit any older ones
+        // outright (their campaigns ended with the crash).
+        if let Some(&(resume, resume_shards)) = leftovers.iter().next_back() {
+            for &(epoch, shards) in leftovers.iter().rev().skip(1) {
+                daemon.open = Some(daemon.spawn_epoch(epoch, shards)?);
+                daemon.close_epoch()?;
+            }
+            daemon.open = Some(daemon.spawn_epoch(resume, resume_shards)?);
+            recovery.resumed_epoch = Some(resume);
+        }
+        Ok((daemon, recovery))
+    }
+
+    fn spawn_epoch(&self, epoch: u64, shards: usize) -> std::io::Result<OpenEpoch> {
+        let ingest_cfg = IngestConfig {
+            wal_base: Some(self.cfg.epoch_msgs_base(epoch, shards)),
+            ..IngestConfig::with_shards_unclamped(shards)
+        };
+        let service = IngestService::spawn(ingest_cfg.clone())?;
+        Ok(OpenEpoch {
+            epoch,
+            ingest_cfg,
+            service,
+            senders_seen: BTreeSet::new(),
+            sentinels_seen: 0,
+            epoch_tag_mismatches: 0,
+        })
+    }
+
+    /// The epoch a new campaign would open under.
+    fn next_epoch(&self) -> u64 {
+        let committed_max = self.committed.iter().next_back().copied();
+        match committed_max {
+            Some(e) => e + 1,
+            None => 0,
+        }
+    }
+
+    /// Begin a new epoch explicitly. Idempotent: returns the already-open
+    /// epoch if one exists (including a crash-resumed one).
+    pub fn begin_epoch(&mut self) -> std::io::Result<u64> {
+        if let Some(open) = &self.open {
+            return Ok(open.epoch);
+        }
+        let epoch = self.next_epoch();
+        let shards = self.cfg.shards.max(1);
+        // Honor the hardware clamp for fresh epochs; resumed epochs keep
+        // the shard count baked into their file names.
+        let shards = IngestConfig::with_shards(shards).effective_shards();
+        self.open = Some(self.spawn_epoch(epoch, shards)?);
+        Ok(epoch)
+    }
+
+    /// The currently open epoch, if any.
+    pub fn open_epoch(&self) -> Option<u64> {
+        self.open.as_ref().map(|o| o.epoch)
+    }
+
+    /// Epochs committed to the consolidated store, ascending.
+    pub fn committed_epochs(&self) -> Vec<u64> {
+        self.committed.iter().copied().collect()
+    }
+
+    /// Deliver one decoded message. Payload messages open an epoch on
+    /// demand and stream into its ingest service; `TYPE=END` sentinels
+    /// are tallied per sender and close the epoch once
+    /// [`ServiceConfig::expected_senders`] distinct senders have
+    /// announced end-of-campaign — the returned summary is the commit
+    /// receipt. A sentinel whose epoch tag disagrees with the open epoch
+    /// is a straggler from another campaign (reordered delivery): it is
+    /// counted and otherwise ignored, never trusted to close an epoch it
+    /// does not name.
+    pub fn push(&mut self, msg: Message) -> std::io::Result<Option<EpochSummary>> {
+        if msg.header.mtype == MessageType::End {
+            let expected = self.cfg.expected_senders.max(1);
+            let Some(open) = self.open.as_mut() else {
+                return Ok(None); // stray sentinel outside any epoch
+            };
+            open.sentinels_seen += 1;
+            if let Some((sender, _sent)) = parse_sentinel(&msg) {
+                if let Some(tag) = parse_sentinel_epoch(&msg) {
+                    if tag != open.epoch {
+                        open.epoch_tag_mismatches += 1;
+                        return Ok(None);
+                    }
+                }
+                open.senders_seen.insert(sender);
+                if open.senders_seen.len() >= expected {
+                    return self.close_epoch().map(Some);
+                }
+            }
+            return Ok(None);
+        }
+        if self.open.is_none() {
+            self.begin_epoch()?;
+        }
+        let open = self.open.as_mut().expect("epoch opened above");
+        open.service.push(msg);
+        Ok(None)
+    }
+
+    /// Decode and deliver one datagram. An undecodable datagram is
+    /// dropped silently (exactly as a UDP receiver would shed it); a
+    /// storage failure is a real daemon fault and propagates.
+    pub fn push_datagram(&mut self, datagram: &[u8]) -> std::io::Result<Option<EpochSummary>> {
+        match Message::decode(datagram) {
+            Ok(msg) => self.push(msg),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Close the open epoch: drain and join the ingest shards,
+    /// consolidate, commit the records atomically to the consolidated
+    /// store, and only then delete the epoch's message WALs.
+    pub fn close_epoch(&mut self) -> std::io::Result<EpochSummary> {
+        let open = self.open.take().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no epoch is open")
+        })?;
+        let OpenEpoch {
+            epoch,
+            ingest_cfg,
+            service,
+            senders_seen,
+            sentinels_seen,
+            epoch_tag_mismatches,
+        } = open;
+
+        let result = service.finish()?;
+        let epoch_records: Vec<EpochRecord> = result
+            .records
+            .iter()
+            .map(|record| EpochRecord {
+                epoch,
+                record: record.clone(),
+            })
+            .collect();
+
+        // Commit point: one atomic segment (fsync + rename inside)
+        // holding the epoch's rows plus its seal marker.
+        let mut items: Vec<StoredItem> = epoch_records
+            .iter()
+            .map(|row| StoredItem::Row(Box::new(row.clone())))
+            .collect();
+        items.push(StoredItem::Seal(epoch));
+        self.store.append_sealed(&items)?;
+        // Only now is it safe to drop the raw messages. The partition
+        // paths come from the ingest config itself, so this deletes
+        // exactly what the workers wrote.
+        for shard in 0..ingest_cfg.effective_shards() {
+            if let Some(path) = ingest_cfg.shard_wal_path(shard) {
+                if path.exists() {
+                    std::fs::remove_file(&path)?;
+                }
+            }
+        }
+
+        self.committed.insert(epoch);
+        self.records.extend(epoch_records);
+        Ok(EpochSummary {
+            epoch,
+            records: result.records.len() as u64,
+            consolidate_stats: result.stats,
+            shard_stats: result.shard_stats,
+            sentinels_seen,
+            senders_closed: senders_seen.len(),
+            epoch_tag_mismatches,
+        })
+    }
+
+    /// Every committed record, epoch-tagged, in commit order (ascending
+    /// epochs; consolidation order within an epoch).
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Build a cross-epoch query engine over the committed records.
+    pub fn query(&self) -> QueryEngine<'_> {
+        QueryEngine::new(&self.records)
+    }
+
+    /// The daemon's data directory.
+    pub fn data_dir(&self) -> &Path {
+        &self.cfg.data_dir
+    }
+
+    /// Abandon the open epoch *without committing*, quiescing its shard
+    /// workers first so their WAL files are fully flushed — the
+    /// repeatable stand-in for `kill -9` in crash-recovery tests (a real
+    /// kill additionally tears the WAL tails; tests fuzz that by
+    /// truncating the files afterwards).
+    pub fn simulate_crash(mut self) -> std::io::Result<()> {
+        if let Some(open) = self.open.take() {
+            let _ = open.service.finish()?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,40 @@
+//! # siren-service — the long-running SIREN ingest daemon
+//!
+//! The paper's receiver is a continuously running service: collectors on
+//! thousands of nodes fire datagrams at it around the clock, and analysts
+//! query the accumulated database. The seed reproduction only ever ran
+//! campaign-scoped (spawn ingest, drain one campaign, consolidate, exit);
+//! this crate turns that into a daemon:
+//!
+//! * Campaigns arrive as **epochs**, delimited by the existing `TYPE=END`
+//!   sentinels (optionally epoch-tagged — see
+//!   `siren_wire::sentinel_message_with_epoch`). Each epoch runs the
+//!   sharded ingest service with per-shard persistence under the
+//!   daemon's data directory.
+//! * On close, an epoch is consolidated and **committed atomically** to a
+//!   consolidated-record store (`siren-store`'s segmented backend,
+//!   `append_sealed`): after any crash either the whole epoch is present
+//!   or its raw message WALs still are — never both halves.
+//! * A restarted daemon recovers committed epochs from the segmented
+//!   store and resumes the uncommitted epoch from its shard WALs; a full
+//!   re-send of the interrupted campaign converges to exactly the records
+//!   a never-crashed run would hold, because consolidation groups by
+//!   process key and is idempotent under duplicate rows.
+//! * [`QueryEngine`] serves cross-epoch queries over the accumulated
+//!   records: per-job lookups, library usage by host/time range (through
+//!   `siren-analysis`, which renders its tables from the same
+//!   selections), and fuzzy-hash nearest-neighbor search.
+//!
+//! ```text
+//!            epoch N stream          epoch N close        queries
+//! push(msg) ──▶ IngestService ──▶ consolidate ──▶ EpochRecord segment
+//!                │ shard WALs        (siren-consolidate)   │ (append_sealed)
+//!                ▼                                         ▼
+//!        data_dir/epoch-N.*.msgs.shard*       data_dir/consolidated/{seg,run}*
+//! ```
+
+pub mod daemon;
+pub mod query;
+
+pub use daemon::{DaemonRecovery, EpochRecord, EpochSummary, ServiceConfig, SirenDaemon};
+pub use query::{Neighbor, QueryEngine};

@@ -1,0 +1,172 @@
+//! The storage seam: a database keeps rows + indexes in memory and
+//! delegates durability to a [`StorageBackend`].
+
+use crate::wal::{WalReader, WalWriter};
+use crate::{Persist, ReplayStats};
+use std::path::Path;
+
+/// What a persistence backend must provide at runtime. Recovery is a
+/// constructor concern — each backend's `open` returns the records it
+/// recovered alongside the backend itself.
+///
+/// `Send + Sync` because databases are shared across receiver and
+/// analysis threads; all mutation goes through `&mut self` (the caller's
+/// lock), so implementations need no interior locking of their own.
+pub trait StorageBackend<T: Persist>: Send + Sync {
+    /// Durably enqueue `items`, in order, after everything already
+    /// appended. Durability is only guaranteed after [`Self::sync`].
+    fn append_batch(&mut self, items: &[T]) -> std::io::Result<()>;
+
+    /// Flush buffered appends to the OS.
+    fn flush(&mut self) -> std::io::Result<()>;
+
+    /// Flush and fsync to stable storage.
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.flush()
+    }
+
+    /// Human-readable backend kind, for reports.
+    fn kind(&self) -> &'static str;
+}
+
+/// Volatile no-op backend: persists nothing. The backend behind
+/// `Database::in_memory` — the database's own row vector is the only
+/// copy, exactly as in the seed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullBackend;
+
+impl<T: Persist> StorageBackend<T> for NullBackend {
+    fn append_batch(&mut self, _items: &[T]) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn kind(&self) -> &'static str {
+        "null"
+    }
+}
+
+/// In-memory buffer backend: keeps every appended item in a vector.
+/// Useful standalone (tests, staging pipelines) where the caller wants
+/// backend semantics without a filesystem.
+#[derive(Debug, Default)]
+pub struct MemoryBackend<T> {
+    items: Vec<T>,
+}
+
+impl<T: Persist + Clone> MemoryBackend<T> {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self { items: Vec::new() }
+    }
+
+    /// Everything appended so far, in order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume the backend, yielding its buffer.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Persist + Clone> StorageBackend<T> for MemoryBackend<T> {
+    fn append_batch(&mut self, items: &[T]) -> std::io::Result<()> {
+        self.items.extend_from_slice(items);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn kind(&self) -> &'static str {
+        "memory"
+    }
+}
+
+/// Single flat write-ahead-log backend — the seed's persistence model,
+/// now expressed through the backend seam. Suited to campaign-scoped
+/// runs where the log is bounded and replayed whole.
+#[derive(Debug)]
+pub struct WalBackend<T: Persist> {
+    writer: WalWriter<T>,
+}
+
+impl<T: Persist> WalBackend<T> {
+    /// Open (or create) the log at `path`, replaying existing records.
+    /// A corrupt tail is truncated away and reported in [`ReplayStats`].
+    pub fn open(path: &Path) -> std::io::Result<(Self, Vec<T>, ReplayStats)> {
+        let (items, stats) = if path.exists() {
+            WalReader::<T>::open(path)?.replay()?
+        } else {
+            (Vec::new(), ReplayStats::default())
+        };
+        Ok((
+            Self {
+                writer: WalWriter::append_to(path)?,
+            },
+            items,
+            stats,
+        ))
+    }
+}
+
+impl<T: Persist> StorageBackend<T> for WalBackend<T> {
+    fn append_batch(&mut self, items: &[T]) -> std::io::Result<()> {
+        for item in items {
+            self.writer.append(item)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.writer.sync()
+    }
+
+    fn kind(&self) -> &'static str {
+        "wal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testitem::{temp_dir, TestItem};
+
+    #[test]
+    fn memory_backend_buffers_in_order() {
+        let mut b = MemoryBackend::new();
+        let items: Vec<TestItem> = (0..10).map(TestItem::new).collect();
+        StorageBackend::append_batch(&mut b, &items[..5]).unwrap();
+        StorageBackend::append_batch(&mut b, &items[5..]).unwrap();
+        assert_eq!(b.items(), &items[..]);
+        assert_eq!(b.into_items(), items);
+    }
+
+    #[test]
+    fn wal_backend_round_trips_and_reports_replay() {
+        let dir = temp_dir("backend-wal");
+        let path = dir.join("b.wal");
+        {
+            let (mut b, items, stats) = WalBackend::<TestItem>::open(&path).unwrap();
+            assert!(items.is_empty());
+            assert_eq!(stats, ReplayStats::default());
+            let batch: Vec<TestItem> = (0..20).map(TestItem::new).collect();
+            b.append_batch(&batch).unwrap();
+            b.sync().unwrap();
+        }
+        let (_b, items, stats) = WalBackend::<TestItem>::open(&path).unwrap();
+        assert_eq!(items.len(), 20);
+        assert_eq!(stats.records, 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared length-prefixed binary codec helpers for [`Persist`] payloads:
+//! little-endian integers, `u32`-length-prefixed UTF-8 strings, and the
+//! option/list/map composites built from them. Every `get_*` returns
+//! `None` on any structural inconsistency (truncation, bad UTF-8,
+//! absurd lengths) and never panics — the contract [`Persist::decode`]
+//! requires.
+//!
+//! (`siren_db::Record`'s WAL payload predates this module and keeps its
+//! legacy `u16` string lengths for on-disk compatibility; new codecs
+//! should build on these helpers instead of hand-rolling framing.)
+//!
+//! [`Persist`]: crate::Persist
+//! [`Persist::decode`]: crate::Persist::decode
+
+use std::collections::HashMap;
+
+/// Append a `u32`-length-prefixed string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append an optional string (`0` tag, or `1` tag + string).
+pub fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Append an optional string list (`0` tag, or `1` tag + count + items).
+pub fn put_opt_list(out: &mut Vec<u8>, list: &Option<Vec<String>>) {
+    match list {
+        None => out.push(0),
+        Some(items) => {
+            out.push(1);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                put_str(out, item);
+            }
+        }
+    }
+}
+
+/// Append a string map in sorted key order, so equal maps encode to
+/// equal bytes.
+pub fn put_map(out: &mut Vec<u8>, map: &HashMap<String, String>) {
+    let mut keys: Vec<&String> = map.keys().collect();
+    keys.sort();
+    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for key in keys {
+        put_str(out, key);
+        put_str(out, &map[key]);
+    }
+}
+
+/// Take `n` raw bytes, advancing `pos`.
+pub fn take<'d>(data: &'d [u8], pos: &mut usize, n: usize) -> Option<&'d [u8]> {
+    let slice = data.get(*pos..*pos + n)?;
+    *pos += n;
+    Some(slice)
+}
+
+/// Read a [`put_str`] string.
+pub fn get_str(data: &[u8], pos: &mut usize) -> Option<String> {
+    let len = u32::from_le_bytes(take(data, pos, 4)?.try_into().ok()?) as usize;
+    String::from_utf8(take(data, pos, len)?.to_vec()).ok()
+}
+
+/// Read a [`put_opt_str`] optional string.
+pub fn get_opt_str(data: &[u8], pos: &mut usize) -> Option<Option<String>> {
+    match take(data, pos, 1)?[0] {
+        0 => Some(None),
+        1 => Some(Some(get_str(data, pos)?)),
+        _ => None,
+    }
+}
+
+/// Read a [`put_opt_list`] optional list.
+pub fn get_opt_list(data: &[u8], pos: &mut usize) -> Option<Option<Vec<String>>> {
+    match take(data, pos, 1)?[0] {
+        0 => Some(None),
+        1 => {
+            let n = u32::from_le_bytes(take(data, pos, 4)?.try_into().ok()?) as usize;
+            // Guard against absurd lengths before allocating.
+            if n > data.len() {
+                return None;
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(get_str(data, pos)?);
+            }
+            Some(Some(items))
+        }
+        _ => None,
+    }
+}
+
+/// Read a [`put_map`] map.
+pub fn get_map(data: &[u8], pos: &mut usize) -> Option<HashMap<String, String>> {
+    let n = u32::from_le_bytes(take(data, pos, 4)?.try_into().ok()?) as usize;
+    if n > data.len() {
+        return None;
+    }
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let key = get_str(data, pos)?;
+        let value = get_str(data, pos)?;
+        map.insert(key, value);
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_canonical_map_order() {
+        let mut out = Vec::new();
+        put_str(&mut out, "hello");
+        put_opt_str(&mut out, &None);
+        put_opt_str(&mut out, &Some("x".into()));
+        put_opt_list(&mut out, &Some(vec!["a".into(), String::new()]));
+        let map: HashMap<String, String> = [("k2", "v2"), ("k1", "v1")]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        put_map(&mut out, &map);
+
+        let mut pos = 0;
+        assert_eq!(get_str(&out, &mut pos).as_deref(), Some("hello"));
+        assert_eq!(get_opt_str(&out, &mut pos), Some(None));
+        assert_eq!(get_opt_str(&out, &mut pos), Some(Some("x".into())));
+        assert_eq!(
+            get_opt_list(&out, &mut pos),
+            Some(Some(vec!["a".into(), String::new()]))
+        );
+        assert_eq!(get_map(&out, &mut pos), Some(map.clone()));
+        assert_eq!(pos, out.len());
+
+        // Same map, different construction order, identical bytes.
+        let mut again = Vec::new();
+        let reordered: HashMap<String, String> = map.into_iter().collect();
+        put_map(&mut again, &reordered);
+        let mut reference = Vec::new();
+        let mut sorted = Vec::new();
+        put_map(&mut sorted, &reordered);
+        reference.extend_from_slice(&sorted);
+        assert_eq!(again, reference);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let mut out = Vec::new();
+        put_str(&mut out, "payload");
+        put_opt_list(&mut out, &Some(vec!["item".into()]));
+        for cut in 0..out.len() {
+            let mut pos = 0;
+            let _ = get_str(&out[..cut], &mut pos);
+            let mut pos = 0;
+            let _ = get_opt_list(&out[..cut], &mut pos);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Immutable checksummed segment files.
+//!
+//! A segment is written once, atomically (to `<name>.tmp`, fsynced,
+//! renamed into place), and never modified. Layout:
+//!
+//! ```text
+//! [b"SIRNSEG1"][frame]*[0xD9][count: u64 LE][checksum: u64 LE]
+//! ```
+//!
+//! Frames use the WAL framing (per-record checksums); the footer checksum
+//! is FNV-1a/64 over every byte before the footer magic, so a truncated
+//! or bit-flipped segment is detected as a whole even when each surviving
+//! frame checks out individually.
+
+use crate::wal::{encode_frame, walk_frames};
+use crate::Persist;
+use siren_hash::fnv1a64;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Leading magic of every segment file.
+pub const SEG_MAGIC: &[u8; 8] = b"SIRNSEG1";
+/// First byte of the footer (never a valid frame magic).
+const FOOTER_MAGIC: u8 = 0xD9;
+
+/// Outcome of reading a segment file.
+#[derive(Debug)]
+pub enum SegmentRead<T> {
+    /// Footer present and consistent: the complete item vector.
+    Valid(Vec<T>),
+    /// Torn or corrupt: the salvageable prefix of intact frames.
+    Partial(Vec<T>),
+}
+
+impl<T> SegmentRead<T> {
+    /// The items regardless of validity.
+    pub fn items(self) -> Vec<T> {
+        match self {
+            SegmentRead::Valid(v) | SegmentRead::Partial(v) => v,
+        }
+    }
+
+    /// True for [`SegmentRead::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, SegmentRead::Valid(_))
+    }
+}
+
+/// Write `items` as a segment at `path`, atomically: the content goes to
+/// `<path>.tmp`, is fsynced, and renamed into place. Returns the file
+/// size in bytes.
+pub fn write_segment<T: Persist>(path: &Path, items: &[T]) -> std::io::Result<u64> {
+    let mut buf = Vec::with_capacity(64 + items.len() * 64);
+    buf.extend_from_slice(SEG_MAGIC);
+    for item in items {
+        buf.extend_from_slice(&encode_frame(&item.encode()));
+    }
+    let checksum = fnv1a64(&buf);
+    buf.push(FOOTER_MAGIC);
+    buf.extend_from_slice(&(items.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&checksum.to_le_bytes());
+
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(buf.len() as u64)
+}
+
+/// Read a segment at `path`, classifying it as valid or partial.
+pub fn read_segment<T: Persist>(path: &Path) -> std::io::Result<SegmentRead<T>> {
+    let data = std::fs::read(path)?;
+    if data.len() < SEG_MAGIC.len() || &data[..SEG_MAGIC.len()] != SEG_MAGIC {
+        return Ok(SegmentRead::Partial(Vec::new()));
+    }
+    let (ranges, end, clean) = walk_frames(&data, SEG_MAGIC.len(), Some(FOOTER_MAGIC));
+
+    let mut items = Vec::with_capacity(ranges.len());
+    let mut decoded_ok = true;
+    for &(start, len) in &ranges {
+        match T::decode(&data[start..start + len]) {
+            Some(item) => items.push(item),
+            None => {
+                decoded_ok = false;
+                break;
+            }
+        }
+    }
+
+    // Footer: exactly 17 bytes after the frame region, nothing else.
+    let valid = clean
+        && decoded_ok
+        && data.len() == end + 17
+        && data[end] == FOOTER_MAGIC
+        && u64::from_le_bytes(data[end + 1..end + 9].try_into().unwrap()) == items.len() as u64
+        && u64::from_le_bytes(data[end + 9..end + 17].try_into().unwrap()) == fnv1a64(&data[..end]);
+
+    Ok(if valid {
+        SegmentRead::Valid(items)
+    } else {
+        SegmentRead::Partial(items)
+    })
+}
+
+/// The temporary sibling a segment is staged at before its atomic rename.
+pub(crate) fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// Best-effort fsync of the containing directory so the rename itself is
+/// durable (POSIX requires it for crash safety of the directory entry).
+pub(crate) fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testitem::{temp_dir, TestItem};
+
+    #[test]
+    fn round_trip_valid() {
+        let dir = temp_dir("seg-rt");
+        let path = dir.join("a.seg");
+        let items: Vec<TestItem> = (0..50).map(TestItem::new).collect();
+        let bytes = write_segment(&path, &items).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        match read_segment::<TestItem>(&path).unwrap() {
+            SegmentRead::Valid(got) => assert_eq!(got, items),
+            SegmentRead::Partial(_) => panic!("fresh segment must be valid"),
+        }
+        // No .tmp left behind.
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let dir = temp_dir("seg-empty");
+        let path = dir.join("e.seg");
+        write_segment::<TestItem>(&path, &[]).unwrap();
+        assert!(read_segment::<TestItem>(&path).unwrap().is_valid());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn any_truncation_is_partial_with_intact_prefix() {
+        let dir = temp_dir("seg-trunc");
+        let path = dir.join("t.seg");
+        let items: Vec<TestItem> = (0..20).map(TestItem::new).collect();
+        write_segment(&path, &items).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in [0, 3, 9, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let read = read_segment::<TestItem>(&path).unwrap();
+            assert!(!read.is_valid(), "cut {cut} must invalidate");
+            let got = read.items();
+            assert!(got.len() <= items.len());
+            assert_eq!(got[..], items[..got.len()], "prefix intact at cut {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitflip_in_footer_region_detected() {
+        let dir = temp_dir("seg-flip");
+        let path = dir.join("f.seg");
+        let items: Vec<TestItem> = (0..5).map(TestItem::new).collect();
+        write_segment(&path, &items).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 3] ^= 0x01; // inside the footer checksum
+        std::fs::write(&path, &data).unwrap();
+        assert!(!read_segment::<TestItem>(&path).unwrap().is_valid());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trailing_junk_after_footer_invalidates() {
+        let dir = temp_dir("seg-junk");
+        let path = dir.join("j.seg");
+        write_segment(&path, &[TestItem::new(1)]).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data.push(0xAB);
+        std::fs::write(&path, &data).unwrap();
+        assert!(!read_segment::<TestItem>(&path).unwrap().is_valid());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -184,6 +184,23 @@ impl Message {
 /// datagram. The receiver uses it to stop draining deterministically;
 /// it is never stored in the database.
 pub fn sentinel_message(sender_id: u32, datagrams_sent: u64) -> Message {
+    sentinel_message_with_epoch(sender_id, datagrams_sent, None)
+}
+
+/// As [`sentinel_message`], optionally tagged with the campaign **epoch**
+/// the sender believes it is closing. Long-running service deployments
+/// ingest campaigns as consecutive epochs; the tag lets the daemon detect
+/// a sender/daemon epoch disagreement instead of silently folding one
+/// campaign's close into another.
+pub fn sentinel_message_with_epoch(
+    sender_id: u32,
+    datagrams_sent: u64,
+    epoch: Option<u64>,
+) -> Message {
+    let mut content = format!("sender={sender_id};sent={datagrams_sent}");
+    if let Some(epoch) = epoch {
+        content.push_str(&format!(";epoch={epoch}"));
+    }
     Message {
         header: MessageHeader {
             job_id: 0,
@@ -197,8 +214,22 @@ pub fn sentinel_message(sender_id: u32, datagrams_sent: u64) -> Message {
         },
         chunk_index: 0,
         chunk_total: 1,
-        content: format!("sender={sender_id};sent={datagrams_sent}"),
+        content,
     }
+}
+
+/// Parse the epoch tag of a sentinel, if present. `None` for untagged
+/// sentinels and non-sentinel messages alike.
+pub fn parse_sentinel_epoch(msg: &Message) -> Option<u64> {
+    if msg.header.mtype != MessageType::End {
+        return None;
+    }
+    msg.content
+        .split(';')
+        .find_map(|field| match field.split_once('=') {
+            Some(("epoch", v)) => v.parse().ok(),
+            _ => None,
+        })
 }
 
 /// Parse a sentinel produced by [`sentinel_message`], returning
@@ -354,6 +385,32 @@ mod tests {
             assert_eq!(m.chunk_index as usize, i);
             assert_eq!(m.chunk_total as usize, msgs.len());
         }
+    }
+
+    #[test]
+    fn epoch_tagged_sentinel_round_trip() {
+        let s = sentinel_message_with_epoch(2, 99, Some(41));
+        let decoded = Message::decode(&s.encode()).unwrap();
+        assert_eq!(parse_sentinel(&decoded), Some((2, 99)));
+        assert_eq!(parse_sentinel_epoch(&decoded), Some(41));
+        // Untagged sentinels and payload messages have no epoch.
+        assert_eq!(parse_sentinel_epoch(&sentinel_message(2, 99)), None);
+        let payload = Message {
+            header: MessageHeader {
+                job_id: 1,
+                step_id: 0,
+                pid: 1,
+                exe_hash: "h".into(),
+                host: "n".into(),
+                time: 1,
+                layer: Layer::SelfExe,
+                mtype: MessageType::Meta,
+            },
+            chunk_index: 0,
+            chunk_total: 1,
+            content: "epoch=7".into(),
+        };
+        assert_eq!(parse_sentinel_epoch(&payload), None);
     }
 
     #[test]

@@ -68,6 +68,7 @@ fn main() {
         "fig5",
         "ablation",
         "summary",
+        "telemetry",
         "security",
         "clusters",
         "recurrence",
@@ -91,6 +92,9 @@ fn main() {
         );
         let records = &result.records;
 
+        if want("telemetry") || want("summary") {
+            println!("{}", report::telemetry_report(&result));
+        }
         if want("summary") {
             println!("Deployment summary");
             println!("  jobs:               {}", result.campaign_stats.jobs);

@@ -315,6 +315,145 @@ proptest! {
     }
 }
 
+// Daemon crash-recovery determinism: a long-running service killed
+// mid-stream and restarted must converge, after a full re-send of the
+// interrupted campaign, on cross-epoch query results that are
+// record-for-record identical to a fresh serial run over the same
+// campaigns — with injected datagram loss, a fuzzed crash point, and a
+// fuzzed torn-WAL-tail truncation.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn daemon_restart_mid_stream_recovers_cross_epoch_queries(
+        campaign_seed in any::<u64>(),
+        loss_seed in any::<u64>(),
+        split_frac in 0.05f64..0.95,
+        tear_frac in 0.0f64..0.5,
+        shards in 1usize..4,
+    ) {
+        use siren_repro::cluster::{Campaign, CampaignConfig, FleetConfig};
+        use siren_repro::collector::{Collector, PolicyMode};
+        use siren_repro::consolidate::{consolidate, ProcessRecord};
+        use siren_repro::db::Database;
+        use siren_repro::net::{SimChannel, SimConfig};
+        use siren_repro::service::{ServiceConfig, SirenDaemon};
+        use siren_repro::wire::{Message, MessageType, Reassembler};
+
+        let fleet = FleetConfig {
+            clusters: 2,
+            base: CampaignConfig {
+                scale: 0.001,
+                seed: campaign_seed,
+                ..CampaignConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+
+        // Collect both campaigns once, with injected loss, so the crashed
+        // daemon and the fresh serial reference see identical streams.
+        let collect = |k: usize| -> Vec<Message> {
+            let (tx, rx) = SimChannel::create(SimConfig::with_loss(0.05, loss_seed ^ k as u64));
+            let mut collector = Collector::new(&tx, PolicyMode::Selective)
+                .with_sender_id(k as u32)
+                .with_epoch(k as u64);
+            Campaign::new(fleet.campaign_config(k)).run(|ctx| collector.observe(&ctx));
+            collector.end_campaign();
+            rx.drain_messages().0
+        };
+        let serial_reference = |messages: &[Message]| -> Vec<ProcessRecord> {
+            let mut reasm = Reassembler::new();
+            let db = Database::in_memory();
+            for msg in messages {
+                if msg.header.mtype == MessageType::End {
+                    continue;
+                }
+                if let Some(done) = reasm.push(msg.clone()) {
+                    db.insert_message(done).unwrap();
+                }
+            }
+            consolidate(&db).records
+        };
+        let epoch_streams: Vec<Vec<Message>> = (0..2).map(collect).collect();
+        let references: Vec<Vec<ProcessRecord>> =
+            epoch_streams.iter().map(|m| serial_reference(m)).collect();
+
+        let dir = std::env::temp_dir().join(format!(
+            "siren-prop-daemon-{}-{}",
+            std::process::id(),
+            campaign_seed & 0xFFFF
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = || ServiceConfig {
+            shards,
+            ..ServiceConfig::at(&dir)
+        };
+
+        // Epoch 0 runs to completion; epoch 1 dies at a fuzzed point.
+        {
+            let (mut daemon, _) = SirenDaemon::open(cfg()).unwrap();
+            for msg in &epoch_streams[0] {
+                daemon.push(msg.clone()).unwrap();
+            }
+            if daemon.open_epoch().is_some() {
+                daemon.close_epoch().unwrap(); // loss ate the sentinels
+            }
+            let split = ((epoch_streams[1].len() as f64) * split_frac) as usize;
+            for msg in &epoch_streams[1][..split] {
+                daemon.push(msg.clone()).unwrap();
+            }
+            daemon.simulate_crash().unwrap();
+        }
+        // Tear the tails of the interrupted epoch's shard WALs.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            if name.contains(".msgs.shard") {
+                let data = std::fs::read(&path).unwrap();
+                let keep = data.len() - ((data.len() as f64) * tear_frac) as usize;
+                std::fs::write(&path, &data[..keep]).unwrap();
+            }
+        }
+
+        // Restart, re-send the whole interrupted campaign, close.
+        let (mut daemon, recovery) = SirenDaemon::open(cfg()).unwrap();
+        prop_assert_eq!(&recovery.committed_epochs, &vec![0]);
+        if !epoch_streams[1].is_empty() && ((epoch_streams[1].len() as f64) * split_frac) as usize > 0 {
+            prop_assert_eq!(recovery.resumed_epoch, Some(1));
+        }
+        for msg in &epoch_streams[1] {
+            daemon.push(msg.clone()).unwrap();
+        }
+        if daemon.open_epoch().is_some() {
+            daemon.close_epoch().unwrap();
+        }
+
+        // Cross-epoch queries equal the fresh serial runs, record for
+        // record.
+        let query = daemon.query();
+        prop_assert_eq!(query.epochs(), vec![0, 1]);
+        for (epoch, reference) in references.iter().enumerate() {
+            let got: Vec<ProcessRecord> = query
+                .epoch_records(epoch as u64)
+                .into_iter()
+                .cloned()
+                .collect();
+            prop_assert_eq!(&got, reference, "epoch {} after crash+restart", epoch);
+        }
+        // Per-job queries span both epochs' namespaces.
+        for reference in &references {
+            if let Some(probe) = reference.first() {
+                prop_assert!(query
+                    .job_records(probe.key.job_id)
+                    .iter()
+                    .any(|er| &er.record == probe));
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 // Shard-merge determinism: the sharded ingest service is a pure
 // refactoring of the serial receiver — for any campaign seed, any loss
 // pattern, and any shard count, the consolidated output must be equal
