@@ -1,0 +1,195 @@
+//! Query-tier benchmark: snapshot rebuild cost (paid once per epoch
+//! commit) and request latency over the TCP protocol (p50/p99 per
+//! request kind against a live daemon).
+//!
+//! Emits `BENCH_query.json` at the workspace root alongside
+//! `BENCH_ingest.json` / `BENCH_store.json`. Set `SIREN_BENCH_QUICK=1`
+//! (the CI smoke step does) to shrink the workload.
+
+use criterion::Criterion;
+use siren_consolidate::ProcessRecord;
+use siren_db::Record;
+use siren_proto::{Selection, SirenClient};
+use siren_service::{EpochRecord, QuerySnapshot, ServiceConfig, SirenDaemon};
+use siren_wire::{Layer, MessageType};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("SIREN_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// One synthetic consolidated record, with a parseable FILE_H so the
+/// fuzzy corpus is populated.
+fn record(i: u64) -> ProcessRecord {
+    let row = Record {
+        job_id: i % 997,
+        step_id: 0,
+        pid: i as u32,
+        exe_hash: format!("{i:032x}"),
+        host: format!("nid{:06}", i % 128),
+        time: 1_700_000_000 + i,
+        layer: Layer::SelfExe,
+        mtype: MessageType::Meta,
+        content: String::new(),
+    };
+    let mut rec = ProcessRecord::new(&row);
+    rec.meta
+        .insert("path".into(), format!("/opt/app/bin{}", i % 64));
+    rec.objects = Some(vec![
+        "/lib64/libc.so.6".into(),
+        "/lib64/libm.so.6".into(),
+        format!("/opt/app/lib{}.so", i % 256),
+    ]);
+    rec.file_hash = Some(format!(
+        "96:{:016x}{:08x}:{:016x}",
+        i * 31,
+        i % 4096,
+        i * 17
+    ));
+    rec
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    let idx = ((sorted_ns.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_ns[idx]
+}
+
+/// Time `calls` invocations of `f`, returning sorted per-call ns.
+fn measure(calls: usize, mut f: impl FnMut()) -> Vec<u64> {
+    let mut ns = Vec::with_capacity(calls);
+    for _ in 0..calls {
+        let start = Instant::now();
+        f();
+        ns.push(start.elapsed().as_nanos() as u64);
+    }
+    ns.sort_unstable();
+    ns
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    let n: usize = if quick() { 5_000 } else { 50_000 };
+    let epochs = 8u64;
+    let rows: Vec<EpochRecord> = (0..n as u64)
+        .map(|i| EpochRecord {
+            epoch: i % epochs,
+            record: record(i),
+        })
+        .collect();
+
+    // 1. Snapshot rebuild: the cost a commit pays to publish (indexes +
+    //    fuzzy corpus parse over the full record set).
+    {
+        let mut g = criterion.benchmark_group("query");
+        g.sample_size(5);
+        g.throughput(criterion::Throughput::Elements(n as u64));
+        g.bench_function("snapshot_rebuild", |b| {
+            b.iter(|| black_box(QuerySnapshot::build(black_box(rows.clone()))))
+        });
+        g.finish();
+    }
+
+    // 2. TCP request latency against a live daemon populated with the
+    //    same records (imported as `epochs` committed epochs).
+    let dir = std::env::temp_dir().join(format!("siren-bench-query-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServiceConfig {
+        query_addr: Some("127.0.0.1:0".parse().unwrap()),
+        ..ServiceConfig::at(&dir)
+    };
+    let (mut daemon, _) = SirenDaemon::open(cfg).expect("open bench daemon");
+    for epoch in 0..epochs {
+        let chunk: Vec<ProcessRecord> = rows
+            .iter()
+            .filter(|er| er.epoch == epoch)
+            .map(|er| er.record.clone())
+            .collect();
+        daemon.import_epoch(chunk).expect("import epoch");
+    }
+    let addr = daemon.query_addr().expect("query server up");
+    let mut client = SirenClient::connect(addr).expect("connect");
+
+    let calls: usize = if quick() { 300 } else { 2_000 };
+    let probe_hash = record(42).file_hash.unwrap();
+
+    let mut job = 0u64;
+    let status_ns = measure(calls, || {
+        black_box(client.status().expect("status"));
+    });
+    let by_job_ns = measure(calls, || {
+        job = (job + 13) % 997;
+        black_box(client.by_job(job).expect("by_job"));
+    });
+    let mut host = 0u64;
+    let library_ns = measure(calls.min(400), || {
+        host = (host + 7) % 128;
+        let sel = Selection::all().host(format!("nid{host:06}"));
+        black_box(client.library_usage(sel).expect("library_usage"));
+    });
+    let neighbors_ns = measure(calls.min(200), || {
+        black_box(client.neighbors(&probe_hash, 5, 50).expect("neighbors"));
+    });
+
+    for (kind, ns) in [
+        ("status", &status_ns),
+        ("by_job", &by_job_ns),
+        ("library_usage", &library_ns),
+        ("neighbors", &neighbors_ns),
+    ] {
+        println!(
+            "query/tcp_{kind:<14} p50 {:>9} ns   p99 {:>9} ns   ({} calls)",
+            percentile(ns, 50.0),
+            percentile(ns, 99.0),
+            ns.len()
+        );
+    }
+
+    drop(client);
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    write_json(
+        &criterion,
+        n,
+        &[
+            ("status", status_ns),
+            ("by_job", by_job_ns),
+            ("library_usage", library_ns),
+            ("neighbors", neighbors_ns),
+        ],
+    );
+}
+
+fn write_json(c: &Criterion, n: usize, kinds: &[(&str, Vec<u64>)]) {
+    let Some(rebuild_ns) = c
+        .measurements()
+        .iter()
+        .find(|m| m.id == "query/snapshot_rebuild")
+        .map(|m| m.median_ns)
+    else {
+        return;
+    };
+
+    let mut out = String::from("{\n  \"bench\": \"query\",\n");
+    out.push_str(&format!("  \"records\": {n},\n"));
+    out.push_str(&format!(
+        "  \"snapshot_rebuild\": {{\"median_ns\": {rebuild_ns:.0}, \"records_per_sec\": {:.0}}},\n",
+        n as f64 * 1e9 / rebuild_ns
+    ));
+    out.push_str("  \"tcp\": {\n");
+    for (i, (kind, ns)) in kinds.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{kind}\": {{\"calls\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            ns.len(),
+            percentile(ns, 50.0),
+            percentile(ns, 99.0),
+            if i + 1 < kinds.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    std::fs::write(path, out).expect("write BENCH_query.json");
+    println!("wrote {path}");
+}

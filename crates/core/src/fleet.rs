@@ -284,7 +284,7 @@ mod tests {
             .all(|e| e.epoch_tag_mismatches == 0 && e.senders_closed == 1));
 
         // Each epoch holds exactly its cluster's serial-pipeline records.
-        let query = daemon.query();
+        let query = daemon.snapshot();
         assert_eq!(query.epochs(), vec![0, 1]);
         for k in 0..2 {
             let dc = DeploymentConfig {

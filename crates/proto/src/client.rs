@@ -1,0 +1,165 @@
+//! The blocking query client: one TCP connection, version-negotiated on
+//! connect, with typed methods mirroring the [`QueryRequest`] variants.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::message::{
+    decode_hello_ack, encode_hello, NeighborRow, QueryError, QueryRequest, QueryResponse,
+    RecordRow, Selection, StatusInfo,
+};
+use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
+use siren_analysis::LibraryUsageRow;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// The server answered with something the protocol does not allow
+    /// here (wrong response kind, undecodable payload).
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server(QueryError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+/// A blocking, version-negotiated query connection to a SIREN daemon.
+#[derive(Debug)]
+pub struct SirenClient {
+    stream: TcpStream,
+    version: u16,
+}
+
+impl SirenClient {
+    /// Connect to `addr` and negotiate a protocol version, with a 5 s
+    /// default I/O timeout.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connect with an explicit per-operation I/O timeout.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let mut client = Self { stream, version: 0 };
+        write_frame(
+            &mut client.stream,
+            &encode_hello(PROTOCOL_VERSION_MIN, PROTOCOL_VERSION),
+        )?;
+        let reply = read_frame(&mut client.stream)?;
+        if let Some(version) = decode_hello_ack(&reply) {
+            client.version = version;
+            return Ok(client);
+        }
+        // Not an ack: the server either refused the version or broke
+        // protocol. A structured error is surfaced as such.
+        match QueryResponse::decode(&reply) {
+            Ok(QueryResponse::Error(err)) => Err(ClientError::Server(err)),
+            _ => Err(ClientError::Protocol(
+                "handshake reply was not a hello-ack".into(),
+            )),
+        }
+    }
+
+    /// The protocol version negotiated at connect time.
+    pub fn negotiated_version(&self) -> u16 {
+        self.version
+    }
+
+    /// Issue one request and decode the typed response. Exposed so
+    /// tooling can drive request kinds this client has no dedicated
+    /// method for yet.
+    pub fn call(&mut self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        match QueryResponse::decode(&payload) {
+            Ok(QueryResponse::Error(err)) => Err(ClientError::Server(err)),
+            Ok(resp) => Ok(resp),
+            Err(err) => Err(ClientError::Protocol(format!(
+                "undecodable response: {err}"
+            ))),
+        }
+    }
+
+    /// Daemon status (store shape + ingest-health counters).
+    pub fn status(&mut self) -> Result<StatusInfo, ClientError> {
+        match self.call(&QueryRequest::Status)? {
+            QueryResponse::Status(status) => Ok(status),
+            other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Every committed record of `job_id`, across epochs, commit order.
+    pub fn by_job(&mut self, job_id: u64) -> Result<Vec<RecordRow>, ClientError> {
+        match self.call(&QueryRequest::ByJob { job_id })? {
+            QueryResponse::Rows(rows) => Ok(rows),
+            other => Err(unexpected("Rows", &other)),
+        }
+    }
+
+    /// Library usage over `selection` (host / time range / epoch).
+    pub fn library_usage(
+        &mut self,
+        selection: Selection,
+    ) -> Result<Vec<LibraryUsageRow>, ClientError> {
+        match self.call(&QueryRequest::LibraryUsage { selection })? {
+            QueryResponse::LibraryUsage(rows) => Ok(rows),
+            other => Err(unexpected("LibraryUsage", &other)),
+        }
+    }
+
+    /// Up to `k` fuzzy-hash nearest neighbors of `hash` scoring at
+    /// least `min_score`, best first.
+    pub fn neighbors(
+        &mut self,
+        hash: &str,
+        k: u32,
+        min_score: u32,
+    ) -> Result<Vec<NeighborRow>, ClientError> {
+        match self.call(&QueryRequest::Neighbors {
+            hash: hash.to_string(),
+            k,
+            min_score,
+        })? {
+            QueryResponse::Neighbors(rows) => Ok(rows),
+            other => Err(unexpected("Neighbors", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
+    let kind = match got {
+        QueryResponse::Status(_) => "Status",
+        QueryResponse::Rows(_) => "Rows",
+        QueryResponse::LibraryUsage(_) => "LibraryUsage",
+        QueryResponse::Neighbors(_) => "Neighbors",
+        QueryResponse::Error(_) => "Error",
+    };
+    ClientError::Protocol(format!("expected {wanted} response, got {kind}"))
+}

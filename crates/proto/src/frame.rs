@@ -1,0 +1,158 @@
+//! Stream framing over any `Read`/`Write` pair: the WAL frame
+//! ([`siren_store::encode_frame`]) adapted to sockets, with a hostile-
+//! input posture — length is bounds-checked before any allocation, the
+//! checksum is verified before the payload is surfaced, and a clean EOF
+//! at a frame boundary is distinguished from a torn frame.
+
+use siren_hash::fnv1a64;
+use siren_store::{encode_frame, FRAME_MAGIC};
+use std::io::{Read, Write};
+
+/// Largest payload a peer may send. Far below the WAL's 64 MiB bound:
+/// requests are tiny and responses are row batches, so anything near
+/// this is an attack or a bug, and the read side must be able to refuse
+/// it *before* allocating.
+pub const MAX_FRAME_PAYLOAD: u32 = 8 * 1024 * 1024;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// Transport failure (includes read/write deadline expiry).
+    Io(std::io::Error),
+    /// First byte of the frame was not [`FRAME_MAGIC`].
+    BadMagic(u8),
+    /// Length prefix exceeded [`MAX_FRAME_PAYLOAD`].
+    TooLarge(u32),
+    /// Payload checksum mismatch (corruption or desync).
+    BadChecksum,
+    /// The stream ended mid-frame.
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::BadMagic(b) => write!(f, "bad frame magic 0x{b:02X}"),
+            FrameError::TooLarge(len) => {
+                write!(f, "frame payload {len} exceeds cap {MAX_FRAME_PAYLOAD}")
+            }
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame around `payload`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()
+}
+
+/// Read exactly `buf.len()` bytes, mapping EOF to `Truncated`.
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })
+}
+
+/// Read one frame, returning its verified payload.
+///
+/// A clean close before the first byte yields [`FrameError::Closed`];
+/// every other failure names what went wrong so the caller can decide
+/// between answering with a [`QueryError`](crate::QueryError) and
+/// dropping the connection.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if first[0] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(first[0]));
+    }
+    let mut len_buf = [0u8; 4];
+    read_exact(r, &mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_PAYLOAD {
+        // Refuse before allocating: this is the unbounded-buffer guard.
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact(r, &mut payload)?;
+    let mut sum_buf = [0u8; 8];
+    read_exact(r, &mut sum_buf)?;
+    if fnv1a64(&payload) != u64::from_le_bytes(sum_buf) {
+        return Err(FrameError::BadChecksum);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_allocation() {
+        let mut wire = vec![FRAME_MAGIC];
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 32]);
+        let mut r = wire.as_slice();
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+
+        let mut flipped = wire.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        let mut r = flipped.as_slice();
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::BadChecksum | FrameError::TooLarge(_) | FrameError::Truncated)
+        ));
+
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        }
+
+        let mut bad_magic = wire;
+        bad_magic[0] = 0x00;
+        let mut r = bad_magic.as_slice();
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadMagic(0))));
+    }
+}

@@ -1,0 +1,59 @@
+//! # siren-proto — the versioned SIREN query wire protocol
+//!
+//! The service daemon (`siren-service`) answers analyst queries over
+//! TCP; this crate is the wire contract both sides speak, kept free of
+//! any server machinery so clients, tooling, and tests can depend on it
+//! alone.
+//!
+//! ## Frame layout
+//!
+//! Every unit on the wire — the hello exchange, requests, responses —
+//! travels in exactly the frame `siren-store`'s WAL uses
+//! ([`siren_store::encode_frame`]; one seam, not two framings):
+//!
+//! ```text
+//! [0xD8 magic][len: u32 LE][payload: len bytes][FNV-1a/64(payload): u64 LE]
+//! ```
+//!
+//! The read side ([`read_frame`]) validates the magic and bounds-checks
+//! `len` against [`MAX_FRAME_PAYLOAD`] **before** allocating, so a
+//! hostile length prefix can never balloon memory, and verifies the
+//! checksum before handing the payload to the typed codec.
+//!
+//! ## Version negotiation
+//!
+//! A connection opens with one client hello frame (`b"SRNQ"` + the
+//! client's supported `[min, max]` version range, little-endian `u16`s).
+//! The server answers with a hello-ack frame (`b"SRNQ"` + the chosen
+//! version — the highest both sides support) or a
+//! [`QueryError::UnsupportedVersion`] error frame and closes. Every
+//! subsequent frame on the connection is a [`QueryRequest`] (client →
+//! server) or [`QueryResponse`] (server → client) payload encoded under
+//! the negotiated version.
+//!
+//! ## Typed codec
+//!
+//! [`QueryRequest`] and [`QueryResponse`] encode with the shared
+//! `siren-store` codec helpers (length-prefixed strings, little-endian
+//! integers); [`Selection`] is the single record-filter type, publicly
+//! constructible via its `epoch()/host()/between()` builders and reused
+//! by the in-process snapshot API. Decoders return
+//! [`QueryError::Malformed`] on any structural inconsistency and never
+//! panic — property tests in `tests/roundtrip.rs` fuzz every variant
+//! plus truncations and bit flips.
+
+pub mod client;
+pub mod frame;
+pub mod message;
+
+pub use client::{ClientError, SirenClient};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD};
+pub use message::{
+    decode_hello, decode_hello_ack, encode_hello, encode_hello_ack, negotiate, NeighborRow,
+    QueryError, QueryRequest, QueryResponse, RecordRow, Selection, StatusInfo, HELLO_MAGIC,
+};
+
+/// Lowest protocol version this build still speaks.
+pub const PROTOCOL_VERSION_MIN: u16 = 1;
+/// Highest (current) protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;

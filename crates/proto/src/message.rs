@@ -1,0 +1,597 @@
+//! The typed request/response codec and the hello exchange.
+//!
+//! Payload encodings build on `siren_store::codec` (length-prefixed
+//! strings, little-endian integers, tag bytes); consolidated records
+//! nest their own [`ProcessRecord`] codec behind a byte-length prefix.
+//! Every decoder rejects structural inconsistency with a typed
+//! [`QueryError`] and never panics.
+
+use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
+use siren_analysis::LibraryUsageRow;
+use siren_consolidate::ProcessRecord;
+use siren_store::codec::{get_bytes, get_str, put_bytes, put_str, take};
+
+/// First bytes of the hello and hello-ack payloads.
+pub const HELLO_MAGIC: [u8; 4] = *b"SRNQ";
+
+// Request payload tags.
+const REQ_STATUS: u8 = 0;
+const REQ_BY_JOB: u8 = 1;
+const REQ_LIBRARY_USAGE: u8 = 2;
+const REQ_NEIGHBORS: u8 = 3;
+
+// Response payload tags. `b'S'` (0x53) is reserved so a hello-ack can
+// never be mistaken for a response payload.
+const RESP_STATUS: u8 = 0;
+const RESP_ROWS: u8 = 1;
+const RESP_LIBRARY_USAGE: u8 = 2;
+const RESP_NEIGHBORS: u8 = 3;
+const RESP_ERROR: u8 = 0xFF;
+
+// QueryError codes.
+const ERR_MALFORMED: u8 = 0;
+const ERR_UNSUPPORTED_VERSION: u8 = 1;
+const ERR_UNKNOWN_REQUEST: u8 = 2;
+const ERR_FRAME_TOO_LARGE: u8 = 3;
+const ERR_DEADLINE: u8 = 4;
+const ERR_INTERNAL: u8 = 5;
+
+/// A reusable record filter: all present conditions are ANDed. The one
+/// filter type shared by the wire protocol and the in-process snapshot
+/// API, publicly constructible via its builder methods.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Selection {
+    epoch: Option<u64>,
+    host: Option<String>,
+    time_range: Option<(u64, u64)>,
+}
+
+impl Selection {
+    /// The empty filter (matches every record).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to one epoch.
+    pub fn epoch(mut self, epoch: u64) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// Restrict to one host.
+    pub fn host(mut self, host: impl Into<String>) -> Self {
+        self.host = Some(host.into());
+        self
+    }
+
+    /// Restrict to `start ..= end` collection timestamps.
+    pub fn between(mut self, start: u64, end: u64) -> Self {
+        self.time_range = Some((start, end));
+        self
+    }
+
+    /// The epoch restriction, if any.
+    pub fn epoch_filter(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// The host restriction, if any.
+    pub fn host_filter(&self) -> Option<&str> {
+        self.host.as_deref()
+    }
+
+    /// The inclusive time-range restriction, if any.
+    pub fn time_range(&self) -> Option<(u64, u64)> {
+        self.time_range
+    }
+
+    /// Does a record committed under `epoch` pass this filter?
+    pub fn matches(&self, epoch: u64, record: &ProcessRecord) -> bool {
+        if let Some(e) = self.epoch {
+            if epoch != e {
+                return false;
+            }
+        }
+        if let Some(h) = &self.host {
+            if &record.key.host != h {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.time_range {
+            if record.key.time < lo || record.key.time > hi {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn put(&self, out: &mut Vec<u8>) {
+        match self.epoch {
+            None => out.push(0),
+            Some(e) => {
+                out.push(1);
+                out.extend_from_slice(&e.to_le_bytes());
+            }
+        }
+        match &self.host {
+            None => out.push(0),
+            Some(h) => {
+                out.push(1);
+                put_str(out, h);
+            }
+        }
+        match self.time_range {
+            None => out.push(0),
+            Some((lo, hi)) => {
+                out.push(1);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+        }
+    }
+
+    fn get(data: &[u8], pos: &mut usize) -> Option<Self> {
+        let epoch = match take(data, pos, 1)?[0] {
+            0 => None,
+            1 => Some(get_u64(data, pos)?),
+            _ => return None,
+        };
+        let host = match take(data, pos, 1)?[0] {
+            0 => None,
+            1 => Some(get_str(data, pos)?),
+            _ => return None,
+        };
+        let time_range = match take(data, pos, 1)?[0] {
+            0 => None,
+            1 => Some((get_u64(data, pos)?, get_u64(data, pos)?)),
+            _ => return None,
+        };
+        Some(Self {
+            epoch,
+            host,
+            time_range,
+        })
+    }
+}
+
+fn get_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
+    Some(u64::from_le_bytes(take(data, pos, 8)?.try_into().ok()?))
+}
+
+fn get_u32(data: &[u8], pos: &mut usize) -> Option<u32> {
+    Some(u32::from_le_bytes(take(data, pos, 4)?.try_into().ok()?))
+}
+
+fn get_u16(data: &[u8], pos: &mut usize) -> Option<u16> {
+    Some(u16::from_le_bytes(take(data, pos, 2)?.try_into().ok()?))
+}
+
+/// Count prefix with a sanity bound: `n` elements of at least
+/// `min_elem_bytes` wire bytes each must fit in the remaining payload,
+/// so a hostile count cannot make `Vec::with_capacity` pre-allocate
+/// in-memory elements far larger than the frame that claimed them.
+fn get_count(data: &[u8], pos: &mut usize, min_elem_bytes: usize) -> Option<usize> {
+    let n = get_u32(data, pos)? as usize;
+    if n > data.len().saturating_sub(*pos) / min_elem_bytes.max(1) {
+        return None;
+    }
+    Some(n)
+}
+
+/// One query, client → server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// Daemon liveness + store shape + ingest-health counters.
+    Status,
+    /// Every committed record of one job, across epochs.
+    ByJob {
+        /// Slurm job id.
+        job_id: u64,
+    },
+    /// Library-usage aggregation over a [`Selection`].
+    LibraryUsage {
+        /// Record filter (host, time range, epoch).
+        selection: Selection,
+    },
+    /// Fuzzy-hash nearest neighbors over the records' `FILE_H` column.
+    Neighbors {
+        /// SSDeep-style `block:sig1:sig2` probe hash.
+        hash: String,
+        /// Maximum hits returned.
+        k: u32,
+        /// Minimum similarity score (0–100).
+        min_score: u32,
+    },
+}
+
+impl QueryRequest {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            QueryRequest::Status => out.push(REQ_STATUS),
+            QueryRequest::ByJob { job_id } => {
+                out.push(REQ_BY_JOB);
+                out.extend_from_slice(&job_id.to_le_bytes());
+            }
+            QueryRequest::LibraryUsage { selection } => {
+                out.push(REQ_LIBRARY_USAGE);
+                selection.put(&mut out);
+            }
+            QueryRequest::Neighbors { hash, k, min_score } => {
+                out.push(REQ_NEIGHBORS);
+                put_str(&mut out, hash);
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&min_score.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload. Unknown tags and malformed bodies come
+    /// back as the [`QueryError`] the server should answer with.
+    pub fn decode(data: &[u8]) -> Result<Self, QueryError> {
+        let malformed = || QueryError::Malformed("truncated or inconsistent request".into());
+        let (&tag, body) = data.split_first().ok_or_else(malformed)?;
+        let mut pos = 0usize;
+        let req = match tag {
+            REQ_STATUS => QueryRequest::Status,
+            REQ_BY_JOB => QueryRequest::ByJob {
+                job_id: get_u64(body, &mut pos).ok_or_else(malformed)?,
+            },
+            REQ_LIBRARY_USAGE => QueryRequest::LibraryUsage {
+                selection: Selection::get(body, &mut pos).ok_or_else(malformed)?,
+            },
+            REQ_NEIGHBORS => QueryRequest::Neighbors {
+                hash: get_str(body, &mut pos).ok_or_else(malformed)?,
+                k: get_u32(body, &mut pos).ok_or_else(malformed)?,
+                min_score: get_u32(body, &mut pos).ok_or_else(malformed)?,
+            },
+            other => return Err(QueryError::UnknownRequest(other)),
+        };
+        if pos != body.len() {
+            return Err(QueryError::Malformed("trailing bytes after request".into()));
+        }
+        Ok(req)
+    }
+}
+
+/// Daemon status, as served to clients.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// Protocol version the server is speaking on this connection.
+    pub protocol_version: u16,
+    /// Epochs committed to the consolidated store, ascending.
+    pub committed_epochs: Vec<u64>,
+    /// Committed records across all epochs.
+    pub records: u64,
+    /// The epoch currently ingesting, if any.
+    pub open_epoch: Option<u64>,
+    /// Sentinels whose epoch tag disagreed with the open epoch
+    /// (stragglers from reordered campaigns), since daemon start.
+    pub epoch_tag_mismatches: u64,
+    /// Epochs closed by the quiet-period fallback instead of a sentinel
+    /// quorum (every `TYPE=END` copy lost), since daemon start.
+    pub quiet_period_fallbacks: u64,
+}
+
+/// One epoch-tagged committed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordRow {
+    /// Epoch the record was committed under.
+    pub epoch: u64,
+    /// The consolidated record.
+    pub record: ProcessRecord,
+}
+
+/// One nearest-neighbor hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborRow {
+    /// Similarity score, 0–100.
+    pub score: u32,
+    /// Epoch the matching record was committed under.
+    pub epoch: u64,
+    /// The matching record.
+    pub record: ProcessRecord,
+}
+
+/// One answer, server → client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResponse {
+    /// Answer to [`QueryRequest::Status`].
+    Status(StatusInfo),
+    /// Answer to [`QueryRequest::ByJob`].
+    Rows(Vec<RecordRow>),
+    /// Answer to [`QueryRequest::LibraryUsage`].
+    LibraryUsage(Vec<LibraryUsageRow>),
+    /// Answer to [`QueryRequest::Neighbors`].
+    Neighbors(Vec<NeighborRow>),
+    /// The request could not be answered.
+    Error(QueryError),
+}
+
+impl QueryResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            QueryResponse::Status(status) => {
+                out.push(RESP_STATUS);
+                out.extend_from_slice(&status.protocol_version.to_le_bytes());
+                out.extend_from_slice(&(status.committed_epochs.len() as u32).to_le_bytes());
+                for epoch in &status.committed_epochs {
+                    out.extend_from_slice(&epoch.to_le_bytes());
+                }
+                out.extend_from_slice(&status.records.to_le_bytes());
+                match status.open_epoch {
+                    None => out.push(0),
+                    Some(e) => {
+                        out.push(1);
+                        out.extend_from_slice(&e.to_le_bytes());
+                    }
+                }
+                out.extend_from_slice(&status.epoch_tag_mismatches.to_le_bytes());
+                out.extend_from_slice(&status.quiet_period_fallbacks.to_le_bytes());
+            }
+            QueryResponse::Rows(rows) => {
+                out.push(RESP_ROWS);
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in rows {
+                    out.extend_from_slice(&row.epoch.to_le_bytes());
+                    put_bytes(&mut out, &row.record.encode());
+                }
+            }
+            QueryResponse::LibraryUsage(rows) => {
+                out.push(RESP_LIBRARY_USAGE);
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in rows {
+                    put_str(&mut out, &row.library);
+                    out.extend_from_slice(&row.processes.to_le_bytes());
+                    out.extend_from_slice(&row.hosts.to_le_bytes());
+                }
+            }
+            QueryResponse::Neighbors(rows) => {
+                out.push(RESP_NEIGHBORS);
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in rows {
+                    out.extend_from_slice(&row.score.to_le_bytes());
+                    out.extend_from_slice(&row.epoch.to_le_bytes());
+                    put_bytes(&mut out, &row.record.encode());
+                }
+            }
+            QueryResponse::Error(err) => {
+                out.push(RESP_ERROR);
+                err.put(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(data: &[u8]) -> Result<Self, QueryError> {
+        let malformed = || QueryError::Malformed("truncated or inconsistent response".into());
+        let (&tag, body) = data.split_first().ok_or_else(malformed)?;
+        let mut pos = 0usize;
+        let resp = match tag {
+            RESP_STATUS => {
+                let protocol_version = get_u16(body, &mut pos).ok_or_else(malformed)?;
+                // Minimum wire sizes per element: epoch u64 = 8.
+                let n = get_count(body, &mut pos, 8).ok_or_else(malformed)?;
+                let mut committed_epochs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    committed_epochs.push(get_u64(body, &mut pos).ok_or_else(malformed)?);
+                }
+                let records = get_u64(body, &mut pos).ok_or_else(malformed)?;
+                let open_epoch = match take(body, &mut pos, 1).ok_or_else(malformed)?[0] {
+                    0 => None,
+                    1 => Some(get_u64(body, &mut pos).ok_or_else(malformed)?),
+                    _ => return Err(malformed()),
+                };
+                QueryResponse::Status(StatusInfo {
+                    protocol_version,
+                    committed_epochs,
+                    records,
+                    open_epoch,
+                    epoch_tag_mismatches: get_u64(body, &mut pos).ok_or_else(malformed)?,
+                    quiet_period_fallbacks: get_u64(body, &mut pos).ok_or_else(malformed)?,
+                })
+            }
+            RESP_ROWS => {
+                // epoch u64 (8) + record byte-length prefix (4).
+                let n = get_count(body, &mut pos, 12).ok_or_else(malformed)?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let epoch = get_u64(body, &mut pos).ok_or_else(malformed)?;
+                    let bytes = get_bytes(body, &mut pos).ok_or_else(malformed)?;
+                    let record = ProcessRecord::decode(bytes).ok_or_else(malformed)?;
+                    rows.push(RecordRow { epoch, record });
+                }
+                QueryResponse::Rows(rows)
+            }
+            RESP_LIBRARY_USAGE => {
+                // library length prefix (4) + processes u64 + hosts u64.
+                let n = get_count(body, &mut pos, 20).ok_or_else(malformed)?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(LibraryUsageRow {
+                        library: get_str(body, &mut pos).ok_or_else(malformed)?,
+                        processes: get_u64(body, &mut pos).ok_or_else(malformed)?,
+                        hosts: get_u64(body, &mut pos).ok_or_else(malformed)?,
+                    });
+                }
+                QueryResponse::LibraryUsage(rows)
+            }
+            RESP_NEIGHBORS => {
+                // score u32 + epoch u64 + record byte-length prefix (4).
+                let n = get_count(body, &mut pos, 16).ok_or_else(malformed)?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let score = get_u32(body, &mut pos).ok_or_else(malformed)?;
+                    let epoch = get_u64(body, &mut pos).ok_or_else(malformed)?;
+                    let bytes = get_bytes(body, &mut pos).ok_or_else(malformed)?;
+                    let record = ProcessRecord::decode(bytes).ok_or_else(malformed)?;
+                    rows.push(NeighborRow {
+                        score,
+                        epoch,
+                        record,
+                    });
+                }
+                QueryResponse::Neighbors(rows)
+            }
+            RESP_ERROR => {
+                QueryResponse::Error(QueryError::get(body, &mut pos).ok_or_else(malformed)?)
+            }
+            _ => return Err(malformed()),
+        };
+        if pos != body.len() {
+            return Err(QueryError::Malformed(
+                "trailing bytes after response".into(),
+            ));
+        }
+        Ok(resp)
+    }
+}
+
+/// Why a request could not be answered — the structured error the
+/// server returns instead of closing (or right before closing, when the
+/// stream itself can no longer be trusted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The payload did not decode.
+    Malformed(String),
+    /// No overlap between the client's and the server's version ranges.
+    UnsupportedVersion {
+        /// Lowest version the server speaks.
+        server_min: u16,
+        /// Highest version the server speaks.
+        server_max: u16,
+    },
+    /// The request tag is not known to this server version.
+    UnknownRequest(u8),
+    /// The frame's length prefix exceeded the server's cap.
+    FrameTooLarge(u32),
+    /// The per-request deadline expired.
+    Deadline,
+    /// Server-side fault while answering.
+    Internal(String),
+}
+
+impl QueryError {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            QueryError::Malformed(detail) => {
+                out.push(ERR_MALFORMED);
+                put_str(out, detail);
+            }
+            QueryError::UnsupportedVersion {
+                server_min,
+                server_max,
+            } => {
+                out.push(ERR_UNSUPPORTED_VERSION);
+                out.extend_from_slice(&server_min.to_le_bytes());
+                out.extend_from_slice(&server_max.to_le_bytes());
+            }
+            QueryError::UnknownRequest(tag) => {
+                out.push(ERR_UNKNOWN_REQUEST);
+                out.push(*tag);
+            }
+            QueryError::FrameTooLarge(len) => {
+                out.push(ERR_FRAME_TOO_LARGE);
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            QueryError::Deadline => out.push(ERR_DEADLINE),
+            QueryError::Internal(detail) => {
+                out.push(ERR_INTERNAL);
+                put_str(out, detail);
+            }
+        }
+    }
+
+    fn get(data: &[u8], pos: &mut usize) -> Option<Self> {
+        Some(match take(data, pos, 1)?[0] {
+            ERR_MALFORMED => QueryError::Malformed(get_str(data, pos)?),
+            ERR_UNSUPPORTED_VERSION => QueryError::UnsupportedVersion {
+                server_min: get_u16(data, pos)?,
+                server_max: get_u16(data, pos)?,
+            },
+            ERR_UNKNOWN_REQUEST => QueryError::UnknownRequest(take(data, pos, 1)?[0]),
+            ERR_FRAME_TOO_LARGE => QueryError::FrameTooLarge(get_u32(data, pos)?),
+            ERR_DEADLINE => QueryError::Deadline,
+            ERR_INTERNAL => QueryError::Internal(get_str(data, pos)?),
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Malformed(detail) => write!(f, "malformed payload: {detail}"),
+            QueryError::UnsupportedVersion {
+                server_min,
+                server_max,
+            } => write!(
+                f,
+                "no common protocol version (server speaks {server_min}..={server_max})"
+            ),
+            QueryError::UnknownRequest(tag) => write!(f, "unknown request tag {tag}"),
+            QueryError::FrameTooLarge(len) => write!(f, "frame payload of {len} bytes refused"),
+            QueryError::Deadline => write!(f, "request deadline expired"),
+            QueryError::Internal(detail) => write!(f, "server fault: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Encode the client hello: magic + supported `[min, max]` range.
+pub fn encode_hello(min: u16, max: u16) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.extend_from_slice(&HELLO_MAGIC);
+    out.extend_from_slice(&min.to_le_bytes());
+    out.extend_from_slice(&max.to_le_bytes());
+    out
+}
+
+/// Decode a client hello into its `(min, max)` version range.
+pub fn decode_hello(payload: &[u8]) -> Option<(u16, u16)> {
+    if payload.len() != 8 || payload[..4] != HELLO_MAGIC {
+        return None;
+    }
+    let mut pos = 4usize;
+    let min = get_u16(payload, &mut pos)?;
+    let max = get_u16(payload, &mut pos)?;
+    Some((min, max))
+}
+
+/// Encode the server hello-ack carrying the chosen version.
+pub fn encode_hello_ack(version: u16) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    out.extend_from_slice(&HELLO_MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out
+}
+
+/// Decode a server hello-ack into the chosen version.
+pub fn decode_hello_ack(payload: &[u8]) -> Option<u16> {
+    if payload.len() != 6 || payload[..4] != HELLO_MAGIC {
+        return None;
+    }
+    let mut pos = 4usize;
+    get_u16(payload, &mut pos)
+}
+
+/// Pick the version a server speaking `[PROTOCOL_VERSION_MIN,
+/// PROTOCOL_VERSION]` should use against a client offering
+/// `[client_min, client_max]`: the highest version in both ranges.
+pub fn negotiate(client_min: u16, client_max: u16) -> Result<u16, QueryError> {
+    let chosen = client_max.min(PROTOCOL_VERSION);
+    if chosen >= client_min && chosen >= PROTOCOL_VERSION_MIN {
+        Ok(chosen)
+    } else {
+        Err(QueryError::UnsupportedVersion {
+            server_min: PROTOCOL_VERSION_MIN,
+            server_max: PROTOCOL_VERSION,
+        })
+    }
+}

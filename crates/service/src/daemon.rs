@@ -1,13 +1,21 @@
 //! The daemon: epoch lifecycle over a segmented consolidated-record
 //! store.
 
-use crate::query::QueryEngine;
+use crate::server::QueryServer;
+use crate::snapshot::QuerySnapshot;
+use parking_lot::RwLock;
 use siren_consolidate::{ConsolidateStats, ProcessRecord};
 use siren_ingest::{IngestConfig, IngestService, ShardStats};
+use siren_net::UdpReceiver;
+use siren_proto::StatusInfo;
 use siren_store::{Persist, RecoveryStats, SegmentedBackend, SegmentedOptions};
 use siren_wire::{parse_sentinel, parse_sentinel_epoch, Message, MessageType};
 use std::collections::BTreeSet;
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One consolidated process record, tagged with the epoch (campaign)
 /// that produced it — the unit of the daemon's persistent store.
@@ -112,6 +120,23 @@ pub struct ServiceConfig {
     pub expected_senders: usize,
     /// Consolidated-store tuning.
     pub store: SegmentedOptions,
+    /// When set, the daemon serves the versioned TCP query protocol on
+    /// this address (bind `127.0.0.1:0` for an ephemeral test port; the
+    /// bound address is [`SirenDaemon::query_addr`]).
+    pub query_addr: Option<SocketAddr>,
+    /// Worker threads in the query server's bounded connection pool.
+    pub query_workers: usize,
+    /// Accepted-connection queue depth; connections beyond it are
+    /// refused, never buffered without bound.
+    pub query_backlog: usize,
+    /// Per-connection read/write deadline (bounds idle clients, slow
+    /// consumers, and request handling alike).
+    pub query_deadline: Duration,
+    /// Silence on the UDP ingest loop ([`SirenDaemon::drain_udp`])
+    /// after which an open epoch is committed without its sentinel
+    /// quorum — the fallback for campaigns whose every `TYPE=END` copy
+    /// was lost. Each use is counted and surfaced in the `Status` query.
+    pub quiet_period: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -121,6 +146,11 @@ impl Default for ServiceConfig {
             shards: 1,
             expected_senders: 1,
             store: SegmentedOptions::default(),
+            query_addr: None,
+            query_workers: 4,
+            query_backlog: 64,
+            query_deadline: Duration::from_secs(5),
+            quiet_period: Duration::from_secs(10),
         }
     }
 }
@@ -195,6 +225,63 @@ pub struct EpochSummary {
     pub epoch_tag_mismatches: u64,
 }
 
+/// No-open-epoch marker inside [`SharedState::open_epoch`].
+const NO_EPOCH: u64 = u64::MAX;
+
+/// The state the daemon shares with the query-server threads: the
+/// current snapshot behind an atomic swap, plus live ingest-health
+/// counters.
+///
+/// Concurrency model: the `RwLock` guards only the `Arc` *pointer* —
+/// readers hold it just long enough to clone the `Arc`, then run the
+/// whole query against their private, immutable snapshot with no locks
+/// at all. A commit builds the next snapshot off to the side and swaps
+/// the pointer; in-flight queries keep answering from the snapshot they
+/// started with, so queries and epoch commits never wait on each other.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    snapshot: RwLock<Arc<QuerySnapshot>>,
+    open_epoch: AtomicU64,
+    epoch_tag_mismatches: AtomicU64,
+    quiet_period_fallbacks: AtomicU64,
+}
+
+impl SharedState {
+    fn new(snapshot: Arc<QuerySnapshot>) -> Self {
+        Self {
+            snapshot: RwLock::new(snapshot),
+            open_epoch: AtomicU64::new(NO_EPOCH),
+            epoch_tag_mismatches: AtomicU64::new(0),
+            quiet_period_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot (a cheap `Arc` clone).
+    pub(crate) fn load(&self) -> Arc<QuerySnapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// Publish a new snapshot (the epoch-commit pointer swap).
+    fn store(&self, snapshot: Arc<QuerySnapshot>) {
+        *self.snapshot.write() = snapshot;
+    }
+
+    /// Live counters for a `Status` answer; the snapshot-derived fields
+    /// (committed epochs, record count) are filled in by
+    /// [`QuerySnapshot::respond`] from the answering snapshot so the
+    /// response is self-consistent.
+    pub(crate) fn status(&self, protocol_version: u16) -> StatusInfo {
+        let open = self.open_epoch.load(Ordering::Relaxed);
+        StatusInfo {
+            protocol_version,
+            open_epoch: (open != NO_EPOCH).then_some(open),
+            epoch_tag_mismatches: self.epoch_tag_mismatches.load(Ordering::Relaxed),
+            quiet_period_fallbacks: self.quiet_period_fallbacks.load(Ordering::Relaxed),
+            ..StatusInfo::default()
+        }
+    }
+}
+
 struct OpenEpoch {
     epoch: u64,
     /// The exact ingest configuration the epoch runs under — kept so
@@ -211,9 +298,14 @@ struct OpenEpoch {
 pub struct SirenDaemon {
     cfg: ServiceConfig,
     store: SegmentedBackend<StoredItem>,
-    records: Vec<EpochRecord>,
+    /// The daemon's own handle on the current snapshot (the same `Arc`
+    /// published through [`SharedState`]); all committed records live
+    /// here, owned by the snapshot.
+    snapshot: Arc<QuerySnapshot>,
     committed: BTreeSet<u64>,
     open: Option<OpenEpoch>,
+    shared: Arc<SharedState>,
+    server: Option<QueryServer>,
 }
 
 impl SirenDaemon {
@@ -260,12 +352,16 @@ impl SirenDaemon {
             }
         }
 
+        let snapshot = Arc::new(QuerySnapshot::build(records));
+        let shared = Arc::new(SharedState::new(Arc::clone(&snapshot)));
         let mut daemon = Self {
             cfg,
             store,
-            records,
+            snapshot,
             committed,
             open: None,
+            shared,
+            server: None,
         };
 
         // Resume the newest uncommitted epoch; commit any older ones
@@ -278,6 +374,18 @@ impl SirenDaemon {
             daemon.open = Some(daemon.spawn_epoch(resume, resume_shards)?);
             recovery.resumed_epoch = Some(resume);
         }
+
+        // Serve queries only once recovery has settled (clients must
+        // never observe a half-recovered store).
+        if let Some(addr) = daemon.cfg.query_addr {
+            daemon.server = Some(QueryServer::spawn(
+                addr,
+                Arc::clone(&daemon.shared),
+                daemon.cfg.query_workers,
+                daemon.cfg.query_backlog,
+                daemon.cfg.query_deadline,
+            )?);
+        }
         Ok((daemon, recovery))
     }
 
@@ -287,6 +395,7 @@ impl SirenDaemon {
             ..IngestConfig::with_shards_unclamped(shards)
         };
         let service = IngestService::spawn(ingest_cfg.clone())?;
+        self.shared.open_epoch.store(epoch, Ordering::Relaxed);
         Ok(OpenEpoch {
             epoch,
             ingest_cfg,
@@ -351,6 +460,11 @@ impl SirenDaemon {
                 if let Some(tag) = parse_sentinel_epoch(&msg) {
                     if tag != open.epoch {
                         open.epoch_tag_mismatches += 1;
+                        // Counted live into the shared state too, so a
+                        // `Status` query sees it before the epoch closes.
+                        self.shared
+                            .epoch_tag_mismatches
+                            .fetch_add(1, Ordering::Relaxed);
                         return Ok(None);
                     }
                 }
@@ -386,6 +500,10 @@ impl SirenDaemon {
         let open = self.open.take().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, "no epoch is open")
         })?;
+        // The epoch is no longer open whatever happens next; clearing
+        // the shared marker here (not only on commit) keeps a failed
+        // close from leaving `Status` reporting a phantom open epoch.
+        self.shared.open_epoch.store(NO_EPOCH, Ordering::Relaxed);
         let OpenEpoch {
             epoch,
             ingest_cfg,
@@ -405,14 +523,7 @@ impl SirenDaemon {
             })
             .collect();
 
-        // Commit point: one atomic segment (fsync + rename inside)
-        // holding the epoch's rows plus its seal marker.
-        let mut items: Vec<StoredItem> = epoch_records
-            .iter()
-            .map(|row| StoredItem::Row(Box::new(row.clone())))
-            .collect();
-        items.push(StoredItem::Seal(epoch));
-        self.store.append_sealed(&items)?;
+        self.commit_records(epoch, epoch_records)?;
         // Only now is it safe to drop the raw messages. The partition
         // paths come from the ingest config itself, so this deletes
         // exactly what the workers wrote.
@@ -424,8 +535,6 @@ impl SirenDaemon {
             }
         }
 
-        self.committed.insert(epoch);
-        self.records.extend(epoch_records);
         Ok(EpochSummary {
             epoch,
             records: result.records.len() as u64,
@@ -437,15 +546,144 @@ impl SirenDaemon {
         })
     }
 
+    /// Bulk-import already-consolidated records as one committed epoch,
+    /// bypassing ingest — the backfill/migration path (also what the
+    /// query benchmarks populate a daemon with). The commit is exactly
+    /// an epoch close: one atomic sealed segment, then the snapshot
+    /// swap. Refused while an epoch is ingesting.
+    pub fn import_epoch(&mut self, records: Vec<ProcessRecord>) -> std::io::Result<u64> {
+        if self.open.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cannot import while an epoch is ingesting",
+            ));
+        }
+        let epoch = self.next_epoch();
+        let epoch_records: Vec<EpochRecord> = records
+            .into_iter()
+            .map(|record| EpochRecord { epoch, record })
+            .collect();
+        self.commit_records(epoch, epoch_records)?;
+        Ok(epoch)
+    }
+
+    /// The shared commit point: one atomic segment (fsync + rename
+    /// inside) holding the epoch's rows plus its seal marker, then the
+    /// snapshot publish.
+    fn commit_records(
+        &mut self,
+        epoch: u64,
+        epoch_records: Vec<EpochRecord>,
+    ) -> std::io::Result<()> {
+        let mut items: Vec<StoredItem> = epoch_records
+            .iter()
+            .map(|row| StoredItem::Row(Box::new(row.clone())))
+            .collect();
+        items.push(StoredItem::Seal(epoch));
+        self.store.append_sealed(&items)?;
+
+        self.committed.insert(epoch);
+        // Publish: build the successor snapshot off to the side, then
+        // swap the shared pointer. Queries in flight keep the snapshot
+        // they started with; new queries see the epoch atomically.
+        let mut all = self.snapshot.records().to_vec();
+        all.extend(epoch_records);
+        let next = Arc::new(QuerySnapshot::build(all));
+        self.snapshot = Arc::clone(&next);
+        self.shared.store(next);
+        self.shared.open_epoch.store(NO_EPOCH, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Every committed record, epoch-tagged, in commit order (ascending
     /// epochs; consolidation order within an epoch).
     pub fn records(&self) -> &[EpochRecord] {
-        &self.records
+        self.snapshot.records()
+    }
+
+    /// The current immutable query snapshot. The returned `Arc` stays
+    /// valid (and internally consistent) however many epochs commit
+    /// after it — clone it into as many reader threads as needed.
+    pub fn snapshot(&self) -> Arc<QuerySnapshot> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Live ingest-health counters as a `Status` answer would carry
+    /// them (protocol version 0 = in-process) — exactly the wire
+    /// answer's code path, so the two can never diverge.
+    pub fn status(&self) -> StatusInfo {
+        match self
+            .snapshot
+            .respond(self.shared.status(0), &siren_proto::QueryRequest::Status)
+        {
+            siren_proto::QueryResponse::Status(status) => status,
+            _ => unreachable!("Status request always yields a Status response"),
+        }
     }
 
     /// Build a cross-epoch query engine over the committed records.
-    pub fn query(&self) -> QueryEngine<'_> {
-        QueryEngine::new(&self.records)
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SirenDaemon::snapshot()`; the borrowing engine clones the records"
+    )]
+    #[allow(deprecated)]
+    pub fn query(&self) -> crate::query::QueryEngine<'_> {
+        crate::query::QueryEngine::new(self.snapshot.records())
+    }
+
+    /// The address the embedded query server is listening on, if
+    /// [`ServiceConfig::query_addr`] was set.
+    pub fn query_addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(QueryServer::local_addr)
+    }
+
+    /// Protocol requests the query server has answered so far.
+    pub fn queries_served(&self) -> u64 {
+        self.server
+            .as_ref()
+            .map(QueryServer::requests_served)
+            .unwrap_or(0)
+    }
+
+    /// Drain decoded datagrams from a UDP receiver into the epoch
+    /// lifecycle until `max_epochs` epochs have committed, falling back
+    /// to [`ServiceConfig::quiet_period`] when a campaign's every
+    /// sentinel copy was lost: after that much silence an open epoch is
+    /// committed anyway (counted, and surfaced in the `Status` query),
+    /// and silence with **no** open epoch ends the drain.
+    pub fn drain_udp(
+        &mut self,
+        receiver: &UdpReceiver,
+        max_epochs: usize,
+    ) -> std::io::Result<Vec<EpochSummary>> {
+        const TICK: Duration = Duration::from_millis(20);
+        let quiet_limit = (self.cfg.quiet_period.as_millis() / TICK.as_millis()).max(1) as u32;
+        let mut quiet = 0u32;
+        let mut summaries = Vec::new();
+        while summaries.len() < max_epochs {
+            match receiver.recv_timeout(TICK) {
+                Some(msg) => {
+                    quiet = 0;
+                    if let Some(summary) = self.push(msg)? {
+                        summaries.push(summary);
+                    }
+                }
+                None => {
+                    quiet += 1;
+                    if quiet >= quiet_limit {
+                        if self.open.is_none() {
+                            break;
+                        }
+                        self.shared
+                            .quiet_period_fallbacks
+                            .fetch_add(1, Ordering::Relaxed);
+                        summaries.push(self.close_epoch()?);
+                        quiet = 0;
+                    }
+                }
+            }
+        }
+        Ok(summaries)
     }
 
     /// The daemon's data directory.

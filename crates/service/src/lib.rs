@@ -20,21 +20,36 @@
 //!   re-send of the interrupted campaign converges to exactly the records
 //!   a never-crashed run would hold, because consolidation groups by
 //!   process key and is idempotent under duplicate rows.
-//! * [`QueryEngine`] serves cross-epoch queries over the accumulated
-//!   records: per-job lookups, library usage by host/time range (through
+//! * Each commit publishes an immutable, `Arc`-shared [`QuerySnapshot`]
+//!   (records + indexes, built once per epoch) behind an atomic pointer
+//!   swap, so queries run lock-free while the next epoch ingests:
+//!   per-job lookups, library usage by host/time range (through
 //!   `siren-analysis`, which renders its tables from the same
-//!   selections), and fuzzy-hash nearest-neighbor search.
+//!   selections), and fuzzy-hash nearest-neighbor search. The borrowing
+//!   `QueryEngine<'a>` survives as a deprecated shim.
+//! * With [`ServiceConfig::query_addr`] set, an embedded TCP
+//!   **query server** (bounded worker pool, per-connection deadlines)
+//!   answers the versioned `siren-proto` wire protocol; the blocking
+//!   [`siren_proto::SirenClient`] is the typed client side.
 //!
 //! ```text
-//!            epoch N stream          epoch N close        queries
+//!            epoch N stream          epoch N close        TCP queries
 //! push(msg) ──▶ IngestService ──▶ consolidate ──▶ EpochRecord segment
 //!                │ shard WALs        (siren-consolidate)   │ (append_sealed)
 //!                ▼                                         ▼
 //!        data_dir/epoch-N.*.msgs.shard*       data_dir/consolidated/{seg,run}*
+//!                                                          │ commit = snapshot swap
+//!                                              Arc<QuerySnapshot> ◀── QueryServer workers
 //! ```
 
 pub mod daemon;
 pub mod query;
+pub mod snapshot;
+
+pub(crate) mod server;
 
 pub use daemon::{DaemonRecovery, EpochRecord, EpochSummary, ServiceConfig, SirenDaemon};
-pub use query::{Neighbor, QueryEngine};
+#[allow(deprecated)]
+pub use query::QueryEngine;
+pub use siren_proto::Selection;
+pub use snapshot::{Neighbor, QuerySnapshot, SnapshotSelection};

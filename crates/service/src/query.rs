@@ -1,198 +1,85 @@
-//! Cross-epoch queries over the daemon's consolidated records.
+//! Deprecated borrowing shims over [`QuerySnapshot`].
 //!
-//! The engine indexes an [`EpochRecord`] slice (job id, epoch) and
-//! answers the service workloads the paper's analysts ran against the
-//! receiver database: per-job record lookups, library usage restricted
-//! by host and collection-time range, and fuzzy-hash nearest-neighbor
-//! search. Table-shaped results delegate to `siren-analysis`, so the
-//! daemon serves exactly the computations the offline pipeline renders.
+//! The original `QueryEngine<'a>` was lifetime-bound to a borrowed
+//! `&[EpochRecord]` slice, which made it impossible to answer queries
+//! concurrently with epoch commits. The owned, `Arc`-shared
+//! [`QuerySnapshot`](crate::QuerySnapshot) replaced it; this shim keeps
+//! the old constructor signature compiling (by cloning the slice into a
+//! snapshot) while steering callers to the snapshot API.
+//!
+//! One deliberate behavior change: accessor results now borrow from the
+//! engine itself (`&self`) rather than from the `'a` source slice, so a
+//! caller that held results past the engine — e.g.
+//! `daemon.query().nearest_neighbors(...)` as one expression — must
+//! bind the engine (or better, a snapshot) to a variable first. The
+//! deprecation note says so.
+
+#![allow(deprecated)]
 
 use crate::daemon::EpochRecord;
-use siren_analysis::{library_usage, usage_table, LibraryUsageRow, UsageRow};
+use crate::snapshot::{QuerySnapshot, SnapshotSelection};
 use siren_consolidate::ProcessRecord;
-use siren_fuzzy::{similarity_search, FuzzyHash};
-use std::collections::HashMap;
+use std::marker::PhantomData;
 
-/// One nearest-neighbor hit.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Neighbor<'a> {
-    /// Similarity score, 0–100.
-    pub score: u32,
-    /// Epoch the matching record was committed under.
-    pub epoch: u64,
-    /// The matching record.
-    pub record: &'a ProcessRecord,
-}
+pub use crate::snapshot::Neighbor;
 
-/// A reusable record filter: all conditions are ANDed.
-#[derive(Debug, Clone, Default)]
-pub struct Selection {
-    epoch: Option<u64>,
-    host: Option<String>,
-    time_range: Option<(u64, u64)>,
-}
-
-/// Cross-epoch query engine (cheap to build: one pass over the records).
+/// Borrowing cross-epoch query engine — a thin shim that clones the
+/// slice into an owned [`QuerySnapshot`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SirenDaemon::snapshot()` / `QuerySnapshot::build` — the shim clones the records on construction, and its accessors now borrow from the engine (bind it to a variable) instead of the `'a` slice"
+)]
 pub struct QueryEngine<'a> {
-    records: &'a [EpochRecord],
-    by_job: HashMap<u64, Vec<usize>>,
+    snapshot: QuerySnapshot,
+    _source: PhantomData<&'a [EpochRecord]>,
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Index `records`.
+    /// Index `records` (cloned into an owned snapshot).
     pub fn new(records: &'a [EpochRecord]) -> Self {
-        let mut by_job: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (i, er) in records.iter().enumerate() {
-            by_job.entry(er.record.key.job_id).or_default().push(i);
+        Self {
+            snapshot: QuerySnapshot::build(records.to_vec()),
+            _source: PhantomData,
         }
-        Self { records, by_job }
+    }
+
+    /// The owned snapshot backing this shim.
+    pub fn snapshot(&self) -> &QuerySnapshot {
+        &self.snapshot
     }
 
     /// Total records across epochs.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.snapshot.len()
     }
 
     /// True when no epoch has committed records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.snapshot.is_empty()
     }
 
     /// Distinct epochs present, ascending.
     pub fn epochs(&self) -> Vec<u64> {
-        let mut epochs: Vec<u64> = self.records.iter().map(|r| r.epoch).collect();
-        epochs.sort_unstable();
-        epochs.dedup();
-        epochs
+        self.snapshot.epochs()
     }
 
     /// Every record of one job, across epochs, in commit order.
-    pub fn job_records(&self, job_id: u64) -> Vec<&'a EpochRecord> {
-        self.by_job
-            .get(&job_id)
-            .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
-            .unwrap_or_default()
+    pub fn job_records(&self, job_id: u64) -> Vec<&EpochRecord> {
+        self.snapshot.job_records(job_id)
     }
 
     /// All records of one epoch, in consolidation order.
-    pub fn epoch_records(&self, epoch: u64) -> Vec<&'a ProcessRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.epoch == epoch)
-            .map(|r| &r.record)
-            .collect()
+    pub fn epoch_records(&self, epoch: u64) -> Vec<&ProcessRecord> {
+        self.snapshot.epoch_records(epoch)
     }
 
     /// Start building a filtered selection.
-    pub fn select(&self) -> SelectionBuilder<'a, '_> {
-        SelectionBuilder {
-            engine: self,
-            selection: Selection::default(),
-        }
+    pub fn select(&self) -> SnapshotSelection<'_> {
+        self.snapshot.select()
     }
 
-    fn filtered(&self, sel: &Selection) -> Vec<&'a ProcessRecord> {
-        self.records
-            .iter()
-            .filter(|er| {
-                if let Some(e) = sel.epoch {
-                    if er.epoch != e {
-                        return false;
-                    }
-                }
-                if let Some(h) = &sel.host {
-                    if &er.record.key.host != h {
-                        return false;
-                    }
-                }
-                if let Some((lo, hi)) = sel.time_range {
-                    if er.record.key.time < lo || er.record.key.time > hi {
-                        return false;
-                    }
-                }
-                true
-            })
-            .map(|er| &er.record)
-            .collect()
-    }
-
-    /// Fuzzy-hash nearest neighbors of `hash` (an SSDeep-style
-    /// `block:sig1:sig2` string) over the records' `FILE_H` column.
-    /// Returns up to `k` hits scoring at least `min_score`, best first.
-    pub fn nearest_neighbors(&self, hash: &str, k: usize, min_score: u32) -> Vec<Neighbor<'a>> {
-        let Ok(baseline) = FuzzyHash::parse(hash) else {
-            return Vec::new();
-        };
-        let mut corpus: Vec<FuzzyHash> = Vec::new();
-        let mut owners: Vec<usize> = Vec::new();
-        for (i, er) in self.records.iter().enumerate() {
-            if let Some(h) = &er.record.file_hash {
-                if let Ok(parsed) = FuzzyHash::parse(h) {
-                    corpus.push(parsed);
-                    owners.push(i);
-                }
-            }
-        }
-        similarity_search(&baseline, &corpus, min_score)
-            .into_iter()
-            .take(k)
-            .map(|hit| {
-                let er = &self.records[owners[hit.index]];
-                Neighbor {
-                    score: hit.score,
-                    epoch: er.epoch,
-                    record: &er.record,
-                }
-            })
-            .collect()
-    }
-}
-
-/// Fluent filter over a [`QueryEngine`].
-pub struct SelectionBuilder<'a, 'e> {
-    engine: &'e QueryEngine<'a>,
-    selection: Selection,
-}
-
-impl<'a> SelectionBuilder<'a, '_> {
-    /// Restrict to one epoch.
-    pub fn epoch(mut self, epoch: u64) -> Self {
-        self.selection.epoch = Some(epoch);
-        self
-    }
-
-    /// Restrict to one host.
-    pub fn host(mut self, host: &str) -> Self {
-        self.selection.host = Some(host.to_string());
-        self
-    }
-
-    /// Restrict to `start ..= end` collection timestamps.
-    pub fn time_between(mut self, start: u64, end: u64) -> Self {
-        self.selection.time_range = Some((start, end));
-        self
-    }
-
-    /// Matching records.
-    pub fn records(self) -> Vec<&'a ProcessRecord> {
-        self.engine.filtered(&self.selection)
-    }
-
-    /// Library usage over the selection (`siren-analysis` aggregation —
-    /// the same computation behind the paper's library tables).
-    pub fn library_usage(self) -> Vec<LibraryUsageRow> {
-        let records = self.engine.filtered(&self.selection);
-        library_usage(records)
-    }
-
-    /// The paper's Table-2 usage breakdown over the selection.
-    pub fn usage_table(self) -> Vec<UsageRow> {
-        let records: Vec<ProcessRecord> = self
-            .engine
-            .filtered(&self.selection)
-            .into_iter()
-            .cloned()
-            .collect();
-        usage_table(&records)
+    /// Fuzzy-hash nearest neighbors over the records' `FILE_H` column.
+    pub fn nearest_neighbors(&self, hash: &str, k: usize, min_score: u32) -> Vec<Neighbor<'_>> {
+        self.snapshot.nearest_neighbors(hash, k, min_score)
     }
 }

@@ -1,0 +1,260 @@
+//! The TCP query server embedded in [`SirenDaemon`](crate::SirenDaemon).
+//!
+//! One non-blocking accept thread feeds a **bounded** queue of accepted
+//! connections; a fixed pool of worker threads drains it, each handling
+//! one connection at a time (hello negotiation, then a request/response
+//! loop). When the queue is full, new connections are refused (closed
+//! immediately) rather than buffered without bound. Per-connection
+//! read/write deadlines bound both idle clients and slow consumers.
+//!
+//! Hostile-input posture: the frame reader bounds-checks length
+//! prefixes before allocating; framing-level corruption (bad magic, bad
+//! checksum, torn frame) draws a best-effort [`QueryError`] and a close
+//! (the stream can no longer be trusted); an unknown request tag inside
+//! an intact frame draws a [`QueryError::UnknownRequest`] and the
+//! connection stays usable.
+
+use crate::daemon::SharedState;
+use crossbeam::channel::{bounded, Receiver, TrySendError};
+use siren_proto::{
+    decode_hello, encode_hello_ack, negotiate, read_frame, write_frame, FrameError, QueryError,
+    QueryRequest, QueryResponse, MAX_FRAME_PAYLOAD,
+};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counters the server keeps about its own traffic.
+#[derive(Debug, Default)]
+pub(crate) struct ServerCounters {
+    /// Connections accepted into the worker queue.
+    pub accepted: AtomicU64,
+    /// Connections refused because the queue was full.
+    pub refused: AtomicU64,
+    /// Requests answered (including error answers).
+    pub requests: AtomicU64,
+}
+
+/// The embedded TCP query server. Dropping it stops the accept thread,
+/// drains the workers, and joins everything.
+#[derive(Debug)]
+pub(crate) struct QueryServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    counters: Arc<ServerCounters>,
+}
+
+impl QueryServer {
+    /// Bind `addr` and start the accept thread plus `workers` handler
+    /// threads sharing a queue of `backlog` pending connections.
+    pub(crate) fn spawn(
+        addr: SocketAddr,
+        shared: Arc<SharedState>,
+        workers: usize,
+        backlog: usize,
+        deadline: Duration,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServerCounters::default());
+        let (tx, rx) = bounded::<TcpStream>(backlog.max(1));
+
+        let mut worker_handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let rx: Receiver<TcpStream> = rx.clone();
+            let shared = Arc::clone(&shared);
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("siren-query-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            handle_connection(stream, &shared, &counters, deadline, &stop);
+                        }
+                    })?,
+            );
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_counters = Arc::clone(&counters);
+        let accept = std::thread::Builder::new()
+            .name("siren-query-accept".into())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => match tx.try_send(stream) {
+                            Ok(()) => {
+                                accept_counters.accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Queue full: refuse by dropping (closes the
+                            // socket) instead of buffering without bound.
+                            Err(TrySendError::Full(refused)) => {
+                                drop(refused);
+                                accept_counters.refused.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        },
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        // Transient accept failures (ECONNABORTED from a
+                        // peer resetting while queued, EMFILE under fd
+                        // pressure) must not take the query API down for
+                        // the daemon's lifetime; back off and keep
+                        // accepting. Only the stop flag ends the loop.
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+                // tx drops here; workers drain the queue and exit.
+            })?;
+
+        Ok(Self {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            workers: worker_handles,
+            counters,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests answered so far (including error answers).
+    pub(crate) fn requests_served(&self) -> u64 {
+        self.counters.requests.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Best-effort error answer; failures are moot because the connection
+/// is being dropped anyway.
+fn send_error(stream: &mut TcpStream, err: QueryError) {
+    let _ = write_frame(stream, &QueryResponse::Error(err).encode());
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &SharedState,
+    counters: &ServerCounters,
+    deadline: Duration,
+    stop: &AtomicBool,
+) {
+    // Accepted sockets inherit the listener's non-blocking mode on some
+    // platforms (Windows, the BSDs); reset explicitly so the frame reads
+    // below block up to the deadline everywhere.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(deadline)).is_err()
+        || stream.set_write_timeout(Some(deadline)).is_err()
+    {
+        return;
+    }
+
+    // Version negotiation: exactly one hello frame before anything else.
+    let version = match read_frame(&mut stream) {
+        Ok(payload) => match decode_hello(&payload) {
+            Some((client_min, client_max)) => match negotiate(client_min, client_max) {
+                Ok(version) => version,
+                Err(err) => {
+                    send_error(&mut stream, err);
+                    return;
+                }
+            },
+            None => {
+                send_error(&mut stream, QueryError::Malformed("bad hello".into()));
+                return;
+            }
+        },
+        Err(FrameError::TooLarge(len)) => {
+            send_error(&mut stream, QueryError::FrameTooLarge(len));
+            return;
+        }
+        Err(_) => return,
+    };
+    if write_frame(&mut stream, &encode_hello_ack(version)).is_err() {
+        return;
+    }
+
+    loop {
+        // Server shutdown: stop serving this connection even if the
+        // client keeps requests coming (otherwise one busy client could
+        // pin Drop forever; the read timeout bounds the wait below).
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(payload) => payload,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::TooLarge(len)) => {
+                send_error(&mut stream, QueryError::FrameTooLarge(len));
+                return;
+            }
+            Err(FrameError::BadMagic(_) | FrameError::BadChecksum | FrameError::Truncated) => {
+                // The stream is desynced; no further frame boundary can
+                // be trusted.
+                send_error(
+                    &mut stream,
+                    QueryError::Malformed("unreadable frame".into()),
+                );
+                return;
+            }
+            Err(FrameError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                send_error(&mut stream, QueryError::Deadline);
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, fatal) = match QueryRequest::decode(&payload) {
+            Ok(request) => {
+                // Lock-free read path: clone the current snapshot Arc
+                // and answer entirely from it.
+                let snapshot = shared.load();
+                (snapshot.respond(shared.status(version), &request), false)
+            }
+            // Intact frame, unknown tag: answer and keep the connection.
+            Err(err @ QueryError::UnknownRequest(_)) => (QueryResponse::Error(err), false),
+            Err(err) => (QueryResponse::Error(err), true),
+        };
+        // The client's read_frame refuses payloads above the protocol
+        // cap, so sending one would kill the connection mid-answer;
+        // substitute a typed error the client can act on instead.
+        let mut encoded = response.encode();
+        if encoded.len() > MAX_FRAME_PAYLOAD as usize {
+            encoded = QueryResponse::Error(QueryError::Internal(format!(
+                "response of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame cap; narrow the query",
+                encoded.len()
+            )))
+            .encode();
+        }
+        if write_frame(&mut stream, &encoded).is_err() || fatal {
+            return;
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The owned, immutable query snapshot.
+//!
+//! A [`QuerySnapshot`] is built once per committed epoch: it owns the
+//! full epoch-tagged record set plus the indexes queries need (per-job
+//! posting lists, the pre-parsed fuzzy-hash corpus). Because it is
+//! immutable and `Arc`-shared, any number of query threads can read it
+//! with no locking at all while the daemon ingests and commits the next
+//! epoch — commit simply publishes a *new* snapshot; in-flight queries
+//! keep the one they started with (see `daemon::SharedState`).
+
+use crate::daemon::EpochRecord;
+use siren_analysis::{library_usage, usage_table, LibraryUsageRow, UsageRow};
+use siren_consolidate::ProcessRecord;
+use siren_fuzzy::{similarity_search, FuzzyHash};
+use siren_proto::{NeighborRow, QueryRequest, QueryResponse, RecordRow, Selection, StatusInfo};
+use std::collections::HashMap;
+
+/// One nearest-neighbor hit, borrowing the matching record from the
+/// snapshot it was found in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Neighbor<'a> {
+    /// Similarity score, 0–100.
+    pub score: u32,
+    /// Epoch the matching record was committed under.
+    pub epoch: u64,
+    /// The matching record.
+    pub record: &'a ProcessRecord,
+}
+
+/// An immutable, index-carrying view of every committed record.
+#[derive(Debug, Default)]
+pub struct QuerySnapshot {
+    records: Vec<EpochRecord>,
+    by_job: HashMap<u64, Vec<usize>>,
+    /// Pre-parsed `FILE_H` hashes (built once here instead of on every
+    /// nearest-neighbor request, which the borrowing engine used to do).
+    corpus: Vec<FuzzyHash>,
+    corpus_owners: Vec<usize>,
+}
+
+impl QuerySnapshot {
+    /// Index `records` (one pass; FILE_H hashes parsed up front).
+    pub fn build(records: Vec<EpochRecord>) -> Self {
+        let mut by_job: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut corpus = Vec::new();
+        let mut corpus_owners = Vec::new();
+        for (i, er) in records.iter().enumerate() {
+            by_job.entry(er.record.key.job_id).or_default().push(i);
+            if let Some(h) = &er.record.file_hash {
+                if let Ok(parsed) = FuzzyHash::parse(h) {
+                    corpus.push(parsed);
+                    corpus_owners.push(i);
+                }
+            }
+        }
+        Self {
+            records,
+            by_job,
+            corpus,
+            corpus_owners,
+        }
+    }
+
+    /// The snapshot of an empty store.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Total records across epochs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no epoch has committed records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Every record, epoch-tagged, in commit order.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Distinct epochs present, ascending.
+    pub fn epochs(&self) -> Vec<u64> {
+        let mut epochs: Vec<u64> = self.records.iter().map(|r| r.epoch).collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
+    }
+
+    /// Every record of one job, across epochs, in commit order.
+    pub fn job_records(&self, job_id: u64) -> Vec<&EpochRecord> {
+        self.by_job
+            .get(&job_id)
+            .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// All records of one epoch, in consolidation order.
+    pub fn epoch_records(&self, epoch: u64) -> Vec<&ProcessRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.epoch == epoch)
+            .map(|r| &r.record)
+            .collect()
+    }
+
+    /// Records passing `selection`, in commit order.
+    pub fn filtered(&self, selection: &Selection) -> Vec<&ProcessRecord> {
+        self.records
+            .iter()
+            .filter(|er| selection.matches(er.epoch, &er.record))
+            .map(|er| &er.record)
+            .collect()
+    }
+
+    /// Start building a filtered selection.
+    pub fn select(&self) -> SnapshotSelection<'_> {
+        SnapshotSelection {
+            snapshot: self,
+            selection: Selection::all(),
+        }
+    }
+
+    /// Fuzzy-hash nearest neighbors of `hash` (an SSDeep-style
+    /// `block:sig1:sig2` string) over the records' `FILE_H` column.
+    /// Returns up to `k` hits scoring at least `min_score`, best first.
+    pub fn nearest_neighbors(&self, hash: &str, k: usize, min_score: u32) -> Vec<Neighbor<'_>> {
+        let Ok(baseline) = FuzzyHash::parse(hash) else {
+            return Vec::new();
+        };
+        similarity_search(&baseline, &self.corpus, min_score)
+            .into_iter()
+            .take(k)
+            .map(|hit| {
+                let er = &self.records[self.corpus_owners[hit.index]];
+                Neighbor {
+                    score: hit.score,
+                    epoch: er.epoch,
+                    record: &er.record,
+                }
+            })
+            .collect()
+    }
+
+    /// Answer one protocol request against this snapshot. `status`
+    /// carries the live daemon counters (the snapshot itself only knows
+    /// committed state); its store-shape fields are overwritten from the
+    /// snapshot so a `Status` answer is always self-consistent.
+    pub fn respond(&self, mut status: StatusInfo, request: &QueryRequest) -> QueryResponse {
+        match request {
+            QueryRequest::Status => {
+                status.committed_epochs = self.epochs();
+                status.records = self.len() as u64;
+                QueryResponse::Status(status)
+            }
+            QueryRequest::ByJob { job_id } => QueryResponse::Rows(
+                self.job_records(*job_id)
+                    .into_iter()
+                    .map(|er| RecordRow {
+                        epoch: er.epoch,
+                        record: er.record.clone(),
+                    })
+                    .collect(),
+            ),
+            QueryRequest::LibraryUsage { selection } => {
+                QueryResponse::LibraryUsage(library_usage(self.filtered(selection)))
+            }
+            QueryRequest::Neighbors { hash, k, min_score } => QueryResponse::Neighbors(
+                self.nearest_neighbors(hash, *k as usize, *min_score)
+                    .into_iter()
+                    .map(|n| NeighborRow {
+                        score: n.score,
+                        epoch: n.epoch,
+                        record: n.record.clone(),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Fluent filter over a [`QuerySnapshot`].
+#[derive(Debug)]
+pub struct SnapshotSelection<'s> {
+    snapshot: &'s QuerySnapshot,
+    selection: Selection,
+}
+
+impl<'s> SnapshotSelection<'s> {
+    /// Restrict to one epoch.
+    pub fn epoch(mut self, epoch: u64) -> Self {
+        self.selection = self.selection.epoch(epoch);
+        self
+    }
+
+    /// Restrict to one host.
+    pub fn host(mut self, host: &str) -> Self {
+        self.selection = self.selection.host(host);
+        self
+    }
+
+    /// Restrict to `start ..= end` collection timestamps.
+    pub fn between(mut self, start: u64, end: u64) -> Self {
+        self.selection = self.selection.between(start, end);
+        self
+    }
+
+    /// The accumulated filter (e.g. to send over the wire instead).
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// Matching records.
+    pub fn records(self) -> Vec<&'s ProcessRecord> {
+        self.snapshot.filtered(&self.selection)
+    }
+
+    /// Library usage over the selection (`siren-analysis` aggregation —
+    /// the same computation behind the paper's library tables).
+    pub fn library_usage(self) -> Vec<LibraryUsageRow> {
+        library_usage(self.snapshot.filtered(&self.selection))
+    }
+
+    /// The paper's Table-2 usage breakdown over the selection.
+    pub fn usage_table(self) -> Vec<UsageRow> {
+        let records: Vec<ProcessRecord> = self
+            .snapshot
+            .filtered(&self.selection)
+            .into_iter()
+            .cloned()
+            .collect();
+        usage_table(&records)
+    }
+}

@@ -103,7 +103,7 @@ fn sentinels_close_epochs_and_queries_span_them() {
     assert_eq!(daemon.committed_epochs(), vec![0, 1]);
 
     // Cross-epoch queries.
-    let query = daemon.query();
+    let query = daemon.snapshot();
     assert_eq!(query.epochs(), vec![0, 1]);
     for (epoch, reference) in references.iter().enumerate() {
         let got: Vec<ProcessRecord> = query
@@ -139,7 +139,8 @@ fn sentinels_close_epochs_and_queries_span_them() {
         .flatten()
         .find_map(|r| r.file_hash.clone().map(|h| (h, r.clone())))
     {
-        let neighbors = daemon.query().nearest_neighbors(&hash, 5, 50);
+        let snapshot = daemon.snapshot();
+        let neighbors = snapshot.nearest_neighbors(&hash, 5, 50);
         assert!(!neighbors.is_empty());
         assert_eq!(neighbors[0].score, 100);
         assert_eq!(
@@ -175,7 +176,7 @@ fn restart_between_epochs_recovers_committed_records() {
     assert_eq!(recovery.consolidated_records as usize, reference.len());
     assert_eq!(recovery.resumed_epoch, None);
     let got: Vec<ProcessRecord> = daemon
-        .query()
+        .snapshot()
         .epoch_records(0)
         .into_iter()
         .cloned()
@@ -261,7 +262,7 @@ fn crash_mid_epoch_resumes_and_converges_on_resend() {
         "resume must replay persisted rows"
     );
 
-    let query = daemon.query();
+    let query = daemon.snapshot();
     assert_eq!(query.epochs(), vec![0, 1]);
     let got0: Vec<ProcessRecord> = query.epoch_records(0).into_iter().cloned().collect();
     let got1: Vec<ProcessRecord> = query.epoch_records(1).into_iter().cloned().collect();
@@ -328,7 +329,7 @@ fn injected_loss_streams_consolidate_like_serial() {
             daemon.close_epoch().unwrap();
         }
         let got: Vec<ProcessRecord> = daemon
-            .query()
+            .snapshot()
             .epoch_records(epoch)
             .into_iter()
             .cloned()

@@ -1,0 +1,365 @@
+//! End-to-end query-server tests: a daemon ingesting epochs over real
+//! UDP loopback while concurrent clients query over TCP. At every
+//! commit point the wire answers must equal the in-process
+//! [`QuerySnapshot`] results — the acceptance bar for the versioned
+//! query protocol. A second suite feeds the server hostile bytes
+//! (truncated frames, bad checksums, unknown tags, absurd length
+//! prefixes) and requires typed errors and clean closes, never panics.
+
+use siren_cluster::{Campaign, CampaignConfig, FleetConfig};
+use siren_collector::{Collector, PolicyMode};
+use siren_net::{Sender as _, SimChannel, SimConfig, UdpReceiver, UdpSender};
+use siren_proto::{
+    encode_hello, read_frame, write_frame, ClientError, NeighborRow, QueryError, QueryRequest,
+    QueryResponse, RecordRow, Selection, SirenClient, PROTOCOL_VERSION,
+};
+use siren_service::{ServiceConfig, SirenDaemon};
+use siren_store::SegmentedOptions;
+use siren_wire::Message;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn campaign_messages(cluster: usize, epoch: u64, seed: u64) -> Vec<Message> {
+    let cfg = FleetConfig {
+        clusters: 3,
+        base: CampaignConfig {
+            scale: 0.001,
+            ..CampaignConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+    .campaign_config(cluster);
+    let (tx, rx) = SimChannel::create(SimConfig::perfect());
+    let mut collector = Collector::new(&tx, PolicyMode::Selective)
+        .with_sender_id(cluster as u32)
+        .with_epoch(epoch);
+    let _ = seed;
+    Campaign::new(cfg).run(|ctx| collector.observe(&ctx));
+    collector.end_campaign();
+    rx.drain_messages().0
+}
+
+fn temp_data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("siren-qserver-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_config(dir: &PathBuf) -> ServiceConfig {
+    ServiceConfig {
+        store: SegmentedOptions {
+            rotate_bytes: 16 * 1024,
+            compact_min_files: 2,
+            background_compaction: false,
+        },
+        shards: 2,
+        query_addr: Some("127.0.0.1:0".parse().unwrap()),
+        quiet_period: Duration::from_millis(400),
+        ..ServiceConfig::at(dir)
+    }
+}
+
+#[test]
+fn tcp_answers_equal_in_process_snapshot_at_every_commit_point() {
+    let dir = temp_data_dir("e2e");
+    let (mut daemon, _) = SirenDaemon::open(server_config(&dir)).unwrap();
+    let qaddr = daemon.query_addr().expect("query server must be up");
+
+    // Concurrent chaos clients: hammer the server on their own
+    // connections for the whole ingest run, asserting only invariants
+    // that hold at *any* instant (snapshot consistency: the Status
+    // answer's record count and epoch list must describe one committed
+    // snapshot, never a half-commit).
+    let stop = Arc::new(AtomicBool::new(false));
+    let chaos: Vec<_> = (0..2u64)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = SirenClient::connect(qaddr).expect("chaos connect");
+                assert_eq!(client.negotiated_version(), PROTOCOL_VERSION);
+                let mut calls = 0u64;
+                let mut last_records = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let status = client.status().expect("status during ingest");
+                    // Commits only ever add records; a torn snapshot
+                    // could show a regression.
+                    assert!(
+                        status.records >= last_records,
+                        "records went backwards: {} -> {}",
+                        last_records,
+                        status.records
+                    );
+                    last_records = status.records;
+                    let job = calls * 7 + i;
+                    let rows = client.by_job(job).expect("by_job during ingest");
+                    assert!(rows.iter().all(|row| row.record.key.job_id == job));
+                    calls += 1;
+                }
+                calls
+            })
+        })
+        .collect();
+
+    // Ingest three epochs over real UDP loopback.
+    let receiver = UdpReceiver::spawn(65_536).unwrap();
+    let sender = UdpSender::connect(receiver.local_addr()).unwrap();
+    for epoch in 0..3u64 {
+        let messages = campaign_messages(epoch as usize, epoch, epoch);
+        for msg in &messages {
+            sender.send(&msg.encode());
+        }
+        let summaries = daemon.drain_udp(&receiver, 1).unwrap();
+        assert_eq!(summaries.len(), 1, "epoch {epoch} must commit");
+        assert_eq!(summaries[0].epoch, epoch);
+
+        // ---- Commit point: wire answers must equal the snapshot. ----
+        let snapshot = daemon.snapshot();
+        let mut client = SirenClient::connect(qaddr).unwrap();
+
+        let status = client.status().unwrap();
+        assert_eq!(status.committed_epochs, snapshot.epochs());
+        assert_eq!(status.records, snapshot.len() as u64);
+        assert_eq!(status.open_epoch, None);
+        assert_eq!(status.protocol_version, PROTOCOL_VERSION);
+
+        // Every job present in the snapshot answers identically on the
+        // wire (spot-check a handful to keep the test fast).
+        let mut jobs: Vec<u64> = snapshot
+            .records()
+            .iter()
+            .map(|er| er.record.key.job_id)
+            .collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        for &job in jobs.iter().step_by(jobs.len() / 5 + 1) {
+            let wire = client.by_job(job).unwrap();
+            let local: Vec<RecordRow> = snapshot
+                .job_records(job)
+                .into_iter()
+                .map(|er| RecordRow {
+                    epoch: er.epoch,
+                    record: er.record.clone(),
+                })
+                .collect();
+            assert_eq!(wire, local, "job {job} at epoch {epoch}");
+        }
+        // And an absent job answers an empty row set.
+        assert!(client.by_job(u64::MAX).unwrap().is_empty());
+
+        // Library usage under a host + time-range selection.
+        let probe = &snapshot.records()[snapshot.len() / 2].record;
+        let selection = Selection::all()
+            .host(probe.key.host.clone())
+            .between(0, u64::MAX / 2);
+        let wire_rows = client.library_usage(selection.clone()).unwrap();
+        let local_rows = snapshot
+            .select()
+            .host(&probe.key.host)
+            .between(0, u64::MAX / 2)
+            .library_usage();
+        assert_eq!(wire_rows, local_rows, "library usage at epoch {epoch}");
+
+        // Nearest neighbors around a real FILE_H probe.
+        if let Some(hash) = snapshot
+            .records()
+            .iter()
+            .find_map(|er| er.record.file_hash.clone())
+        {
+            let wire = client.neighbors(&hash, 5, 50).unwrap();
+            let local: Vec<NeighborRow> = snapshot
+                .nearest_neighbors(&hash, 5, 50)
+                .into_iter()
+                .map(|n| NeighborRow {
+                    score: n.score,
+                    epoch: n.epoch,
+                    record: n.record.clone(),
+                })
+                .collect();
+            assert_eq!(wire, local, "neighbors at epoch {epoch}");
+            assert_eq!(wire[0].score, 100);
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for handle in chaos {
+        let calls = handle.join().expect("chaos client must not panic");
+        assert!(calls > 0, "chaos client never got a query through");
+    }
+    assert!(daemon.queries_served() > 0);
+    drop(daemon);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn quiet_period_fallback_commits_and_is_surfaced_in_status() {
+    let dir = temp_data_dir("quiet");
+    let (mut daemon, _) = SirenDaemon::open(server_config(&dir)).unwrap();
+    let qaddr = daemon.query_addr().unwrap();
+
+    let receiver = UdpReceiver::spawn(65_536).unwrap();
+    let sender = UdpSender::connect(receiver.local_addr()).unwrap();
+    // Strip every sentinel: the epoch can only close via the fallback.
+    for msg in campaign_messages(0, 0, 9) {
+        if msg.header.mtype != siren_wire::MessageType::End {
+            sender.send(&msg.encode());
+        }
+    }
+    let summaries = daemon.drain_udp(&receiver, 1).unwrap();
+    assert_eq!(summaries.len(), 1);
+    assert_eq!(summaries[0].senders_closed, 0, "no sentinel ever arrived");
+
+    let mut client = SirenClient::connect(qaddr).unwrap();
+    let status = client.status().unwrap();
+    assert_eq!(status.quiet_period_fallbacks, 1);
+    assert_eq!(status.epoch_tag_mismatches, 0);
+    assert_eq!(status.committed_epochs, vec![0]);
+
+    // Mismatched-tag sentinels are counted live and visible over TCP
+    // while the epoch is still open.
+    daemon.begin_epoch().unwrap();
+    for _ in 0..3 {
+        daemon
+            .push(siren_wire::sentinel_message_with_epoch(7, 0, Some(99)))
+            .unwrap();
+    }
+    let status = client.status().unwrap();
+    assert_eq!(status.open_epoch, Some(1));
+    assert_eq!(status.epoch_tag_mismatches, 3);
+    daemon.close_epoch().unwrap();
+    drop(daemon);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ------------------------------------------------ hostile inputs --
+
+fn hostile_daemon(tag: &str) -> (SirenDaemon, std::net::SocketAddr, PathBuf) {
+    let dir = temp_data_dir(tag);
+    let (daemon, _) = SirenDaemon::open(server_config(&dir)).unwrap();
+    let addr = daemon.query_addr().unwrap();
+    (daemon, addr, dir)
+}
+
+/// Raw TCP connection that has completed the hello exchange.
+fn negotiated_stream(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write_frame(&mut stream, &encode_hello(1, PROTOCOL_VERSION)).unwrap();
+    let ack = read_frame(&mut stream).unwrap();
+    assert!(siren_proto::decode_hello_ack(&ack).is_some());
+    stream
+}
+
+fn expect_error_then_close(mut stream: TcpStream) -> QueryError {
+    let payload = read_frame(&mut stream).expect("server must answer before closing");
+    let err = match QueryResponse::decode(&payload) {
+        Ok(QueryResponse::Error(err)) => err,
+        other => panic!("expected error response, got {other:?}"),
+    };
+    // …and then a clean close.
+    assert!(matches!(
+        read_frame(&mut stream),
+        Err(siren_proto::FrameError::Closed)
+    ));
+    err
+}
+
+#[test]
+fn hostile_protocol_input_draws_typed_errors_and_clean_closes() {
+    let (daemon, addr, dir) = hostile_daemon("hostile");
+
+    // 1. Oversized length prefix: refused before allocation, typed
+    //    error. (Only the 5 header bytes are sent, so the server-side
+    //    close is a clean FIN rather than an unread-data RST.)
+    {
+        let mut stream = negotiated_stream(addr);
+        let mut evil = vec![0xD8u8];
+        evil.extend_from_slice(&(u32::MAX).to_le_bytes());
+        stream.write_all(&evil).unwrap();
+        assert!(matches!(
+            expect_error_then_close(stream),
+            QueryError::FrameTooLarge(_)
+        ));
+    }
+
+    // 2. Bad checksum: Malformed error, close.
+    {
+        let mut stream = negotiated_stream(addr);
+        let mut frame = siren_store::encode_frame(&QueryRequest::Status.encode());
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        stream.write_all(&frame).unwrap();
+        assert!(matches!(
+            expect_error_then_close(stream),
+            QueryError::Malformed(_)
+        ));
+    }
+
+    // 3. Garbage magic (a single wrong byte, again to avoid unread
+    //    bytes at close time): Malformed error, close.
+    {
+        let mut stream = negotiated_stream(addr);
+        stream.write_all(&[0x00u8]).unwrap();
+        assert!(matches!(
+            expect_error_then_close(stream),
+            QueryError::Malformed(_)
+        ));
+    }
+
+    // 4. Unknown request tag inside an intact frame: typed error and
+    //    the connection SURVIVES for the next (valid) request.
+    {
+        let mut stream = negotiated_stream(addr);
+        write_frame(&mut stream, &[0xEEu8, 1, 2, 3]).unwrap();
+        let payload = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            QueryResponse::decode(&payload),
+            Ok(QueryResponse::Error(QueryError::UnknownRequest(0xEE)))
+        ));
+        write_frame(&mut stream, &QueryRequest::Status.encode()).unwrap();
+        let payload = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            QueryResponse::decode(&payload),
+            Ok(QueryResponse::Status(_))
+        ));
+    }
+
+    // 5. Truncated frame then abrupt client close: server just closes.
+    {
+        let mut stream = negotiated_stream(addr);
+        let frame = siren_store::encode_frame(&QueryRequest::Status.encode());
+        stream.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(stream);
+    }
+
+    // 6. A future-only client version is refused with the server range.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(
+            &mut stream,
+            &encode_hello(PROTOCOL_VERSION + 1, PROTOCOL_VERSION + 3),
+        )
+        .unwrap();
+        assert!(matches!(
+            expect_error_then_close(stream),
+            QueryError::UnsupportedVersion { .. }
+        ));
+    }
+
+    // 7. Client-side: connecting to a dead port surfaces a transport
+    //    error, not a hang or panic.
+    drop(daemon);
+    assert!(matches!(
+        SirenClient::connect_with_timeout(addr, Duration::from_millis(500)),
+        Err(ClientError::Frame(_))
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

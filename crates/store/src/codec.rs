@@ -20,6 +20,18 @@ pub fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Append a `u32`-length-prefixed raw byte payload (nested codecs).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Read a [`put_bytes`] payload as a borrowed slice.
+pub fn get_bytes<'d>(data: &'d [u8], pos: &mut usize) -> Option<&'d [u8]> {
+    let len = u32::from_le_bytes(take(data, pos, 4)?.try_into().ok()?) as usize;
+    take(data, pos, len)
+}
+
 /// Append an optional string (`0` tag, or `1` tag + string).
 pub fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
     match s {

@@ -62,7 +62,7 @@ pub mod wal;
 pub use backend::{MemoryBackend, NullBackend, StorageBackend, WalBackend};
 pub use segment::{read_segment, write_segment, SegmentRead};
 pub use segmented::{RecoveryStats, SegmentedBackend, SegmentedOptions};
-pub use wal::{WalReader, WalWriter, FRAME_MAGIC, MAX_PAYLOAD};
+pub use wal::{encode_frame, WalReader, WalWriter, FRAME_MAGIC, MAX_PAYLOAD};
 
 /// Binary codec + total order for storable items.
 ///

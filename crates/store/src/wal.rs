@@ -23,8 +23,10 @@ pub const FRAME_MAGIC: u8 = 0xD8;
 /// Upper bound on a sane payload; anything larger is treated as corruption.
 pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
 
-/// Encode one frame around `payload`.
-pub(crate) fn encode_frame(payload: &[u8]) -> Vec<u8> {
+/// Encode one frame around `payload`. Public because the framing is a
+/// shared seam: the WAL, sealed segments, and the network query
+/// protocol (`siren-proto`) all speak exactly this frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(payload.len() + 13);
     frame.push(FRAME_MAGIC);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());

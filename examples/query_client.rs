@@ -1,0 +1,102 @@
+//! Demonstrates the versioned TCP query protocol end to end: a daemon
+//! ingests one small campaign as an epoch, serves the query protocol on
+//! a loopback port, and a typed [`SirenClient`] asks it for status,
+//! per-job records, library usage, and fuzzy nearest neighbors —
+//! exactly what an analyst-side tool would do against a production
+//! deployment.
+//!
+//! ```bash
+//! cargo run --release --example query_client
+//! ```
+
+use siren_repro::cluster::{Campaign, CampaignConfig};
+use siren_repro::collector::{Collector, PolicyMode};
+use siren_repro::net::{SimChannel, SimConfig};
+use siren_repro::proto::{Selection, SirenClient};
+use siren_repro::service::{ServiceConfig, SirenDaemon};
+
+fn main() {
+    let data_dir = std::env::temp_dir().join(format!("siren-query-client-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    // A daemon with the TCP query server enabled on an ephemeral port.
+    let cfg = ServiceConfig {
+        query_addr: Some("127.0.0.1:0".parse().unwrap()),
+        shards: 2,
+        ..ServiceConfig::at(&data_dir)
+    };
+    let (mut daemon, _) = SirenDaemon::open(cfg).expect("open daemon");
+    let addr = daemon.query_addr().expect("query server up");
+    println!("daemon serving queries on {addr}");
+
+    // Ingest one small campaign as epoch 0 (collector → messages →
+    // daemon; the sentinel burst closes and commits the epoch).
+    let (tx, rx) = SimChannel::create(SimConfig::perfect());
+    let mut collector = Collector::new(&tx, PolicyMode::Selective).with_epoch(0);
+    Campaign::new(CampaignConfig {
+        scale: 0.002,
+        ..CampaignConfig::default()
+    })
+    .run(|ctx| collector.observe(&ctx));
+    collector.end_campaign();
+    for msg in rx.drain_messages().0 {
+        daemon.push(msg).expect("ingest");
+    }
+
+    // Everything below talks to the daemon over TCP only.
+    let mut client = SirenClient::connect(addr).expect("connect");
+    println!("negotiated protocol v{}", client.negotiated_version());
+
+    let status = client.status().expect("status");
+    println!(
+        "status: {} records across epochs {:?} (tag mismatches {}, quiet fallbacks {})",
+        status.records,
+        status.committed_epochs,
+        status.epoch_tag_mismatches,
+        status.quiet_period_fallbacks,
+    );
+
+    // Per-job drill-down on whichever job the first record belongs to.
+    let snapshot = daemon.snapshot();
+    let probe = &snapshot.records()[0].record;
+    let rows = client.by_job(probe.key.job_id).expect("by_job");
+    println!(
+        "job {}: {} records, first on host {}",
+        probe.key.job_id,
+        rows.len(),
+        rows[0].record.key.host,
+    );
+
+    // Library usage restricted to that record's host.
+    let usage = client
+        .library_usage(Selection::all().host(probe.key.host.clone()))
+        .expect("library_usage");
+    println!("top libraries on {}:", probe.key.host);
+    for row in usage.iter().take(5) {
+        println!(
+            "  {:<40} {:>5} processes on {:>3} hosts",
+            row.library, row.processes, row.hosts
+        );
+    }
+
+    // Fuzzy nearest neighbors of a real FILE_H from the campaign.
+    if let Some(hash) = snapshot
+        .records()
+        .iter()
+        .find_map(|er| er.record.file_hash.clone())
+    {
+        let neighbors = client.neighbors(&hash, 5, 50).expect("neighbors");
+        println!("nearest neighbors of {hash}:");
+        for n in &neighbors {
+            println!(
+                "  score {:>3}  epoch {}  {}",
+                n.score,
+                n.epoch,
+                n.record.exe_path().unwrap_or("?"),
+            );
+        }
+    }
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

@@ -431,7 +431,7 @@ proptest! {
 
         // Cross-epoch queries equal the fresh serial runs, record for
         // record.
-        let query = daemon.query();
+        let query = daemon.snapshot();
         prop_assert_eq!(query.epochs(), vec![0, 1]);
         for (epoch, reference) in references.iter().enumerate() {
             let got: Vec<ProcessRecord> = query
