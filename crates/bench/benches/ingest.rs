@@ -12,6 +12,7 @@
 //! records `available_parallelism` alongside the numbers.
 
 use criterion::{BenchmarkId, Criterion, Throughput};
+use siren_bench::available_parallelism;
 use siren_cluster::{Campaign, CampaignConfig};
 use siren_collector::{Collector, PolicyMode};
 use siren_consolidate::consolidate;
@@ -93,9 +94,7 @@ fn write_json(c: &Criterion, n_messages: usize) {
     }
     let Some(serial_ns) = serial_ns else { return };
 
-    let cores = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let cores = available_parallelism();
     let per_sec = |ns: f64| n_messages as f64 * 1e9 / ns;
     let mut out = String::from("{\n");
     out.push_str(&format!(

@@ -1,5 +1,6 @@
-//! Query-tier benchmark: snapshot rebuild cost (paid once per epoch
-//! commit) and request latency over the TCP protocol (p50/p99 per
+//! Query-tier benchmark: epoch-commit snapshot cost (layered delta vs
+//! monolithic full rebuild), indexed vs linear-scan fuzzy neighbor
+//! search, and request latency over the TCP protocol (p50/p99 per
 //! request kind against a live daemon).
 //!
 //! Emits `BENCH_query.json` at the workspace root alongside
@@ -7,8 +8,10 @@
 //! (the CI smoke step does) to shrink the workload.
 
 use criterion::Criterion;
+use siren_bench::{available_parallelism, synthetic_file_hash};
 use siren_consolidate::ProcessRecord;
 use siren_db::Record;
+use siren_fuzzy::{similarity_search, FuzzyHash};
 use siren_proto::{Selection, SirenClient};
 use siren_service::{EpochRecord, QuerySnapshot, ServiceConfig, SirenDaemon};
 use siren_wire::{Layer, MessageType};
@@ -19,8 +22,8 @@ fn quick() -> bool {
     std::env::var("SIREN_BENCH_QUICK").is_ok_and(|v| v != "0")
 }
 
-/// One synthetic consolidated record, with a parseable FILE_H so the
-/// fuzzy corpus is populated.
+/// One synthetic consolidated record, with a realistic-entropy FILE_H
+/// so the fuzzy corpus and its gram index are fully populated.
 fn record(i: u64) -> ProcessRecord {
     let row = Record {
         job_id: i % 997,
@@ -41,12 +44,7 @@ fn record(i: u64) -> ProcessRecord {
         "/lib64/libm.so.6".into(),
         format!("/opt/app/lib{}.so", i % 256),
     ]);
-    rec.file_hash = Some(format!(
-        "96:{:016x}{:08x}:{:016x}",
-        i * 31,
-        i % 4096,
-        i * 17
-    ));
+    rec.file_hash = Some(synthetic_file_hash(i));
     rec
 }
 
@@ -67,6 +65,16 @@ fn measure(calls: usize, mut f: impl FnMut()) -> Vec<u64> {
     ns
 }
 
+struct CommitNumbers {
+    epoch_records: usize,
+}
+
+struct NeighborNumbers {
+    calls: usize,
+    scan_ns: Vec<u64>,
+    indexed_ns: Vec<u64>,
+}
+
 fn main() {
     let mut criterion = Criterion::default().configure_from_args();
     let n: usize = if quick() { 5_000 } else { 50_000 };
@@ -78,8 +86,8 @@ fn main() {
         })
         .collect();
 
-    // 1. Snapshot rebuild: the cost a commit pays to publish (indexes +
-    //    fuzzy corpus parse over the full record set).
+    // 1. Snapshot rebuild: what a monolithic commit pays to publish
+    //    (indexes + fuzzy corpus parse over the full record set).
     {
         let mut g = criterion.benchmark_group("query");
         g.sample_size(5);
@@ -90,7 +98,65 @@ fn main() {
         g.finish();
     }
 
-    // 2. TCP request latency against a live daemon populated with the
+    // 2. Epoch commit: the acceptance comparison. Delta-committing a
+    //    10% epoch onto `n` existing records (what `with_epoch` does at
+    //    every commit) vs rebuilding the whole history from scratch
+    //    (what the monolithic snapshot did).
+    let commit = {
+        let epoch_len = n / 10;
+        let delta_rows: Vec<EpochRecord> = (n as u64..(n + epoch_len) as u64)
+            .map(|i| EpochRecord {
+                epoch: epochs,
+                record: record(i),
+            })
+            .collect();
+        let mut full_input = rows.clone();
+        full_input.extend(delta_rows.iter().cloned());
+        let base = QuerySnapshot::build(rows.clone());
+
+        let mut g = criterion.benchmark_group("query");
+        g.sample_size(5);
+        g.bench_function("commit_full_rebuild", |b| {
+            b.iter(|| black_box(QuerySnapshot::build(black_box(full_input.clone()))))
+        });
+        g.bench_function("commit_delta", |b| {
+            b.iter(|| black_box(base.with_epoch(black_box(delta_rows.clone()))))
+        });
+        g.finish();
+        CommitNumbers {
+            epoch_records: epoch_len,
+        }
+    };
+
+    // 3. Fuzzy neighbors: the per-layer gram index vs the linear scan
+    //    over the same corpus, in-process (no protocol in the way).
+    let neighbor_calls = if quick() { 50 } else { 200 };
+    let neighbors = {
+        let snapshot = QuerySnapshot::build(rows.clone());
+        let corpus: Vec<FuzzyHash> = rows
+            .iter()
+            .filter_map(|er| er.record.file_hash.as_deref())
+            .filter_map(|h| FuzzyHash::parse(h).ok())
+            .collect();
+        let mut probe = 0u64;
+        let scan_ns = measure(neighbor_calls, || {
+            probe = (probe + 41) % n as u64;
+            let baseline = FuzzyHash::parse(&synthetic_file_hash(probe)).unwrap();
+            black_box(similarity_search(&baseline, &corpus, 50));
+        });
+        probe = 0;
+        let indexed_ns = measure(neighbor_calls, || {
+            probe = (probe + 41) % n as u64;
+            black_box(snapshot.nearest_neighbors(&synthetic_file_hash(probe), 5, 50));
+        });
+        NeighborNumbers {
+            calls: neighbor_calls,
+            scan_ns,
+            indexed_ns,
+        }
+    };
+
+    // 4. TCP request latency against a live daemon populated with the
     //    same records (imported as `epochs` committed epochs).
     let dir = std::env::temp_dir().join(format!("siren-bench-query-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -152,6 +218,8 @@ fn main() {
     write_json(
         &criterion,
         n,
+        commit,
+        &neighbors,
         &[
             ("status", status_ns),
             ("by_job", by_job_ns),
@@ -161,21 +229,52 @@ fn main() {
     );
 }
 
-fn write_json(c: &Criterion, n: usize, kinds: &[(&str, Vec<u64>)]) {
-    let Some(rebuild_ns) = c
-        .measurements()
-        .iter()
-        .find(|m| m.id == "query/snapshot_rebuild")
-        .map(|m| m.median_ns)
-    else {
+fn write_json(
+    c: &Criterion,
+    n: usize,
+    commit: CommitNumbers,
+    neighbors: &NeighborNumbers,
+    kinds: &[(&str, Vec<u64>)],
+) {
+    let median = |id: &str| {
+        c.measurements()
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.median_ns)
+    };
+    let (Some(rebuild_ns), Some(full_ns), Some(delta_ns)) = (
+        median("query/snapshot_rebuild"),
+        median("query/commit_full_rebuild"),
+        median("query/commit_delta"),
+    ) else {
         return;
     };
+
+    let scan_p50 = percentile(&neighbors.scan_ns, 50.0);
+    let indexed_p50 = percentile(&neighbors.indexed_ns, 50.0);
 
     let mut out = String::from("{\n  \"bench\": \"query\",\n");
     out.push_str(&format!("  \"records\": {n},\n"));
     out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        available_parallelism()
+    ));
+    out.push_str(&format!(
         "  \"snapshot_rebuild\": {{\"median_ns\": {rebuild_ns:.0}, \"records_per_sec\": {:.0}}},\n",
         n as f64 * 1e9 / rebuild_ns
+    ));
+    out.push_str(&format!(
+        "  \"snapshot_commit\": {{\"existing_records\": {n}, \"epoch_records\": {}, \
+         \"full_median_ns\": {full_ns:.0}, \"delta_median_ns\": {delta_ns:.0}, \
+         \"delta_speedup\": {:.1}}},\n",
+        commit.epoch_records,
+        full_ns / delta_ns
+    ));
+    out.push_str(&format!(
+        "  \"neighbors_index\": {{\"calls\": {}, \"scan_p50_ns\": {scan_p50}, \
+         \"indexed_p50_ns\": {indexed_p50}, \"indexed_speedup\": {:.1}}},\n",
+        neighbors.calls,
+        scan_p50 as f64 / indexed_p50.max(1) as f64
     ));
     out.push_str("  \"tcp\": {\n");
     for (i, (kind, ns)) in kinds.iter().enumerate() {

@@ -7,6 +7,7 @@
 //! (the CI smoke step does) to shrink the workload an order of magnitude.
 
 use criterion::Criterion;
+use siren_bench::available_parallelism;
 use siren_db::{Database, Record, SegmentedOptions};
 use siren_store::{SegmentedBackend, StorageBackend};
 use siren_wire::{Layer, MessageType};
@@ -141,6 +142,7 @@ fn write_json(c: &Criterion, n: usize, bytes: usize, queries: usize) {
             "{{\n",
             "  \"bench\": \"store\",\n",
             "  \"records\": {records},\n",
+            "  \"available_parallelism\": {cores},\n",
             "  \"payload_bytes\": {bytes},\n",
             "  \"write\": {{\"median_ns\": {write_ns:.0}, \"records_per_sec\": {wps:.0}, \"mb_per_sec\": {mbps:.1}}},\n",
             "  \"recovery\": {{\"median_ns\": {recovery_ns:.0}, \"records_per_sec\": {rps:.0}}},\n",
@@ -148,6 +150,7 @@ fn write_json(c: &Criterion, n: usize, bytes: usize, queries: usize) {
             "}}\n"
         ),
         records = n,
+        cores = available_parallelism(),
         bytes = bytes,
         write_ns = write_ns,
         wps = n as f64 * 1e9 / write_ns,

@@ -58,6 +58,31 @@ pub fn hash_corpus(families: usize, members: usize, len: usize) -> Vec<FuzzyHash
     out
 }
 
+/// The hardware parallelism the bench ran under. Every `BENCH_*.json`
+/// artifact records this so numbers from constrained containers (the
+/// ROADMAP's 1-core ingest measurements) are self-describing.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// A synthetic SSDeep-style `FILE_H` string: base64 signatures derived
+/// from the seed, the entropy profile of real CTPH output (every bench
+/// record gets one so fuzzy corpora are fully populated).
+pub fn synthetic_file_hash(seed: u64) -> String {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next_char = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        siren_hash::BASE64_ALPHABET[(x >> 32) as usize & 63] as char
+    };
+    let sig1: String = (0..48).map(|_| next_char()).collect();
+    let sig2: String = (0..24).map(|_| next_char()).collect();
+    format!("96:{sig1}:{sig2}")
+}
+
 /// Run one deployment and return its consolidated records (the input to
 /// every table/figure bench).
 pub fn campaign_records(scale: f64, seed: u64) -> Vec<ProcessRecord> {

@@ -28,6 +28,10 @@
 //! [`compare`] scores two fuzzy hashes 0–100 using a weighted
 //! Damerau–Levenshtein distance over the signature strings, gated by a
 //! common 7-gram requirement, exactly as described in §2.1 of the paper.
+//! That same gate powers [`FuzzyIndex`] (the `index` module): an
+//! inverted 7-gram index that prunes similarity-search candidates to
+//! the entries that could possibly score above 0, with a guaranteed-
+//! identical-results fallback to the full scan.
 //!
 //! ## Two implementations, one semantics
 //!
@@ -49,11 +53,13 @@
 pub mod batch;
 pub mod compare;
 pub mod generate;
+pub mod index;
 pub mod roll;
 
 pub use batch::{compare_many, compare_matrix, similarity_search, SearchHit};
 pub use compare::{compare, compare_parsed, score_strings};
 pub use generate::{fuzzy_hash, fuzzy_hash_reference, FuzzyHasher};
+pub use index::FuzzyIndex;
 pub use roll::RollingHash;
 
 /// Maximum signature length (characters) for the primary block size.

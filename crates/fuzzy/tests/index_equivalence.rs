@@ -1,0 +1,109 @@
+//! The indexed-search contract: on ANY corpus, `FuzzyIndex::search`
+//! returns byte-for-byte the hits of the linear `similarity_search`
+//! scan — same entries, same scores, same order. Corpora are fuzzed
+//! across the degenerate shapes that stress the gram extraction: empty
+//! signatures, signatures shorter than one gram, long runs that the
+//! comparison collapses before its substring gate, mixed block sizes
+//! (equal / half / double / incomparable), and duplicated hashes (the
+//! identity rule).
+
+use proptest::test_runner::{rng_for, TestRng};
+use siren_fuzzy::{similarity_search, FuzzyHash, FuzzyIndex};
+
+/// Base64 alphabet biased toward a handful of characters so that runs
+/// and shared substrings actually occur.
+fn arb_sig(rng: &mut TestRng, max_len: usize) -> String {
+    const BIASED: &[u8] = b"AAAABBBCCzyx0123+/QRSTUVWXYZabcdef";
+    let len = rng.below(max_len as u64 + 1) as usize;
+    let mut s = String::with_capacity(len);
+    while s.len() < len {
+        // Occasionally emit a run, the shape `eliminate_sequences` eats.
+        let c = BIASED[rng.below(BIASED.len() as u64) as usize] as char;
+        let repeat = if rng.below(4) == 0 {
+            (rng.below(6) + 1) as usize
+        } else {
+            1
+        };
+        for _ in 0..repeat.min(len - s.len()) {
+            s.push(c);
+        }
+    }
+    s
+}
+
+fn arb_hash(rng: &mut TestRng) -> FuzzyHash {
+    const BLOCK_SIZES: &[u32] = &[3, 6, 12, 24, 48, 96, 192];
+    let block_size = BLOCK_SIZES[rng.below(BLOCK_SIZES.len() as u64) as usize];
+    FuzzyHash::parse(&format!(
+        "{block_size}:{}:{}",
+        arb_sig(rng, 64),
+        arb_sig(rng, 32)
+    ))
+    .expect("generated hash is parseable")
+}
+
+fn arb_corpus(rng: &mut TestRng, max_len: usize) -> Vec<FuzzyHash> {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    let mut corpus: Vec<FuzzyHash> = Vec::with_capacity(len);
+    for _ in 0..len {
+        // Sometimes duplicate an earlier entry verbatim: identical
+        // hashes score 100 through the identity rule even when their
+        // signatures are too short for the substring gate.
+        if !corpus.is_empty() && rng.below(5) == 0 {
+            let i = rng.below(corpus.len() as u64) as usize;
+            corpus.push(corpus[i].clone());
+        } else {
+            corpus.push(arb_hash(rng));
+        }
+    }
+    corpus
+}
+
+#[test]
+fn indexed_search_equals_linear_scan_on_random_corpora() {
+    let mut rng = rng_for("fuzzy-index-equivalence");
+    for case in 0..150 {
+        let corpus = arb_corpus(&mut rng, 60);
+        let index = FuzzyIndex::build(&corpus);
+        // Probe with members (guaranteed identity hits) and strangers.
+        let mut probes: Vec<FuzzyHash> = (0..4).map(|_| arb_hash(&mut rng)).collect();
+        for _ in 0..4 {
+            if !corpus.is_empty() {
+                probes.push(corpus[rng.below(corpus.len() as u64) as usize].clone());
+            }
+        }
+        for baseline in &probes {
+            for min_score in [0u32, 1, 40, 80, 100] {
+                let indexed = index.search(&corpus, baseline, min_score);
+                let scanned = similarity_search(baseline, &corpus, min_score);
+                assert_eq!(
+                    indexed, scanned,
+                    "case {case}: baseline {baseline} min_score {min_score} corpus {corpus:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn candidates_are_a_superset_of_scoring_entries() {
+    let mut rng = rng_for("fuzzy-index-superset");
+    for case in 0..100 {
+        let corpus = arb_corpus(&mut rng, 40);
+        let index = FuzzyIndex::build(&corpus);
+        let baseline = if corpus.is_empty() || rng.below(2) == 0 {
+            arb_hash(&mut rng)
+        } else {
+            corpus[rng.below(corpus.len() as u64) as usize].clone()
+        };
+        let candidates = index.candidates(&baseline);
+        for (i, h) in corpus.iter().enumerate() {
+            if siren_fuzzy::compare_parsed(&baseline, h) > 0 {
+                assert!(
+                    candidates.binary_search(&(i as u32)).is_ok(),
+                    "case {case}: entry {i} ({h}) scores against {baseline} but was pruned"
+                );
+            }
+        }
+    }
+}

@@ -168,14 +168,24 @@ fn get_u16(data: &[u8], pos: &mut usize) -> Option<u16> {
 
 /// Count prefix with a sanity bound: `n` elements of at least
 /// `min_elem_bytes` wire bytes each must fit in the remaining payload,
-/// so a hostile count cannot make `Vec::with_capacity` pre-allocate
-/// in-memory elements far larger than the frame that claimed them.
+/// so a hostile count is refused before any per-element work.
 fn get_count(data: &[u8], pos: &mut usize, min_elem_bytes: usize) -> Option<usize> {
     let n = get_u32(data, pos)? as usize;
     if n > data.len().saturating_sub(*pos) / min_elem_bytes.max(1) {
         return None;
     }
     Some(n)
+}
+
+/// Initial capacity for a decoded element vector. The count bound above
+/// limits `n` by *wire* bytes, but decoded elements (a `ProcessRecord`
+/// holds a map, vectors, and strings) are far larger in memory than
+/// their minimum wire encoding — so a corrupt-but-count-plausible frame
+/// must not turn `n` straight into one huge pre-allocation before the
+/// first element fails to decode. Real answers beyond the cap just
+/// regrow amortized.
+fn decode_capacity(n: usize) -> usize {
+    n.min(1024)
 }
 
 /// One query, client → server.
@@ -399,7 +409,7 @@ impl QueryResponse {
             RESP_ROWS => {
                 // epoch u64 (8) + record byte-length prefix (4).
                 let n = get_count(body, &mut pos, 12).ok_or_else(malformed)?;
-                let mut rows = Vec::with_capacity(n);
+                let mut rows = Vec::with_capacity(decode_capacity(n));
                 for _ in 0..n {
                     let epoch = get_u64(body, &mut pos).ok_or_else(malformed)?;
                     let bytes = get_bytes(body, &mut pos).ok_or_else(malformed)?;
@@ -411,7 +421,7 @@ impl QueryResponse {
             RESP_LIBRARY_USAGE => {
                 // library length prefix (4) + processes u64 + hosts u64.
                 let n = get_count(body, &mut pos, 20).ok_or_else(malformed)?;
-                let mut rows = Vec::with_capacity(n);
+                let mut rows = Vec::with_capacity(decode_capacity(n));
                 for _ in 0..n {
                     rows.push(LibraryUsageRow {
                         library: get_str(body, &mut pos).ok_or_else(malformed)?,
@@ -424,7 +434,7 @@ impl QueryResponse {
             RESP_NEIGHBORS => {
                 // score u32 + epoch u64 + record byte-length prefix (4).
                 let n = get_count(body, &mut pos, 16).ok_or_else(malformed)?;
-                let mut rows = Vec::with_capacity(n);
+                let mut rows = Vec::with_capacity(decode_capacity(n));
                 for _ in 0..n {
                     let score = get_u32(body, &mut pos).ok_or_else(malformed)?;
                     let epoch = get_u64(body, &mut pos).ok_or_else(malformed)?;

@@ -1,6 +1,7 @@
 //! The daemon: epoch lifecycle over a segmented consolidated-record
 //! store.
 
+use crate::maintain::SnapshotMaintainer;
 use crate::server::QueryServer;
 use crate::snapshot::QuerySnapshot;
 use parking_lot::RwLock;
@@ -266,6 +267,24 @@ impl SharedState {
         *self.snapshot.write() = snapshot;
     }
 
+    /// Publish `next` only if the current snapshot is still `expected`
+    /// — the background merger's optimistic swap. A pointer mismatch
+    /// means an epoch committed meanwhile; the stale merge must be
+    /// discarded, never allowed to roll that epoch back.
+    pub(crate) fn replace_if(
+        &self,
+        expected: &Arc<QuerySnapshot>,
+        next: Arc<QuerySnapshot>,
+    ) -> bool {
+        let mut guard = self.snapshot.write();
+        if Arc::ptr_eq(&guard, expected) {
+            *guard = next;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Live counters for a `Status` answer; the snapshot-derived fields
     /// (committed epochs, record count) are filled in by
     /// [`QuerySnapshot::respond`] from the answering snapshot so the
@@ -298,13 +317,14 @@ struct OpenEpoch {
 pub struct SirenDaemon {
     cfg: ServiceConfig,
     store: SegmentedBackend<StoredItem>,
-    /// The daemon's own handle on the current snapshot (the same `Arc`
-    /// published through [`SharedState`]); all committed records live
-    /// here, owned by the snapshot.
-    snapshot: Arc<QuerySnapshot>,
     committed: BTreeSet<u64>,
     open: Option<OpenEpoch>,
+    /// Committed records live in the layered snapshot published here;
+    /// the daemon reads the current snapshot back from the shared state
+    /// at each commit so background layer merges are picked up rather
+    /// than overwritten.
     shared: Arc<SharedState>,
+    maintainer: SnapshotMaintainer,
     server: Option<QueryServer>,
 }
 
@@ -352,15 +372,19 @@ impl SirenDaemon {
             }
         }
 
+        // Recovery is the one unavoidable O(total records) build: the
+        // whole store was just read back anyway. Every later commit
+        // stacks an O(epoch) layer instead.
         let snapshot = Arc::new(QuerySnapshot::build(records));
-        let shared = Arc::new(SharedState::new(Arc::clone(&snapshot)));
+        let shared = Arc::new(SharedState::new(snapshot));
+        let maintainer = SnapshotMaintainer::spawn(Arc::clone(&shared))?;
         let mut daemon = Self {
             cfg,
             store,
-            snapshot,
             committed,
             open: None,
             shared,
+            maintainer,
             server: None,
         };
 
@@ -569,43 +593,58 @@ impl SirenDaemon {
 
     /// The shared commit point: one atomic segment (fsync + rename
     /// inside) holding the epoch's rows plus its seal marker, then the
-    /// snapshot publish.
+    /// snapshot publish. Cost is O(this epoch): the records move into
+    /// the store items and back out into the new snapshot layer without
+    /// a single clone, and `with_epoch` reuses every existing layer by
+    /// `Arc` instead of re-indexing the whole history.
     fn commit_records(
         &mut self,
         epoch: u64,
         epoch_records: Vec<EpochRecord>,
     ) -> std::io::Result<()> {
         let mut items: Vec<StoredItem> = epoch_records
-            .iter()
-            .map(|row| StoredItem::Row(Box::new(row.clone())))
+            .into_iter()
+            .map(|row| StoredItem::Row(Box::new(row)))
             .collect();
         items.push(StoredItem::Seal(epoch));
         self.store.append_sealed(&items)?;
+        let epoch_records: Vec<EpochRecord> = items
+            .into_iter()
+            .filter_map(|item| match item {
+                StoredItem::Row(row) => Some(*row),
+                StoredItem::Seal(_) => None,
+            })
+            .collect();
 
         self.committed.insert(epoch);
         // Publish: build the successor snapshot off to the side, then
         // swap the shared pointer. Queries in flight keep the snapshot
-        // they started with; new queries see the epoch atomically.
-        let mut all = self.snapshot.records().to_vec();
-        all.extend(epoch_records);
-        let next = Arc::new(QuerySnapshot::build(all));
-        self.snapshot = Arc::clone(&next);
+        // they started with; new queries see the epoch atomically. The
+        // base is re-read from the shared state so a background layer
+        // merge published since the last commit is kept, not clobbered.
+        let next = Arc::new(self.shared.load().with_epoch(epoch_records));
         self.shared.store(next);
         self.shared.open_epoch.store(NO_EPOCH, Ordering::Relaxed);
+        self.maintainer.ping();
         Ok(())
-    }
-
-    /// Every committed record, epoch-tagged, in commit order (ascending
-    /// epochs; consolidation order within an epoch).
-    pub fn records(&self) -> &[EpochRecord] {
-        self.snapshot.records()
     }
 
     /// The current immutable query snapshot. The returned `Arc` stays
     /// valid (and internally consistent) however many epochs commit
     /// after it — clone it into as many reader threads as needed.
     pub fn snapshot(&self) -> Arc<QuerySnapshot> {
-        Arc::clone(&self.snapshot)
+        self.shared.load()
+    }
+
+    /// Layers stacked in the current snapshot (bounded by the
+    /// background merger; a fan-out diagnostic for tests and ops).
+    pub fn snapshot_layers(&self) -> usize {
+        self.shared.load().layer_count()
+    }
+
+    /// Background layer merges performed so far.
+    pub fn snapshot_merges(&self) -> u64 {
+        self.maintainer.merges()
     }
 
     /// Live ingest-health counters as a `Status` answer would carry
@@ -613,22 +652,13 @@ impl SirenDaemon {
     /// answer's code path, so the two can never diverge.
     pub fn status(&self) -> StatusInfo {
         match self
-            .snapshot
+            .shared
+            .load()
             .respond(self.shared.status(0), &siren_proto::QueryRequest::Status)
         {
             siren_proto::QueryResponse::Status(status) => status,
             _ => unreachable!("Status request always yields a Status response"),
         }
-    }
-
-    /// Build a cross-epoch query engine over the committed records.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SirenDaemon::snapshot()`; the borrowing engine clones the records"
-    )]
-    #[allow(deprecated)]
-    pub fn query(&self) -> crate::query::QueryEngine<'_> {
-        crate::query::QueryEngine::new(self.snapshot.records())
     }
 
     /// The address the embedded query server is listening on, if
@@ -643,6 +673,16 @@ impl SirenDaemon {
             .as_ref()
             .map(QueryServer::requests_served)
             .unwrap_or(0)
+    }
+
+    /// Query connections accepted and refused (queue full) so far —
+    /// refusals rising is the signal to raise
+    /// [`ServiceConfig::query_workers`] / `query_backlog`.
+    pub fn query_connections(&self) -> (u64, u64) {
+        self.server
+            .as_ref()
+            .map(|s| (s.connections_accepted(), s.connections_refused()))
+            .unwrap_or((0, 0))
     }
 
     /// Drain decoded datagrams from a UDP receiver into the epoch

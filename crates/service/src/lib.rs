@@ -20,13 +20,15 @@
 //!   re-send of the interrupted campaign converges to exactly the records
 //!   a never-crashed run would hold, because consolidation groups by
 //!   process key and is idempotent under duplicate rows.
-//! * Each commit publishes an immutable, `Arc`-shared [`QuerySnapshot`]
-//!   (records + indexes, built once per epoch) behind an atomic pointer
-//!   swap, so queries run lock-free while the next epoch ingests:
-//!   per-job lookups, library usage by host/time range (through
-//!   `siren-analysis`, which renders its tables from the same
-//!   selections), and fuzzy-hash nearest-neighbor search. The borrowing
-//!   `QueryEngine<'a>` survives as a deprecated shim.
+//! * Each commit publishes an immutable, `Arc`-shared, **layered**
+//!   [`QuerySnapshot`] behind an atomic pointer swap, so queries run
+//!   lock-free while the next epoch ingests: per-job lookups, library
+//!   usage by host/time range (through `siren-analysis`, which renders
+//!   its tables from the same selections), and fuzzy-hash
+//!   nearest-neighbor search (n-gram-index pruned). The commit indexes
+//!   only the new epoch into a [`SnapshotLayer`] and reuses every
+//!   earlier layer by `Arc` — O(epoch), not O(history) — while a
+//!   background thread merges small layers to bound query fan-out.
 //! * With [`ServiceConfig::query_addr`] set, an embedded TCP
 //!   **query server** (bounded worker pool, per-connection deadlines)
 //!   answers the versioned `siren-proto` wire protocol; the blocking
@@ -43,13 +45,13 @@
 //! ```
 
 pub mod daemon;
-pub mod query;
 pub mod snapshot;
 
+pub(crate) mod maintain;
 pub(crate) mod server;
 
 pub use daemon::{DaemonRecovery, EpochRecord, EpochSummary, ServiceConfig, SirenDaemon};
-#[allow(deprecated)]
-pub use query::QueryEngine;
 pub use siren_proto::Selection;
-pub use snapshot::{Neighbor, QuerySnapshot, SnapshotSelection};
+pub use snapshot::{
+    Neighbor, QuerySnapshot, SnapshotLayer, SnapshotSelection, HARD_MAX_LAYERS, SOFT_MAX_LAYERS,
+};

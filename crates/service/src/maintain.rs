@@ -1,0 +1,93 @@
+//! Background snapshot maintenance: the layer-merge thread.
+//!
+//! Every epoch commit stacks one more [`SnapshotLayer`] onto the
+//! published [`QuerySnapshot`]; each query visits each layer, so
+//! fan-out must stay bounded without putting the O(merged records)
+//! rebuild back on the commit path. The [`SnapshotMaintainer`] owns a
+//! single thread that wakes on a ping after each publish and, while the
+//! published snapshot stacks more than
+//! [`SOFT_MAX_LAYERS`](crate::snapshot::SOFT_MAX_LAYERS) layers, folds
+//! the smallest adjacent pair and re-publishes.
+//!
+//! Publication is optimistic: the merged snapshot is built off to the
+//! side from a loaded `Arc`, then swapped in **only if the pointer is
+//! unchanged** ([`SharedState::replace_if`]) — if the daemon committed
+//! another epoch meanwhile, the stale merge is discarded and the next
+//! ping retries against the fresh snapshot. Merged snapshots answer
+//! every query identically (merging only concatenates adjacent layers),
+//! so the swap is invisible to readers; a lost race costs only the
+//! discarded work. Commit rates that outrun this thread are capped by
+//! `with_epoch`'s inline merge at
+//! [`HARD_MAX_LAYERS`](crate::snapshot::HARD_MAX_LAYERS).
+
+use crate::daemon::SharedState;
+use crossbeam::channel::{bounded, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Handle on the merge thread. Dropping it closes the ping channel and
+/// joins the thread.
+#[derive(Debug)]
+pub(crate) struct SnapshotMaintainer {
+    tx: Option<Sender<()>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    merges: Arc<AtomicU64>,
+}
+
+impl SnapshotMaintainer {
+    /// Spawn the merge thread against the daemon's shared state.
+    pub(crate) fn spawn(shared: Arc<SharedState>) -> std::io::Result<Self> {
+        // One slot is enough: a pending ping already covers any number
+        // of commits behind it (the thread always re-loads the current
+        // snapshot), so `ping`'s try_send coalesces bursts for free.
+        let (tx, rx) = bounded::<()>(1);
+        let merges = Arc::new(AtomicU64::new(0));
+        let thread_merges = Arc::clone(&merges);
+        let handle = std::thread::Builder::new()
+            .name("siren-snapshot-merge".into())
+            .spawn(move || {
+                while rx.recv().is_ok() {
+                    loop {
+                        let snapshot = shared.load();
+                        let Some(merged) = snapshot.merged_once() else {
+                            break;
+                        };
+                        if !shared.replace_if(&snapshot, Arc::new(merged)) {
+                            // A commit raced the merge; the ping it
+                            // sent will bring us back for the fresh
+                            // snapshot.
+                            break;
+                        }
+                        thread_merges.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })?;
+        Ok(Self {
+            tx: Some(tx),
+            handle: Some(handle),
+            merges,
+        })
+    }
+
+    /// Nudge the thread after a publish (never blocks; a full slot
+    /// means a wake-up is already pending).
+    pub(crate) fn ping(&self) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.try_send(());
+        }
+    }
+
+    /// Background merges performed so far.
+    pub(crate) fn merges(&self) -> u64 {
+        self.merges.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for SnapshotMaintainer {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

@@ -132,6 +132,17 @@ impl QueryServer {
     pub(crate) fn requests_served(&self) -> u64 {
         self.counters.requests.load(Ordering::Relaxed)
     }
+
+    /// Connections accepted into the worker queue so far.
+    pub(crate) fn connections_accepted(&self) -> u64 {
+        self.counters.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused (queue full) so far — the back-pressure
+    /// signal an operator needs when clients report drops.
+    pub(crate) fn connections_refused(&self) -> u64 {
+        self.counters.refused.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for QueryServer {

@@ -128,11 +128,7 @@ fn tcp_answers_equal_in_process_snapshot_at_every_commit_point() {
 
         // Every job present in the snapshot answers identically on the
         // wire (spot-check a handful to keep the test fast).
-        let mut jobs: Vec<u64> = snapshot
-            .records()
-            .iter()
-            .map(|er| er.record.key.job_id)
-            .collect();
+        let mut jobs: Vec<u64> = snapshot.iter().map(|er| er.record.key.job_id).collect();
         jobs.sort_unstable();
         jobs.dedup();
         for &job in jobs.iter().step_by(jobs.len() / 5 + 1) {
@@ -151,7 +147,7 @@ fn tcp_answers_equal_in_process_snapshot_at_every_commit_point() {
         assert!(client.by_job(u64::MAX).unwrap().is_empty());
 
         // Library usage under a host + time-range selection.
-        let probe = &snapshot.records()[snapshot.len() / 2].record;
+        let probe = &snapshot.get(snapshot.len() / 2).unwrap().record;
         let selection = Selection::all()
             .host(probe.key.host.clone())
             .between(0, u64::MAX / 2);
@@ -164,11 +160,8 @@ fn tcp_answers_equal_in_process_snapshot_at_every_commit_point() {
         assert_eq!(wire_rows, local_rows, "library usage at epoch {epoch}");
 
         // Nearest neighbors around a real FILE_H probe.
-        if let Some(hash) = snapshot
-            .records()
-            .iter()
-            .find_map(|er| er.record.file_hash.clone())
-        {
+        let probe_hash = snapshot.iter().find_map(|er| er.record.file_hash.clone());
+        if let Some(hash) = probe_hash {
             let wire = client.neighbors(&hash, 5, 50).unwrap();
             let local: Vec<NeighborRow> = snapshot
                 .nearest_neighbors(&hash, 5, 50)
@@ -190,6 +183,8 @@ fn tcp_answers_equal_in_process_snapshot_at_every_commit_point() {
         assert!(calls > 0, "chaos client never got a query through");
     }
     assert!(daemon.queries_served() > 0);
+    let (accepted, _refused) = daemon.query_connections();
+    assert!(accepted > 0, "chaos clients must register as accepted");
     drop(daemon);
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -58,7 +58,7 @@ fn main() {
 
     // Per-job drill-down on whichever job the first record belongs to.
     let snapshot = daemon.snapshot();
-    let probe = &snapshot.records()[0].record;
+    let probe = &snapshot.get(0).expect("campaign produced records").record;
     let rows = client.by_job(probe.key.job_id).expect("by_job");
     println!(
         "job {}: {} records, first on host {}",
@@ -80,11 +80,7 @@ fn main() {
     }
 
     // Fuzzy nearest neighbors of a real FILE_H from the campaign.
-    if let Some(hash) = snapshot
-        .records()
-        .iter()
-        .find_map(|er| er.record.file_hash.clone())
-    {
+    if let Some(hash) = snapshot.iter().find_map(|er| er.record.file_hash.clone()) {
         let neighbors = client.neighbors(&hash, 5, 50).expect("neighbors");
         println!("nearest neighbors of {hash}:");
         for n in &neighbors {
