@@ -21,8 +21,12 @@ pub struct UsageRow {
 }
 
 /// Compute Table 2. Rows sorted as in the paper: descending by job count,
-/// then system / user / Python process counts.
-pub fn usage_table(records: &[ProcessRecord]) -> Vec<UsageRow> {
+/// then system / user / Python process counts; fully tied rows order by
+/// user name so the table (and the protocol-v2 usage-table stream built
+/// on it) is deterministic. Takes any iterator of record references so
+/// callers aggregating a filtered view (the v2 plan executor, snapshot
+/// selections) need not clone records into a contiguous slice first.
+pub fn usage_table<'a>(records: impl IntoIterator<Item = &'a ProcessRecord>) -> Vec<UsageRow> {
     struct Acc {
         jobs: HashSet<u64>,
         system: u64,
@@ -59,12 +63,9 @@ pub fn usage_table(records: &[ProcessRecord]) -> Vec<UsageRow> {
         })
         .collect();
     rows.sort_by(|a, b| {
-        (b.jobs, b.system_procs, b.user_procs, b.python_procs).cmp(&(
-            a.jobs,
-            a.system_procs,
-            a.user_procs,
-            a.python_procs,
-        ))
+        (b.jobs, b.system_procs, b.user_procs, b.python_procs)
+            .cmp(&(a.jobs, a.system_procs, a.user_procs, a.python_procs))
+            .then_with(|| a.user.cmp(&b.user))
     });
     rows
 }

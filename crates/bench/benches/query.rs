@@ -1,7 +1,9 @@
 //! Query-tier benchmark: epoch-commit snapshot cost (layered delta vs
 //! monolithic full rebuild), indexed vs linear-scan fuzzy neighbor
-//! search, and request latency over the TCP protocol (p50/p99 per
-//! request kind against a live daemon).
+//! search, request latency over the TCP protocol (p50/p99 per request
+//! kind against a live daemon), and the protocol-v2 streamed `ByJob`
+//! against the one-shot v1 answer on a large job (time to first row
+//! and full-drain time vs the single buffered frame).
 //!
 //! Emits `BENCH_query.json` at the workspace root alongside
 //! `BENCH_ingest.json` / `BENCH_store.json`. Set `SIREN_BENCH_QUICK=1`
@@ -12,7 +14,7 @@ use siren_bench::{available_parallelism, synthetic_file_hash};
 use siren_consolidate::ProcessRecord;
 use siren_db::Record;
 use siren_fuzzy::{similarity_search, FuzzyHash};
-use siren_proto::{Selection, SirenClient};
+use siren_proto::{QueryPlan, Selection, SirenClient, MAX_PAGE_ROWS};
 use siren_service::{EpochRecord, QuerySnapshot, ServiceConfig, SirenDaemon};
 use siren_wire::{Layer, MessageType};
 use std::hint::black_box;
@@ -48,6 +50,23 @@ fn record(i: u64) -> ProcessRecord {
     rec
 }
 
+/// A lean consolidated record (key only, no metadata/objects/hashes):
+/// the stream-vs-one-shot comparison needs a ≥50k-row job whose
+/// one-shot answer still fits the 8 MiB frame cap.
+fn lean_record(i: u64, job_id: u64) -> ProcessRecord {
+    ProcessRecord::new(&Record {
+        job_id,
+        step_id: 0,
+        pid: i as u32,
+        exe_hash: format!("{i:032x}"),
+        host: format!("nid{:06}", i % 128),
+        time: 1_700_000_000 + i,
+        layer: Layer::SelfExe,
+        mtype: MessageType::Meta,
+        content: String::new(),
+    })
+}
+
 fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
     let idx = ((sorted_ns.len() - 1) as f64 * p / 100.0).round() as usize;
     sorted_ns[idx]
@@ -73,6 +92,14 @@ struct NeighborNumbers {
     calls: usize,
     scan_ns: Vec<u64>,
     indexed_ns: Vec<u64>,
+}
+
+struct StreamNumbers {
+    job_rows: usize,
+    calls: usize,
+    oneshot_ns: Vec<u64>,
+    first_row_ns: Vec<u64>,
+    full_stream_ns: Vec<u64>,
 }
 
 fn main() {
@@ -211,6 +238,67 @@ fn main() {
         );
     }
 
+    // 5. Streamed vs one-shot ByJob on one big job (protocol v2 plan
+    //    stream vs the single buffered v1 frame). The interesting
+    //    number is time to the *first row*: the stream starts
+    //    delivering after one bounded batch; the one-shot answer
+    //    serializes every row before the first byte.
+    let stream = {
+        let job_rows: usize = if quick() { 5_000 } else { 50_000 };
+        let big_job = 1_000_000u64;
+        daemon
+            .import_epoch(
+                (0..job_rows as u64)
+                    .map(|i| lean_record(i, big_job))
+                    .collect(),
+            )
+            .expect("import big job");
+        let calls = if quick() { 10 } else { 20 };
+
+        let oneshot_ns = measure(calls, || {
+            let rows = client.by_job(big_job).expect("one-shot by_job");
+            assert_eq!(rows.len(), job_rows);
+            black_box(rows);
+        });
+
+        let mut first_row_ns = Vec::with_capacity(calls);
+        let mut full_stream_ns = Vec::with_capacity(calls);
+        for _ in 0..calls {
+            let plan = QueryPlan::records()
+                .filter(Selection::all().job(big_job))
+                .batch_rows(512)
+                .page_rows(MAX_PAGE_ROWS);
+            let start = Instant::now();
+            let mut stream = client.query(plan).expect("open stream");
+            let first = stream.next().expect("first row").expect("first row ok");
+            first_row_ns.push(start.elapsed().as_nanos() as u64);
+            black_box(first);
+            let mut rows = 1usize;
+            for row in &mut stream {
+                black_box(row.expect("stream row"));
+                rows += 1;
+            }
+            full_stream_ns.push(start.elapsed().as_nanos() as u64);
+            assert_eq!(rows, job_rows);
+        }
+        first_row_ns.sort_unstable();
+        full_stream_ns.sort_unstable();
+
+        println!(
+            "query/stream_byjob ({job_rows} rows): one-shot p50 {:>9} ns | first row p50 {:>9} ns | full stream p50 {:>9} ns",
+            percentile(&oneshot_ns, 50.0),
+            percentile(&first_row_ns, 50.0),
+            percentile(&full_stream_ns, 50.0),
+        );
+        StreamNumbers {
+            job_rows,
+            calls,
+            oneshot_ns,
+            first_row_ns,
+            full_stream_ns,
+        }
+    };
+
     drop(client);
     drop(daemon);
     let _ = std::fs::remove_dir_all(&dir);
@@ -220,6 +308,7 @@ fn main() {
         n,
         commit,
         &neighbors,
+        &stream,
         &[
             ("status", status_ns),
             ("by_job", by_job_ns),
@@ -234,6 +323,7 @@ fn write_json(
     n: usize,
     commit: CommitNumbers,
     neighbors: &NeighborNumbers,
+    stream: &StreamNumbers,
     kinds: &[(&str, Vec<u64>)],
 ) {
     let median = |id: &str| {
@@ -275,6 +365,23 @@ fn write_json(
          \"indexed_p50_ns\": {indexed_p50}, \"indexed_speedup\": {:.1}}},\n",
         neighbors.calls,
         scan_p50 as f64 / indexed_p50.max(1) as f64
+    ));
+    out.push_str(&format!(
+        "  \"stream_byjob\": {{\"job_rows\": {}, \"calls\": {}, \
+         \"oneshot_p50_ns\": {}, \"oneshot_p99_ns\": {}, \
+         \"first_row_p50_ns\": {}, \"first_row_p99_ns\": {}, \
+         \"full_stream_p50_ns\": {}, \"full_stream_p99_ns\": {}, \
+         \"first_row_speedup_vs_oneshot_p50\": {:.1}}},\n",
+        stream.job_rows,
+        stream.calls,
+        percentile(&stream.oneshot_ns, 50.0),
+        percentile(&stream.oneshot_ns, 99.0),
+        percentile(&stream.first_row_ns, 50.0),
+        percentile(&stream.first_row_ns, 99.0),
+        percentile(&stream.full_stream_ns, 50.0),
+        percentile(&stream.full_stream_ns, 99.0),
+        percentile(&stream.oneshot_ns, 50.0) as f64
+            / percentile(&stream.first_row_ns, 50.0).max(1) as f64
     ));
     out.push_str("  \"tcp\": {\n");
     for (i, (kind, ns)) in kinds.iter().enumerate() {

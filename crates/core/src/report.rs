@@ -124,6 +124,45 @@ pub fn telemetry_report(result: &crate::DeploymentResult) -> String {
     out
 }
 
+/// Operator-facing rendering of a daemon's `Status` answer: store
+/// shape, ingest health, and the query-traffic counters protocol v2
+/// exports (refused connections, open cursors, negotiated-version
+/// histogram). Works on any [`siren_proto::StatusInfo`] — from
+/// `SirenDaemon::status` in process or a `SirenClient::status` answer
+/// over the wire.
+pub fn query_telemetry_report(status: &siren_proto::StatusInfo) -> String {
+    let mut out = String::from("Query telemetry\n");
+    out.push_str(&format!(
+        "  store: {} records across {} committed epochs{}\n",
+        status.records,
+        status.committed_epochs.len(),
+        match status.open_epoch {
+            Some(e) => format!(", epoch {e} ingesting"),
+            None => String::new(),
+        }
+    ));
+    out.push_str(&format!(
+        "  ingest health: {} epoch-tag mismatches, {} quiet-period fallbacks\n",
+        status.epoch_tag_mismatches, status.quiet_period_fallbacks
+    ));
+    out.push_str(&format!(
+        "  connections refused (queue full): {}\n",
+        status.queries_refused
+    ));
+    out.push_str(&format!("  open cursors: {}\n", status.open_cursors));
+    if status.version_connections.is_empty() {
+        out.push_str("  negotiated versions: none yet\n");
+    } else {
+        let hist: Vec<String> = status
+            .version_connections
+            .iter()
+            .map(|(v, n)| format!("v{v}: {n}"))
+            .collect();
+        out.push_str(&format!("  negotiated versions: {}\n", hist.join(", ")));
+    }
+    out
+}
+
 /// All tables and figures, separated by blank lines.
 pub fn full_report(records: &[ProcessRecord]) -> String {
     [
@@ -164,6 +203,30 @@ mod tests {
         serial_cfg.campaign.scale = 0.001;
         let serial = Deployment::new(serial_cfg).run();
         assert!(super::telemetry_report(&serial).contains("ingest: serial"));
+    }
+
+    #[test]
+    fn query_telemetry_report_surfaces_v2_counters() {
+        let status = siren_proto::StatusInfo {
+            protocol_version: 2,
+            committed_epochs: vec![0, 1, 2],
+            records: 1234,
+            open_epoch: Some(3),
+            epoch_tag_mismatches: 1,
+            quiet_period_fallbacks: 2,
+            queries_refused: 7,
+            open_cursors: 3,
+            version_connections: vec![(1, 4), (2, 9)],
+        };
+        let report = super::query_telemetry_report(&status);
+        assert!(report.contains("1234 records across 3 committed epochs"));
+        assert!(report.contains("epoch 3 ingesting"));
+        assert!(report.contains("connections refused (queue full): 7"));
+        assert!(report.contains("open cursors: 3"));
+        assert!(report.contains("negotiated versions: v1: 4, v2: 9"));
+
+        let empty = super::query_telemetry_report(&siren_proto::StatusInfo::default());
+        assert!(empty.contains("negotiated versions: none yet"));
     }
 
     #[test]

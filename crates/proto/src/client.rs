@@ -1,13 +1,17 @@
 //! The blocking query client: one TCP connection, version-negotiated on
-//! connect, with typed methods mirroring the [`QueryRequest`] variants.
+//! connect, with typed methods mirroring the [`QueryRequest`] variants
+//! and (on v2 servers) the composable [`QueryPlan`] API returning a
+//! lazy [`RowStream`].
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::message::{
     decode_hello_ack, encode_hello, NeighborRow, QueryError, QueryRequest, QueryResponse,
     RecordRow, Selection, StatusInfo,
 };
+use crate::plan::{Order, PlanRow, PlanSource, QueryPlan};
 use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
 use siren_analysis::LibraryUsageRow;
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -21,6 +25,9 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered with a structured error.
     Server(QueryError),
+    /// The request cannot be expressed on this connection's negotiated
+    /// version (e.g. a usage-table plan against a v1 server).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -29,6 +36,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Frame(e) => write!(f, "transport: {e}"),
             ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unsupported(detail) => {
+                write!(f, "unsupported on negotiated version: {detail}")
+            }
         }
     }
 }
@@ -52,6 +62,10 @@ impl From<std::io::Error> for ClientError {
 pub struct SirenClient {
     stream: TcpStream,
     version: u16,
+    /// Set when a stream was abandoned mid-reply and the connection
+    /// could not be drained back to a frame boundary — every later
+    /// call would misparse, so they are refused instead.
+    poisoned: bool,
 }
 
 impl SirenClient {
@@ -63,15 +77,28 @@ impl SirenClient {
 
     /// Connect with an explicit per-operation I/O timeout.
     pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        Self::connect_with_versions(addr, PROTOCOL_VERSION_MIN, PROTOCOL_VERSION, timeout)
+    }
+
+    /// Connect offering an explicit `[min, max]` version range — how
+    /// tests (and cautious tooling) pin a connection to v1 against a
+    /// v2-capable server.
+    pub fn connect_with_versions(
+        addr: SocketAddr,
+        min: u16,
+        max: u16,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
-        let mut client = Self { stream, version: 0 };
-        write_frame(
-            &mut client.stream,
-            &encode_hello(PROTOCOL_VERSION_MIN, PROTOCOL_VERSION),
-        )?;
+        let mut client = Self {
+            stream,
+            version: 0,
+            poisoned: false,
+        };
+        write_frame(&mut client.stream, &encode_hello(min, max))?;
         let reply = read_frame(&mut client.stream)?;
         if let Some(version) = decode_hello_ack(&reply) {
             client.version = version;
@@ -92,22 +119,65 @@ impl SirenClient {
         self.version
     }
 
+    fn check_usable(&self) -> Result<(), ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Protocol(
+                "connection abandoned mid-stream; reconnect".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, request: &QueryRequest) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &request.encode_versioned(self.version))?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<QueryResponse, ClientError> {
+        let payload = read_frame(&mut self.stream)?;
+        QueryResponse::decode_versioned(&payload, self.version)
+            .map_err(|err| ClientError::Protocol(format!("undecodable response: {err}")))
+    }
+
     /// Issue one request and decode the typed response. Exposed so
     /// tooling can drive request kinds this client has no dedicated
     /// method for yet.
+    ///
+    /// Refuses requests whose reply is a frame *stream*
+    /// ([`QueryRequest::Plan`] / [`QueryRequest::FetchCursor`] — use
+    /// [`SirenClient::query`]): reading one frame of a multi-frame
+    /// reply would silently desync the connection. Likewise refuses
+    /// selections carrying v2-only fields on a v1 connection, where the
+    /// v1 encoding would silently drop them and return over-broad rows.
     pub fn call(&mut self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame(&mut self.stream)?;
-        match QueryResponse::decode(&payload) {
-            Ok(QueryResponse::Error(err)) => Err(ClientError::Server(err)),
-            Ok(resp) => Ok(resp),
-            Err(err) => Err(ClientError::Protocol(format!(
-                "undecodable response: {err}"
-            ))),
+        self.check_usable()?;
+        match request {
+            // On a v1 connection these tags draw a single UnknownRequest
+            // frame, so the exchange stays in sync; only a v2 server
+            // answers them with a frame stream.
+            QueryRequest::Plan(_) | QueryRequest::FetchCursor { .. } if self.version >= 2 => {
+                return Err(ClientError::Unsupported(
+                    "stream-reply requests must go through query()".into(),
+                ));
+            }
+            QueryRequest::LibraryUsage { selection }
+                if self.version < 2 && selection.requires_v2() =>
+            {
+                return Err(ClientError::Unsupported(
+                    "job/epoch-slice selections need a v2 server".into(),
+                ));
+            }
+            _ => {}
+        }
+        self.send(request)?;
+        match self.recv()? {
+            QueryResponse::Error(err) => Err(ClientError::Server(err)),
+            resp => Ok(resp),
         }
     }
 
-    /// Daemon status (store shape + ingest-health counters).
+    /// Daemon status (store shape + ingest-health counters; on v2
+    /// connections also the query-traffic counters).
     pub fn status(&mut self) -> Result<StatusInfo, ClientError> {
         match self.call(&QueryRequest::Status)? {
             QueryResponse::Status(status) => Ok(status),
@@ -123,7 +193,8 @@ impl SirenClient {
         }
     }
 
-    /// Library usage over `selection` (host / time range / epoch).
+    /// Library usage over `selection` (host / time range / epoch; the
+    /// v2-only fields are version-guarded by [`SirenClient::call`]).
     pub fn library_usage(
         &mut self,
         selection: Selection,
@@ -151,6 +222,249 @@ impl SirenClient {
             other => Err(unexpected("Neighbors", &other)),
         }
     }
+
+    /// Open `plan`'s row stream. On a v2 connection the server streams
+    /// bounded batch frames and the returned [`RowStream`] reads them
+    /// **on demand** — the first row is available after the first batch
+    /// frame, long before a large answer finishes, and pages beyond the
+    /// first are fetched through the server-side cursor only as the
+    /// iterator is advanced. Dropping the stream early closes the
+    /// cursor.
+    ///
+    /// Against a v1 server the plan is translated to the closest v1
+    /// request where one exists (job-filtered record plans →
+    /// `ByJob`; unfiltered neighbor plans → `Neighbors`) and the
+    /// selection/order/limit/projection are applied client-side;
+    /// inexpressible plans (usage tables, unkeyed record scans,
+    /// filtered neighbor plans) fail with [`ClientError::Unsupported`].
+    pub fn query(&mut self, plan: QueryPlan) -> Result<RowStream<'_>, ClientError> {
+        self.check_usable()?;
+        plan.validate().map_err(ClientError::Server)?;
+        if self.version >= 2 {
+            self.send(&QueryRequest::Plan(plan))?;
+            return Ok(RowStream {
+                client: self,
+                buffer: VecDeque::new(),
+                cursor: None,
+                mid_reply: true,
+                done: false,
+                failed: false,
+            });
+        }
+        let rows = self.query_v1_fallback(&plan)?;
+        Ok(RowStream {
+            client: self,
+            buffer: rows.into(),
+            cursor: None,
+            mid_reply: false,
+            done: true,
+            failed: false,
+        })
+    }
+
+    /// Answer a plan with v1 requests plus client-side post-processing.
+    fn query_v1_fallback(&mut self, plan: &QueryPlan) -> Result<Vec<PlanRow>, ClientError> {
+        match &plan.source {
+            PlanSource::Records => {
+                let Some(job_id) = plan.selection.job_filter() else {
+                    return Err(ClientError::Unsupported(
+                        "record plans without a job filter need a v2 server".into(),
+                    ));
+                };
+                let mut rows = self.by_job(job_id)?;
+                rows.retain(|row| plan.selection.matches(row.epoch, &row.record));
+                match plan.order {
+                    Order::Commit => {}
+                    // Stable sort: ties keep commit order, matching the
+                    // server-side executor.
+                    Order::TimeAsc => rows.sort_by_key(|row| row.record.key.time),
+                    Order::TimeDesc => {
+                        rows.sort_by_key(|row| std::cmp::Reverse(row.record.key.time))
+                    }
+                }
+                if let Some(limit) = plan.limit {
+                    rows.truncate(usize::try_from(limit).unwrap_or(usize::MAX));
+                }
+                for row in &mut rows {
+                    plan.projection.apply(&mut row.record);
+                }
+                Ok(rows.into_iter().map(PlanRow::Record).collect())
+            }
+            PlanSource::Neighbors { hash, min_score } => {
+                if !plan.selection.is_unfiltered() {
+                    return Err(ClientError::Unsupported(
+                        "filtered neighbor plans need a v2 server".into(),
+                    ));
+                }
+                let k = plan
+                    .limit
+                    .map(|l| u32::try_from(l).unwrap_or(u32::MAX))
+                    .unwrap_or(u32::MAX);
+                let mut rows = self.neighbors(hash, k, *min_score)?;
+                for row in &mut rows {
+                    plan.projection.apply(&mut row.record);
+                }
+                Ok(rows.into_iter().map(PlanRow::Neighbor).collect())
+            }
+            PlanSource::UsageTable => Err(ClientError::Unsupported(
+                "usage-table plans need a v2 server".into(),
+            )),
+        }
+    }
+}
+
+/// A lazy iterator over a plan's answer stream. Batch frames are read
+/// from the socket (and follow-up pages fetched through the server-side
+/// cursor) only as rows are consumed; the borrow on the client keeps
+/// the connection exclusive until the stream is finished or dropped.
+///
+/// Dropping an unfinished stream drains the in-flight reply to the
+/// frame boundary and closes the cursor, leaving the connection usable;
+/// if draining fails the client is poisoned and refuses further calls.
+#[derive(Debug)]
+pub struct RowStream<'c> {
+    client: &'c mut SirenClient,
+    buffer: VecDeque<PlanRow>,
+    /// Cursor parked on the server, once a `StreamEnd` carried one.
+    cursor: Option<u64>,
+    /// Frames of the current reply are still incoming.
+    mid_reply: bool,
+    done: bool,
+    failed: bool,
+}
+
+impl RowStream<'_> {
+    /// Read frames until the buffer has rows, the reply ends, or the
+    /// stream completes.
+    fn fill(&mut self) -> Result<(), ClientError> {
+        loop {
+            if !self.buffer.is_empty() || self.done {
+                return Ok(());
+            }
+            if !self.mid_reply {
+                match self.cursor.take() {
+                    Some(cursor) => {
+                        self.client.send(&QueryRequest::FetchCursor { cursor })?;
+                        self.mid_reply = true;
+                    }
+                    None => {
+                        self.done = true;
+                        return Ok(());
+                    }
+                }
+            }
+            match self.client.recv()? {
+                QueryResponse::Batch(batch) => {
+                    self.buffer.extend(batch.into_rows());
+                }
+                QueryResponse::StreamEnd { cursor } => {
+                    self.mid_reply = false;
+                    self.cursor = cursor;
+                    if cursor.is_none() {
+                        self.done = true;
+                    }
+                }
+                QueryResponse::Error(err) => {
+                    // The error frame terminates the reply; the
+                    // connection is back at a frame boundary.
+                    self.mid_reply = false;
+                    self.done = true;
+                    return Err(ClientError::Server(err));
+                }
+                other => {
+                    // Off-protocol frame mid-reply: the stream can no
+                    // longer be trusted. Terminate iteration too —
+                    // re-entering on a desynced connection could
+                    // misparse unrelated frames as rows of this plan.
+                    self.failed = true;
+                    self.done = true;
+                    return Err(unexpected("Batch or StreamEnd", &other));
+                }
+            }
+        }
+    }
+
+    /// Drain the remaining rows into a vector.
+    pub fn collect_rows(mut self) -> Result<Vec<PlanRow>, ClientError> {
+        let mut rows = Vec::new();
+        loop {
+            self.fill()?;
+            if self.buffer.is_empty() {
+                return Ok(rows);
+            }
+            rows.extend(self.buffer.drain(..));
+        }
+    }
+
+    /// True once every row has been yielded.
+    pub fn is_done(&self) -> bool {
+        self.done && self.buffer.is_empty()
+    }
+}
+
+impl Iterator for RowStream<'_> {
+    type Item = Result<PlanRow, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(row) = self.buffer.pop_front() {
+            return Some(Ok(row));
+        }
+        // `fill` tracks connection health itself: a typed server error
+        // arrives on a frame boundary and leaves the connection usable
+        // (only desyncs set `failed`), so it must not poison the client.
+        if let Err(err) = self.fill() {
+            return Some(Err(err));
+        }
+        self.buffer.pop_front().map(Ok)
+    }
+}
+
+impl Drop for RowStream<'_> {
+    fn drop(&mut self) {
+        // Resync the connection: finish reading the in-flight reply (it
+        // is bounded by the server's page cap), then release the parked
+        // cursor so the server frees its pinned snapshot promptly.
+        if self.mid_reply && !self.failed {
+            // Generous bound: a reply is at most page_rows/batch "rows"
+            // frames plus the terminator; a server violating that is
+            // already off-protocol.
+            for _ in 0..100_000 {
+                match self.client.recv() {
+                    Ok(QueryResponse::Batch(_)) => continue,
+                    Ok(QueryResponse::StreamEnd { cursor }) => {
+                        self.mid_reply = false;
+                        self.cursor = cursor;
+                        break;
+                    }
+                    Ok(QueryResponse::Error(_)) => {
+                        self.mid_reply = false;
+                        break;
+                    }
+                    _ => {
+                        self.failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if self.failed || self.mid_reply {
+            self.client.poisoned = true;
+            return;
+        }
+        if let Some(cursor) = self.cursor.take() {
+            let ok = self
+                .client
+                .send(&QueryRequest::CloseCursor { cursor })
+                .is_ok()
+                && matches!(
+                    self.client.recv(),
+                    Ok(QueryResponse::StreamEnd { cursor: None } | QueryResponse::Error(_))
+                );
+            if !ok {
+                self.client.poisoned = true;
+            }
+        }
+    }
 }
 
 fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
@@ -159,6 +473,8 @@ fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
         QueryResponse::Rows(_) => "Rows",
         QueryResponse::LibraryUsage(_) => "LibraryUsage",
         QueryResponse::Neighbors(_) => "Neighbors",
+        QueryResponse::Batch(_) => "Batch",
+        QueryResponse::StreamEnd { .. } => "StreamEnd",
         QueryResponse::Error(_) => "Error",
     };
     ClientError::Protocol(format!("expected {wanted} response, got {kind}"))

@@ -36,24 +36,45 @@
 //! [`QueryRequest`] and [`QueryResponse`] encode with the shared
 //! `siren-store` codec helpers (length-prefixed strings, little-endian
 //! integers); [`Selection`] is the single record-filter type, publicly
-//! constructible via its `epoch()/host()/between()` builders and reused
-//! by the in-process snapshot API. Decoders return
-//! [`QueryError::Malformed`] on any structural inconsistency and never
-//! panic — property tests in `tests/roundtrip.rs` fuzz every variant
-//! plus truncations and bit flips.
+//! constructible via its `epoch()/host()/between()` builders (plus the
+//! v2 `job()/epochs()` restrictions) and reused by the in-process
+//! snapshot API. Decoders return [`QueryError::Malformed`] on any
+//! structural inconsistency and never panic — property tests in
+//! `tests/roundtrip.rs` fuzz every variant plus truncations and bit
+//! flips, for both negotiated versions.
+//!
+//! ## Protocol v2: plans, streams, cursors
+//!
+//! Version 2 replaces the one-question/one-frame shape with a
+//! composable [`QueryPlan`] (source, shared selection with epoch-slice
+//! support, projection, order, limit) answered as a **stream** of
+//! bounded [`RowBatch`] frames terminated by a
+//! [`QueryResponse::StreamEnd`] frame that is either *end of rows* or
+//! a resumable cursor id. Cursors are parked server-side with the
+//! `Arc` snapshot the plan started on pinned, so resuming pages stays
+//! consistent while epochs commit concurrently. The typed client side
+//! is [`SirenClient::query`], returning a lazy [`RowStream`]. All of
+//! it is negotiated: a v1 peer on the same port sees byte-identical v1
+//! behavior, and v2-only tags on a v1 connection draw
+//! [`QueryError::UnknownRequest`].
 
 pub mod client;
 pub mod frame;
 pub mod message;
+pub mod plan;
 
-pub use client::{ClientError, SirenClient};
+pub use client::{ClientError, RowStream, SirenClient};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD};
 pub use message::{
     decode_hello, decode_hello_ack, encode_hello, encode_hello_ack, negotiate, NeighborRow,
     QueryError, QueryRequest, QueryResponse, RecordRow, Selection, StatusInfo, HELLO_MAGIC,
 };
+pub use plan::{
+    Order, PlanRow, PlanSource, Projection, QueryPlan, RowBatch, DEFAULT_BATCH_ROWS,
+    DEFAULT_PAGE_ROWS, MAX_BATCH_ROWS, MAX_PAGE_ROWS,
+};
 
 /// Lowest protocol version this build still speaks.
 pub const PROTOCOL_VERSION_MIN: u16 = 1;
 /// Highest (current) protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;

@@ -6,44 +6,65 @@
 //! Every decoder rejects structural inconsistency with a typed
 //! [`QueryError`] and never panics.
 
+use crate::plan::{QueryPlan, RowBatch};
 use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
 use siren_analysis::LibraryUsageRow;
 use siren_consolidate::ProcessRecord;
-use siren_store::codec::{get_bytes, get_str, put_bytes, put_str, take};
+pub(crate) use siren_store::codec::take;
+use siren_store::codec::{get_bytes, get_str, put_bytes, put_str};
 
 /// First bytes of the hello and hello-ack payloads.
 pub const HELLO_MAGIC: [u8; 4] = *b"SRNQ";
 
-// Request payload tags.
+// Request payload tags. Tags 4+ are protocol v2; a v1 connection
+// answers them with `QueryError::UnknownRequest`, exactly as a v1-only
+// server build would.
 const REQ_STATUS: u8 = 0;
 const REQ_BY_JOB: u8 = 1;
 const REQ_LIBRARY_USAGE: u8 = 2;
 const REQ_NEIGHBORS: u8 = 3;
+const REQ_PLAN: u8 = 4;
+const REQ_FETCH_CURSOR: u8 = 5;
+const REQ_CLOSE_CURSOR: u8 = 6;
 
 // Response payload tags. `b'S'` (0x53) is reserved so a hello-ack can
-// never be mistaken for a response payload.
+// never be mistaken for a response payload. Tags 4 and 5 are protocol
+// v2 stream frames and never appear on a v1 connection.
 const RESP_STATUS: u8 = 0;
 const RESP_ROWS: u8 = 1;
 const RESP_LIBRARY_USAGE: u8 = 2;
 const RESP_NEIGHBORS: u8 = 3;
+const RESP_BATCH: u8 = 4;
+const RESP_STREAM_END: u8 = 5;
 const RESP_ERROR: u8 = 0xFF;
 
-// QueryError codes.
+// QueryError codes. Codes 6+ are v2-only and can only be drawn by v2
+// requests, so a v1 peer never has to decode them.
 const ERR_MALFORMED: u8 = 0;
 const ERR_UNSUPPORTED_VERSION: u8 = 1;
 const ERR_UNKNOWN_REQUEST: u8 = 2;
 const ERR_FRAME_TOO_LARGE: u8 = 3;
 const ERR_DEADLINE: u8 = 4;
 const ERR_INTERNAL: u8 = 5;
+const ERR_INVALID_PLAN: u8 = 6;
+const ERR_UNKNOWN_CURSOR: u8 = 7;
 
 /// A reusable record filter: all present conditions are ANDed. The one
 /// filter type shared by the wire protocol and the in-process snapshot
 /// API, publicly constructible via its builder methods.
+///
+/// The `job` and `epochs` (epoch-slice) restrictions are protocol v2
+/// additions: they ride in [`QueryPlan`] requests and in v2-negotiated
+/// `LibraryUsage` requests; sending a selection that uses them over a
+/// v1 connection is a client-side error (see
+/// [`Selection::requires_v2`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Selection {
     epoch: Option<u64>,
     host: Option<String>,
     time_range: Option<(u64, u64)>,
+    job: Option<u64>,
+    epoch_range: Option<(u64, u64)>,
 }
 
 impl Selection {
@@ -64,9 +85,35 @@ impl Selection {
         self
     }
 
-    /// Restrict to `start ..= end` collection timestamps.
+    /// Restrict to collection timestamps in `start ..= end`.
+    ///
+    /// Both bounds are **inclusive**: a record stamped exactly `start`
+    /// or exactly `end` matches, so `between(t, t)` selects the single
+    /// timestamp `t`. An inverted range (`start > end`) is structurally
+    /// invalid — [`Selection::validate`] rejects it with a typed
+    /// [`QueryError::InvalidPlan`], and every protocol-v2 path (plan
+    /// execution, v2-negotiated requests) validates before producing a
+    /// row. The v1 wire path and the in-process builder API keep their
+    /// historical match-nothing behavior, which deployed callers may
+    /// rely on; validate explicitly there if a typed error is wanted.
     pub fn between(mut self, start: u64, end: u64) -> Self {
         self.time_range = Some((start, end));
+        self
+    }
+
+    /// Restrict to one job (protocol v2).
+    pub fn job(mut self, job_id: u64) -> Self {
+        self.job = Some(job_id);
+        self
+    }
+
+    /// Restrict to the **inclusive** epoch slice `lo ..= hi` (protocol
+    /// v2). Layer-aligned: the server answers epoch-slice plans
+    /// straight from the snapshot layers holding those epochs. Inverted
+    /// slices are rejected by [`Selection::validate`], like inverted
+    /// time ranges.
+    pub fn epochs(mut self, lo: u64, hi: u64) -> Self {
+        self.epoch_range = Some((lo, hi));
         self
     }
 
@@ -85,10 +132,63 @@ impl Selection {
         self.time_range
     }
 
+    /// The job restriction, if any.
+    pub fn job_filter(&self) -> Option<u64> {
+        self.job
+    }
+
+    /// The inclusive epoch-slice restriction, if any.
+    pub fn epoch_slice(&self) -> Option<(u64, u64)> {
+        self.epoch_range
+    }
+
+    /// True when no condition is set (every record matches).
+    pub fn is_unfiltered(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// True when the selection uses fields protocol v1 cannot carry.
+    pub fn requires_v2(&self) -> bool {
+        self.job.is_some() || self.epoch_range.is_some()
+    }
+
+    /// Reject structurally invalid selections: inverted time ranges and
+    /// inverted epoch slices come back as [`QueryError::InvalidPlan`]
+    /// instead of silently matching nothing.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if let Some((lo, hi)) = self.time_range {
+            if lo > hi {
+                return Err(QueryError::InvalidPlan(format!(
+                    "inverted time range: between({lo}, {hi}) has start > end \
+                     (bounds are inclusive; swap them)"
+                )));
+            }
+        }
+        if let Some((lo, hi)) = self.epoch_range {
+            if lo > hi {
+                return Err(QueryError::InvalidPlan(format!(
+                    "inverted epoch slice: epochs({lo}, {hi}) has lo > hi \
+                     (bounds are inclusive; swap them)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Does a record committed under `epoch` pass this filter?
     pub fn matches(&self, epoch: u64, record: &ProcessRecord) -> bool {
         if let Some(e) = self.epoch {
             if epoch != e {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.epoch_range {
+            if epoch < lo || epoch > hi {
+                return false;
+            }
+        }
+        if let Some(j) = self.job {
+            if record.key.job_id != j {
                 return false;
             }
         }
@@ -105,7 +205,30 @@ impl Selection {
         true
     }
 
-    fn put(&self, out: &mut Vec<u8>) {
+    /// Does `epoch` pass the epoch-level conditions alone? This is the
+    /// layer-pruning predicate: a snapshot layer whose epochs all fail
+    /// it can be skipped without touching a record.
+    pub fn matches_epoch(&self, epoch: u64) -> bool {
+        if let Some(e) = self.epoch {
+            if epoch != e {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.epoch_range {
+            if epoch < lo || epoch > hi {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when only epoch-level conditions are set — on a layer whose
+    /// epochs all pass, every record matches without being inspected.
+    pub fn is_epoch_only(&self) -> bool {
+        self.host.is_none() && self.time_range.is_none() && self.job.is_none()
+    }
+
+    pub(crate) fn put(&self, out: &mut Vec<u8>, version: u16) {
         match self.epoch {
             None => out.push(0),
             Some(e) => {
@@ -128,9 +251,28 @@ impl Selection {
                 out.extend_from_slice(&hi.to_le_bytes());
             }
         }
+        // v1 stops here, byte-identical to every v1 build; the v2
+        // fields are additive.
+        if version >= 2 {
+            match self.job {
+                None => out.push(0),
+                Some(j) => {
+                    out.push(1);
+                    out.extend_from_slice(&j.to_le_bytes());
+                }
+            }
+            match self.epoch_range {
+                None => out.push(0),
+                Some((lo, hi)) => {
+                    out.push(1);
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                }
+            }
+        }
     }
 
-    fn get(data: &[u8], pos: &mut usize) -> Option<Self> {
+    pub(crate) fn get(data: &[u8], pos: &mut usize, version: u16) -> Option<Self> {
         let epoch = match take(data, pos, 1)?[0] {
             0 => None,
             1 => Some(get_u64(data, pos)?),
@@ -146,19 +288,36 @@ impl Selection {
             1 => Some((get_u64(data, pos)?, get_u64(data, pos)?)),
             _ => return None,
         };
+        let (job, epoch_range) = if version >= 2 {
+            let job = match take(data, pos, 1)?[0] {
+                0 => None,
+                1 => Some(get_u64(data, pos)?),
+                _ => return None,
+            };
+            let epoch_range = match take(data, pos, 1)?[0] {
+                0 => None,
+                1 => Some((get_u64(data, pos)?, get_u64(data, pos)?)),
+                _ => return None,
+            };
+            (job, epoch_range)
+        } else {
+            (None, None)
+        };
         Some(Self {
             epoch,
             host,
             time_range,
+            job,
+            epoch_range,
         })
     }
 }
 
-fn get_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
+pub(crate) fn get_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
     Some(u64::from_le_bytes(take(data, pos, 8)?.try_into().ok()?))
 }
 
-fn get_u32(data: &[u8], pos: &mut usize) -> Option<u32> {
+pub(crate) fn get_u32(data: &[u8], pos: &mut usize) -> Option<u32> {
     Some(u32::from_le_bytes(take(data, pos, 4)?.try_into().ok()?))
 }
 
@@ -212,11 +371,25 @@ pub enum QueryRequest {
         /// Minimum similarity score (0–100).
         min_score: u32,
     },
+    /// Open a composable plan's row stream (protocol v2).
+    Plan(QueryPlan),
+    /// Resume a paginated stream from a server-held cursor (v2).
+    FetchCursor {
+        /// Cursor id from a previous `StreamEnd` frame.
+        cursor: u64,
+    },
+    /// Release a cursor without draining it (v2). Answered with an
+    /// end-of-stream frame as the acknowledgement.
+    CloseCursor {
+        /// Cursor id to release.
+        cursor: u64,
+    },
 }
 
 impl QueryRequest {
-    /// Encode to a frame payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode to a frame payload under the connection's negotiated
+    /// `version`. v1 encodings are byte-identical to every v1 build.
+    pub fn encode_versioned(&self, version: u16) -> Vec<u8> {
         let mut out = Vec::with_capacity(32);
         match self {
             QueryRequest::Status => out.push(REQ_STATUS),
@@ -226,7 +399,7 @@ impl QueryRequest {
             }
             QueryRequest::LibraryUsage { selection } => {
                 out.push(REQ_LIBRARY_USAGE);
-                selection.put(&mut out);
+                selection.put(&mut out, version);
             }
             QueryRequest::Neighbors { hash, k, min_score } => {
                 out.push(REQ_NEIGHBORS);
@@ -234,15 +407,38 @@ impl QueryRequest {
                 out.extend_from_slice(&k.to_le_bytes());
                 out.extend_from_slice(&min_score.to_le_bytes());
             }
+            QueryRequest::Plan(plan) => {
+                out.push(REQ_PLAN);
+                plan.put(&mut out);
+            }
+            QueryRequest::FetchCursor { cursor } => {
+                out.push(REQ_FETCH_CURSOR);
+                out.extend_from_slice(&cursor.to_le_bytes());
+            }
+            QueryRequest::CloseCursor { cursor } => {
+                out.push(REQ_CLOSE_CURSOR);
+                out.extend_from_slice(&cursor.to_le_bytes());
+            }
         }
         out
     }
 
-    /// Decode a frame payload. Unknown tags and malformed bodies come
-    /// back as the [`QueryError`] the server should answer with.
-    pub fn decode(data: &[u8]) -> Result<Self, QueryError> {
+    /// Encode under the current protocol version.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(PROTOCOL_VERSION)
+    }
+
+    /// Decode a frame payload under the connection's negotiated
+    /// `version`. Unknown tags and malformed bodies come back as the
+    /// [`QueryError`] the server should answer with; a v2 tag arriving
+    /// on a v1 connection is an unknown request there, exactly as a
+    /// v1-only server build would answer.
+    pub fn decode_versioned(data: &[u8], version: u16) -> Result<Self, QueryError> {
         let malformed = || QueryError::Malformed("truncated or inconsistent request".into());
         let (&tag, body) = data.split_first().ok_or_else(malformed)?;
+        if version < 2 && (REQ_PLAN..=REQ_CLOSE_CURSOR).contains(&tag) {
+            return Err(QueryError::UnknownRequest(tag));
+        }
         let mut pos = 0usize;
         let req = match tag {
             REQ_STATUS => QueryRequest::Status,
@@ -250,12 +446,19 @@ impl QueryRequest {
                 job_id: get_u64(body, &mut pos).ok_or_else(malformed)?,
             },
             REQ_LIBRARY_USAGE => QueryRequest::LibraryUsage {
-                selection: Selection::get(body, &mut pos).ok_or_else(malformed)?,
+                selection: Selection::get(body, &mut pos, version).ok_or_else(malformed)?,
             },
             REQ_NEIGHBORS => QueryRequest::Neighbors {
                 hash: get_str(body, &mut pos).ok_or_else(malformed)?,
                 k: get_u32(body, &mut pos).ok_or_else(malformed)?,
                 min_score: get_u32(body, &mut pos).ok_or_else(malformed)?,
+            },
+            REQ_PLAN => QueryRequest::Plan(QueryPlan::get(body, &mut pos).ok_or_else(malformed)?),
+            REQ_FETCH_CURSOR => QueryRequest::FetchCursor {
+                cursor: get_u64(body, &mut pos).ok_or_else(malformed)?,
+            },
+            REQ_CLOSE_CURSOR => QueryRequest::CloseCursor {
+                cursor: get_u64(body, &mut pos).ok_or_else(malformed)?,
             },
             other => return Err(QueryError::UnknownRequest(other)),
         };
@@ -263,6 +466,11 @@ impl QueryRequest {
             return Err(QueryError::Malformed("trailing bytes after request".into()));
         }
         Ok(req)
+    }
+
+    /// Decode under the current protocol version.
+    pub fn decode(data: &[u8]) -> Result<Self, QueryError> {
+        Self::decode_versioned(data, PROTOCOL_VERSION)
     }
 }
 
@@ -283,6 +491,14 @@ pub struct StatusInfo {
     /// Epochs closed by the quiet-period fallback instead of a sentinel
     /// quorum (every `TYPE=END` copy lost), since daemon start.
     pub quiet_period_fallbacks: u64,
+    /// Query connections refused because the server's accept queue was
+    /// full, since daemon start (protocol v2; zero on a v1 answer).
+    pub queries_refused: u64,
+    /// Cursors currently parked in the server's cursor table (v2).
+    pub open_cursors: u64,
+    /// Negotiated-version histogram: `(version, connections)` pairs,
+    /// ascending by version, since daemon start (v2).
+    pub version_connections: Vec<(u16, u64)>,
 }
 
 /// One epoch-tagged committed record.
@@ -316,13 +532,26 @@ pub enum QueryResponse {
     LibraryUsage(Vec<LibraryUsageRow>),
     /// Answer to [`QueryRequest::Neighbors`].
     Neighbors(Vec<NeighborRow>),
+    /// One bounded frame of a plan's row stream (protocol v2). More
+    /// frames of the same reply follow until a `StreamEnd`.
+    Batch(RowBatch),
+    /// Terminates a plan/fetch reply (v2): `cursor` is `Some(id)` when
+    /// more rows can be fetched with
+    /// [`QueryRequest::FetchCursor`], `None` at end of rows.
+    StreamEnd {
+        /// Resumable cursor, if rows remain.
+        cursor: Option<u64>,
+    },
     /// The request could not be answered.
     Error(QueryError),
 }
 
 impl QueryResponse {
-    /// Encode to a frame payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode to a frame payload under the connection's negotiated
+    /// `version`. v1 encodings are byte-identical to every v1 build —
+    /// the v2-only `StatusInfo` counters are simply not sent to a v1
+    /// peer.
+    pub fn encode_versioned(&self, version: u16) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         match self {
             QueryResponse::Status(status) => {
@@ -342,6 +571,15 @@ impl QueryResponse {
                 }
                 out.extend_from_slice(&status.epoch_tag_mismatches.to_le_bytes());
                 out.extend_from_slice(&status.quiet_period_fallbacks.to_le_bytes());
+                if version >= 2 {
+                    out.extend_from_slice(&status.queries_refused.to_le_bytes());
+                    out.extend_from_slice(&status.open_cursors.to_le_bytes());
+                    out.extend_from_slice(&(status.version_connections.len() as u32).to_le_bytes());
+                    for (v, n) in &status.version_connections {
+                        out.extend_from_slice(&v.to_le_bytes());
+                        out.extend_from_slice(&n.to_le_bytes());
+                    }
+                }
             }
             QueryResponse::Rows(rows) => {
                 out.push(RESP_ROWS);
@@ -369,6 +607,20 @@ impl QueryResponse {
                     put_bytes(&mut out, &row.record.encode());
                 }
             }
+            QueryResponse::Batch(batch) => {
+                out.push(RESP_BATCH);
+                batch.put(&mut out);
+            }
+            QueryResponse::StreamEnd { cursor } => {
+                out.push(RESP_STREAM_END);
+                match cursor {
+                    None => out.push(0),
+                    Some(id) => {
+                        out.push(1);
+                        out.extend_from_slice(&id.to_le_bytes());
+                    }
+                }
+            }
             QueryResponse::Error(err) => {
                 out.push(RESP_ERROR);
                 err.put(&mut out);
@@ -377,10 +629,21 @@ impl QueryResponse {
         out
     }
 
-    /// Decode a frame payload.
-    pub fn decode(data: &[u8]) -> Result<Self, QueryError> {
+    /// Encode under the current protocol version.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(PROTOCOL_VERSION)
+    }
+
+    /// Decode a frame payload under the connection's negotiated
+    /// `version`.
+    pub fn decode_versioned(data: &[u8], version: u16) -> Result<Self, QueryError> {
         let malformed = || QueryError::Malformed("truncated or inconsistent response".into());
         let (&tag, body) = data.split_first().ok_or_else(malformed)?;
+        if version < 2 && (tag == RESP_BATCH || tag == RESP_STREAM_END) {
+            return Err(QueryError::Malformed(
+                "v2 stream frame on a v1 connection".into(),
+            ));
+        }
         let mut pos = 0usize;
         let resp = match tag {
             RESP_STATUS => {
@@ -397,13 +660,34 @@ impl QueryResponse {
                     1 => Some(get_u64(body, &mut pos).ok_or_else(malformed)?),
                     _ => return Err(malformed()),
                 };
+                let epoch_tag_mismatches = get_u64(body, &mut pos).ok_or_else(malformed)?;
+                let quiet_period_fallbacks = get_u64(body, &mut pos).ok_or_else(malformed)?;
+                let (queries_refused, open_cursors, version_connections) = if version >= 2 {
+                    let refused = get_u64(body, &mut pos).ok_or_else(malformed)?;
+                    let cursors = get_u64(body, &mut pos).ok_or_else(malformed)?;
+                    // (version u16, count u64) = 10 wire bytes each.
+                    let n = get_count(body, &mut pos, 10).ok_or_else(malformed)?;
+                    let mut hist = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        hist.push((
+                            get_u16(body, &mut pos).ok_or_else(malformed)?,
+                            get_u64(body, &mut pos).ok_or_else(malformed)?,
+                        ));
+                    }
+                    (refused, cursors, hist)
+                } else {
+                    (0, 0, Vec::new())
+                };
                 QueryResponse::Status(StatusInfo {
                     protocol_version,
                     committed_epochs,
                     records,
                     open_epoch,
-                    epoch_tag_mismatches: get_u64(body, &mut pos).ok_or_else(malformed)?,
-                    quiet_period_fallbacks: get_u64(body, &mut pos).ok_or_else(malformed)?,
+                    epoch_tag_mismatches,
+                    quiet_period_fallbacks,
+                    queries_refused,
+                    open_cursors,
+                    version_connections,
                 })
             }
             RESP_ROWS => {
@@ -448,6 +732,16 @@ impl QueryResponse {
                 }
                 QueryResponse::Neighbors(rows)
             }
+            RESP_BATCH => {
+                QueryResponse::Batch(RowBatch::get(body, &mut pos).ok_or_else(malformed)?)
+            }
+            RESP_STREAM_END => QueryResponse::StreamEnd {
+                cursor: match take(body, &mut pos, 1).ok_or_else(malformed)?[0] {
+                    0 => None,
+                    1 => Some(get_u64(body, &mut pos).ok_or_else(malformed)?),
+                    _ => return Err(malformed()),
+                },
+            },
             RESP_ERROR => {
                 QueryResponse::Error(QueryError::get(body, &mut pos).ok_or_else(malformed)?)
             }
@@ -459,6 +753,11 @@ impl QueryResponse {
             ));
         }
         Ok(resp)
+    }
+
+    /// Decode under the current protocol version.
+    pub fn decode(data: &[u8]) -> Result<Self, QueryError> {
+        Self::decode_versioned(data, PROTOCOL_VERSION)
     }
 }
 
@@ -484,6 +783,13 @@ pub enum QueryError {
     Deadline,
     /// Server-side fault while answering.
     Internal(String),
+    /// The plan (or a selection inside a request) is structurally
+    /// invalid — inverted range bounds, zero batch geometry, an
+    /// ordering the source does not support (protocol v2).
+    InvalidPlan(String),
+    /// The cursor id is not (or no longer) parked on the server — it
+    /// was never issued, was closed, or its TTL expired (protocol v2).
+    UnknownCursor(u64),
 }
 
 impl QueryError {
@@ -514,6 +820,14 @@ impl QueryError {
                 out.push(ERR_INTERNAL);
                 put_str(out, detail);
             }
+            QueryError::InvalidPlan(detail) => {
+                out.push(ERR_INVALID_PLAN);
+                put_str(out, detail);
+            }
+            QueryError::UnknownCursor(id) => {
+                out.push(ERR_UNKNOWN_CURSOR);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
         }
     }
 
@@ -528,6 +842,8 @@ impl QueryError {
             ERR_FRAME_TOO_LARGE => QueryError::FrameTooLarge(get_u32(data, pos)?),
             ERR_DEADLINE => QueryError::Deadline,
             ERR_INTERNAL => QueryError::Internal(get_str(data, pos)?),
+            ERR_INVALID_PLAN => QueryError::InvalidPlan(get_str(data, pos)?),
+            ERR_UNKNOWN_CURSOR => QueryError::UnknownCursor(get_u64(data, pos)?),
             _ => return None,
         })
     }
@@ -548,6 +864,13 @@ impl std::fmt::Display for QueryError {
             QueryError::FrameTooLarge(len) => write!(f, "frame payload of {len} bytes refused"),
             QueryError::Deadline => write!(f, "request deadline expired"),
             QueryError::Internal(detail) => write!(f, "server fault: {detail}"),
+            QueryError::InvalidPlan(detail) => write!(f, "invalid plan: {detail}"),
+            QueryError::UnknownCursor(id) => {
+                write!(
+                    f,
+                    "cursor {id} is not open (expired, closed, or never issued)"
+                )
+            }
         }
     }
 }

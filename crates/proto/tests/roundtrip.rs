@@ -1,7 +1,10 @@
 //! Protocol round-trip property tests: every request/response variant
-//! must survive encode → decode exactly, and mutated/truncated payloads
-//! must come back as typed errors — never a panic, never unbounded
-//! allocation.
+//! must survive encode → decode exactly under **both** negotiated
+//! versions, and mutated/truncated payloads must come back as typed
+//! errors — never a panic, never unbounded allocation. The v2 stream
+//! shapes (plan requests, batch frames, end-or-cursor frames) are
+//! fuzzed alongside the v1 set, including truncation at every byte of
+//! a multi-frame reply.
 //!
 //! The quick suite runs with the workspace tests; `--ignored` runs the
 //! larger fuzz smoke the CI protocol gate invokes explicitly.
@@ -9,19 +12,20 @@
 use proptest::prelude::*;
 use proptest::strategy::Strategy;
 use proptest::test_runner::{rng_for, TestRng};
-use siren_analysis::LibraryUsageRow;
+use siren_analysis::{LibraryUsageRow, UsageRow};
 use siren_consolidate::{ProcessRecord, ScriptRecord};
 use siren_db::Record;
 use siren_proto::{
     decode_hello, decode_hello_ack, encode_hello, encode_hello_ack, negotiate, read_frame,
-    write_frame, FrameError, NeighborRow, QueryError, QueryRequest, QueryResponse, RecordRow,
-    Selection, StatusInfo, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
+    write_frame, FrameError, NeighborRow, Order, PlanSource, Projection, QueryError, QueryPlan,
+    QueryRequest, QueryResponse, RecordRow, RowBatch, Selection, StatusInfo, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_MIN,
 };
 use siren_wire::{Layer, MessageType};
 
 // ---------------------------------------------------- generators --
 
-fn arb_selection(rng: &mut TestRng) -> Selection {
+fn arb_selection(rng: &mut TestRng, version: u16) -> Selection {
     let mut sel = Selection::all();
     if rng.below(2) == 1 {
         sel = sel.epoch(rng.next_u64());
@@ -33,7 +37,76 @@ fn arb_selection(rng: &mut TestRng) -> Selection {
         let lo = rng.next_u64() >> 1;
         sel = sel.between(lo, lo + rng.below(1 << 20));
     }
+    if version >= 2 {
+        if rng.below(2) == 1 {
+            sel = sel.job(rng.next_u64());
+        }
+        if rng.below(2) == 1 {
+            let lo = rng.below(1 << 20);
+            sel = sel.epochs(lo, lo + rng.below(64));
+        }
+    }
     sel
+}
+
+fn arb_plan(rng: &mut TestRng) -> QueryPlan {
+    let mut plan = match rng.below(3) {
+        0 => QueryPlan::records(),
+        1 => QueryPlan::usage_table(),
+        _ => QueryPlan::neighbors(
+            format!("6:{}:{}", arb_string(rng, 12), arb_string(rng, 12)),
+            rng.below(101) as u32,
+        ),
+    };
+    plan = plan.filter(arb_selection(rng, 2));
+    if rng.below(2) == 1 {
+        plan = plan.project(Projection::Keys);
+    }
+    if plan.source == PlanSource::Records {
+        plan = plan.order_by(match rng.below(3) {
+            0 => Order::Commit,
+            1 => Order::TimeAsc,
+            _ => Order::TimeDesc,
+        });
+    }
+    if rng.below(2) == 1 {
+        plan = plan.limit(rng.below(1 << 20));
+    }
+    plan.batch_rows(rng.next_u64() as u32)
+        .page_rows(rng.next_u64() as u32)
+}
+
+fn arb_batch(rng: &mut TestRng) -> RowBatch {
+    match rng.below(3) {
+        0 => RowBatch::Records(
+            (0..rng.below(4))
+                .map(|_| RecordRow {
+                    epoch: rng.next_u64(),
+                    record: arb_record(rng),
+                })
+                .collect(),
+        ),
+        1 => RowBatch::Usage(
+            (0..rng.below(5))
+                .map(|_| UsageRow {
+                    user: format!("user_{}", rng.below(1000)),
+                    jobs: rng.next_u64(),
+                    system_procs: rng.next_u64(),
+                    user_procs: rng.next_u64(),
+                    python_procs: rng.next_u64(),
+                })
+                .collect(),
+        ),
+        _ => RowBatch::Neighbors(
+            (0..rng.below(4))
+                .map(|_| NeighborRow {
+                    score: rng.below(101) as u32,
+                    epoch: rng.next_u64(),
+                    record: arb_record(rng),
+                })
+                .collect(),
+        ),
+    }
 }
 
 fn arb_string(rng: &mut TestRng, max: usize) -> String {
@@ -89,25 +162,34 @@ fn arb_record(rng: &mut TestRng) -> ProcessRecord {
     rec
 }
 
-fn arb_request(rng: &mut TestRng) -> QueryRequest {
-    match rng.below(4) {
+fn arb_request(rng: &mut TestRng, version: u16) -> QueryRequest {
+    let kinds = if version >= 2 { 7 } else { 4 };
+    match rng.below(kinds) {
         0 => QueryRequest::Status,
         1 => QueryRequest::ByJob {
             job_id: rng.next_u64(),
         },
         2 => QueryRequest::LibraryUsage {
-            selection: arb_selection(rng),
+            selection: arb_selection(rng, version),
         },
-        _ => QueryRequest::Neighbors {
+        3 => QueryRequest::Neighbors {
             hash: format!("6:{}:{}", arb_string(rng, 16), arb_string(rng, 16)),
             k: rng.next_u64() as u32,
             min_score: rng.below(101) as u32,
         },
+        4 => QueryRequest::Plan(arb_plan(rng)),
+        5 => QueryRequest::FetchCursor {
+            cursor: rng.next_u64(),
+        },
+        _ => QueryRequest::CloseCursor {
+            cursor: rng.next_u64(),
+        },
     }
 }
 
-fn arb_error(rng: &mut TestRng) -> QueryError {
-    match rng.below(6) {
+fn arb_error(rng: &mut TestRng, version: u16) -> QueryError {
+    let kinds = if version >= 2 { 8 } else { 6 };
+    match rng.below(kinds) {
         0 => QueryError::Malformed(arb_string(rng, 24)),
         1 => QueryError::UnsupportedVersion {
             server_min: rng.next_u64() as u16,
@@ -116,20 +198,38 @@ fn arb_error(rng: &mut TestRng) -> QueryError {
         2 => QueryError::UnknownRequest(rng.next_u64() as u8),
         3 => QueryError::FrameTooLarge(rng.next_u64() as u32),
         4 => QueryError::Deadline,
-        _ => QueryError::Internal(arb_string(rng, 24)),
+        5 => QueryError::Internal(arb_string(rng, 24)),
+        6 => QueryError::InvalidPlan(arb_string(rng, 24)),
+        _ => QueryError::UnknownCursor(rng.next_u64()),
     }
 }
 
-fn arb_response(rng: &mut TestRng) -> QueryResponse {
-    match rng.below(5) {
-        0 => QueryResponse::Status(StatusInfo {
-            protocol_version: rng.next_u64() as u16,
-            committed_epochs: (0..rng.below(6)).collect(),
-            records: rng.next_u64(),
-            open_epoch: (rng.below(2) == 1).then(|| rng.next_u64()),
-            epoch_tag_mismatches: rng.next_u64(),
-            quiet_period_fallbacks: rng.next_u64(),
-        }),
+fn arb_status(rng: &mut TestRng, version: u16) -> StatusInfo {
+    let mut status = StatusInfo {
+        protocol_version: rng.next_u64() as u16,
+        committed_epochs: (0..rng.below(6)).collect(),
+        records: rng.next_u64(),
+        open_epoch: (rng.below(2) == 1).then(|| rng.next_u64()),
+        epoch_tag_mismatches: rng.next_u64(),
+        quiet_period_fallbacks: rng.next_u64(),
+        ..StatusInfo::default()
+    };
+    // The v2 counters never travel on a v1 connection, so a v1
+    // round-trip can only be exact when they are at their defaults.
+    if version >= 2 {
+        status.queries_refused = rng.next_u64();
+        status.open_cursors = rng.next_u64();
+        status.version_connections = (1..=rng.below(3) as u16)
+            .map(|v| (v, rng.next_u64()))
+            .collect();
+    }
+    status
+}
+
+fn arb_response(rng: &mut TestRng, version: u16) -> QueryResponse {
+    let kinds = if version >= 2 { 7 } else { 5 };
+    match rng.below(kinds) {
+        0 => QueryResponse::Status(arb_status(rng, version)),
         1 => QueryResponse::Rows(
             (0..rng.below(4))
                 .map(|_| RecordRow {
@@ -156,51 +256,68 @@ fn arb_response(rng: &mut TestRng) -> QueryResponse {
                 })
                 .collect(),
         ),
-        _ => QueryResponse::Error(arb_error(rng)),
+        4 => QueryResponse::Error(arb_error(rng, version)),
+        5 => QueryResponse::Batch(arb_batch(rng)),
+        _ => QueryResponse::StreamEnd {
+            cursor: (rng.below(2) == 1).then(|| rng.next_u64()),
+        },
     }
 }
 
 // ------------------------------------------------------- helpers --
 
-fn assert_request_round_trip(req: &QueryRequest) {
-    let encoded = req.encode();
-    assert_eq!(QueryRequest::decode(&encoded).as_ref(), Ok(req));
+fn assert_request_round_trip(req: &QueryRequest, version: u16) {
+    let encoded = req.encode_versioned(version);
+    assert_eq!(
+        QueryRequest::decode_versioned(&encoded, version).as_ref(),
+        Ok(req)
+    );
     // Truncations must fail typed, and trailing junk must be rejected.
     for cut in 0..encoded.len() {
-        assert!(QueryRequest::decode(&encoded[..cut]).is_err(), "cut {cut}");
+        assert!(
+            QueryRequest::decode_versioned(&encoded[..cut], version).is_err(),
+            "cut {cut}"
+        );
     }
     let mut extra = encoded.clone();
     extra.push(0);
-    assert!(QueryRequest::decode(&extra).is_err());
+    assert!(QueryRequest::decode_versioned(&extra, version).is_err());
 }
 
-fn assert_response_round_trip(resp: &QueryResponse) {
-    let encoded = resp.encode();
-    assert_eq!(QueryResponse::decode(&encoded).as_ref(), Ok(resp));
+fn assert_response_round_trip(resp: &QueryResponse, version: u16) {
+    let encoded = resp.encode_versioned(version);
+    assert_eq!(
+        QueryResponse::decode_versioned(&encoded, version).as_ref(),
+        Ok(resp)
+    );
     for cut in 0..encoded.len() {
-        let _ = QueryResponse::decode(&encoded[..cut]); // must not panic
+        // Must not panic at either negotiated version.
+        let _ = QueryResponse::decode_versioned(&encoded[..cut], version);
+        let _ = QueryResponse::decode_versioned(&encoded[..cut], 3 - version);
     }
     let mut extra = encoded.clone();
     extra.push(0);
     // Trailing junk: either rejected, or (for the empty-tail case of a
     // string-final variant) decodes to something ≠ the original is not
     // acceptable — so require rejection unless equality held.
-    if let Ok(decoded) = QueryResponse::decode(&extra) {
+    if let Ok(decoded) = QueryResponse::decode_versioned(&extra, version) {
         assert_eq!(&decoded, resp, "trailing junk changed the decode");
     }
 }
 
 fn run_cases(cases: u32, name: &str) {
     let mut rng = rng_for(name);
-    for _ in 0..cases {
-        assert_request_round_trip(&arb_request(&mut rng));
-        assert_response_round_trip(&arb_response(&mut rng));
+    for case in 0..cases {
+        // Alternate negotiated versions so both codecs stay fuzzed.
+        let version = 1 + (case % 2) as u16;
+        assert_request_round_trip(&arb_request(&mut rng, version), version);
+        assert_response_round_trip(&arb_response(&mut rng, version), version);
         // Framed transport round-trip (in-memory "socket").
-        let resp = arb_response(&mut rng);
+        let resp = arb_response(&mut rng, version);
         let mut wire = Vec::new();
-        write_frame(&mut wire, &resp.encode()).unwrap();
+        write_frame(&mut wire, &resp.encode_versioned(version)).unwrap();
         let payload = read_frame(&mut wire.as_slice()).unwrap();
-        assert_eq!(QueryResponse::decode(&payload), Ok(resp));
+        assert_eq!(QueryResponse::decode_versioned(&payload, version), Ok(resp));
         // Random single-byte corruption never panics and never yields a
         // frame that silently decodes to a *different* valid payload of
         // the same length (checksum catches it).
@@ -214,6 +331,42 @@ fn run_cases(cases: u32, name: &str) {
                 // have changed the payload the checksum vouches for.
                 assert_eq!(payload2, payload);
             }
+        }
+        // A v2 reply stream (batch, batch, end-with-cursor) truncated
+        // at any byte must surface a typed frame error at the cut,
+        // never a panic, and the frames before the cut must decode
+        // exactly.
+        if case % 8 == 0 {
+            let frames = [
+                QueryResponse::Batch(arb_batch(&mut rng)),
+                QueryResponse::Batch(arb_batch(&mut rng)),
+                QueryResponse::StreamEnd {
+                    cursor: Some(rng.next_u64()),
+                },
+            ];
+            let mut wire = Vec::new();
+            for frame in &frames {
+                write_frame(&mut wire, &frame.encode_versioned(2)).unwrap();
+            }
+            let cut = rng.below(wire.len() as u64 + 1) as usize;
+            let mut r = &wire[..cut];
+            let mut decoded = 0usize;
+            loop {
+                match read_frame(&mut r) {
+                    Ok(payload) => {
+                        assert_eq!(
+                            QueryResponse::decode_versioned(&payload, 2).as_ref(),
+                            Ok(&frames[decoded]),
+                            "frame {decoded} before the cut must decode exactly"
+                        );
+                        decoded += 1;
+                    }
+                    Err(FrameError::Closed) => break, // cut at a boundary
+                    Err(FrameError::Truncated) => break, // cut mid-frame
+                    Err(other) => panic!("unexpected frame error at cut {cut}: {other}"),
+                }
+            }
+            assert!(decoded <= frames.len());
         }
     }
 }
@@ -274,6 +427,119 @@ proptest! {
         prop_assert_eq!(selection.time_range(), Some((lo, lo + span)));
         let req = QueryRequest::LibraryUsage { selection: selection.clone() };
         prop_assert_eq!(QueryRequest::decode(&req.encode()), Ok(req));
+    }
+}
+
+#[test]
+fn between_bounds_are_inclusive_and_inverted_ranges_are_typed_errors() {
+    let mut rng = rng_for("between_bounds_are_inclusive");
+    let rec = arb_record(&mut rng);
+    let t = rec.key.time;
+
+    // Inclusive on both ends: the exact bounds match…
+    assert!(Selection::all().between(t, t).matches(0, &rec));
+    if t > 0 {
+        assert!(Selection::all().between(t - 1, t).matches(0, &rec));
+        // …and one past the end does not.
+        assert!(!Selection::all().between(0, t - 1).matches(0, &rec));
+    }
+    if t < u64::MAX {
+        assert!(Selection::all().between(t, t + 1).matches(0, &rec));
+        assert!(!Selection::all().between(t + 1, u64::MAX).matches(0, &rec));
+    }
+
+    // Valid ranges (and the empty selection) validate.
+    assert_eq!(Selection::all().validate(), Ok(()));
+    assert_eq!(Selection::all().between(3, 3).validate(), Ok(()));
+    assert_eq!(Selection::all().epochs(0, 5).validate(), Ok(()));
+
+    // Inverted ranges draw the typed error instead of silently
+    // matching nothing.
+    assert!(matches!(
+        Selection::all().between(5, 3).validate(),
+        Err(QueryError::InvalidPlan(_))
+    ));
+    assert!(matches!(
+        Selection::all().epochs(9, 2).validate(),
+        Err(QueryError::InvalidPlan(_))
+    ));
+    // Plan validation folds the selection check in.
+    assert!(matches!(
+        QueryPlan::records()
+            .filter(Selection::all().between(5, 3))
+            .validate(),
+        Err(QueryError::InvalidPlan(_))
+    ));
+    // Ordering an aggregation is refused up front.
+    assert!(matches!(
+        QueryPlan::usage_table().order_by(Order::TimeAsc).validate(),
+        Err(QueryError::InvalidPlan(_))
+    ));
+    // Epoch-slice selections match on the epoch, not the record.
+    let sel = Selection::all().epochs(2, 4);
+    assert!(sel.matches(3, &rec) && sel.matches(2, &rec) && sel.matches(4, &rec));
+    assert!(!sel.matches(1, &rec) && !sel.matches(5, &rec));
+}
+
+#[test]
+fn v1_encoding_is_byte_stable_and_v2_tags_are_unknown_to_v1() {
+    // The v1 encoding of a v1-expressible request must not change: a
+    // pinned byte layout is what "a v1 client still works unchanged"
+    // means on the wire.
+    let req = QueryRequest::LibraryUsage {
+        selection: Selection::all().epoch(7).host("nid000001").between(10, 20),
+    };
+    let v1 = req.encode_versioned(1);
+    let expected: Vec<u8> = {
+        let mut out = vec![2u8]; // REQ_LIBRARY_USAGE
+        out.push(1);
+        out.extend_from_slice(&7u64.to_le_bytes());
+        out.push(1);
+        out.extend_from_slice(&9u32.to_le_bytes());
+        out.extend_from_slice(b"nid000001");
+        out.push(1);
+        out.extend_from_slice(&10u64.to_le_bytes());
+        out.extend_from_slice(&20u64.to_le_bytes());
+        out
+    };
+    assert_eq!(v1, expected, "v1 LibraryUsage byte layout drifted");
+    assert_eq!(QueryRequest::decode_versioned(&v1, 1), Ok(req));
+
+    // v2-only request tags on a v1 connection: UnknownRequest, exactly
+    // as a v1-only server build would answer (connection survives).
+    let plan = QueryRequest::Plan(QueryPlan::records()).encode_versioned(2);
+    assert!(matches!(
+        QueryRequest::decode_versioned(&plan, 1),
+        Err(QueryError::UnknownRequest(4))
+    ));
+
+    // And a v2-only *selection* cannot be smuggled into a v1 frame:
+    // the v1 decoder rejects the extra bytes.
+    let v2_sel = QueryRequest::LibraryUsage {
+        selection: Selection::all().job(42),
+    }
+    .encode_versioned(2);
+    assert!(QueryRequest::decode_versioned(&v2_sel, 1).is_err());
+
+    // Status answers carry the v2 counters only on v2 connections.
+    let status = StatusInfo {
+        protocol_version: 2,
+        queries_refused: 3,
+        open_cursors: 1,
+        version_connections: vec![(1, 4), (2, 9)],
+        ..StatusInfo::default()
+    };
+    let resp = QueryResponse::Status(status.clone());
+    let on_v2 = QueryResponse::decode_versioned(&resp.encode_versioned(2), 2).unwrap();
+    assert_eq!(on_v2, resp);
+    let on_v1 = QueryResponse::decode_versioned(&resp.encode_versioned(1), 1).unwrap();
+    match on_v1 {
+        QueryResponse::Status(s) => {
+            assert_eq!(s.queries_refused, 0);
+            assert_eq!(s.open_cursors, 0);
+            assert!(s.version_connections.is_empty());
+        }
+        other => panic!("expected Status, got {other:?}"),
     }
 }
 

@@ -131,8 +131,15 @@ pub struct ServiceConfig {
     /// refused, never buffered without bound.
     pub query_backlog: usize,
     /// Per-connection read/write deadline (bounds idle clients, slow
-    /// consumers, and request handling alike).
+    /// consumers, and request handling alike — including every batch
+    /// write of a v2 row stream).
     pub query_deadline: Duration,
+    /// How long a paginated v2 cursor may sit idle between fetches
+    /// before the server evicts it (and drops the snapshot it pins).
+    pub cursor_ttl: Duration,
+    /// Most cursors parked at once; past it the stalest is evicted so
+    /// abandoned clients cannot pin unbounded snapshot memory.
+    pub query_max_cursors: usize,
     /// Silence on the UDP ingest loop ([`SirenDaemon::drain_udp`])
     /// after which an open epoch is committed without its sentinel
     /// quorum — the fallback for campaigns whose every `TYPE=END` copy
@@ -151,6 +158,8 @@ impl Default for ServiceConfig {
             query_workers: 4,
             query_backlog: 64,
             query_deadline: Duration::from_secs(5),
+            cursor_ttl: Duration::from_secs(60),
+            query_max_cursors: 256,
             quiet_period: Duration::from_secs(10),
         }
     }
@@ -408,6 +417,8 @@ impl SirenDaemon {
                 daemon.cfg.query_workers,
                 daemon.cfg.query_backlog,
                 daemon.cfg.query_deadline,
+                daemon.cfg.cursor_ttl,
+                daemon.cfg.query_max_cursors,
             )?);
         }
         Ok((daemon, recovery))
@@ -649,12 +660,19 @@ impl SirenDaemon {
 
     /// Live ingest-health counters as a `Status` answer would carry
     /// them (protocol version 0 = in-process) — exactly the wire
-    /// answer's code path, so the two can never diverge.
+    /// answer's code path, so the two can never diverge. When the
+    /// query server is up, the query-traffic counters (refused
+    /// connections, open cursors, negotiated-version histogram) are
+    /// filled in exactly as a v2 wire answer would carry them.
     pub fn status(&self) -> StatusInfo {
+        let mut status = self.shared.status(0);
+        if let Some(server) = &self.server {
+            server.fill_traffic_counters(&mut status);
+        }
         match self
             .shared
             .load()
-            .respond(self.shared.status(0), &siren_proto::QueryRequest::Status)
+            .respond(status, &siren_proto::QueryRequest::Status)
         {
             siren_proto::QueryResponse::Status(status) => status,
             _ => unreachable!("Status request always yields a Status response"),
@@ -683,6 +701,16 @@ impl SirenDaemon {
             .as_ref()
             .map(|s| (s.connections_accepted(), s.connections_refused()))
             .unwrap_or((0, 0))
+    }
+
+    /// Paginated v2 cursors currently parked (each pins the snapshot
+    /// its plan opened on; bounded by [`ServiceConfig::cursor_ttl`] and
+    /// [`ServiceConfig::query_max_cursors`]).
+    pub fn open_cursors(&self) -> u64 {
+        self.server
+            .as_ref()
+            .map(QueryServer::open_cursors)
+            .unwrap_or(0)
     }
 
     /// Drain decoded datagrams from a UDP receiver into the epoch

@@ -5,16 +5,26 @@
 //! one connection at a time (hello negotiation, then a request/response
 //! loop). When the queue is full, new connections are refused (closed
 //! immediately) rather than buffered without bound. Per-connection
-//! read/write deadlines bound both idle clients and slow consumers.
+//! read/write deadlines bound both idle clients and slow consumers —
+//! including every batch write of a v2 row stream, so a stalled reader
+//! cannot pin a worker.
+//!
+//! Protocol v2 requests (plans, cursor fetches) answer with a frame
+//! *stream*: bounded [`RowBatch`](siren_proto::RowBatch) frames, then
+//! one end-or-cursor frame. Unfinished streams park their
+//! [`PlanCursor`] — snapshot `Arc` pinned — in the shared
+//! [`CursorTable`], which evicts by TTL and capacity.
 //!
 //! Hostile-input posture: the frame reader bounds-checks length
 //! prefixes before allocating; framing-level corruption (bad magic, bad
 //! checksum, torn frame) draws a best-effort [`QueryError`] and a close
 //! (the stream can no longer be trusted); an unknown request tag inside
 //! an intact frame draws a [`QueryError::UnknownRequest`] and the
-//! connection stays usable.
+//! connection stays usable — including v2 tags on a v1-negotiated
+//! connection.
 
 use crate::daemon::SharedState;
+use crate::plan::{CursorTable, PlanCursor, BATCH_BYTE_BUDGET};
 use crossbeam::channel::{bounded, Receiver, TrySendError};
 use siren_proto::{
     decode_hello, encode_hello_ack, negotiate, read_frame, write_frame, FrameError, QueryError,
@@ -34,6 +44,37 @@ pub(crate) struct ServerCounters {
     pub refused: AtomicU64,
     /// Requests answered (including error answers).
     pub requests: AtomicU64,
+    /// Connections negotiated at protocol v1.
+    pub negotiated_v1: AtomicU64,
+    /// Connections negotiated at protocol v2.
+    pub negotiated_v2: AtomicU64,
+}
+
+impl ServerCounters {
+    /// The negotiated-version histogram as `(version, connections)`
+    /// pairs, ascending, zero-count versions omitted.
+    pub(crate) fn version_histogram(&self) -> Vec<(u16, u64)> {
+        [
+            (1u16, self.negotiated_v1.load(Ordering::Relaxed)),
+            (2u16, self.negotiated_v2.load(Ordering::Relaxed)),
+        ]
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .collect()
+    }
+}
+
+/// Fill a `Status` answer's query-traffic counters — the ONE place
+/// these fields are written, used by both the wire Status arm and the
+/// in-process `SirenDaemon::status`, so the two can never diverge.
+pub(crate) fn fill_traffic_counters(
+    counters: &ServerCounters,
+    cursors: &CursorTable,
+    status: &mut siren_proto::StatusInfo,
+) {
+    status.queries_refused = counters.refused.load(Ordering::Relaxed);
+    status.open_cursors = cursors.open_count();
+    status.version_connections = counters.version_histogram();
 }
 
 /// The embedded TCP query server. Dropping it stops the accept thread,
@@ -45,23 +86,28 @@ pub(crate) struct QueryServer {
     accept: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     counters: Arc<ServerCounters>,
+    cursors: Arc<CursorTable>,
 }
 
 impl QueryServer {
     /// Bind `addr` and start the accept thread plus `workers` handler
-    /// threads sharing a queue of `backlog` pending connections.
+    /// threads sharing a queue of `backlog` pending connections and a
+    /// cursor table bounded by `cursor_ttl` / `max_cursors`.
     pub(crate) fn spawn(
         addr: SocketAddr,
         shared: Arc<SharedState>,
         workers: usize,
         backlog: usize,
         deadline: Duration,
+        cursor_ttl: Duration,
+        max_cursors: usize,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(ServerCounters::default());
+        let cursors = Arc::new(CursorTable::new(cursor_ttl, max_cursors));
         let (tx, rx) = bounded::<TcpStream>(backlog.max(1));
 
         let mut worker_handles = Vec::with_capacity(workers.max(1));
@@ -69,13 +115,16 @@ impl QueryServer {
             let rx: Receiver<TcpStream> = rx.clone();
             let shared = Arc::clone(&shared);
             let counters = Arc::clone(&counters);
+            let cursors = Arc::clone(&cursors);
             let stop = Arc::clone(&stop);
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("siren-query-worker-{i}"))
                     .spawn(move || {
                         while let Ok(stream) = rx.recv() {
-                            handle_connection(stream, &shared, &counters, deadline, &stop);
+                            handle_connection(
+                                stream, &shared, &counters, &cursors, deadline, &stop,
+                            );
                         }
                     })?,
             );
@@ -120,6 +169,7 @@ impl QueryServer {
             accept: Some(accept),
             workers: worker_handles,
             counters,
+            cursors,
         })
     }
 
@@ -143,6 +193,17 @@ impl QueryServer {
     pub(crate) fn connections_refused(&self) -> u64 {
         self.counters.refused.load(Ordering::Relaxed)
     }
+
+    /// Cursors currently parked between pages.
+    pub(crate) fn open_cursors(&self) -> u64 {
+        self.cursors.open_count()
+    }
+
+    /// Fill `status`'s query-traffic counters exactly as a wire
+    /// `Status` answer would carry them.
+    pub(crate) fn fill_traffic_counters(&self, status: &mut siren_proto::StatusInfo) {
+        fill_traffic_counters(&self.counters, &self.cursors, status);
+    }
 }
 
 impl Drop for QueryServer {
@@ -163,10 +224,58 @@ fn send_error(stream: &mut TcpStream, err: QueryError) {
     let _ = write_frame(stream, &QueryResponse::Error(err).encode());
 }
 
+/// Stream one reply's worth of a cursor: up to its page budget in
+/// batch frames, then the end-or-cursor terminator. Returns `false`
+/// when the connection is no longer usable.
+fn stream_reply(
+    stream: &mut TcpStream,
+    mut cursor: PlanCursor,
+    cursors: &CursorTable,
+    version: u16,
+) -> bool {
+    let batch_rows = cursor.batch_rows();
+    let page_rows = cursor.page_rows();
+    let mut sent = 0usize;
+    while sent < page_rows {
+        let want = batch_rows.min(page_rows - sent);
+        let Some(batch) = cursor.next_batch(want, BATCH_BYTE_BUDGET) else {
+            break;
+        };
+        sent += batch.len();
+        let encoded = QueryResponse::Batch(batch).encode_versioned(version);
+        if encoded.len() > MAX_FRAME_PAYLOAD as usize {
+            // A single row blew the frame cap (pathological record).
+            // The client treats an error frame as the reply terminator,
+            // so it stays in sync; the stream itself cannot continue.
+            send_error(
+                stream,
+                QueryError::Internal(format!(
+                    "a row batch of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame cap; \
+                     lower batch_rows or project to Keys",
+                    encoded.len()
+                )),
+            );
+            return true;
+        }
+        if write_frame(stream, &encoded).is_err() {
+            return false;
+        }
+    }
+    let end = if cursor.is_exhausted() {
+        QueryResponse::StreamEnd { cursor: None }
+    } else {
+        QueryResponse::StreamEnd {
+            cursor: Some(cursors.park(cursor)),
+        }
+    };
+    write_frame(stream, &end.encode_versioned(version)).is_ok()
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     shared: &SharedState,
     counters: &ServerCounters,
+    cursors: &CursorTable,
     deadline: Duration,
     stop: &AtomicBool,
 ) {
@@ -207,6 +316,10 @@ fn handle_connection(
     if write_frame(&mut stream, &encode_hello_ack(version)).is_err() {
         return;
     }
+    match version {
+        1 => counters.negotiated_v1.fetch_add(1, Ordering::Relaxed),
+        _ => counters.negotiated_v2.fetch_add(1, Ordering::Relaxed),
+    };
 
     loop {
         // Server shutdown: stop serving this connection even if the
@@ -242,12 +355,64 @@ fn handle_connection(
         };
 
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, fatal) = match QueryRequest::decode(&payload) {
+        let (response, fatal) = match QueryRequest::decode_versioned(&payload, version) {
+            // ---- v2 streaming requests: replies are frame streams. ----
+            Ok(QueryRequest::Plan(plan)) => {
+                // Lock-free: the cursor pins the snapshot current at
+                // open; commits landing mid-pagination don't move it.
+                match PlanCursor::open(shared.load(), plan) {
+                    Ok(cursor) => {
+                        if !stream_reply(&mut stream, cursor, cursors, version) {
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(err) => (QueryResponse::Error(err), false),
+                }
+            }
+            Ok(QueryRequest::FetchCursor { cursor }) => match cursors.take(cursor) {
+                Some(parked) => {
+                    if !stream_reply(&mut stream, parked, cursors, version) {
+                        return;
+                    }
+                    continue;
+                }
+                None => (
+                    QueryResponse::Error(QueryError::UnknownCursor(cursor)),
+                    false,
+                ),
+            },
+            Ok(QueryRequest::CloseCursor { cursor }) => {
+                cursors.remove(cursor);
+                // The end frame doubles as the close acknowledgement.
+                (QueryResponse::StreamEnd { cursor: None }, false)
+            }
+            // ---- one-frame requests (v1 set, valid on v2 too). ----
             Ok(request) => {
-                // Lock-free read path: clone the current snapshot Arc
-                // and answer entirely from it.
-                let snapshot = shared.load();
-                (snapshot.respond(shared.status(version), &request), false)
+                // On v2 connections an inverted selection range draws
+                // the typed error instead of silently matching nothing
+                // (v1 keeps its historical empty answer).
+                let invalid = match &request {
+                    QueryRequest::LibraryUsage { selection } if version >= 2 => {
+                        selection.validate().err()
+                    }
+                    _ => None,
+                };
+                if let Some(err) = invalid {
+                    (QueryResponse::Error(err), false)
+                } else {
+                    // Lock-free read path: clone the current snapshot
+                    // Arc and answer entirely from it. Only a Status
+                    // answer reads the traffic counters — the cursor
+                    // table's lock (and its TTL sweep) must not sit on
+                    // the ByJob/LibraryUsage/Neighbors hot path.
+                    let mut status = shared.status(version);
+                    if matches!(request, QueryRequest::Status) {
+                        fill_traffic_counters(counters, cursors, &mut status);
+                    }
+                    let snapshot = shared.load();
+                    (snapshot.respond(status, &request), false)
+                }
             }
             // Intact frame, unknown tag: answer and keep the connection.
             Err(err @ QueryError::UnknownRequest(_)) => (QueryResponse::Error(err), false),
@@ -256,13 +421,13 @@ fn handle_connection(
         // The client's read_frame refuses payloads above the protocol
         // cap, so sending one would kill the connection mid-answer;
         // substitute a typed error the client can act on instead.
-        let mut encoded = response.encode();
+        let mut encoded = response.encode_versioned(version);
         if encoded.len() > MAX_FRAME_PAYLOAD as usize {
             encoded = QueryResponse::Error(QueryError::Internal(format!(
                 "response of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame cap; narrow the query",
                 encoded.len()
             )))
-            .encode();
+            .encode_versioned(version);
         }
         if write_frame(&mut stream, &encoded).is_err() || fatal {
             return;

@@ -132,6 +132,17 @@ impl SnapshotLayer {
         }
         SnapshotLayer::build(records)
     }
+
+    /// The layer's records, in commit order.
+    pub(crate) fn layer_records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Distinct epochs present in this layer, ascending — what the
+    /// plan executor prunes epoch-slice scans with.
+    pub(crate) fn layer_epochs(&self) -> &[u64] {
+        &self.epochs
+    }
 }
 
 /// An immutable, index-carrying view of every committed record: an
@@ -321,6 +332,29 @@ impl QuerySnapshot {
     /// exactly because the layer corpora concatenate to the monolithic
     /// corpus.
     pub fn nearest_neighbors(&self, hash: &str, k: usize, min_score: u32) -> Vec<Neighbor<'_>> {
+        self.neighbor_hits(hash, k, min_score)
+            .into_iter()
+            .map(|(score, li, owner)| {
+                let er = &self.layers[li as usize].records[owner as usize];
+                Neighbor {
+                    score,
+                    epoch: er.epoch,
+                    record: &er.record,
+                }
+            })
+            .collect()
+    }
+
+    /// The hit list behind [`nearest_neighbors`](Self::nearest_neighbors)
+    /// as owned `(score, layer, record-index)` descriptors — the form a
+    /// plan cursor can park across replies without borrowing the
+    /// snapshot it already pins by `Arc`.
+    pub(crate) fn neighbor_hits(
+        &self,
+        hash: &str,
+        k: usize,
+        min_score: u32,
+    ) -> Vec<(u32, u32, u32)> {
         let Ok(baseline) = FuzzyHash::parse(hash) else {
             return Vec::new();
         };
@@ -339,15 +373,14 @@ impl QuerySnapshot {
         hits.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         hits.into_iter()
             .take(k)
-            .map(|(score, _, li, owner)| {
-                let er = &self.layers[li].records[owner as usize];
-                Neighbor {
-                    score,
-                    epoch: er.epoch,
-                    record: &er.record,
-                }
-            })
+            .map(|(score, _, li, owner)| (score, li as u32, owner))
             .collect()
+    }
+
+    /// The layer stack (plan execution walks layers directly so
+    /// epoch-slice plans can skip non-matching layers wholesale).
+    pub(crate) fn layer_stack(&self) -> &[Arc<SnapshotLayer>] {
+        &self.layers
     }
 
     /// Answer one protocol request against this snapshot. `status`
@@ -383,6 +416,17 @@ impl QuerySnapshot {
                     })
                     .collect(),
             ),
+            // Streaming requests never reach the one-frame answer
+            // path: the server routes them through `PlanCursor` (see
+            // `plan.rs`), and in-process callers use
+            // [`QuerySnapshot::plan_rows`].
+            QueryRequest::Plan(_)
+            | QueryRequest::FetchCursor { .. }
+            | QueryRequest::CloseCursor { .. } => {
+                QueryResponse::Error(siren_proto::QueryError::Internal(
+                    "streaming requests are answered by the plan executor, not respond()".into(),
+                ))
+            }
         }
     }
 }
@@ -431,12 +475,6 @@ impl<'s> SnapshotSelection<'s> {
 
     /// The paper's Table-2 usage breakdown over the selection.
     pub fn usage_table(self) -> Vec<UsageRow> {
-        let records: Vec<ProcessRecord> = self
-            .snapshot
-            .filtered(&self.selection)
-            .into_iter()
-            .cloned()
-            .collect();
-        usage_table(&records)
+        usage_table(self.snapshot.filtered(&self.selection))
     }
 }

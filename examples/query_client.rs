@@ -3,7 +3,9 @@
 //! a loopback port, and a typed [`SirenClient`] asks it for status,
 //! per-job records, library usage, and fuzzy nearest neighbors —
 //! exactly what an analyst-side tool would do against a production
-//! deployment.
+//! deployment. The second half switches to the protocol-v2 surface:
+//! composable [`QueryPlan`]s answered as lazy [`RowStream`]s with
+//! server-side pagination.
 //!
 //! ```bash
 //! cargo run --release --example query_client
@@ -12,7 +14,7 @@
 use siren_repro::cluster::{Campaign, CampaignConfig};
 use siren_repro::collector::{Collector, PolicyMode};
 use siren_repro::net::{SimChannel, SimConfig};
-use siren_repro::proto::{Selection, SirenClient};
+use siren_repro::proto::{Order, Projection, QueryPlan, Selection, SirenClient};
 use siren_repro::service::{ServiceConfig, SirenDaemon};
 
 fn main() {
@@ -91,6 +93,46 @@ fn main() {
                 n.record.exe_path().unwrap_or("?"),
             );
         }
+    }
+
+    // ---- Protocol v2: composable plans, streamed answers. ----
+
+    // A record stream over an epoch slice, newest first, keys only,
+    // delivered in bounded batches through a server-side cursor. The
+    // RowStream fetches pages lazily as the iterator advances, and the
+    // cursor pins the snapshot it opened on, so the answer is immune
+    // to epochs committing mid-pagination.
+    let plan = QueryPlan::records()
+        .filter(Selection::all().job(probe.key.job_id).epochs(0, 0))
+        .order_by(Order::TimeDesc)
+        .project(Projection::Keys)
+        .limit(8)
+        .batch_rows(4)
+        .page_rows(4);
+    let stream = client.query(plan).expect("open plan stream");
+    println!("v2 plan stream (job {}, newest first):", probe.key.job_id);
+    for row in stream {
+        let row = row.expect("stream row").into_record().expect("record row");
+        println!(
+            "  t={} epoch {} host {}",
+            row.record.key.time, row.epoch, row.record.key.host
+        );
+    }
+
+    // The per-user usage table as a v2 plan — a question v1 could not
+    // ask without a wire break.
+    let usage_rows = client
+        .query(QueryPlan::usage_table().limit(5))
+        .expect("usage plan")
+        .collect_rows()
+        .expect("usage rows");
+    println!("top users (v2 usage-table plan):");
+    for row in usage_rows {
+        let row = row.into_usage().expect("usage row");
+        println!(
+            "  {:<10} {:>4} jobs, {:>5} system / {:>4} user / {:>4} python processes",
+            row.user, row.jobs, row.system_procs, row.user_procs, row.python_procs
+        );
     }
 
     drop(daemon);

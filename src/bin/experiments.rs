@@ -95,6 +95,12 @@ fn main() {
         if want("telemetry") || want("summary") {
             println!("{}", report::telemetry_report(&result));
         }
+        if want("telemetry") {
+            // Query-side telemetry: serve the campaign's records from a
+            // throwaway daemon and render the v2 Status counters an
+            // operator would see over the wire.
+            println!("{}", query_telemetry(records));
+        }
         if want("summary") {
             println!("Deployment summary");
             println!("  jobs:               {}", result.campaign_stats.jobs);
@@ -294,4 +300,36 @@ fn overhead_comparison(scale: f64, seed: u64) -> String {
         all_bytes as f64 / sel_bytes.max(1) as f64,
         all_dgrams as f64 / sel_dgrams.max(1) as f64,
     )
+}
+
+/// Import `records` into a throwaway daemon serving the TCP query
+/// protocol, drive one v2 status round-trip, and render the query
+/// telemetry an operator would read off a live deployment.
+fn query_telemetry(records: &[siren_core::consolidate::ProcessRecord]) -> String {
+    use siren_core::proto::SirenClient;
+    use siren_core::service::{ServiceConfig, SirenDaemon};
+
+    let dir = std::env::temp_dir().join(format!("siren-exp-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServiceConfig {
+        query_addr: Some("127.0.0.1:0".parse().unwrap()),
+        ..ServiceConfig::at(&dir)
+    };
+    let out = match SirenDaemon::open(cfg) {
+        Ok((mut daemon, _)) => {
+            let _ = daemon.import_epoch(records.to_vec());
+            match daemon
+                .query_addr()
+                .ok_or(())
+                .and_then(|addr| SirenClient::connect(addr).map_err(|_| ()))
+                .and_then(|mut client| client.status().map_err(|_| ()))
+            {
+                Ok(status) => report::query_telemetry_report(&status),
+                Err(()) => "Query telemetry unavailable (local TCP refused)\n".into(),
+            }
+        }
+        Err(e) => format!("Query telemetry unavailable: {e}\n"),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    out
 }
