@@ -45,6 +45,7 @@ pub use siren_fuzzy as fuzzy;
 pub use siren_hash as hash;
 pub use siren_ingest as ingest;
 pub use siren_net as net;
+pub use siren_obs as obs;
 pub use siren_proto as proto;
 pub use siren_service as service;
 pub use siren_store as store;

@@ -6,8 +6,9 @@ use siren_consolidate::{
     consolidate, integrity_report, ConsolidateStats, IntegrityReport, ProcessRecord,
 };
 use siren_db::{Database, ReplayStats};
-use siren_ingest::{IngestConfig, IngestService, ShardStats};
+use siren_ingest::{IngestConfig, IngestMetrics, IngestService, ShardStats};
 use siren_net::{ShardedUdpSender, SimChannel, SimConfig, UdpReceiver, UdpReceiverPool, UdpSender};
+use siren_obs::{MetricsSnapshot, Registry};
 use siren_wire::{
     parse_sentinel, CompleteMessage, Message, MessageType, Reassembler, DEFAULT_MAX_DATAGRAM,
 };
@@ -123,6 +124,21 @@ pub struct DeploymentResult {
     /// deployment recovered from a previous run, including torn-tail
     /// bytes discarded. Zero for in-memory and fresh databases.
     pub replay: ReplayStats,
+    /// The run's full metrics registry, snapshotted at finish: `net.*`
+    /// transport counts plus everything the ingest tier recorded
+    /// (`ingest.*` counters and latency histograms). Render with
+    /// [`crate::report::telemetry_report`].
+    pub metrics: MetricsSnapshot,
+}
+
+/// Stamp the transport-level counts into `registry` and snapshot it —
+/// every deployment path ends here, so the telemetry always carries the
+/// `net.*` series alongside whatever the ingest tier recorded.
+fn seal_metrics(registry: &Registry, sent: u64, delivered: u64, dropped: u64) -> MetricsSnapshot {
+    registry.counter("net.datagrams_sent").add(sent);
+    registry.counter("net.datagrams_delivered").add(delivered);
+    registry.counter("net.datagrams_dropped").add(dropped);
+    registry.snapshot()
 }
 
 /// A configured deployment, ready to run.
@@ -182,12 +198,27 @@ impl Deployment {
         messages: Vec<Message>,
         datagrams_dropped: u64,
     ) -> DeploymentResult {
+        let registry = Registry::new();
+        let metrics = IngestMetrics::register(&registry);
         let mut reasm = Reassembler::new();
         let (db, replay) = match &cfg.db_path {
             Some(path) => Database::open(path).expect("open database WAL"),
             None => (Database::in_memory(), ReplayStats::default()),
         };
+        metrics.replayed_records.add(replay.records);
+        metrics.replay_tail_bytes.add(replay.corrupt_tail_bytes);
 
+        // The serial path records the same `ingest.*` span points as the
+        // sharded workers, so both modes render identically.
+        let insert = |batch: Vec<CompleteMessage>| {
+            let rows = batch.len() as u64;
+            let start = std::time::Instant::now();
+            db.insert_message_batch(batch)
+                .expect("database batch insert");
+            metrics.batch_insert_ns.record_duration(start.elapsed());
+            metrics.batches.inc();
+            metrics.rows_stored.add(rows);
+        };
         let mut delivered = 0u64;
         let mut complete = 0u64;
         let mut batch: Vec<CompleteMessage> = Vec::with_capacity(SERIAL_BATCH);
@@ -196,23 +227,35 @@ impl Deployment {
                 continue; // transport control, not data
             }
             delivered += 1;
-            if let Some(done) = reasm.push(msg) {
+            metrics.messages_received.inc();
+            let push_start = std::time::Instant::now();
+            let done = reasm.push(msg);
+            metrics.reassembly_ns.record_duration(push_start.elapsed());
+            if let Some(done) = done {
                 complete += 1;
+                metrics.reassembled.inc();
                 batch.push(done);
                 if batch.len() >= SERIAL_BATCH {
-                    db.insert_message_batch(std::mem::take(&mut batch))
-                        .expect("database batch insert");
+                    insert(std::mem::take(&mut batch));
                 }
             }
         }
         let incomplete = reasm.drain_incomplete();
         let duplicates = reasm.duplicates;
-        db.insert_message_batch(batch)
-            .expect("database batch insert");
+        metrics.incomplete.add(incomplete.len() as u64);
+        metrics.duplicates.add(duplicates);
+        metrics.inconsistent.add(reasm.inconsistent);
+        insert(batch);
         db.flush().expect("database flush");
 
         let consolidated = consolidate(&db);
         let integrity = integrity_report(&consolidated.records);
+        let metrics = seal_metrics(
+            &registry,
+            collector_stats.datagrams_sent,
+            delivered,
+            datagrams_dropped,
+        );
 
         DeploymentResult {
             campaign_stats,
@@ -229,6 +272,7 @@ impl Deployment {
             integrity,
             shard_stats: Vec::new(),
             replay,
+            metrics,
         }
     }
 
@@ -240,10 +284,12 @@ impl Deployment {
         datagrams_dropped: u64,
         shards: usize,
     ) -> DeploymentResult {
+        let registry = Registry::new();
         let mut service = IngestService::spawn(IngestConfig {
             shards,
             clamp_shards: cfg.ingest_clamp,
             wal_base: cfg.db_path.clone(),
+            metrics: IngestMetrics::register(&registry),
             ..IngestConfig::default()
         })
         .expect("spawn ingest service");
@@ -256,6 +302,12 @@ impl Deployment {
         }
         let ingested = service.finish().expect("ingest finish");
         let integrity = integrity_report(&ingested.records);
+        let metrics = seal_metrics(
+            &registry,
+            collector_stats.datagrams_sent,
+            delivered,
+            datagrams_dropped,
+        );
 
         DeploymentResult {
             campaign_stats,
@@ -272,6 +324,7 @@ impl Deployment {
             records: ingested.records,
             integrity,
             shard_stats: ingested.shard_stats,
+            metrics,
         }
     }
 
@@ -349,10 +402,12 @@ impl Deployment {
         // The receiver pool is one socket per worker, so the sender,
         // the pool, and the ingest service must all agree on the
         // *effective* (possibly hardware-clamped) shard count.
+        let registry = Registry::new();
         let ingest_cfg = IngestConfig {
             shards,
             clamp_shards: self.cfg.ingest_clamp,
             wal_base: self.cfg.db_path.clone(),
+            metrics: IngestMetrics::register(&registry),
             ..IngestConfig::default()
         };
         let shards = ingest_cfg.effective_shards();
@@ -407,6 +462,12 @@ impl Deployment {
         let ingested = service.finish().expect("ingest finish");
         let integrity = integrity_report(&ingested.records);
         let dropped = sent_claimed.saturating_sub(delivered);
+        let metrics = seal_metrics(
+            &registry,
+            collector_stats.datagrams_sent,
+            delivered,
+            dropped,
+        );
 
         DeploymentResult {
             campaign_stats,
@@ -423,6 +484,7 @@ impl Deployment {
             records: ingested.records,
             integrity,
             shard_stats: ingested.shard_stats,
+            metrics,
         }
     }
 }

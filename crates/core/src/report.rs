@@ -6,6 +6,7 @@
 use siren_analysis as analysis;
 use siren_analysis::Labeler;
 use siren_consolidate::ProcessRecord;
+use siren_obs::MetricsSnapshot;
 use siren_text::SubstringDeriver;
 
 /// Table 2.
@@ -79,86 +80,170 @@ pub fn library_matrix_report(records: &[ProcessRecord]) -> String {
         .render("Figure 5: Loaded shared object usage by software label")
 }
 
-/// Ingest-tier telemetry for one deployment: transport loss, WAL replay
-/// (what a persistent receiver recovered on startup, including torn-tail
-/// bytes), and per-shard backpressure — the operational counters that
-/// were previously measured but silently dropped from the report.
-pub fn telemetry_report(result: &crate::DeploymentResult) -> String {
-    let mut out = String::from("Deployment telemetry\n");
-    out.push_str(&format!(
-        "  datagrams: sent {}, delivered {}, dropped {}\n",
-        result.datagrams_sent, result.datagrams_delivered, result.datagrams_dropped
-    ));
-    out.push_str(&format!(
-        "  reassembly: complete {}, incomplete {}, duplicates {}\n",
-        result.reassembly_complete, result.reassembly_incomplete, result.reassembly_duplicates
-    ));
-    out.push_str(&format!(
-        "  wal replay: {} records recovered, {} torn-tail bytes discarded\n",
-        result.replay.records, result.replay.corrupt_tail_bytes
-    ));
-    if result.shard_stats.is_empty() {
-        out.push_str("  ingest: serial (single receiver thread)\n");
-    } else {
-        let requested = result
-            .shard_stats
-            .first()
-            .map(|s| s.shards_requested)
-            .unwrap_or(0);
-        let effective = result.shard_stats.len();
-        if requested != effective {
+/// Format a nanosecond quantity with a human-scale unit.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// One latency histogram as `name p50=.. p99=.. max=.. (n=..)`, or
+/// nothing when the series is absent or empty.
+fn hist_line(out: &mut String, metrics: &MetricsSnapshot, label: &str, name: &str) {
+    if let Some(h) = metrics.histogram(name) {
+        if !h.is_empty() {
             out.push_str(&format!(
-                "  ingest: {effective} shards (requested {requested}, clamped to available parallelism)\n"
-            ));
-        } else {
-            out.push_str(&format!("  ingest: {effective} shards\n"));
-        }
-        for s in &result.shard_stats {
-            out.push_str(&format!(
-                "    shard {}: {} rows, {} batches, {} backpressure waits, {} replayed ({} torn bytes)\n",
-                s.shard, s.db_rows, s.batches, s.backpressure_waits, s.replayed_records,
-                s.replay_tail_bytes
+                "    {label}: p50={} p99={} max={} (n={})\n",
+                fmt_ns(h.p50()),
+                fmt_ns(h.p99()),
+                fmt_ns(h.max),
+                h.count
             ));
         }
     }
-    out
 }
 
-/// Operator-facing rendering of a daemon's `Status` answer: store
-/// shape, ingest health, and the query-traffic counters protocol v2
-/// exports (refused connections, open cursors, negotiated-version
-/// histogram). Works on any [`siren_proto::StatusInfo`] — from
-/// `SirenDaemon::status` in process or a `SirenClient::status` answer
-/// over the wire.
-pub fn query_telemetry_report(status: &siren_proto::StatusInfo) -> String {
-    let mut out = String::from("Query telemetry\n");
-    out.push_str(&format!(
-        "  store: {} records across {} committed epochs{}\n",
-        status.records,
-        status.committed_epochs.len(),
-        match status.open_epoch {
-            Some(e) => format!(", epoch {e} ingesting"),
-            None => String::new(),
-        }
-    ));
-    out.push_str(&format!(
-        "  ingest health: {} epoch-tag mismatches, {} quiet-period fallbacks\n",
-        status.epoch_tag_mismatches, status.quiet_period_fallbacks
-    ));
-    out.push_str(&format!(
-        "  connections refused (queue full): {}\n",
-        status.queries_refused
-    ));
-    out.push_str(&format!("  open cursors: {}\n", status.open_cursors));
-    if status.version_connections.is_empty() {
-        out.push_str("  negotiated versions: none yet\n");
-    } else {
-        let hist: Vec<String> = status
-            .version_connections
+/// True when any counter under `prefix` was registered — the section
+/// gate, so a snapshot renders only the tiers that actually ran.
+fn has_series(metrics: &MetricsSnapshot, prefix: &str) -> bool {
+    metrics.counters.iter().any(|(n, _)| n.starts_with(prefix))
+        || metrics.gauges.iter().any(|(n, _)| n.starts_with(prefix))
+        || metrics
+            .histograms
             .iter()
-            .map(|(v, n)| format!("v{v}: {n}"))
-            .collect();
-        out.push_str(&format!("  negotiated versions: {}\n", hist.join(", ")));
+            .any(|(n, _)| n.starts_with(prefix))
+}
+
+/// The unified telemetry renderer: every pipeline tier, one report,
+/// driven entirely by a [`MetricsSnapshot`]. The same function renders
+/// a [`crate::DeploymentResult::metrics`] snapshot (transport + ingest
+/// series), a `SirenDaemon::metrics_snapshot`, and a
+/// `SirenClient::metrics()` answer fetched over the wire — sections
+/// whose series never registered are skipped, so each source shows
+/// exactly the tiers it ran.
+pub fn telemetry_report(metrics: &MetricsSnapshot) -> String {
+    let c = |name: &str| metrics.counter(name);
+    let mut out = String::from("Telemetry report\n");
+
+    if has_series(metrics, "net.") {
+        out.push_str(&format!(
+            "  transport: {} datagrams sent, {} delivered, {} dropped\n",
+            c("net.datagrams_sent"),
+            c("net.datagrams_delivered"),
+            c("net.datagrams_dropped")
+        ));
+    }
+    if has_series(metrics, "ingest.") {
+        out.push_str(&format!(
+            "  ingest: {} messages received, {} reassembled ({} incomplete, {} duplicate chunks, {} inconsistent)\n",
+            c("ingest.messages_received"),
+            c("ingest.reassembled"),
+            c("ingest.incomplete"),
+            c("ingest.duplicates"),
+            c("ingest.inconsistent")
+        ));
+        out.push_str(&format!(
+            "  ingest: {} rows stored in {} batches, {} backpressure waits\n",
+            c("ingest.rows_stored"),
+            c("ingest.batches"),
+            c("ingest.backpressure_waits")
+        ));
+        out.push_str(&format!(
+            "  ingest replay: {} records recovered, {} torn-tail bytes discarded\n",
+            c("ingest.replayed_records"),
+            c("ingest.replay_tail_bytes")
+        ));
+        hist_line(&mut out, metrics, "reassembly", "ingest.reassembly_ns");
+        hist_line(&mut out, metrics, "batch insert", "ingest.batch_insert_ns");
+    }
+    if has_series(metrics, "store.") {
+        out.push_str(&format!(
+            "  store: {} segments sealed, {} compaction passes ({} bytes rewritten)\n",
+            c("store.segments_sealed"),
+            c("store.compaction_passes"),
+            c("store.compaction_bytes")
+        ));
+        hist_line(&mut out, metrics, "wal fsync", "store.wal_fsync_ns");
+        hist_line(&mut out, metrics, "segment seal", "store.segment_seal_ns");
+        hist_line(&mut out, metrics, "compaction", "store.compaction_ns");
+    }
+    if has_series(metrics, "service.") {
+        out.push_str(&format!(
+            "  service: {} epochs committed ({} records), {} background merges\n",
+            c("service.epochs_committed"),
+            c("service.records_committed"),
+            c("service.snapshot_merges")
+        ));
+        out.push_str(&format!(
+            "  ingest health: {} epoch-tag mismatches, {} quiet-period fallbacks\n",
+            c("service.epoch_tag_mismatches"),
+            c("service.quiet_period_fallbacks")
+        ));
+        hist_line(&mut out, metrics, "epoch commit", "service.commit_ns");
+        hist_line(&mut out, metrics, "snapshot publish", "service.publish_ns");
+        hist_line(&mut out, metrics, "layer merge", "service.merge_ns");
+    }
+    if has_series(metrics, "query.") {
+        let (v1, v2) = (c("query.negotiated_v1"), c("query.negotiated_v2"));
+        let versions = if v1 + v2 == 0 {
+            "none yet".to_string()
+        } else {
+            [(1u16, v1), (2u16, v2)]
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|(v, n)| format!("v{v}: {n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!(
+            "  query: {} requests over {} connections ({} refused), negotiated versions: {versions}\n",
+            c("query.requests"),
+            c("query.connections_accepted"),
+            c("query.connections_refused")
+        ));
+        out.push_str(&format!(
+            "  query: {} neighbor plans fell back to full scans\n",
+            c("query.fuzzy_scan_fallbacks")
+        ));
+        hist_line(&mut out, metrics, "queue wait", "query.queue_wait_ns");
+        hist_line(&mut out, metrics, "execution", "query.exec_ns");
+        hist_line(
+            &mut out,
+            metrics,
+            "batch serialize",
+            "query.batch_serialize_ns",
+        );
+    }
+    if has_series(metrics, "cursor.") {
+        let (open, high_water) = metrics
+            .gauge("cursor.open")
+            .map(|g| (g.value, g.high_water))
+            .unwrap_or((0, 0));
+        out.push_str(&format!(
+            "  cursors: {open} open (high water {high_water}), {} hits, {} misses, evicted {} by capacity / {} by TTL\n",
+            c("cursor.hits"),
+            c("cursor.misses"),
+            c("cursor.evicted_capacity"),
+            c("cursor.evicted_ttl")
+        ));
+    }
+    if !metrics.slow_queries.is_empty() {
+        out.push_str(&format!(
+            "  slow queries ({} most recent):\n",
+            metrics.slow_queries.len()
+        ));
+        for entry in &metrics.slow_queries {
+            out.push_str(&format!(
+                "    plan {:016x} [{}]: {} rows in {}\n",
+                entry.fingerprint,
+                entry.shape,
+                entry.rows,
+                fmt_ns(entry.total_ns)
+            ));
+        }
     }
     out
 }
@@ -186,47 +271,71 @@ mod tests {
     use crate::{Deployment, DeploymentConfig, IngestMode};
 
     #[test]
-    fn telemetry_report_surfaces_replay_and_backpressure() {
+    fn telemetry_report_covers_deployment_series() {
         let mut cfg = DeploymentConfig::default();
         cfg.campaign.scale = 0.001;
         cfg.ingest = IngestMode::Sharded(2);
         cfg.ingest_clamp = false;
         let result = Deployment::new(cfg).run();
-        let report = super::telemetry_report(&result);
-        assert!(report.contains("wal replay: 0 records recovered"));
-        assert!(report.contains("backpressure waits"));
-        assert!(report.contains("ingest: 2 shards"));
-        assert!(report.contains("shard 0:"));
-        assert!(report.contains("shard 1:"));
+        let report = super::telemetry_report(&result.metrics);
+        assert!(report.contains("transport:"));
+        assert!(report.contains("messages received"));
+        assert!(report.contains("rows stored"));
+        assert!(report.contains("replay: 0 records recovered"));
+        assert!(report.contains("batch insert: p50="));
+        // A deployment snapshot has no daemon-side series to render.
+        assert!(!report.contains("query:"));
+        assert!(!report.contains("cursors:"));
 
+        // Serial and sharded render the same sections from the same
+        // series names.
         let mut serial_cfg = DeploymentConfig::default();
         serial_cfg.campaign.scale = 0.001;
         let serial = Deployment::new(serial_cfg).run();
-        assert!(super::telemetry_report(&serial).contains("ingest: serial"));
+        let serial_report = super::telemetry_report(&serial.metrics);
+        assert!(serial_report.contains("messages received"));
+        assert!(serial_report.contains("reassembly: p50="));
+        assert_eq!(
+            serial.metrics.counter("ingest.rows_stored"),
+            serial.db_rows,
+            "registry and result must agree"
+        );
     }
 
     #[test]
-    fn query_telemetry_report_surfaces_v2_counters() {
-        let status = siren_proto::StatusInfo {
-            protocol_version: 2,
-            committed_epochs: vec![0, 1, 2],
-            records: 1234,
-            open_epoch: Some(3),
-            epoch_tag_mismatches: 1,
-            quiet_period_fallbacks: 2,
-            queries_refused: 7,
-            open_cursors: 3,
-            version_connections: vec![(1, 4), (2, 9)],
-        };
-        let report = super::query_telemetry_report(&status);
-        assert!(report.contains("1234 records across 3 committed epochs"));
-        assert!(report.contains("epoch 3 ingesting"));
-        assert!(report.contains("connections refused (queue full): 7"));
-        assert!(report.contains("open cursors: 3"));
+    fn telemetry_report_covers_service_series() {
+        use siren_obs::{Registry, SlowQueryEntry};
+        let registry = Registry::new();
+        registry.counter("query.requests").add(9);
+        registry.counter("query.connections_accepted").add(5);
+        registry.counter("query.connections_refused").add(7);
+        registry.counter("query.negotiated_v1").add(4);
+        registry.counter("query.negotiated_v2").add(9);
+        registry.counter("cursor.hits").add(2);
+        registry.gauge("cursor.open").set(3);
+        registry.histogram("query.exec_ns").record(1_500_000);
+        registry.counter("service.epochs_committed").add(3);
+        registry.counter("service.records_committed").add(1234);
+        registry.slow_queries().push(SlowQueryEntry {
+            fingerprint: 0xdead_beef,
+            shape: "records/time_asc sel=job".into(),
+            rows: 500,
+            total_ns: 123_400_000,
+        });
+        let report = super::telemetry_report(&registry.snapshot());
+        assert!(report.contains("9 requests over 5 connections (7 refused)"));
         assert!(report.contains("negotiated versions: v1: 4, v2: 9"));
+        assert!(report.contains("3 open (high water 3)"));
+        assert!(report.contains("execution: p50="));
+        assert!(report.contains("3 epochs committed (1234 records)"));
+        assert!(report.contains("slow queries (1 most recent):"));
+        assert!(report.contains("plan 00000000deadbeef [records/time_asc sel=job]: 500 rows"));
+        // No transport/ingest series registered: those sections vanish.
+        assert!(!report.contains("transport:"));
+        assert!(!report.contains("messages received"));
 
-        let empty = super::query_telemetry_report(&siren_proto::StatusInfo::default());
-        assert!(empty.contains("negotiated versions: none yet"));
+        let empty = super::telemetry_report(&Registry::new().snapshot());
+        assert_eq!(empty, "Telemetry report\n");
     }
 
     #[test]

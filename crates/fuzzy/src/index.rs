@@ -202,6 +202,19 @@ impl FuzzyIndex {
         baseline: &FuzzyHash,
         min_score: u32,
     ) -> Vec<SearchHit> {
+        self.search_counted(corpus, baseline, min_score).0
+    }
+
+    /// [`search`](Self::search), also reporting whether the index gave
+    /// up on pruning and fell back to the parallel full scan — the
+    /// telemetry signal that a corpus has grown too gram-dense for the
+    /// index to pay for itself.
+    pub fn search_counted(
+        &self,
+        corpus: &[FuzzyHash],
+        baseline: &FuzzyHash,
+        min_score: u32,
+    ) -> (Vec<SearchHit>, bool) {
         assert_eq!(
             corpus.len(),
             self.len(),
@@ -209,7 +222,7 @@ impl FuzzyIndex {
         );
         let candidates = self.candidates(baseline);
         if candidates.len() * FULL_SCAN_FRACTION >= corpus.len() {
-            return similarity_search(baseline, corpus, min_score);
+            return (similarity_search(baseline, corpus, min_score), true);
         }
         let mut hits: Vec<SearchHit> = candidates
             .into_iter()
@@ -222,7 +235,7 @@ impl FuzzyIndex {
         // Candidates are scored in ascending id order, so the stable
         // sort reproduces the scan's (score desc, index asc) order.
         hits.sort_by_key(|hit| std::cmp::Reverse(hit.score));
-        hits
+        (hits, false)
     }
 }
 

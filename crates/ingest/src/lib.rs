@@ -35,8 +35,10 @@
 //! equality for shard counts 1, 2, and 8, with and without injected
 //! datagram loss.
 
+pub mod metrics;
 pub mod service;
 
+pub use metrics::IngestMetrics;
 pub use service::{IngestConfig, IngestProducer, IngestResult, IngestService, ShardStats};
 // The router is a protocol-level concept shared with the transport tier;
 // it lives in siren-wire so the sender-side socket choice and the

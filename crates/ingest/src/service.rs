@@ -1,15 +1,17 @@
 //! The ingest service: shard workers, backpressure, parallel
 //! consolidation, deterministic merge.
 
+use crate::metrics::IngestMetrics;
 use crossbeam::channel::{bounded, Receiver, Sender as ChanSender, TrySendError};
 use siren_consolidate::{consolidate, record_order, ConsolidateStats, ProcessRecord};
 use siren_db::{Database, ReplayStats, SegmentedOptions};
+use siren_obs::Counter;
 use siren_wire::ShardRouter;
 use siren_wire::{CompleteMessage, Message, MessageType, Reassembler, WireError};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Ingest-tier configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +37,12 @@ pub struct IngestConfig {
     /// Use a rotating/compacting segmented store per shard partition
     /// instead of one flat WAL. Only meaningful with `wal_base`.
     pub segmented: Option<SegmentedOptions>,
+    /// Metric handles the shard workers record into. The default is a
+    /// detached bundle (recorded but visible to nobody); a daemon passes
+    /// [`IngestMetrics::register`]ed handles so `ingest.*` series show up
+    /// in its registry snapshots. Cumulative across service instances,
+    /// unlike the per-campaign [`ShardStats`].
+    pub metrics: IngestMetrics,
 }
 
 impl Default for IngestConfig {
@@ -46,6 +54,7 @@ impl Default for IngestConfig {
             batch_size: 256,
             wal_base: None,
             segmented: None,
+            metrics: IngestMetrics::detached(),
         }
     }
 }
@@ -143,7 +152,10 @@ struct ShardOutput {
 #[derive(Clone)]
 pub struct ShardHandle {
     tx: ChanSender<Message>,
-    backpressure: Arc<AtomicU64>,
+    /// Per-instance, per-shard stall count (feeds [`ShardStats`]).
+    backpressure: Arc<Counter>,
+    /// The shared `ingest.backpressure_waits` registry handle.
+    stalls_total: Arc<Counter>,
 }
 
 impl ShardHandle {
@@ -153,7 +165,8 @@ impl ShardHandle {
         match self.tx.try_send(msg) {
             Ok(()) => {}
             Err(TrySendError::Full(msg)) => {
-                self.backpressure.fetch_add(1, Ordering::Relaxed);
+                self.backpressure.inc();
+                self.stalls_total.inc();
                 // Worker gone means shutdown mid-push; nothing to do with
                 // the message but drop it, matching UDP semantics.
                 let _ = self.tx.send(msg);
@@ -171,7 +184,10 @@ impl ShardHandle {
 pub struct IngestProducer {
     router: ShardRouter,
     handles: Vec<ShardHandle>,
-    sentinels: Arc<AtomicU64>,
+    /// Per-instance sentinel count (feeds [`IngestResult::sentinels_seen`]).
+    sentinels: Arc<Counter>,
+    /// The shared `ingest.sentinels` registry handle.
+    sentinels_total: Arc<Counter>,
 }
 
 impl IngestProducer {
@@ -181,7 +197,8 @@ impl IngestProducer {
         match self.router.shard_of(&msg) {
             Some(shard) => self.handles[shard].push(msg),
             None => {
-                self.sentinels.fetch_add(1, Ordering::Relaxed);
+                self.sentinels.inc();
+                self.sentinels_total.inc();
             }
         }
     }
@@ -218,7 +235,7 @@ impl IngestService {
 
         for shard in 0..router.shards() {
             let (tx, rx) = bounded::<Message>(cfg.channel_capacity.max(1));
-            let backpressure = Arc::new(AtomicU64::new(0));
+            let backpressure = Arc::new(Counter::new());
             let (db, replay) = match cfg.shard_wal_path(shard) {
                 Some(path) => match cfg.segmented {
                     Some(opts) => {
@@ -236,17 +253,25 @@ impl IngestService {
                 None => (Database::in_memory(), ReplayStats::default()),
             };
             let batch_size = cfg.batch_size.max(1);
+            let metrics = cfg.metrics.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("siren-ingest-{shard}"))
-                .spawn(move || shard_worker(shard, rx, db, batch_size, requested, replay))?;
-            handles.push(ShardHandle { tx, backpressure });
+                .spawn(move || {
+                    shard_worker(shard, rx, db, batch_size, requested, replay, metrics)
+                })?;
+            handles.push(ShardHandle {
+                tx,
+                backpressure,
+                stalls_total: cfg.metrics.backpressure_waits.clone(),
+            });
             workers.push(worker);
         }
         Ok(Self {
             producer: IngestProducer {
                 router,
                 handles,
-                sentinels: Arc::new(AtomicU64::new(0)),
+                sentinels: Arc::new(Counter::new()),
+                sentinels_total: cfg.metrics.sentinels.clone(),
             },
             workers,
         })
@@ -287,13 +312,13 @@ impl IngestService {
     /// channels stay open and the join blocks.
     pub fn finish(self) -> std::io::Result<IngestResult> {
         let IngestService { producer, workers } = self;
-        let sentinels_seen = producer.sentinels.load(Ordering::Relaxed);
+        let sentinels_seen = producer.sentinels.get();
         // Capture backpressure counts, then close every channel so the
         // workers run their drain-and-consolidate epilogue.
         let backpressure: Vec<u64> = producer
             .handles
             .iter()
-            .map(|h| h.backpressure.load(Ordering::Relaxed))
+            .map(|h| h.backpressure.get())
             .collect();
         drop(producer);
 
@@ -390,6 +415,7 @@ fn shard_worker(
     batch_size: usize,
     shards_requested: usize,
     replay: ReplayStats,
+    metrics: IngestMetrics,
 ) -> std::io::Result<ShardOutput> {
     let mut stats = ShardStats {
         shard,
@@ -398,19 +424,36 @@ fn shard_worker(
         replay_tail_bytes: replay.corrupt_tail_bytes,
         ..ShardStats::default()
     };
+    metrics.replayed_records.add(replay.records);
+    metrics.replay_tail_bytes.add(replay.corrupt_tail_bytes);
     let mut reasm = Reassembler::new();
     let mut batch: Vec<CompleteMessage> = Vec::with_capacity(batch_size);
 
+    let insert = |batch: Vec<CompleteMessage>| -> std::io::Result<()> {
+        let rows = batch.len() as u64;
+        let start = Instant::now();
+        db.insert_message_batch(batch)?;
+        metrics.batch_insert_ns.record_duration(start.elapsed());
+        metrics.batches.inc();
+        metrics.rows_stored.add(rows);
+        Ok(())
+    };
+
     while let Ok(msg) = rx.recv() {
         stats.received += 1;
+        metrics.messages_received.inc();
         if msg.header.mtype == MessageType::End {
             continue; // defense in depth: the router already filters these
         }
-        if let Some(done) = reasm.push(msg) {
+        let push_start = Instant::now();
+        let done = reasm.push(msg);
+        metrics.reassembly_ns.record_duration(push_start.elapsed());
+        if let Some(done) = done {
             stats.reassembled += 1;
+            metrics.reassembled.inc();
             batch.push(done);
             if batch.len() >= batch_size {
-                db.insert_message_batch(std::mem::take(&mut batch))?;
+                insert(std::mem::take(&mut batch))?;
                 stats.batches += 1;
             }
         }
@@ -420,8 +463,11 @@ fn shard_worker(
     stats.incomplete = reasm.drain_incomplete().len() as u64;
     stats.duplicates = reasm.duplicates;
     stats.inconsistent = reasm.inconsistent;
+    metrics.incomplete.add(stats.incomplete);
+    metrics.duplicates.add(stats.duplicates);
+    metrics.inconsistent.add(stats.inconsistent);
     if !batch.is_empty() {
-        db.insert_message_batch(batch)?;
+        insert(batch)?;
         stats.batches += 1;
     }
     db.flush()?;

@@ -1,0 +1,274 @@
+//! Log-linear histogram: power-of-two ranges split into 16 linear
+//! sub-buckets, so any recorded value lands in a bucket whose width is
+//! at most 1/16 of its magnitude (≤ 6.25 % relative quantile error).
+//!
+//! The layout is index-stable: bucket `i` covers the same value range
+//! in every histogram, which is what makes snapshots mergeable by
+//! summing counts per index — merge is associative and commutative by
+//! construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two range (and the exact-bucket
+/// cutoff: values below 16 each get their own bucket).
+const SUB: usize = 16;
+
+/// Total addressable buckets: 16 exact + 16 per exponent 4..=63.
+pub const BUCKETS: usize = SUB + (64 - 4) * SUB;
+
+/// Bucket index for `value`. Values below 16 map exactly; above, the
+/// exponent selects a power-of-two range and the next four significant
+/// bits select the linear sub-bucket.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as usize; // >= 4
+    let sub = ((value >> (exp - 4)) & 0xF) as usize;
+    (exp - 3) * SUB + sub
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index < SUB {
+        return (index as u64, index as u64);
+    }
+    let exp = index / SUB + 3;
+    let sub = (index % SUB) as u64;
+    let width = 1u64 << (exp - 4);
+    let lo = (1u64 << exp) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+/// Concurrent log-linear histogram.
+///
+/// `record` is two relaxed atomic RMWs plus one `fetch_max`; there is
+/// no lock anywhere. The bucket array is allocated eagerly (~7.6 KiB)
+/// so recording never allocates.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Fresh empty histogram (detached from any registry).
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.try_into().expect("BUCKETS-sized vec"),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record one observation of an elapsed duration, in nanoseconds.
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        self.record(elapsed.as_nanos() as u64);
+    }
+
+    /// Point-in-time copy. Concurrent recording during the walk can
+    /// skew `count`/`sum` against each other by the in-flight handful —
+    /// acceptable for telemetry, never corrupting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u16, n));
+                count += n;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Frozen histogram state: sparse `(bucket_index, count)` pairs sorted
+/// by index, plus exact sum and max. This is the form that crosses the
+/// wire and the form quantiles are computed from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (exact, not bucket-rounded).
+    pub max: u64,
+    /// Sparse non-empty buckets, ascending by index.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`); 0 when empty. The true value is within one
+    /// bucket width (≤ 1/16 relative) of the returned bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(index as usize);
+                // The top bucket's bound can overshoot the true max;
+                // the exact max is known, so clamp to it.
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self`: per-index count sum, value sum, max.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: Vec<(u16, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia == ib {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else {
+                        merged.push((ib, nb));
+                        b.next();
+                    }
+                }
+                (Some(&&pair), None) => {
+                    merged.push(pair);
+                    a.next();
+                }
+                (None, Some(&&pair)) => {
+                    merged.push(pair);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        // Wrapping to match the recorder's relaxed `fetch_add`, which
+        // wraps on overflow; keeps merge exactly associative.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Every index's range starts exactly one past the previous
+        // index's end: no gaps, no overlaps.
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} does not tile");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, BUCKETS - 1);
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("bucket ranges never reached u64::MAX");
+    }
+
+    #[test]
+    fn values_land_in_their_own_bucket() {
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 1000, 1 << 20, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_recording() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        // Log-linear error is ≤ 1/16 of the value's magnitude.
+        let p50 = s.p50();
+        assert!((470..=560).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99();
+        assert!((980..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_matches_joint_recording() {
+        let (a, b, joint) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 0..500u64 {
+            a.record(v * 3);
+            joint.record(v * 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 7 + 1);
+            joint.record(v * 7 + 1);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, joint.snapshot());
+    }
+}

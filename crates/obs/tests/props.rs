@@ -1,0 +1,146 @@
+//! Property tests for the histogram (merge associativity, quantile
+//! bucket bounds) and a concurrent-recording stress test.
+
+use proptest::test_runner::{rng_for, TestRng};
+use siren_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+use std::sync::Arc;
+
+/// A value drawn across all magnitudes: uniform bits under a random
+/// width so small and huge values are equally represented.
+fn arb_value(rng: &mut TestRng) -> u64 {
+    let width = rng.below(64) + 1;
+    if width == 64 {
+        rng.next_u64()
+    } else {
+        rng.next_u64() & ((1u64 << width) - 1)
+    }
+}
+
+fn arb_snapshot(rng: &mut TestRng) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for _ in 0..rng.below(200) {
+        h.record(arb_value(rng));
+    }
+    h.snapshot()
+}
+
+#[test]
+fn recorded_value_always_within_its_bucket_bounds() {
+    let mut rng = rng_for("obs-bucket-bounds");
+    for _ in 0..20_000 {
+        let v = arb_value(&mut rng);
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        assert!(lo <= v && v <= hi, "{v} outside bucket [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn quantile_is_bounded_by_observations() {
+    let mut rng = rng_for("obs-quantile-bounds");
+    for _ in 0..200 {
+        let mut values: Vec<u64> = (0..rng.below(100) + 1)
+            .map(|_| arb_value(&mut rng))
+            .collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.quantile(q);
+            // The estimate is the upper bound of the bucket holding the
+            // rank-q observation (clamped to the exact max): it can
+            // never under-shoot the true quantile's bucket floor nor
+            // exceed the largest observation.
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let true_q = values[rank.min(values.len() - 1)];
+            let (true_lo, _) = bucket_bounds(bucket_index(true_q));
+            assert!(
+                est >= true_lo,
+                "q={q}: est {est} below bucket floor {true_lo}"
+            );
+            assert!(est <= s.max, "q={q}: est {est} above max {}", s.max);
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let mut rng = rng_for("obs-merge-assoc");
+    for _ in 0..100 {
+        let (a, b, c) = (
+            arb_snapshot(&mut rng),
+            arb_snapshot(&mut rng),
+            arb_snapshot(&mut rng),
+        );
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right, "merge is not associative");
+
+        // b + a == a + b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is not commutative");
+    }
+}
+
+#[test]
+fn merge_identity_is_empty_snapshot() {
+    let mut rng = rng_for("obs-merge-identity");
+    for _ in 0..50 {
+        let a = arb_snapshot(&mut rng);
+        let mut merged = a.clone();
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, a);
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 25_000;
+    let h = Arc::new(Histogram::new());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                let mut rng = rng_for(&format!("obs-stress-{t}"));
+                let mut sum = 0u64;
+                let mut max = 0u64;
+                for _ in 0..PER_THREAD {
+                    let v = arb_value(&mut rng) >> 16;
+                    h.record(v);
+                    sum = sum.wrapping_add(v);
+                    max = max.max(v);
+                }
+                (sum, max)
+            })
+        })
+        .collect();
+    let mut want_sum = 0u64;
+    let mut want_max = 0u64;
+    for w in workers {
+        let (sum, max) = w.join().unwrap();
+        want_sum = want_sum.wrapping_add(sum);
+        want_max = want_max.max(max);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, (THREADS * PER_THREAD) as u64, "lost counts");
+    assert_eq!(s.sum, want_sum, "lost sum");
+    assert_eq!(s.max, want_max, "lost max");
+    let bucket_total: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, s.count);
+}

@@ -205,6 +205,24 @@ impl SirenClient {
         }
     }
 
+    /// Snapshot the daemon's metric tree: counters, gauges, latency
+    /// histograms, and the slow-query ring (protocol v2). On a v1
+    /// connection this fails client-side with
+    /// [`ClientError::Unsupported`] — the request tag does not exist in
+    /// v1, and sending it anyway would only draw the server's typed
+    /// `UnknownRequest` error.
+    pub fn metrics(&mut self) -> Result<crate::MetricsSnapshot, ClientError> {
+        if self.version < 2 {
+            return Err(ClientError::Unsupported(
+                "metrics snapshots need a v2 server".into(),
+            ));
+        }
+        match self.call(&QueryRequest::Metrics)? {
+            QueryResponse::Metrics(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// Up to `k` fuzzy-hash nearest neighbors of `hash` scoring at
     /// least `min_score`, best first.
     pub fn neighbors(
@@ -475,6 +493,7 @@ fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
         QueryResponse::Neighbors(_) => "Neighbors",
         QueryResponse::Batch(_) => "Batch",
         QueryResponse::StreamEnd { .. } => "StreamEnd",
+        QueryResponse::Metrics(_) => "Metrics",
         QueryResponse::Error(_) => "Error",
     };
     ClientError::Protocol(format!("expected {wanted} response, got {kind}"))

@@ -10,6 +10,7 @@ use crate::plan::{QueryPlan, RowBatch};
 use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
 use siren_analysis::LibraryUsageRow;
 use siren_consolidate::ProcessRecord;
+use siren_obs::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SlowQueryEntry};
 pub(crate) use siren_store::codec::take;
 use siren_store::codec::{get_bytes, get_str, put_bytes, put_str};
 
@@ -26,6 +27,7 @@ const REQ_NEIGHBORS: u8 = 3;
 const REQ_PLAN: u8 = 4;
 const REQ_FETCH_CURSOR: u8 = 5;
 const REQ_CLOSE_CURSOR: u8 = 6;
+const REQ_METRICS: u8 = 7;
 
 // Response payload tags. `b'S'` (0x53) is reserved so a hello-ack can
 // never be mistaken for a response payload. Tags 4 and 5 are protocol
@@ -36,6 +38,7 @@ const RESP_LIBRARY_USAGE: u8 = 2;
 const RESP_NEIGHBORS: u8 = 3;
 const RESP_BATCH: u8 = 4;
 const RESP_STREAM_END: u8 = 5;
+const RESP_METRICS: u8 = 6;
 const RESP_ERROR: u8 = 0xFF;
 
 // QueryError codes. Codes 6+ are v2-only and can only be drawn by v2
@@ -228,6 +231,34 @@ impl Selection {
         self.host.is_none() && self.time_range.is_none() && self.job.is_none()
     }
 
+    /// Compact structural description: which conditions are set, never
+    /// their values (`"epoch,host,time"`, or `"all"` when unfiltered).
+    /// Predicate values can carry untrusted ingest strings, so logs and
+    /// telemetry record the shape instead.
+    pub fn shape(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if self.epoch.is_some() {
+            parts.push("epoch");
+        }
+        if self.epoch_range.is_some() {
+            parts.push("epochs");
+        }
+        if self.job.is_some() {
+            parts.push("job");
+        }
+        if self.host.is_some() {
+            parts.push("host");
+        }
+        if self.time_range.is_some() {
+            parts.push("time");
+        }
+        if parts.is_empty() {
+            "all".into()
+        } else {
+            parts.join(",")
+        }
+    }
+
     pub(crate) fn put(&self, out: &mut Vec<u8>, version: u16) {
         match self.epoch {
             None => out.push(0),
@@ -347,6 +378,109 @@ fn decode_capacity(n: usize) -> usize {
     n.min(1024)
 }
 
+/// Encode a whole [`MetricsSnapshot`]: four counted sections (counters,
+/// gauges, histograms, slow queries), each name length-prefixed,
+/// histogram buckets as sparse `(index u16, count u64)` pairs.
+fn put_metrics(out: &mut Vec<u8>, snapshot: &MetricsSnapshot) {
+    out.extend_from_slice(&(snapshot.counters.len() as u32).to_le_bytes());
+    for (name, value) in &snapshot.counters {
+        put_str(out, name);
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out.extend_from_slice(&(snapshot.gauges.len() as u32).to_le_bytes());
+    for (name, g) in &snapshot.gauges {
+        put_str(out, name);
+        out.extend_from_slice(&g.value.to_le_bytes());
+        out.extend_from_slice(&g.high_water.to_le_bytes());
+    }
+    out.extend_from_slice(&(snapshot.histograms.len() as u32).to_le_bytes());
+    for (name, h) in &snapshot.histograms {
+        put_str(out, name);
+        out.extend_from_slice(&h.count.to_le_bytes());
+        out.extend_from_slice(&h.sum.to_le_bytes());
+        out.extend_from_slice(&h.max.to_le_bytes());
+        out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+        for (index, n) in &h.buckets {
+            out.extend_from_slice(&index.to_le_bytes());
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(snapshot.slow_queries.len() as u32).to_le_bytes());
+    for entry in &snapshot.slow_queries {
+        out.extend_from_slice(&entry.fingerprint.to_le_bytes());
+        put_str(out, &entry.shape);
+        out.extend_from_slice(&entry.rows.to_le_bytes());
+        out.extend_from_slice(&entry.total_ns.to_le_bytes());
+    }
+}
+
+fn get_metrics(data: &[u8], pos: &mut usize) -> Option<MetricsSnapshot> {
+    // Minimum wire bytes per element bound each count prefix before any
+    // per-element work, same as every other counted section.
+    let n = get_count(data, pos, 12)?; // name prefix (4) + u64
+    let mut counters = Vec::with_capacity(decode_capacity(n));
+    for _ in 0..n {
+        let name = get_str(data, pos)?;
+        counters.push((name, get_u64(data, pos)?));
+    }
+    let n = get_count(data, pos, 20)?; // name prefix (4) + 2×i64
+    let mut gauges = Vec::with_capacity(decode_capacity(n));
+    for _ in 0..n {
+        let name = get_str(data, pos)?;
+        gauges.push((
+            name,
+            GaugeSnapshot {
+                value: get_u64(data, pos)? as i64,
+                high_water: get_u64(data, pos)? as i64,
+            },
+        ));
+    }
+    let n = get_count(data, pos, 32)?; // name prefix + count/sum/max + bucket count
+    let mut histograms = Vec::with_capacity(decode_capacity(n));
+    for _ in 0..n {
+        let name = get_str(data, pos)?;
+        let count = get_u64(data, pos)?;
+        let sum = get_u64(data, pos)?;
+        let max = get_u64(data, pos)?;
+        let buckets_len = get_count(data, pos, 10)?; // index u16 + count u64
+        let mut buckets = Vec::with_capacity(decode_capacity(buckets_len));
+        for _ in 0..buckets_len {
+            let index = get_u16(data, pos)?;
+            if (index as usize) >= siren_obs::BUCKETS {
+                return None;
+            }
+            buckets.push((index, get_u64(data, pos)?));
+        }
+        histograms.push((
+            name,
+            HistogramSnapshot {
+                count,
+                sum,
+                max,
+                buckets,
+            },
+        ));
+    }
+    let n = get_count(data, pos, 28)?; // fingerprint + shape prefix + rows + ns
+    let mut slow_queries = Vec::with_capacity(decode_capacity(n));
+    for _ in 0..n {
+        let fingerprint = get_u64(data, pos)?;
+        let shape = get_str(data, pos)?;
+        slow_queries.push(SlowQueryEntry {
+            fingerprint,
+            shape,
+            rows: get_u64(data, pos)?,
+            total_ns: get_u64(data, pos)?,
+        });
+    }
+    Some(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+        slow_queries,
+    })
+}
+
 /// One query, client → server.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryRequest {
@@ -384,6 +518,9 @@ pub enum QueryRequest {
         /// Cursor id to release.
         cursor: u64,
     },
+    /// Snapshot the daemon's whole metric tree (v2): counters, gauges,
+    /// latency histograms, and the slow-query ring.
+    Metrics,
 }
 
 impl QueryRequest {
@@ -419,6 +556,7 @@ impl QueryRequest {
                 out.push(REQ_CLOSE_CURSOR);
                 out.extend_from_slice(&cursor.to_le_bytes());
             }
+            QueryRequest::Metrics => out.push(REQ_METRICS),
         }
         out
     }
@@ -436,7 +574,7 @@ impl QueryRequest {
     pub fn decode_versioned(data: &[u8], version: u16) -> Result<Self, QueryError> {
         let malformed = || QueryError::Malformed("truncated or inconsistent request".into());
         let (&tag, body) = data.split_first().ok_or_else(malformed)?;
-        if version < 2 && (REQ_PLAN..=REQ_CLOSE_CURSOR).contains(&tag) {
+        if version < 2 && (REQ_PLAN..=REQ_METRICS).contains(&tag) {
             return Err(QueryError::UnknownRequest(tag));
         }
         let mut pos = 0usize;
@@ -460,6 +598,7 @@ impl QueryRequest {
             REQ_CLOSE_CURSOR => QueryRequest::CloseCursor {
                 cursor: get_u64(body, &mut pos).ok_or_else(malformed)?,
             },
+            REQ_METRICS => QueryRequest::Metrics,
             other => return Err(QueryError::UnknownRequest(other)),
         };
         if pos != body.len() {
@@ -542,6 +681,9 @@ pub enum QueryResponse {
         /// Resumable cursor, if rows remain.
         cursor: Option<u64>,
     },
+    /// Answer to [`QueryRequest::Metrics`] (v2): the daemon's whole
+    /// metric tree, frozen.
+    Metrics(MetricsSnapshot),
     /// The request could not be answered.
     Error(QueryError),
 }
@@ -621,6 +763,10 @@ impl QueryResponse {
                     }
                 }
             }
+            QueryResponse::Metrics(snapshot) => {
+                out.push(RESP_METRICS);
+                put_metrics(&mut out, snapshot);
+            }
             QueryResponse::Error(err) => {
                 out.push(RESP_ERROR);
                 err.put(&mut out);
@@ -639,9 +785,9 @@ impl QueryResponse {
     pub fn decode_versioned(data: &[u8], version: u16) -> Result<Self, QueryError> {
         let malformed = || QueryError::Malformed("truncated or inconsistent response".into());
         let (&tag, body) = data.split_first().ok_or_else(malformed)?;
-        if version < 2 && (tag == RESP_BATCH || tag == RESP_STREAM_END) {
+        if version < 2 && (tag == RESP_BATCH || tag == RESP_STREAM_END || tag == RESP_METRICS) {
             return Err(QueryError::Malformed(
-                "v2 stream frame on a v1 connection".into(),
+                "v2-only response frame on a v1 connection".into(),
             ));
         }
         let mut pos = 0usize;
@@ -742,6 +888,9 @@ impl QueryResponse {
                     _ => return Err(malformed()),
                 },
             },
+            RESP_METRICS => {
+                QueryResponse::Metrics(get_metrics(body, &mut pos).ok_or_else(malformed)?)
+            }
             RESP_ERROR => {
                 QueryResponse::Error(QueryError::get(body, &mut pos).ok_or_else(malformed)?)
             }

@@ -228,6 +228,32 @@ impl QueryPlan {
         Ok(())
     }
 
+    /// Stable 64-bit fingerprint of the encoded plan — the identity the
+    /// slow-query log groups by, so "the same plan ran slow again" is
+    /// one line, not many.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::with_capacity(64);
+        self.put(&mut buf);
+        siren_hash::fnv1a64(&buf)
+    }
+
+    /// Compact structural description (`source/order sel=<shape>`) —
+    /// what the slow-query log records instead of full predicate
+    /// values, which may carry untrusted ingest strings.
+    pub fn shape(&self) -> String {
+        let source = match &self.source {
+            PlanSource::Records => "records",
+            PlanSource::UsageTable => "usage",
+            PlanSource::Neighbors { .. } => "neighbors",
+        };
+        let order = match self.order {
+            Order::Commit => "commit",
+            Order::TimeAsc => "time_asc",
+            Order::TimeDesc => "time_desc",
+        };
+        format!("{source}/{order} sel={}", self.selection.shape())
+    }
+
     pub(crate) fn put(&self, out: &mut Vec<u8>) {
         match &self.source {
             PlanSource::Records => out.push(SRC_RECORDS),

@@ -163,7 +163,7 @@ fn arb_record(rng: &mut TestRng) -> ProcessRecord {
 }
 
 fn arb_request(rng: &mut TestRng, version: u16) -> QueryRequest {
-    let kinds = if version >= 2 { 7 } else { 4 };
+    let kinds = if version >= 2 { 8 } else { 4 };
     match rng.below(kinds) {
         0 => QueryRequest::Status,
         1 => QueryRequest::ByJob {
@@ -181,10 +181,44 @@ fn arb_request(rng: &mut TestRng, version: u16) -> QueryRequest {
         5 => QueryRequest::FetchCursor {
             cursor: rng.next_u64(),
         },
-        _ => QueryRequest::CloseCursor {
+        6 => QueryRequest::CloseCursor {
             cursor: rng.next_u64(),
         },
+        _ => QueryRequest::Metrics,
     }
+}
+
+/// A well-formed random metrics snapshot, built through a real
+/// [`Registry`](siren_obs::Registry) so the invariants the decoder
+/// relies on (sorted names, sparse ascending histogram buckets)
+/// always hold — exactly as a server would produce it.
+fn arb_metrics(rng: &mut TestRng) -> siren_obs::MetricsSnapshot {
+    let registry = siren_obs::Registry::new();
+    for _ in 0..rng.below(5) {
+        registry
+            .counter(&format!("fuzz.counter_{}", rng.below(8)))
+            .add(rng.next_u64() >> 1);
+    }
+    for _ in 0..rng.below(3) {
+        let g = registry.gauge(&format!("fuzz.gauge_{}", rng.below(4)));
+        g.set(rng.next_u64() as i64 >> 8);
+        g.add(-((rng.below(1 << 16)) as i64));
+    }
+    for _ in 0..rng.below(3) {
+        let h = registry.histogram(&format!("fuzz.hist_{}", rng.below(4)));
+        for _ in 0..rng.below(40) {
+            h.record(rng.next_u64() >> rng.below(60));
+        }
+    }
+    for _ in 0..rng.below(4) {
+        registry.slow_queries().push(siren_obs::SlowQueryEntry {
+            fingerprint: rng.next_u64(),
+            shape: arb_string(rng, 24),
+            rows: rng.next_u64(),
+            total_ns: rng.next_u64(),
+        });
+    }
+    registry.snapshot()
 }
 
 fn arb_error(rng: &mut TestRng, version: u16) -> QueryError {
@@ -227,7 +261,7 @@ fn arb_status(rng: &mut TestRng, version: u16) -> StatusInfo {
 }
 
 fn arb_response(rng: &mut TestRng, version: u16) -> QueryResponse {
-    let kinds = if version >= 2 { 7 } else { 5 };
+    let kinds = if version >= 2 { 8 } else { 5 };
     match rng.below(kinds) {
         0 => QueryResponse::Status(arb_status(rng, version)),
         1 => QueryResponse::Rows(
@@ -258,9 +292,10 @@ fn arb_response(rng: &mut TestRng, version: u16) -> QueryResponse {
         ),
         4 => QueryResponse::Error(arb_error(rng, version)),
         5 => QueryResponse::Batch(arb_batch(rng)),
-        _ => QueryResponse::StreamEnd {
+        6 => QueryResponse::StreamEnd {
             cursor: (rng.below(2) == 1).then(|| rng.next_u64()),
         },
+        _ => QueryResponse::Metrics(arb_metrics(rng)),
     }
 }
 
@@ -540,6 +575,51 @@ fn v1_encoding_is_byte_stable_and_v2_tags_are_unknown_to_v1() {
             assert!(s.version_connections.is_empty());
         }
         other => panic!("expected Status, got {other:?}"),
+    }
+}
+
+#[test]
+fn metrics_frames_round_trip_on_v2_and_are_refused_on_v1() {
+    let mut rng = rng_for("metrics_frames_round_trip");
+
+    // The request is a bare tag; v2 round-trips it, v1 answers exactly
+    // as a pre-metrics server build would: UnknownRequest(7), with the
+    // connection left usable.
+    let req = QueryRequest::Metrics.encode_versioned(2);
+    assert_eq!(
+        QueryRequest::decode_versioned(&req, 2),
+        Ok(QueryRequest::Metrics)
+    );
+    assert_eq!(
+        QueryRequest::decode_versioned(&req, 1),
+        Err(QueryError::UnknownRequest(7))
+    );
+
+    for _ in 0..32 {
+        let snapshot = arb_metrics(&mut rng);
+        let resp = QueryResponse::Metrics(snapshot);
+        let encoded = resp.encode_versioned(2);
+        // Exact round-trip: every counter, gauge high-water, sparse
+        // histogram bucket, and slow-query entry survives the wire.
+        assert_eq!(
+            QueryResponse::decode_versioned(&encoded, 2).as_ref(),
+            Ok(&resp)
+        );
+        // The reply frame never decodes on a v1 connection.
+        assert!(QueryResponse::decode_versioned(&encoded, 1).is_err());
+        // Truncation anywhere inside the four counted sections is a
+        // typed error, never a panic or a partial snapshot.
+        for cut in 0..encoded.len() {
+            assert!(
+                QueryResponse::decode_versioned(&encoded[..cut], 2).is_err(),
+                "cut {cut} must not decode"
+            );
+        }
+        // A count prefix inflated past the payload is caught by the
+        // minimum-bytes-per-element bound before any allocation.
+        let mut inflated = encoded.clone();
+        inflated[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(QueryResponse::decode_versioned(&inflated, 2).is_err());
     }
 }
 

@@ -2,21 +2,23 @@
 //! store.
 
 use crate::maintain::SnapshotMaintainer;
+use crate::metrics::ServiceMetrics;
 use crate::server::QueryServer;
 use crate::snapshot::QuerySnapshot;
 use parking_lot::RwLock;
 use siren_consolidate::{ConsolidateStats, ProcessRecord};
-use siren_ingest::{IngestConfig, IngestService, ShardStats};
+use siren_ingest::{IngestConfig, IngestMetrics, IngestService, ShardStats};
 use siren_net::UdpReceiver;
+use siren_obs::{Counter, MetricsSnapshot};
 use siren_proto::StatusInfo;
-use siren_store::{Persist, RecoveryStats, SegmentedBackend, SegmentedOptions};
+use siren_store::{Persist, RecoveryStats, SegmentedBackend, SegmentedOptions, StoreMetrics};
 use siren_wire::{parse_sentinel, parse_sentinel_epoch, Message, MessageType};
 use std::collections::BTreeSet;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One consolidated process record, tagged with the epoch (campaign)
 /// that produced it — the unit of the daemon's persistent store.
@@ -145,6 +147,11 @@ pub struct ServiceConfig {
     /// quorum — the fallback for campaigns whose every `TYPE=END` copy
     /// was lost. Each use is counted and surfaced in the `Status` query.
     pub quiet_period: Duration,
+    /// Requests slower than this land in the bounded slow-query log
+    /// surfaced through the `Metrics` reply (plan fingerprint, selection
+    /// shape, rows, duration — never predicate values). `Duration::ZERO`
+    /// logs every streaming request; tests use that to exercise the ring.
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -161,6 +168,7 @@ impl Default for ServiceConfig {
             cursor_ttl: Duration::from_secs(60),
             query_max_cursors: 256,
             quiet_period: Duration::from_secs(10),
+            slow_query_threshold: Duration::from_millis(100),
         }
     }
 }
@@ -252,17 +260,21 @@ const NO_EPOCH: u64 = u64::MAX;
 pub(crate) struct SharedState {
     snapshot: RwLock<Arc<QuerySnapshot>>,
     open_epoch: AtomicU64,
-    epoch_tag_mismatches: AtomicU64,
-    quiet_period_fallbacks: AtomicU64,
+    /// Registry-backed (`service.epoch_tag_mismatches` /
+    /// `service.quiet_period_fallbacks`): a `Status` answer and a
+    /// `Metrics` snapshot read the very same atomics, so the two views
+    /// can never disagree.
+    epoch_tag_mismatches: Arc<Counter>,
+    quiet_period_fallbacks: Arc<Counter>,
 }
 
 impl SharedState {
-    fn new(snapshot: Arc<QuerySnapshot>) -> Self {
+    fn new(snapshot: Arc<QuerySnapshot>, metrics: &ServiceMetrics) -> Self {
         Self {
             snapshot: RwLock::new(snapshot),
             open_epoch: AtomicU64::new(NO_EPOCH),
-            epoch_tag_mismatches: AtomicU64::new(0),
-            quiet_period_fallbacks: AtomicU64::new(0),
+            epoch_tag_mismatches: Arc::clone(&metrics.epoch_tag_mismatches),
+            quiet_period_fallbacks: Arc::clone(&metrics.quiet_period_fallbacks),
         }
     }
 
@@ -303,8 +315,8 @@ impl SharedState {
         StatusInfo {
             protocol_version,
             open_epoch: (open != NO_EPOCH).then_some(open),
-            epoch_tag_mismatches: self.epoch_tag_mismatches.load(Ordering::Relaxed),
-            quiet_period_fallbacks: self.quiet_period_fallbacks.load(Ordering::Relaxed),
+            epoch_tag_mismatches: self.epoch_tag_mismatches.get(),
+            quiet_period_fallbacks: self.quiet_period_fallbacks.get(),
             ..StatusInfo::default()
         }
     }
@@ -335,6 +347,13 @@ pub struct SirenDaemon {
     shared: Arc<SharedState>,
     maintainer: SnapshotMaintainer,
     server: Option<QueryServer>,
+    /// The daemon-wide metric handles and their registry; store and
+    /// ingest handles are registered into the same registry, so one
+    /// snapshot covers the whole pipeline.
+    metrics: ServiceMetrics,
+    /// The registered `ingest.*` handles every epoch's ingest service
+    /// records into.
+    ingest_metrics: IngestMetrics,
 }
 
 impl SirenDaemon {
@@ -344,8 +363,13 @@ impl SirenDaemon {
     /// that was mid-stream at the crash is resumed from its shard WALs.
     pub fn open(cfg: ServiceConfig) -> std::io::Result<(Self, DaemonRecovery)> {
         std::fs::create_dir_all(&cfg.data_dir)?;
-        let (store, items, store_stats) =
-            SegmentedBackend::<StoredItem>::open(&cfg.consolidated_dir(), cfg.store)?;
+        let metrics = ServiceMetrics::new();
+        let ingest_metrics = IngestMetrics::register(&metrics.registry);
+        let (store, items, store_stats) = SegmentedBackend::<StoredItem>::open_with_metrics(
+            &cfg.consolidated_dir(),
+            cfg.store,
+            StoreMetrics::register(&metrics.registry),
+        )?;
         let mut records: Vec<EpochRecord> = Vec::with_capacity(items.len());
         let mut committed: BTreeSet<u64> = BTreeSet::new();
         for item in items {
@@ -385,8 +409,12 @@ impl SirenDaemon {
         // whole store was just read back anyway. Every later commit
         // stacks an O(epoch) layer instead.
         let snapshot = Arc::new(QuerySnapshot::build(records));
-        let shared = Arc::new(SharedState::new(snapshot));
-        let maintainer = SnapshotMaintainer::spawn(Arc::clone(&shared))?;
+        let shared = Arc::new(SharedState::new(snapshot, &metrics));
+        let maintainer = SnapshotMaintainer::spawn(
+            Arc::clone(&shared),
+            Arc::clone(&metrics.snapshot_merges),
+            Arc::clone(&metrics.merge_ns),
+        )?;
         let mut daemon = Self {
             cfg,
             store,
@@ -395,6 +423,8 @@ impl SirenDaemon {
             shared,
             maintainer,
             server: None,
+            metrics,
+            ingest_metrics,
         };
 
         // Resume the newest uncommitted epoch; commit any older ones
@@ -414,11 +444,8 @@ impl SirenDaemon {
             daemon.server = Some(QueryServer::spawn(
                 addr,
                 Arc::clone(&daemon.shared),
-                daemon.cfg.query_workers,
-                daemon.cfg.query_backlog,
-                daemon.cfg.query_deadline,
-                daemon.cfg.cursor_ttl,
-                daemon.cfg.query_max_cursors,
+                &daemon.cfg,
+                daemon.metrics.clone(),
             )?);
         }
         Ok((daemon, recovery))
@@ -427,6 +454,7 @@ impl SirenDaemon {
     fn spawn_epoch(&self, epoch: u64, shards: usize) -> std::io::Result<OpenEpoch> {
         let ingest_cfg = IngestConfig {
             wal_base: Some(self.cfg.epoch_msgs_base(epoch, shards)),
+            metrics: self.ingest_metrics.clone(),
             ..IngestConfig::with_shards_unclamped(shards)
         };
         let service = IngestService::spawn(ingest_cfg.clone())?;
@@ -497,9 +525,7 @@ impl SirenDaemon {
                         open.epoch_tag_mismatches += 1;
                         // Counted live into the shared state too, so a
                         // `Status` query sees it before the epoch closes.
-                        self.shared
-                            .epoch_tag_mismatches
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.epoch_tag_mismatches.inc();
                         return Ok(None);
                     }
                 }
@@ -618,7 +644,11 @@ impl SirenDaemon {
             .map(|row| StoredItem::Row(Box::new(row)))
             .collect();
         items.push(StoredItem::Seal(epoch));
+        let commit_start = Instant::now();
         self.store.append_sealed(&items)?;
+        self.metrics
+            .commit_ns
+            .record_duration(commit_start.elapsed());
         let epoch_records: Vec<EpochRecord> = items
             .into_iter()
             .filter_map(|item| match item {
@@ -628,13 +658,21 @@ impl SirenDaemon {
             .collect();
 
         self.committed.insert(epoch);
+        self.metrics.epochs_committed.inc();
+        self.metrics
+            .records_committed
+            .add(epoch_records.len() as u64);
         // Publish: build the successor snapshot off to the side, then
         // swap the shared pointer. Queries in flight keep the snapshot
         // they started with; new queries see the epoch atomically. The
         // base is re-read from the shared state so a background layer
         // merge published since the last commit is kept, not clobbered.
+        let publish_start = Instant::now();
         let next = Arc::new(self.shared.load().with_epoch(epoch_records));
         self.shared.store(next);
+        self.metrics
+            .publish_ns
+            .record_duration(publish_start.elapsed());
         self.shared.open_epoch.store(NO_EPOCH, Ordering::Relaxed);
         self.maintainer.ping();
         Ok(())
@@ -677,6 +715,15 @@ impl SirenDaemon {
             siren_proto::QueryResponse::Status(status) => status,
             _ => unreachable!("Status request always yields a Status response"),
         }
+    }
+
+    /// The full pipeline telemetry snapshot — every `store.*`,
+    /// `ingest.*`, `service.*`, `query.*`, and `cursor.*` series this
+    /// daemon's components have registered, plus the slow-query log.
+    /// Exactly what a wire `Metrics` request returns, read from the
+    /// same registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.registry.snapshot()
     }
 
     /// The address the embedded query server is listening on, if
@@ -742,9 +789,7 @@ impl SirenDaemon {
                         if self.open.is_none() {
                             break;
                         }
-                        self.shared
-                            .quiet_period_fallbacks
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.quiet_period_fallbacks.inc();
                         summaries.push(self.close_epoch()?);
                         quiet = 0;
                     }

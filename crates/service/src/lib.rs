@@ -48,10 +48,12 @@ pub mod daemon;
 pub mod snapshot;
 
 pub(crate) mod maintain;
+pub(crate) mod metrics;
 pub(crate) mod plan;
 pub(crate) mod server;
 
 pub use daemon::{DaemonRecovery, EpochRecord, EpochSummary, ServiceConfig, SirenDaemon};
+pub use siren_obs::{MetricsSnapshot, SlowQueryEntry};
 pub use siren_proto::{Order, PlanRow, PlanSource, Projection, QueryPlan, Selection};
 pub use snapshot::{
     Neighbor, QuerySnapshot, SnapshotLayer, SnapshotSelection, HARD_MAX_LAYERS, SOFT_MAX_LAYERS,

@@ -19,11 +19,17 @@
 //! discarded work. Commit rates that outrun this thread are capped by
 //! `with_epoch`'s inline merge at
 //! [`HARD_MAX_LAYERS`](crate::snapshot::HARD_MAX_LAYERS).
+//!
+//! Completed merges are counted in `service.snapshot_merges` and timed
+//! into `service.merge_ns` (the handles come from the daemon's
+//! [`ServiceMetrics`](crate::metrics::ServiceMetrics) bundle, so
+//! in-process and wire telemetry read the same atomics).
 
 use crate::daemon::SharedState;
 use crossbeam::channel::{bounded, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
+use siren_obs::{Counter, Histogram};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Handle on the merge thread. Dropping it closes the ping channel and
 /// joins the thread.
@@ -31,17 +37,21 @@ use std::sync::Arc;
 pub(crate) struct SnapshotMaintainer {
     tx: Option<Sender<()>>,
     handle: Option<std::thread::JoinHandle<()>>,
-    merges: Arc<AtomicU64>,
+    merges: Arc<Counter>,
 }
 
 impl SnapshotMaintainer {
-    /// Spawn the merge thread against the daemon's shared state.
-    pub(crate) fn spawn(shared: Arc<SharedState>) -> std::io::Result<Self> {
+    /// Spawn the merge thread against the daemon's shared state,
+    /// recording completed merges into `merges` / `merge_ns`.
+    pub(crate) fn spawn(
+        shared: Arc<SharedState>,
+        merges: Arc<Counter>,
+        merge_ns: Arc<Histogram>,
+    ) -> std::io::Result<Self> {
         // One slot is enough: a pending ping already covers any number
         // of commits behind it (the thread always re-loads the current
         // snapshot), so `ping`'s try_send coalesces bursts for free.
         let (tx, rx) = bounded::<()>(1);
-        let merges = Arc::new(AtomicU64::new(0));
         let thread_merges = Arc::clone(&merges);
         let handle = std::thread::Builder::new()
             .name("siren-snapshot-merge".into())
@@ -49,6 +59,7 @@ impl SnapshotMaintainer {
                 while rx.recv().is_ok() {
                     loop {
                         let snapshot = shared.load();
+                        let start = Instant::now();
                         let Some(merged) = snapshot.merged_once() else {
                             break;
                         };
@@ -58,7 +69,8 @@ impl SnapshotMaintainer {
                             // snapshot.
                             break;
                         }
-                        thread_merges.fetch_add(1, Ordering::Relaxed);
+                        merge_ns.record_duration(start.elapsed());
+                        thread_merges.inc();
                     }
                 }
             })?;
@@ -77,9 +89,10 @@ impl SnapshotMaintainer {
         }
     }
 
-    /// Background merges performed so far.
+    /// Background merges performed so far (the `service.snapshot_merges`
+    /// counter).
     pub(crate) fn merges(&self) -> u64 {
-        self.merges.load(Ordering::Relaxed)
+        self.merges.get()
     }
 }
 

@@ -1,0 +1,116 @@
+//! The daemon's metric handles and its per-daemon [`Registry`].
+//!
+//! One [`ServiceMetrics`] bundle is created per [`SirenDaemon`]
+//! (never a process-global static: parallel daemons in one test binary
+//! must not cross-pollute). It owns the `Arc<Registry>` every tier of
+//! the pipeline registers into — the store via
+//! [`siren_store::StoreMetrics`], ingest via
+//! [`siren_ingest::IngestMetrics`], and the daemon/server/cursor
+//! handles below — so a single [`Registry::snapshot`] covers the whole
+//! pipeline and backs both the wire `Metrics` reply and the in-process
+//! [`SirenDaemon::metrics_snapshot`](crate::SirenDaemon::metrics_snapshot).
+//!
+//! [`SirenDaemon`]: crate::SirenDaemon
+
+use siren_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// `Arc` handles for the `service.*`, `query.*`, and `cursor.*`
+/// metrics, plus the registry they live in.
+#[derive(Debug, Clone)]
+pub(crate) struct ServiceMetrics {
+    /// The daemon-wide registry (store and ingest handles register here
+    /// too).
+    pub registry: Arc<Registry>,
+
+    // ---- epoch lifecycle ----
+    /// `service.commit_ns` — durable epoch commit (sealed segment
+    /// append, fsync included).
+    pub commit_ns: Arc<Histogram>,
+    /// `service.publish_ns` — successor-snapshot build + pointer swap.
+    pub publish_ns: Arc<Histogram>,
+    /// `service.epochs_committed` — epochs durably committed.
+    pub epochs_committed: Arc<Counter>,
+    /// `service.records_committed` — consolidated records committed.
+    pub records_committed: Arc<Counter>,
+    /// `service.epoch_tag_mismatches` — sentinels naming another epoch.
+    pub epoch_tag_mismatches: Arc<Counter>,
+    /// `service.quiet_period_fallbacks` — epochs closed by silence
+    /// instead of a sentinel quorum.
+    pub quiet_period_fallbacks: Arc<Counter>,
+    /// `service.merge_ns` — background snapshot layer merges.
+    pub merge_ns: Arc<Histogram>,
+    /// `service.snapshot_merges` — completed background merges.
+    pub snapshot_merges: Arc<Counter>,
+
+    // ---- query server ----
+    /// `query.connections_accepted` — connections taken into the pool.
+    pub connections_accepted: Arc<Counter>,
+    /// `query.connections_refused` — connections shed, queue full.
+    pub connections_refused: Arc<Counter>,
+    /// `query.requests` — protocol requests answered (errors included).
+    pub requests: Arc<Counter>,
+    /// `query.negotiated_v1` / `query.negotiated_v2` — the
+    /// negotiated-version histogram.
+    pub negotiated_v1: Arc<Counter>,
+    pub negotiated_v2: Arc<Counter>,
+    /// `query.queue_wait_ns` — accepted connection's wait for a worker.
+    pub queue_wait_ns: Arc<Histogram>,
+    /// `query.exec_ns` — request execution, decode to reply written.
+    pub exec_ns: Arc<Histogram>,
+    /// `query.batch_serialize_ns` — encoding one row-batch frame.
+    pub batch_serialize_ns: Arc<Histogram>,
+    /// `query.fuzzy_scan_fallbacks` — neighbor plans whose n-gram index
+    /// gave up pruning and full-scanned a layer corpus.
+    pub fuzzy_scan_fallbacks: Arc<Counter>,
+
+    // ---- cursor table ----
+    /// `cursor.open` — cursors parked right now (high-water kept).
+    pub cursors_open: Arc<Gauge>,
+    /// `cursor.hits` — fetches that found their cursor parked.
+    pub cursor_hits: Arc<Counter>,
+    /// `cursor.misses` — fetches of unknown/expired cursor ids.
+    pub cursor_misses: Arc<Counter>,
+    /// `cursor.evicted_capacity` — evictions to admit a newer cursor.
+    pub cursor_evicted_capacity: Arc<Counter>,
+    /// `cursor.evicted_ttl` — evictions of idle-past-TTL cursors.
+    pub cursor_evicted_ttl: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    /// A fresh registry with every service-tier handle registered.
+    pub(crate) fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        Self {
+            registry: Arc::clone(&registry),
+            commit_ns: registry.histogram("service.commit_ns"),
+            publish_ns: registry.histogram("service.publish_ns"),
+            epochs_committed: registry.counter("service.epochs_committed"),
+            records_committed: registry.counter("service.records_committed"),
+            epoch_tag_mismatches: registry.counter("service.epoch_tag_mismatches"),
+            quiet_period_fallbacks: registry.counter("service.quiet_period_fallbacks"),
+            merge_ns: registry.histogram("service.merge_ns"),
+            snapshot_merges: registry.counter("service.snapshot_merges"),
+            connections_accepted: registry.counter("query.connections_accepted"),
+            connections_refused: registry.counter("query.connections_refused"),
+            requests: registry.counter("query.requests"),
+            negotiated_v1: registry.counter("query.negotiated_v1"),
+            negotiated_v2: registry.counter("query.negotiated_v2"),
+            queue_wait_ns: registry.histogram("query.queue_wait_ns"),
+            exec_ns: registry.histogram("query.exec_ns"),
+            batch_serialize_ns: registry.histogram("query.batch_serialize_ns"),
+            fuzzy_scan_fallbacks: registry.counter("query.fuzzy_scan_fallbacks"),
+            cursors_open: registry.gauge("cursor.open"),
+            cursor_hits: registry.counter("cursor.hits"),
+            cursor_misses: registry.counter("cursor.misses"),
+            cursor_evicted_capacity: registry.counter("cursor.evicted_capacity"),
+            cursor_evicted_ttl: registry.counter("cursor.evicted_ttl"),
+        }
+    }
+
+    /// Detached handles backed by a private registry nobody snapshots —
+    /// for in-process plan execution outside any daemon.
+    pub(crate) fn detached() -> Self {
+        Self::new()
+    }
+}

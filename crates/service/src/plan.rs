@@ -18,6 +18,7 @@
 //! a `Selection::epochs(lo, hi)` scan touches just those layers.
 
 use crate::daemon::EpochRecord;
+use crate::metrics::ServiceMetrics;
 use crate::snapshot::QuerySnapshot;
 use siren_analysis::{usage_table, UsageRow};
 use siren_consolidate::ProcessRecord;
@@ -102,15 +103,22 @@ pub(crate) struct PlanCursor {
     state: State,
     /// Rows still allowed by the plan's limit (`u64::MAX` = unlimited).
     remaining: u64,
+    /// Stable identity of the plan for the slow-query log.
+    fingerprint: u64,
+    /// Structural description of the plan (no predicate values).
+    shape: String,
 }
 
 impl PlanCursor {
     /// Validate `plan` and resolve it against `snapshot` far enough to
     /// stream: lazy for commit-order scans, materialized (positions,
-    /// not rows) for ordered scans and aggregations.
+    /// not rows) for ordered scans and aggregations. Neighbor plans
+    /// whose n-gram index degenerated to a full corpus scan are counted
+    /// into `metrics.fuzzy_scan_fallbacks`.
     pub(crate) fn open(
         snapshot: Arc<QuerySnapshot>,
         plan: QueryPlan,
+        metrics: &ServiceMetrics,
     ) -> Result<PlanCursor, QueryError> {
         plan.validate()?;
         let remaining = plan.limit.unwrap_or(u64::MAX);
@@ -164,8 +172,9 @@ impl PlanCursor {
                 // emission, so truncating after the filter is
                 // behavior-preserving — and keeps a parked cursor from
                 // holding every matching hit in the store for its TTL.
-                let hits = snapshot
-                    .neighbor_hits(hash, k, *min_score)
+                let (hits, scan_fallbacks) = snapshot.neighbor_hits(hash, k, *min_score);
+                metrics.fuzzy_scan_fallbacks.add(scan_fallbacks);
+                let hits = hits
                     .into_iter()
                     .filter(|&(_, li, ri)| {
                         let er = &snapshot.layer_stack()[li as usize].layer_records()[ri as usize];
@@ -176,16 +185,30 @@ impl PlanCursor {
                 State::Neighbors { hits, next: 0 }
             }
         };
+        let fingerprint = plan.fingerprint();
+        let shape = plan.shape();
         let mut cursor = PlanCursor {
             snapshot,
             plan,
             state,
             remaining,
+            fingerprint,
+            shape,
         };
         if let State::Scan { layer, idx } = &mut cursor.state {
             advance_scan(&cursor.snapshot, &cursor.plan.selection, layer, idx);
         }
         Ok(cursor)
+    }
+
+    /// Stable identity of the plan for the slow-query log.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Structural description of the plan (no predicate values).
+    pub(crate) fn shape(&self) -> &str {
+        &self.shape
     }
 
     /// Rows per batch frame, clamped to the server bound.
@@ -387,7 +410,9 @@ impl QuerySnapshot {
         self: &Arc<Self>,
         plan: QueryPlan,
     ) -> Result<Vec<siren_proto::PlanRow>, QueryError> {
-        let mut cursor = PlanCursor::open(Arc::clone(self), plan)?;
+        // In-process execution outside any daemon: detached handles.
+        let metrics = ServiceMetrics::detached();
+        let mut cursor = PlanCursor::open(Arc::clone(self), plan, &metrics)?;
         let batch_rows = cursor.batch_rows();
         let mut rows = Vec::new();
         while let Some(batch) = cursor.next_batch(batch_rows, BATCH_BYTE_BUDGET) {
@@ -421,6 +446,9 @@ pub(crate) struct CursorTable {
     id_key: std::collections::hash_map::RandomState,
     ttl: Duration,
     capacity: usize,
+    /// `cursor.*` handles: the open-count gauge (with its high-water
+    /// mark) and the eviction counters split by cause.
+    metrics: ServiceMetrics,
 }
 
 // A newtype keeps Debug for the table cheap (PlanCursor holds a whole
@@ -434,13 +462,14 @@ impl std::fmt::Debug for ParkedSlot {
 }
 
 impl CursorTable {
-    pub(crate) fn new(ttl: Duration, capacity: usize) -> Self {
+    pub(crate) fn new(ttl: Duration, capacity: usize, metrics: ServiceMetrics) -> Self {
         Self {
             inner: Mutex::new(HashMap::new()),
             next_seq: AtomicU64::new(1),
             id_key: std::collections::hash_map::RandomState::new(),
             ttl,
             capacity: capacity.max(1),
+            metrics,
         }
     }
 
@@ -460,9 +489,22 @@ impl CursorTable {
         }
     }
 
+    /// TTL sweep; every expiry is an eviction by cause `ttl`.
     fn sweep(&self, table: &mut HashMap<u64, ParkedSlot>) {
         let ttl = self.ttl;
+        let before = table.len();
         table.retain(|_, slot| slot.0.parked_at.elapsed() <= ttl);
+        let expired = (before - table.len()) as u64;
+        if expired > 0 {
+            self.metrics.cursor_evicted_ttl.add(expired);
+        }
+    }
+
+    /// Publish the current table size to the `cursor.open` gauge (and
+    /// through it the high-water mark). Called under the table lock, so
+    /// the gauge moves monotonically with the table.
+    fn publish_open(&self, table: &HashMap<u64, ParkedSlot>) {
+        self.metrics.cursors_open.set(table.len() as i64);
     }
 
     /// Park `cursor` and hand out its id.
@@ -479,6 +521,7 @@ impl CursorTable {
                 .map(|(id, _)| id)
             {
                 table.remove(&stalest);
+                self.metrics.cursor_evicted_capacity.inc();
             }
         }
         let id = self.mint_id(&table);
@@ -489,16 +532,24 @@ impl CursorTable {
                 parked_at: Instant::now(),
             }),
         );
+        self.publish_open(&table);
         id
     }
 
     /// Remove and return the cursor `id`, if it is still parked. The
     /// caller streams from it and re-parks if rows remain — taking it
     /// out keeps two connections from interleaving on one cursor.
+    /// Hits and misses are counted (`cursor.hits` / `cursor.misses`).
     pub(crate) fn take(&self, id: u64) -> Option<PlanCursor> {
         let mut table = self.inner.lock().expect("cursor table poisoned");
         self.sweep(&mut table);
-        table.remove(&id).map(|slot| slot.0.cursor)
+        let found = table.remove(&id).map(|slot| slot.0.cursor);
+        match found {
+            Some(_) => self.metrics.cursor_hits.inc(),
+            None => self.metrics.cursor_misses.inc(),
+        }
+        self.publish_open(&table);
+        found
     }
 
     /// Drop cursor `id` if present (explicit close).
@@ -506,12 +557,14 @@ impl CursorTable {
         let mut table = self.inner.lock().expect("cursor table poisoned");
         table.remove(&id);
         self.sweep(&mut table);
+        self.publish_open(&table);
     }
 
     /// Cursors currently parked (the `Status` gauge).
     pub(crate) fn open_count(&self) -> u64 {
         let mut table = self.inner.lock().expect("cursor table poisoned");
         self.sweep(&mut table);
+        self.publish_open(&table);
         table.len() as u64
     }
 }

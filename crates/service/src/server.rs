@@ -15,6 +15,16 @@
 //! [`PlanCursor`] — snapshot `Arc` pinned — in the shared
 //! [`CursorTable`], which evicts by TTL and capacity.
 //!
+//! Every stage is instrumented against the daemon's registry: queue
+//! wait (accept to worker pickup, `query.queue_wait_ns`), request
+//! execution (`query.exec_ns`), batch serialization
+//! (`query.batch_serialize_ns`), and the traffic counters a `Status`
+//! answer carries — which are *read from the registry*, never kept in a
+//! parallel set of atomics. Streaming requests slower than
+//! [`ServiceConfig::slow_query_threshold`] land in the registry's
+//! bounded slow-query ring, and a v2 `Metrics` request answers with the
+//! whole registry snapshot.
+//!
 //! Hostile-input posture: the frame reader bounds-checks length
 //! prefixes before allocating; framing-level corruption (bad magic, bad
 //! checksum, torn frame) draws a best-effort [`QueryError`] and a close
@@ -23,58 +33,38 @@
 //! connection stays usable — including v2 tags on a v1-negotiated
 //! connection.
 
-use crate::daemon::SharedState;
+use crate::daemon::{ServiceConfig, SharedState};
+use crate::metrics::ServiceMetrics;
 use crate::plan::{CursorTable, PlanCursor, BATCH_BYTE_BUDGET};
 use crossbeam::channel::{bounded, Receiver, TrySendError};
+use siren_obs::SlowQueryEntry;
 use siren_proto::{
     decode_hello, encode_hello_ack, negotiate, read_frame, write_frame, FrameError, QueryError,
     QueryRequest, QueryResponse, MAX_FRAME_PAYLOAD,
 };
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Counters the server keeps about its own traffic.
-#[derive(Debug, Default)]
-pub(crate) struct ServerCounters {
-    /// Connections accepted into the worker queue.
-    pub accepted: AtomicU64,
-    /// Connections refused because the queue was full.
-    pub refused: AtomicU64,
-    /// Requests answered (including error answers).
-    pub requests: AtomicU64,
-    /// Connections negotiated at protocol v1.
-    pub negotiated_v1: AtomicU64,
-    /// Connections negotiated at protocol v2.
-    pub negotiated_v2: AtomicU64,
-}
-
-impl ServerCounters {
-    /// The negotiated-version histogram as `(version, connections)`
-    /// pairs, ascending, zero-count versions omitted.
-    pub(crate) fn version_histogram(&self) -> Vec<(u16, u64)> {
-        [
-            (1u16, self.negotiated_v1.load(Ordering::Relaxed)),
-            (2u16, self.negotiated_v2.load(Ordering::Relaxed)),
-        ]
-        .into_iter()
-        .filter(|&(_, n)| n > 0)
-        .collect()
-    }
-}
-
-/// Fill a `Status` answer's query-traffic counters — the ONE place
-/// these fields are written, used by both the wire Status arm and the
-/// in-process `SirenDaemon::status`, so the two can never diverge.
+/// Fill a `Status` answer's query-traffic counters from the registry
+/// handles — the ONE place these fields are written, used by both the
+/// wire Status arm and the in-process `SirenDaemon::status`, so the
+/// two can never diverge.
 pub(crate) fn fill_traffic_counters(
-    counters: &ServerCounters,
+    metrics: &ServiceMetrics,
     cursors: &CursorTable,
     status: &mut siren_proto::StatusInfo,
 ) {
-    status.queries_refused = counters.refused.load(Ordering::Relaxed);
+    status.queries_refused = metrics.connections_refused.get();
     status.open_cursors = cursors.open_count();
-    status.version_connections = counters.version_histogram();
+    status.version_connections = [
+        (1u16, metrics.negotiated_v1.get()),
+        (2u16, metrics.negotiated_v2.get()),
+    ]
+    .into_iter()
+    .filter(|&(_, n)| n > 0)
+    .collect();
 }
 
 /// The embedded TCP query server. Dropping it stops the accept thread,
@@ -85,45 +75,59 @@ pub(crate) struct QueryServer {
     stop: Arc<AtomicBool>,
     accept: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    counters: Arc<ServerCounters>,
+    metrics: ServiceMetrics,
     cursors: Arc<CursorTable>,
 }
 
 impl QueryServer {
-    /// Bind `addr` and start the accept thread plus `workers` handler
-    /// threads sharing a queue of `backlog` pending connections and a
-    /// cursor table bounded by `cursor_ttl` / `max_cursors`.
+    /// Bind `cfg.query_addr`'s `addr` and start the accept thread plus
+    /// `cfg.query_workers` handler threads sharing a queue of
+    /// `cfg.query_backlog` pending connections and a cursor table
+    /// bounded by `cfg.cursor_ttl` / `cfg.query_max_cursors`. All
+    /// traffic telemetry is recorded into `metrics`.
     pub(crate) fn spawn(
         addr: SocketAddr,
         shared: Arc<SharedState>,
-        workers: usize,
-        backlog: usize,
-        deadline: Duration,
-        cursor_ttl: Duration,
-        max_cursors: usize,
+        cfg: &ServiceConfig,
+        metrics: ServiceMetrics,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(ServerCounters::default());
-        let cursors = Arc::new(CursorTable::new(cursor_ttl, max_cursors));
-        let (tx, rx) = bounded::<TcpStream>(backlog.max(1));
+        let cursors = Arc::new(CursorTable::new(
+            cfg.cursor_ttl,
+            cfg.query_max_cursors,
+            metrics.clone(),
+        ));
+        let deadline = cfg.query_deadline;
+        let slow_threshold = cfg.slow_query_threshold;
+        // The queue carries the enqueue instant so worker pickup can
+        // record how long the connection sat waiting for a thread.
+        let (tx, rx) = bounded::<(TcpStream, Instant)>(cfg.query_backlog.max(1));
 
-        let mut worker_handles = Vec::with_capacity(workers.max(1));
-        for i in 0..workers.max(1) {
-            let rx: Receiver<TcpStream> = rx.clone();
+        let workers = cfg.query_workers.max(1);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx: Receiver<(TcpStream, Instant)> = rx.clone();
             let shared = Arc::clone(&shared);
-            let counters = Arc::clone(&counters);
+            let metrics = metrics.clone();
             let cursors = Arc::clone(&cursors);
             let stop = Arc::clone(&stop);
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("siren-query-worker-{i}"))
                     .spawn(move || {
-                        while let Ok(stream) = rx.recv() {
+                        while let Ok((stream, queued_at)) = rx.recv() {
+                            metrics.queue_wait_ns.record_duration(queued_at.elapsed());
                             handle_connection(
-                                stream, &shared, &counters, &cursors, deadline, &stop,
+                                stream,
+                                &shared,
+                                &metrics,
+                                &cursors,
+                                deadline,
+                                slow_threshold,
+                                &stop,
                             );
                         }
                     })?,
@@ -131,21 +135,21 @@ impl QueryServer {
         }
 
         let accept_stop = Arc::clone(&stop);
-        let accept_counters = Arc::clone(&counters);
+        let accept_metrics = metrics.clone();
         let accept = std::thread::Builder::new()
             .name("siren-query-accept".into())
             .spawn(move || {
                 while !accept_stop.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _peer)) => match tx.try_send(stream) {
+                        Ok((stream, _peer)) => match tx.try_send((stream, Instant::now())) {
                             Ok(()) => {
-                                accept_counters.accepted.fetch_add(1, Ordering::Relaxed);
+                                accept_metrics.connections_accepted.inc();
                             }
                             // Queue full: refuse by dropping (closes the
                             // socket) instead of buffering without bound.
                             Err(TrySendError::Full(refused)) => {
                                 drop(refused);
-                                accept_counters.refused.fetch_add(1, Ordering::Relaxed);
+                                accept_metrics.connections_refused.inc();
                             }
                             Err(TrySendError::Disconnected(_)) => break,
                         },
@@ -168,7 +172,7 @@ impl QueryServer {
             stop,
             accept: Some(accept),
             workers: worker_handles,
-            counters,
+            metrics,
             cursors,
         })
     }
@@ -178,20 +182,21 @@ impl QueryServer {
         self.local_addr
     }
 
-    /// Requests answered so far (including error answers).
+    /// Requests answered so far (including error answers) — the
+    /// `query.requests` counter.
     pub(crate) fn requests_served(&self) -> u64 {
-        self.counters.requests.load(Ordering::Relaxed)
+        self.metrics.requests.get()
     }
 
     /// Connections accepted into the worker queue so far.
     pub(crate) fn connections_accepted(&self) -> u64 {
-        self.counters.accepted.load(Ordering::Relaxed)
+        self.metrics.connections_accepted.get()
     }
 
     /// Connections refused (queue full) so far — the back-pressure
     /// signal an operator needs when clients report drops.
     pub(crate) fn connections_refused(&self) -> u64 {
-        self.counters.refused.load(Ordering::Relaxed)
+        self.metrics.connections_refused.get()
     }
 
     /// Cursors currently parked between pages.
@@ -202,7 +207,7 @@ impl QueryServer {
     /// Fill `status`'s query-traffic counters exactly as a wire
     /// `Status` answer would carry them.
     pub(crate) fn fill_traffic_counters(&self, status: &mut siren_proto::StatusInfo) {
-        fill_traffic_counters(&self.counters, &self.cursors, status);
+        fill_traffic_counters(&self.metrics, &self.cursors, status);
     }
 }
 
@@ -225,14 +230,15 @@ fn send_error(stream: &mut TcpStream, err: QueryError) {
 }
 
 /// Stream one reply's worth of a cursor: up to its page budget in
-/// batch frames, then the end-or-cursor terminator. Returns `false`
-/// when the connection is no longer usable.
+/// batch frames, then the end-or-cursor terminator. Returns the rows
+/// sent, or `None` when the connection is no longer usable.
 fn stream_reply(
     stream: &mut TcpStream,
     mut cursor: PlanCursor,
     cursors: &CursorTable,
     version: u16,
-) -> bool {
+    metrics: &ServiceMetrics,
+) -> Option<usize> {
     let batch_rows = cursor.batch_rows();
     let page_rows = cursor.page_rows();
     let mut sent = 0usize;
@@ -242,7 +248,11 @@ fn stream_reply(
             break;
         };
         sent += batch.len();
+        let serialize_start = Instant::now();
         let encoded = QueryResponse::Batch(batch).encode_versioned(version);
+        metrics
+            .batch_serialize_ns
+            .record_duration(serialize_start.elapsed());
         if encoded.len() > MAX_FRAME_PAYLOAD as usize {
             // A single row blew the frame cap (pathological record).
             // The client treats an error frame as the reply terminator,
@@ -255,10 +265,10 @@ fn stream_reply(
                     encoded.len()
                 )),
             );
-            return true;
+            return Some(sent);
         }
         if write_frame(stream, &encoded).is_err() {
-            return false;
+            return None;
         }
     }
     let end = if cursor.is_exhausted() {
@@ -268,15 +278,41 @@ fn stream_reply(
             cursor: Some(cursors.park(cursor)),
         }
     };
-    write_frame(stream, &end.encode_versioned(version)).is_ok()
+    write_frame(stream, &end.encode_versioned(version))
+        .is_ok()
+        .then_some(sent)
+}
+
+/// Close out one streaming reply: record its execution span and, past
+/// the slow-query threshold, log it (fingerprint and shape only —
+/// never predicate values).
+fn finish_streamed(
+    metrics: &ServiceMetrics,
+    slow_threshold: Duration,
+    started: Instant,
+    fingerprint: u64,
+    shape: String,
+    rows: usize,
+) {
+    let elapsed = started.elapsed();
+    metrics.exec_ns.record_duration(elapsed);
+    if elapsed >= slow_threshold {
+        metrics.registry.slow_queries().push(SlowQueryEntry {
+            fingerprint,
+            shape,
+            rows: rows as u64,
+            total_ns: elapsed.as_nanos() as u64,
+        });
+    }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
     shared: &SharedState,
-    counters: &ServerCounters,
+    metrics: &ServiceMetrics,
     cursors: &CursorTable,
     deadline: Duration,
+    slow_threshold: Duration,
     stop: &AtomicBool,
 ) {
     // Accepted sockets inherit the listener's non-blocking mode on some
@@ -317,8 +353,8 @@ fn handle_connection(
         return;
     }
     match version {
-        1 => counters.negotiated_v1.fetch_add(1, Ordering::Relaxed),
-        _ => counters.negotiated_v2.fetch_add(1, Ordering::Relaxed),
+        1 => metrics.negotiated_v1.inc(),
+        _ => metrics.negotiated_v2.inc(),
     };
 
     loop {
@@ -354,28 +390,53 @@ fn handle_connection(
             Err(FrameError::Io(_)) => return,
         };
 
-        counters.requests.fetch_add(1, Ordering::Relaxed);
+        metrics.requests.inc();
+        let exec_start = Instant::now();
         let (response, fatal) = match QueryRequest::decode_versioned(&payload, version) {
             // ---- v2 streaming requests: replies are frame streams. ----
             Ok(QueryRequest::Plan(plan)) => {
                 // Lock-free: the cursor pins the snapshot current at
                 // open; commits landing mid-pagination don't move it.
-                match PlanCursor::open(shared.load(), plan) {
+                match PlanCursor::open(shared.load(), plan, metrics) {
                     Ok(cursor) => {
-                        if !stream_reply(&mut stream, cursor, cursors, version) {
-                            return;
+                        let fingerprint = cursor.fingerprint();
+                        let shape = cursor.shape().to_string();
+                        match stream_reply(&mut stream, cursor, cursors, version, metrics) {
+                            Some(rows) => {
+                                finish_streamed(
+                                    metrics,
+                                    slow_threshold,
+                                    exec_start,
+                                    fingerprint,
+                                    shape,
+                                    rows,
+                                );
+                                continue;
+                            }
+                            None => return,
                         }
-                        continue;
                     }
                     Err(err) => (QueryResponse::Error(err), false),
                 }
             }
             Ok(QueryRequest::FetchCursor { cursor }) => match cursors.take(cursor) {
                 Some(parked) => {
-                    if !stream_reply(&mut stream, parked, cursors, version) {
-                        return;
+                    let fingerprint = parked.fingerprint();
+                    let shape = parked.shape().to_string();
+                    match stream_reply(&mut stream, parked, cursors, version, metrics) {
+                        Some(rows) => {
+                            finish_streamed(
+                                metrics,
+                                slow_threshold,
+                                exec_start,
+                                fingerprint,
+                                shape,
+                                rows,
+                            );
+                            continue;
+                        }
+                        None => return,
                     }
-                    continue;
                 }
                 None => (
                     QueryResponse::Error(QueryError::UnknownCursor(cursor)),
@@ -386,6 +447,10 @@ fn handle_connection(
                 cursors.remove(cursor);
                 // The end frame doubles as the close acknowledgement.
                 (QueryResponse::StreamEnd { cursor: None }, false)
+            }
+            // ---- v2 telemetry: the whole registry in one reply. ----
+            Ok(QueryRequest::Metrics) => {
+                (QueryResponse::Metrics(metrics.registry.snapshot()), false)
             }
             // ---- one-frame requests (v1 set, valid on v2 too). ----
             Ok(request) => {
@@ -408,7 +473,7 @@ fn handle_connection(
                     // the ByJob/LibraryUsage/Neighbors hot path.
                     let mut status = shared.status(version);
                     if matches!(request, QueryRequest::Status) {
-                        fill_traffic_counters(counters, cursors, &mut status);
+                        fill_traffic_counters(metrics, cursors, &mut status);
                     }
                     let snapshot = shared.load();
                     (snapshot.respond(status, &request), false)
@@ -429,7 +494,9 @@ fn handle_connection(
             )))
             .encode_versioned(version);
         }
-        if write_frame(&mut stream, &encoded).is_err() || fatal {
+        let ok = write_frame(&mut stream, &encoded).is_ok();
+        metrics.exec_ns.record_duration(exec_start.elapsed());
+        if !ok || fatal {
             return;
         }
     }

@@ -333,6 +333,7 @@ impl QuerySnapshot {
     /// corpus.
     pub fn nearest_neighbors(&self, hash: &str, k: usize, min_score: u32) -> Vec<Neighbor<'_>> {
         self.neighbor_hits(hash, k, min_score)
+            .0
             .into_iter()
             .map(|(score, li, owner)| {
                 let er = &self.layers[li as usize].records[owner as usize];
@@ -348,20 +349,28 @@ impl QuerySnapshot {
     /// The hit list behind [`nearest_neighbors`](Self::nearest_neighbors)
     /// as owned `(score, layer, record-index)` descriptors — the form a
     /// plan cursor can park across replies without borrowing the
-    /// snapshot it already pins by `Arc`.
+    /// snapshot it already pins by `Arc` — plus the number of layers
+    /// whose n-gram index fell back to a full corpus scan (the
+    /// `query.fuzzy_scan_fallbacks` telemetry signal).
     pub(crate) fn neighbor_hits(
         &self,
         hash: &str,
         k: usize,
         min_score: u32,
-    ) -> Vec<(u32, u32, u32)> {
+    ) -> (Vec<(u32, u32, u32)>, u64) {
         let Ok(baseline) = FuzzyHash::parse(hash) else {
-            return Vec::new();
+            return (Vec::new(), 0);
         };
         // (score, global corpus position, layer, local record index)
         let mut hits: Vec<(u32, usize, usize, u32)> = Vec::new();
+        let mut scan_fallbacks = 0u64;
         for (li, layer) in self.layers.iter().enumerate() {
-            for hit in layer.index.search(&layer.corpus, &baseline, min_score) {
+            let (layer_hits, fell_back) =
+                layer
+                    .index
+                    .search_counted(&layer.corpus, &baseline, min_score);
+            scan_fallbacks += u64::from(fell_back);
+            for hit in layer_hits {
                 hits.push((
                     hit.score,
                     self.corpus_offsets[li] + hit.index,
@@ -371,10 +380,12 @@ impl QuerySnapshot {
             }
         }
         hits.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        hits.into_iter()
+        let hits = hits
+            .into_iter()
             .take(k)
             .map(|(score, _, li, owner)| (score, li as u32, owner))
-            .collect()
+            .collect();
+        (hits, scan_fallbacks)
     }
 
     /// The layer stack (plan execution walks layers directly so
@@ -420,13 +431,13 @@ impl QuerySnapshot {
             // path: the server routes them through `PlanCursor` (see
             // `plan.rs`), and in-process callers use
             // [`QuerySnapshot::plan_rows`].
+            // `Metrics` likewise: only the server holds the registry.
             QueryRequest::Plan(_)
             | QueryRequest::FetchCursor { .. }
-            | QueryRequest::CloseCursor { .. } => {
-                QueryResponse::Error(siren_proto::QueryError::Internal(
-                    "streaming requests are answered by the plan executor, not respond()".into(),
-                ))
-            }
+            | QueryRequest::CloseCursor { .. }
+            | QueryRequest::Metrics => QueryResponse::Error(siren_proto::QueryError::Internal(
+                "streaming requests are answered by the plan executor, not respond()".into(),
+            )),
         }
     }
 }

@@ -229,6 +229,117 @@ fn quiet_period_fallback_commits_and_is_surfaced_in_status() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn metrics_request_returns_live_registry_snapshot() {
+    let dir = temp_data_dir("metrics");
+    let cfg = ServiceConfig {
+        // Zero threshold: every streamed plan lands in the slow ring,
+        // so the ring's wire surface is exercised deterministically.
+        slow_query_threshold: Duration::ZERO,
+        ..server_config(&dir)
+    };
+    let (mut daemon, _) = SirenDaemon::open(cfg).unwrap();
+    let qaddr = daemon.query_addr().unwrap();
+
+    // Ingest one epoch over real UDP loopback so the ingest and commit
+    // spans measure real work, not synthetic increments.
+    let receiver = UdpReceiver::spawn(65_536).unwrap();
+    let sender = UdpSender::connect(receiver.local_addr()).unwrap();
+    for msg in campaign_messages(0, 0, 1) {
+        sender.send(&msg.encode());
+    }
+    let summaries = daemon.drain_udp(&receiver, 1).unwrap();
+    assert_eq!(summaries.len(), 1, "the epoch must commit");
+
+    let mut client = SirenClient::connect(qaddr).unwrap();
+    // A paged plan walk: parks a cursor between pages, so the cursor
+    // table's hit counter and open-gauge high-water both move.
+    let plan = siren_proto::QueryPlan::records().batch_rows(4).page_rows(8);
+    let fingerprint = plan.fingerprint();
+    let shape = plan.shape();
+    let rows = client.query(plan).unwrap().collect_rows().unwrap();
+    assert!(rows.len() > 8, "need multiple pages to exercise cursors");
+    let status = client.status().unwrap();
+
+    let m = client.metrics().unwrap();
+    // Ingest tier: every histogram the acceptance bar names is nonzero.
+    assert!(m.counter("ingest.messages_received") > 0);
+    assert!(m.counter("ingest.rows_stored") > 0);
+    assert!(m.histogram("ingest.reassembly_ns").unwrap().count > 0);
+    assert!(m.histogram("ingest.batch_insert_ns").unwrap().count > 0);
+    // Commit tier.
+    assert_eq!(m.counter("service.epochs_committed"), 1);
+    assert_eq!(
+        m.counter("service.records_committed"),
+        daemon.snapshot().len() as u64
+    );
+    assert_eq!(m.histogram("service.commit_ns").unwrap().count, 1);
+    assert_eq!(m.histogram("service.publish_ns").unwrap().count, 1);
+    // Query tier: the plan walk and the status call above all recorded
+    // execution and serialization spans.
+    assert!(m.counter("query.requests") > 0);
+    assert!(m.histogram("query.exec_ns").unwrap().count > 0);
+    assert!(m.histogram("query.queue_wait_ns").unwrap().count > 0);
+    assert!(m.histogram("query.batch_serialize_ns").unwrap().count > 0);
+    assert!(m.counter("query.negotiated_v2") >= 1);
+    // Cursor table: pages parked and resumed.
+    assert!(m.counter("cursor.hits") >= 1);
+    let open = m.gauge("cursor.open").unwrap();
+    assert!(open.high_water >= 1, "a cursor must have been parked");
+    assert_eq!(open.value, 0, "the exhausted cursor must have retired");
+    // Slow-query ring: the zero threshold catches the paged plan, with
+    // its fingerprint and value-free shape — never predicate values.
+    assert!(!m.slow_queries.is_empty());
+    let entry = m
+        .slow_queries
+        .iter()
+        .find(|e| e.fingerprint == fingerprint)
+        .expect("the paged plan must be in the slow ring");
+    assert_eq!(entry.shape, shape);
+    assert!(entry.rows > 0);
+    // The Status answer is *derived from* this registry: no parallel
+    // bookkeeping to drift.
+    assert_eq!(
+        status.queries_refused,
+        m.counter("query.connections_refused")
+    );
+    assert_eq!(
+        status.epoch_tag_mismatches,
+        m.counter("service.epoch_tag_mismatches")
+    );
+    assert!(status
+        .version_connections
+        .iter()
+        .any(|&(v, n)| v == 2 && n >= 1));
+
+    // A v1 connection gets UnknownRequest(7) for the Metrics tag — and
+    // the connection survives, exactly like any other unknown tag.
+    {
+        let mut stream = TcpStream::connect(qaddr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(&mut stream, &encode_hello(1, 1)).unwrap();
+        let ack = read_frame(&mut stream).unwrap();
+        assert_eq!(siren_proto::decode_hello_ack(&ack), Some(1));
+        write_frame(&mut stream, &QueryRequest::Metrics.encode_versioned(2)).unwrap();
+        let payload = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            QueryResponse::decode_versioned(&payload, 1),
+            Ok(QueryResponse::Error(QueryError::UnknownRequest(7)))
+        ));
+        write_frame(&mut stream, &QueryRequest::Status.encode_versioned(1)).unwrap();
+        let payload = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            QueryResponse::decode_versioned(&payload, 1),
+            Ok(QueryResponse::Status(_))
+        ));
+    }
+
+    drop(daemon);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 // ------------------------------------------------ hostile inputs --
 
 fn hostile_daemon(tag: &str) -> (SirenDaemon, std::net::SocketAddr, PathBuf) {

@@ -7,13 +7,14 @@
 //! Crash safety comes from the supersession rule (see the crate docs),
 //! not from locking.
 
+use crate::metrics::StoreMetrics;
 use crate::segment::{read_segment, write_segment, SegmentRead};
 use crate::segmented::{run_path, Catalog, FileKind, SealedFile};
 use crate::Persist;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// When the oldest file is a run more than this factor larger than all
 /// newer files combined, compaction merges only the newer files.
@@ -28,17 +29,15 @@ pub(crate) enum Msg {
 pub(crate) struct Compactor {
     tx: Sender<Msg>,
     handle: Option<JoinHandle<()>>,
-    passes: Arc<AtomicU64>,
 }
 
 impl Compactor {
     pub(crate) fn spawn<T: Persist + Clone>(
         catalog: Arc<Mutex<Catalog>>,
         min_files: usize,
+        metrics: StoreMetrics,
     ) -> Self {
         let (tx, rx) = channel::<Msg>();
-        let passes = Arc::new(AtomicU64::new(0));
-        let passes_worker = Arc::clone(&passes);
         let handle = std::thread::Builder::new()
             .name("siren-store-compact".into())
             .spawn(move || {
@@ -50,9 +49,7 @@ impl Compactor {
                             // them all.
                             // I/O errors leave the inputs untouched; the
                             // next pass (or recovery) retries.
-                            if let Ok(true) = compact_pass::<T>(&catalog, min_files) {
-                                passes_worker.fetch_add(1, Ordering::Relaxed);
-                            }
+                            let _ = compact_pass::<T>(&catalog, min_files, &metrics);
                         }
                     }
                 }
@@ -61,16 +58,11 @@ impl Compactor {
         Self {
             tx,
             handle: Some(handle),
-            passes,
         }
     }
 
     pub(crate) fn notify(&self) {
         let _ = self.tx.send(Msg::Notify);
-    }
-
-    pub(crate) fn passes(&self) -> u64 {
-        self.passes.load(Ordering::Relaxed)
     }
 
     pub(crate) fn shutdown(mut self) {
@@ -87,7 +79,9 @@ impl Compactor {
 pub(crate) fn compact_pass<T: Persist + Clone>(
     catalog: &Arc<Mutex<Catalog>>,
     min_files: usize,
+    metrics: &StoreMetrics,
 ) -> std::io::Result<bool> {
+    let pass_start = Instant::now();
     // Snapshot the input set under the lock.
     let (dir, mut inputs): (std::path::PathBuf, Vec<SealedFile>) = {
         let catalog = catalog.lock().expect("catalog lock");
@@ -138,6 +132,9 @@ pub(crate) fn compact_pass<T: Persist + Clone>(
     let end = inputs.last().expect("non-empty input set").end;
     let out = run_path(&dir, start, end);
     write_segment(&out, &merged)?;
+    metrics
+        .compaction_bytes
+        .add(std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0));
 
     // Swap the run in for its inputs, then unlink them. A crash before
     // the unlinks is fine: the run supersedes them on recovery.
@@ -159,5 +156,7 @@ pub(crate) fn compact_pass<T: Persist + Clone>(
     for file in &inputs {
         let _ = std::fs::remove_file(&file.path);
     }
+    metrics.compaction_ns.record_duration(pass_start.elapsed());
+    metrics.compaction_passes.inc();
     Ok(true)
 }

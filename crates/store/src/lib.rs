@@ -55,11 +55,13 @@
 pub mod backend;
 pub mod codec;
 pub mod compact;
+pub mod metrics;
 pub mod segment;
 pub mod segmented;
 pub mod wal;
 
 pub use backend::{MemoryBackend, NullBackend, StorageBackend, WalBackend};
+pub use metrics::StoreMetrics;
 pub use segment::{read_segment, write_segment, SegmentRead};
 pub use segmented::{RecoveryStats, SegmentedBackend, SegmentedOptions};
 pub use wal::{encode_frame, WalReader, WalWriter, FRAME_MAGIC, MAX_PAYLOAD};

@@ -1,0 +1,60 @@
+//! Storage-layer metric handles.
+//!
+//! One bundle of `Arc` handles covering the segmented store's span
+//! points: WAL fsync latency, segment seal latency, and compaction
+//! duration/volume. Registered under `store.*` when the caller shares a
+//! [`Registry`]; a detached bundle (private, unregistered atomics)
+//! otherwise, so the instrumented paths never branch on an `Option`.
+
+use siren_obs::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// `Arc` handles for every `store.*` metric.
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// `store.wal_fsync_ns` — flush+fsync latency of the active WAL.
+    pub wal_fsync_ns: Arc<Histogram>,
+    /// `store.segment_seal_ns` — time to write and catalog one sealed
+    /// segment (rotation or sealed batch append).
+    pub segment_seal_ns: Arc<Histogram>,
+    /// `store.segments_sealed` — sealed segments written.
+    pub segments_sealed: Arc<Counter>,
+    /// `store.compaction_ns` — duration of completed compaction passes.
+    pub compaction_ns: Arc<Histogram>,
+    /// `store.compaction_bytes` — bytes written into sorted runs.
+    pub compaction_bytes: Arc<Counter>,
+    /// `store.compaction_passes` — completed passes that merged files.
+    pub compaction_passes: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    /// Register the `store.*` handles in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            wal_fsync_ns: registry.histogram("store.wal_fsync_ns"),
+            segment_seal_ns: registry.histogram("store.segment_seal_ns"),
+            segments_sealed: registry.counter("store.segments_sealed"),
+            compaction_ns: registry.histogram("store.compaction_ns"),
+            compaction_bytes: registry.counter("store.compaction_bytes"),
+            compaction_passes: registry.counter("store.compaction_passes"),
+        }
+    }
+
+    /// Detached handles: same recording behavior, visible to nobody.
+    pub fn detached() -> Self {
+        Self {
+            wal_fsync_ns: Arc::new(Histogram::new()),
+            segment_seal_ns: Arc::new(Histogram::new()),
+            segments_sealed: Arc::new(Counter::new()),
+            compaction_ns: Arc::new(Histogram::new()),
+            compaction_bytes: Arc::new(Counter::new()),
+            compaction_passes: Arc::new(Counter::new()),
+        }
+    }
+}
+
+impl Default for StoreMetrics {
+    fn default() -> Self {
+        Self::detached()
+    }
+}

@@ -2,12 +2,14 @@
 
 use crate::backend::StorageBackend;
 use crate::compact::{compact_pass, Compactor};
+use crate::metrics::StoreMetrics;
 use crate::segment::{read_segment, sync_parent_dir, write_segment, SegmentRead};
 use crate::wal::{WalReader, WalWriter};
 use crate::Persist;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Tuning knobs for a segmented store.
 #[derive(Debug, Clone, Copy)]
@@ -143,16 +145,28 @@ pub struct SegmentedBackend<T: Persist + Clone> {
     /// sealing re-encodes from here instead of re-reading the file.
     active_items: Vec<T>,
     compactor: Option<Compactor>,
+    metrics: StoreMetrics,
 }
 
 impl<T: Persist + Clone> SegmentedBackend<T> {
     /// Open (or create) the store in `dir`, running full crash recovery.
     /// Returns the backend, every record it holds (file order: sorted
     /// runs, then segments, then replayed WALs by generation), and the
-    /// recovery report.
+    /// recovery report. Metrics record into a detached bundle; use
+    /// [`Self::open_with_metrics`] to surface them in a shared registry.
     pub fn open(
         dir: &Path,
         opts: SegmentedOptions,
+    ) -> std::io::Result<(Self, Vec<T>, RecoveryStats)> {
+        Self::open_with_metrics(dir, opts, StoreMetrics::detached())
+    }
+
+    /// [`Self::open`], recording `store.*` metrics into `metrics` —
+    /// including the background compactor's pass durations and bytes.
+    pub fn open_with_metrics(
+        dir: &Path,
+        opts: SegmentedOptions,
+        metrics: StoreMetrics,
     ) -> std::io::Result<(Self, Vec<T>, RecoveryStats)> {
         std::fs::create_dir_all(dir)?;
         let mut stats = RecoveryStats::default();
@@ -307,6 +321,7 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
             Some(Compactor::spawn::<T>(
                 Arc::clone(&catalog),
                 opts.compact_min_files,
+                metrics.clone(),
             ))
         } else {
             None
@@ -319,6 +334,7 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
             active_gen,
             active_items: Vec::new(),
             compactor,
+            metrics,
         };
         backend.notify_compactor();
         Ok((backend, records, stats))
@@ -344,7 +360,12 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
         let gen = self.active_gen;
         // Make the WAL itself durable first: until the segment rename
         // lands, the WAL is the only copy.
+        let fsync_start = Instant::now();
         self.active.sync()?;
+        self.metrics
+            .wal_fsync_ns
+            .record_duration(fsync_start.elapsed());
+        let seal_start = Instant::now();
         write_segment(&seg_path(&dir, gen), &self.active_items)?;
         {
             let mut catalog = self.catalog.lock().expect("catalog lock");
@@ -358,6 +379,10 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
                 },
             );
         }
+        self.metrics
+            .segment_seal_ns
+            .record_duration(seal_start.elapsed());
+        self.metrics.segments_sealed.inc();
         // Segment is durable: swap in a fresh WAL, then drop the old one.
         self.active_gen += 1;
         self.active = WalWriter::append_to(&wal_path(&dir, self.active_gen))?;
@@ -376,6 +401,7 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
         self.rotate()?;
         let dir = self.dir();
         let gen = self.active_gen;
+        let seal_start = Instant::now();
         write_segment(&seg_path(&dir, gen), items)?;
         {
             let mut catalog = self.catalog.lock().expect("catalog lock");
@@ -389,6 +415,10 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
                 },
             );
         }
+        self.metrics
+            .segment_seal_ns
+            .record_duration(seal_start.elapsed());
+        self.metrics.segments_sealed.inc();
         // The sealed segment took over this generation; move the (empty)
         // active WAL past it.
         let old_wal = wal_path(&dir, gen);
@@ -407,7 +437,7 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
             self.notify_compactor();
             return Ok(false);
         }
-        compact_pass::<T>(&self.catalog, self.opts.compact_min_files)
+        compact_pass::<T>(&self.catalog, self.opts.compact_min_files, &self.metrics)
     }
 
     /// Number of live `(segments, runs)` on disk.
@@ -421,9 +451,10 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
         (segs, catalog.files.len() - segs)
     }
 
-    /// Completed background/foreground compaction passes.
+    /// Completed compaction passes (background and foreground), read
+    /// from the `store.compaction_passes` metric.
     pub fn compaction_passes(&self) -> u64 {
-        self.compactor.as_ref().map_or(0, Compactor::passes)
+        self.metrics.compaction_passes.get()
     }
 
     /// Bytes currently in the active (unsealed) WAL.
@@ -454,7 +485,12 @@ impl<T: Persist + Clone> StorageBackend<T> for SegmentedBackend<T> {
     }
 
     fn sync(&mut self) -> std::io::Result<()> {
-        self.active.sync()
+        let fsync_start = Instant::now();
+        self.active.sync()?;
+        self.metrics
+            .wal_fsync_ns
+            .record_duration(fsync_start.elapsed());
+        Ok(())
     }
 
     fn kind(&self) -> &'static str {

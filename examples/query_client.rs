@@ -135,6 +135,24 @@ fn main() {
         );
     }
 
+    // The daemon's whole metric registry in one v2 request: ingest and
+    // commit spans, query latency histograms, cursor-table counters,
+    // and the slow-query ring — everything the queries above recorded.
+    let metrics = client.metrics().expect("metrics");
+    println!(
+        "telemetry: {} requests served, commit p50 {}us, exec p50 {}us",
+        metrics.counter("query.requests"),
+        metrics
+            .histogram("service.commit_ns")
+            .map(|h| h.p50() / 1_000)
+            .unwrap_or(0),
+        metrics
+            .histogram("query.exec_ns")
+            .map(|h| h.p50() / 1_000)
+            .unwrap_or(0),
+    );
+    print!("{}", metrics.render_text());
+
     drop(daemon);
     let _ = std::fs::remove_dir_all(&data_dir);
 }

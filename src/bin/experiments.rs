@@ -93,12 +93,12 @@ fn main() {
         let records = &result.records;
 
         if want("telemetry") || want("summary") {
-            println!("{}", report::telemetry_report(&result));
+            println!("{}", report::telemetry_report(&result.metrics));
         }
         if want("telemetry") {
             // Query-side telemetry: serve the campaign's records from a
-            // throwaway daemon and render the v2 Status counters an
-            // operator would see over the wire.
+            // throwaway daemon and render the registry snapshot a v2
+            // `Metrics` request fetches over the wire.
             println!("{}", query_telemetry(records));
         }
         if want("summary") {
@@ -303,8 +303,9 @@ fn overhead_comparison(scale: f64, seed: u64) -> String {
 }
 
 /// Import `records` into a throwaway daemon serving the TCP query
-/// protocol, drive one v2 status round-trip, and render the query
-/// telemetry an operator would read off a live deployment.
+/// protocol, drive one v2 `Metrics` round-trip, and render the full
+/// registry snapshot an operator would read off a live deployment —
+/// commit/publish spans, query traffic, cursor table, slow queries.
 fn query_telemetry(records: &[siren_core::consolidate::ProcessRecord]) -> String {
     use siren_core::proto::SirenClient;
     use siren_core::service::{ServiceConfig, SirenDaemon};
@@ -322,9 +323,13 @@ fn query_telemetry(records: &[siren_core::consolidate::ProcessRecord]) -> String
                 .query_addr()
                 .ok_or(())
                 .and_then(|addr| SirenClient::connect(addr).map_err(|_| ()))
-                .and_then(|mut client| client.status().map_err(|_| ()))
-            {
-                Ok(status) => report::query_telemetry_report(&status),
+                .and_then(|mut client| {
+                    // Exercise one real query so the snapshot carries a
+                    // nonzero exec span, then fetch the registry.
+                    let _ = client.status();
+                    client.metrics().map_err(|_| ())
+                }) {
+                Ok(snapshot) => report::telemetry_report(&snapshot),
                 Err(()) => "Query telemetry unavailable (local TCP refused)\n".into(),
             }
         }
