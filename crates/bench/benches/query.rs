@@ -14,7 +14,7 @@ use siren_bench::{available_parallelism, synthetic_file_hash};
 use siren_consolidate::ProcessRecord;
 use siren_db::Record;
 use siren_fuzzy::{similarity_search, FuzzyHash};
-use siren_proto::{QueryPlan, Selection, SirenClient, MAX_PAGE_ROWS};
+use siren_proto::{QueryPlan, Selection, SirenClient, TraceId, MAX_PAGE_ROWS};
 use siren_service::{EpochRecord, QuerySnapshot, ServiceConfig, SirenDaemon};
 use siren_wire::{Layer, MessageType};
 use std::hint::black_box;
@@ -100,6 +100,14 @@ struct StreamNumbers {
     oneshot_ns: Vec<u64>,
     first_row_ns: Vec<u64>,
     full_stream_ns: Vec<u64>,
+}
+
+struct ObsNumbers {
+    calls: usize,
+    plain_ns: Vec<u64>,
+    traced_ns: Vec<u64>,
+    span_calls: usize,
+    span_record_ns: Vec<u64>,
 }
 
 fn main() {
@@ -299,6 +307,57 @@ fn main() {
         }
     };
 
+    // 6. Tracing overhead: the same paged plan with and without a
+    //    client-supplied trace id (the server records spans either way;
+    //    the delta is the wire trace context plus the cursor rejoin),
+    //    and the raw cost of recording one span into a live flight
+    //    recorder ring.
+    let obs = {
+        let obs_calls: usize = if quick() { 200 } else { 1_000 };
+        let plan_for = |job: u64| {
+            QueryPlan::records()
+                .filter(Selection::all().job(job))
+                .batch_rows(256)
+                .page_rows(MAX_PAGE_ROWS)
+        };
+        let mut job = 0u64;
+        let plain_ns = measure(obs_calls, || {
+            job = (job + 13) % 997;
+            let stream = client.query(plan_for(job)).expect("plain plan");
+            black_box(stream.collect_rows().expect("plain rows"));
+        });
+        job = 0;
+        let mut t = 0u64;
+        let traced_ns = measure(obs_calls, || {
+            job = (job + 13) % 997;
+            t += 1;
+            let stream = client
+                .query_traced(plan_for(job), TraceId(t))
+                .expect("traced plan");
+            black_box(stream.collect_rows().expect("traced rows"));
+        });
+
+        let span_calls: usize = if quick() { 10_000 } else { 100_000 };
+        let store = siren_obs::TraceStore::default();
+        let buffer = store.buffer();
+        let span_record_ns = measure(span_calls, || {
+            black_box(buffer.root("bench.span", None));
+        });
+        ObsNumbers {
+            calls: obs_calls,
+            plain_ns,
+            traced_ns,
+            span_calls,
+            span_record_ns,
+        }
+    };
+    println!(
+        "query/obs_overhead: plain plan p50 {:>9} ns | traced plan p50 {:>9} ns | span record p50 {:>5} ns",
+        percentile(&obs.plain_ns, 50.0),
+        percentile(&obs.traced_ns, 50.0),
+        percentile(&obs.span_record_ns, 50.0),
+    );
+
     drop(client);
     drop(daemon);
     let _ = std::fs::remove_dir_all(&dir);
@@ -309,6 +368,7 @@ fn main() {
         commit,
         &neighbors,
         &stream,
+        &obs,
         &[
             ("status", status_ns),
             ("by_job", by_job_ns),
@@ -324,6 +384,7 @@ fn write_json(
     commit: CommitNumbers,
     neighbors: &NeighborNumbers,
     stream: &StreamNumbers,
+    obs: &ObsNumbers,
     kinds: &[(&str, Vec<u64>)],
 ) {
     let median = |id: &str| {
@@ -382,6 +443,17 @@ fn write_json(
         percentile(&stream.full_stream_ns, 99.0),
         percentile(&stream.oneshot_ns, 50.0) as f64
             / percentile(&stream.first_row_ns, 50.0).max(1) as f64
+    ));
+    let plain_p50 = percentile(&obs.plain_ns, 50.0);
+    let traced_p50 = percentile(&obs.traced_ns, 50.0);
+    out.push_str(&format!(
+        "  \"obs_overhead\": {{\"calls\": {}, \"plan_p50_ns\": {plain_p50}, \
+         \"traced_plan_p50_ns\": {traced_p50}, \"overhead_pct\": {:.1}, \
+         \"span_calls\": {}, \"span_record_p50_ns\": {}}},\n",
+        obs.calls,
+        (traced_p50 as f64 - plain_p50 as f64) * 100.0 / plain_p50.max(1) as f64,
+        obs.span_calls,
+        percentile(&obs.span_record_ns, 50.0)
     ));
     out.push_str("  \"tcp\": {\n");
     for (i, (kind, ns)) in kinds.iter().enumerate() {

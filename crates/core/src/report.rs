@@ -6,7 +6,7 @@
 use siren_analysis as analysis;
 use siren_analysis::Labeler;
 use siren_consolidate::ProcessRecord;
-use siren_obs::MetricsSnapshot;
+use siren_obs::{MetricsSnapshot, SpanRecord, TraceTree};
 use siren_text::SubstringDeriver;
 
 /// Table 2.
@@ -236,8 +236,13 @@ pub fn telemetry_report(metrics: &MetricsSnapshot) -> String {
             metrics.slow_queries.len()
         ));
         for entry in &metrics.slow_queries {
+            let trace = if entry.trace_id != 0 {
+                format!(" trace={:016x}", entry.trace_id)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "    plan {:016x} [{}]: {} rows in {}\n",
+                "    plan {:016x} [{}]: {} rows in {}{trace}\n",
                 entry.fingerprint,
                 entry.shape,
                 entry.rows,
@@ -246,6 +251,56 @@ pub fn telemetry_report(metrics: &MetricsSnapshot) -> String {
         }
     }
     out
+}
+
+/// Flame-style text rendering of reassembled trace trees: one block per
+/// trace, each span indented under its parent with its duration and its
+/// start offset relative to the earliest span in the tree. Spans whose
+/// parent fell off the flight-recorder ring render at top level, so a
+/// partially overwritten trace still shows everything that survived.
+pub fn trace_report(trees: &[TraceTree]) -> String {
+    let mut out = String::new();
+    for tree in trees {
+        out.push_str(&format!(
+            "trace {} — {} spans, {}\n",
+            tree.trace,
+            tree.spans.len(),
+            fmt_ns(tree.duration_ns())
+        ));
+        let known: std::collections::HashSet<u64> = tree.spans.iter().map(|s| s.id.0).collect();
+        let base = tree.spans.first().map(|s| s.start_ns).unwrap_or(0);
+        for span in &tree.spans {
+            let rooted = match span.parent {
+                None => true,
+                Some(parent) => !known.contains(&parent.0),
+            };
+            if rooted {
+                render_span(&mut out, tree, span, 1, base);
+            }
+        }
+    }
+    out
+}
+
+/// One span line plus, recursively, its children (start-order, the
+/// order [`TraceTree`] keeps them in).
+fn render_span(out: &mut String, tree: &TraceTree, span: &SpanRecord, depth: usize, base: u64) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&format!(
+        "{} {} (+{})",
+        span.stage,
+        fmt_ns(span.duration_ns),
+        fmt_ns(span.start_ns.saturating_sub(base))
+    ));
+    for (key, value) in &span.annotations {
+        out.push_str(&format!(" {key}={value}"));
+    }
+    out.push('\n');
+    for child in &tree.spans {
+        if child.parent == Some(span.id) {
+            render_span(out, tree, child, depth + 1, base);
+        }
+    }
 }
 
 /// All tables and figures, separated by blank lines.
@@ -321,6 +376,7 @@ mod tests {
             shape: "records/time_asc sel=job".into(),
             rows: 500,
             total_ns: 123_400_000,
+            trace_id: 0xabcd,
         });
         let report = super::telemetry_report(&registry.snapshot());
         assert!(report.contains("9 requests over 5 connections (7 refused)"));
@@ -330,12 +386,41 @@ mod tests {
         assert!(report.contains("3 epochs committed (1234 records)"));
         assert!(report.contains("slow queries (1 most recent):"));
         assert!(report.contains("plan 00000000deadbeef [records/time_asc sel=job]: 500 rows"));
+        assert!(
+            report.contains("trace=000000000000abcd"),
+            "slow entries carry their trace id"
+        );
         // No transport/ingest series registered: those sections vanish.
         assert!(!report.contains("transport:"));
         assert!(!report.contains("messages received"));
 
         let empty = super::telemetry_report(&Registry::new().snapshot());
         assert_eq!(empty, "Telemetry report\n");
+    }
+
+    #[test]
+    fn trace_report_indents_children_under_parents() {
+        use siren_obs::{TraceFilter, TraceStore};
+        let store = TraceStore::default();
+        let mut root = store.buffer().root("request.plan", None);
+        root.annotate("shape", "records/time_asc");
+        let exec = root.child("exec");
+        let serialize = exec.child("serialize");
+        serialize.finish();
+        exec.finish();
+        root.finish();
+
+        let trees = store.traces(&TraceFilter::recent());
+        let report = super::trace_report(&trees);
+        assert!(report.contains("trace "), "header line present");
+        assert!(report.contains("  request.plan"), "root at depth 1");
+        assert!(report.contains("    exec"), "child indented under root");
+        assert!(
+            report.contains("      serialize"),
+            "grandchild indented twice"
+        );
+        assert!(report.contains("shape=records/time_asc"));
+        assert_eq!(super::trace_report(&[]), "");
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod metrics;
 pub mod service;
 
 pub use metrics::IngestMetrics;
-pub use service::{IngestConfig, IngestProducer, IngestResult, IngestService, ShardStats};
+pub use service::{
+    IngestConfig, IngestProducer, IngestResult, IngestService, IngestTraceContext, ShardStats,
+};
 // The router is a protocol-level concept shared with the transport tier;
 // it lives in siren-wire so the sender-side socket choice and the
 // worker-side partition can never disagree.

@@ -5,13 +5,28 @@ use crate::metrics::IngestMetrics;
 use crossbeam::channel::{bounded, Receiver, Sender as ChanSender, TrySendError};
 use siren_consolidate::{consolidate, record_order, ConsolidateStats, ProcessRecord};
 use siren_db::{Database, ReplayStats, SegmentedOptions};
-use siren_obs::Counter;
+use siren_obs::{Counter, SpanBuffer, SpanId, TraceId};
 use siren_wire::ShardRouter;
 use siren_wire::{CompleteMessage, Message, MessageType, Reassembler, WireError};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Where shard workers record their per-epoch spans: the daemon's span
+/// flight recorder plus the `(trace, parent)` context of the epoch root
+/// span the worker spans should hang under. Each shard records one
+/// `reassembly` and one `wal_insert` span covering its accumulated time
+/// in those stages across the whole campaign.
+#[derive(Debug, Clone)]
+pub struct IngestTraceContext {
+    /// The shared flight recorder spans land in.
+    pub buffer: Arc<SpanBuffer>,
+    /// The epoch's trace id.
+    pub trace: TraceId,
+    /// The epoch root span the shard spans are parented under.
+    pub parent: SpanId,
+}
 
 /// Ingest-tier configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +58,11 @@ pub struct IngestConfig {
     /// in its registry snapshots. Cumulative across service instances,
     /// unlike the per-campaign [`ShardStats`].
     pub metrics: IngestMetrics,
+    /// When set, each shard worker records per-epoch `reassembly` and
+    /// `wal_insert` spans into the given flight recorder, parented
+    /// under the daemon's epoch root span. `None` (the default) keeps
+    /// standalone ingest services span-free.
+    pub trace: Option<IngestTraceContext>,
 }
 
 impl Default for IngestConfig {
@@ -55,6 +75,7 @@ impl Default for IngestConfig {
             wal_base: None,
             segmented: None,
             metrics: IngestMetrics::detached(),
+            trace: None,
         }
     }
 }
@@ -254,10 +275,11 @@ impl IngestService {
             };
             let batch_size = cfg.batch_size.max(1);
             let metrics = cfg.metrics.clone();
+            let trace = cfg.trace.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("siren-ingest-{shard}"))
                 .spawn(move || {
-                    shard_worker(shard, rx, db, batch_size, requested, replay, metrics)
+                    shard_worker(shard, rx, db, batch_size, requested, replay, metrics, trace)
                 })?;
             handles.push(ShardHandle {
                 tx,
@@ -408,6 +430,7 @@ impl IngestResult {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shard_worker(
     shard: usize,
     rx: Receiver<Message>,
@@ -416,6 +439,7 @@ fn shard_worker(
     shards_requested: usize,
     replay: ReplayStats,
     metrics: IngestMetrics,
+    trace: Option<IngestTraceContext>,
 ) -> std::io::Result<ShardOutput> {
     let mut stats = ShardStats {
         shard,
@@ -428,12 +452,21 @@ fn shard_worker(
     metrics.replay_tail_bytes.add(replay.corrupt_tail_bytes);
     let mut reasm = Reassembler::new();
     let mut batch: Vec<CompleteMessage> = Vec::with_capacity(batch_size);
+    // Span accounting: reassembly and WAL-insert time is interleaved
+    // across the whole campaign, so the worker accumulates each and
+    // records one span per stage in the epilogue — per-epoch totals,
+    // not a span per datagram (which would flood the ring).
+    let worker_start = Instant::now();
+    let mut reassembly_total = Duration::ZERO;
+    let mut insert_total = Duration::ZERO;
 
-    let insert = |batch: Vec<CompleteMessage>| -> std::io::Result<()> {
+    let mut insert = |batch: Vec<CompleteMessage>| -> std::io::Result<()> {
         let rows = batch.len() as u64;
         let start = Instant::now();
         db.insert_message_batch(batch)?;
-        metrics.batch_insert_ns.record_duration(start.elapsed());
+        let elapsed = start.elapsed();
+        insert_total += elapsed;
+        metrics.batch_insert_ns.record_duration(elapsed);
         metrics.batches.inc();
         metrics.rows_stored.add(rows);
         Ok(())
@@ -447,7 +480,9 @@ fn shard_worker(
         }
         let push_start = Instant::now();
         let done = reasm.push(msg);
-        metrics.reassembly_ns.record_duration(push_start.elapsed());
+        let push_elapsed = push_start.elapsed();
+        reassembly_total += push_elapsed;
+        metrics.reassembly_ns.record_duration(push_elapsed);
         if let Some(done) = done {
             stats.reassembled += 1;
             metrics.reassembled.inc();
@@ -472,6 +507,22 @@ fn shard_worker(
     }
     db.flush()?;
     stats.db_rows = db.len() as u64;
+    if let Some(ctx) = &trace {
+        ctx.buffer.record_past(
+            ctx.trace,
+            Some(ctx.parent),
+            "reassembly",
+            worker_start,
+            reassembly_total,
+        );
+        ctx.buffer.record_past(
+            ctx.trace,
+            Some(ctx.parent),
+            "wal_insert",
+            worker_start,
+            insert_total,
+        );
+    }
 
     // Parallel consolidation: each shard consolidates its own partition
     // on its own thread before the merge.

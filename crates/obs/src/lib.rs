@@ -14,6 +14,12 @@
 //!   cheaply into a typed [`MetricsSnapshot`] or a stable text
 //!   exposition.
 //!
+//! Request tracing lives beside the metrics: a [`Span`] guard records
+//! one stage of one request into an always-on bounded [`SpanBuffer`]
+//! flight recorder, and a [`TraceStore`] reassembles whatever the ring
+//! still holds into [`TraceTree`]s on demand (see the `trace` module
+//! docs).
+//!
 //! Handles are registered once at component startup (`registry.counter
 //! ("ingest.datagrams")`) and cached; the hot path touches only the
 //! returned atomics. Components that can run standalone create a
@@ -23,10 +29,16 @@
 mod hist;
 mod registry;
 mod slow;
+mod trace;
 
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{GaugeSnapshot, MetricsSnapshot, Registry};
 pub use slow::{SlowQueryEntry, SlowQueryLog};
+pub use trace::{
+    Span, SpanBuffer, SpanId, SpanRecord, TraceFilter, TraceId, TraceStore, TraceTree,
+    DEFAULT_SPAN_CAPACITY, DEFAULT_TRACE_LIMIT, FINGERPRINT_ANNOTATION, MAX_ANNOTATION_LEN,
+    MAX_SPAN_ANNOTATIONS,
+};
 
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;

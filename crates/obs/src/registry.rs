@@ -9,7 +9,8 @@
 
 use crate::{Counter, Gauge, Histogram, HistogramSnapshot, SlowQueryEntry, SlowQueryLog};
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Entries retained by the registry's slow-query ring.
 const SLOW_QUERY_CAPACITY: usize = 128;
@@ -23,6 +24,22 @@ pub struct Registry {
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     slow_queries: SlowQueryLog,
+    /// Monotonic creation instant — the zero point of every snapshot's
+    /// `uptime_ns` capture timestamp.
+    created: Instant,
+}
+
+/// Recover a read guard from a poisoned lock: a panicking recorder
+/// thread must not take the whole telemetry surface down with it. The
+/// maps only ever *gain* entries, so the state behind a poisoned lock
+/// is still structurally sound.
+fn read_recovered<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Recover a write guard from a poisoned lock (see [`read_recovered`]).
+fn write_recovered<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Default for Registry {
@@ -39,34 +56,41 @@ impl Registry {
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
             slow_queries: SlowQueryLog::new(SLOW_QUERY_CAPACITY),
+            created: Instant::now(),
         }
     }
 
     /// Get-or-register the counter `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        if let Some(c) = self.counters.read().unwrap().get(name) {
+        if let Some(c) = read_recovered(&self.counters).get(name) {
             return Arc::clone(c);
         }
-        let mut map = self.counters.write().unwrap();
+        let mut map = write_recovered(&self.counters);
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
     /// Get-or-register the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        if let Some(g) = self.gauges.read().unwrap().get(name) {
+        if let Some(g) = read_recovered(&self.gauges).get(name) {
             return Arc::clone(g);
         }
-        let mut map = self.gauges.write().unwrap();
+        let mut map = write_recovered(&self.gauges);
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
     /// Get-or-register the histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        if let Some(h) = self.histograms.read().unwrap().get(name) {
+        if let Some(h) = read_recovered(&self.histograms).get(name) {
             return Arc::clone(h);
         }
-        let mut map = self.histograms.write().unwrap();
+        let mut map = write_recovered(&self.histograms);
         Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Nanoseconds since the registry was created — the capture
+    /// timestamp a snapshot carries.
+    pub fn uptime_ns(&self) -> u64 {
+        self.created.elapsed().as_nanos() as u64
     }
 
     /// The registry's slow-query ring.
@@ -79,17 +103,12 @@ impl Registry {
     /// proceeds concurrently, unblocked.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            counters: self
-                .counters
-                .read()
-                .unwrap()
+            uptime_ns: self.uptime_ns(),
+            counters: read_recovered(&self.counters)
                 .iter()
                 .map(|(name, c)| (name.clone(), c.get()))
                 .collect(),
-            gauges: self
-                .gauges
-                .read()
-                .unwrap()
+            gauges: read_recovered(&self.gauges)
                 .iter()
                 .map(|(name, g)| {
                     (
@@ -101,10 +120,7 @@ impl Registry {
                     )
                 })
                 .collect(),
-            histograms: self
-                .histograms
-                .read()
-                .unwrap()
+            histograms: read_recovered(&self.histograms)
                 .iter()
                 .map(|(name, h)| (name.clone(), h.snapshot()))
                 .collect(),
@@ -127,6 +143,10 @@ pub struct GaugeSnapshot {
 /// iterates `BTreeMap`s), which makes the text exposition stable.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
+    /// Capture timestamp: monotonic nanoseconds since the registry was
+    /// created. Two snapshots of the same registry subtract cleanly, so
+    /// clients can turn monotonically-increasing counts into rates.
+    pub uptime_ns: u64,
     /// `(name, total)` pairs, ascending by name.
     pub counters: Vec<(String, u64)>,
     /// `(name, state)` pairs, ascending by name.
@@ -167,13 +187,15 @@ impl MetricsSnapshot {
     /// name, parse-friendly and diff-friendly.
     ///
     /// ```text
+    /// uptime_ns 1500000000
     /// counter ingest.datagrams 1500
     /// gauge cursor.open 2 high=5
     /// hist query.exec_ns count=12 p50=81920 p90=163840 p99=196608 max=190211 mean=88102
-    /// slow fp=00000000deadbeef rows=50000 ns=12000000 shape=byjob/rows
+    /// slow fp=00000000deadbeef rows=50000 ns=12000000 trace=00000000000000a1 shape=byjob/rows
     /// ```
     pub fn render_text(&self) -> String {
         let mut out = String::new();
+        out.push_str(&format!("uptime_ns {}\n", self.uptime_ns));
         for (name, value) in &self.counters {
             out.push_str(&format!("counter {name} {value}\n"));
         }
@@ -193,8 +215,8 @@ impl MetricsSnapshot {
         }
         for entry in &self.slow_queries {
             out.push_str(&format!(
-                "slow fp={:016x} rows={} ns={} shape={}\n",
-                entry.fingerprint, entry.rows, entry.total_ns, entry.shape
+                "slow fp={:016x} rows={} ns={} trace={:016x} shape={}\n",
+                entry.fingerprint, entry.rows, entry.total_ns, entry.trace_id, entry.shape
             ));
         }
         out
@@ -243,15 +265,50 @@ mod tests {
             shape: "byjob/rows".into(),
             rows: 10,
             total_ns: 999,
+            trace_id: 0xa1,
         });
-        let text = reg.snapshot().render_text();
+        let snap = reg.snapshot();
+        let text = snap.render_text();
+        assert!(text.starts_with("uptime_ns "), "{text}");
         assert!(text.contains("counter ingest.datagrams 5\n"), "{text}");
         assert!(text.contains("gauge cursor.open 2 high=2\n"), "{text}");
         assert!(text.contains("hist query.exec_ns count=1"), "{text}");
         assert!(
-            text.contains("slow fp=00000000deadbeef rows=10 ns=999 shape=byjob/rows\n"),
+            text.contains(
+                "slow fp=00000000deadbeef rows=10 ns=999 trace=00000000000000a1 shape=byjob/rows\n"
+            ),
             "{text}"
         );
-        assert_eq!(text, reg.snapshot().render_text());
+        // Stable: the same counts render identically; only the capture
+        // timestamp moves between two snapshots.
+        let mut later = reg.snapshot();
+        assert!(later.uptime_ns >= snap.uptime_ns);
+        later.uptime_ns = snap.uptime_ns;
+        assert_eq!(text, later.render_text());
+    }
+
+    #[test]
+    fn registry_survives_a_poisoned_lock() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("a.hits").inc();
+        // Poison every lock by panicking while holding the guards.
+        for _ in 0..3 {
+            let reg = Arc::clone(&reg);
+            let _ = std::thread::spawn(move || {
+                let _c = reg.counters.write().unwrap();
+                let _g = reg.gauges.write().unwrap();
+                let _h = reg.histograms.write().unwrap();
+                panic!("recorder thread crash");
+            })
+            .join();
+        }
+        // Registration and snapshotting still work.
+        reg.counter("a.hits").inc();
+        reg.gauge("b.level").set(7);
+        reg.histogram("c.lat_ns").record(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.hits"), 2);
+        assert_eq!(snap.gauge("b.level").unwrap().value, 7);
+        assert_eq!(snap.histogram("c.lat_ns").unwrap().count, 1);
     }
 }

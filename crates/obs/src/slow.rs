@@ -20,6 +20,9 @@ pub struct SlowQueryEntry {
     pub rows: u64,
     /// End-to-end execution time in nanoseconds.
     pub total_ns: u64,
+    /// Trace id of the request (`0` when it was untraced), joinable
+    /// against the trace flight recorder for the span breakdown.
+    pub trace_id: u64,
 }
 
 /// Capacity-bounded ring of [`SlowQueryEntry`]s, newest last.
@@ -38,9 +41,11 @@ impl SlowQueryLog {
         }
     }
 
-    /// Append an entry, evicting the oldest at capacity.
+    /// Append an entry, evicting the oldest at capacity. A lock left
+    /// poisoned by a crashed recorder thread is recovered — the ring
+    /// holds plain owned entries, so its state is sound regardless.
     pub fn push(&self, entry: SlowQueryEntry) {
-        let mut ring = self.ring.lock().unwrap();
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         if ring.len() == self.capacity {
             ring.pop_front();
         }
@@ -49,12 +54,17 @@ impl SlowQueryLog {
 
     /// Entries currently retained, oldest first.
     pub fn entries(&self) -> Vec<SlowQueryEntry> {
-        self.ring.lock().unwrap().iter().cloned().collect()
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Number of retained entries.
     pub fn len(&self) -> usize {
-        self.ring.lock().unwrap().len()
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when nothing has been retained.
@@ -78,6 +88,7 @@ mod tests {
             shape: "byjob/rows".into(),
             rows: fingerprint * 10,
             total_ns: fingerprint * 1000,
+            trace_id: fingerprint ^ 0xff,
         }
     }
 

@@ -11,6 +11,7 @@ use crate::message::{
 use crate::plan::{Order, PlanRow, PlanSource, QueryPlan};
 use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
 use siren_analysis::LibraryUsageRow;
+use siren_obs::{TraceFilter, TraceId, TraceTree};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -129,7 +130,18 @@ impl SirenClient {
     }
 
     fn send(&mut self, request: &QueryRequest) -> Result<(), ClientError> {
-        write_frame(&mut self.stream, &request.encode_versioned(self.version))?;
+        self.send_traced(request, None)
+    }
+
+    fn send_traced(
+        &mut self,
+        request: &QueryRequest,
+        trace: Option<TraceId>,
+    ) -> Result<(), ClientError> {
+        write_frame(
+            &mut self.stream,
+            &request.encode_traced(self.version, trace),
+        )?;
         Ok(())
     }
 
@@ -223,6 +235,22 @@ impl SirenClient {
         }
     }
 
+    /// Recent traces from the daemon's flight recorder, reassembled
+    /// into trees and filtered by `filter` (protocol v2). Like
+    /// [`SirenClient::metrics`], this fails client-side with
+    /// [`ClientError::Unsupported`] on a v1 connection.
+    pub fn traces(&mut self, filter: TraceFilter) -> Result<Vec<TraceTree>, ClientError> {
+        if self.version < 2 {
+            return Err(ClientError::Unsupported(
+                "trace queries need a v2 server".into(),
+            ));
+        }
+        match self.call(&QueryRequest::Traces(filter))? {
+            QueryResponse::Traces(trees) => Ok(trees),
+            other => Err(unexpected("Traces", &other)),
+        }
+    }
+
     /// Up to `k` fuzzy-hash nearest neighbors of `hash` scoring at
     /// least `min_score`, best first.
     pub fn neighbors(
@@ -256,10 +284,37 @@ impl SirenClient {
     /// inexpressible plans (usage tables, unkeyed record scans,
     /// filtered neighbor plans) fail with [`ClientError::Unsupported`].
     pub fn query(&mut self, plan: QueryPlan) -> Result<RowStream<'_>, ClientError> {
+        self.query_inner(plan, None)
+    }
+
+    /// Like [`SirenClient::query`], but propagating `trace` as the
+    /// request's trace context: every server-side span of the plan's
+    /// execution — queue wait, execution, per-batch serialization, and
+    /// later cursor fetches — lands under that trace id, retrievable
+    /// through [`SirenClient::traces`]. Needs a v2 connection; v1 frames
+    /// cannot carry a trace id.
+    pub fn query_traced(
+        &mut self,
+        plan: QueryPlan,
+        trace: TraceId,
+    ) -> Result<RowStream<'_>, ClientError> {
+        if self.version < 2 {
+            return Err(ClientError::Unsupported(
+                "trace propagation needs a v2 server".into(),
+            ));
+        }
+        self.query_inner(plan, Some(trace))
+    }
+
+    fn query_inner(
+        &mut self,
+        plan: QueryPlan,
+        trace: Option<TraceId>,
+    ) -> Result<RowStream<'_>, ClientError> {
         self.check_usable()?;
         plan.validate().map_err(ClientError::Server)?;
         if self.version >= 2 {
-            self.send(&QueryRequest::Plan(plan))?;
+            self.send_traced(&QueryRequest::Plan(plan), trace)?;
             return Ok(RowStream {
                 client: self,
                 buffer: VecDeque::new(),
@@ -494,6 +549,7 @@ fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
         QueryResponse::Batch(_) => "Batch",
         QueryResponse::StreamEnd { .. } => "StreamEnd",
         QueryResponse::Metrics(_) => "Metrics",
+        QueryResponse::Traces(_) => "Traces",
         QueryResponse::Error(_) => "Error",
     };
     ClientError::Protocol(format!("expected {wanted} response, got {kind}"))

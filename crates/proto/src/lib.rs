@@ -73,9 +73,13 @@ pub use plan::{
     Order, PlanRow, PlanSource, Projection, QueryPlan, RowBatch, DEFAULT_BATCH_ROWS,
     DEFAULT_PAGE_ROWS, MAX_BATCH_ROWS, MAX_PAGE_ROWS,
 };
-// The typed metrics snapshot served by `QueryRequest::Metrics` lives in
-// `siren-obs`; re-exported so wire users need only this crate.
-pub use siren_obs::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SlowQueryEntry};
+// The typed metrics snapshot served by `QueryRequest::Metrics` and the
+// trace types served by `QueryRequest::Traces` live in `siren-obs`;
+// re-exported so wire users need only this crate.
+pub use siren_obs::{
+    GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SlowQueryEntry, SpanId, SpanRecord,
+    TraceFilter, TraceId, TraceTree,
+};
 
 /// Lowest protocol version this build still speaks.
 pub const PROTOCOL_VERSION_MIN: u16 = 1;

@@ -10,7 +10,10 @@ use crate::plan::{QueryPlan, RowBatch};
 use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
 use siren_analysis::LibraryUsageRow;
 use siren_consolidate::ProcessRecord;
-use siren_obs::{GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SlowQueryEntry};
+use siren_obs::{
+    GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SlowQueryEntry, SpanId, SpanRecord,
+    TraceFilter, TraceId, TraceTree, MAX_SPAN_ANNOTATIONS,
+};
 pub(crate) use siren_store::codec::take;
 use siren_store::codec::{get_bytes, get_str, put_bytes, put_str};
 
@@ -28,6 +31,7 @@ const REQ_PLAN: u8 = 4;
 const REQ_FETCH_CURSOR: u8 = 5;
 const REQ_CLOSE_CURSOR: u8 = 6;
 const REQ_METRICS: u8 = 7;
+const REQ_TRACES: u8 = 8;
 
 // Response payload tags. `b'S'` (0x53) is reserved so a hello-ack can
 // never be mistaken for a response payload. Tags 4 and 5 are protocol
@@ -39,6 +43,7 @@ const RESP_NEIGHBORS: u8 = 3;
 const RESP_BATCH: u8 = 4;
 const RESP_STREAM_END: u8 = 5;
 const RESP_METRICS: u8 = 6;
+const RESP_TRACES: u8 = 7;
 const RESP_ERROR: u8 = 0xFF;
 
 // QueryError codes. Codes 6+ are v2-only and can only be drawn by v2
@@ -378,10 +383,12 @@ fn decode_capacity(n: usize) -> usize {
     n.min(1024)
 }
 
-/// Encode a whole [`MetricsSnapshot`]: four counted sections (counters,
-/// gauges, histograms, slow queries), each name length-prefixed,
-/// histogram buckets as sparse `(index u16, count u64)` pairs.
+/// Encode a whole [`MetricsSnapshot`]: the capture timestamp, then four
+/// counted sections (counters, gauges, histograms, slow queries), each
+/// name length-prefixed, histogram buckets as sparse `(index u16, count
+/// u64)` pairs.
 fn put_metrics(out: &mut Vec<u8>, snapshot: &MetricsSnapshot) {
+    out.extend_from_slice(&snapshot.uptime_ns.to_le_bytes());
     out.extend_from_slice(&(snapshot.counters.len() as u32).to_le_bytes());
     for (name, value) in &snapshot.counters {
         put_str(out, name);
@@ -411,10 +418,12 @@ fn put_metrics(out: &mut Vec<u8>, snapshot: &MetricsSnapshot) {
         put_str(out, &entry.shape);
         out.extend_from_slice(&entry.rows.to_le_bytes());
         out.extend_from_slice(&entry.total_ns.to_le_bytes());
+        out.extend_from_slice(&entry.trace_id.to_le_bytes());
     }
 }
 
 fn get_metrics(data: &[u8], pos: &mut usize) -> Option<MetricsSnapshot> {
+    let uptime_ns = get_u64(data, pos)?;
     // Minimum wire bytes per element bound each count prefix before any
     // per-element work, same as every other counted section.
     let n = get_count(data, pos, 12)?; // name prefix (4) + u64
@@ -461,7 +470,7 @@ fn get_metrics(data: &[u8], pos: &mut usize) -> Option<MetricsSnapshot> {
             },
         ));
     }
-    let n = get_count(data, pos, 28)?; // fingerprint + shape prefix + rows + ns
+    let n = get_count(data, pos, 36)?; // fingerprint + shape prefix + rows + ns + trace
     let mut slow_queries = Vec::with_capacity(decode_capacity(n));
     for _ in 0..n {
         let fingerprint = get_u64(data, pos)?;
@@ -471,14 +480,156 @@ fn get_metrics(data: &[u8], pos: &mut usize) -> Option<MetricsSnapshot> {
             shape,
             rows: get_u64(data, pos)?,
             total_ns: get_u64(data, pos)?,
+            trace_id: get_u64(data, pos)?,
         });
     }
     Some(MetricsSnapshot {
+        uptime_ns,
         counters,
         gauges,
         histograms,
         slow_queries,
     })
+}
+
+/// Encode a [`TraceFilter`]: four presence-prefixed optionals and the
+/// result cap.
+fn put_trace_filter(out: &mut Vec<u8>, filter: &TraceFilter) {
+    match filter.trace {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            out.extend_from_slice(&t.0.to_le_bytes());
+        }
+    }
+    match filter.fingerprint {
+        None => out.push(0),
+        Some(fp) => {
+            out.push(1);
+            out.extend_from_slice(&fp.to_le_bytes());
+        }
+    }
+    match filter.min_duration_ns {
+        None => out.push(0),
+        Some(ns) => {
+            out.push(1);
+            out.extend_from_slice(&ns.to_le_bytes());
+        }
+    }
+    match &filter.stage {
+        None => out.push(0),
+        Some(stage) => {
+            out.push(1);
+            put_str(out, stage);
+        }
+    }
+    out.extend_from_slice(&filter.limit.to_le_bytes());
+}
+
+fn get_trace_filter(data: &[u8], pos: &mut usize) -> Option<TraceFilter> {
+    let trace = match take(data, pos, 1)?[0] {
+        0 => None,
+        1 => match get_u64(data, pos)? {
+            0 => return None, // id 0 means "absent"; a present-but-zero id is inconsistent
+            id => Some(TraceId(id)),
+        },
+        _ => return None,
+    };
+    let fingerprint = match take(data, pos, 1)?[0] {
+        0 => None,
+        1 => Some(get_u64(data, pos)?),
+        _ => return None,
+    };
+    let min_duration_ns = match take(data, pos, 1)?[0] {
+        0 => None,
+        1 => Some(get_u64(data, pos)?),
+        _ => return None,
+    };
+    let stage = match take(data, pos, 1)?[0] {
+        0 => None,
+        1 => Some(get_str(data, pos)?),
+        _ => return None,
+    };
+    Some(TraceFilter {
+        trace,
+        fingerprint,
+        min_duration_ns,
+        stage,
+        limit: get_u32(data, pos)?,
+    })
+}
+
+/// Encode reassembled trace trees. Per tree: trace id + counted spans;
+/// per span: id, parent (`0` = root), stage, start/duration, and the
+/// bounded annotation list (count fits a byte by construction). The
+/// per-span trace id is implied by the tree and not re-sent.
+fn put_traces(out: &mut Vec<u8>, trees: &[TraceTree]) {
+    out.extend_from_slice(&(trees.len() as u32).to_le_bytes());
+    for tree in trees {
+        out.extend_from_slice(&tree.trace.0.to_le_bytes());
+        out.extend_from_slice(&(tree.spans.len() as u32).to_le_bytes());
+        for span in &tree.spans {
+            out.extend_from_slice(&span.id.0.to_le_bytes());
+            out.extend_from_slice(&span.parent.map(|p| p.0).unwrap_or(0).to_le_bytes());
+            put_str(out, &span.stage);
+            out.extend_from_slice(&span.start_ns.to_le_bytes());
+            out.extend_from_slice(&span.duration_ns.to_le_bytes());
+            out.push(span.annotations.len().min(MAX_SPAN_ANNOTATIONS) as u8);
+            for (key, value) in span.annotations.iter().take(MAX_SPAN_ANNOTATIONS) {
+                put_str(out, key);
+                put_str(out, value);
+            }
+        }
+    }
+}
+
+fn get_traces(data: &[u8], pos: &mut usize) -> Option<Vec<TraceTree>> {
+    // Minimum wire bytes: a tree is trace u64 + span count u32; a span
+    // is id + parent + stage prefix + start + duration + annotation
+    // count byte.
+    let n = get_count(data, pos, 12)?;
+    let mut trees = Vec::with_capacity(decode_capacity(n));
+    for _ in 0..n {
+        let trace = match get_u64(data, pos)? {
+            0 => return None, // trace ids are never zero
+            id => TraceId(id),
+        };
+        let span_count = get_count(data, pos, 37)?;
+        let mut spans = Vec::with_capacity(decode_capacity(span_count));
+        for _ in 0..span_count {
+            let id = match get_u64(data, pos)? {
+                0 => return None, // span ids are never zero
+                id => SpanId(id),
+            };
+            let parent = match get_u64(data, pos)? {
+                0 => None,
+                p => Some(SpanId(p)),
+            };
+            let stage = get_str(data, pos)?;
+            let start_ns = get_u64(data, pos)?;
+            let duration_ns = get_u64(data, pos)?;
+            let annotation_count = take(data, pos, 1)?[0] as usize;
+            if annotation_count > MAX_SPAN_ANNOTATIONS {
+                return None;
+            }
+            let mut annotations = Vec::with_capacity(annotation_count);
+            for _ in 0..annotation_count {
+                let key = get_str(data, pos)?;
+                annotations.push((key, get_str(data, pos)?));
+            }
+            spans.push(SpanRecord {
+                trace,
+                id,
+                parent,
+                stage,
+                start_ns,
+                duration_ns,
+                annotations,
+            });
+        }
+        trees.push(TraceTree { trace, spans });
+    }
+    Some(trees)
 }
 
 /// One query, client → server.
@@ -521,12 +672,24 @@ pub enum QueryRequest {
     /// Snapshot the daemon's whole metric tree (v2): counters, gauges,
     /// latency histograms, and the slow-query ring.
     Metrics,
+    /// Query the flight recorder (v2): recent traces reassembled into
+    /// trees, filtered by trace id, plan fingerprint, minimum duration,
+    /// or stage name.
+    Traces(TraceFilter),
 }
 
 impl QueryRequest {
     /// Encode to a frame payload under the connection's negotiated
     /// `version`. v1 encodings are byte-identical to every v1 build.
     pub fn encode_versioned(&self, version: u16) -> Vec<u8> {
+        self.encode_traced(version, None)
+    }
+
+    /// Encode with an optional trace context. On a v2 connection every
+    /// request frame carries a trailing trace id (`0` = untraced, the
+    /// server generates a root); v1 frames never carry one and stay
+    /// byte-identical to every v1 build.
+    pub fn encode_traced(&self, version: u16, trace: Option<TraceId>) -> Vec<u8> {
         let mut out = Vec::with_capacity(32);
         match self {
             QueryRequest::Status => out.push(REQ_STATUS),
@@ -557,6 +720,13 @@ impl QueryRequest {
                 out.extend_from_slice(&cursor.to_le_bytes());
             }
             QueryRequest::Metrics => out.push(REQ_METRICS),
+            QueryRequest::Traces(filter) => {
+                out.push(REQ_TRACES);
+                put_trace_filter(&mut out, filter);
+            }
+        }
+        if version >= 2 {
+            out.extend_from_slice(&trace.map(|t| t.0).unwrap_or(0).to_le_bytes());
         }
         out
     }
@@ -572,9 +742,16 @@ impl QueryRequest {
     /// on a v1 connection is an unknown request there, exactly as a
     /// v1-only server build would answer.
     pub fn decode_versioned(data: &[u8], version: u16) -> Result<Self, QueryError> {
+        Self::decode_traced(data, version).map(|(req, _)| req)
+    }
+
+    /// Decode a frame payload along with its trace context. On a v2
+    /// connection every request frame ends in a trailing trace id (`0`
+    /// decodes as `None`); v1 frames never carry one.
+    pub fn decode_traced(data: &[u8], version: u16) -> Result<(Self, Option<TraceId>), QueryError> {
         let malformed = || QueryError::Malformed("truncated or inconsistent request".into());
         let (&tag, body) = data.split_first().ok_or_else(malformed)?;
-        if version < 2 && (REQ_PLAN..=REQ_METRICS).contains(&tag) {
+        if version < 2 && (REQ_PLAN..=REQ_TRACES).contains(&tag) {
             return Err(QueryError::UnknownRequest(tag));
         }
         let mut pos = 0usize;
@@ -599,12 +776,23 @@ impl QueryRequest {
                 cursor: get_u64(body, &mut pos).ok_or_else(malformed)?,
             },
             REQ_METRICS => QueryRequest::Metrics,
+            REQ_TRACES => {
+                QueryRequest::Traces(get_trace_filter(body, &mut pos).ok_or_else(malformed)?)
+            }
             other => return Err(QueryError::UnknownRequest(other)),
+        };
+        let trace = if version >= 2 {
+            match get_u64(body, &mut pos).ok_or_else(malformed)? {
+                0 => None,
+                id => Some(TraceId(id)),
+            }
+        } else {
+            None
         };
         if pos != body.len() {
             return Err(QueryError::Malformed("trailing bytes after request".into()));
         }
-        Ok(req)
+        Ok((req, trace))
     }
 
     /// Decode under the current protocol version.
@@ -684,6 +872,9 @@ pub enum QueryResponse {
     /// Answer to [`QueryRequest::Metrics`] (v2): the daemon's whole
     /// metric tree, frozen.
     Metrics(MetricsSnapshot),
+    /// Answer to [`QueryRequest::Traces`] (v2): matching trace trees,
+    /// most recent first.
+    Traces(Vec<TraceTree>),
     /// The request could not be answered.
     Error(QueryError),
 }
@@ -767,6 +958,10 @@ impl QueryResponse {
                 out.push(RESP_METRICS);
                 put_metrics(&mut out, snapshot);
             }
+            QueryResponse::Traces(trees) => {
+                out.push(RESP_TRACES);
+                put_traces(&mut out, trees);
+            }
             QueryResponse::Error(err) => {
                 out.push(RESP_ERROR);
                 err.put(&mut out);
@@ -785,7 +980,12 @@ impl QueryResponse {
     pub fn decode_versioned(data: &[u8], version: u16) -> Result<Self, QueryError> {
         let malformed = || QueryError::Malformed("truncated or inconsistent response".into());
         let (&tag, body) = data.split_first().ok_or_else(malformed)?;
-        if version < 2 && (tag == RESP_BATCH || tag == RESP_STREAM_END || tag == RESP_METRICS) {
+        if version < 2
+            && (tag == RESP_BATCH
+                || tag == RESP_STREAM_END
+                || tag == RESP_METRICS
+                || tag == RESP_TRACES)
+        {
             return Err(QueryError::Malformed(
                 "v2-only response frame on a v1 connection".into(),
             ));
@@ -891,6 +1091,7 @@ impl QueryResponse {
             RESP_METRICS => {
                 QueryResponse::Metrics(get_metrics(body, &mut pos).ok_or_else(malformed)?)
             }
+            RESP_TRACES => QueryResponse::Traces(get_traces(body, &mut pos).ok_or_else(malformed)?),
             RESP_ERROR => {
                 QueryResponse::Error(QueryError::get(body, &mut pos).ok_or_else(malformed)?)
             }

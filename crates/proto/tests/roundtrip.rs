@@ -18,8 +18,8 @@ use siren_db::Record;
 use siren_proto::{
     decode_hello, decode_hello_ack, encode_hello, encode_hello_ack, negotiate, read_frame,
     write_frame, FrameError, NeighborRow, Order, PlanSource, Projection, QueryError, QueryPlan,
-    QueryRequest, QueryResponse, RecordRow, RowBatch, Selection, StatusInfo, PROTOCOL_VERSION,
-    PROTOCOL_VERSION_MIN,
+    QueryRequest, QueryResponse, RecordRow, RowBatch, Selection, SpanId, SpanRecord, StatusInfo,
+    TraceFilter, TraceId, TraceTree, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
 };
 use siren_wire::{Layer, MessageType};
 
@@ -163,7 +163,7 @@ fn arb_record(rng: &mut TestRng) -> ProcessRecord {
 }
 
 fn arb_request(rng: &mut TestRng, version: u16) -> QueryRequest {
-    let kinds = if version >= 2 { 8 } else { 4 };
+    let kinds = if version >= 2 { 9 } else { 4 };
     match rng.below(kinds) {
         0 => QueryRequest::Status,
         1 => QueryRequest::ByJob {
@@ -184,8 +184,46 @@ fn arb_request(rng: &mut TestRng, version: u16) -> QueryRequest {
         6 => QueryRequest::CloseCursor {
             cursor: rng.next_u64(),
         },
-        _ => QueryRequest::Metrics,
+        7 => QueryRequest::Metrics,
+        _ => QueryRequest::Traces(arb_trace_filter(rng)),
     }
+}
+
+/// Ids on the wire are never zero (zero encodes "absent").
+fn arb_trace_id(rng: &mut TestRng) -> TraceId {
+    TraceId(rng.next_u64() | 1)
+}
+
+fn arb_trace_filter(rng: &mut TestRng) -> TraceFilter {
+    TraceFilter {
+        trace: (rng.below(2) == 1).then(|| arb_trace_id(rng)),
+        fingerprint: (rng.below(2) == 1).then(|| rng.next_u64()),
+        min_duration_ns: (rng.below(2) == 1).then(|| rng.next_u64()),
+        stage: (rng.below(2) == 1).then(|| arb_string(rng, 16)),
+        limit: rng.next_u64() as u32,
+    }
+}
+
+fn arb_traces(rng: &mut TestRng) -> Vec<TraceTree> {
+    (0..rng.below(3))
+        .map(|_| {
+            let trace = arb_trace_id(rng);
+            let spans = (0..rng.below(4))
+                .map(|_| SpanRecord {
+                    trace,
+                    id: SpanId(rng.next_u64() | 1),
+                    parent: (rng.below(2) == 1).then(|| SpanId(rng.next_u64() | 1)),
+                    stage: arb_string(rng, 16),
+                    start_ns: rng.next_u64(),
+                    duration_ns: rng.next_u64(),
+                    annotations: (0..rng.below(3))
+                        .map(|_| (arb_string(rng, 8), arb_string(rng, 16)))
+                        .collect(),
+                })
+                .collect();
+            TraceTree { trace, spans }
+        })
+        .collect()
 }
 
 /// A well-formed random metrics snapshot, built through a real
@@ -216,6 +254,7 @@ fn arb_metrics(rng: &mut TestRng) -> siren_obs::MetricsSnapshot {
             shape: arb_string(rng, 24),
             rows: rng.next_u64(),
             total_ns: rng.next_u64(),
+            trace_id: rng.next_u64(),
         });
     }
     registry.snapshot()
@@ -261,7 +300,7 @@ fn arb_status(rng: &mut TestRng, version: u16) -> StatusInfo {
 }
 
 fn arb_response(rng: &mut TestRng, version: u16) -> QueryResponse {
-    let kinds = if version >= 2 { 8 } else { 5 };
+    let kinds = if version >= 2 { 9 } else { 5 };
     match rng.below(kinds) {
         0 => QueryResponse::Status(arb_status(rng, version)),
         1 => QueryResponse::Rows(
@@ -295,7 +334,8 @@ fn arb_response(rng: &mut TestRng, version: u16) -> QueryResponse {
         6 => QueryResponse::StreamEnd {
             cursor: (rng.below(2) == 1).then(|| rng.next_u64()),
         },
-        _ => QueryResponse::Metrics(arb_metrics(rng)),
+        7 => QueryResponse::Metrics(arb_metrics(rng)),
+        _ => QueryResponse::Traces(arb_traces(rng)),
     }
 }
 
@@ -317,6 +357,29 @@ fn assert_request_round_trip(req: &QueryRequest, version: u16) {
     let mut extra = encoded.clone();
     extra.push(0);
     assert!(QueryRequest::decode_versioned(&extra, version).is_err());
+}
+
+/// v2 request frames carry a trailing trace-context id (0 = absent):
+/// the pair must round-trip exactly, truncation at every byte must be a
+/// typed error, and trailing junk must be rejected.
+fn assert_traced_round_trip(req: &QueryRequest, trace: Option<TraceId>) {
+    let encoded = req.encode_traced(2, trace);
+    match QueryRequest::decode_traced(&encoded, 2) {
+        Ok((decoded, decoded_trace)) => {
+            assert_eq!(&decoded, req);
+            assert_eq!(decoded_trace, trace);
+        }
+        Err(err) => panic!("traced frame failed to decode: {err}"),
+    }
+    for cut in 0..encoded.len() {
+        assert!(
+            QueryRequest::decode_traced(&encoded[..cut], 2).is_err(),
+            "cut {cut}"
+        );
+    }
+    let mut extra = encoded.clone();
+    extra.push(0);
+    assert!(QueryRequest::decode_traced(&extra, 2).is_err());
 }
 
 fn assert_response_round_trip(resp: &QueryResponse, version: u16) {
@@ -345,7 +408,13 @@ fn run_cases(cases: u32, name: &str) {
     for case in 0..cases {
         // Alternate negotiated versions so both codecs stay fuzzed.
         let version = 1 + (case % 2) as u16;
-        assert_request_round_trip(&arb_request(&mut rng, version), version);
+        let request = arb_request(&mut rng, version);
+        assert_request_round_trip(&request, version);
+        if version >= 2 {
+            // The same request with and without a propagated trace id.
+            let trace = (rng.below(2) == 1).then(|| arb_trace_id(&mut rng));
+            assert_traced_round_trip(&request, trace);
+        }
         assert_response_round_trip(&arb_response(&mut rng, version), version);
         // Framed transport round-trip (in-memory "socket").
         let resp = arb_response(&mut rng, version);
@@ -609,6 +678,56 @@ fn metrics_frames_round_trip_on_v2_and_are_refused_on_v1() {
         assert!(QueryResponse::decode_versioned(&encoded, 1).is_err());
         // Truncation anywhere inside the four counted sections is a
         // typed error, never a panic or a partial snapshot.
+        for cut in 0..encoded.len() {
+            assert!(
+                QueryResponse::decode_versioned(&encoded[..cut], 2).is_err(),
+                "cut {cut} must not decode"
+            );
+        }
+        // A count prefix inflated past the payload is caught by the
+        // minimum-bytes-per-element bound before any allocation. The
+        // counter count sits after the tag byte and the u64 capture
+        // timestamp.
+        let mut inflated = encoded.clone();
+        inflated[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(QueryResponse::decode_versioned(&inflated, 2).is_err());
+    }
+}
+
+#[test]
+fn traces_frames_round_trip_on_v2_and_are_refused_on_v1() {
+    let mut rng = rng_for("traces_frames_round_trip");
+
+    // The request tag is v2-only; a v1 connection answers exactly as a
+    // pre-tracing server build would: UnknownRequest(8), with the
+    // connection left usable.
+    let req = QueryRequest::Traces(TraceFilter::recent());
+    let encoded = req.encode_versioned(2);
+    assert_eq!(QueryRequest::decode_versioned(&encoded, 2), Ok(req));
+    assert_eq!(
+        QueryRequest::decode_versioned(&encoded, 1),
+        Err(QueryError::UnknownRequest(8))
+    );
+
+    // A present-but-zero trace id in the filter is inconsistent (zero
+    // encodes "absent") and must be refused.
+    let mut zeroed =
+        QueryRequest::Traces(TraceFilter::recent().trace(TraceId(7))).encode_versioned(2);
+    zeroed[2..10].copy_from_slice(&0u64.to_le_bytes());
+    assert!(QueryRequest::decode_versioned(&zeroed, 2).is_err());
+
+    for _ in 0..32 {
+        let resp = QueryResponse::Traces(arb_traces(&mut rng));
+        let encoded = resp.encode_versioned(2);
+        // Exact round-trip: every span, parent link, and annotation.
+        assert_eq!(
+            QueryResponse::decode_versioned(&encoded, 2).as_ref(),
+            Ok(&resp)
+        );
+        // The reply frame never decodes on a v1 connection.
+        assert!(QueryResponse::decode_versioned(&encoded, 1).is_err());
+        // Truncation at every byte is a typed error, never a panic or a
+        // partial forest.
         for cut in 0..encoded.len() {
             assert!(
                 QueryResponse::decode_versioned(&encoded[..cut], 2).is_err(),

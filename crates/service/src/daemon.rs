@@ -7,9 +7,9 @@ use crate::server::QueryServer;
 use crate::snapshot::QuerySnapshot;
 use parking_lot::RwLock;
 use siren_consolidate::{ConsolidateStats, ProcessRecord};
-use siren_ingest::{IngestConfig, IngestMetrics, IngestService, ShardStats};
+use siren_ingest::{IngestConfig, IngestMetrics, IngestService, IngestTraceContext, ShardStats};
 use siren_net::UdpReceiver;
-use siren_obs::{Counter, MetricsSnapshot};
+use siren_obs::{Counter, MetricsSnapshot, Span, SpanId, TraceFilter, TraceId, TraceTree};
 use siren_proto::StatusInfo;
 use siren_store::{Persist, RecoveryStats, SegmentedBackend, SegmentedOptions, StoreMetrics};
 use siren_wire::{parse_sentinel, parse_sentinel_epoch, Message, MessageType};
@@ -332,6 +332,15 @@ struct OpenEpoch {
     senders_seen: BTreeSet<u32>,
     sentinels_seen: u64,
     epoch_tag_mismatches: u64,
+    /// The epoch's root span (`epoch.ingest`), opened when the epoch
+    /// spawns and finished when the commit lands — every shard-worker
+    /// `reassembly`/`wal_insert` span and the `recv`/`commit`/`publish`
+    /// children hang under it, so one `Traces` query shows the whole
+    /// epoch pipeline.
+    span: Span,
+    /// When the epoch opened — the start of the `recv` child span
+    /// recorded at close (the receive window is over by then).
+    opened_at: Instant,
 }
 
 /// The long-running ingest daemon. See the crate docs for the lifecycle.
@@ -368,7 +377,8 @@ impl SirenDaemon {
         let (store, items, store_stats) = SegmentedBackend::<StoredItem>::open_with_metrics(
             &cfg.consolidated_dir(),
             cfg.store,
-            StoreMetrics::register(&metrics.registry),
+            StoreMetrics::register(&metrics.registry)
+                .with_spans(Arc::clone(metrics.traces.buffer())),
         )?;
         let mut records: Vec<EpochRecord> = Vec::with_capacity(items.len());
         let mut committed: BTreeSet<u64> = BTreeSet::new();
@@ -414,6 +424,7 @@ impl SirenDaemon {
             Arc::clone(&shared),
             Arc::clone(&metrics.snapshot_merges),
             Arc::clone(&metrics.merge_ns),
+            Arc::clone(metrics.traces.buffer()),
         )?;
         let mut daemon = Self {
             cfg,
@@ -452,9 +463,16 @@ impl SirenDaemon {
     }
 
     fn spawn_epoch(&self, epoch: u64, shards: usize) -> std::io::Result<OpenEpoch> {
+        let mut span = self.metrics.traces.buffer().root("epoch.ingest", None);
+        span.annotate("epoch", &epoch.to_string());
         let ingest_cfg = IngestConfig {
             wal_base: Some(self.cfg.epoch_msgs_base(epoch, shards)),
             metrics: self.ingest_metrics.clone(),
+            trace: Some(IngestTraceContext {
+                buffer: Arc::clone(self.metrics.traces.buffer()),
+                trace: span.trace(),
+                parent: span.id(),
+            }),
             ..IngestConfig::with_shards_unclamped(shards)
         };
         let service = IngestService::spawn(ingest_cfg.clone())?;
@@ -466,6 +484,8 @@ impl SirenDaemon {
             senders_seen: BTreeSet::new(),
             sentinels_seen: 0,
             epoch_tag_mismatches: 0,
+            span,
+            opened_at: Instant::now(),
         })
     }
 
@@ -572,8 +592,19 @@ impl SirenDaemon {
             senders_seen,
             sentinels_seen,
             epoch_tag_mismatches,
+            span,
+            opened_at,
         } = open;
 
+        // The receive window is over: everything the campaign will
+        // deliver is already in the shard channels.
+        self.metrics.traces.buffer().record_past(
+            span.trace(),
+            Some(span.id()),
+            "recv",
+            opened_at,
+            opened_at.elapsed(),
+        );
         let result = service.finish()?;
         let epoch_records: Vec<EpochRecord> = result
             .records
@@ -584,7 +615,10 @@ impl SirenDaemon {
             })
             .collect();
 
-        self.commit_records(epoch, epoch_records)?;
+        self.commit_records(epoch, epoch_records, Some((span.trace(), span.id())))?;
+        // The epoch root span closes once the commit is durable and
+        // published — its duration is the campaign end to end.
+        span.finish();
         // Only now is it safe to drop the raw messages. The partition
         // paths come from the ingest config itself, so this deletes
         // exactly what the workers wrote.
@@ -620,11 +654,14 @@ impl SirenDaemon {
             ));
         }
         let epoch = self.next_epoch();
+        let mut span = self.metrics.traces.buffer().root("epoch.import", None);
+        span.annotate("epoch", &epoch.to_string());
         let epoch_records: Vec<EpochRecord> = records
             .into_iter()
             .map(|record| EpochRecord { epoch, record })
             .collect();
-        self.commit_records(epoch, epoch_records)?;
+        self.commit_records(epoch, epoch_records, Some((span.trace(), span.id())))?;
+        span.finish();
         Ok(epoch)
     }
 
@@ -638,6 +675,7 @@ impl SirenDaemon {
         &mut self,
         epoch: u64,
         epoch_records: Vec<EpochRecord>,
+        trace: Option<(TraceId, SpanId)>,
     ) -> std::io::Result<()> {
         let mut items: Vec<StoredItem> = epoch_records
             .into_iter()
@@ -646,9 +684,17 @@ impl SirenDaemon {
         items.push(StoredItem::Seal(epoch));
         let commit_start = Instant::now();
         self.store.append_sealed(&items)?;
-        self.metrics
-            .commit_ns
-            .record_duration(commit_start.elapsed());
+        let commit_elapsed = commit_start.elapsed();
+        self.metrics.commit_ns.record_duration(commit_elapsed);
+        if let Some((trace, parent)) = trace {
+            self.metrics.traces.buffer().record_past(
+                trace,
+                Some(parent),
+                "commit",
+                commit_start,
+                commit_elapsed,
+            );
+        }
         let epoch_records: Vec<EpochRecord> = items
             .into_iter()
             .filter_map(|item| match item {
@@ -670,9 +716,17 @@ impl SirenDaemon {
         let publish_start = Instant::now();
         let next = Arc::new(self.shared.load().with_epoch(epoch_records));
         self.shared.store(next);
-        self.metrics
-            .publish_ns
-            .record_duration(publish_start.elapsed());
+        let publish_elapsed = publish_start.elapsed();
+        self.metrics.publish_ns.record_duration(publish_elapsed);
+        if let Some((trace, parent)) = trace {
+            self.metrics.traces.buffer().record_past(
+                trace,
+                Some(parent),
+                "publish",
+                publish_start,
+                publish_elapsed,
+            );
+        }
         self.shared.open_epoch.store(NO_EPOCH, Ordering::Relaxed);
         self.maintainer.ping();
         Ok(())
@@ -724,6 +778,16 @@ impl SirenDaemon {
     /// same registry.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.registry.snapshot()
+    }
+
+    /// Reassembled trace trees from the daemon's span flight recorder —
+    /// exactly what a wire `Traces` request returns, read from the same
+    /// ring. Covers request traces (plan/fetch/serialize), epoch
+    /// pipelines (`epoch.ingest` with recv/reassembly/wal_insert/
+    /// commit/publish children), and background work (layer merges,
+    /// store compaction).
+    pub fn traces(&self, filter: &TraceFilter) -> Vec<TraceTree> {
+        self.metrics.traces.traces(filter)
     }
 
     /// The address the embedded query server is listening on, if

@@ -27,7 +27,7 @@
 
 use crate::daemon::SharedState;
 use crossbeam::channel::{bounded, Sender};
-use siren_obs::{Counter, Histogram};
+use siren_obs::{Counter, Histogram, SpanBuffer, TraceId};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,11 +42,15 @@ pub(crate) struct SnapshotMaintainer {
 
 impl SnapshotMaintainer {
     /// Spawn the merge thread against the daemon's shared state,
-    /// recording completed merges into `merges` / `merge_ns`.
+    /// recording completed merges into `merges` / `merge_ns` and a root
+    /// `maintain.merge` span per published merge into `spans` (lost
+    /// races and no-op wakeups record nothing — only work that reached
+    /// readers shows up in traces).
     pub(crate) fn spawn(
         shared: Arc<SharedState>,
         merges: Arc<Counter>,
         merge_ns: Arc<Histogram>,
+        spans: Arc<SpanBuffer>,
     ) -> std::io::Result<Self> {
         // One slot is enough: a pending ping already covers any number
         // of commits behind it (the thread always re-loads the current
@@ -69,8 +73,16 @@ impl SnapshotMaintainer {
                             // snapshot.
                             break;
                         }
-                        merge_ns.record_duration(start.elapsed());
+                        let elapsed = start.elapsed();
+                        merge_ns.record_duration(elapsed);
                         thread_merges.inc();
+                        spans.record_past(
+                            TraceId::generate(),
+                            None,
+                            "maintain.merge",
+                            start,
+                            elapsed,
+                        );
                     }
                 }
             })?;

@@ -12,7 +12,7 @@
 //!
 //! [`SirenDaemon`]: crate::SirenDaemon
 
-use siren_obs::{Counter, Gauge, Histogram, Registry};
+use siren_obs::{Counter, Gauge, Histogram, Registry, TraceStore};
 use std::sync::Arc;
 
 /// `Arc` handles for the `service.*`, `query.*`, and `cursor.*`
@@ -22,6 +22,10 @@ pub(crate) struct ServiceMetrics {
     /// The daemon-wide registry (store and ingest handles register here
     /// too).
     pub registry: Arc<Registry>,
+    /// The daemon-wide trace flight recorder: every tier records spans
+    /// into its shared buffer, and the wire `Traces` request reads
+    /// reassembled trees back out of it. Cloning shares the buffer.
+    pub traces: TraceStore,
 
     // ---- epoch lifecycle ----
     /// `service.commit_ns` — durable epoch commit (sealed segment
@@ -83,6 +87,7 @@ impl ServiceMetrics {
         let registry = Arc::new(Registry::new());
         Self {
             registry: Arc::clone(&registry),
+            traces: TraceStore::default(),
             commit_ns: registry.histogram("service.commit_ns"),
             publish_ns: registry.histogram("service.publish_ns"),
             epochs_committed: registry.counter("service.epochs_committed"),

@@ -107,6 +107,11 @@ pub(crate) struct PlanCursor {
     fingerprint: u64,
     /// Structural description of the plan (no predicate values).
     shape: String,
+    /// Trace context of the request that opened this plan: `(trace,
+    /// root span)`. Parked with the cursor, so a later `FetchCursor` —
+    /// possibly on another connection — parents its span back into the
+    /// same trace tree.
+    trace: Option<(siren_obs::TraceId, siren_obs::SpanId)>,
 }
 
 impl PlanCursor {
@@ -194,6 +199,7 @@ impl PlanCursor {
             remaining,
             fingerprint,
             shape,
+            trace: None,
         };
         if let State::Scan { layer, idx } = &mut cursor.state {
             advance_scan(&cursor.snapshot, &cursor.plan.selection, layer, idx);
@@ -209,6 +215,17 @@ impl PlanCursor {
     /// Structural description of the plan (no predicate values).
     pub(crate) fn shape(&self) -> &str {
         &self.shape
+    }
+
+    /// Attach the opening request's trace context, carried across parks
+    /// so cursor fetches rejoin the plan's trace tree.
+    pub(crate) fn set_trace(&mut self, trace: siren_obs::TraceId, root: siren_obs::SpanId) {
+        self.trace = Some((trace, root));
+    }
+
+    /// The `(trace, root span)` context the plan was opened under.
+    pub(crate) fn trace_context(&self) -> Option<(siren_obs::TraceId, siren_obs::SpanId)> {
+        self.trace
     }
 
     /// Rows per batch frame, clamped to the server bound.

@@ -37,7 +37,7 @@ use crate::daemon::{ServiceConfig, SharedState};
 use crate::metrics::ServiceMetrics;
 use crate::plan::{CursorTable, PlanCursor, BATCH_BYTE_BUDGET};
 use crossbeam::channel::{bounded, Receiver, TrySendError};
-use siren_obs::SlowQueryEntry;
+use siren_obs::{SlowQueryEntry, Span};
 use siren_proto::{
     decode_hello, encode_hello_ack, negotiate, read_frame, write_frame, FrameError, QueryError,
     QueryRequest, QueryResponse, MAX_FRAME_PAYLOAD,
@@ -119,7 +119,8 @@ impl QueryServer {
                     .name(format!("siren-query-worker-{i}"))
                     .spawn(move || {
                         while let Ok((stream, queued_at)) = rx.recv() {
-                            metrics.queue_wait_ns.record_duration(queued_at.elapsed());
+                            let queue_wait = queued_at.elapsed();
+                            metrics.queue_wait_ns.record_duration(queue_wait);
                             handle_connection(
                                 stream,
                                 &shared,
@@ -128,6 +129,7 @@ impl QueryServer {
                                 deadline,
                                 slow_threshold,
                                 &stop,
+                                (queued_at, queue_wait),
                             );
                         }
                     })?,
@@ -238,6 +240,7 @@ fn stream_reply(
     cursors: &CursorTable,
     version: u16,
     metrics: &ServiceMetrics,
+    exec_span: &Span,
 ) -> Option<usize> {
     let batch_rows = cursor.batch_rows();
     let page_rows = cursor.page_rows();
@@ -250,9 +253,19 @@ fn stream_reply(
         sent += batch.len();
         let serialize_start = Instant::now();
         let encoded = QueryResponse::Batch(batch).encode_versioned(version);
+        let serialize_elapsed = serialize_start.elapsed();
         metrics
             .batch_serialize_ns
-            .record_duration(serialize_start.elapsed());
+            .record_duration(serialize_elapsed);
+        // Per-batch serialize spans parent to the exec span; recorded
+        // from the already-measured interval, no second clock read pair.
+        metrics.traces.buffer().record_past(
+            exec_span.trace(),
+            Some(exec_span.id()),
+            "serialize",
+            serialize_start,
+            serialize_elapsed,
+        );
         if encoded.len() > MAX_FRAME_PAYLOAD as usize {
             // A single row blew the frame cap (pathological record).
             // The client treats an error frame as the reply terminator,
@@ -293,6 +306,7 @@ fn finish_streamed(
     fingerprint: u64,
     shape: String,
     rows: usize,
+    trace_id: u64,
 ) {
     let elapsed = started.elapsed();
     metrics.exec_ns.record_duration(elapsed);
@@ -302,10 +316,12 @@ fn finish_streamed(
             shape,
             rows: rows as u64,
             total_ns: elapsed.as_nanos() as u64,
+            trace_id,
         });
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     mut stream: TcpStream,
     shared: &SharedState,
@@ -314,7 +330,12 @@ fn handle_connection(
     deadline: Duration,
     slow_threshold: Duration,
     stop: &AtomicBool,
+    queued: (Instant, Duration),
 ) {
+    // Queue wait is measured from accept, before any trace id exists;
+    // the first traced request on the connection adopts it as a child
+    // span so the wait shows up inside that request's tree.
+    let mut pending_queue_wait = Some(queued);
     // Accepted sockets inherit the listener's non-blocking mode on some
     // platforms (Windows, the BSDs); reset explicitly so the frame reads
     // below block up to the deadline everywhere.
@@ -392,17 +413,39 @@ fn handle_connection(
 
         metrics.requests.inc();
         let exec_start = Instant::now();
-        let (response, fatal) = match QueryRequest::decode_versioned(&payload, version) {
+        let (response, fatal) = match QueryRequest::decode_traced(&payload, version) {
             // ---- v2 streaming requests: replies are frame streams. ----
-            Ok(QueryRequest::Plan(plan)) => {
+            Ok((QueryRequest::Plan(plan), client_trace)) => {
+                // The root span adopts the client-supplied trace id (or
+                // generates one); queue wait — measured before the id
+                // arrived — lands as its first child.
+                let mut root = metrics.traces.buffer().root("request.plan", client_trace);
+                if let Some((queued_at, wait)) = pending_queue_wait.take() {
+                    metrics.traces.buffer().record_past(
+                        root.trace(),
+                        Some(root.id()),
+                        "queue_wait",
+                        queued_at,
+                        wait,
+                    );
+                }
+                let exec = root.child("exec");
                 // Lock-free: the cursor pins the snapshot current at
                 // open; commits landing mid-pagination don't move it.
                 match PlanCursor::open(shared.load(), plan, metrics) {
-                    Ok(cursor) => {
+                    Ok(mut cursor) => {
                         let fingerprint = cursor.fingerprint();
                         let shape = cursor.shape().to_string();
-                        match stream_reply(&mut stream, cursor, cursors, version, metrics) {
+                        root.annotate_fingerprint(fingerprint);
+                        root.annotate("shape", &shape);
+                        // Parked with the cursor so later fetches rejoin
+                        // this trace.
+                        cursor.set_trace(root.trace(), root.id());
+                        let trace_id = root.trace().0;
+                        match stream_reply(&mut stream, cursor, cursors, version, metrics, &exec) {
                             Some(rows) => {
+                                exec.finish();
+                                root.finish();
                                 finish_streamed(
                                     metrics,
                                     slow_threshold,
@@ -410,6 +453,7 @@ fn handle_connection(
                                     fingerprint,
                                     shape,
                                     rows,
+                                    trace_id,
                                 );
                                 continue;
                             }
@@ -419,41 +463,72 @@ fn handle_connection(
                     Err(err) => (QueryResponse::Error(err), false),
                 }
             }
-            Ok(QueryRequest::FetchCursor { cursor }) => match cursors.take(cursor) {
-                Some(parked) => {
-                    let fingerprint = parked.fingerprint();
-                    let shape = parked.shape().to_string();
-                    match stream_reply(&mut stream, parked, cursors, version, metrics) {
-                        Some(rows) => {
-                            finish_streamed(
-                                metrics,
-                                slow_threshold,
-                                exec_start,
-                                fingerprint,
-                                shape,
-                                rows,
+            Ok((QueryRequest::FetchCursor { cursor }, client_trace)) => {
+                match cursors.take(cursor) {
+                    Some(parked) => {
+                        // Rejoin the trace the plan opened (a fetch may
+                        // run on another thread, long after the plan's
+                        // root completed); a cursor without context — a
+                        // pre-trace park — starts a fresh root.
+                        let fetch = match parked.trace_context() {
+                            Some((trace, root)) => {
+                                metrics
+                                    .traces
+                                    .buffer()
+                                    .child_of(trace, root, "request.fetch")
+                            }
+                            None => metrics.traces.buffer().root("request.fetch", client_trace),
+                        };
+                        if let Some((queued_at, wait)) = pending_queue_wait.take() {
+                            metrics.traces.buffer().record_past(
+                                fetch.trace(),
+                                Some(fetch.id()),
+                                "queue_wait",
+                                queued_at,
+                                wait,
                             );
-                            continue;
                         }
-                        None => return,
+                        let fingerprint = parked.fingerprint();
+                        let shape = parked.shape().to_string();
+                        let trace_id = fetch.trace().0;
+                        match stream_reply(&mut stream, parked, cursors, version, metrics, &fetch) {
+                            Some(rows) => {
+                                fetch.finish();
+                                finish_streamed(
+                                    metrics,
+                                    slow_threshold,
+                                    exec_start,
+                                    fingerprint,
+                                    shape,
+                                    rows,
+                                    trace_id,
+                                );
+                                continue;
+                            }
+                            None => return,
+                        }
                     }
+                    None => (
+                        QueryResponse::Error(QueryError::UnknownCursor(cursor)),
+                        false,
+                    ),
                 }
-                None => (
-                    QueryResponse::Error(QueryError::UnknownCursor(cursor)),
-                    false,
-                ),
-            },
-            Ok(QueryRequest::CloseCursor { cursor }) => {
+            }
+            Ok((QueryRequest::CloseCursor { cursor }, _)) => {
                 cursors.remove(cursor);
                 // The end frame doubles as the close acknowledgement.
                 (QueryResponse::StreamEnd { cursor: None }, false)
             }
             // ---- v2 telemetry: the whole registry in one reply. ----
-            Ok(QueryRequest::Metrics) => {
+            Ok((QueryRequest::Metrics, _)) => {
                 (QueryResponse::Metrics(metrics.registry.snapshot()), false)
             }
+            // ---- v2 tracing: reassembled flight-recorder trees. ----
+            Ok((QueryRequest::Traces(filter), _)) => {
+                (QueryResponse::Traces(metrics.traces.traces(&filter)), false)
+            }
             // ---- one-frame requests (v1 set, valid on v2 too). ----
-            Ok(request) => {
+            Ok((request, _)) => {
                 // On v2 connections an inverted selection range draws
                 // the typed error instead of silently matching nothing
                 // (v1 keeps its historical empty answer).

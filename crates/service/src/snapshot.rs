@@ -431,11 +431,13 @@ impl QuerySnapshot {
             // path: the server routes them through `PlanCursor` (see
             // `plan.rs`), and in-process callers use
             // [`QuerySnapshot::plan_rows`].
-            // `Metrics` likewise: only the server holds the registry.
+            // `Metrics` and `Traces` likewise: only the server holds
+            // the registry and the flight recorder.
             QueryRequest::Plan(_)
             | QueryRequest::FetchCursor { .. }
             | QueryRequest::CloseCursor { .. }
-            | QueryRequest::Metrics => QueryResponse::Error(siren_proto::QueryError::Internal(
+            | QueryRequest::Metrics
+            | QueryRequest::Traces(_) => QueryResponse::Error(siren_proto::QueryError::Internal(
                 "streaming requests are answered by the plan executor, not respond()".into(),
             )),
         }

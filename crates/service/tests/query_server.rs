@@ -11,7 +11,7 @@ use siren_collector::{Collector, PolicyMode};
 use siren_net::{Sender as _, SimChannel, SimConfig, UdpReceiver, UdpSender};
 use siren_proto::{
     encode_hello, read_frame, write_frame, ClientError, NeighborRow, QueryError, QueryRequest,
-    QueryResponse, RecordRow, Selection, SirenClient, PROTOCOL_VERSION,
+    QueryResponse, RecordRow, Selection, SirenClient, TraceFilter, TraceId, PROTOCOL_VERSION,
 };
 use siren_service::{ServiceConfig, SirenDaemon};
 use siren_store::SegmentedOptions;
@@ -327,6 +327,135 @@ fn metrics_request_returns_live_registry_snapshot() {
         assert!(matches!(
             QueryResponse::decode_versioned(&payload, 1),
             Ok(QueryResponse::Error(QueryError::UnknownRequest(7)))
+        ));
+        write_frame(&mut stream, &QueryRequest::Status.encode_versioned(1)).unwrap();
+        let payload = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            QueryResponse::decode_versioned(&payload, 1),
+            Ok(QueryResponse::Status(_))
+        ));
+    }
+
+    drop(daemon);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn traced_plan_reassembles_into_one_tree_across_cursor_fetches() {
+    let dir = temp_data_dir("traces");
+    let cfg = ServiceConfig {
+        // Zero threshold: the traced plan is guaranteed a slow-ring
+        // entry, so the entry→trace join can be asserted.
+        slow_query_threshold: Duration::ZERO,
+        ..server_config(&dir)
+    };
+    let (mut daemon, _) = SirenDaemon::open(cfg).unwrap();
+    let qaddr = daemon.query_addr().unwrap();
+
+    // Ingest one epoch over real UDP loopback so the epoch pipeline
+    // records a real trace alongside the request traces.
+    let receiver = UdpReceiver::spawn(65_536).unwrap();
+    let sender = UdpSender::connect(receiver.local_addr()).unwrap();
+    for msg in campaign_messages(0, 0, 1) {
+        sender.send(&msg.encode());
+    }
+    let summaries = daemon.drain_udp(&receiver, 1).unwrap();
+    assert_eq!(summaries.len(), 1, "the epoch must commit");
+
+    // A client-supplied trace id on a paged plan: the whole walk —
+    // however many cursor fetches — must reassemble into ONE tree.
+    let mut client = SirenClient::connect(qaddr).unwrap();
+    let trace = TraceId(0x5ca1_ab1e_0000_0001);
+    let plan = siren_proto::QueryPlan::records().batch_rows(4).page_rows(8);
+    let fingerprint = plan.fingerprint();
+    let rows = client
+        .query_traced(plan, trace)
+        .unwrap()
+        .collect_rows()
+        .unwrap();
+    assert!(
+        rows.len() > 8,
+        "need multiple pages to force cursor fetches"
+    );
+
+    let trees = client.traces(TraceFilter::recent().trace(trace)).unwrap();
+    assert_eq!(trees.len(), 1, "one client trace id, one tree");
+    let tree = &trees[0];
+    assert_eq!(tree.trace, trace);
+    let root = tree.root().expect("the plan request span is the root");
+    assert_eq!(root.stage, "request.plan");
+    assert_eq!(
+        root.annotation(siren_obs::FINGERPRINT_ANNOTATION),
+        Some(format!("{fingerprint:016x}").as_str()),
+        "the root carries the plan fingerprint annotation"
+    );
+    for stage in ["queue_wait", "exec", "serialize", "request.fetch"] {
+        assert!(tree.contains_stage(stage), "missing {stage} span: {tree:?}");
+    }
+    let fetches = tree
+        .spans
+        .iter()
+        .filter(|s| s.stage == "request.fetch")
+        .count();
+    assert!(fetches >= 2, "multiple cursor fetches rejoin the same tree");
+    let serializes = tree.spans.iter().filter(|s| s.stage == "serialize").count();
+    assert!(serializes >= 2, "one serialize span per row batch");
+    // Every span reassembled under the one trace id.
+    assert!(tree.spans.iter().all(|s| s.trace == trace));
+
+    // The slow-query ring entry for that plan carries the trace id, and
+    // the id resolves over the wire to that same tree.
+    let m = client.metrics().unwrap();
+    let entry = m
+        .slow_queries
+        .iter()
+        .find(|e| e.fingerprint == fingerprint)
+        .expect("zero threshold puts the traced plan in the slow ring");
+    assert_eq!(entry.trace_id, trace.0, "slow entry joins to the trace");
+    let resolved = client
+        .traces(TraceFilter::recent().trace(TraceId(entry.trace_id)))
+        .unwrap();
+    assert_eq!(resolved.len(), 1);
+    assert_eq!(
+        &resolved[0], tree,
+        "the slow entry resolves to the same tree"
+    );
+
+    // The ingest epoch recorded its own pipeline trace: recv,
+    // per-shard reassembly and WAL inserts, then commit and publish,
+    // all under the `epoch.ingest` root.
+    let epochs = client
+        .traces(TraceFilter::recent().stage("epoch.ingest"))
+        .unwrap();
+    let epoch_tree = epochs.first().expect("the committed epoch has a trace");
+    assert_eq!(epoch_tree.root().unwrap().stage, "epoch.ingest");
+    for stage in ["recv", "reassembly", "wal_insert", "commit", "publish"] {
+        assert!(
+            epoch_tree.contains_stage(stage),
+            "epoch trace missing {stage}: {epoch_tree:?}"
+        );
+    }
+    // The wire answer and the in-process accessor read the same ring.
+    let in_process = daemon.traces(&TraceFilter::recent().trace(trace));
+    assert_eq!(in_process.len(), 1);
+    assert_eq!(&in_process[0], tree);
+
+    // A v1 connection gets UnknownRequest(8) for the Traces tag — and
+    // the connection survives, exactly like any other unknown tag.
+    {
+        let mut stream = TcpStream::connect(qaddr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(&mut stream, &encode_hello(1, 1)).unwrap();
+        let ack = read_frame(&mut stream).unwrap();
+        assert_eq!(siren_proto::decode_hello_ack(&ack), Some(1));
+        let traces_req = QueryRequest::Traces(TraceFilter::recent()).encode_versioned(2);
+        write_frame(&mut stream, &traces_req).unwrap();
+        let payload = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            QueryResponse::decode_versioned(&payload, 1),
+            Ok(QueryResponse::Error(QueryError::UnknownRequest(8)))
         ));
         write_frame(&mut stream, &QueryRequest::Status.encode_versioned(1)).unwrap();
         let payload = read_frame(&mut stream).unwrap();

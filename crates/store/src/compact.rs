@@ -11,6 +11,7 @@ use crate::metrics::StoreMetrics;
 use crate::segment::{read_segment, write_segment, SegmentRead};
 use crate::segmented::{run_path, Catalog, FileKind, SealedFile};
 use crate::Persist;
+use siren_obs::TraceId;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -156,7 +157,17 @@ pub(crate) fn compact_pass<T: Persist + Clone>(
     for file in &inputs {
         let _ = std::fs::remove_file(&file.path);
     }
-    metrics.compaction_ns.record_duration(pass_start.elapsed());
+    let pass_elapsed = pass_start.elapsed();
+    metrics.compaction_ns.record_duration(pass_elapsed);
     metrics.compaction_passes.inc();
+    if let Some(spans) = &metrics.spans {
+        spans.record_past(
+            TraceId::generate(),
+            None,
+            "store.compaction",
+            pass_start,
+            pass_elapsed,
+        );
+    }
     Ok(true)
 }

@@ -6,12 +6,16 @@
 //! [`Registry`]; a detached bundle (private, unregistered atomics)
 //! otherwise, so the instrumented paths never branch on an `Option`.
 
-use siren_obs::{Counter, Histogram, Registry};
+use siren_obs::{Counter, Histogram, Registry, SpanBuffer};
 use std::sync::Arc;
 
 /// `Arc` handles for every `store.*` metric.
 #[derive(Debug, Clone)]
 pub struct StoreMetrics {
+    /// When set, each completed compaction pass records a root
+    /// `store.compaction` span into this flight recorder (attached via
+    /// [`StoreMetrics::with_spans`]; detached bundles record none).
+    pub spans: Option<Arc<SpanBuffer>>,
     /// `store.wal_fsync_ns` — flush+fsync latency of the active WAL.
     pub wal_fsync_ns: Arc<Histogram>,
     /// `store.segment_seal_ns` — time to write and catalog one sealed
@@ -31,6 +35,7 @@ impl StoreMetrics {
     /// Register the `store.*` handles in `registry`.
     pub fn register(registry: &Registry) -> Self {
         Self {
+            spans: None,
             wal_fsync_ns: registry.histogram("store.wal_fsync_ns"),
             segment_seal_ns: registry.histogram("store.segment_seal_ns"),
             segments_sealed: registry.counter("store.segments_sealed"),
@@ -40,9 +45,17 @@ impl StoreMetrics {
         }
     }
 
+    /// Attach a span flight recorder: completed compaction passes will
+    /// record root `store.compaction` spans into it.
+    pub fn with_spans(mut self, spans: Arc<SpanBuffer>) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
     /// Detached handles: same recording behavior, visible to nobody.
     pub fn detached() -> Self {
         Self {
+            spans: None,
             wal_fsync_ns: Arc::new(Histogram::new()),
             segment_seal_ns: Arc::new(Histogram::new()),
             segments_sealed: Arc::new(Counter::new()),

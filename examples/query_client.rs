@@ -5,7 +5,8 @@
 //! exactly what an analyst-side tool would do against a production
 //! deployment. The second half switches to the protocol-v2 surface:
 //! composable [`QueryPlan`]s answered as lazy [`RowStream`]s with
-//! server-side pagination.
+//! server-side pagination, and it closes by stamping a paged plan with
+//! a trace id and rendering the span tree the server recorded for it.
 //!
 //! ```bash
 //! cargo run --release --example query_client
@@ -14,7 +15,10 @@
 use siren_repro::cluster::{Campaign, CampaignConfig};
 use siren_repro::collector::{Collector, PolicyMode};
 use siren_repro::net::{SimChannel, SimConfig};
-use siren_repro::proto::{Order, Projection, QueryPlan, Selection, SirenClient};
+use siren_repro::proto::{
+    Order, Projection, QueryPlan, Selection, SirenClient, TraceFilter, TraceId,
+};
+use siren_repro::report::trace_report;
 use siren_repro::service::{ServiceConfig, SirenDaemon};
 
 fn main() {
@@ -152,6 +156,40 @@ fn main() {
             .unwrap_or(0),
     );
     print!("{}", metrics.render_text());
+
+    // ---- End-to-end tracing. ----
+    //
+    // Stamp a paged plan with a trace id of our choosing; the server
+    // threads it through queue wait, execution, and every batch
+    // serialization, and the parked cursor rejoins each later fetch to
+    // the same tree. Then pull the reassembled tree back over the wire
+    // and render it as an indented span outline.
+    let trace = TraceId::generate();
+    let traced_plan = QueryPlan::records()
+        .filter(Selection::all().job(probe.key.job_id))
+        .batch_rows(4)
+        .page_rows(4);
+    let traced_rows = client
+        .query_traced(traced_plan, trace)
+        .expect("traced plan")
+        .collect_rows()
+        .expect("traced rows");
+    println!(
+        "traced plan returned {} rows under trace {trace}",
+        traced_rows.len()
+    );
+
+    let trees = client
+        .traces(TraceFilter::recent().trace(trace))
+        .expect("traces");
+    print!("{}", trace_report(&trees));
+
+    // Server-side work leaves its own trees: the epoch ingested above
+    // recorded recv → reassembly → wal_insert → commit → publish.
+    let ingest_trees = client
+        .traces(TraceFilter::recent().stage("epoch.ingest").limit(1))
+        .expect("ingest traces");
+    print!("{}", trace_report(&ingest_trees));
 
     drop(daemon);
     let _ = std::fs::remove_dir_all(&data_dir);
