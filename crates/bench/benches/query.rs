@@ -110,6 +110,18 @@ struct ObsNumbers {
     span_record_ns: Vec<u64>,
 }
 
+struct ConcurrencyLevel {
+    connections: usize,
+    first_row_ns: Vec<u64>,
+    full_stream_ns: Vec<u64>,
+    rows_checked: u64,
+}
+
+struct ConcurrencyNumbers {
+    streams_per_connection: usize,
+    levels: Vec<ConcurrencyLevel>,
+}
+
 fn main() {
     let mut criterion = Criterion::default().configure_from_args();
     let n: usize = if quick() { 5_000 } else { 50_000 };
@@ -197,6 +209,13 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     let cfg = ServiceConfig {
         query_addr: Some("127.0.0.1:0".parse().unwrap()),
+        // The concurrency section below holds up to 1024 connections
+        // open at once while a small worker pool round-robins them:
+        // none may be refused at registration, deadline-dropped while
+        // parked, or evicted from the cursor table mid-stream.
+        query_backlog: 2048,
+        query_deadline: std::time::Duration::from_secs(300),
+        query_max_cursors: 4096,
         ..ServiceConfig::at(&dir)
     };
     let (mut daemon, _) = SirenDaemon::open(cfg).expect("open bench daemon");
@@ -358,6 +377,132 @@ fn main() {
         percentile(&obs.span_record_ns, 50.0),
     );
 
+    // 7. Reactor concurrency: N connections held open simultaneously,
+    //    each interleaving two multiplexed (v3) cursor streams, driven
+    //    by a bounded worker pool. Reported per level: time to first
+    //    row and to full drain, per stream, across every connection —
+    //    the serving tier's latency under connection fan-out.
+    let concurrency = {
+        use std::sync::{Arc, Barrier};
+        let levels: &[usize] = if quick() { &[16, 64] } else { &[64, 256, 1024] };
+        let streams_per_connection = 2usize;
+        // Expected row count per job, from the same records the daemon
+        // imported: each stream's drain is verified against it.
+        let mut per_job = vec![0u64; 997];
+        for er in &rows {
+            per_job[(er.record.key.job_id % 997) as usize] += 1;
+        }
+
+        let mut results = Vec::new();
+        for &connections in levels {
+            let workers = connections.min(32);
+            let per_worker = connections / workers;
+            let barrier = Arc::new(Barrier::new(workers));
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let barrier = Arc::clone(&barrier);
+                    let per_job = per_job.clone();
+                    std::thread::spawn(move || {
+                        let muxes: Vec<_> = (0..per_worker)
+                            .map(|_| {
+                                SirenClient::connect(addr)
+                                    .expect("concurrency connect")
+                                    .into_mux()
+                                    .expect("v3 mux")
+                            })
+                            .collect();
+                        // All connections at this level are open before
+                        // any stream starts.
+                        barrier.wait();
+                        let mut first_row_ns = Vec::new();
+                        let mut full_stream_ns = Vec::new();
+                        let mut rows_checked = 0u64;
+                        for (c, mux) in muxes.iter().enumerate() {
+                            let job = |s: usize| ((w * per_worker + c) * 2 + s) as u64 % 997;
+                            let plan_for = |j: u64| {
+                                QueryPlan::records()
+                                    .filter(Selection::all().job(j))
+                                    .batch_rows(16)
+                                    .page_rows(32)
+                            };
+                            let start = Instant::now();
+                            let mut streams: Vec<_> = (0..streams_per_connection)
+                                .map(|s| mux.query(plan_for(job(s))).expect("open mux stream"))
+                                .collect();
+                            let mut firsts = vec![None; streams.len()];
+                            let mut counts = vec![0u64; streams.len()];
+                            let mut fulls = vec![None; streams.len()];
+                            // Interleave: one row from each live stream
+                            // per round, so the streams stay mid-flight
+                            // together on the shared connection.
+                            while fulls.iter().any(Option::is_none) {
+                                for (s, stream) in streams.iter_mut().enumerate() {
+                                    if fulls[s].is_some() {
+                                        continue;
+                                    }
+                                    match stream.next() {
+                                        Some(row) => {
+                                            black_box(row.expect("mux stream row"));
+                                            counts[s] += 1;
+                                            firsts[s].get_or_insert_with(|| {
+                                                start.elapsed().as_nanos() as u64
+                                            });
+                                        }
+                                        None => {
+                                            fulls[s] = Some(start.elapsed().as_nanos() as u64);
+                                        }
+                                    }
+                                }
+                            }
+                            for (s, count) in counts.iter().enumerate() {
+                                assert_eq!(
+                                    *count,
+                                    per_job[job(s) as usize],
+                                    "stream drained the wrong row count"
+                                );
+                                rows_checked += count;
+                            }
+                            first_row_ns.extend(firsts.into_iter().flatten());
+                            full_stream_ns.extend(fulls.into_iter().flatten());
+                        }
+                        // Hold every connection open until the whole
+                        // level has drained: peak concurrency = level.
+                        barrier.wait();
+                        (first_row_ns, full_stream_ns, rows_checked)
+                    })
+                })
+                .collect();
+            let mut first_row_ns = Vec::new();
+            let mut full_stream_ns = Vec::new();
+            let mut rows_checked = 0u64;
+            for handle in handles {
+                let (firsts, fulls, checked) = handle.join().expect("concurrency worker");
+                first_row_ns.extend(firsts);
+                full_stream_ns.extend(fulls);
+                rows_checked += checked;
+            }
+            first_row_ns.sort_unstable();
+            full_stream_ns.sort_unstable();
+            println!(
+                "query/concurrent_connections {connections:>5}: first row p50 {:>9} ns p99 {:>9} ns | full stream p50 {:>9} ns p99 {:>9} ns | {rows_checked} rows checked",
+                percentile(&first_row_ns, 50.0),
+                percentile(&first_row_ns, 99.0),
+                percentile(&full_stream_ns, 50.0),
+                percentile(&full_stream_ns, 99.0),
+            );
+            results.push(ConcurrencyLevel {
+                connections,
+                first_row_ns,
+                full_stream_ns,
+                rows_checked,
+            });
+        }
+        ConcurrencyNumbers {
+            streams_per_connection,
+            levels: results,
+        }
+    };
+
     drop(client);
     drop(daemon);
     let _ = std::fs::remove_dir_all(&dir);
@@ -369,6 +514,7 @@ fn main() {
         &neighbors,
         &stream,
         &obs,
+        &concurrency,
         &[
             ("status", status_ns),
             ("by_job", by_job_ns),
@@ -378,6 +524,7 @@ fn main() {
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     c: &Criterion,
     n: usize,
@@ -385,6 +532,7 @@ fn write_json(
     neighbors: &NeighborNumbers,
     stream: &StreamNumbers,
     obs: &ObsNumbers,
+    concurrency: &ConcurrencyNumbers,
     kinds: &[(&str, Vec<u64>)],
 ) {
     let median = |id: &str| {
@@ -455,6 +603,31 @@ fn write_json(
         obs.span_calls,
         percentile(&obs.span_record_ns, 50.0)
     ));
+    out.push_str(&format!(
+        "  \"concurrent_connections\": {{\"streams_per_connection\": {}, \"levels\": [\n",
+        concurrency.streams_per_connection
+    ));
+    for (i, level) in concurrency.levels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"connections\": {}, \"streams\": {}, \
+             \"first_row_p50_ns\": {}, \"first_row_p99_ns\": {}, \
+             \"full_stream_p50_ns\": {}, \"full_stream_p99_ns\": {}, \
+             \"rows_checked\": {}}}{}\n",
+            level.connections,
+            level.full_stream_ns.len(),
+            percentile(&level.first_row_ns, 50.0),
+            percentile(&level.first_row_ns, 99.0),
+            percentile(&level.full_stream_ns, 50.0),
+            percentile(&level.full_stream_ns, 99.0),
+            level.rows_checked,
+            if i + 1 < concurrency.levels.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]},\n");
     out.push_str("  \"tcp\": {\n");
     for (i, (kind, ns)) in kinds.iter().enumerate() {
         out.push_str(&format!(

@@ -4,8 +4,10 @@
 
 use crate::Sender;
 use crossbeam::channel::{bounded, Receiver as ChanReceiver, TrySendError};
+use polling::{Event, Interest, Poller};
 use siren_wire::{Message, ShardRouter};
 use std::net::{SocketAddr, UdpSocket};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -59,14 +61,22 @@ pub struct ReceiverStats {
 /// The receiver server: socket-reader thread feeding a bounded channel of
 /// decoded [`Message`]s (the Rust equivalent of the paper's Go server with
 /// its "buffered channel").
+///
+/// The reader parks on a [`Poller`] rather than a socket read timeout, so
+/// it wakes only when datagrams are ready and [`UdpReceiver::stop`] takes
+/// effect immediately via `notify` instead of waiting out a timeout tick.
 #[derive(Debug)]
 pub struct UdpReceiver {
     local_addr: SocketAddr,
     rx: ChanReceiver<Message>,
     stop: Arc<AtomicBool>,
+    poller: Arc<Poller>,
     stats: Arc<StatsInner>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
+
+/// Poller key for the receiver's single UDP socket.
+const UDP_SOCKET_KEY: usize = 0;
 
 #[derive(Debug, Default)]
 struct StatsInner {
@@ -80,52 +90,61 @@ impl UdpReceiver {
     /// `buffer` is the channel capacity.
     pub fn spawn(buffer: usize) -> std::io::Result<Self> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
-        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        socket.set_nonblocking(true)?;
         let local_addr = socket.local_addr()?;
+        let poller = Arc::new(Poller::new()?);
+        poller.add(socket.as_raw_fd(), UDP_SOCKET_KEY, Interest::READ)?;
         let (tx, rx) = bounded(buffer);
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
 
         let thread_stop = Arc::clone(&stop);
         let thread_stats = Arc::clone(&stats);
+        let thread_poller = Arc::clone(&poller);
         let handle = std::thread::Builder::new()
             .name("siren-udp-receiver".into())
             .spawn(move || {
                 // Largest datagram the protocol produces is bounded by the
                 // sender's max_datagram; 64 KiB covers any UDP payload.
                 let mut buf = vec![0u8; 65536];
-                while !thread_stop.load(Ordering::Relaxed) {
-                    match socket.recv(&mut buf) {
-                        Ok(n) => {
-                            thread_stats.received.fetch_add(1, Ordering::Relaxed);
-                            match Message::decode(&buf[..n]) {
-                                Ok(msg) => match tx.try_send(msg) {
-                                    Ok(()) => {}
-                                    Err(TrySendError::Full(_)) => {
-                                        thread_stats.overflowed.fetch_add(1, Ordering::Relaxed);
+                let mut events: Vec<Event> = Vec::new();
+                'reader: while !thread_stop.load(Ordering::Relaxed) {
+                    events.clear();
+                    // Park until the socket is readable or stop() notifies.
+                    if thread_poller.wait(&mut events, None).is_err() {
+                        break;
+                    }
+                    // Level-triggered: drain everything ready, then re-park.
+                    loop {
+                        match socket.recv(&mut buf) {
+                            Ok(n) => {
+                                thread_stats.received.fetch_add(1, Ordering::Relaxed);
+                                match Message::decode(&buf[..n]) {
+                                    Ok(msg) => match tx.try_send(msg) {
+                                        Ok(()) => {}
+                                        Err(TrySendError::Full(_)) => {
+                                            thread_stats.overflowed.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        Err(TrySendError::Disconnected(_)) => break 'reader,
+                                    },
+                                    Err(_) => {
+                                        thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
                                     }
-                                    Err(TrySendError::Disconnected(_)) => break,
-                                },
-                                Err(_) => {
-                                    thread_stats.decode_errors.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(_) => break 'reader,
                         }
-                        Err(e)
-                            if e.kind() == std::io::ErrorKind::WouldBlock
-                                || e.kind() == std::io::ErrorKind::TimedOut =>
-                        {
-                            continue
-                        }
-                        Err(_) => break,
                     }
                 }
+                let _ = thread_poller.delete(socket.as_raw_fd());
             })?;
 
         Ok(Self {
             local_addr,
             rx,
             stop,
+            poller,
             stats,
             handle: Some(handle),
         })
@@ -151,9 +170,12 @@ impl UdpReceiver {
         self.rx.clone()
     }
 
-    /// Stop the reader thread and return final statistics.
+    /// Stop the reader thread and return final statistics. Takes effect
+    /// immediately: the poller is notified, so a parked reader wakes at
+    /// once instead of timing out.
     pub fn stop(mut self) -> ReceiverStats {
         self.stop.store(true, Ordering::Relaxed);
+        let _ = self.poller.notify();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -168,6 +190,7 @@ impl UdpReceiver {
 impl Drop for UdpReceiver {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        let _ = self.poller.notify();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

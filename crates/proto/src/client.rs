@@ -8,7 +8,9 @@ use crate::message::{
     decode_hello_ack, encode_hello, NeighborRow, QueryError, QueryRequest, QueryResponse,
     RecordRow, Selection, StatusInfo,
 };
+use crate::mux::MuxClient;
 use crate::plan::{Order, PlanRow, PlanSource, QueryPlan};
+use crate::stream::{decode_stream_frame, encode_stream_frame, CONNECTION_STREAM};
 use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
 use siren_analysis::LibraryUsageRow;
 use siren_obs::{TraceFilter, TraceId, TraceTree};
@@ -67,6 +69,11 @@ pub struct SirenClient {
     /// could not be drained back to a frame boundary — every later
     /// call would misparse, so they are refused instead.
     poisoned: bool,
+    /// v3: stream id of the last request sent; replies must echo it
+    /// (or [`CONNECTION_STREAM`] for connection-level errors).
+    stream_seq: u32,
+    /// v3: advertise willingness to receive compressed reply bodies.
+    accept_compressed: bool,
 }
 
 impl SirenClient {
@@ -98,6 +105,8 @@ impl SirenClient {
             stream,
             version: 0,
             poisoned: false,
+            stream_seq: 0,
+            accept_compressed: false,
         };
         write_frame(&mut client.stream, &encode_hello(min, max))?;
         let reply = read_frame(&mut client.stream)?;
@@ -120,6 +129,32 @@ impl SirenClient {
         self.version
     }
 
+    /// On a v3 connection, advertise on every request that reply
+    /// bodies may arrive LZ-compressed (the server still only
+    /// compresses batches past its size threshold, and only when
+    /// compression actually shrinks them). A no-op on v1/v2, whose
+    /// frames have no flag to carry the offer.
+    pub fn set_accept_compressed(&mut self, accept: bool) {
+        self.accept_compressed = accept;
+    }
+
+    /// Convert this connection into a [`MuxClient`] able to run many
+    /// interleaved cursor streams at once. Needs a negotiated v3
+    /// connection — v1/v2 frames carry no stream id to multiplex on.
+    pub fn into_mux(self) -> Result<MuxClient, ClientError> {
+        self.check_usable()?;
+        if self.version < 3 {
+            return Err(ClientError::Unsupported(
+                "stream multiplexing needs a v3 connection".into(),
+            ));
+        }
+        Ok(MuxClient::from_parts(
+            self.stream,
+            self.stream_seq,
+            self.accept_compressed,
+        ))
+    }
+
     fn check_usable(&self) -> Result<(), ClientError> {
         if self.poisoned {
             return Err(ClientError::Protocol(
@@ -138,16 +173,41 @@ impl SirenClient {
         request: &QueryRequest,
         trace: Option<TraceId>,
     ) -> Result<(), ClientError> {
-        write_frame(
-            &mut self.stream,
-            &request.encode_traced(self.version, trace),
-        )?;
+        let body = request.encode_traced(self.version, trace);
+        if self.version >= 3 {
+            // Each exchange gets a fresh nonzero stream id; the reply
+            // frames must echo it. Requests are small: never compressed.
+            self.stream_seq = self.stream_seq.wrapping_add(1);
+            if self.stream_seq == CONNECTION_STREAM {
+                self.stream_seq = 1;
+            }
+            let envelope =
+                encode_stream_frame(self.stream_seq, &body, self.accept_compressed, None);
+            write_frame(&mut self.stream, &envelope)?;
+        } else {
+            write_frame(&mut self.stream, &body)?;
+        }
         Ok(())
     }
 
     fn recv(&mut self) -> Result<QueryResponse, ClientError> {
         let payload = read_frame(&mut self.stream)?;
-        QueryResponse::decode_versioned(&payload, self.version)
+        let body;
+        let payload = if self.version >= 3 {
+            let frame = decode_stream_frame(&payload)
+                .map_err(|err| ClientError::Protocol(format!("bad stream envelope: {err}")))?;
+            if frame.stream_id != self.stream_seq && frame.stream_id != CONNECTION_STREAM {
+                return Err(ClientError::Protocol(format!(
+                    "reply tagged stream {} while awaiting {}",
+                    frame.stream_id, self.stream_seq
+                )));
+            }
+            body = frame.body;
+            &body[..]
+        } else {
+            &payload[..]
+        };
+        QueryResponse::decode_versioned(payload, self.version)
             .map_err(|err| ClientError::Protocol(format!("undecodable response: {err}")))
     }
 
@@ -540,7 +600,7 @@ impl Drop for RowStream<'_> {
     }
 }
 
-fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
+pub(crate) fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
     let kind = match got {
         QueryResponse::Status(_) => "Status",
         QueryResponse::Rows(_) => "Rows",

@@ -57,11 +57,28 @@
 //! it is negotiated: a v1 peer on the same port sees byte-identical v1
 //! behavior, and v2-only tags on a v1 connection draw
 //! [`QueryError::UnknownRequest`].
+//!
+//! ## Protocol v3: stream multiplexing and compressed frames
+//!
+//! Version 3 changes nothing about the hello exchange or the v1/v2
+//! byte layouts. On a v3 connection, every post-handshake frame
+//! payload is a **stream envelope** (`[stream id: u32][flags: u8]` —
+//! see [`stream`]) wrapping the unchanged v2 request/response
+//! encoding. The stream id lets several cursor streams and one-shot
+//! requests interleave over one connection ([`MuxClient`] /
+//! [`MuxStream`] on the client side; the sequential [`SirenClient`]
+//! uses a fresh id per exchange), and the flags negotiate per-request
+//! LZ compression of large reply bodies
+//! ([`STREAM_FLAG_ACCEPT_COMPRESSED`]). The server additionally
+//! prefetches the next cursor page while the client drains the current
+//! one — invisible on the wire except as latency.
 
 pub mod client;
 pub mod frame;
 pub mod message;
+pub mod mux;
 pub mod plan;
+pub mod stream;
 
 pub use client::{ClientError, RowStream, SirenClient};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD};
@@ -69,9 +86,15 @@ pub use message::{
     decode_hello, decode_hello_ack, encode_hello, encode_hello_ack, negotiate, NeighborRow,
     QueryError, QueryRequest, QueryResponse, RecordRow, Selection, StatusInfo, HELLO_MAGIC,
 };
+pub use mux::{MuxClient, MuxStream};
 pub use plan::{
     Order, PlanRow, PlanSource, Projection, QueryPlan, RowBatch, DEFAULT_BATCH_ROWS,
     DEFAULT_PAGE_ROWS, MAX_BATCH_ROWS, MAX_PAGE_ROWS,
+};
+pub use stream::{
+    decode_stream_frame, encode_stream_frame, StreamFrame, CONNECTION_STREAM,
+    DEFAULT_COMPRESS_MIN_BYTES, STREAM_FLAG_ACCEPT_COMPRESSED, STREAM_FLAG_COMPRESSED,
+    STREAM_HEADER_LEN,
 };
 // The typed metrics snapshot served by `QueryRequest::Metrics` and the
 // trace types served by `QueryRequest::Traces` live in `siren-obs`;
@@ -84,4 +107,4 @@ pub use siren_obs::{
 /// Lowest protocol version this build still speaks.
 pub const PROTOCOL_VERSION_MIN: u16 = 1;
 /// Highest (current) protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;

@@ -16,10 +16,11 @@ use siren_analysis::{LibraryUsageRow, UsageRow};
 use siren_consolidate::{ProcessRecord, ScriptRecord};
 use siren_db::Record;
 use siren_proto::{
-    decode_hello, decode_hello_ack, encode_hello, encode_hello_ack, negotiate, read_frame,
-    write_frame, FrameError, NeighborRow, Order, PlanSource, Projection, QueryError, QueryPlan,
-    QueryRequest, QueryResponse, RecordRow, RowBatch, Selection, SpanId, SpanRecord, StatusInfo,
-    TraceFilter, TraceId, TraceTree, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
+    decode_hello, decode_hello_ack, decode_stream_frame, encode_hello, encode_hello_ack,
+    encode_stream_frame, negotiate, read_frame, write_frame, FrameError, NeighborRow, Order,
+    PlanSource, Projection, QueryError, QueryPlan, QueryRequest, QueryResponse, RecordRow,
+    RowBatch, Selection, SpanId, SpanRecord, StatusInfo, TraceFilter, TraceId, TraceTree,
+    DEFAULT_COMPRESS_MIN_BYTES, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN, STREAM_HEADER_LEN,
 };
 use siren_wire::{Layer, MessageType};
 
@@ -436,6 +437,48 @@ fn run_cases(cases: u32, name: &str) {
                 assert_eq!(payload2, payload);
             }
         }
+        // The v3 stream envelope wraps the v2 encoding verbatim: any
+        // stream id and flag combination must round-trip the body
+        // exactly, compressed or raw, and the raw envelope tail must
+        // BE the v2 bytes (v3 is strictly additive).
+        {
+            let resp = arb_response(&mut rng, 2);
+            let body = resp.encode_versioned(2);
+            let id = rng.next_u64() as u32;
+            let accept = rng.below(2) == 1;
+            let compress = match rng.below(3) {
+                0 => None,
+                1 => Some(0),
+                _ => Some(DEFAULT_COMPRESS_MIN_BYTES),
+            };
+            let wire = encode_stream_frame(id, &body, accept, compress);
+            if compress.is_none() {
+                assert_eq!(&wire[STREAM_HEADER_LEN..], &body[..]);
+            }
+            let frame = decode_stream_frame(&wire).expect("envelope must decode");
+            assert_eq!(frame.stream_id, id);
+            assert_eq!(frame.accept_compressed, accept);
+            assert_eq!(frame.body, body);
+            assert_eq!(
+                QueryResponse::decode_versioned(&frame.body, 2).as_ref(),
+                Ok(&resp)
+            );
+            // Truncation at every byte: under the header it is a typed
+            // envelope error; past it, either a typed error (torn
+            // compressed body) or a short raw body handed to the inner
+            // decoder, which must not panic (the frame checksum is
+            // what rules out torn payloads on a real wire).
+            for cut in 0..wire.len() {
+                match decode_stream_frame(&wire[..cut]) {
+                    Err(QueryError::Malformed(_) | QueryError::FrameTooLarge(_)) => {}
+                    Err(other) => panic!("cut {cut}: unexpected error {other}"),
+                    Ok(short) => {
+                        assert!(cut >= STREAM_HEADER_LEN, "header cut {cut} must not decode");
+                        let _ = QueryResponse::decode_versioned(&short.body, 2);
+                    }
+                }
+            }
+        }
         // A v2 reply stream (batch, batch, end-with-cursor) truncated
         // at any byte must surface a typed frame error at the cut,
         // never a panic, and the frames before the cut must decode
@@ -645,6 +688,117 @@ fn v1_encoding_is_byte_stable_and_v2_tags_are_unknown_to_v1() {
         }
         other => panic!("expected Status, got {other:?}"),
     }
+}
+
+/// Three reply streams' frames interleaved on one wire — as a v3
+/// server multiplexes them — must reassemble into each stream's exact
+/// original sequence when routed by stream id, with compression
+/// applied per-frame and transparently undone.
+#[test]
+fn interleaved_stream_frames_reassemble_exactly() {
+    let mut rng = rng_for("interleaved_stream_frames_reassemble_exactly");
+    for _ in 0..16 {
+        // Per-stream reply sequences: batches then a terminator.
+        let ids = [rng.next_u64() as u32 | 1, 7, u32::MAX];
+        let sequences: Vec<Vec<QueryResponse>> = ids
+            .iter()
+            .map(|_| {
+                let mut seq: Vec<QueryResponse> = (0..1 + rng.below(4))
+                    .map(|_| QueryResponse::Batch(arb_batch(&mut rng)))
+                    .collect();
+                seq.push(QueryResponse::StreamEnd {
+                    cursor: (rng.below(2) == 1).then(|| rng.next_u64()),
+                });
+                seq
+            })
+            .collect();
+
+        // Interleave round-robin onto one framed wire, compressing a
+        // random subset of frames (threshold 0 = always try).
+        let mut wire = Vec::new();
+        let mut cursors: Vec<usize> = vec![0; ids.len()];
+        let mut remaining: usize = sequences.iter().map(Vec::len).sum();
+        while remaining > 0 {
+            let s = rng.below(ids.len() as u64) as usize;
+            if cursors[s] == sequences[s].len() {
+                continue;
+            }
+            let body = sequences[s][cursors[s]].encode_versioned(2);
+            let compress = (rng.below(2) == 1).then_some(0);
+            let envelope = encode_stream_frame(ids[s], &body, false, compress);
+            write_frame(&mut wire, &envelope).unwrap();
+            cursors[s] += 1;
+            remaining -= 1;
+        }
+
+        // Reassemble by routing frames on their stream id.
+        let mut reassembled: Vec<Vec<QueryResponse>> = vec![Vec::new(); ids.len()];
+        let mut r = wire.as_slice();
+        loop {
+            let payload = match read_frame(&mut r) {
+                Ok(p) => p,
+                Err(FrameError::Closed) => break,
+                Err(other) => panic!("interleaved wire broke: {other}"),
+            };
+            let frame = decode_stream_frame(&payload).unwrap();
+            let s = ids.iter().position(|&id| id == frame.stream_id).unwrap();
+            reassembled[s].push(QueryResponse::decode_versioned(&frame.body, 2).unwrap());
+        }
+        assert_eq!(
+            reassembled, sequences,
+            "a stream's frames were reordered or torn"
+        );
+    }
+}
+
+/// The v3 bump must leave the v1 and v2 codecs byte-identical: the
+/// envelope wraps the v2 encoding, it never alters it. Pin one frame
+/// of each and the wrap relation itself.
+#[test]
+fn v1_and_v2_layouts_are_pinned_unchanged_under_v3() {
+    // v1 pin (same layout the dedicated v1 stability test checks).
+    let v1_req = QueryRequest::ByJob {
+        job_id: 0x0102_0304,
+    };
+    assert_eq!(
+        v1_req.encode_versioned(1),
+        [&[1u8][..], &0x0102_0304u64.to_le_bytes()[..]].concat(),
+        "v1 ByJob byte layout drifted"
+    );
+
+    // v2 pin: a FetchCursor frame is tag + u64 cursor + the trailing
+    // trace-context id (zero = absent), nothing more.
+    let v2_req = QueryRequest::FetchCursor {
+        cursor: 0xDEAD_BEEF,
+    };
+    let v2_bytes = v2_req.encode_versioned(2);
+    assert_eq!(
+        v2_bytes,
+        [
+            &[5u8][..],
+            &0xDEAD_BEEFu64.to_le_bytes()[..],
+            &0u64.to_le_bytes()[..],
+        ]
+        .concat(),
+        "v2 FetchCursor byte layout drifted"
+    );
+
+    // And a StreamEnd reply on v2: tag + presence byte + cursor id.
+    let v2_resp = QueryResponse::StreamEnd { cursor: Some(9) };
+    let v2_resp_bytes = v2_resp.encode_versioned(2);
+    assert_eq!(
+        v2_resp_bytes,
+        [&[5u8, 1u8][..], &9u64.to_le_bytes()[..]].concat(),
+        "v2 StreamEnd byte layout drifted"
+    );
+
+    // The uncompressed v3 envelope is exactly header ++ the v2 bytes:
+    // stream id LE, flag byte, then the pinned encoding untouched.
+    let envelope = encode_stream_frame(0x0A0B_0C0D, &v2_resp_bytes, false, None);
+    let mut expected = 0x0A0B_0C0Du32.to_le_bytes().to_vec();
+    expected.push(0);
+    expected.extend_from_slice(&v2_resp_bytes);
+    assert_eq!(envelope, expected, "v3 envelope is not strictly additive");
 }
 
 #[test]

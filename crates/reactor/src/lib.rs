@@ -1,0 +1,24 @@
+//! Event-driven readiness core for the serving tier.
+//!
+//! `siren-reactor` is the thin, protocol-agnostic layer between raw
+//! sockets and the query server: a level-triggered [`Poller`] (vendored
+//! epoll/eventfd shim — see `vendor/polling`), a hashed [`TimerWheel`]
+//! for connection deadlines and periodic sweeps, a [`Slab`] keying
+//! connections to poller tokens, and [`FramedConn`] — non-blocking
+//! buffered framed I/O over the workspace's shared
+//! `[magic][len][payload][fnv1a64]` frame.
+//!
+//! The crate deliberately knows nothing about protocol versions,
+//! requests, or cursors; `siren-service` composes these parts into
+//! event-loop threads, and `siren-net` reuses the poller for UDP
+//! ingest shutdown. Everything here is dependency-free beyond the
+//! in-repo shims, per the offline-build doctrine.
+
+mod conn;
+mod slab;
+mod timer;
+
+pub use conn::{FrameParseError, FramedConn};
+pub use polling::{Event, Interest, Poller};
+pub use slab::Slab;
+pub use timer::{TimerId, TimerWheel};

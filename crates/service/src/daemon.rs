@@ -127,10 +127,12 @@ pub struct ServiceConfig {
     /// this address (bind `127.0.0.1:0` for an ephemeral test port; the
     /// bound address is [`SirenDaemon::query_addr`]).
     pub query_addr: Option<SocketAddr>,
-    /// Worker threads in the query server's bounded connection pool.
+    /// Event-loop threads in the query server's reactor; each serves
+    /// many connections through readiness-driven non-blocking I/O.
     pub query_workers: usize,
-    /// Accepted-connection queue depth; connections beyond it are
-    /// refused, never buffered without bound.
+    /// Accepted connections waiting for event-loop registration;
+    /// connections beyond it are refused, never buffered without
+    /// bound.
     pub query_backlog: usize,
     /// Per-connection read/write deadline (bounds idle clients, slow
     /// consumers, and request handling alike — including every batch
@@ -142,6 +144,15 @@ pub struct ServiceConfig {
     /// Most cursors parked at once; past it the stalest is evicted so
     /// abandoned clients cannot pin unbounded snapshot memory.
     pub query_max_cursors: usize,
+    /// Precompute the next page of a parked cursor at park time, so a
+    /// `FetchCursor` is answered from already-serialized batches.
+    /// Bounded to one page per parked cursor.
+    pub query_prefetch: bool,
+    /// v3 reply bodies at least this large are LZ-compressed for
+    /// clients that advertised acceptance (the stream envelope's
+    /// accept-compressed flag). Compression is skipped whenever it
+    /// fails to shrink the body.
+    pub query_compress_min: usize,
     /// Silence on the UDP ingest loop ([`SirenDaemon::drain_udp`])
     /// after which an open epoch is committed without its sentinel
     /// quorum — the fallback for campaigns whose every `TYPE=END` copy
@@ -167,6 +178,8 @@ impl Default for ServiceConfig {
             query_deadline: Duration::from_secs(5),
             cursor_ttl: Duration::from_secs(60),
             query_max_cursors: 256,
+            query_prefetch: true,
+            query_compress_min: siren_proto::DEFAULT_COMPRESS_MIN_BYTES,
             quiet_period: Duration::from_secs(10),
             slow_query_threshold: Duration::from_millis(100),
         }

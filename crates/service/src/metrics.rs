@@ -54,10 +54,11 @@ pub(crate) struct ServiceMetrics {
     pub connections_refused: Arc<Counter>,
     /// `query.requests` — protocol requests answered (errors included).
     pub requests: Arc<Counter>,
-    /// `query.negotiated_v1` / `query.negotiated_v2` — the
-    /// negotiated-version histogram.
+    /// `query.negotiated_v1` / `query.negotiated_v2` /
+    /// `query.negotiated_v3` — the negotiated-version histogram.
     pub negotiated_v1: Arc<Counter>,
     pub negotiated_v2: Arc<Counter>,
+    pub negotiated_v3: Arc<Counter>,
     /// `query.queue_wait_ns` — accepted connection's wait for a worker.
     pub queue_wait_ns: Arc<Histogram>,
     /// `query.exec_ns` — request execution, decode to reply written.
@@ -67,6 +68,26 @@ pub(crate) struct ServiceMetrics {
     /// `query.fuzzy_scan_fallbacks` — neighbor plans whose n-gram index
     /// gave up pruning and full-scanned a layer corpus.
     pub fuzzy_scan_fallbacks: Arc<Counter>,
+
+    // ---- reactor serving tier ----
+    /// `net.active_connections` — connections registered with an event
+    /// loop right now (the gauge keeps its high-water mark).
+    pub active_connections: Arc<Gauge>,
+    /// `reactor.wakeups` — event-loop wakeups (readiness, notify, or
+    /// timer expiry).
+    pub reactor_wakeups: Arc<Counter>,
+    /// `stream.compressed_frames` — v3 reply frames shipped with an
+    /// LZ-compressed body.
+    pub compressed_frames: Arc<Counter>,
+    /// `stream.compressed_bytes_saved` — raw-minus-wire bytes across
+    /// those frames.
+    pub compressed_bytes_saved: Arc<Counter>,
+    /// `prefetch.pages_built` — next cursor pages precomputed at park
+    /// time.
+    pub prefetch_pages_built: Arc<Counter>,
+    /// `prefetch.pages_served` — cursor fetches answered from a
+    /// prefetched page.
+    pub prefetch_pages_served: Arc<Counter>,
 
     // ---- cursor table ----
     /// `cursor.open` — cursors parked right now (high-water kept).
@@ -101,10 +122,17 @@ impl ServiceMetrics {
             requests: registry.counter("query.requests"),
             negotiated_v1: registry.counter("query.negotiated_v1"),
             negotiated_v2: registry.counter("query.negotiated_v2"),
+            negotiated_v3: registry.counter("query.negotiated_v3"),
             queue_wait_ns: registry.histogram("query.queue_wait_ns"),
             exec_ns: registry.histogram("query.exec_ns"),
             batch_serialize_ns: registry.histogram("query.batch_serialize_ns"),
             fuzzy_scan_fallbacks: registry.counter("query.fuzzy_scan_fallbacks"),
+            active_connections: registry.gauge("net.active_connections"),
+            reactor_wakeups: registry.counter("reactor.wakeups"),
+            compressed_frames: registry.counter("stream.compressed_frames"),
+            compressed_bytes_saved: registry.counter("stream.compressed_bytes_saved"),
+            prefetch_pages_built: registry.counter("prefetch.pages_built"),
+            prefetch_pages_served: registry.counter("prefetch.pages_served"),
             cursors_open: registry.gauge("cursor.open"),
             cursor_hits: registry.counter("cursor.hits"),
             cursor_misses: registry.counter("cursor.misses"),

@@ -439,8 +439,17 @@ impl QuerySnapshot {
     }
 }
 
+/// A prefetched cursor page: already-serialized v2 batch bodies with
+/// their row counts, served verbatim before the cursor produces
+/// anything live.
+pub(crate) type PrefetchedPage = Vec<(Vec<u8>, u32)>;
+
 struct Parked {
     cursor: PlanCursor,
+    /// The next page, precomputed at park time. Bounded by one page's
+    /// rows/byte budget, and dropped with the entry on any eviction.
+    /// Empty when prefetch is disabled.
+    prefetched: PrefetchedPage,
     parked_at: Instant,
 }
 
@@ -524,8 +533,9 @@ impl CursorTable {
         self.metrics.cursors_open.set(table.len() as i64);
     }
 
-    /// Park `cursor` and hand out its id.
-    pub(crate) fn park(&self, cursor: PlanCursor) -> u64 {
+    /// Park `cursor` (with its prefetched next page, possibly empty)
+    /// and hand out its id.
+    pub(crate) fn park(&self, cursor: PlanCursor, prefetched: PrefetchedPage) -> u64 {
         let mut table = self.inner.lock().expect("cursor table poisoned");
         self.sweep(&mut table);
         if table.len() >= self.capacity {
@@ -546,6 +556,7 @@ impl CursorTable {
             id,
             ParkedSlot(Parked {
                 cursor,
+                prefetched,
                 parked_at: Instant::now(),
             }),
         );
@@ -553,14 +564,17 @@ impl CursorTable {
         id
     }
 
-    /// Remove and return the cursor `id`, if it is still parked. The
-    /// caller streams from it and re-parks if rows remain — taking it
-    /// out keeps two connections from interleaving on one cursor.
-    /// Hits and misses are counted (`cursor.hits` / `cursor.misses`).
-    pub(crate) fn take(&self, id: u64) -> Option<PlanCursor> {
+    /// Remove and return the cursor `id` (plus its prefetched page),
+    /// if it is still parked. The caller streams from it and re-parks
+    /// if rows remain — taking it out keeps two connections from
+    /// interleaving on one cursor. Hits and misses are counted
+    /// (`cursor.hits` / `cursor.misses`).
+    pub(crate) fn take(&self, id: u64) -> Option<(PlanCursor, PrefetchedPage)> {
         let mut table = self.inner.lock().expect("cursor table poisoned");
         self.sweep(&mut table);
-        let found = table.remove(&id).map(|slot| slot.0.cursor);
+        let found = table
+            .remove(&id)
+            .map(|slot| (slot.0.cursor, slot.0.prefetched));
         match found {
             Some(_) => self.metrics.cursor_hits.inc(),
             None => self.metrics.cursor_misses.inc(),

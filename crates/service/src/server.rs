@@ -1,51 +1,77 @@
-//! The TCP query server embedded in [`SirenDaemon`](crate::SirenDaemon).
+//! The TCP query server embedded in [`SirenDaemon`](crate::SirenDaemon)
+//! — an event-driven reactor serving tier.
 //!
-//! One non-blocking accept thread feeds a **bounded** queue of accepted
-//! connections; a fixed pool of worker threads drains it, each handling
-//! one connection at a time (hello negotiation, then a request/response
-//! loop). When the queue is full, new connections are refused (closed
-//! immediately) rather than buffered without bound. Per-connection
-//! read/write deadlines bound both idle clients and slow consumers —
-//! including every batch write of a v2 row stream, so a stalled reader
-//! cannot pin a worker.
+//! `cfg.query_workers` event-loop threads each own a
+//! [`siren_reactor::Poller`] and a slab of non-blocking framed
+//! connections ([`FramedConn`]); loop 0 additionally owns the
+//! non-blocking listener and dispatches accepted sockets round-robin
+//! over bounded per-loop channels (full channel ⇒ the connection is
+//! refused, never buffered without bound). Thousands of concurrent
+//! connections per core are served this way: a loop sleeps in
+//! `poller.wait` until a socket turns readable/writable, a timer
+//! expires, or a peer loop hands it a new connection.
 //!
-//! Protocol v2 requests (plans, cursor fetches) answer with a frame
-//! *stream*: bounded [`RowBatch`](siren_proto::RowBatch) frames, then
-//! one end-or-cursor frame. Unfinished streams park their
-//! [`PlanCursor`] — snapshot `Arc` pinned — in the shared
-//! [`CursorTable`], which evicts by TTL and capacity.
+//! Request execution is synchronous on the owning loop (plans are
+//! CPU-bound; the old thread-per-connection pool executed them on the
+//! worker thread too), but reply *transmission* is fully asynchronous:
+//! each streaming reply is a [`ReplyStream`] state machine that
+//! produces one serialized batch at a time into the connection's
+//! outbound buffer, only while that buffer sits under a watermark.
+//! v1/v2 connections keep their strict sequential request→reply
+//! discipline; a v3 connection multiplexes — every frame carries a
+//! stream id (see [`siren_proto::stream`]), concurrent replies
+//! round-robin batch production, and large reply bodies are
+//! LZ-compressed for clients that advertised acceptance.
 //!
-//! Every stage is instrumented against the daemon's registry: queue
-//! wait (accept to worker pickup, `query.queue_wait_ns`), request
-//! execution (`query.exec_ns`), batch serialization
-//! (`query.batch_serialize_ns`), and the traffic counters a `Status`
-//! answer carries — which are *read from the registry*, never kept in a
-//! parallel set of atomics. Streaming requests slower than
-//! [`ServiceConfig::slow_query_threshold`] land in the registry's
-//! bounded slow-query ring, and a v2 `Metrics` request answers with the
-//! whole registry snapshot.
+//! Cursor pages are **prefetched**: when a streaming reply parks its
+//! cursor, the next page's batches are precomputed and parked with it
+//! ([`CursorTable::park`]), so the following `FetchCursor` — often the
+//! very next frame on the wire — is answered from already-serialized
+//! bytes.
 //!
-//! Hostile-input posture: the frame reader bounds-checks length
-//! prefixes before allocating; framing-level corruption (bad magic, bad
-//! checksum, torn frame) draws a best-effort [`QueryError`] and a close
-//! (the stream can no longer be trusted); an unknown request tag inside
-//! an intact frame draws a [`QueryError::UnknownRequest`] and the
-//! connection stays usable — including v2 tags on a v1-negotiated
-//! connection.
+//! Idle and write-stalled connections are bounded by a timer wheel:
+//! one lazily-rescheduled deadline per connection, checked against the
+//! socket's true last-progress instant when it fires, so per-frame
+//! timer churn is avoided. Hostile-input posture is unchanged from the
+//! blocking server: length prefixes are bounds-checked before any
+//! payload is buffered, framing corruption draws a best-effort typed
+//! error and a close, and an unknown request tag inside an intact
+//! frame draws [`QueryError::UnknownRequest`] with the connection kept.
 
 use crate::daemon::{ServiceConfig, SharedState};
 use crate::metrics::ServiceMetrics;
 use crate::plan::{CursorTable, PlanCursor, BATCH_BYTE_BUDGET};
-use crossbeam::channel::{bounded, Receiver, TrySendError};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use siren_obs::{SlowQueryEntry, Span};
 use siren_proto::{
-    decode_hello, encode_hello_ack, negotiate, read_frame, write_frame, FrameError, QueryError,
-    QueryRequest, QueryResponse, MAX_FRAME_PAYLOAD,
+    decode_hello, decode_stream_frame, encode_hello_ack, encode_stream_frame, negotiate,
+    QueryError, QueryRequest, QueryResponse, CONNECTION_STREAM, MAX_FRAME_PAYLOAD,
+    STREAM_FLAG_COMPRESSED, STREAM_HEADER_LEN,
 };
+use siren_reactor::{Event, FrameParseError, FramedConn, Interest, Poller, Slab, TimerWheel};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Poller key of loop 0's listener.
+const LISTENER_KEY: usize = 0;
+/// Poller keys of connections start here (slab key + base).
+const KEY_BASE: usize = 1;
+
+/// Stop producing batches into a connection whose outbound buffer
+/// already holds this much; production resumes as the socket drains.
+const OUT_WATERMARK: usize = 256 * 1024;
+/// Stop *reading* from a connection whose outbound buffer is this far
+/// behind — inbound pipelining must not grow without bound while the
+/// peer refuses to take answers.
+const IN_GATE: usize = 1024 * 1024;
+/// Parsed-but-unprocessed request frames allowed per connection before
+/// reading is gated (v1/v2 sequential discipline can leave a pipeline
+/// of frames parked here).
+const MAX_PENDING_REQUESTS: usize = 128;
 
 /// Fill a `Status` answer's query-traffic counters from the registry
 /// handles — the ONE place these fields are written, used by both the
@@ -61,30 +87,30 @@ pub(crate) fn fill_traffic_counters(
     status.version_connections = [
         (1u16, metrics.negotiated_v1.get()),
         (2u16, metrics.negotiated_v2.get()),
+        (3u16, metrics.negotiated_v3.get()),
     ]
     .into_iter()
     .filter(|&(_, n)| n > 0)
     .collect();
 }
 
-/// The embedded TCP query server. Dropping it stops the accept thread,
-/// drains the workers, and joins everything.
+/// The embedded TCP query server. Dropping it wakes every event loop,
+/// drops their connections, and joins the threads.
 #[derive(Debug)]
 pub(crate) struct QueryServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    pollers: Vec<Arc<Poller>>,
+    loops: Vec<std::thread::JoinHandle<()>>,
     metrics: ServiceMetrics,
     cursors: Arc<CursorTable>,
 }
 
 impl QueryServer {
-    /// Bind `cfg.query_addr`'s `addr` and start the accept thread plus
-    /// `cfg.query_workers` handler threads sharing a queue of
-    /// `cfg.query_backlog` pending connections and a cursor table
-    /// bounded by `cfg.cursor_ttl` / `cfg.query_max_cursors`. All
-    /// traffic telemetry is recorded into `metrics`.
+    /// Bind `addr` and start `cfg.query_workers` event loops; loop 0
+    /// owns the listener. The cursor table is bounded by
+    /// `cfg.cursor_ttl` / `cfg.query_max_cursors`, and all traffic
+    /// telemetry is recorded into `metrics`.
     pub(crate) fn spawn(
         addr: SocketAddr,
         shared: Arc<SharedState>,
@@ -100,80 +126,53 @@ impl QueryServer {
             cfg.query_max_cursors,
             metrics.clone(),
         ));
-        let deadline = cfg.query_deadline;
-        let slow_threshold = cfg.slow_query_threshold;
-        // The queue carries the enqueue instant so worker pickup can
-        // record how long the connection sat waiting for a thread.
-        let (tx, rx) = bounded::<(TcpStream, Instant)>(cfg.query_backlog.max(1));
 
-        let workers = cfg.query_workers.max(1);
-        let mut worker_handles = Vec::with_capacity(workers);
-        for i in 0..workers {
-            let rx: Receiver<(TcpStream, Instant)> = rx.clone();
-            let shared = Arc::clone(&shared);
-            let metrics = metrics.clone();
-            let cursors = Arc::clone(&cursors);
-            let stop = Arc::clone(&stop);
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("siren-query-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok((stream, queued_at)) = rx.recv() {
-                            let queue_wait = queued_at.elapsed();
-                            metrics.queue_wait_ns.record_duration(queue_wait);
-                            handle_connection(
-                                stream,
-                                &shared,
-                                &metrics,
-                                &cursors,
-                                deadline,
-                                slow_threshold,
-                                &stop,
-                                (queued_at, queue_wait),
-                            );
-                        }
-                    })?,
-            );
+        let loops = cfg.query_workers.max(1);
+        // The backlog bound is split across loops: the total number of
+        // accepted-but-unregistered connections stays `query_backlog`.
+        let per_loop = (cfg.query_backlog.max(1) / loops).max(1);
+        let mut pollers = Vec::with_capacity(loops);
+        let mut channels: Vec<(Sender<Handoff>, Receiver<Handoff>)> = Vec::with_capacity(loops);
+        for _ in 0..loops {
+            pollers.push(Arc::new(Poller::new()?));
+            channels.push(bounded(per_loop));
         }
 
-        let accept_stop = Arc::clone(&stop);
-        let accept_metrics = metrics.clone();
-        let accept = std::thread::Builder::new()
-            .name("siren-query-accept".into())
-            .spawn(move || {
-                while !accept_stop.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => match tx.try_send((stream, Instant::now())) {
-                            Ok(()) => {
-                                accept_metrics.connections_accepted.inc();
-                            }
-                            // Queue full: refuse by dropping (closes the
-                            // socket) instead of buffering without bound.
-                            Err(TrySendError::Full(refused)) => {
-                                drop(refused);
-                                accept_metrics.connections_refused.inc();
-                            }
-                            Err(TrySendError::Disconnected(_)) => break,
-                        },
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        // Transient accept failures (ECONNABORTED from a
-                        // peer resetting while queued, EMFILE under fd
-                        // pressure) must not take the query API down for
-                        // the daemon's lifetime; back off and keep
-                        // accepting. Only the stop flag ends the loop.
-                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
-                    }
-                }
-                // tx drops here; workers drain the queue and exit.
-            })?;
+        let mut handles = Vec::with_capacity(loops);
+        for (i, (_, rx)) in channels.iter().enumerate() {
+            let ctx = EventLoop {
+                poller: Arc::clone(&pollers[i]),
+                incoming: rx.clone(),
+                listener: (i == 0).then(|| {
+                    let peers: Vec<Dispatch> = (0..loops)
+                        .map(|j| Dispatch {
+                            tx: channels[j].0.clone(),
+                            poller: Arc::clone(&pollers[j]),
+                        })
+                        .collect();
+                    (listener.try_clone().expect("listener clone"), peers)
+                }),
+                shared: Arc::clone(&shared),
+                metrics: metrics.clone(),
+                cursors: Arc::clone(&cursors),
+                stop: Arc::clone(&stop),
+                deadline: cfg.query_deadline,
+                slow_threshold: cfg.slow_query_threshold,
+                prefetch: cfg.query_prefetch,
+                compress_min: cfg.query_compress_min,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("siren-query-loop-{i}"))
+                    .spawn(move || ctx.run())?,
+            );
+        }
 
         Ok(Self {
             local_addr,
             stop,
-            accept: Some(accept),
-            workers: worker_handles,
+            pollers,
+            loops: handles,
             metrics,
             cursors,
         })
@@ -190,13 +189,14 @@ impl QueryServer {
         self.metrics.requests.get()
     }
 
-    /// Connections accepted into the worker queue so far.
+    /// Connections accepted into an event loop so far.
     pub(crate) fn connections_accepted(&self) -> u64 {
         self.metrics.connections_accepted.get()
     }
 
-    /// Connections refused (queue full) so far — the back-pressure
-    /// signal an operator needs when clients report drops.
+    /// Connections refused (registration backlog full) so far — the
+    /// back-pressure signal an operator needs when clients report
+    /// drops.
     pub(crate) fn connections_refused(&self) -> u64 {
         self.metrics.connections_refused.get()
     }
@@ -216,212 +216,538 @@ impl QueryServer {
 impl Drop for QueryServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+        for poller in &self.pollers {
+            let _ = poller.notify();
         }
-        for h in self.workers.drain(..) {
+        for h in self.loops.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-/// Best-effort error answer; failures are moot because the connection
-/// is being dropped anyway.
-fn send_error(stream: &mut TcpStream, err: QueryError) {
-    let _ = write_frame(stream, &QueryResponse::Error(err).encode());
+/// An accepted connection handed from the listener loop to the event
+/// loop that will own it, stamped with its accept time so the idle
+/// deadline covers queue wait.
+type Handoff = (TcpStream, Instant);
+
+/// A peer loop's registration channel plus the poller to wake after a
+/// send.
+struct Dispatch {
+    tx: Sender<Handoff>,
+    poller: Arc<Poller>,
 }
 
-/// Stream one reply's worth of a cursor: up to its page budget in
-/// batch frames, then the end-or-cursor terminator. Returns the rows
-/// sent, or `None` when the connection is no longer usable.
-fn stream_reply(
-    stream: &mut TcpStream,
-    mut cursor: PlanCursor,
-    cursors: &CursorTable,
-    version: u16,
-    metrics: &ServiceMetrics,
-    exec_span: &Span,
-) -> Option<usize> {
-    let batch_rows = cursor.batch_rows();
-    let page_rows = cursor.page_rows();
-    let mut sent = 0usize;
-    while sent < page_rows {
-        let want = batch_rows.min(page_rows - sent);
-        let Some(batch) = cursor.next_batch(want, BATCH_BYTE_BUDGET) else {
-            break;
-        };
-        sent += batch.len();
-        let serialize_start = Instant::now();
-        let encoded = QueryResponse::Batch(batch).encode_versioned(version);
-        let serialize_elapsed = serialize_start.elapsed();
-        metrics
-            .batch_serialize_ns
-            .record_duration(serialize_elapsed);
-        // Per-batch serialize spans parent to the exec span; recorded
-        // from the already-measured interval, no second clock read pair.
-        metrics.traces.buffer().record_past(
-            exec_span.trace(),
-            Some(exec_span.id()),
-            "serialize",
-            serialize_start,
-            serialize_elapsed,
-        );
-        if encoded.len() > MAX_FRAME_PAYLOAD as usize {
-            // A single row blew the frame cap (pathological record).
-            // The client treats an error frame as the reply terminator,
-            // so it stays in sync; the stream itself cannot continue.
-            send_error(
-                stream,
-                QueryError::Internal(format!(
-                    "a row batch of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame cap; \
-                     lower batch_rows or project to Keys",
-                    encoded.len()
-                )),
-            );
-            return Some(sent);
-        }
-        if write_frame(stream, &encoded).is_err() {
-            return None;
-        }
-    }
-    let end = if cursor.is_exhausted() {
-        QueryResponse::StreamEnd { cursor: None }
-    } else {
-        QueryResponse::StreamEnd {
-            cursor: Some(cursors.park(cursor)),
-        }
-    };
-    write_frame(stream, &end.encode_versioned(version))
-        .is_ok()
-        .then_some(sent)
+/// Connection lifecycle phase.
+enum Phase {
+    /// Awaiting the hello frame.
+    Handshake,
+    /// Negotiated; serving versioned requests.
+    Active { version: u16 },
 }
 
-/// Close out one streaming reply: record its execution span and, past
-/// the slow-query threshold, log it (fingerprint and shape only —
-/// never predicate values).
-fn finish_streamed(
-    metrics: &ServiceMetrics,
-    slow_threshold: Duration,
-    started: Instant,
+/// One streaming reply (a `Plan` or `FetchCursor` answer) being
+/// produced incrementally into the connection's outbound buffer.
+struct ReplyStream {
+    /// Wire stream id on v3; `CONNECTION_STREAM` (unused) on v1/v2.
+    stream_id: u32,
+    /// The request advertised acceptance of compressed reply bodies.
+    accept_compressed: bool,
+    /// Already-serialized batches (the prefetched page) served first.
+    prefetched: VecDeque<(Vec<u8>, u32)>,
+    cursor: Option<PlanCursor>,
+    sent_rows: usize,
+    page_rows: usize,
+    batch_rows: usize,
     fingerprint: u64,
     shape: String,
-    rows: usize,
     trace_id: u64,
-) {
-    let elapsed = started.elapsed();
-    metrics.exec_ns.record_duration(elapsed);
-    if elapsed >= slow_threshold {
-        metrics.registry.slow_queries().push(SlowQueryEntry {
-            fingerprint,
-            shape,
-            rows: rows as u64,
-            total_ns: elapsed.as_nanos() as u64,
-            trace_id,
-        });
-    }
+    exec_start: Instant,
+    /// Execution span; batch serialize spans parent to it. `root` is
+    /// present on `Plan` replies (finished after `exec`).
+    exec: Option<Span>,
+    root: Option<Span>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn handle_connection(
-    mut stream: TcpStream,
-    shared: &SharedState,
-    metrics: &ServiceMetrics,
-    cursors: &CursorTable,
+/// One registered connection.
+struct Conn {
+    io: FramedConn,
+    phase: Phase,
+    /// Parsed request frames awaiting processing (v1/v2 hold requests
+    /// here until the active reply finishes; v3 drains immediately).
+    pending: VecDeque<Vec<u8>>,
+    /// Streaming replies in flight; v1/v2 at most one, v3 any number
+    /// (round-robin production).
+    replies: VecDeque<ReplyStream>,
+    /// Queue wait measured accept→registration, adopted as a child
+    /// span by the first traced request on the connection.
+    queue_wait: Option<(Instant, Duration)>,
+    /// Close once the outbound buffer drains.
+    closing: bool,
+    interest: Interest,
+    timer: Option<siren_reactor::TimerId>,
+    /// This connection's slab key (poller key minus [`KEY_BASE`]).
+    key: usize,
+}
+
+/// What a connection-level step decided.
+enum Verdict {
+    Keep,
+    Drop,
+}
+
+struct EventLoop {
+    poller: Arc<Poller>,
+    incoming: Receiver<Handoff>,
+    /// Loop 0 only: the shared listener plus every loop's dispatch
+    /// handle (index-aligned, self included).
+    listener: Option<(TcpListener, Vec<Dispatch>)>,
+    shared: Arc<SharedState>,
+    metrics: ServiceMetrics,
+    cursors: Arc<CursorTable>,
+    stop: Arc<AtomicBool>,
     deadline: Duration,
     slow_threshold: Duration,
-    stop: &AtomicBool,
-    queued: (Instant, Duration),
-) {
-    // Queue wait is measured from accept, before any trace id exists;
-    // the first traced request on the connection adopts it as a child
-    // span so the wait shows up inside that request's tree.
-    let mut pending_queue_wait = Some(queued);
-    // Accepted sockets inherit the listener's non-blocking mode on some
-    // platforms (Windows, the BSDs); reset explicitly so the frame reads
-    // below block up to the deadline everywhere.
-    if stream.set_nonblocking(false).is_err() {
-        return;
-    }
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(deadline)).is_err()
-        || stream.set_write_timeout(Some(deadline)).is_err()
-    {
-        return;
-    }
+    prefetch: bool,
+    compress_min: usize,
+}
 
-    // Version negotiation: exactly one hello frame before anything else.
-    let version = match read_frame(&mut stream) {
-        Ok(payload) => match decode_hello(&payload) {
-            Some((client_min, client_max)) => match negotiate(client_min, client_max) {
-                Ok(version) => version,
-                Err(err) => {
-                    send_error(&mut stream, err);
-                    return;
-                }
-            },
-            None => {
-                send_error(&mut stream, QueryError::Malformed("bad hello".into()));
-                return;
-            }
-        },
-        Err(FrameError::TooLarge(len)) => {
-            send_error(&mut stream, QueryError::FrameTooLarge(len));
-            return;
-        }
-        Err(_) => return,
-    };
-    if write_frame(&mut stream, &encode_hello_ack(version)).is_err() {
-        return;
-    }
-    match version {
-        1 => metrics.negotiated_v1.inc(),
-        _ => metrics.negotiated_v2.inc(),
-    };
+impl EventLoop {
+    fn run(self) {
+        let mut conns: Slab<Conn> = Slab::new();
+        let mut timers = TimerWheel::new(Instant::now(), Duration::from_millis(50), 512);
+        let mut events: Vec<Event> = Vec::new();
+        let mut next_loop = 0usize;
 
-    loop {
-        // Server shutdown: stop serving this connection even if the
-        // client keeps requests coming (otherwise one busy client could
-        // pin Drop forever; the read timeout bounds the wait below).
-        if stop.load(Ordering::Relaxed) {
-            return;
-        }
-        let payload = match read_frame(&mut stream) {
-            Ok(payload) => payload,
-            Err(FrameError::Closed) => return,
-            Err(FrameError::TooLarge(len)) => {
-                send_error(&mut stream, QueryError::FrameTooLarge(len));
-                return;
-            }
-            Err(FrameError::BadMagic(_) | FrameError::BadChecksum | FrameError::Truncated) => {
-                // The stream is desynced; no further frame boundary can
-                // be trusted.
-                send_error(
-                    &mut stream,
-                    QueryError::Malformed("unreadable frame".into()),
-                );
-                return;
-            }
-            Err(FrameError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
+        if let Some((listener, _)) = &self.listener {
+            if self
+                .poller
+                .add(listener.as_raw_fd(), LISTENER_KEY, Interest::READ)
+                .is_err()
             {
-                send_error(&mut stream, QueryError::Deadline);
                 return;
             }
-            Err(FrameError::Io(_)) => return,
-        };
+        }
 
-        metrics.requests.inc();
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let timeout = timers
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            events.clear();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            self.metrics.reactor_wakeups.inc();
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+
+            let mut accept_burst = false;
+            let mut touched: Vec<usize> = Vec::new();
+            for ev in &events {
+                if ev.key == LISTENER_KEY {
+                    accept_burst = true;
+                } else if ev.key >= KEY_BASE {
+                    touched.push(ev.key - KEY_BASE);
+                }
+            }
+
+            if accept_burst {
+                self.accept_ready(&mut next_loop);
+            }
+            // Connections dispatched to this loop (by loop 0, possibly
+            // ourselves) register here.
+            while let Ok((stream, queued_at)) = self.incoming.try_recv() {
+                self.register(stream, queued_at, &mut conns, &mut timers);
+            }
+
+            for key in touched {
+                let verdict = match conns.get_mut(key) {
+                    Some(conn) => self.drive(conn, &mut timers),
+                    None => continue,
+                };
+                if matches!(verdict, Verdict::Drop) {
+                    self.deregister(key, &mut conns, &mut timers);
+                }
+            }
+
+            let mut fired: Vec<usize> = Vec::new();
+            timers.advance(Instant::now(), &mut fired);
+            for key in fired {
+                let Some(conn) = conns.get_mut(key) else {
+                    continue;
+                };
+                conn.timer = None;
+                let idle = conn.io.last_progress().elapsed();
+                if idle < self.deadline {
+                    // Progress happened since the timer was scheduled:
+                    // reschedule lazily instead of churning a timer per
+                    // frame.
+                    conn.timer =
+                        Some(timers.schedule(conn.io.last_progress() + self.deadline, key));
+                    continue;
+                }
+                if conn.io.wants_write() || !conn.replies.is_empty() {
+                    // Write-stalled consumer: nothing to say that it
+                    // would read; close.
+                    self.deregister(key, &mut conns, &mut timers);
+                } else {
+                    // Idle between requests (or never finished the
+                    // hello): a typed deadline error, then close after
+                    // flush.
+                    let version = match conn.phase {
+                        Phase::Active { version } => version,
+                        Phase::Handshake => 1,
+                    };
+                    self.queue_error(
+                        conn,
+                        version,
+                        CONNECTION_STREAM,
+                        false,
+                        QueryError::Deadline,
+                    );
+                    conn.closing = true;
+                    match self.finish_io(conn) {
+                        Verdict::Drop => self.deregister(key, &mut conns, &mut timers),
+                        Verdict::Keep => {
+                            // Still flushing the error: bound that too,
+                            // or a never-reading peer pins the slot.
+                            if let Some(conn) = conns.get_mut(key) {
+                                conn.timer =
+                                    Some(timers.schedule(Instant::now() + self.deadline, key));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Shutdown: every connection (and, on loop 0, the listener)
+        // drops here, closing the sockets.
+        for key in conns.keys() {
+            self.deregister(key, &mut conns, &mut timers);
+        }
+        if let Some((listener, _)) = &self.listener {
+            let _ = self.poller.delete(listener.as_raw_fd());
+        }
+    }
+
+    /// Accept everything currently pending and dispatch round-robin.
+    fn accept_ready(&self, next_loop: &mut usize) {
+        let Some((listener, peers)) = &self.listener else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let target = *next_loop % peers.len();
+                    *next_loop = next_loop.wrapping_add(1);
+                    match peers[target].tx.try_send((stream, Instant::now())) {
+                        Ok(()) => {
+                            self.metrics.connections_accepted.inc();
+                            let _ = peers[target].poller.notify();
+                        }
+                        // Target loop's registration queue is full:
+                        // refuse by dropping (closes the socket).
+                        Err(TrySendError::Full(refused)) => {
+                            drop(refused);
+                            self.metrics.connections_refused.inc();
+                        }
+                        Err(TrySendError::Disconnected(_)) => return,
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // Transient accept failures (ECONNABORTED, EMFILE under
+                // fd pressure) must not take the query API down; the
+                // listener stays registered and we retry on the next
+                // readiness event.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn register(
+        &self,
+        stream: TcpStream,
+        queued_at: Instant,
+        conns: &mut Slab<Conn>,
+        timers: &mut TimerWheel,
+    ) {
+        let _ = stream.set_nodelay(true);
+        let Ok(io) = FramedConn::new(stream) else {
+            return;
+        };
+        let wait = queued_at.elapsed();
+        self.metrics.queue_wait_ns.record_duration(wait);
+        let fd = io.stream().as_raw_fd();
+        let conn = Conn {
+            io,
+            phase: Phase::Handshake,
+            pending: VecDeque::new(),
+            replies: VecDeque::new(),
+            queue_wait: Some((queued_at, wait)),
+            closing: false,
+            interest: Interest::READ,
+            timer: None,
+            key: 0,
+        };
+        let key = conns.insert(conn);
+        if self.poller.add(fd, KEY_BASE + key, Interest::READ).is_err() {
+            conns.remove(key);
+            return;
+        }
+        if let Some(conn) = conns.get_mut(key) {
+            conn.key = key;
+            conn.timer = Some(timers.schedule(Instant::now() + self.deadline, key));
+        }
+        self.metrics.active_connections.inc();
+    }
+
+    fn deregister(&self, key: usize, conns: &mut Slab<Conn>, timers: &mut TimerWheel) {
+        let Some(conn) = conns.remove(key) else {
+            return;
+        };
+        let _ = self.poller.delete(conn.io.stream().as_raw_fd());
+        if let Some(timer) = conn.timer {
+            timers.cancel(timer);
+        }
+        self.metrics.active_connections.dec();
+        // `conn` drops here: socket closed, in-flight reply spans
+        // recorded as they stand (same as the blocking server dying
+        // mid-stream).
+    }
+
+    /// One full service step for a connection with I/O readiness:
+    /// read, parse, process, produce, flush, and re-arm interest.
+    fn drive(&self, conn: &mut Conn, timers: &mut TimerWheel) -> Verdict {
+        // Read unless gated by outbound backlog or a parked pipeline.
+        let gated = conn.io.pending_output() > IN_GATE
+            || conn.pending.len() > MAX_PENDING_REQUESTS
+            || conn.closing;
+        if !gated && conn.io.fill().is_err() {
+            return Verdict::Drop;
+        }
+        if !conn.closing {
+            if let Verdict::Drop = self.parse_frames(conn) {
+                return Verdict::Drop;
+            }
+        }
+        let _ = timers;
+        self.finish_io(conn)
+    }
+
+    /// Process pipelined requests, produce replies, flush, update
+    /// interest, and decide whether the connection survives. Loops
+    /// until no further progress is possible without new readiness:
+    /// a finished reply can unblock the next pipelined request on a
+    /// sequential (v1/v2) connection, and a flush can unblock batch
+    /// production.
+    fn finish_io(&self, conn: &mut Conn) -> Verdict {
+        loop {
+            if !conn.closing {
+                if let Verdict::Drop = self.process_pending(conn) {
+                    return Verdict::Drop;
+                }
+            }
+            self.pump_replies(conn);
+            if conn.io.flush().is_err() {
+                return Verdict::Drop;
+            }
+            let can_produce = !conn.replies.is_empty() && conn.io.pending_output() < OUT_WATERMARK;
+            let can_process = !conn.closing
+                && !conn.pending.is_empty()
+                && conn.io.pending_output() <= IN_GATE
+                && match conn.phase {
+                    Phase::Active { version } => version >= 3 || conn.replies.is_empty(),
+                    Phase::Handshake => false,
+                };
+            if !can_produce && !can_process {
+                break;
+            }
+        }
+        if conn.closing && !conn.io.wants_write() {
+            return Verdict::Drop;
+        }
+        if conn.io.is_eof()
+            && conn.pending.is_empty()
+            && conn.replies.is_empty()
+            && !conn.io.wants_write()
+        {
+            return Verdict::Drop;
+        }
+        let gated = conn.io.pending_output() > IN_GATE
+            || conn.pending.len() > MAX_PENDING_REQUESTS
+            || conn.closing;
+        let want = if conn.io.wants_write() {
+            if gated {
+                Interest::WRITE
+            } else {
+                Interest::BOTH
+            }
+        } else if gated {
+            // Nothing to write and reading gated: stay write-armed so
+            // the next drain re-triggers production.
+            Interest::WRITE
+        } else {
+            Interest::READ
+        };
+        if want != conn.interest {
+            if self
+                .poller
+                .modify(conn.io.stream().as_raw_fd(), KEY_BASE + conn.key, want)
+                .is_err()
+            {
+                return Verdict::Drop;
+            }
+            conn.interest = want;
+        }
+        Verdict::Keep
+    }
+
+    /// Parse complete frames out of the inbound buffer: complete the
+    /// hello exchange, then park request frames in the pipeline
+    /// (processing happens under [`EventLoop::process_pending`]'s
+    /// version discipline).
+    fn parse_frames(&self, conn: &mut Conn) -> Verdict {
+        loop {
+            match conn.phase {
+                Phase::Handshake => match conn.io.next_frame(MAX_FRAME_PAYLOAD) {
+                    Ok(Some(payload)) => match decode_hello(&payload) {
+                        Some((client_min, client_max)) => {
+                            match negotiate(client_min, client_max) {
+                                Ok(version) => {
+                                    conn.io.queue_payload(&encode_hello_ack(version));
+                                    match version {
+                                        1 => self.metrics.negotiated_v1.inc(),
+                                        2 => self.metrics.negotiated_v2.inc(),
+                                        _ => self.metrics.negotiated_v3.inc(),
+                                    }
+                                    conn.phase = Phase::Active { version };
+                                }
+                                Err(err) => {
+                                    // Pre-negotiation errors are plain
+                                    // frames: the peer has no version
+                                    // yet, so no envelope either.
+                                    conn.io.queue_payload(&QueryResponse::Error(err).encode());
+                                    conn.closing = true;
+                                    return Verdict::Keep;
+                                }
+                            }
+                        }
+                        None => {
+                            conn.io.queue_payload(
+                                &QueryResponse::Error(QueryError::Malformed("bad hello".into()))
+                                    .encode(),
+                            );
+                            conn.closing = true;
+                            return Verdict::Keep;
+                        }
+                    },
+                    Ok(None) => return Verdict::Keep,
+                    Err(FrameParseError::TooLarge(len)) => {
+                        conn.io.queue_payload(
+                            &QueryResponse::Error(QueryError::FrameTooLarge(len)).encode(),
+                        );
+                        conn.closing = true;
+                        return Verdict::Keep;
+                    }
+                    Err(_) => return Verdict::Drop,
+                },
+                Phase::Active { version } => {
+                    loop {
+                        if conn.pending.len() > MAX_PENDING_REQUESTS {
+                            return Verdict::Keep;
+                        }
+                        match conn.io.next_frame(MAX_FRAME_PAYLOAD) {
+                            Ok(Some(payload)) => conn.pending.push_back(payload),
+                            Ok(None) => return Verdict::Keep,
+                            Err(err) => {
+                                // The stream is desynced; no further
+                                // frame boundary can be trusted.
+                                let qerr = match err {
+                                    FrameParseError::TooLarge(len) => {
+                                        QueryError::FrameTooLarge(len)
+                                    }
+                                    FrameParseError::BadMagic(_) | FrameParseError::BadChecksum => {
+                                        QueryError::Malformed("unreadable frame".into())
+                                    }
+                                };
+                                self.queue_error(conn, version, CONNECTION_STREAM, false, qerr);
+                                conn.closing = true;
+                                return Verdict::Keep;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute parked request frames. v3 connections process everything
+    /// (replies multiplex); v1/v2 are strictly sequential — the next
+    /// request starts only when no reply is in flight.
+    fn process_pending(&self, conn: &mut Conn) -> Verdict {
+        let version = match conn.phase {
+            Phase::Active { version } => version,
+            Phase::Handshake => return Verdict::Keep,
+        };
+        while !conn.pending.is_empty() && !conn.closing {
+            if version < 3 && !conn.replies.is_empty() {
+                break;
+            }
+            if conn.io.pending_output() > IN_GATE {
+                break;
+            }
+            let payload = conn.pending.pop_front().expect("non-empty");
+            if let Verdict::Drop = self.process_request(conn, version, &payload) {
+                return Verdict::Drop;
+            }
+        }
+        Verdict::Keep
+    }
+
+    /// Decode and execute one request frame. Streaming requests push a
+    /// [`ReplyStream`]; one-shot requests queue their answer directly.
+    fn process_request(&self, conn: &mut Conn, version: u16, payload: &[u8]) -> Verdict {
+        // v3 frames wrap the v2 body in a stream envelope; unwrap (and
+        // inflate) first. An unreadable envelope is connection-fatal,
+        // like an unreadable frame.
+        let (body, stream_id, accept_compressed): (std::borrow::Cow<'_, [u8]>, u32, bool) =
+            if version >= 3 {
+                match decode_stream_frame(payload) {
+                    Ok(frame) => (
+                        std::borrow::Cow::Owned(frame.body),
+                        frame.stream_id,
+                        frame.accept_compressed,
+                    ),
+                    Err(err) => {
+                        self.queue_error(conn, version, CONNECTION_STREAM, false, err);
+                        conn.closing = true;
+                        return Verdict::Keep;
+                    }
+                }
+            } else {
+                (
+                    std::borrow::Cow::Borrowed(payload),
+                    CONNECTION_STREAM,
+                    false,
+                )
+            };
+
+        self.metrics.requests.inc();
         let exec_start = Instant::now();
-        let (response, fatal) = match QueryRequest::decode_traced(&payload, version) {
-            // ---- v2 streaming requests: replies are frame streams. ----
+        let (response, fatal) = match QueryRequest::decode_traced(&body, version) {
+            // ---- streaming requests: replies are frame streams. ----
             Ok((QueryRequest::Plan(plan), client_trace)) => {
-                // The root span adopts the client-supplied trace id (or
-                // generates one); queue wait — measured before the id
-                // arrived — lands as its first child.
-                let mut root = metrics.traces.buffer().root("request.plan", client_trace);
-                if let Some((queued_at, wait)) = pending_queue_wait.take() {
-                    metrics.traces.buffer().record_past(
+                let mut root = self
+                    .metrics
+                    .traces
+                    .buffer()
+                    .root("request.plan", client_trace);
+                if let Some((queued_at, wait)) = conn.queue_wait.take() {
+                    self.metrics.traces.buffer().record_past(
                         root.trace(),
                         Some(root.id()),
                         "queue_wait",
@@ -432,55 +758,60 @@ fn handle_connection(
                 let exec = root.child("exec");
                 // Lock-free: the cursor pins the snapshot current at
                 // open; commits landing mid-pagination don't move it.
-                match PlanCursor::open(shared.load(), plan, metrics) {
+                match PlanCursor::open(self.shared.load(), plan, &self.metrics) {
                     Ok(mut cursor) => {
                         let fingerprint = cursor.fingerprint();
                         let shape = cursor.shape().to_string();
                         root.annotate_fingerprint(fingerprint);
                         root.annotate("shape", &shape);
-                        // Parked with the cursor so later fetches rejoin
-                        // this trace.
+                        // Parked with the cursor so later fetches
+                        // rejoin this trace.
                         cursor.set_trace(root.trace(), root.id());
                         let trace_id = root.trace().0;
-                        match stream_reply(&mut stream, cursor, cursors, version, metrics, &exec) {
-                            Some(rows) => {
-                                exec.finish();
-                                root.finish();
-                                finish_streamed(
-                                    metrics,
-                                    slow_threshold,
-                                    exec_start,
-                                    fingerprint,
-                                    shape,
-                                    rows,
-                                    trace_id,
-                                );
-                                continue;
-                            }
-                            None => return,
-                        }
+                        let page_rows = cursor.page_rows();
+                        let batch_rows = cursor.batch_rows();
+                        conn.replies.push_back(ReplyStream {
+                            stream_id,
+                            accept_compressed,
+                            prefetched: VecDeque::new(),
+                            cursor: Some(cursor),
+                            sent_rows: 0,
+                            page_rows,
+                            batch_rows,
+                            fingerprint,
+                            shape,
+                            trace_id,
+                            exec_start,
+                            exec: Some(exec),
+                            root: Some(root),
+                        });
+                        return Verdict::Keep;
                     }
                     Err(err) => (QueryResponse::Error(err), false),
                 }
             }
             Ok((QueryRequest::FetchCursor { cursor }, client_trace)) => {
-                match cursors.take(cursor) {
-                    Some(parked) => {
+                match self.cursors.take(cursor) {
+                    Some((parked, prefetched)) => {
                         // Rejoin the trace the plan opened (a fetch may
-                        // run on another thread, long after the plan's
-                        // root completed); a cursor without context — a
-                        // pre-trace park — starts a fresh root.
+                        // run on another connection, long after the
+                        // plan's root completed); a cursor without
+                        // context starts a fresh root.
                         let fetch = match parked.trace_context() {
                             Some((trace, root)) => {
-                                metrics
+                                self.metrics
                                     .traces
                                     .buffer()
                                     .child_of(trace, root, "request.fetch")
                             }
-                            None => metrics.traces.buffer().root("request.fetch", client_trace),
+                            None => self
+                                .metrics
+                                .traces
+                                .buffer()
+                                .root("request.fetch", client_trace),
                         };
-                        if let Some((queued_at, wait)) = pending_queue_wait.take() {
-                            metrics.traces.buffer().record_past(
+                        if let Some((queued_at, wait)) = conn.queue_wait.take() {
+                            self.metrics.traces.buffer().record_past(
                                 fetch.trace(),
                                 Some(fetch.id()),
                                 "queue_wait",
@@ -488,25 +819,30 @@ fn handle_connection(
                                 wait,
                             );
                         }
+                        if !prefetched.is_empty() {
+                            self.metrics.prefetch_pages_served.inc();
+                        }
                         let fingerprint = parked.fingerprint();
                         let shape = parked.shape().to_string();
                         let trace_id = fetch.trace().0;
-                        match stream_reply(&mut stream, parked, cursors, version, metrics, &fetch) {
-                            Some(rows) => {
-                                fetch.finish();
-                                finish_streamed(
-                                    metrics,
-                                    slow_threshold,
-                                    exec_start,
-                                    fingerprint,
-                                    shape,
-                                    rows,
-                                    trace_id,
-                                );
-                                continue;
-                            }
-                            None => return,
-                        }
+                        let page_rows = parked.page_rows();
+                        let batch_rows = parked.batch_rows();
+                        conn.replies.push_back(ReplyStream {
+                            stream_id,
+                            accept_compressed,
+                            prefetched: prefetched.into(),
+                            cursor: Some(parked),
+                            sent_rows: 0,
+                            page_rows,
+                            batch_rows,
+                            fingerprint,
+                            shape,
+                            trace_id,
+                            exec_start,
+                            exec: Some(fetch),
+                            root: None,
+                        });
+                        return Verdict::Keep;
                     }
                     None => (
                         QueryResponse::Error(QueryError::UnknownCursor(cursor)),
@@ -515,21 +851,23 @@ fn handle_connection(
                 }
             }
             Ok((QueryRequest::CloseCursor { cursor }, _)) => {
-                cursors.remove(cursor);
+                self.cursors.remove(cursor);
                 // The end frame doubles as the close acknowledgement.
                 (QueryResponse::StreamEnd { cursor: None }, false)
             }
             // ---- v2 telemetry: the whole registry in one reply. ----
-            Ok((QueryRequest::Metrics, _)) => {
-                (QueryResponse::Metrics(metrics.registry.snapshot()), false)
-            }
+            Ok((QueryRequest::Metrics, _)) => (
+                QueryResponse::Metrics(self.metrics.registry.snapshot()),
+                false,
+            ),
             // ---- v2 tracing: reassembled flight-recorder trees. ----
-            Ok((QueryRequest::Traces(filter), _)) => {
-                (QueryResponse::Traces(metrics.traces.traces(&filter)), false)
-            }
-            // ---- one-frame requests (v1 set, valid on v2 too). ----
+            Ok((QueryRequest::Traces(filter), _)) => (
+                QueryResponse::Traces(self.metrics.traces.traces(&filter)),
+                false,
+            ),
+            // ---- one-frame requests (v1 set, valid on v2/v3 too). ----
             Ok((request, _)) => {
-                // On v2 connections an inverted selection range draws
+                // On v2+ connections an inverted selection range draws
                 // the typed error instead of silently matching nothing
                 // (v1 keeps its historical empty answer).
                 let invalid = match &request {
@@ -546,33 +884,285 @@ fn handle_connection(
                     // answer reads the traffic counters — the cursor
                     // table's lock (and its TTL sweep) must not sit on
                     // the ByJob/LibraryUsage/Neighbors hot path.
-                    let mut status = shared.status(version);
+                    let mut status = self.shared.status(version);
                     if matches!(request, QueryRequest::Status) {
-                        fill_traffic_counters(metrics, cursors, &mut status);
+                        fill_traffic_counters(&self.metrics, &self.cursors, &mut status);
                     }
-                    let snapshot = shared.load();
+                    let snapshot = self.shared.load();
                     (snapshot.respond(status, &request), false)
                 }
             }
-            // Intact frame, unknown tag: answer and keep the connection.
+            // Intact frame, unknown tag: answer and keep the
+            // connection.
             Err(err @ QueryError::UnknownRequest(_)) => (QueryResponse::Error(err), false),
             Err(err) => (QueryResponse::Error(err), true),
         };
-        // The client's read_frame refuses payloads above the protocol
-        // cap, so sending one would kill the connection mid-answer;
+        // The client's reader refuses payloads above the protocol cap,
+        // so sending one would kill the connection mid-answer;
         // substitute a typed error the client can act on instead.
         let mut encoded = response.encode_versioned(version);
-        if encoded.len() > MAX_FRAME_PAYLOAD as usize {
+        let cap = self.body_cap(version);
+        if encoded.len() > cap {
             encoded = QueryResponse::Error(QueryError::Internal(format!(
                 "response of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame cap; narrow the query",
                 encoded.len()
             )))
             .encode_versioned(version);
         }
-        let ok = write_frame(&mut stream, &encoded).is_ok();
-        metrics.exec_ns.record_duration(exec_start.elapsed());
-        if !ok || fatal {
-            return;
+        self.queue_body(conn, version, stream_id, accept_compressed, &encoded);
+        self.metrics.exec_ns.record_duration(exec_start.elapsed());
+        if fatal {
+            conn.closing = true;
+        }
+        Verdict::Keep
+    }
+
+    /// Largest reply body that still fits one wire frame once the v3
+    /// envelope header is added.
+    fn body_cap(&self, version: u16) -> usize {
+        let cap = MAX_FRAME_PAYLOAD as usize;
+        if version >= 3 {
+            cap - STREAM_HEADER_LEN
+        } else {
+            cap
         }
     }
+
+    /// Queue one reply body on the wire: plain on v1/v2, enveloped
+    /// (and possibly compressed) on v3.
+    fn queue_body(
+        &self,
+        conn: &mut Conn,
+        version: u16,
+        stream_id: u32,
+        accept_compressed: bool,
+        body: &[u8],
+    ) {
+        if version < 3 {
+            conn.io.queue_payload(body);
+            return;
+        }
+        let compress_min = accept_compressed.then_some(self.compress_min);
+        let wire = encode_stream_frame(stream_id, body, false, compress_min);
+        if wire.len() > STREAM_HEADER_LEN
+            && wire[STREAM_HEADER_LEN - 1] & STREAM_FLAG_COMPRESSED != 0
+        {
+            self.metrics.compressed_frames.inc();
+            self.metrics
+                .compressed_bytes_saved
+                .add((body.len() + STREAM_HEADER_LEN).saturating_sub(wire.len()) as u64);
+        }
+        conn.io.queue_payload(&wire);
+    }
+
+    /// Queue a typed error frame under the connection's framing rules.
+    fn queue_error(
+        &self,
+        conn: &mut Conn,
+        version: u16,
+        stream_id: u32,
+        accept_compressed: bool,
+        err: QueryError,
+    ) {
+        let body = QueryResponse::Error(err).encode_versioned(version.max(1));
+        self.queue_body(conn, version, stream_id, accept_compressed, &body);
+    }
+
+    /// Produce batches into the outbound buffer while it sits under
+    /// the watermark, round-robining across the connection's active
+    /// replies so no stream starves another.
+    fn pump_replies(&self, conn: &mut Conn) {
+        while !conn.replies.is_empty() && conn.io.pending_output() < OUT_WATERMARK {
+            let mut reply = conn.replies.pop_front().expect("non-empty");
+            match self.step_reply(conn, &mut reply) {
+                StepOutcome::Progress => conn.replies.push_back(reply),
+                StepOutcome::Finished => {
+                    // Spans finish child-first; the slow-query log
+                    // records fingerprint and shape only.
+                    if let Some(exec) = reply.exec.take() {
+                        exec.finish();
+                    }
+                    if let Some(root) = reply.root.take() {
+                        root.finish();
+                    }
+                    let elapsed = reply.exec_start.elapsed();
+                    self.metrics.exec_ns.record_duration(elapsed);
+                    if elapsed >= self.slow_threshold {
+                        self.metrics.registry.slow_queries().push(SlowQueryEntry {
+                            fingerprint: reply.fingerprint,
+                            shape: reply.shape.clone(),
+                            rows: reply.sent_rows as u64,
+                            total_ns: elapsed.as_nanos() as u64,
+                            trace_id: reply.trace_id,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Produce one frame of `reply` (a prefetched batch, a live batch,
+    /// or the terminator).
+    fn step_reply(&self, conn: &mut Conn, reply: &mut ReplyStream) -> StepOutcome {
+        let version = match conn.phase {
+            Phase::Active { version } => version,
+            Phase::Handshake => unreachable!("replies require negotiation"),
+        };
+        // 1. Prefetched page first: bytes already serialized at park
+        //    time, just framed (and possibly compressed) here.
+        if let Some((body, rows)) = reply.prefetched.pop_front() {
+            if body.len() > self.body_cap(version) {
+                // A pathological record blew the frame cap during
+                // prefetch; same terminal error as live production.
+                self.queue_error(
+                    conn,
+                    version,
+                    reply.stream_id,
+                    reply.accept_compressed,
+                    QueryError::Internal(format!(
+                        "a row batch of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame \
+                         cap; lower batch_rows or project to Keys",
+                        body.len()
+                    )),
+                );
+                return StepOutcome::Finished;
+            }
+            self.queue_body(
+                conn,
+                version,
+                reply.stream_id,
+                reply.accept_compressed,
+                &body,
+            );
+            reply.sent_rows += rows as usize;
+            return StepOutcome::Progress;
+        }
+        // 2. Live production until the page budget.
+        if reply.sent_rows < reply.page_rows {
+            if let Some(cursor) = reply.cursor.as_mut() {
+                let want = reply.batch_rows.min(reply.page_rows - reply.sent_rows);
+                if let Some(batch) = cursor.next_batch(want, BATCH_BYTE_BUDGET) {
+                    reply.sent_rows += batch.len();
+                    let serialize_start = Instant::now();
+                    let encoded = QueryResponse::Batch(batch).encode_versioned(version);
+                    let serialize_elapsed = serialize_start.elapsed();
+                    self.metrics
+                        .batch_serialize_ns
+                        .record_duration(serialize_elapsed);
+                    if let Some(exec) = &reply.exec {
+                        // Per-batch serialize spans parent to the exec
+                        // span; recorded from the already-measured
+                        // interval, no second clock read pair.
+                        self.metrics.traces.buffer().record_past(
+                            exec.trace(),
+                            Some(exec.id()),
+                            "serialize",
+                            serialize_start,
+                            serialize_elapsed,
+                        );
+                    }
+                    if encoded.len() > self.body_cap(version) {
+                        // A single batch blew the frame cap
+                        // (pathological record). The client treats an
+                        // error frame as the reply terminator, so it
+                        // stays in sync; the stream itself cannot
+                        // continue.
+                        self.queue_error(
+                            conn,
+                            version,
+                            reply.stream_id,
+                            reply.accept_compressed,
+                            QueryError::Internal(format!(
+                                "a row batch of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte \
+                                 frame cap; lower batch_rows or project to Keys",
+                                encoded.len()
+                            )),
+                        );
+                        return StepOutcome::Finished;
+                    }
+                    self.queue_body(
+                        conn,
+                        version,
+                        reply.stream_id,
+                        reply.accept_compressed,
+                        &encoded,
+                    );
+                    return StepOutcome::Progress;
+                }
+            }
+        }
+        // 3. Terminator: end of rows, or park (with the next page
+        //    prefetched) and hand out a cursor id.
+        let end = match reply.cursor.take() {
+            Some(cursor) if !cursor.is_exhausted() => {
+                let (cursor, prefetched) = self.build_prefetch(version, reply, cursor);
+                QueryResponse::StreamEnd {
+                    cursor: Some(self.cursors.park(cursor, prefetched)),
+                }
+            }
+            _ => QueryResponse::StreamEnd { cursor: None },
+        };
+        self.queue_body(
+            conn,
+            version,
+            reply.stream_id,
+            reply.accept_compressed,
+            &end.encode_versioned(version),
+        );
+        StepOutcome::Finished
+    }
+
+    /// Precompute the next page of `cursor` as serialized v2 batch
+    /// bodies (connection-agnostic: compression and the envelope are
+    /// applied at queue time, so a cross-connection fetch serves them
+    /// unchanged). Serialize time is recorded under the parking
+    /// request's exec span — the prefetch is that request's work.
+    fn build_prefetch(
+        &self,
+        version: u16,
+        reply: &ReplyStream,
+        mut cursor: PlanCursor,
+    ) -> (PlanCursor, Vec<(Vec<u8>, u32)>) {
+        if !self.prefetch {
+            return (cursor, Vec::new());
+        }
+        let mut prefetched: Vec<(Vec<u8>, u32)> = Vec::new();
+        let mut rows = 0usize;
+        while rows < reply.page_rows {
+            let want = reply.batch_rows.min(reply.page_rows - rows);
+            let Some(batch) = cursor.next_batch(want, BATCH_BYTE_BUDGET) else {
+                break;
+            };
+            let batch_rows = batch.len() as u32;
+            rows += batch.len();
+            let serialize_start = Instant::now();
+            let encoded = QueryResponse::Batch(batch).encode_versioned(version);
+            let serialize_elapsed = serialize_start.elapsed();
+            self.metrics
+                .batch_serialize_ns
+                .record_duration(serialize_elapsed);
+            if let Some(exec) = &reply.exec {
+                self.metrics.traces.buffer().record_past(
+                    exec.trace(),
+                    Some(exec.id()),
+                    "prefetch_serialize",
+                    serialize_start,
+                    serialize_elapsed,
+                );
+            }
+            prefetched.push((encoded, batch_rows));
+        }
+        if !prefetched.is_empty() {
+            self.metrics.prefetch_pages_built.inc();
+        }
+        (cursor, prefetched)
+    }
+}
+
+/// Outcome of one reply production step.
+enum StepOutcome {
+    /// A frame was queued; the reply stays active.
+    Progress,
+    /// The terminator (or terminal error) was queued.
+    Finished,
 }

@@ -85,10 +85,11 @@ fn pagination_is_snapshot_consistent_across_mid_cursor_commits() {
     let one_shot: Vec<RecordRow> = v1.by_job(3).unwrap();
     assert!(!one_shot.is_empty());
 
-    // Open the v2 cursor with a page far smaller than the answer, so
-    // pagination spans many fetches.
+    // Open the streamed cursor with a page far smaller than the answer,
+    // so pagination spans many fetches. A default connection negotiates
+    // the current protocol version.
     let mut v2 = SirenClient::connect(addr).unwrap();
-    assert_eq!(v2.negotiated_version(), 2);
+    assert_eq!(v2.negotiated_version(), siren_proto::PROTOCOL_VERSION);
     let plan = QueryPlan::records()
         .filter(Selection::all().job(3).epochs(0, 2))
         .batch_rows(4)
@@ -572,13 +573,13 @@ fn cursor_ttl_capacity_and_status_gauges() {
         assert_eq!(daemon.open_cursors(), 0, "drop must close the cursor");
         let status = client.status().unwrap();
         assert_eq!(status.open_cursors, 0);
-        // Histogram counts this test's v2 connections (and any v1 from
-        // earlier tests in this process — the daemon here is fresh, so
-        // only v2 shows up).
+        // Histogram counts this test's current-version connections (the
+        // daemon here is fresh, so only the default negotiation shows
+        // up).
         assert!(status
             .version_connections
             .iter()
-            .any(|&(v, n)| v == 2 && n >= 1));
+            .any(|&(v, n)| v == siren_proto::PROTOCOL_VERSION && n >= 1));
         assert_eq!(status.queries_refused, 0);
     }
 

@@ -281,7 +281,7 @@ fn metrics_request_returns_live_registry_snapshot() {
     assert!(m.histogram("query.exec_ns").unwrap().count > 0);
     assert!(m.histogram("query.queue_wait_ns").unwrap().count > 0);
     assert!(m.histogram("query.batch_serialize_ns").unwrap().count > 0);
-    assert!(m.counter("query.negotiated_v2") >= 1);
+    assert!(m.counter("query.negotiated_v3") >= 1);
     // Cursor table: pages parked and resumed.
     assert!(m.counter("cursor.hits") >= 1);
     let open = m.gauge("cursor.open").unwrap();
@@ -310,7 +310,7 @@ fn metrics_request_returns_live_registry_snapshot() {
     assert!(status
         .version_connections
         .iter()
-        .any(|&(v, n)| v == 2 && n >= 1));
+        .any(|&(v, n)| v == PROTOCOL_VERSION && n >= 1));
 
     // A v1 connection gets UnknownRequest(7) for the Metrics tag — and
     // the connection survives, exactly like any other unknown tag.
@@ -478,15 +478,18 @@ fn hostile_daemon(tag: &str) -> (SirenDaemon, std::net::SocketAddr, PathBuf) {
     (daemon, addr, dir)
 }
 
-/// Raw TCP connection that has completed the hello exchange.
+/// Raw TCP connection that has completed the hello exchange, pinned to
+/// v2: these hostile cases drive the legacy plain-frame layout byte by
+/// byte (a v3 connection wraps frames in the stream envelope — its
+/// hostile-envelope cases live in the reactor E2E suite).
 fn negotiated_stream(addr: std::net::SocketAddr) -> TcpStream {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
         .unwrap();
-    write_frame(&mut stream, &encode_hello(1, PROTOCOL_VERSION)).unwrap();
+    write_frame(&mut stream, &encode_hello(1, 2)).unwrap();
     let ack = read_frame(&mut stream).unwrap();
-    assert!(siren_proto::decode_hello_ack(&ack).is_some());
+    assert_eq!(siren_proto::decode_hello_ack(&ack), Some(2));
     stream
 }
 

@@ -1,0 +1,322 @@
+//! Offline stand-in for the `lz4_flex` crate: a dependency-free
+//! byte-oriented LZ77 codec behind the familiar size-prepended API
+//! ([`compress_prepend_size`] / [`decompress_size_prepended`]). The
+//! wire format is this shim's own (documented below), **not** the LZ4
+//! block format — both ends of a connection use this same codec, so
+//! interoperability with real LZ4 is neither needed nor claimed.
+//!
+//! # Format
+//!
+//! `[raw_len: u32 LE]` followed by sequences. Each sequence is
+//!
+//! ```text
+//! token            1 byte: (literal_len << 4) | (match_len - 4),
+//!                  either nibble 15 = "more in extension bytes"
+//! lit extension    0+ bytes, 255-chained (add each byte, stop on != 255)
+//! literals         literal_len bytes copied verbatim
+//! offset           u16 LE back-reference distance (1..=65535); ABSENT
+//!                  when the literals completed the output
+//! match extension  0+ bytes, 255-chained
+//! ```
+//!
+//! and decoding ends exactly when `raw_len` output bytes exist; any
+//! leftover or missing input is a typed error. Overlapping matches
+//! (offset < match length) replicate bytes just like LZ4.
+
+const MIN_MATCH: usize = 4;
+const MAX_OFFSET: usize = 65535;
+const HASH_BITS: u32 = 13;
+
+/// Typed decompression failure; every malformed or truncated input
+/// draws one of these rather than a panic or wrong bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Input ended mid-header, mid-sequence, or mid-literal-run.
+    Truncated,
+    /// A back-reference pointed before the start of the output.
+    BadOffset,
+    /// A literal run or match would write past the declared raw length.
+    OutputOverflow,
+    /// Input bytes remained after the declared raw length was produced.
+    TrailingInput,
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed input truncated"),
+            DecompressError::BadOffset => write!(f, "back-reference offset out of range"),
+            DecompressError::OutputOverflow => write!(f, "sequence overruns declared raw length"),
+            DecompressError::TrailingInput => write!(f, "trailing bytes after declared raw length"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+#[inline]
+fn hash4(window: &[u8]) -> usize {
+    let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn put_varnibble(out: &mut Vec<u8>, mut value: usize) {
+    // Caller has already emitted the low nibble (15); chain the rest.
+    value -= 15;
+    loop {
+        if value >= 255 {
+            out.push(255);
+            value -= 255;
+        } else {
+            out.push(value as u8);
+            return;
+        }
+    }
+}
+
+fn emit(out: &mut Vec<u8>, literals: &[u8], m: Option<(u16, usize)>) {
+    let lit_nib = literals.len().min(15);
+    let match_nib = m.map_or(0, |(_, len)| (len - MIN_MATCH).min(15));
+    out.push(((lit_nib as u8) << 4) | match_nib as u8);
+    if lit_nib == 15 {
+        put_varnibble(out, literals.len());
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = m {
+        out.extend_from_slice(&offset.to_le_bytes());
+        if match_nib == 15 {
+            put_varnibble(out, len - MIN_MATCH);
+        }
+    }
+}
+
+/// Compress `input`, prepending its raw length as a `u32` LE. Inputs
+/// longer than `u32::MAX` are not representable and panic (callers in
+/// this workspace cap frames at 8 MiB long before that).
+pub fn compress_prepend_size(input: &[u8]) -> Vec<u8> {
+    assert!(
+        u32::try_from(input.len()).is_ok(),
+        "input exceeds u32 length prefix"
+    );
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+
+    // Single-probe hash table of last-seen positions (stored +1; 0 is
+    // empty), greedy parse: good ratio on the repetitive row batches
+    // this workspace compresses, single pass, no allocation per byte.
+    let mut table = vec![0u32; 1 << HASH_BITS];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= input.len() {
+        let slot = hash4(&input[i..]);
+        let cand = table[slot] as usize;
+        table[slot] = (i + 1) as u32;
+        if cand > 0 {
+            let cand = cand - 1;
+            let offset = i - cand;
+            if (1..=MAX_OFFSET).contains(&offset)
+                && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH]
+            {
+                let mut len = MIN_MATCH;
+                while i + len < input.len() && input[cand + len] == input[i + len] {
+                    len += 1;
+                }
+                emit(&mut out, &input[lit_start..i], Some((offset as u16, len)));
+                i += len;
+                lit_start = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if lit_start < input.len() {
+        emit(&mut out, &input[lit_start..], None);
+    }
+    out
+}
+
+fn get_varnibble(data: &[u8], pos: &mut usize, nibble: usize) -> Result<usize, DecompressError> {
+    let mut value = nibble;
+    if nibble == 15 {
+        loop {
+            let b = *data.get(*pos).ok_or(DecompressError::Truncated)?;
+            *pos += 1;
+            value += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    Ok(value)
+}
+
+/// Decompress a size-prepended buffer produced by
+/// [`compress_prepend_size`]. The declared raw length is trusted for
+/// the output allocation — callers receiving untrusted input must
+/// bound it first (e.g. read the first four bytes and compare against
+/// their frame cap).
+pub fn decompress_size_prepended(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    if data.len() < 4 {
+        return Err(DecompressError::Truncated);
+    }
+    let raw_len = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    decompress_into(&data[4..], raw_len)
+}
+
+/// Peek the declared raw length of a size-prepended buffer without
+/// decompressing, for pre-allocation caps.
+pub fn declared_len(data: &[u8]) -> Result<u32, DecompressError> {
+    if data.len() < 4 {
+        return Err(DecompressError::Truncated);
+    }
+    Ok(u32::from_le_bytes([data[0], data[1], data[2], data[3]]))
+}
+
+fn decompress_into(data: &[u8], raw_len: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 0usize;
+    while out.len() < raw_len {
+        let token = *data.get(pos).ok_or(DecompressError::Truncated)?;
+        pos += 1;
+        let lit_len = get_varnibble(data, &mut pos, (token >> 4) as usize)?;
+        if lit_len > raw_len - out.len() {
+            return Err(DecompressError::OutputOverflow);
+        }
+        let lits = data
+            .get(pos..pos + lit_len)
+            .ok_or(DecompressError::Truncated)?;
+        out.extend_from_slice(lits);
+        pos += lit_len;
+        if out.len() == raw_len {
+            break;
+        }
+        let off_bytes = data.get(pos..pos + 2).ok_or(DecompressError::Truncated)?;
+        let offset = u16::from_le_bytes([off_bytes[0], off_bytes[1]]) as usize;
+        pos += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(DecompressError::BadOffset);
+        }
+        let match_len = get_varnibble(data, &mut pos, (token & 0x0F) as usize)? + MIN_MATCH;
+        if match_len > raw_len - out.len() {
+            return Err(DecompressError::OutputOverflow);
+        }
+        // Overlapping matches replicate: copy byte-wise from `start`.
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    if pos != data.len() {
+        return Err(DecompressError::TrailingInput);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift bytes, no external RNG needed.
+    fn noise(len: usize, mut seed: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                (seed >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn roundtrip(input: &[u8]) {
+        let packed = compress_prepend_size(input);
+        assert_eq!(declared_len(&packed).unwrap() as usize, input.len());
+        let back = decompress_size_prepended(&packed).unwrap();
+        assert_eq!(back, input, "roundtrip mismatch at len {}", input.len());
+    }
+
+    #[test]
+    fn roundtrips_across_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+        roundtrip(&[0u8; 100_000]);
+        roundtrip(&b"ABCD".repeat(5000));
+        roundtrip(&noise(64 * 1024, 0x5DEECE66D));
+        // Mixed: repetitive row-ish text with noisy hashes, the shape
+        // the query server actually compresses.
+        let mut rowish = Vec::new();
+        for i in 0..2000 {
+            rowish.extend_from_slice(format!("nid{:06}/opt/app/bin{}", i % 7, i % 16).as_bytes());
+            rowish.extend_from_slice(&noise(8, i));
+        }
+        roundtrip(&rowish);
+    }
+
+    #[test]
+    fn long_matches_and_long_literal_runs_take_the_extension_path() {
+        // > 15+255 literals then > 15+255 match bytes.
+        let mut input = noise(300, 42);
+        let tail = input[..280].to_vec();
+        input.extend_from_slice(&tail);
+        roundtrip(&input);
+    }
+
+    #[test]
+    fn repetitive_input_actually_shrinks() {
+        let input = b"siren reactor stream ".repeat(1000);
+        let packed = compress_prepend_size(&input);
+        assert!(
+            packed.len() < input.len() / 4,
+            "repetitive input should compress well: {} vs {}",
+            packed.len(),
+            input.len()
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let mut sample = b"The reactor polls; the poller reacts. ".repeat(40);
+        sample.extend_from_slice(&noise(256, 7));
+        let packed = compress_prepend_size(&sample);
+        for cut in 0..packed.len() {
+            match decompress_size_prepended(&packed[..cut]) {
+                Err(_) => {}
+                Ok(out) => panic!("truncation at {cut} decoded {} bytes", out.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_refused() {
+        let mut packed = compress_prepend_size(b"hello hello hello hello");
+        packed.push(0x00);
+        assert_eq!(
+            decompress_size_prepended(&packed),
+            Err(DecompressError::TrailingInput)
+        );
+    }
+
+    #[test]
+    fn hostile_offsets_and_lengths_are_refused() {
+        // Declared 8 bytes, one sequence: 0 literals then a match with
+        // offset 1 before any output exists.
+        let bad = [8u32.to_le_bytes().as_slice(), &[0x00, 1, 0]].concat();
+        assert_eq!(
+            decompress_size_prepended(&bad),
+            Err(DecompressError::BadOffset)
+        );
+        // Literal run longer than the declared raw length.
+        let bad = [
+            2u32.to_le_bytes().as_slice(),
+            &[0x50, b'a', b'b', b'c', b'd', b'e'],
+        ]
+        .concat();
+        assert_eq!(
+            decompress_size_prepended(&bad),
+            Err(DecompressError::OutputOverflow)
+        );
+    }
+}
