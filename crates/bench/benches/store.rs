@@ -8,11 +8,14 @@
 
 use criterion::Criterion;
 use siren_bench::available_parallelism;
+use siren_consolidate::ProcessRecord;
 use siren_db::{Database, Record, SegmentedOptions};
+use siren_service::{Replicator, ReplicatorConfig, ServiceConfig, SirenDaemon};
 use siren_store::{SegmentedBackend, StorageBackend};
 use siren_wire::{Layer, MessageType};
 use std::hint::black_box;
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn quick() -> bool {
     std::env::var("SIREN_BENCH_QUICK").is_ok_and(|v| v != "0")
@@ -119,20 +122,83 @@ fn main() {
     drop(db);
     std::fs::remove_dir_all(&recovery_dir).unwrap();
 
-    write_json(&criterion, n, bytes, queries);
+    // 4. Replication: a fresh follower catching up the full corpus
+    // from a live leader over the query port — the epoch-shipping
+    // path end to end (subscribe, checksummed batches, idempotent
+    // epoch applies, durable commits on the follower's own store).
+    let repl_epochs: usize = if quick() { 4 } else { 10 };
+    let leader_dir = bench_dir("repl-leader");
+    let (mut leader, _) = SirenDaemon::open(ServiceConfig {
+        query_addr: Some("127.0.0.1:0".parse().unwrap()),
+        ..ServiceConfig::at(&leader_dir)
+    })
+    .unwrap();
+    for chunk in records.chunks(n.div_ceil(repl_epochs)) {
+        let rows: Vec<ProcessRecord> = chunk.iter().map(ProcessRecord::new).collect();
+        leader.import_epoch(rows).unwrap();
+    }
+    let leader_addr = leader.query_addr().unwrap();
+    let apply_p50 = std::cell::Cell::new(0u64);
+    {
+        let mut g = criterion.benchmark_group("store");
+        g.sample_size(5);
+        g.throughput(criterion::Throughput::Elements(n as u64));
+        g.bench_function("replication_catchup", |b| {
+            b.iter(|| {
+                let follower_dir = bench_dir("repl-follower");
+                let (follower, _) = SirenDaemon::open(ServiceConfig::at(&follower_dir)).unwrap();
+                let repl = Replicator::spawn(
+                    follower,
+                    ReplicatorConfig {
+                        poll_interval: Duration::from_millis(5),
+                        ..ReplicatorConfig::to(leader_addr)
+                    },
+                )
+                .unwrap();
+                assert!(
+                    repl.wait_caught_up(Duration::from_secs(120)),
+                    "follower failed to catch up"
+                );
+                let follower = repl.shutdown();
+                assert_eq!(follower.committed_epochs().len(), repl_epochs);
+                let snapshot = follower.metrics_snapshot();
+                apply_p50.set(
+                    snapshot
+                        .histogram("repl.apply_ns")
+                        .map(|h| h.p50())
+                        .unwrap_or(0),
+                );
+                drop(follower);
+                std::fs::remove_dir_all(&follower_dir).unwrap();
+            })
+        });
+        g.finish();
+    }
+    drop(leader);
+    std::fs::remove_dir_all(&leader_dir).unwrap();
+
+    write_json(&criterion, n, bytes, queries, repl_epochs, apply_p50.get());
 }
 
-fn write_json(c: &Criterion, n: usize, bytes: usize, queries: usize) {
+fn write_json(
+    c: &Criterion,
+    n: usize,
+    bytes: usize,
+    queries: usize,
+    repl_epochs: usize,
+    apply_p50_ns: u64,
+) {
     let median = |id: &str| {
         c.measurements()
             .iter()
             .find(|m| m.id == id)
             .map(|m| m.median_ns)
     };
-    let (Some(write_ns), Some(recovery_ns), Some(query_ns)) = (
+    let (Some(write_ns), Some(recovery_ns), Some(query_ns), Some(catchup_ns)) = (
         median("store/segment_write"),
         median("store/recovery"),
         median("store/query_by_job"),
+        median("store/replication_catchup"),
     ) else {
         return;
     };
@@ -146,7 +212,8 @@ fn write_json(c: &Criterion, n: usize, bytes: usize, queries: usize) {
             "  \"payload_bytes\": {bytes},\n",
             "  \"write\": {{\"median_ns\": {write_ns:.0}, \"records_per_sec\": {wps:.0}, \"mb_per_sec\": {mbps:.1}}},\n",
             "  \"recovery\": {{\"median_ns\": {recovery_ns:.0}, \"records_per_sec\": {rps:.0}}},\n",
-            "  \"query\": {{\"median_ns\": {query_ns:.0}, \"queries\": {queries}, \"ns_per_query\": {npq:.0}}}\n",
+            "  \"query\": {{\"median_ns\": {query_ns:.0}, \"queries\": {queries}, \"ns_per_query\": {npq:.0}}},\n",
+            "  \"replication\": {{\"rows\": {records}, \"epochs\": {repl_epochs}, \"catchup_median_ns\": {catchup_ns:.0}, \"epochs_per_sec\": {eps:.1}, \"rows_per_sec\": {rows_ps:.0}, \"follower_apply_p50_ns\": {apply_p50_ns}}}\n",
             "}}\n"
         ),
         records = n,
@@ -160,6 +227,11 @@ fn write_json(c: &Criterion, n: usize, bytes: usize, queries: usize) {
         query_ns = query_ns,
         queries = queries,
         npq = query_ns / queries as f64,
+        repl_epochs = repl_epochs,
+        catchup_ns = catchup_ns,
+        eps = repl_epochs as f64 * 1e9 / catchup_ns,
+        rows_ps = n as f64 * 1e9 / catchup_ns,
+        apply_p50_ns = apply_p50_ns,
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");

@@ -20,9 +20,11 @@
 //! failure" design rule: `send` never blocks the caller on the network
 //! and never reports an error — exactly like `siren.so`.
 
+pub mod proxy;
 pub mod sim;
 pub mod udp;
 
+pub use proxy::{FaultConfig, FaultProxy};
 pub use sim::{SimChannel, SimConfig, SimReceiver, SimSender};
 pub use udp::{ShardedUdpSender, UdpReceiver, UdpReceiverPool, UdpSender};
 

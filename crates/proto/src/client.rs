@@ -5,18 +5,86 @@
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::message::{
-    decode_hello_ack, encode_hello, NeighborRow, QueryError, QueryRequest, QueryResponse,
-    RecordRow, Selection, StatusInfo,
+    decode_hello_ack, encode_hello, fold_epoch_checksum, NeighborRow, QueryError, QueryRequest,
+    QueryResponse, RecordRow, Selection, StatusInfo,
 };
 use crate::mux::MuxClient;
 use crate::plan::{Order, PlanRow, PlanSource, QueryPlan};
 use crate::stream::{decode_stream_frame, encode_stream_frame, CONNECTION_STREAM};
 use crate::{PROTOCOL_VERSION, PROTOCOL_VERSION_MIN};
 use siren_analysis::LibraryUsageRow;
+use siren_consolidate::ProcessRecord;
 use siren_obs::{TraceFilter, TraceId, TraceTree};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Bounded reconnect policy: capped exponential backoff with optional
+/// jitter. Only the **idempotent** parts of a client's life are ever
+/// retried under it — TCP connect and the hello exchange, which carry
+/// no request state — so a retry can never duplicate work on the
+/// server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = one-shot).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Ceiling the exponential never exceeds.
+    pub max_delay: Duration,
+    /// Randomize each delay into `[delay/2, delay]` so a fleet of
+    /// followers losing the same leader does not reconnect in
+    /// lockstep.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The one-shot policy: never retry.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The backoff before retry number `attempt` (zero-based), jittered
+    /// through `rng` (any nonzero xorshift state).
+    pub fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.max_delay);
+        if !self.jitter || capped.is_zero() {
+            return capped;
+        }
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let nanos = capped.as_nanos() as u64;
+        let half = nanos / 2;
+        Duration::from_nanos(half + *rng % (nanos - half + 1))
+    }
+}
+
+/// A nonzero xorshift seed from the wall clock — good enough to
+/// decorrelate backoff across processes without a PRNG dependency.
+pub(crate) fn jitter_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E37_79B9_7F4A_7C15)
+        | 1
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -86,6 +154,45 @@ impl SirenClient {
     /// Connect with an explicit per-operation I/O timeout.
     pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
         Self::connect_with_versions(addr, PROTOCOL_VERSION_MIN, PROTOCOL_VERSION, timeout)
+    }
+
+    /// Connect under a [`RetryPolicy`]: transport failures (refused,
+    /// reset, timed out — the server restarting, say) are retried with
+    /// capped exponential backoff + jitter. Only the idempotent
+    /// connect + hello exchange is ever replayed; a typed server
+    /// refusal (e.g. an unsupported version) fails immediately, since
+    /// retrying would only repeat it.
+    pub fn connect_with_retry(addr: SocketAddr, policy: &RetryPolicy) -> Result<Self, ClientError> {
+        Self::connect_with_retry_versions(
+            addr,
+            PROTOCOL_VERSION_MIN,
+            PROTOCOL_VERSION,
+            Duration::from_secs(5),
+            policy,
+        )
+    }
+
+    /// [`SirenClient::connect_with_retry`] with an explicit version
+    /// range and per-operation I/O timeout.
+    pub fn connect_with_retry_versions(
+        addr: SocketAddr,
+        min: u16,
+        max: u16,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        let mut rng = jitter_seed();
+        let mut attempt = 0u32;
+        loop {
+            match Self::connect_with_versions(addr, min, max, timeout) {
+                Ok(client) => return Ok(client),
+                Err(ClientError::Frame(_)) if attempt < policy.max_retries => {
+                    std::thread::sleep(policy.delay(attempt, &mut rng));
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
     }
 
     /// Connect offering an explicit `[min, max]` version range — how
@@ -395,6 +502,36 @@ impl SirenClient {
         })
     }
 
+    /// Subscribe to the daemon's committed epochs from `from_epoch`
+    /// (protocol v3, replication). The returned [`EpochStream`] yields
+    /// one fully verified epoch at a time — batch and epoch checksums
+    /// checked, counts reconciled against the commit marker — and
+    /// finally the `End` event naming the next epoch to subscribe
+    /// from. `batch_rows` bounds records per frame (`0` = server
+    /// default).
+    pub fn subscribe_epochs(
+        &mut self,
+        from_epoch: u64,
+        batch_rows: u32,
+    ) -> Result<EpochStream<'_>, ClientError> {
+        self.check_usable()?;
+        if self.version < 3 {
+            return Err(ClientError::Unsupported(
+                "epoch subscriptions need a v3 server".into(),
+            ));
+        }
+        self.send(&QueryRequest::SubscribeEpochs {
+            from_epoch,
+            batch_rows,
+        })?;
+        Ok(EpochStream {
+            client: self,
+            current: None,
+            done: false,
+            failed: false,
+        })
+    }
+
     /// Answer a plan with v1 requests plus client-side post-processing.
     fn query_v1_fallback(&mut self, plan: &QueryPlan) -> Result<Vec<PlanRow>, ClientError> {
         match &plan.source {
@@ -600,6 +737,181 @@ impl Drop for RowStream<'_> {
     }
 }
 
+/// One verified unit of a replication subscription's reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochStreamEvent {
+    /// One complete epoch: every batch arrived, every checksum
+    /// matched, and the record count reconciled with the commit
+    /// marker. Safe to apply.
+    Epoch {
+        /// The epoch id on the leader (and, after apply, here).
+        epoch: u64,
+        /// The epoch's records in the leader's commit order.
+        records: Vec<ProcessRecord>,
+    },
+    /// The subscription is exhausted: the leader had no further epochs
+    /// in the snapshot it pinned at subscribe time.
+    End {
+        /// Epoch a follow-up subscription should start from.
+        next_from: u64,
+        /// Leader's sealed-store bytes at subscribe time.
+        leader_bytes: u64,
+    },
+}
+
+/// A lazy reader over a [`SirenClient::subscribe_epochs`] reply.
+/// Frames are read from the socket only as events are consumed;
+/// batches of the in-flight epoch are buffered until its commit marker
+/// verifies, so a torn connection can never surface a partial epoch.
+///
+/// Dropping an unfinished stream drains the reply to its frame
+/// boundary; if draining fails the client is poisoned and refuses
+/// further calls.
+#[derive(Debug)]
+pub struct EpochStream<'c> {
+    client: &'c mut SirenClient,
+    /// The epoch currently accumulating: `(epoch, records, per-batch
+    /// checksums in arrival order)`.
+    current: Option<(u64, Vec<ProcessRecord>, Vec<u64>)>,
+    done: bool,
+    failed: bool,
+}
+
+impl EpochStream<'_> {
+    /// Read until the next verified event. `None` after `End`.
+    pub fn next_event(&mut self) -> Result<Option<EpochStreamEvent>, ClientError> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            let resp = match self.client.recv() {
+                Ok(resp) => resp,
+                Err(err) => {
+                    // Transport death mid-reply: the buffered partial
+                    // epoch is discarded, never surfaced.
+                    self.failed = true;
+                    self.done = true;
+                    return Err(err);
+                }
+            };
+            match resp {
+                QueryResponse::EpochBatch(batch) => {
+                    let sum = batch.checksum();
+                    match &mut self.current {
+                        None => self.current = Some((batch.epoch, batch.records, vec![sum])),
+                        Some((epoch, records, sums)) if *epoch == batch.epoch => {
+                            records.extend(batch.records);
+                            sums.push(sum);
+                        }
+                        Some((epoch, ..)) => {
+                            let detail = format!(
+                                "epoch {} batch interleaved into open epoch {}",
+                                batch.epoch, epoch
+                            );
+                            return Err(self.fail(detail));
+                        }
+                    }
+                }
+                QueryResponse::EpochCommit {
+                    epoch,
+                    records,
+                    checksum,
+                } => {
+                    let (got_epoch, got_records, sums) =
+                        self.current
+                            .take()
+                            .unwrap_or((epoch, Vec::new(), Vec::new()));
+                    if got_epoch != epoch {
+                        return Err(self.fail(format!(
+                            "commit marker for epoch {epoch} while epoch {got_epoch} was open"
+                        )));
+                    }
+                    if got_records.len() as u64 != records {
+                        return Err(self.fail(format!(
+                            "epoch {epoch} shipped {} records, commit marker claims {records}",
+                            got_records.len()
+                        )));
+                    }
+                    if fold_epoch_checksum(&sums) != checksum {
+                        return Err(self.fail(format!("epoch {epoch} checksum chain mismatch")));
+                    }
+                    return Ok(Some(EpochStreamEvent::Epoch {
+                        epoch,
+                        records: got_records,
+                    }));
+                }
+                QueryResponse::SubscribeEnd {
+                    next_from,
+                    leader_bytes,
+                } => {
+                    if self.current.is_some() {
+                        return Err(self.fail("subscription ended mid-epoch".into()));
+                    }
+                    self.done = true;
+                    return Ok(Some(EpochStreamEvent::End {
+                        next_from,
+                        leader_bytes,
+                    }));
+                }
+                QueryResponse::Error(err) => {
+                    // A typed error terminates the reply on a frame
+                    // boundary; the connection stays usable.
+                    self.current = None;
+                    self.done = true;
+                    return Err(ClientError::Server(err));
+                }
+                other => {
+                    self.failed = true;
+                    self.done = true;
+                    return Err(unexpected(
+                        "EpochBatch, EpochCommit or SubscribeEnd",
+                        &other,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Record an integrity violation: the bytes parsed but the
+    /// replication invariants did not hold, so nothing further on this
+    /// connection can be trusted.
+    fn fail(&mut self, detail: String) -> ClientError {
+        self.failed = true;
+        self.done = true;
+        ClientError::Protocol(detail)
+    }
+}
+
+impl Drop for EpochStream<'_> {
+    fn drop(&mut self) {
+        if self.done && !self.failed {
+            return;
+        }
+        if !self.failed {
+            // Resync: the reply is bounded by the epochs the pinned
+            // snapshot held at subscribe time.
+            for _ in 0..1_000_000 {
+                match self.client.recv() {
+                    Ok(QueryResponse::EpochBatch(_) | QueryResponse::EpochCommit { .. }) => {
+                        continue
+                    }
+                    Ok(QueryResponse::SubscribeEnd { .. } | QueryResponse::Error(_)) => {
+                        self.done = true;
+                        break;
+                    }
+                    _ => {
+                        self.failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if self.failed || !self.done {
+            self.client.poisoned = true;
+        }
+    }
+}
+
 pub(crate) fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
     let kind = match got {
         QueryResponse::Status(_) => "Status",
@@ -610,6 +922,9 @@ pub(crate) fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
         QueryResponse::StreamEnd { .. } => "StreamEnd",
         QueryResponse::Metrics(_) => "Metrics",
         QueryResponse::Traces(_) => "Traces",
+        QueryResponse::EpochBatch(_) => "EpochBatch",
+        QueryResponse::EpochCommit { .. } => "EpochCommit",
+        QueryResponse::SubscribeEnd { .. } => "SubscribeEnd",
         QueryResponse::Error(_) => "Error",
     };
     ClientError::Protocol(format!("expected {wanted} response, got {kind}"))

@@ -80,11 +80,12 @@ pub mod mux;
 pub mod plan;
 pub mod stream;
 
-pub use client::{ClientError, RowStream, SirenClient};
+pub use client::{ClientError, EpochStream, EpochStreamEvent, RetryPolicy, RowStream, SirenClient};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD};
 pub use message::{
-    decode_hello, decode_hello_ack, encode_hello, encode_hello_ack, negotiate, NeighborRow,
-    QueryError, QueryRequest, QueryResponse, RecordRow, Selection, StatusInfo, HELLO_MAGIC,
+    decode_hello, decode_hello_ack, encode_hello, encode_hello_ack, fold_epoch_checksum, negotiate,
+    EpochBatch, NeighborRow, QueryError, QueryRequest, QueryResponse, RecordRow, Selection,
+    StatusInfo, HELLO_MAGIC,
 };
 pub use mux::{MuxClient, MuxStream};
 pub use plan::{

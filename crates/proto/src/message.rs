@@ -32,6 +32,9 @@ const REQ_FETCH_CURSOR: u8 = 5;
 const REQ_CLOSE_CURSOR: u8 = 6;
 const REQ_METRICS: u8 = 7;
 const REQ_TRACES: u8 = 8;
+// Tag 9 is protocol v3: replication epoch subscription. v1/v2
+// connections answer it with `QueryError::UnknownRequest` and survive.
+const REQ_SUBSCRIBE_EPOCHS: u8 = 9;
 
 // Response payload tags. `b'S'` (0x53) is reserved so a hello-ack can
 // never be mistaken for a response payload. Tags 4 and 5 are protocol
@@ -44,6 +47,11 @@ const RESP_BATCH: u8 = 4;
 const RESP_STREAM_END: u8 = 5;
 const RESP_METRICS: u8 = 6;
 const RESP_TRACES: u8 = 7;
+// Tags 8–10 are protocol v3 replication stream frames and never
+// appear on a v1/v2 connection.
+const RESP_EPOCH_BATCH: u8 = 8;
+const RESP_EPOCH_COMMIT: u8 = 9;
+const RESP_SUBSCRIBE_END: u8 = 10;
 const RESP_ERROR: u8 = 0xFF;
 
 // QueryError codes. Codes 6+ are v2-only and can only be drawn by v2
@@ -676,6 +684,21 @@ pub enum QueryRequest {
     /// trees, filtered by trace id, plan fingerprint, minimum duration,
     /// or stage name.
     Traces(TraceFilter),
+    /// Subscribe to the leader's committed epochs (protocol v3,
+    /// replication). The server streams every epoch `>= from_epoch`
+    /// committed at subscribe time as checksummed
+    /// [`QueryResponse::EpochBatch`] frames, each epoch closed by an
+    /// [`QueryResponse::EpochCommit`] marker, and terminates the reply
+    /// with [`QueryResponse::SubscribeEnd`] naming the next epoch to
+    /// ask for. Followers long-poll: re-subscribe from `next_from` to
+    /// pick up later commits.
+    SubscribeEpochs {
+        /// First epoch wanted (inclusive).
+        from_epoch: u64,
+        /// Upper bound on records per `EpochBatch` frame; `0` means
+        /// the server default.
+        batch_rows: u32,
+    },
 }
 
 impl QueryRequest {
@@ -724,6 +747,14 @@ impl QueryRequest {
                 out.push(REQ_TRACES);
                 put_trace_filter(&mut out, filter);
             }
+            QueryRequest::SubscribeEpochs {
+                from_epoch,
+                batch_rows,
+            } => {
+                out.push(REQ_SUBSCRIBE_EPOCHS);
+                out.extend_from_slice(&from_epoch.to_le_bytes());
+                out.extend_from_slice(&batch_rows.to_le_bytes());
+            }
         }
         if version >= 2 {
             out.extend_from_slice(&trace.map(|t| t.0).unwrap_or(0).to_le_bytes());
@@ -754,6 +785,12 @@ impl QueryRequest {
         if version < 2 && (REQ_PLAN..=REQ_TRACES).contains(&tag) {
             return Err(QueryError::UnknownRequest(tag));
         }
+        // Replication subscription is v3-only; a v1/v2 peer sees the
+        // tag exactly as an older server build would: unknown, with
+        // the connection surviving.
+        if version < 3 && tag == REQ_SUBSCRIBE_EPOCHS {
+            return Err(QueryError::UnknownRequest(tag));
+        }
         let mut pos = 0usize;
         let req = match tag {
             REQ_STATUS => QueryRequest::Status,
@@ -779,6 +816,10 @@ impl QueryRequest {
             REQ_TRACES => {
                 QueryRequest::Traces(get_trace_filter(body, &mut pos).ok_or_else(malformed)?)
             }
+            REQ_SUBSCRIBE_EPOCHS => QueryRequest::SubscribeEpochs {
+                from_epoch: get_u64(body, &mut pos).ok_or_else(malformed)?,
+                batch_rows: get_u32(body, &mut pos).ok_or_else(malformed)?,
+            },
             other => return Err(QueryError::UnknownRequest(other)),
         };
         let trace = if version >= 2 {
@@ -826,6 +867,19 @@ pub struct StatusInfo {
     /// Negotiated-version histogram: `(version, connections)` pairs,
     /// ascending by version, since daemon start (v2).
     pub version_connections: Vec<(u16, u64)>,
+    /// Replication high-water mark: the next epoch this daemon would
+    /// request from its leader, i.e. every epoch below it is applied
+    /// and durable locally (protocol v3; zero on a non-follower).
+    pub repl_high_water: u64,
+    /// Epochs this follower trails its leader by, as of the last
+    /// subscription exchange (v3; zero on a non-follower).
+    pub repl_lag_epochs: u64,
+    /// Sealed-store bytes this follower trails its leader by, as of
+    /// the last subscription exchange (v3; zero on a non-follower).
+    pub repl_lag_bytes: u64,
+    /// Reconnect attempts the follower's replication loop has made
+    /// since daemon start (v3; zero on a non-follower).
+    pub repl_reconnects: u64,
 }
 
 /// One epoch-tagged committed record.
@@ -835,6 +889,48 @@ pub struct RecordRow {
     pub epoch: u64,
     /// The consolidated record.
     pub record: ProcessRecord,
+}
+
+/// One bounded frame of a replication epoch stream (protocol v3): a
+/// slice of one epoch's consolidated records, in the leader's
+/// consolidation order. The wire encoding appends an FNV-1a/64
+/// checksum over the raw record encodings; the decoder recomputes and
+/// rejects mismatches, so a batch that decodes is end-to-end intact
+/// independent of the frame-level checksum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochBatch {
+    /// Epoch every record in this frame belongs to.
+    pub epoch: u64,
+    /// The record slice, in commit order.
+    pub records: Vec<ProcessRecord>,
+}
+
+impl EpochBatch {
+    /// FNV-1a/64 over the concatenated record encodings — the batch
+    /// checksum shipped on the wire and chained into the epoch's
+    /// [`QueryResponse::EpochCommit`] marker. Both sides compute it
+    /// with this one function.
+    pub fn checksum(&self) -> u64 {
+        let mut fnv = siren_hash::Fnv64::new();
+        for record in &self.records {
+            fnv.update(&record.encode());
+        }
+        fnv.digest()
+    }
+}
+
+/// Fold per-batch checksums into the epoch checksum carried by
+/// [`QueryResponse::EpochCommit`]: FNV-1a/64 over the little-endian
+/// batch checksums in shipping order. A dropped, duplicated, or
+/// reordered batch changes the fold, so a follower that accumulates
+/// batch checksums as they arrive can verify the whole epoch against
+/// the commit marker without retaining any raw bytes.
+pub fn fold_epoch_checksum(batch_checksums: &[u64]) -> u64 {
+    let mut fnv = siren_hash::Fnv64::new();
+    for sum in batch_checksums {
+        fnv.update(&sum.to_le_bytes());
+    }
+    fnv.digest()
 }
 
 /// One nearest-neighbor hit.
@@ -875,6 +971,33 @@ pub enum QueryResponse {
     /// Answer to [`QueryRequest::Traces`] (v2): matching trace trees,
     /// most recent first.
     Traces(Vec<TraceTree>),
+    /// One checksummed slice of a replicated epoch (protocol v3).
+    /// Frames of the same epoch arrive contiguously, closed by an
+    /// `EpochCommit`.
+    EpochBatch(EpochBatch),
+    /// Closes one epoch of a replication stream (v3): the follower may
+    /// apply the accumulated records iff every count and checksum
+    /// matches.
+    EpochCommit {
+        /// The epoch just completed.
+        epoch: u64,
+        /// Total records shipped for this epoch, across its batches.
+        records: u64,
+        /// [`fold_epoch_checksum`] over the per-batch checksums in
+        /// shipping order.
+        checksum: u64,
+    },
+    /// Terminates a [`QueryRequest::SubscribeEpochs`] reply (v3): the
+    /// leader has no further committed epochs in the snapshot this
+    /// subscription pinned.
+    SubscribeEnd {
+        /// The epoch a follow-up subscription should start from.
+        next_from: u64,
+        /// Leader's sealed-store footprint in bytes at subscribe time;
+        /// followers compare against their own store to gauge bytes
+        /// behind.
+        leader_bytes: u64,
+    },
     /// The request could not be answered.
     Error(QueryError),
 }
@@ -912,6 +1035,12 @@ impl QueryResponse {
                         out.extend_from_slice(&v.to_le_bytes());
                         out.extend_from_slice(&n.to_le_bytes());
                     }
+                }
+                if version >= 3 {
+                    out.extend_from_slice(&status.repl_high_water.to_le_bytes());
+                    out.extend_from_slice(&status.repl_lag_epochs.to_le_bytes());
+                    out.extend_from_slice(&status.repl_lag_bytes.to_le_bytes());
+                    out.extend_from_slice(&status.repl_reconnects.to_le_bytes());
                 }
             }
             QueryResponse::Rows(rows) => {
@@ -962,6 +1091,36 @@ impl QueryResponse {
                 out.push(RESP_TRACES);
                 put_traces(&mut out, trees);
             }
+            QueryResponse::EpochBatch(batch) => {
+                out.push(RESP_EPOCH_BATCH);
+                out.extend_from_slice(&batch.epoch.to_le_bytes());
+                out.extend_from_slice(&(batch.records.len() as u32).to_le_bytes());
+                let mut fnv = siren_hash::Fnv64::new();
+                for record in &batch.records {
+                    let bytes = record.encode();
+                    fnv.update(&bytes);
+                    put_bytes(&mut out, &bytes);
+                }
+                out.extend_from_slice(&fnv.digest().to_le_bytes());
+            }
+            QueryResponse::EpochCommit {
+                epoch,
+                records,
+                checksum,
+            } => {
+                out.push(RESP_EPOCH_COMMIT);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&records.to_le_bytes());
+                out.extend_from_slice(&checksum.to_le_bytes());
+            }
+            QueryResponse::SubscribeEnd {
+                next_from,
+                leader_bytes,
+            } => {
+                out.push(RESP_SUBSCRIBE_END);
+                out.extend_from_slice(&next_from.to_le_bytes());
+                out.extend_from_slice(&leader_bytes.to_le_bytes());
+            }
             QueryResponse::Error(err) => {
                 out.push(RESP_ERROR);
                 err.put(&mut out);
@@ -988,6 +1147,11 @@ impl QueryResponse {
         {
             return Err(QueryError::Malformed(
                 "v2-only response frame on a v1 connection".into(),
+            ));
+        }
+        if version < 3 && (RESP_EPOCH_BATCH..=RESP_SUBSCRIBE_END).contains(&tag) {
+            return Err(QueryError::Malformed(
+                "v3-only response frame on an older connection".into(),
             ));
         }
         let mut pos = 0usize;
@@ -1024,6 +1188,17 @@ impl QueryResponse {
                 } else {
                     (0, 0, Vec::new())
                 };
+                let (repl_high_water, repl_lag_epochs, repl_lag_bytes, repl_reconnects) =
+                    if version >= 3 {
+                        (
+                            get_u64(body, &mut pos).ok_or_else(malformed)?,
+                            get_u64(body, &mut pos).ok_or_else(malformed)?,
+                            get_u64(body, &mut pos).ok_or_else(malformed)?,
+                            get_u64(body, &mut pos).ok_or_else(malformed)?,
+                        )
+                    } else {
+                        (0, 0, 0, 0)
+                    };
                 QueryResponse::Status(StatusInfo {
                     protocol_version,
                     committed_epochs,
@@ -1034,6 +1209,10 @@ impl QueryResponse {
                     queries_refused,
                     open_cursors,
                     version_connections,
+                    repl_high_water,
+                    repl_lag_epochs,
+                    repl_lag_bytes,
+                    repl_reconnects,
                 })
             }
             RESP_ROWS => {
@@ -1092,6 +1271,34 @@ impl QueryResponse {
                 QueryResponse::Metrics(get_metrics(body, &mut pos).ok_or_else(malformed)?)
             }
             RESP_TRACES => QueryResponse::Traces(get_traces(body, &mut pos).ok_or_else(malformed)?),
+            RESP_EPOCH_BATCH => {
+                let epoch = get_u64(body, &mut pos).ok_or_else(malformed)?;
+                // Record byte-length prefix (4) is the minimum element.
+                let n = get_count(body, &mut pos, 4).ok_or_else(malformed)?;
+                let mut records = Vec::with_capacity(decode_capacity(n));
+                let mut fnv = siren_hash::Fnv64::new();
+                for _ in 0..n {
+                    let bytes = get_bytes(body, &mut pos).ok_or_else(malformed)?;
+                    fnv.update(bytes);
+                    records.push(ProcessRecord::decode(bytes).ok_or_else(malformed)?);
+                }
+                let shipped = get_u64(body, &mut pos).ok_or_else(malformed)?;
+                if shipped != fnv.digest() {
+                    return Err(QueryError::Malformed(
+                        "epoch batch checksum mismatch".into(),
+                    ));
+                }
+                QueryResponse::EpochBatch(EpochBatch { epoch, records })
+            }
+            RESP_EPOCH_COMMIT => QueryResponse::EpochCommit {
+                epoch: get_u64(body, &mut pos).ok_or_else(malformed)?,
+                records: get_u64(body, &mut pos).ok_or_else(malformed)?,
+                checksum: get_u64(body, &mut pos).ok_or_else(malformed)?,
+            },
+            RESP_SUBSCRIBE_END => QueryResponse::SubscribeEnd {
+                next_from: get_u64(body, &mut pos).ok_or_else(malformed)?,
+                leader_bytes: get_u64(body, &mut pos).ok_or_else(malformed)?,
+            },
             RESP_ERROR => {
                 QueryResponse::Error(QueryError::get(body, &mut pos).ok_or_else(malformed)?)
             }

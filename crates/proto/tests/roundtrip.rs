@@ -17,10 +17,11 @@ use siren_consolidate::{ProcessRecord, ScriptRecord};
 use siren_db::Record;
 use siren_proto::{
     decode_hello, decode_hello_ack, decode_stream_frame, encode_hello, encode_hello_ack,
-    encode_stream_frame, negotiate, read_frame, write_frame, FrameError, NeighborRow, Order,
-    PlanSource, Projection, QueryError, QueryPlan, QueryRequest, QueryResponse, RecordRow,
-    RowBatch, Selection, SpanId, SpanRecord, StatusInfo, TraceFilter, TraceId, TraceTree,
-    DEFAULT_COMPRESS_MIN_BYTES, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN, STREAM_HEADER_LEN,
+    encode_stream_frame, fold_epoch_checksum, negotiate, read_frame, write_frame, EpochBatch,
+    FrameError, NeighborRow, Order, PlanSource, Projection, QueryError, QueryPlan, QueryRequest,
+    QueryResponse, RecordRow, RowBatch, Selection, SpanId, SpanRecord, StatusInfo, TraceFilter,
+    TraceId, TraceTree, DEFAULT_COMPRESS_MIN_BYTES, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
+    STREAM_HEADER_LEN,
 };
 use siren_wire::{Layer, MessageType};
 
@@ -164,7 +165,11 @@ fn arb_record(rng: &mut TestRng) -> ProcessRecord {
 }
 
 fn arb_request(rng: &mut TestRng, version: u16) -> QueryRequest {
-    let kinds = if version >= 2 { 9 } else { 4 };
+    let kinds = match version {
+        v if v >= 3 => 10,
+        2 => 9,
+        _ => 4,
+    };
     match rng.below(kinds) {
         0 => QueryRequest::Status,
         1 => QueryRequest::ByJob {
@@ -186,7 +191,11 @@ fn arb_request(rng: &mut TestRng, version: u16) -> QueryRequest {
             cursor: rng.next_u64(),
         },
         7 => QueryRequest::Metrics,
-        _ => QueryRequest::Traces(arb_trace_filter(rng)),
+        8 => QueryRequest::Traces(arb_trace_filter(rng)),
+        _ => QueryRequest::SubscribeEpochs {
+            from_epoch: rng.next_u64(),
+            batch_rows: rng.next_u64() as u32,
+        },
     }
 }
 
@@ -297,11 +306,29 @@ fn arb_status(rng: &mut TestRng, version: u16) -> StatusInfo {
             .map(|v| (v, rng.next_u64()))
             .collect();
     }
+    // The v3 replication fields travel only on v3 connections.
+    if version >= 3 {
+        status.repl_high_water = rng.next_u64();
+        status.repl_lag_epochs = rng.next_u64();
+        status.repl_lag_bytes = rng.next_u64();
+        status.repl_reconnects = rng.next_u64();
+    }
     status
 }
 
+fn arb_epoch_batch(rng: &mut TestRng) -> EpochBatch {
+    EpochBatch {
+        epoch: rng.next_u64(),
+        records: (0..rng.below(4)).map(|_| arb_record(rng)).collect(),
+    }
+}
+
 fn arb_response(rng: &mut TestRng, version: u16) -> QueryResponse {
-    let kinds = if version >= 2 { 9 } else { 5 };
+    let kinds = match version {
+        v if v >= 3 => 12,
+        2 => 9,
+        _ => 5,
+    };
     match rng.below(kinds) {
         0 => QueryResponse::Status(arb_status(rng, version)),
         1 => QueryResponse::Rows(
@@ -336,7 +363,17 @@ fn arb_response(rng: &mut TestRng, version: u16) -> QueryResponse {
             cursor: (rng.below(2) == 1).then(|| rng.next_u64()),
         },
         7 => QueryResponse::Metrics(arb_metrics(rng)),
-        _ => QueryResponse::Traces(arb_traces(rng)),
+        8 => QueryResponse::Traces(arb_traces(rng)),
+        9 => QueryResponse::EpochBatch(arb_epoch_batch(rng)),
+        10 => QueryResponse::EpochCommit {
+            epoch: rng.next_u64(),
+            records: rng.next_u64(),
+            checksum: rng.next_u64(),
+        },
+        _ => QueryResponse::SubscribeEnd {
+            next_from: rng.next_u64(),
+            leader_bytes: rng.next_u64(),
+        },
     }
 }
 
@@ -360,12 +397,12 @@ fn assert_request_round_trip(req: &QueryRequest, version: u16) {
     assert!(QueryRequest::decode_versioned(&extra, version).is_err());
 }
 
-/// v2 request frames carry a trailing trace-context id (0 = absent):
+/// v2+ request frames carry a trailing trace-context id (0 = absent):
 /// the pair must round-trip exactly, truncation at every byte must be a
 /// typed error, and trailing junk must be rejected.
-fn assert_traced_round_trip(req: &QueryRequest, trace: Option<TraceId>) {
-    let encoded = req.encode_traced(2, trace);
-    match QueryRequest::decode_traced(&encoded, 2) {
+fn assert_traced_round_trip(req: &QueryRequest, trace: Option<TraceId>, version: u16) {
+    let encoded = req.encode_traced(version, trace);
+    match QueryRequest::decode_traced(&encoded, version) {
         Ok((decoded, decoded_trace)) => {
             assert_eq!(&decoded, req);
             assert_eq!(decoded_trace, trace);
@@ -374,13 +411,13 @@ fn assert_traced_round_trip(req: &QueryRequest, trace: Option<TraceId>) {
     }
     for cut in 0..encoded.len() {
         assert!(
-            QueryRequest::decode_traced(&encoded[..cut], 2).is_err(),
+            QueryRequest::decode_traced(&encoded[..cut], version).is_err(),
             "cut {cut}"
         );
     }
     let mut extra = encoded.clone();
     extra.push(0);
-    assert!(QueryRequest::decode_traced(&extra, 2).is_err());
+    assert!(QueryRequest::decode_traced(&extra, version).is_err());
 }
 
 fn assert_response_round_trip(resp: &QueryResponse, version: u16) {
@@ -390,9 +427,10 @@ fn assert_response_round_trip(resp: &QueryResponse, version: u16) {
         Ok(resp)
     );
     for cut in 0..encoded.len() {
-        // Must not panic at either negotiated version.
-        let _ = QueryResponse::decode_versioned(&encoded[..cut], version);
-        let _ = QueryResponse::decode_versioned(&encoded[..cut], 3 - version);
+        // Must not panic at any negotiated version.
+        for probe in [1u16, 2, 3] {
+            let _ = QueryResponse::decode_versioned(&encoded[..cut], probe);
+        }
     }
     let mut extra = encoded.clone();
     extra.push(0);
@@ -407,14 +445,14 @@ fn assert_response_round_trip(resp: &QueryResponse, version: u16) {
 fn run_cases(cases: u32, name: &str) {
     let mut rng = rng_for(name);
     for case in 0..cases {
-        // Alternate negotiated versions so both codecs stay fuzzed.
-        let version = 1 + (case % 2) as u16;
+        // Rotate negotiated versions so all three codecs stay fuzzed.
+        let version = 1 + (case % 3) as u16;
         let request = arb_request(&mut rng, version);
         assert_request_round_trip(&request, version);
         if version >= 2 {
             // The same request with and without a propagated trace id.
             let trace = (rng.below(2) == 1).then(|| arb_trace_id(&mut rng));
-            assert_traced_round_trip(&request, trace);
+            assert_traced_round_trip(&request, trace, version);
         }
         assert_response_round_trip(&arb_response(&mut rng, version), version);
         // Framed transport round-trip (in-memory "socket").
@@ -893,6 +931,137 @@ fn traces_frames_round_trip_on_v2_and_are_refused_on_v1() {
         let mut inflated = encoded.clone();
         inflated[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(QueryResponse::decode_versioned(&inflated, 2).is_err());
+    }
+}
+
+#[test]
+fn replication_frames_round_trip_on_v3_and_are_refused_on_older() {
+    let mut rng = rng_for("replication_frames_round_trip");
+
+    // The subscription request is v3-only; v1 and v2 connections see
+    // the tag exactly as a pre-replication server build would:
+    // UnknownRequest(9), with the connection left usable.
+    let req = QueryRequest::SubscribeEpochs {
+        from_epoch: 7,
+        batch_rows: 128,
+    };
+    let encoded = req.encode_versioned(3);
+    assert_eq!(QueryRequest::decode_versioned(&encoded, 3), Ok(req));
+    for older in [1u16, 2] {
+        assert_eq!(
+            QueryRequest::decode_versioned(&encoded, older),
+            Err(QueryError::UnknownRequest(9))
+        );
+    }
+    // Pin the byte layout: tag, from_epoch u64, batch_rows u32, and
+    // the trailing trace-context id every v2+ request frame carries.
+    assert_eq!(
+        encoded,
+        [
+            &[9u8][..],
+            &7u64.to_le_bytes()[..],
+            &128u32.to_le_bytes()[..],
+            &0u64.to_le_bytes()[..],
+        ]
+        .concat(),
+        "v3 SubscribeEpochs byte layout drifted"
+    );
+
+    for _ in 0..32 {
+        // EpochBatch: exact round-trip on v3, refused on v1/v2, typed
+        // errors on truncation at every byte.
+        let batch = arb_epoch_batch(&mut rng);
+        let resp = QueryResponse::EpochBatch(batch.clone());
+        let encoded = resp.encode_versioned(3);
+        assert_eq!(
+            QueryResponse::decode_versioned(&encoded, 3).as_ref(),
+            Ok(&resp)
+        );
+        for older in [1u16, 2] {
+            assert!(matches!(
+                QueryResponse::decode_versioned(&encoded, older),
+                Err(QueryError::Malformed(_))
+            ));
+        }
+        for cut in 0..encoded.len() {
+            assert!(
+                QueryResponse::decode_versioned(&encoded[..cut], 3).is_err(),
+                "cut {cut} must not decode"
+            );
+        }
+        // A flipped bit anywhere past the epoch/count header — in a
+        // record's bytes, a length prefix, or the trailing checksum —
+        // must draw a typed error, never a silently different batch.
+        // (The checksum is what makes a decoded batch end-to-end
+        // intact independent of the frame-level FNV.)
+        let body_start = 1 + 8 + 4; // tag + epoch + record count
+        let at = body_start + rng.below((encoded.len() - body_start) as u64) as usize;
+        let mut tampered = encoded.clone();
+        tampered[at] ^= 1u8 << rng.below(8);
+        assert!(
+            QueryResponse::decode_versioned(&tampered, 3).is_err(),
+            "bit flip at {at} must not decode"
+        );
+        // And a flip pinned to the trailing checksum itself draws the
+        // dedicated mismatch error.
+        let mut sum_flip = encoded.clone();
+        let last = sum_flip.len() - 1;
+        sum_flip[last] ^= 0x80;
+        match QueryResponse::decode_versioned(&sum_flip, 3) {
+            Err(QueryError::Malformed(msg)) => {
+                assert!(msg.contains("checksum mismatch"), "got: {msg}")
+            }
+            other => panic!("checksum flip must be a typed mismatch, got {other:?}"),
+        }
+
+        // The commit marker's fold matches what a follower accumulates
+        // batch-by-batch with the shared helper.
+        let commit = QueryResponse::EpochCommit {
+            epoch: batch.epoch,
+            records: batch.records.len() as u64,
+            checksum: fold_epoch_checksum(&[batch.checksum()]),
+        };
+        let encoded = commit.encode_versioned(3);
+        assert_eq!(
+            QueryResponse::decode_versioned(&encoded, 3).as_ref(),
+            Ok(&commit)
+        );
+        assert!(QueryResponse::decode_versioned(&encoded, 2).is_err());
+
+        let end = QueryResponse::SubscribeEnd {
+            next_from: rng.next_u64(),
+            leader_bytes: rng.next_u64(),
+        };
+        let encoded = end.encode_versioned(3);
+        assert_eq!(
+            QueryResponse::decode_versioned(&encoded, 3).as_ref(),
+            Ok(&end)
+        );
+        assert!(QueryResponse::decode_versioned(&encoded, 1).is_err());
+    }
+
+    // Status answers carry the replication gauges only on v3
+    // connections; a v2 peer gets the v2 body it always got.
+    let status = StatusInfo {
+        protocol_version: 3,
+        repl_high_water: 12,
+        repl_lag_epochs: 2,
+        repl_lag_bytes: 4096,
+        repl_reconnects: 5,
+        ..StatusInfo::default()
+    };
+    let resp = QueryResponse::Status(status);
+    let on_v3 = QueryResponse::decode_versioned(&resp.encode_versioned(3), 3).unwrap();
+    assert_eq!(on_v3, resp);
+    let on_v2 = QueryResponse::decode_versioned(&resp.encode_versioned(2), 2).unwrap();
+    match on_v2 {
+        QueryResponse::Status(s) => {
+            assert_eq!(s.repl_high_water, 0);
+            assert_eq!(s.repl_lag_epochs, 0);
+            assert_eq!(s.repl_lag_bytes, 0);
+            assert_eq!(s.repl_reconnects, 0);
+        }
+        other => panic!("expected Status, got {other:?}"),
     }
 }
 

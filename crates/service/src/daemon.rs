@@ -273,6 +273,11 @@ const NO_EPOCH: u64 = u64::MAX;
 pub(crate) struct SharedState {
     snapshot: RwLock<Arc<QuerySnapshot>>,
     open_epoch: AtomicU64,
+    /// Sealed consolidated-store footprint in bytes, refreshed at open
+    /// and after every commit. The reactor tier reads it to stamp
+    /// `SubscribeEnd.leader_bytes` without touching the store itself;
+    /// followers subtract their own figure to report `repl.lag_bytes`.
+    sealed_bytes: AtomicU64,
     /// Registry-backed (`service.epoch_tag_mismatches` /
     /// `service.quiet_period_fallbacks`): a `Status` answer and a
     /// `Metrics` snapshot read the very same atomics, so the two views
@@ -286,9 +291,19 @@ impl SharedState {
         Self {
             snapshot: RwLock::new(snapshot),
             open_epoch: AtomicU64::new(NO_EPOCH),
+            sealed_bytes: AtomicU64::new(0),
             epoch_tag_mismatches: Arc::clone(&metrics.epoch_tag_mismatches),
             quiet_period_fallbacks: Arc::clone(&metrics.quiet_period_fallbacks),
         }
+    }
+
+    /// The sealed-store footprint last published by the daemon.
+    pub(crate) fn sealed_bytes(&self) -> u64 {
+        self.sealed_bytes.load(Ordering::Relaxed)
+    }
+
+    fn publish_sealed_bytes(&self, bytes: u64) {
+        self.sealed_bytes.store(bytes, Ordering::Relaxed);
     }
 
     /// The current snapshot (a cheap `Arc` clone).
@@ -420,8 +435,15 @@ impl SirenDaemon {
             let Some(name) = name.to_str() else { continue };
             if let Some((epoch, shards)) = parse_epoch_msgs_name(name) {
                 if committed.contains(&epoch) {
-                    std::fs::remove_file(entry.path())?;
-                    recovery.stale_epoch_wals_removed += 1;
+                    // Survivable: the epoch is already durable in the
+                    // sealed store, so a failed unlink of its raw
+                    // message WAL costs disk, not correctness. Count
+                    // it and keep recovering — the next open retries.
+                    if std::fs::remove_file(entry.path()).is_err() {
+                        metrics.io_errors.inc();
+                    } else {
+                        recovery.stale_epoch_wals_removed += 1;
+                    }
                 } else {
                     leftovers.insert((epoch, shards));
                 }
@@ -450,6 +472,9 @@ impl SirenDaemon {
             metrics,
             ingest_metrics,
         };
+        daemon
+            .shared
+            .publish_sealed_bytes(daemon.store.sealed_bytes());
 
         // Resume the newest uncommitted epoch; commit any older ones
         // outright (their campaigns ended with the crash).
@@ -634,11 +659,15 @@ impl SirenDaemon {
         span.finish();
         // Only now is it safe to drop the raw messages. The partition
         // paths come from the ingest config itself, so this deletes
-        // exactly what the workers wrote.
+        // exactly what the workers wrote. A failed unlink is
+        // survivable — the epoch is already sealed, and recovery
+        // removes stale WALs for committed epochs on the next open —
+        // so it is counted, not propagated: failing a durable commit
+        // over cleanup would un-commit good data.
         for shard in 0..ingest_cfg.effective_shards() {
             if let Some(path) = ingest_cfg.shard_wal_path(shard) {
-                if path.exists() {
-                    std::fs::remove_file(&path)?;
+                if path.exists() && std::fs::remove_file(&path).is_err() {
+                    self.metrics.io_errors.inc();
                 }
             }
         }
@@ -678,6 +707,46 @@ impl SirenDaemon {
         Ok(epoch)
     }
 
+    /// [`import_epoch`](Self::import_epoch) pinned to an explicit epoch
+    /// id — the replication apply path. Idempotent on re-delivery:
+    /// returns `Ok(false)` without touching the store when `epoch` is
+    /// already committed (a follower replaying a stream after a crash
+    /// simply skips what it already has). Refused while an epoch is
+    /// ingesting, and refused with `InvalidInput` when `epoch` would
+    /// leave a gap — committed epochs must stay contiguous or recovery's
+    /// "rows imply the commit" union would invent history.
+    pub fn import_epoch_at(
+        &mut self,
+        epoch: u64,
+        records: Vec<ProcessRecord>,
+    ) -> std::io::Result<bool> {
+        if self.open.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cannot import while an epoch is ingesting",
+            ));
+        }
+        if self.committed.contains(&epoch) {
+            return Ok(false);
+        }
+        let expected = self.next_epoch();
+        if epoch != expected {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("import at epoch {epoch} would leave a gap (next is {expected})"),
+            ));
+        }
+        let mut span = self.metrics.traces.buffer().root("epoch.import", None);
+        span.annotate("epoch", &epoch.to_string());
+        let epoch_records: Vec<EpochRecord> = records
+            .into_iter()
+            .map(|record| EpochRecord { epoch, record })
+            .collect();
+        self.commit_records(epoch, epoch_records, Some((span.trace(), span.id())))?;
+        span.finish();
+        Ok(true)
+    }
+
     /// The shared commit point: one atomic segment (fsync + rename
     /// inside) holding the epoch's rows plus its seal marker, then the
     /// snapshot publish. Cost is O(this epoch): the records move into
@@ -697,6 +766,7 @@ impl SirenDaemon {
         items.push(StoredItem::Seal(epoch));
         let commit_start = Instant::now();
         self.store.append_sealed(&items)?;
+        self.shared.publish_sealed_bytes(self.store.sealed_bytes());
         let commit_elapsed = commit_start.elapsed();
         self.metrics.commit_ns.record_duration(commit_elapsed);
         if let Some((trace, parent)) = trace {
@@ -807,6 +877,22 @@ impl SirenDaemon {
     /// [`ServiceConfig::query_addr`] was set.
     pub fn query_addr(&self) -> Option<SocketAddr> {
         self.server.as_ref().map(QueryServer::local_addr)
+    }
+
+    /// Sealed consolidated-store bytes on disk — the replication
+    /// "bytes behind" yardstick ([`StatusInfo::repl_lag_bytes`] is the
+    /// leader's figure minus the follower's).
+    ///
+    /// [`StatusInfo::repl_lag_bytes`]: siren_proto::StatusInfo
+    pub fn sealed_bytes(&self) -> u64 {
+        self.shared.sealed_bytes()
+    }
+
+    /// The daemon's metric handles, for in-crate tiers (the replicator)
+    /// that record into the same registry the wire `Metrics` reply
+    /// snapshots.
+    pub(crate) fn service_metrics(&self) -> &ServiceMetrics {
+        &self.metrics
     }
 
     /// Protocol requests the query server has answered so far.

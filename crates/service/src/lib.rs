@@ -45,6 +45,7 @@
 //! ```
 
 pub mod daemon;
+pub mod replicate;
 pub mod snapshot;
 
 pub(crate) mod maintain;
@@ -53,6 +54,7 @@ pub(crate) mod plan;
 pub(crate) mod server;
 
 pub use daemon::{DaemonRecovery, EpochRecord, EpochSummary, ServiceConfig, SirenDaemon};
+pub use replicate::{Replicator, ReplicatorConfig};
 pub use siren_obs::{MetricsSnapshot, SlowQueryEntry};
 pub use siren_proto::{Order, PlanRow, PlanSource, Projection, QueryPlan, Selection};
 pub use snapshot::{

@@ -39,6 +39,12 @@ pub(crate) struct ServiceMetrics {
     pub records_committed: Arc<Counter>,
     /// `service.epoch_tag_mismatches` — sentinels naming another epoch.
     pub epoch_tag_mismatches: Arc<Counter>,
+    /// `service.io_errors` — survivable filesystem failures in the
+    /// service tier (stale-WAL unlinks after the data is already
+    /// durable elsewhere). Commit-path failures are never counted
+    /// here: they propagate as typed errors, because continuing past
+    /// a failed fsync would un-durable the epoch.
+    pub io_errors: Arc<Counter>,
     /// `service.quiet_period_fallbacks` — epochs closed by silence
     /// instead of a sentinel quorum.
     pub quiet_period_fallbacks: Arc<Counter>,
@@ -89,6 +95,41 @@ pub(crate) struct ServiceMetrics {
     /// prefetched page.
     pub prefetch_pages_served: Arc<Counter>,
 
+    // ---- replication ----
+    /// `repl.subscriptions` — `SubscribeEpochs` streams this daemon
+    /// has served as a leader.
+    pub repl_subscriptions: Arc<Counter>,
+    /// `repl.epochs_shipped` — epochs this leader streamed to
+    /// subscribers (commit markers sent).
+    pub repl_epochs_shipped: Arc<Counter>,
+    /// `repl.records_shipped` — records across those epochs.
+    pub repl_records_shipped: Arc<Counter>,
+    /// `repl.bytes_shipped` — encoded reply-body bytes of epoch
+    /// batches, pre-compression.
+    pub repl_bytes_shipped: Arc<Counter>,
+    /// `repl.epochs_applied` — epochs this follower applied locally.
+    pub repl_epochs_applied: Arc<Counter>,
+    /// `repl.records_applied` — records across those epochs.
+    pub repl_records_applied: Arc<Counter>,
+    /// `repl.apply_ns` — follower apply latency per epoch (verify +
+    /// durable commit + publish).
+    pub repl_apply_ns: Arc<Histogram>,
+    /// `repl.reconnects` — times the follower's loop re-dialed its
+    /// leader (first connect included).
+    pub repl_reconnects: Arc<Counter>,
+    /// `repl.retries` — backoff sleeps the follower's loop took after
+    /// a failed dial or torn subscription.
+    pub repl_retries: Arc<Counter>,
+    /// `repl.lag_epochs` — epochs the follower trails its leader by,
+    /// as of the last subscription exchange.
+    pub repl_lag_epochs: Arc<Gauge>,
+    /// `repl.lag_bytes` — sealed-store bytes behind the leader, as of
+    /// the last subscription exchange.
+    pub repl_lag_bytes: Arc<Gauge>,
+    /// `repl.high_water` — the next epoch this follower would request:
+    /// everything below it is applied and durable locally.
+    pub repl_high_water: Arc<Gauge>,
+
     // ---- cursor table ----
     /// `cursor.open` — cursors parked right now (high-water kept).
     pub cursors_open: Arc<Gauge>,
@@ -114,6 +155,7 @@ impl ServiceMetrics {
             epochs_committed: registry.counter("service.epochs_committed"),
             records_committed: registry.counter("service.records_committed"),
             epoch_tag_mismatches: registry.counter("service.epoch_tag_mismatches"),
+            io_errors: registry.counter("service.io_errors"),
             quiet_period_fallbacks: registry.counter("service.quiet_period_fallbacks"),
             merge_ns: registry.histogram("service.merge_ns"),
             snapshot_merges: registry.counter("service.snapshot_merges"),
@@ -133,6 +175,18 @@ impl ServiceMetrics {
             compressed_bytes_saved: registry.counter("stream.compressed_bytes_saved"),
             prefetch_pages_built: registry.counter("prefetch.pages_built"),
             prefetch_pages_served: registry.counter("prefetch.pages_served"),
+            repl_subscriptions: registry.counter("repl.subscriptions"),
+            repl_epochs_shipped: registry.counter("repl.epochs_shipped"),
+            repl_records_shipped: registry.counter("repl.records_shipped"),
+            repl_bytes_shipped: registry.counter("repl.bytes_shipped"),
+            repl_epochs_applied: registry.counter("repl.epochs_applied"),
+            repl_records_applied: registry.counter("repl.records_applied"),
+            repl_apply_ns: registry.histogram("repl.apply_ns"),
+            repl_reconnects: registry.counter("repl.reconnects"),
+            repl_retries: registry.counter("repl.retries"),
+            repl_lag_epochs: registry.gauge("repl.lag_epochs"),
+            repl_lag_bytes: registry.gauge("repl.lag_bytes"),
+            repl_high_water: registry.gauge("repl.high_water"),
             cursors_open: registry.gauge("cursor.open"),
             cursor_hits: registry.counter("cursor.hits"),
             cursor_misses: registry.counter("cursor.misses"),

@@ -41,6 +41,7 @@
 use crate::daemon::{ServiceConfig, SharedState};
 use crate::metrics::ServiceMetrics;
 use crate::plan::{CursorTable, PlanCursor, BATCH_BYTE_BUDGET};
+use crate::replicate::{EpochFrame, EpochShipper};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use siren_obs::{SlowQueryEntry, Span};
 use siren_proto::{
@@ -92,6 +93,14 @@ pub(crate) fn fill_traffic_counters(
     .into_iter()
     .filter(|&(_, n)| n > 0)
     .collect();
+    // Replication posture (v3 fields; zeros on a daemon that neither
+    // follows nor was ever followed). The gauges are written by the
+    // replicator thread, so a follower's embedded server reports its
+    // own lag without touching the replication loop.
+    status.repl_high_water = metrics.repl_high_water.get().max(0) as u64;
+    status.repl_lag_epochs = metrics.repl_lag_epochs.get().max(0) as u64;
+    status.repl_lag_bytes = metrics.repl_lag_bytes.get().max(0) as u64;
+    status.repl_reconnects = metrics.repl_reconnects.get();
 }
 
 /// The embedded TCP query server. Dropping it wakes every event loop,
@@ -139,18 +148,21 @@ impl QueryServer {
         }
 
         let mut handles = Vec::with_capacity(loops);
+        // Loop 0 takes the bound listener itself — no fallible
+        // `try_clone` on the spawn path.
+        let mut listener = Some(listener);
         for (i, (_, rx)) in channels.iter().enumerate() {
             let ctx = EventLoop {
                 poller: Arc::clone(&pollers[i]),
                 incoming: rx.clone(),
-                listener: (i == 0).then(|| {
+                listener: listener.take().map(|l| {
                     let peers: Vec<Dispatch> = (0..loops)
                         .map(|j| Dispatch {
                             tx: channels[j].0.clone(),
                             poller: Arc::clone(&pollers[j]),
                         })
                         .collect();
-                    (listener.try_clone().expect("listener clone"), peers)
+                    (l, peers)
                 }),
                 shared: Arc::clone(&shared),
                 metrics: metrics.clone(),
@@ -255,6 +267,9 @@ struct ReplyStream {
     /// Already-serialized batches (the prefetched page) served first.
     prefetched: VecDeque<(Vec<u8>, u32)>,
     cursor: Option<PlanCursor>,
+    /// Present on `SubscribeEpochs` replies: the reply is an epoch
+    /// stream produced by the shipper instead of a row stream.
+    shipper: Option<EpochShipper>,
     sent_rows: usize,
     page_rows: usize,
     batch_rows: usize,
@@ -775,6 +790,7 @@ impl EventLoop {
                             accept_compressed,
                             prefetched: VecDeque::new(),
                             cursor: Some(cursor),
+                            shipper: None,
                             sent_rows: 0,
                             page_rows,
                             batch_rows,
@@ -832,6 +848,7 @@ impl EventLoop {
                             accept_compressed,
                             prefetched: prefetched.into(),
                             cursor: Some(parked),
+                            shipper: None,
                             sent_rows: 0,
                             page_rows,
                             batch_rows,
@@ -849,6 +866,59 @@ impl EventLoop {
                         false,
                     ),
                 }
+            }
+            // ---- replication: a long-poll epoch stream. ----
+            Ok((
+                QueryRequest::SubscribeEpochs {
+                    from_epoch,
+                    batch_rows,
+                },
+                client_trace,
+            )) => {
+                let mut root = self
+                    .metrics
+                    .traces
+                    .buffer()
+                    .root("request.subscribe", client_trace);
+                if let Some((queued_at, wait)) = conn.queue_wait.take() {
+                    self.metrics.traces.buffer().record_past(
+                        root.trace(),
+                        Some(root.id()),
+                        "queue_wait",
+                        queued_at,
+                        wait,
+                    );
+                }
+                root.annotate("from_epoch", &from_epoch.to_string());
+                let exec = root.child("exec");
+                self.metrics.repl_subscriptions.inc();
+                // Pin the snapshot (and the sealed footprint published
+                // with it) at subscribe time; commits landing while the
+                // stream drains belong to the follower's next poll.
+                let shipper = EpochShipper::new(
+                    self.shared.load(),
+                    from_epoch,
+                    batch_rows,
+                    self.shared.sealed_bytes(),
+                );
+                let trace_id = root.trace().0;
+                conn.replies.push_back(ReplyStream {
+                    stream_id,
+                    accept_compressed,
+                    prefetched: VecDeque::new(),
+                    cursor: None,
+                    shipper: Some(shipper),
+                    sent_rows: 0,
+                    page_rows: 0,
+                    batch_rows: 0,
+                    fingerprint: 0,
+                    shape: "subscribe_epochs".to_string(),
+                    trace_id,
+                    exec_start,
+                    exec: Some(exec),
+                    root: Some(root),
+                });
+                return Verdict::Keep;
             }
             Ok((QueryRequest::CloseCursor { cursor }, _)) => {
                 self.cursors.remove(cursor);
@@ -1008,6 +1078,11 @@ impl EventLoop {
             Phase::Active { version } => version,
             Phase::Handshake => unreachable!("replies require negotiation"),
         };
+        // 0. Epoch subscriptions stream through the shipper (one frame
+        //    per step, same watermark pacing as row streams).
+        if reply.shipper.is_some() {
+            return self.step_epoch_stream(conn, version, reply);
+        }
         // 1. Prefetched page first: bytes already serialized at park
         //    time, just framed (and possibly compressed) here.
         if let Some((body, rows)) = reply.prefetched.pop_front() {
@@ -1110,6 +1185,76 @@ impl EventLoop {
             &end.encode_versioned(version),
         );
         StepOutcome::Finished
+    }
+
+    /// Produce one frame of an epoch subscription: the shipper's next
+    /// batch, commit marker, or terminator.
+    fn step_epoch_stream(
+        &self,
+        conn: &mut Conn,
+        version: u16,
+        reply: &mut ReplyStream,
+    ) -> StepOutcome {
+        let shipper = reply.shipper.as_mut().expect("epoch stream shipper");
+        let Some(frame) = shipper.next_frame() else {
+            return StepOutcome::Finished;
+        };
+        let (response, is_batch, outcome) = match frame {
+            EpochFrame::Batch { response, records } => {
+                reply.sent_rows += records as usize;
+                (response, true, StepOutcome::Progress)
+            }
+            EpochFrame::Commit { response, records } => {
+                self.metrics.repl_epochs_shipped.inc();
+                self.metrics.repl_records_shipped.add(records);
+                (response, false, StepOutcome::Progress)
+            }
+            EpochFrame::End { response } => (response, false, StepOutcome::Finished),
+        };
+        let serialize_start = Instant::now();
+        let encoded = response.encode_versioned(version);
+        let serialize_elapsed = serialize_start.elapsed();
+        self.metrics
+            .batch_serialize_ns
+            .record_duration(serialize_elapsed);
+        if let Some(exec) = &reply.exec {
+            self.metrics.traces.buffer().record_past(
+                exec.trace(),
+                Some(exec.id()),
+                "serialize",
+                serialize_start,
+                serialize_elapsed,
+            );
+        }
+        if is_batch {
+            self.metrics.repl_bytes_shipped.add(encoded.len() as u64);
+        }
+        if encoded.len() > self.body_cap(version) {
+            // A pathological record blew the frame cap; the error frame
+            // terminates the reply (the follower resubscribes from its
+            // high-water mark, so nothing is lost — but it cannot make
+            // progress past this record without a smaller batch_rows).
+            self.queue_error(
+                conn,
+                version,
+                reply.stream_id,
+                reply.accept_compressed,
+                QueryError::Internal(format!(
+                    "an epoch batch of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame \
+                     cap; lower batch_rows",
+                    encoded.len()
+                )),
+            );
+            return StepOutcome::Finished;
+        }
+        self.queue_body(
+            conn,
+            version,
+            reply.stream_id,
+            reply.accept_compressed,
+            &encoded,
+        );
+        outcome
     }
 
     /// Precompute the next page of `cursor` as serialized v2 batch

@@ -433,13 +433,18 @@ impl QuerySnapshot {
             // [`QuerySnapshot::plan_rows`].
             // `Metrics` and `Traces` likewise: only the server holds
             // the registry and the flight recorder.
+            // `SubscribeEpochs` streams through the server's epoch
+            // shipper the same way.
             QueryRequest::Plan(_)
             | QueryRequest::FetchCursor { .. }
             | QueryRequest::CloseCursor { .. }
             | QueryRequest::Metrics
-            | QueryRequest::Traces(_) => QueryResponse::Error(siren_proto::QueryError::Internal(
-                "streaming requests are answered by the plan executor, not respond()".into(),
-            )),
+            | QueryRequest::Traces(_)
+            | QueryRequest::SubscribeEpochs { .. } => {
+                QueryResponse::Error(siren_proto::QueryError::Internal(
+                    "streaming requests are answered by the plan executor, not respond()".into(),
+                ))
+            }
         }
     }
 }

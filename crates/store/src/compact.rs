@@ -155,7 +155,11 @@ pub(crate) fn compact_pass<T: Persist + Clone>(
         );
     }
     for file in &inputs {
-        let _ = std::fs::remove_file(&file.path);
+        // Survivable: a superseded input left behind is re-recognized
+        // (and re-unlinked) by the next recovery; only count it.
+        if std::fs::remove_file(&file.path).is_err() {
+            metrics.io_errors.inc();
+        }
     }
     let pass_elapsed = pass_start.elapsed();
     metrics.compaction_ns.record_duration(pass_elapsed);

@@ -29,6 +29,12 @@ pub struct StoreMetrics {
     pub compaction_bytes: Arc<Counter>,
     /// `store.compaction_passes` — completed passes that merged files.
     pub compaction_passes: Arc<Counter>,
+    /// `store.io_errors` — survivable filesystem failures the store
+    /// absorbed (superseded-file unlinks, tmp cleanup). Deliberate
+    /// aborts — fsync or segment-write failure on the commit path —
+    /// are *not* counted here: those propagate as errors (see
+    /// DESIGN.md, "Deliberate aborts").
+    pub io_errors: Arc<Counter>,
 }
 
 impl StoreMetrics {
@@ -42,6 +48,7 @@ impl StoreMetrics {
             compaction_ns: registry.histogram("store.compaction_ns"),
             compaction_bytes: registry.counter("store.compaction_bytes"),
             compaction_passes: registry.counter("store.compaction_passes"),
+            io_errors: registry.counter("store.io_errors"),
         }
     }
 
@@ -62,6 +69,7 @@ impl StoreMetrics {
             compaction_ns: Arc::new(Histogram::new()),
             compaction_bytes: Arc::new(Counter::new()),
             compaction_passes: Arc::new(Counter::new()),
+            io_errors: Arc::new(Counter::new()),
         }
     }
 }

@@ -383,11 +383,16 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
             .segment_seal_ns
             .record_duration(seal_start.elapsed());
         self.metrics.segments_sealed.inc();
-        // Segment is durable: swap in a fresh WAL, then drop the old one.
+        // Segment is durable: swap in a fresh WAL, then drop the old
+        // one. A failed unlink is survivable — recovery drops a WAL
+        // superseded by its sibling segment — so it must not fail a
+        // rotation whose segment already landed.
         self.active_gen += 1;
         self.active = WalWriter::append_to(&wal_path(&dir, self.active_gen))?;
         self.active_items.clear();
-        std::fs::remove_file(wal_path(&dir, gen))?;
+        if std::fs::remove_file(wal_path(&dir, gen)).is_err() {
+            self.metrics.io_errors.inc();
+        }
         sync_parent_dir(&wal_path(&dir, gen));
         self.notify_compactor();
         Ok(())
@@ -420,11 +425,14 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
             .record_duration(seal_start.elapsed());
         self.metrics.segments_sealed.inc();
         // The sealed segment took over this generation; move the (empty)
-        // active WAL past it.
+        // active WAL past it. As in `rotate`, a failed unlink of the
+        // superseded WAL is survivable and must not fail the commit.
         let old_wal = wal_path(&dir, gen);
         self.active_gen += 1;
         self.active = WalWriter::append_to(&wal_path(&dir, self.active_gen))?;
-        std::fs::remove_file(&old_wal)?;
+        if std::fs::remove_file(&old_wal).is_err() {
+            self.metrics.io_errors.inc();
+        }
         self.notify_compactor();
         Ok(gen)
     }
@@ -449,6 +457,21 @@ impl<T: Persist + Clone> SegmentedBackend<T> {
             .filter(|f| f.kind == FileKind::Segment)
             .count();
         (segs, catalog.files.len() - segs)
+    }
+
+    /// Total bytes of live sealed files (segments + runs) on disk —
+    /// the store's durable footprint. Files that vanish mid-walk
+    /// (compaction racing the census) count as zero; this is an
+    /// observability export, not an integrity check. Replication uses
+    /// it as the leader/follower "bytes behind" yardstick.
+    pub fn sealed_bytes(&self) -> u64 {
+        let catalog = self.catalog.lock().expect("catalog lock");
+        catalog
+            .files
+            .values()
+            .filter_map(|f| std::fs::metadata(&f.path).ok())
+            .map(|m| m.len())
+            .sum()
     }
 
     /// Completed compaction passes (background and foreground), read

@@ -16,7 +16,7 @@ use siren_repro::cluster::{Campaign, CampaignConfig};
 use siren_repro::collector::{Collector, PolicyMode};
 use siren_repro::net::{SimChannel, SimConfig};
 use siren_repro::proto::{
-    Order, Projection, QueryPlan, Selection, SirenClient, TraceFilter, TraceId,
+    Order, Projection, QueryPlan, RetryPolicy, Selection, SirenClient, TraceFilter, TraceId,
 };
 use siren_repro::report::trace_report;
 use siren_repro::service::{ServiceConfig, SirenDaemon};
@@ -49,8 +49,11 @@ fn main() {
         daemon.push(msg).expect("ingest");
     }
 
-    // Everything below talks to the daemon over TCP only.
-    let mut client = SirenClient::connect(addr).expect("connect");
+    // Everything below talks to the daemon over TCP only. Connect
+    // under the default retry policy: a daemon still binding its port
+    // (or restarting) costs a few jittered backoffs, not a failure.
+    let mut client =
+        SirenClient::connect_with_retry(addr, &RetryPolicy::default()).expect("connect");
     println!("negotiated protocol v{}", client.negotiated_version());
 
     let status = client.status().expect("status");
@@ -200,7 +203,7 @@ fn main() {
     // TCP stream, with the server round-robining batches between them.
     // (set_accept_compressed(true) would additionally let the server
     // LZ-compress large reply frames.)
-    let mux = SirenClient::connect(addr)
+    let mux = SirenClient::connect_with_retry(addr, &RetryPolicy::default())
         .expect("connect v3")
         .into_mux()
         .expect("multiplexed handle");
