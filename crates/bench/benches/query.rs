@@ -122,6 +122,18 @@ struct ConcurrencyNumbers {
     levels: Vec<ConcurrencyLevel>,
 }
 
+struct FederationLevel {
+    backends: usize,
+    full_stream_ns: Vec<u64>,
+}
+
+struct FederationNumbers {
+    rows: usize,
+    calls: usize,
+    single_ns: Vec<u64>,
+    levels: Vec<FederationLevel>,
+}
+
 fn main() {
     let mut criterion = Criterion::default().configure_from_args();
     let n: usize = if quick() { 5_000 } else { 50_000 };
@@ -507,6 +519,111 @@ fn main() {
     drop(daemon);
     let _ = std::fs::remove_dir_all(&dir);
 
+    // 8. Federation: full-stream drain of the whole corpus through an
+    //    embedded scatter-gather Router over 1/2/4 shard daemons vs a
+    //    direct client on the single daemon holding the union — the
+    //    price of the k-way merge tier at each fan-out width.
+    let federation = {
+        use siren_consolidate::record_order;
+        use siren_federation::{FleetConfig, Router};
+        use siren_wire::ShardRouter;
+
+        let fed_rows: usize = if quick() { 4_000 } else { 40_000 };
+        let fed_calls: usize = if quick() { 8 } else { 20 };
+        let fed_epochs = 4u64;
+        // Canonical-corpus discipline: per-epoch records in
+        // record_order on every daemon (see siren_federation::merge).
+        let mut union: Vec<Vec<ProcessRecord>> = (0..fed_epochs).map(|_| Vec::new()).collect();
+        for i in 0..fed_rows as u64 {
+            union[(i % fed_epochs) as usize].push(lean_record(i, i % 997));
+        }
+        for epoch in &mut union {
+            epoch.sort_by(record_order);
+        }
+
+        let mut dirs = Vec::new();
+        let mut spawn = |tag: &str, epochs: &[Vec<ProcessRecord>]| {
+            let dir =
+                std::env::temp_dir().join(format!("siren-bench-fed-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg = ServiceConfig {
+                query_addr: Some("127.0.0.1:0".parse().unwrap()),
+                ..ServiceConfig::at(&dir)
+            };
+            let (mut d, _) = SirenDaemon::open(cfg).expect("open fed daemon");
+            for records in epochs {
+                d.import_epoch(records.clone()).expect("import fed epoch");
+            }
+            dirs.push(dir);
+            d
+        };
+
+        let single = spawn("single", &union);
+        let mut single_client =
+            SirenClient::connect(single.query_addr().unwrap()).expect("connect single");
+        let single_ns = measure(fed_calls, || {
+            let stream = single_client
+                .query(QueryPlan::records())
+                .expect("single plan");
+            let rows = stream.collect_rows().expect("single rows");
+            assert_eq!(rows.len(), fed_rows);
+            black_box(rows);
+        });
+
+        let mut levels = Vec::new();
+        for backends in [1usize, 2, 4] {
+            let shard_router = ShardRouter::new(backends);
+            let daemons: Vec<SirenDaemon> = (0..backends)
+                .map(|k| {
+                    let epochs: Vec<Vec<ProcessRecord>> = union
+                        .iter()
+                        .map(|epoch| {
+                            epoch
+                                .iter()
+                                .filter(|r| shard_router.shard_of_job(r.key.job_id) == k)
+                                .cloned()
+                                .collect()
+                        })
+                        .collect();
+                    spawn(&format!("b{backends}s{k}"), &epochs)
+                })
+                .collect();
+            let router = Router::new(FleetConfig::sharded(
+                daemons.iter().map(|d| d.query_addr().unwrap()),
+            ))
+            .expect("fed router");
+            let full_stream_ns = measure(fed_calls, || {
+                let stream = router.query(QueryPlan::records()).expect("fed plan");
+                let (rows, warning) = stream.collect_rows_warned();
+                assert!(warning.is_none(), "bench fleet must be healthy");
+                assert_eq!(rows.len(), fed_rows);
+                black_box(rows);
+            });
+            println!(
+                "query/federation {backends} backend(s): full stream p50 {:>9} ns p99 {:>9} ns | overhead vs single {:>5.2}x",
+                percentile(&full_stream_ns, 50.0),
+                percentile(&full_stream_ns, 99.0),
+                percentile(&full_stream_ns, 50.0) as f64
+                    / percentile(&single_ns, 50.0).max(1) as f64,
+            );
+            levels.push(FederationLevel {
+                backends,
+                full_stream_ns,
+            });
+        }
+        drop(single_client);
+        drop(single);
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        FederationNumbers {
+            rows: fed_rows,
+            calls: fed_calls,
+            single_ns,
+            levels,
+        }
+    };
+
     write_json(
         &criterion,
         n,
@@ -515,6 +632,7 @@ fn main() {
         &stream,
         &obs,
         &concurrency,
+        &federation,
         &[
             ("status", status_ns),
             ("by_job", by_job_ns),
@@ -533,6 +651,7 @@ fn write_json(
     stream: &StreamNumbers,
     obs: &ObsNumbers,
     concurrency: &ConcurrencyNumbers,
+    federation: &FederationNumbers,
     kinds: &[(&str, Vec<u64>)],
 ) {
     let median = |id: &str| {
@@ -621,6 +740,28 @@ fn write_json(
             percentile(&level.full_stream_ns, 99.0),
             level.rows_checked,
             if i + 1 < concurrency.levels.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]},\n");
+    let single_p50 = percentile(&federation.single_ns, 50.0);
+    out.push_str(&format!(
+        "  \"federation\": {{\"rows\": {}, \"calls\": {}, \
+         \"single_daemon_full_stream_p50_ns\": {single_p50}, \"levels\": [\n",
+        federation.rows, federation.calls
+    ));
+    for (i, level) in federation.levels.iter().enumerate() {
+        let p50 = percentile(&level.full_stream_ns, 50.0);
+        out.push_str(&format!(
+            "    {{\"backends\": {}, \"full_stream_p50_ns\": {p50}, \
+             \"full_stream_p99_ns\": {}, \"merge_overhead_vs_single\": {:.2}}}{}\n",
+            level.backends,
+            percentile(&level.full_stream_ns, 99.0),
+            p50 as f64 / single_p50.max(1) as f64,
+            if i + 1 < federation.levels.len() {
                 ","
             } else {
                 ""

@@ -1,0 +1,68 @@
+//! Machine-independent shape guard over the checked-in benchmark
+//! artifacts: every section and key the benches promise must be
+//! present in the committed `BENCH_*.json`, so a bench refactor that
+//! silently drops a series (or forgets to regenerate the artifact)
+//! fails CI on any machine — no timing values are ever asserted.
+
+use std::path::PathBuf;
+
+fn artifact(name: &str) -> String {
+    let path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    std::fs::read_to_string(path.join(name))
+        .unwrap_or_else(|e| panic!("committed artifact {name} must be readable: {e}"))
+}
+
+#[test]
+fn query_bench_artifact_keeps_its_shape() {
+    let json = artifact("BENCH_query.json");
+    for key in [
+        "\"bench\": \"query\"",
+        "\"records\":",
+        "\"snapshot_rebuild\":",
+        "\"snapshot_commit\":",
+        "\"delta_speedup\":",
+        "\"neighbors_index\":",
+        "\"indexed_speedup\":",
+        "\"stream_byjob\":",
+        "\"first_row_p50_ns\":",
+        "\"obs_overhead\":",
+        "\"concurrent_connections\":",
+        "\"tcp\":",
+        "\"status\":",
+        "\"by_job\":",
+        "\"library_usage\":",
+        "\"neighbors\":",
+    ] {
+        assert!(json.contains(key), "BENCH_query.json lost {key}");
+    }
+}
+
+/// The federation section: scatter-gather p50 at 1/2/4 backends plus
+/// the merge-overhead ratio against the single union daemon.
+#[test]
+fn query_bench_artifact_carries_the_federation_section() {
+    let json = artifact("BENCH_query.json");
+    for key in [
+        "\"federation\":",
+        "\"single_daemon_full_stream_p50_ns\":",
+        "\"backends\": 1",
+        "\"backends\": 2",
+        "\"backends\": 4",
+        "\"full_stream_p50_ns\":",
+        "\"full_stream_p99_ns\":",
+        "\"merge_overhead_vs_single\":",
+    ] {
+        assert!(json.contains(key), "BENCH_query.json lost {key}");
+    }
+}
+
+#[test]
+fn ingest_and_store_artifacts_keep_their_headers() {
+    for (name, bench) in [
+        ("BENCH_ingest.json", "\"bench\": \"ingest\""),
+        ("BENCH_store.json", "\"bench\": \"store\""),
+    ] {
+        let json = artifact(name);
+        assert!(json.contains(bench), "{name} lost its bench header");
+    }
+}

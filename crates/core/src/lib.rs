@@ -41,6 +41,7 @@ pub use siren_collector as collector;
 pub use siren_consolidate as consolidate;
 pub use siren_db as db;
 pub use siren_elf as elf;
+pub use siren_federation as federation;
 pub use siren_fuzzy as fuzzy;
 pub use siren_hash as hash;
 pub use siren_ingest as ingest;

@@ -230,6 +230,29 @@ pub fn telemetry_report(metrics: &MetricsSnapshot) -> String {
             c("cursor.evicted_ttl")
         ));
     }
+    if has_series(metrics, "fed.") {
+        let up = metrics.gauge("fed.backends_up").map_or(0, |g| g.value);
+        let down = metrics.gauge("fed.backends_down").map_or(0, |g| g.value);
+        out.push_str(&format!(
+            "  federation: {up} backends up, {down} down; {} queries merged ({} rows), {} partial results\n",
+            c("fed.queries"),
+            c("fed.rows_merged"),
+            c("fed.partial_results")
+        ));
+        out.push_str(&format!(
+            "  federation: {} replica failovers, {} promotions; {} probes ({} failed)\n",
+            c("fed.failovers"),
+            c("fed.promotions"),
+            c("fed.probes"),
+            c("fed.probe_failures")
+        ));
+        hist_line(&mut out, metrics, "scatter-gather", "fed.merge_ns");
+        for (name, _) in &metrics.histograms {
+            if let Some(set) = name.strip_prefix("fed.probe_ns.") {
+                hist_line(&mut out, metrics, &format!("probe {set}"), name);
+            }
+        }
+    }
     if !metrics.slow_queries.is_empty() {
         out.push_str(&format!(
             "  slow queries ({} most recent):\n",
@@ -396,6 +419,32 @@ mod tests {
 
         let empty = super::telemetry_report(&Registry::new().snapshot());
         assert_eq!(empty, "Telemetry report\n");
+    }
+
+    #[test]
+    fn telemetry_report_covers_federation_series() {
+        use siren_obs::Registry;
+        let registry = Registry::new();
+        registry.counter("fed.queries").add(12);
+        registry.counter("fed.rows_merged").add(3400);
+        registry.counter("fed.partial_results").add(2);
+        registry.counter("fed.failovers").add(1);
+        registry.counter("fed.promotions").add(1);
+        registry.counter("fed.probes").add(40);
+        registry.counter("fed.probe_failures").add(3);
+        registry.gauge("fed.backends_up").set(3);
+        registry.gauge("fed.backends_down").set(1);
+        registry.histogram("fed.merge_ns").record(2_000_000);
+        registry.histogram("fed.probe_ns.shard-0").record(400_000);
+        let report = super::telemetry_report(&registry.snapshot());
+        assert!(report.contains("federation: 3 backends up, 1 down"));
+        assert!(report.contains("12 queries merged (3400 rows), 2 partial results"));
+        assert!(report.contains("1 replica failovers, 1 promotions; 40 probes (3 failed)"));
+        assert!(report.contains("scatter-gather: p50="));
+        assert!(report.contains("probe shard-0: p50="));
+        // Router snapshots carry only fed.* series: no other section.
+        assert!(!report.contains("query:"));
+        assert!(!report.contains("  service:"));
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Ordered k-way merge keys and the usage-table aggregation — the part
+//! of federation that must be *provably* equal to a single daemon
+//! holding the union corpus.
+//!
+//! The single-daemon executor answers a record plan in commit order
+//! (epoch ascending, then the stored order within each epoch), applies
+//! `TimeAsc`/`TimeDesc` as a **stable** sort over that sequence, and
+//! sorts neighbor hits by score descending with commit position as the
+//! tie-break. Under the canonical-corpus discipline (each epoch's
+//! records stored in [`siren_consolidate::record_order`] — what the
+//! consolidation pipeline produces, and what any partitioned ingest
+//! must preserve), every one of those orders factors into a per-row
+//! key the router can merge by:
+//!
+//! | plan order | merge key |
+//! |---|---|
+//! | `Commit`   | `(epoch, record_order)` |
+//! | `TimeAsc`  | `(time, epoch, record_order)` |
+//! | `TimeDesc` | `(time desc, epoch, record_order)` |
+//! | neighbors  | `(score desc, epoch, record_order)` |
+//!
+//! Because shard groups own disjoint job namespaces, `record_order`
+//! (which leads with the job id) never ties across backends, so the
+//! merge is total and deterministic.
+//!
+//! Usage tables do not stream-merge: per-user counters must be summed
+//! across shards **before** the sort and the limit, so the router
+//! collects every backend's full table (limit stripped from the
+//! fanned-out plan), sums per user, re-sorts with the same comparator
+//! `siren_analysis::usage_table` uses, and applies the limit last.
+
+use siren_analysis::UsageRow;
+use siren_consolidate::record_order;
+use siren_proto::{NeighborRow, Order, PlanRow, RecordRow};
+use std::cmp::Ordering;
+
+/// Total order of two record rows under a plan `order` — the k-way
+/// merge comparator for `PlanSource::Records`.
+pub fn record_row_cmp(order: Order, a: &RecordRow, b: &RecordRow) -> Ordering {
+    match order {
+        Order::Commit => (),
+        Order::TimeAsc => match a.record.key.time.cmp(&b.record.key.time) {
+            Ordering::Equal => (),
+            other => return other,
+        },
+        Order::TimeDesc => match b.record.key.time.cmp(&a.record.key.time) {
+            Ordering::Equal => (),
+            other => return other,
+        },
+    }
+    a.epoch
+        .cmp(&b.epoch)
+        .then_with(|| record_order(&a.record, &b.record))
+}
+
+/// Total order of two neighbor rows: best score first, then commit
+/// position — the k-way merge comparator for `PlanSource::Neighbors`.
+pub fn neighbor_row_cmp(a: &NeighborRow, b: &NeighborRow) -> Ordering {
+    b.score
+        .cmp(&a.score)
+        .then_with(|| a.epoch.cmp(&b.epoch))
+        .then_with(|| record_order(&a.record, &b.record))
+}
+
+/// Total order of two plan rows under `order`. Rows of mismatched
+/// kinds never meet in one stream; treat that defensively as equal.
+pub fn plan_row_cmp(order: Order, a: &PlanRow, b: &PlanRow) -> Ordering {
+    match (a, b) {
+        (PlanRow::Record(a), PlanRow::Record(b)) => record_row_cmp(order, a, b),
+        (PlanRow::Neighbor(a), PlanRow::Neighbor(b)) => neighbor_row_cmp(a, b),
+        _ => Ordering::Equal,
+    }
+}
+
+/// Merge per-backend usage tables into the union table: sum each
+/// user's counters, then re-sort exactly as `usage_table` does
+/// (busiest first, user name as the tie-break). Correct because shard
+/// groups partition *jobs*: a user's job set is the disjoint union of
+/// their per-shard job sets, so every counter — jobs included — is
+/// summable.
+pub fn merge_usage_tables(tables: Vec<Vec<UsageRow>>) -> Vec<UsageRow> {
+    let mut by_user: std::collections::HashMap<String, UsageRow> = std::collections::HashMap::new();
+    for table in tables {
+        for row in table {
+            match by_user.get_mut(&row.user) {
+                Some(sum) => {
+                    sum.jobs += row.jobs;
+                    sum.system_procs += row.system_procs;
+                    sum.user_procs += row.user_procs;
+                    sum.python_procs += row.python_procs;
+                }
+                None => {
+                    by_user.insert(row.user.clone(), row);
+                }
+            }
+        }
+    }
+    let mut rows: Vec<UsageRow> = by_user.into_values().collect();
+    rows.sort_by(|a, b| {
+        (b.jobs, b.system_procs, b.user_procs, b.python_procs)
+            .cmp(&(a.jobs, a.system_procs, a.user_procs, a.python_procs))
+            .then_with(|| a.user.cmp(&b.user))
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(user: &str, jobs: u64, system: u64, userp: u64, python: u64) -> UsageRow {
+        UsageRow {
+            user: user.into(),
+            jobs,
+            system_procs: system,
+            user_procs: userp,
+            python_procs: python,
+        }
+    }
+
+    #[test]
+    fn usage_merge_sums_per_user_and_resorts() {
+        let merged = merge_usage_tables(vec![
+            vec![usage("a", 3, 1, 0, 0), usage("b", 1, 0, 2, 0)],
+            vec![usage("a", 2, 0, 0, 4), usage("c", 6, 0, 0, 0)],
+        ]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].user, "c");
+        assert_eq!(merged[1].user, "a");
+        assert_eq!((merged[1].jobs, merged[1].python_procs), (5, 4));
+        assert_eq!(merged[2].user, "b");
+    }
+
+    #[test]
+    fn usage_merge_breaks_counter_ties_by_user_name() {
+        let merged = merge_usage_tables(vec![
+            vec![usage("zeta", 2, 0, 0, 0)],
+            vec![usage("alpha", 2, 0, 0, 0)],
+        ]);
+        assert_eq!(merged[0].user, "alpha");
+        assert_eq!(merged[1].user, "zeta");
+    }
+}

@@ -1,0 +1,67 @@
+//! The router's `fed.*` series, registered in one [`Registry`] so a
+//! `Metrics` request against the [`RouterDaemon`] (or an embedded
+//! [`Router::registry`] read) ships the whole federation health
+//! picture through the existing telemetry machinery.
+//!
+//! [`Registry`]: siren_obs::Registry
+//! [`RouterDaemon`]: crate::RouterDaemon
+//! [`Router::registry`]: crate::Router::registry
+
+use siren_obs::{Counter, Gauge, Histogram, Registry, TraceStore};
+use std::sync::Arc;
+
+/// Capacity of the router's span flight recorder.
+const TRACE_CAPACITY: usize = 4096;
+
+/// The router's metric handles, resolved once at startup. Per-backend
+/// probe latency histograms (`fed.probe_ns.<set>`) are created on
+/// demand through the registry.
+#[derive(Debug)]
+pub(crate) struct RouterMetrics {
+    pub registry: Arc<Registry>,
+    pub traces: Arc<TraceStore>,
+    /// Plans fanned out by the router.
+    pub queries: Arc<Counter>,
+    /// Rows emitted by the merge across all plans.
+    pub rows_merged: Arc<Counter>,
+    /// Plans that ended with a partial-result warning.
+    pub partial_results: Arc<Counter>,
+    /// Mid-stream re-plans onto another replica of the same set.
+    pub failovers: Arc<Counter>,
+    /// Automated follower promotions (leader dark past threshold).
+    pub promotions: Arc<Counter>,
+    /// Health probes attempted.
+    pub probes: Arc<Counter>,
+    /// Health probes that failed.
+    pub probe_failures: Arc<Counter>,
+    /// Backends currently reachable / unreachable, per the checker.
+    pub backends_up: Arc<Gauge>,
+    pub backends_down: Arc<Gauge>,
+    /// Full scatter-gather latency per plan, first fan-out to last row.
+    pub merge_ns: Arc<Histogram>,
+}
+
+impl RouterMetrics {
+    pub fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        Self {
+            traces: Arc::new(TraceStore::new(TRACE_CAPACITY)),
+            queries: registry.counter("fed.queries"),
+            rows_merged: registry.counter("fed.rows_merged"),
+            partial_results: registry.counter("fed.partial_results"),
+            failovers: registry.counter("fed.failovers"),
+            promotions: registry.counter("fed.promotions"),
+            probes: registry.counter("fed.probes"),
+            probe_failures: registry.counter("fed.probe_failures"),
+            backends_up: registry.gauge("fed.backends_up"),
+            backends_down: registry.gauge("fed.backends_down"),
+            merge_ns: registry.histogram("fed.merge_ns"),
+            registry,
+        }
+    }
+
+    /// The per-backend probe latency histogram for `set`.
+    pub fn probe_hist(&self, set: &str) -> Arc<Histogram> {
+        self.registry.histogram(&format!("fed.probe_ns.{set}"))
+    }
+}

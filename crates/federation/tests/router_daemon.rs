@@ -1,0 +1,257 @@
+//! The runnable router: unmodified wire-protocol clients federate
+//! transparently through a [`RouterDaemon`] port — plans stream merged
+//! rows, one-shots route through the plan path (refusing partial
+//! results typed), Status/Metrics aggregate the fleet, and protocol v1
+//! draws the standard typed refusal.
+
+use proptest::test_runner::{rng_for, TestRng};
+use siren_consolidate::{record_order, ProcessRecord};
+use siren_db::Record;
+use siren_federation::{FleetConfig, Router, RouterDaemon};
+use siren_proto::{
+    decode_hello_ack, encode_hello, read_frame, write_frame, PlanRow, QueryError, QueryPlan,
+    QueryRequest, QueryResponse, RetryPolicy, Selection, SirenClient,
+};
+use siren_service::{ServiceConfig, SirenDaemon};
+use siren_wire::{Layer, MessageType, ShardRouter};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("siren-fedwire-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn arb_record(rng: &mut TestRng, job_pool: &[u64]) -> ProcessRecord {
+    let row = Record {
+        job_id: job_pool[rng.below(job_pool.len() as u64) as usize],
+        step_id: rng.below(3) as u32,
+        pid: rng.next_u64() as u32,
+        exe_hash: format!("{:016x}", rng.next_u64()),
+        host: format!("nid{:06}", rng.below(4)),
+        time: 1_700_000_000 + rng.below(500),
+        layer: Layer::SelfExe,
+        mtype: MessageType::Meta,
+        content: String::new(),
+    };
+    ProcessRecord::new(&row)
+}
+
+/// Two job-hash shard daemons plus the union oracle, canonical order.
+struct Fixture {
+    shards: Vec<SirenDaemon>,
+    oracle: SirenDaemon,
+}
+
+fn fixture(tag: &str) -> Fixture {
+    let mut rng = rng_for(tag);
+    let shard_router = ShardRouter::new(2);
+    let pools: Vec<Vec<u64>> = (0..2)
+        .map(|k| {
+            (0..64)
+                .filter(|&j| shard_router.shard_of_job(j) == k)
+                .collect()
+        })
+        .collect();
+    let spawn = |suffix: &str| {
+        let dir = temp_data_dir(&format!("{tag}-{suffix}"));
+        let cfg = ServiceConfig {
+            shards: 2,
+            query_addr: Some("127.0.0.1:0".parse().unwrap()),
+            ..ServiceConfig::at(&dir)
+        };
+        SirenDaemon::open(cfg).unwrap().0
+    };
+    let mut shards = vec![spawn("s0"), spawn("s1")];
+    let mut oracle = spawn("union");
+    for _epoch in 0..2 {
+        let mut union: Vec<ProcessRecord> = Vec::new();
+        for pool in &pools {
+            for _ in 0..(4 + rng.below(6)) {
+                union.push(arb_record(&mut rng, pool));
+            }
+        }
+        union.sort_by(record_order);
+        for (k, daemon) in shards.iter_mut().enumerate() {
+            let subset: Vec<ProcessRecord> = union
+                .iter()
+                .filter(|r| shard_router.shard_of_job(r.key.job_id) == k)
+                .cloned()
+                .collect();
+            daemon.import_epoch(subset).unwrap();
+        }
+        oracle.import_epoch(union).unwrap();
+    }
+    Fixture { shards, oracle }
+}
+
+fn spawn_router(leaders: impl IntoIterator<Item = SocketAddr>) -> RouterDaemon {
+    let cfg = FleetConfig {
+        retry: RetryPolicy {
+            max_retries: 1,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            jitter: false,
+        },
+        ..FleetConfig::sharded(leaders)
+    };
+    RouterDaemon::spawn(Router::new(cfg).unwrap(), "127.0.0.1:0").unwrap()
+}
+
+/// An unmodified `SirenClient` pointed at the router port sees the
+/// union daemon: plan streams, mux streams, Status, Metrics, one-shot
+/// ByJob — all without knowing a fleet exists.
+#[test]
+fn unmodified_clients_federate_transparently() {
+    let fx = fixture("fedwire-transparent");
+    let leaders: Vec<SocketAddr> = fx.shards.iter().map(|d| d.query_addr().unwrap()).collect();
+    let daemon = spawn_router(leaders);
+    let mut oracle_client = SirenClient::connect(fx.oracle.query_addr().unwrap()).unwrap();
+
+    // Blocking v3 client, plan path.
+    let mut client = SirenClient::connect(daemon.local_addr()).unwrap();
+    for plan in [
+        QueryPlan::records().batch_rows(3),
+        QueryPlan::records().filter(Selection::all().host("nid000001")),
+        QueryPlan::usage_table(),
+    ] {
+        let merged = client.query(plan.clone()).unwrap().collect_rows().unwrap();
+        let expected = oracle_client.query(plan).unwrap().collect_rows().unwrap();
+        assert_eq!(merged, expected, "router port must serve union answers");
+    }
+
+    // Status aggregates the union; Metrics carries the fed.* series.
+    let status = client.status().unwrap();
+    let total: u64 = fx.shards.iter().map(|d| d.snapshot().len() as u64).sum();
+    assert_eq!(status.records, total);
+    assert_eq!(status.committed_epochs, vec![0, 1]);
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.counter("fed.queries") >= 3);
+    assert!(metrics.counter("fed.rows_merged") > 0);
+
+    // One-shot ByJob routes through the plan path (and its job
+    // selection prunes to one shard).
+    let shard_router = ShardRouter::new(2);
+    let job = (0..64)
+        .find(|&j| shard_router.shard_of_job(j) == 1)
+        .unwrap();
+    let req = QueryRequest::ByJob { job_id: job };
+    let from_router = client.call(&req).unwrap().encode_versioned(3);
+    let from_oracle = oracle_client.call(&req).unwrap().encode_versioned(3);
+    assert_eq!(
+        from_router, from_oracle,
+        "ByJob bytes must match the oracle"
+    );
+
+    // Cursors are never parked: any cursor id is unknown. The client
+    // library refuses to send FetchCursor outside a stream, so speak
+    // raw v2 frames.
+    let mut raw = TcpStream::connect(daemon.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write_frame(&mut raw, &encode_hello(2, 2)).unwrap();
+    assert_eq!(decode_hello_ack(&read_frame(&mut raw).unwrap()), Some(2));
+    let fetch = QueryRequest::FetchCursor { cursor: 99 };
+    write_frame(&mut raw, &fetch.encode_versioned(2)).unwrap();
+    let payload = read_frame(&mut raw).unwrap();
+    match QueryResponse::decode_versioned(&payload, 2) {
+        Ok(QueryResponse::Error(QueryError::UnknownCursor(99))) => {}
+        other => panic!("expected UnknownCursor, got {other:?}"),
+    }
+    drop(raw);
+
+    // LibraryUsage is not federatable: typed refusal, never wrong sums.
+    match client.call(&QueryRequest::LibraryUsage {
+        selection: Selection::default(),
+    }) {
+        Err(siren_proto::ClientError::Server(QueryError::Internal(detail))) => {
+            assert!(detail.contains("not federatable"), "{detail}");
+        }
+        other => panic!("expected a typed refusal, got {other:?}"),
+    }
+    drop(client);
+
+    // Multiplexed v3 client over the same port.
+    let mux = SirenClient::connect(daemon.local_addr())
+        .unwrap()
+        .into_mux()
+        .unwrap();
+    let merged: Vec<PlanRow> = mux
+        .query(QueryPlan::records().batch_rows(2))
+        .unwrap()
+        .collect_rows()
+        .unwrap();
+    let expected = oracle_client
+        .query(QueryPlan::records().batch_rows(2))
+        .unwrap()
+        .collect_rows()
+        .unwrap();
+    assert_eq!(merged, expected, "mux streams must see the same union");
+    daemon.shutdown();
+}
+
+/// A v1-only client gets the standard typed version refusal — the
+/// router never silently downgrades federation below plans+warnings.
+#[test]
+fn protocol_v1_is_refused_typed() {
+    let fx = fixture("fedwire-v1");
+    let leaders: Vec<SocketAddr> = fx.shards.iter().map(|d| d.query_addr().unwrap()).collect();
+    let daemon = spawn_router(leaders);
+
+    let mut stream = TcpStream::connect(daemon.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write_frame(&mut stream, &encode_hello(1, 1)).unwrap();
+    let payload = read_frame(&mut stream).unwrap();
+    assert_eq!(decode_hello_ack(&payload), None, "no ack for v1");
+    match QueryResponse::decode_versioned(&payload, 2) {
+        Ok(QueryResponse::Error(QueryError::UnsupportedVersion {
+            server_min,
+            server_max,
+        })) => {
+            assert_eq!((server_min, server_max), (2, 3));
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    daemon.shutdown();
+}
+
+/// Partial results pass through the wire typed: a dead shard reaches
+/// the client as a `Warning` frame before stream end, and one-shots —
+/// which cannot carry a warning — are refused rather than answered
+/// silently incomplete.
+#[test]
+fn partial_results_reach_wire_clients_typed() {
+    let fx = fixture("fedwire-partial");
+    let live_addr = fx.shards[0].query_addr().unwrap();
+    let dead_addr = fx.shards[1].query_addr().unwrap();
+    let daemon = spawn_router([live_addr, dead_addr]);
+    let Fixture { mut shards, .. } = fx;
+    drop(shards.pop()); // kill shard-1
+
+    let mut client = SirenClient::connect(daemon.local_addr()).unwrap();
+    let (rows, warnings) = client
+        .query(QueryPlan::records())
+        .unwrap()
+        .collect_rows_warned()
+        .unwrap();
+    assert!(!rows.is_empty(), "the live shard's rows still arrive");
+    assert_eq!(warnings.len(), 1);
+    assert_eq!(warnings[0].missing, vec!["shard-1".to_string()]);
+
+    // A one-shot needing the dead shard draws a typed error carrying
+    // the warning text.
+    let shard_router = ShardRouter::new(2);
+    let dead_job = (0..64)
+        .find(|&j| shard_router.shard_of_job(j) == 1)
+        .unwrap();
+    match client.call(&QueryRequest::ByJob { job_id: dead_job }) {
+        Err(siren_proto::ClientError::Server(QueryError::Internal(detail))) => {
+            assert!(detail.contains("shard-1"), "{detail}");
+        }
+        other => panic!("expected a typed one-shot refusal, got {other:?}"),
+    }
+    daemon.shutdown();
+}

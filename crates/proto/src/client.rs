@@ -6,7 +6,7 @@
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::message::{
     decode_hello_ack, encode_hello, fold_epoch_checksum, NeighborRow, QueryError, QueryRequest,
-    QueryResponse, RecordRow, Selection, StatusInfo,
+    QueryResponse, QueryWarning, RecordRow, Selection, StatusInfo,
 };
 use crate::mux::MuxClient;
 use crate::plan::{Order, PlanRow, PlanSource, QueryPlan};
@@ -489,6 +489,7 @@ impl SirenClient {
                 mid_reply: true,
                 done: false,
                 failed: false,
+                warnings: Vec::new(),
             });
         }
         let rows = self.query_v1_fallback(&plan)?;
@@ -499,6 +500,7 @@ impl SirenClient {
             mid_reply: false,
             done: true,
             failed: false,
+            warnings: Vec::new(),
         })
     }
 
@@ -601,6 +603,9 @@ pub struct RowStream<'c> {
     mid_reply: bool,
     done: bool,
     failed: bool,
+    /// Degradation notices absorbed from the stream (v2+), in arrival
+    /// order.
+    warnings: Vec<QueryWarning>,
 }
 
 impl RowStream<'_> {
@@ -634,6 +639,11 @@ impl RowStream<'_> {
                         self.done = true;
                     }
                 }
+                QueryResponse::Warning(warning) => {
+                    // Non-fatal: record the degradation and keep
+                    // reading — a StreamEnd still terminates the reply.
+                    self.warnings.push(warning);
+                }
                 QueryResponse::Error(err) => {
                     // The error frame terminates the reply; the
                     // connection is back at a frame boundary.
@@ -664,6 +674,27 @@ impl RowStream<'_> {
             }
             rows.extend(self.buffer.drain(..));
         }
+    }
+
+    /// Drain the remaining rows, also returning any degradation
+    /// warnings the stream carried (a federation router marking shards
+    /// it could not reach). An empty warning list means the rows are
+    /// the complete answer.
+    pub fn collect_rows_warned(mut self) -> Result<(Vec<PlanRow>, Vec<QueryWarning>), ClientError> {
+        let mut rows = Vec::new();
+        loop {
+            self.fill()?;
+            if self.buffer.is_empty() {
+                return Ok((rows, std::mem::take(&mut self.warnings)));
+            }
+            rows.extend(self.buffer.drain(..));
+        }
+    }
+
+    /// Degradation warnings absorbed so far (complete once the stream
+    /// is done).
+    pub fn warnings(&self) -> &[QueryWarning] {
+        &self.warnings
     }
 
     /// True once every row has been yielded.
@@ -700,7 +731,7 @@ impl Drop for RowStream<'_> {
             // already off-protocol.
             for _ in 0..100_000 {
                 match self.client.recv() {
-                    Ok(QueryResponse::Batch(_)) => continue,
+                    Ok(QueryResponse::Batch(_) | QueryResponse::Warning(_)) => continue,
                     Ok(QueryResponse::StreamEnd { cursor }) => {
                         self.mid_reply = false;
                         self.cursor = cursor;
@@ -925,6 +956,7 @@ pub(crate) fn unexpected(wanted: &str, got: &QueryResponse) -> ClientError {
         QueryResponse::EpochBatch(_) => "EpochBatch",
         QueryResponse::EpochCommit { .. } => "EpochCommit",
         QueryResponse::SubscribeEnd { .. } => "SubscribeEnd",
+        QueryResponse::Warning(_) => "Warning",
         QueryResponse::Error(_) => "Error",
     };
     ClientError::Protocol(format!("expected {wanted} response, got {kind}"))

@@ -84,8 +84,8 @@ pub use client::{ClientError, EpochStream, EpochStreamEvent, RetryPolicy, RowStr
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_PAYLOAD};
 pub use message::{
     decode_hello, decode_hello_ack, encode_hello, encode_hello_ack, fold_epoch_checksum, negotiate,
-    EpochBatch, NeighborRow, QueryError, QueryRequest, QueryResponse, RecordRow, Selection,
-    StatusInfo, HELLO_MAGIC,
+    EpochBatch, NeighborRow, QueryError, QueryRequest, QueryResponse, QueryWarning, RecordRow,
+    Selection, ShardKey, StatusInfo, HELLO_MAGIC,
 };
 pub use mux::{MuxClient, MuxStream};
 pub use plan::{

@@ -52,6 +52,9 @@ const RESP_TRACES: u8 = 7;
 const RESP_EPOCH_BATCH: u8 = 8;
 const RESP_EPOCH_COMMIT: u8 = 9;
 const RESP_SUBSCRIBE_END: u8 = 10;
+// Tag 11 is a v2 stream frame (degraded-stream warning) introduced by
+// the federation tier; it rides any v2+ connection, never v1.
+const RESP_WARNING: u8 = 11;
 const RESP_ERROR: u8 = 0xFF;
 
 // QueryError codes. Codes 6+ are v2-only and can only be drawn by v2
@@ -64,6 +67,28 @@ const ERR_DEADLINE: u8 = 4;
 const ERR_INTERNAL: u8 = 5;
 const ERR_INVALID_PLAN: u8 = 6;
 const ERR_UNKNOWN_CURSOR: u8 = 7;
+
+/// The routing-relevant predicates of a [`Selection`], extracted by
+/// [`Selection::shard_key`]: the job/host conditions that decide which
+/// shard(s) of a partitioned corpus can hold matching records. Ingest's
+/// `ShardRouter` partitions by job hash; a federation router prunes
+/// backends by the same notion — both read this one struct so the two
+/// tiers cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardKey<'a> {
+    /// The exact-job restriction, if the selection names one.
+    pub job: Option<u64>,
+    /// The exact-host restriction, if the selection names one.
+    pub host: Option<&'a str>,
+}
+
+impl ShardKey<'_> {
+    /// True when no routing predicate is set — every shard of a
+    /// partitioned corpus may hold matching records.
+    pub fn is_unrouted(&self) -> bool {
+        self.job.is_none() && self.host.is_none()
+    }
+}
 
 /// A reusable record filter: all present conditions are ANDed. The one
 /// filter type shared by the wire protocol and the in-process snapshot
@@ -156,6 +181,18 @@ impl Selection {
     /// The inclusive epoch-slice restriction, if any.
     pub fn epoch_slice(&self) -> Option<(u64, u64)> {
         self.epoch_range
+    }
+
+    /// The routing predicates of this selection — exactly the
+    /// conditions that constrain **which shard** of a job/host
+    /// partitioned corpus can hold matching records. Epoch and time
+    /// conditions are deliberately excluded: they restrict *when*, not
+    /// *where*, and every shard spans all time.
+    pub fn shard_key(&self) -> ShardKey<'_> {
+        ShardKey {
+            job: self.job,
+            host: self.host.as_deref(),
+        }
     }
 
     /// True when no condition is set (every record matches).
@@ -944,6 +981,31 @@ pub struct NeighborRow {
     pub record: ProcessRecord,
 }
 
+/// A non-fatal degradation notice attached to the end of a row stream
+/// (protocol v2+): the rows already delivered are correct, but some
+/// backends could not contribute, so the result may be a subset of the
+/// full corpus. Federation routers emit one right before the final
+/// `StreamEnd` when shards were unreachable — partial results are
+/// typed, never silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryWarning {
+    /// Names of the backends whose rows are missing from the stream.
+    pub missing: Vec<String>,
+    /// Human-readable cause (last dial/stream error per backend).
+    pub detail: String,
+}
+
+impl std::fmt::Display for QueryWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partial result: missing [{}]: {}",
+            self.missing.join(", "),
+            self.detail
+        )
+    }
+}
+
 /// One answer, server → client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryResponse {
@@ -998,6 +1060,11 @@ pub enum QueryResponse {
         /// behind.
         leader_bytes: u64,
     },
+    /// A non-fatal stream degradation notice (v2+): emitted at most
+    /// once per row stream, immediately before its final `StreamEnd`.
+    /// The stream still terminates normally — the warning marks the
+    /// delivered rows as a possibly-partial view.
+    Warning(QueryWarning),
     /// The request could not be answered.
     Error(QueryError),
 }
@@ -1121,6 +1188,14 @@ impl QueryResponse {
                 out.extend_from_slice(&next_from.to_le_bytes());
                 out.extend_from_slice(&leader_bytes.to_le_bytes());
             }
+            QueryResponse::Warning(warning) => {
+                out.push(RESP_WARNING);
+                out.extend_from_slice(&(warning.missing.len() as u32).to_le_bytes());
+                for name in &warning.missing {
+                    put_str(&mut out, name);
+                }
+                put_str(&mut out, &warning.detail);
+            }
             QueryResponse::Error(err) => {
                 out.push(RESP_ERROR);
                 err.put(&mut out);
@@ -1143,7 +1218,8 @@ impl QueryResponse {
             && (tag == RESP_BATCH
                 || tag == RESP_STREAM_END
                 || tag == RESP_METRICS
-                || tag == RESP_TRACES)
+                || tag == RESP_TRACES
+                || tag == RESP_WARNING)
         {
             return Err(QueryError::Malformed(
                 "v2-only response frame on a v1 connection".into(),
@@ -1299,6 +1375,17 @@ impl QueryResponse {
                 next_from: get_u64(body, &mut pos).ok_or_else(malformed)?,
                 leader_bytes: get_u64(body, &mut pos).ok_or_else(malformed)?,
             },
+            RESP_WARNING => {
+                // Each missing name carries at least its 4-byte length
+                // prefix.
+                let n = get_count(body, &mut pos, 4).ok_or_else(malformed)?;
+                let mut missing = Vec::with_capacity(decode_capacity(n));
+                for _ in 0..n {
+                    missing.push(get_str(body, &mut pos).ok_or_else(malformed)?);
+                }
+                let detail = get_str(body, &mut pos).ok_or_else(malformed)?;
+                QueryResponse::Warning(QueryWarning { missing, detail })
+            }
             RESP_ERROR => {
                 QueryResponse::Error(QueryError::get(body, &mut pos).ok_or_else(malformed)?)
             }
@@ -1483,5 +1570,108 @@ pub fn negotiate(client_min: u16, client_max: u16) -> Result<u16, QueryError> {
             server_min: PROTOCOL_VERSION_MIN,
             server_max: PROTOCOL_VERSION,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_key_extracts_job_and_host_only() {
+        let sel = Selection::all()
+            .job(42)
+            .host("nid000007")
+            .epoch(3)
+            .epochs(1, 9)
+            .between(100, 200);
+        let key = sel.shard_key();
+        assert_eq!(key.job, Some(42));
+        assert_eq!(key.host, Some("nid000007"));
+        assert!(!key.is_unrouted());
+    }
+
+    #[test]
+    fn shard_key_of_time_and_epoch_predicates_is_unrouted() {
+        // Epoch/time conditions restrict *when*, not *where* — they
+        // must not prune any shard.
+        for sel in [
+            Selection::all(),
+            Selection::all().epoch(5),
+            Selection::all().epochs(0, 3),
+            Selection::all().between(10, 20),
+        ] {
+            let key = sel.shard_key();
+            assert_eq!(
+                key,
+                ShardKey {
+                    job: None,
+                    host: None
+                }
+            );
+            assert!(key.is_unrouted());
+        }
+    }
+
+    #[test]
+    fn shard_key_mirrors_the_matches_predicates() {
+        // Any record rejected by shard_key's predicates is rejected by
+        // matches() too: pruning a shard that cannot satisfy the key
+        // never loses a row.
+        let sel = Selection::all().job(7).host("a");
+        let key = sel.shard_key();
+        let row = siren_db::Record {
+            job_id: 7,
+            step_id: 0,
+            pid: 1,
+            exe_hash: "x".into(),
+            host: "b".into(),
+            time: 0,
+            layer: siren_wire::Layer::SelfExe,
+            mtype: siren_wire::MessageType::Meta,
+            content: String::new(),
+        };
+        let record = ProcessRecord::new(&row);
+        assert_eq!(key.job, Some(record.key.job_id));
+        assert_ne!(key.host, Some(record.key.host.as_str()));
+        assert!(!sel.matches(0, &record));
+    }
+
+    #[test]
+    fn warning_roundtrips_on_v2_and_v3() {
+        let warning = QueryResponse::Warning(QueryWarning {
+            missing: vec!["shard-1".into(), "shard-3".into()],
+            detail: "dial refused".into(),
+        });
+        for version in [2u16, 3] {
+            let bytes = warning.encode_versioned(version);
+            assert_eq!(bytes[0], RESP_WARNING);
+            let back = QueryResponse::decode_versioned(&bytes, version).unwrap();
+            assert_eq!(back, warning);
+        }
+    }
+
+    #[test]
+    fn warning_is_rejected_on_v1() {
+        let bytes = QueryResponse::Warning(QueryWarning {
+            missing: vec!["s".into()],
+            detail: String::new(),
+        })
+        .encode_versioned(2);
+        assert!(matches!(
+            QueryResponse::decode_versioned(&bytes, 1),
+            Err(QueryError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn warning_display_lists_missing_backends() {
+        let w = QueryWarning {
+            missing: vec!["a".into(), "b".into()],
+            detail: "leader dark".into(),
+        };
+        let text = w.to_string();
+        assert!(text.contains("a, b"));
+        assert!(text.contains("leader dark"));
     }
 }

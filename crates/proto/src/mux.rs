@@ -23,7 +23,7 @@
 
 use crate::client::{unexpected, ClientError};
 use crate::frame::{read_frame, write_frame};
-use crate::message::{QueryRequest, QueryResponse, StatusInfo};
+use crate::message::{QueryRequest, QueryResponse, QueryWarning, StatusInfo};
 use crate::plan::{PlanRow, QueryPlan};
 use crate::stream::{decode_stream_frame, encode_stream_frame, CONNECTION_STREAM};
 use siren_obs::TraceId;
@@ -158,7 +158,7 @@ impl MuxInner {
     /// orphan id, so that close's own ack is discarded the same way).
     fn resolve_orphan(&mut self, id: u32, response: QueryResponse) -> Result<(), ClientError> {
         match response {
-            QueryResponse::Batch(_) => Ok(()),
+            QueryResponse::Batch(_) | QueryResponse::Warning(_) => Ok(()),
             QueryResponse::StreamEnd {
                 cursor: Some(cursor),
             } => {
@@ -255,6 +255,7 @@ impl MuxClient {
             mid_reply: true,
             done: false,
             failed: false,
+            warnings: Vec::new(),
         })
     }
 
@@ -316,6 +317,8 @@ pub struct MuxStream {
     mid_reply: bool,
     done: bool,
     failed: bool,
+    /// Degradation notices absorbed from the stream, in arrival order.
+    warnings: Vec<QueryWarning>,
 }
 
 impl MuxStream {
@@ -336,6 +339,12 @@ impl MuxStream {
                 if cursor.is_none() {
                     self.done = true;
                 }
+                Ok(())
+            }
+            QueryResponse::Warning(warning) => {
+                // Non-fatal degradation notice; the reply continues to
+                // its StreamEnd.
+                self.warnings.push(warning);
                 Ok(())
             }
             QueryResponse::Error(err) => {
@@ -405,6 +414,26 @@ impl MuxStream {
         }
     }
 
+    /// Drain the remaining rows, also returning any degradation
+    /// warnings the stream carried. An empty warning list means the
+    /// rows are the complete answer.
+    pub fn collect_rows_warned(mut self) -> Result<(Vec<PlanRow>, Vec<QueryWarning>), ClientError> {
+        let mut rows = Vec::new();
+        loop {
+            self.fill()?;
+            if self.buffer.is_empty() {
+                return Ok((rows, std::mem::take(&mut self.warnings)));
+            }
+            rows.extend(self.buffer.drain(..));
+        }
+    }
+
+    /// Degradation warnings absorbed so far (complete once the stream
+    /// is done).
+    pub fn warnings(&self) -> &[QueryWarning] {
+        &self.warnings
+    }
+
     /// True once every row has been yielded.
     pub fn is_done(&self) -> bool {
         self.done && self.buffer.is_empty()
@@ -446,7 +475,7 @@ impl Drop for MuxStream {
                 },
             };
             match response {
-                Some(QueryResponse::Batch(_)) | None => {}
+                Some(QueryResponse::Batch(_) | QueryResponse::Warning(_)) | None => {}
                 Some(QueryResponse::StreamEnd { cursor }) => {
                     self.mid_reply = false;
                     self.cursor = cursor;

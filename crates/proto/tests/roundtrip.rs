@@ -19,9 +19,9 @@ use siren_proto::{
     decode_hello, decode_hello_ack, decode_stream_frame, encode_hello, encode_hello_ack,
     encode_stream_frame, fold_epoch_checksum, negotiate, read_frame, write_frame, EpochBatch,
     FrameError, NeighborRow, Order, PlanSource, Projection, QueryError, QueryPlan, QueryRequest,
-    QueryResponse, RecordRow, RowBatch, Selection, SpanId, SpanRecord, StatusInfo, TraceFilter,
-    TraceId, TraceTree, DEFAULT_COMPRESS_MIN_BYTES, PROTOCOL_VERSION, PROTOCOL_VERSION_MIN,
-    STREAM_HEADER_LEN,
+    QueryResponse, QueryWarning, RecordRow, RowBatch, Selection, SpanId, SpanRecord, StatusInfo,
+    TraceFilter, TraceId, TraceTree, DEFAULT_COMPRESS_MIN_BYTES, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_MIN, STREAM_HEADER_LEN,
 };
 use siren_wire::{Layer, MessageType};
 
@@ -325,8 +325,8 @@ fn arb_epoch_batch(rng: &mut TestRng) -> EpochBatch {
 
 fn arb_response(rng: &mut TestRng, version: u16) -> QueryResponse {
     let kinds = match version {
-        v if v >= 3 => 12,
-        2 => 9,
+        v if v >= 3 => 13,
+        2 => 10,
         _ => 5,
     };
     match rng.below(kinds) {
@@ -364,8 +364,12 @@ fn arb_response(rng: &mut TestRng, version: u16) -> QueryResponse {
         },
         7 => QueryResponse::Metrics(arb_metrics(rng)),
         8 => QueryResponse::Traces(arb_traces(rng)),
-        9 => QueryResponse::EpochBatch(arb_epoch_batch(rng)),
-        10 => QueryResponse::EpochCommit {
+        9 => QueryResponse::Warning(QueryWarning {
+            missing: (0..rng.below(4)).map(|_| arb_string(rng, 12)).collect(),
+            detail: arb_string(rng, 24),
+        }),
+        10 => QueryResponse::EpochBatch(arb_epoch_batch(rng)),
+        11 => QueryResponse::EpochCommit {
             epoch: rng.next_u64(),
             records: rng.next_u64(),
             checksum: rng.next_u64(),

@@ -343,6 +343,17 @@ impl Replicator {
             .join()
             .expect("replicator thread")
     }
+
+    /// Promote this follower to a leader: detach from the (presumed
+    /// dead) leader and return the daemon, now serving as the replica
+    /// set's authoritative copy. Semantically [`shutdown`] under its
+    /// failover name — the federation router's promotion hook calls
+    /// this when a leader stays dark past the promotion threshold.
+    ///
+    /// [`shutdown`]: Self::shutdown
+    pub fn promote(self) -> SirenDaemon {
+        self.shutdown()
+    }
 }
 
 impl Drop for Replicator {

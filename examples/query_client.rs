@@ -14,12 +14,16 @@
 
 use siren_repro::cluster::{Campaign, CampaignConfig};
 use siren_repro::collector::{Collector, PolicyMode};
+use siren_repro::consolidate::{record_order, ProcessRecord};
+use siren_repro::federation::{FleetConfig, Router, RouterDaemon};
 use siren_repro::net::{SimChannel, SimConfig};
 use siren_repro::proto::{
     Order, Projection, QueryPlan, RetryPolicy, Selection, SirenClient, TraceFilter, TraceId,
 };
 use siren_repro::report::trace_report;
 use siren_repro::service::{ServiceConfig, SirenDaemon};
+use siren_repro::wire::ShardRouter;
+use std::time::Duration;
 
 fn main() {
     let data_dir = std::env::temp_dir().join(format!("siren-query-client-{}", std::process::id()));
@@ -234,6 +238,84 @@ fn main() {
         }
     }
     println!("  drained {record_rows} record rows and {usage_rows} usage rows interleaved");
+
+    // ---- Federation: one router port over a sharded fleet. ----
+    //
+    // Split the same corpus into two job-hash shards, each held by its
+    // own daemon, and put a federated router in front. The router
+    // scatter-gathers every plan across the shards, k-way-merges the
+    // ordered streams, and serves the ordinary wire protocol — so the
+    // unmodified SirenClient below cannot tell it from a single daemon
+    // holding the union.
+    let shard_router = ShardRouter::new(2);
+    let mut union: Vec<ProcessRecord> = snapshot.iter().map(|er| er.record.clone()).collect();
+    union.sort_by(record_order);
+    let mut shard_daemons: Vec<SirenDaemon> = (0..2u32)
+        .map(|k| {
+            let dir = data_dir.join(format!("shard-{k}"));
+            let cfg = ServiceConfig {
+                query_addr: Some("127.0.0.1:0".parse().unwrap()),
+                shards: 2,
+                ..ServiceConfig::at(&dir)
+            };
+            let (mut d, _) = SirenDaemon::open(cfg).expect("open shard daemon");
+            let subset: Vec<ProcessRecord> = union
+                .iter()
+                .filter(|r| shard_router.shard_of_job(r.key.job_id) == k as usize)
+                .cloned()
+                .collect();
+            d.import_epoch(subset).expect("import shard subset");
+            d
+        })
+        .collect();
+    let fleet = FleetConfig {
+        retry: RetryPolicy {
+            max_retries: 1,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            jitter: false,
+        },
+        ..FleetConfig::sharded(shard_daemons.iter().map(|d| d.query_addr().unwrap()))
+    };
+    let router = RouterDaemon::spawn(Router::new(fleet).expect("fleet config"), "127.0.0.1:0")
+        .expect("spawn router");
+    let mut fed_client = SirenClient::connect(router.local_addr()).expect("connect router");
+    let fed_status = fed_client.status().expect("fleet status");
+    println!(
+        "federated fleet on {}: {} records across 2 shards, epochs {:?}",
+        router.local_addr(),
+        fed_status.records,
+        fed_status.committed_epochs,
+    );
+    let merged = fed_client
+        .query(QueryPlan::records().order_by(Order::TimeAsc).limit(6))
+        .expect("federated plan")
+        .collect_rows()
+        .expect("merged rows");
+    println!("first {} rows of the time-ordered merge:", merged.len());
+    for row in &merged {
+        let row = row.clone().into_record().expect("record row");
+        println!(
+            "  t={} job {} host {}",
+            row.record.key.time, row.record.key.job_id, row.record.key.host
+        );
+    }
+
+    // Kill one shard: the same plan now degrades to a typed partial
+    // result — the surviving shard's rows plus a warning naming the
+    // missing backend, never a silently wrong answer.
+    drop(shard_daemons.pop());
+    let (partial, warnings) = fed_client
+        .query(QueryPlan::records())
+        .expect("degraded plan")
+        .collect_rows_warned()
+        .expect("partial rows");
+    println!(
+        "with shard-1 dark: {} rows and warning \"{}\"",
+        partial.len(),
+        warnings.first().map(|w| w.to_string()).unwrap_or_default(),
+    );
+    router.shutdown();
 
     drop(daemon);
     let _ = std::fs::remove_dir_all(&data_dir);
